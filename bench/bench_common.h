@@ -1,0 +1,59 @@
+// Shared helpers for the skydia benchmark harnesses. Every experiment id in
+// EXPERIMENTS.md maps to one binary in this directory; binaries print
+// google-benchmark tables whose rows mirror the reconstructed figures/tables
+// of the paper (see DESIGN.md, "Per-experiment index").
+#ifndef SKYDIA_BENCH_BENCH_COMMON_H_
+#define SKYDIA_BENCH_BENCH_COMMON_H_
+
+#include <cstdint>
+
+#include "src/common/logging.h"
+#include "src/datagen/distributions.h"
+#include "src/geometry/dataset.h"
+
+namespace skydia::bench {
+
+inline constexpr uint64_t kBenchSeed = 20180416;  // ICDE'18 week, fixed forever
+
+inline Distribution DistributionFromIndex(int64_t index) {
+  switch (index) {
+    case 0:
+      return Distribution::kCorrelated;
+    case 1:
+      return Distribution::kIndependent;
+    case 2:
+      return Distribution::kAnticorrelated;
+    default:
+      return Distribution::kClustered;
+  }
+}
+
+inline Dataset MakeDataset(int64_t n, int64_t domain, Distribution dist,
+                           uint64_t seed = kBenchSeed) {
+  DataGenOptions options;
+  options.n = static_cast<size_t>(n);
+  options.domain_size = domain;
+  options.distribution = dist;
+  options.seed = seed;
+  auto ds = GenerateDataset(options);
+  SKYDIA_CHECK(ds.ok());
+  return std::move(ds).value();
+}
+
+inline Dataset MakeDistinctDataset(int64_t n, int64_t domain,
+                                   Distribution dist,
+                                   uint64_t seed = kBenchSeed) {
+  DataGenOptions options;
+  options.n = static_cast<size_t>(n);
+  options.domain_size = domain;
+  options.distribution = dist;
+  options.seed = seed;
+  options.distinct_coordinates = true;
+  auto ds = GenerateDataset(options);
+  SKYDIA_CHECK(ds.ok());
+  return std::move(ds).value();
+}
+
+}  // namespace skydia::bench
+
+#endif  // SKYDIA_BENCH_BENCH_COMMON_H_

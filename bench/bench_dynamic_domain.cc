@@ -1,0 +1,57 @@
+// Experiment fig13-dynamic-s: dynamic-diagram construction time vs domain
+// size s at fixed n = 64. Shrinking s makes bisector lines coincide, which
+// bounds the subcell count by min((2s)^2, n^4) — the dominating cost driver
+// for every dynamic algorithm (§V complexity analyses).
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "src/core/dynamic_baseline.h"
+#include "src/core/dynamic_scanning.h"
+#include "src/core/dynamic_subset.h"
+
+namespace skydia::bench {
+namespace {
+
+constexpr int64_t kN = 64;
+
+void DomainArgs(benchmark::internal::Benchmark* b) {
+  for (int64_t s = 32; s <= 512; s *= 2) {
+    b->Args({s});
+  }
+  b->ArgNames({"s"})->Unit(benchmark::kMillisecond)->Iterations(1);
+}
+
+void BM_DynamicDomainBaseline(benchmark::State& state) {
+  const Dataset ds =
+      MakeDataset(kN, state.range(0), Distribution::kIndependent);
+  for (auto _ : state) {
+    const SubcellDiagram diagram = BuildDynamicBaseline(ds);
+    benchmark::DoNotOptimize(diagram.SubcellSkyline(0, 0).data());
+  }
+}
+BENCHMARK(BM_DynamicDomainBaseline)->Apply(DomainArgs);
+
+void BM_DynamicDomainSubset(benchmark::State& state) {
+  const Dataset ds =
+      MakeDataset(kN, state.range(0), Distribution::kIndependent);
+  for (auto _ : state) {
+    const SubcellDiagram diagram = BuildDynamicSubset(ds);
+    benchmark::DoNotOptimize(diagram.SubcellSkyline(0, 0).data());
+  }
+}
+BENCHMARK(BM_DynamicDomainSubset)->Apply(DomainArgs);
+
+void BM_DynamicDomainScanning(benchmark::State& state) {
+  const Dataset ds =
+      MakeDataset(kN, state.range(0), Distribution::kIndependent);
+  for (auto _ : state) {
+    const SubcellDiagram diagram = BuildDynamicScanning(ds);
+    benchmark::DoNotOptimize(diagram.SubcellSkyline(0, 0).data());
+  }
+}
+BENCHMARK(BM_DynamicDomainScanning)->Apply(DomainArgs);
+
+}  // namespace
+}  // namespace skydia::bench
+
+BENCHMARK_MAIN();

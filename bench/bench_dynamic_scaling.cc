@@ -1,0 +1,105 @@
+// Experiment fig12-dynamic-n: construction time of the three dynamic
+// skyline-diagram algorithms vs n at a limited domain (s = 512), one series
+// per distribution.
+//
+// Expected shape (paper §VI): baseline worst (O(n) skyline per subcell);
+// subset much faster (per-subcell work bounded by the global result size);
+// scanning fastest (incremental candidates only).
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "src/core/dynamic_baseline.h"
+#include "src/core/dynamic_scanning.h"
+#include "src/core/dynamic_subset.h"
+
+namespace skydia::bench {
+namespace {
+
+constexpr int64_t kDomain = 512;
+
+void DynamicArgs(benchmark::internal::Benchmark* b, int64_t max_n) {
+  for (int64_t dist = 0; dist < 3; ++dist) {
+    for (int64_t n = 16; n <= max_n; n *= 2) {
+      b->Args({dist, n});
+    }
+  }
+  b->ArgNames({"dist", "n"})->Unit(benchmark::kMillisecond)->Iterations(1);
+}
+
+void BM_DynamicBaseline(benchmark::State& state) {
+  const Dataset ds = MakeDataset(state.range(1), kDomain,
+                                 DistributionFromIndex(state.range(0)));
+  for (auto _ : state) {
+    const SubcellDiagram diagram = BuildDynamicBaseline(ds);
+    benchmark::DoNotOptimize(diagram.SubcellSkyline(0, 0).data());
+  }
+  state.SetLabel(DistributionName(DistributionFromIndex(state.range(0))));
+}
+BENCHMARK(BM_DynamicBaseline)->Apply([](auto* b) { DynamicArgs(b, 64); });
+
+void BM_DynamicSubset(benchmark::State& state) {
+  const Dataset ds = MakeDataset(state.range(1), kDomain,
+                                 DistributionFromIndex(state.range(0)));
+  for (auto _ : state) {
+    const SubcellDiagram diagram = BuildDynamicSubset(ds);
+    benchmark::DoNotOptimize(diagram.SubcellSkyline(0, 0).data());
+  }
+  state.SetLabel(DistributionName(DistributionFromIndex(state.range(0))));
+}
+BENCHMARK(BM_DynamicSubset)->Apply([](auto* b) { DynamicArgs(b, 128); });
+
+void BM_DynamicScanning(benchmark::State& state) {
+  const Dataset ds = MakeDataset(state.range(1), kDomain,
+                                 DistributionFromIndex(state.range(0)));
+  for (auto _ : state) {
+    const SubcellDiagram diagram = BuildDynamicScanning(ds);
+    benchmark::DoNotOptimize(diagram.SubcellSkyline(0, 0).data());
+  }
+  state.SetLabel(DistributionName(DistributionFromIndex(state.range(0))));
+}
+BENCHMARK(BM_DynamicScanning)->Apply([](auto* b) { DynamicArgs(b, 128); });
+
+// Unlimited-domain regime (s = 2^16): bisector lines rarely coincide, so a
+// line has O(1) contributors and the paper's ordering emerges — scanning
+// fastest, baseline worst. On the limited domain above, coincident lines
+// carry many contributors and scanning loses its edge; EXPERIMENTS.md
+// discusses the two regimes.
+void UnlimitedArgs(benchmark::internal::Benchmark* b) {
+  for (const int64_t n : {32, 48, 64, 80}) b->Args({n});
+  b->ArgNames({"n"})->Unit(benchmark::kMillisecond)->Iterations(1);
+}
+
+void BM_DynamicBaselineUnlimited(benchmark::State& state) {
+  const Dataset ds =
+      MakeDataset(state.range(0), 1 << 16, Distribution::kIndependent);
+  for (auto _ : state) {
+    const SubcellDiagram diagram = BuildDynamicBaseline(ds);
+    benchmark::DoNotOptimize(diagram.SubcellSkyline(0, 0).data());
+  }
+}
+BENCHMARK(BM_DynamicBaselineUnlimited)->Apply(UnlimitedArgs);
+
+void BM_DynamicSubsetUnlimited(benchmark::State& state) {
+  const Dataset ds =
+      MakeDataset(state.range(0), 1 << 16, Distribution::kIndependent);
+  for (auto _ : state) {
+    const SubcellDiagram diagram = BuildDynamicSubset(ds);
+    benchmark::DoNotOptimize(diagram.SubcellSkyline(0, 0).data());
+  }
+}
+BENCHMARK(BM_DynamicSubsetUnlimited)->Apply(UnlimitedArgs);
+
+void BM_DynamicScanningUnlimited(benchmark::State& state) {
+  const Dataset ds =
+      MakeDataset(state.range(0), 1 << 16, Distribution::kIndependent);
+  for (auto _ : state) {
+    const SubcellDiagram diagram = BuildDynamicScanning(ds);
+    benchmark::DoNotOptimize(diagram.SubcellSkyline(0, 0).data());
+  }
+}
+BENCHMARK(BM_DynamicScanningUnlimited)->Apply(UnlimitedArgs);
+
+}  // namespace
+}  // namespace skydia::bench
+
+BENCHMARK_MAIN();

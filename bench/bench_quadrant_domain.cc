@@ -1,0 +1,74 @@
+// Experiment fig11-quadrant-s: construction time vs attribute domain size s
+// at fixed n. A small domain collapses grid lines (coincident coordinates),
+// bounding the cell count by min(s^2, n^2) — all cell-based algorithms should
+// get *faster* as s shrinks, the limited-domain effect of §IV.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "src/core/quadrant_baseline.h"
+#include "src/core/quadrant_dsg.h"
+#include "src/core/quadrant_scanning.h"
+#include "src/core/quadrant_sweeping.h"
+
+namespace skydia::bench {
+namespace {
+
+constexpr int64_t kN = 1024;
+
+void DomainArgs(benchmark::internal::Benchmark* b) {
+  for (int64_t s = 64; s <= 4096; s *= 4) {
+    b->Args({s});
+  }
+  b->ArgNames({"s"})->Unit(benchmark::kMillisecond)->Iterations(1);
+}
+
+void BM_DomainBaseline(benchmark::State& state) {
+  const Dataset ds =
+      MakeDataset(kN, state.range(0), Distribution::kIndependent);
+  for (auto _ : state) {
+    const CellDiagram diagram = BuildQuadrantBaseline(ds);
+    benchmark::DoNotOptimize(diagram.CellSkyline(0, 0).data());
+  }
+}
+BENCHMARK(BM_DomainBaseline)->Apply(DomainArgs);
+
+void BM_DomainDsg(benchmark::State& state) {
+  const Dataset ds =
+      MakeDataset(kN, state.range(0), Distribution::kIndependent);
+  for (auto _ : state) {
+    const CellDiagram diagram = BuildQuadrantDsg(ds);
+    benchmark::DoNotOptimize(diagram.CellSkyline(0, 0).data());
+  }
+}
+BENCHMARK(BM_DomainDsg)->Apply(DomainArgs);
+
+void BM_DomainScanning(benchmark::State& state) {
+  const Dataset ds =
+      MakeDataset(kN, state.range(0), Distribution::kIndependent);
+  for (auto _ : state) {
+    const CellDiagram diagram = BuildQuadrantScanning(ds);
+    benchmark::DoNotOptimize(diagram.CellSkyline(0, 0).data());
+  }
+}
+BENCHMARK(BM_DomainScanning)->Apply(DomainArgs);
+
+void BM_DomainSweeping(benchmark::State& state) {
+  // The vertex walk needs distinct coordinates, hence s >= n.
+  if (state.range(0) < kN) {
+    state.SkipWithError("sweeping needs s >= n for distinct coordinates");
+    return;
+  }
+  const Dataset ds =
+      MakeDistinctDataset(kN, state.range(0), Distribution::kIndependent);
+  for (auto _ : state) {
+    const auto diagram = BuildQuadrantSweeping(ds);
+    SKYDIA_CHECK(diagram.ok());
+    benchmark::DoNotOptimize(diagram->polyominoes.size());
+  }
+}
+BENCHMARK(BM_DomainSweeping)->Apply(DomainArgs);
+
+}  // namespace
+}  // namespace skydia::bench
+
+BENCHMARK_MAIN();

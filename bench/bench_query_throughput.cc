@@ -1,0 +1,88 @@
+// Experiment tab3-query: the payoff of precomputation. Answering a skyline
+// query through the diagram is a point-location lookup; computing it from
+// scratch is an O(n log n) scan. This is the paper's core motivation — the
+// skyline counterpart of answering kNN via a Voronoi diagram.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "src/core/diagram.h"
+#include "src/datagen/workload.h"
+#include "src/skyline/query.h"
+
+namespace skydia::bench {
+namespace {
+
+constexpr size_t kQueries = 4096;
+
+void QueryArgs(benchmark::internal::Benchmark* b) {
+  for (int64_t n = 256; n <= 4096; n *= 4) b->Args({n});
+  b->ArgNames({"n"})->Unit(benchmark::kMicrosecond);
+}
+
+void BM_QueryViaQuadrantDiagram(benchmark::State& state) {
+  const Dataset ds =
+      MakeDataset(state.range(0), 1 << 16, Distribution::kIndependent);
+  auto diagram = SkylineDiagram::Build(
+      MakeDataset(state.range(0), 1 << 16, Distribution::kIndependent),
+      SkylineQueryType::kQuadrant);
+  SKYDIA_CHECK(diagram.ok());
+  const auto queries = GenerateQueries(ds, kQueries, kBenchSeed);
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto result = diagram->Query(queries[i++ % kQueries]);
+    benchmark::DoNotOptimize(result.data());
+    benchmark::DoNotOptimize(result.size());
+  }
+}
+BENCHMARK(BM_QueryViaQuadrantDiagram)->Apply(QueryArgs);
+
+void BM_QueryFromScratch(benchmark::State& state) {
+  const Dataset ds =
+      MakeDataset(state.range(0), 1 << 16, Distribution::kIndependent);
+  const auto queries = GenerateQueries(ds, kQueries, kBenchSeed);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        FirstQuadrantSkyline(ds, queries[i++ % kQueries]));
+  }
+}
+BENCHMARK(BM_QueryFromScratch)->Apply(QueryArgs);
+
+void BM_DynamicQueryViaDiagram(benchmark::State& state) {
+  auto diagram = SkylineDiagram::Build(
+      MakeDataset(state.range(0), 512, Distribution::kIndependent),
+      SkylineQueryType::kDynamic);
+  SKYDIA_CHECK(diagram.ok());
+  const auto queries =
+      GenerateQueries(diagram->dataset(), kQueries, kBenchSeed);
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto result = diagram->Query(queries[i++ % kQueries]);
+    benchmark::DoNotOptimize(result.data());
+  }
+}
+BENCHMARK(BM_DynamicQueryViaDiagram)
+    ->Args({64})
+    ->Args({128})
+    ->ArgNames({"n"})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_DynamicQueryFromScratch(benchmark::State& state) {
+  const Dataset ds =
+      MakeDataset(state.range(0), 512, Distribution::kIndependent);
+  const auto queries = GenerateQueries(ds, kQueries, kBenchSeed);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DynamicSkyline(ds, queries[i++ % kQueries]));
+  }
+}
+BENCHMARK(BM_DynamicQueryFromScratch)
+    ->Args({64})
+    ->Args({128})
+    ->ArgNames({"n"})
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace skydia::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,135 @@
+// Experiment tab2-realdata: all seven diagram algorithms on the real-data
+// workloads — the paper's 11-hotel running example and the NBA-like
+// limited-domain stand-in (see DESIGN.md "Substitutions"). Real attribute
+// tables are tie-heavy, which is exactly the min(s, n) regime the
+// limited-domain analyses describe.
+#include <filesystem>
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "src/core/dynamic_baseline.h"
+#include "src/core/dynamic_scanning.h"
+#include "src/core/dynamic_subset.h"
+#include "src/core/quadrant_baseline.h"
+#include "src/core/quadrant_dsg.h"
+#include "src/core/quadrant_scanning.h"
+#include "src/core/quadrant_sweeping.h"
+#include "src/datagen/real_data.h"
+
+namespace skydia::bench {
+namespace {
+
+const Dataset& Hotels() {
+  static const Dataset* hotels = new Dataset(HotelExample());
+  return *hotels;
+}
+
+const Dataset& NbaLike() {
+  static const Dataset* nba = [] {
+    const std::string path =
+        (std::filesystem::temp_directory_path() / "skydia_bench_nba.csv")
+            .string();
+    SKYDIA_CHECK(WriteNbaLikeCsv(path, 512, kBenchSeed).ok());
+    auto ds = LoadDatasetCsv(path, "points_rank", "rebounds_rank");
+    SKYDIA_CHECK(ds.ok());
+    return new Dataset(std::move(ds).value());
+  }();
+  return *nba;
+}
+
+const Dataset& Pick(int64_t which) { return which == 0 ? Hotels() : NbaLike(); }
+
+const char* PickName(int64_t which) { return which == 0 ? "hotels" : "nba"; }
+
+void RealDataArgs(benchmark::internal::Benchmark* b) {
+  b->Arg(0)->Arg(1)->ArgNames({"dataset"})->Unit(benchmark::kMillisecond);
+}
+
+void BM_RealQuadrantBaseline(benchmark::State& state) {
+  const Dataset& ds = Pick(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BuildQuadrantBaseline(ds).CellSkyline(0, 0).data());
+  }
+  state.SetLabel(PickName(state.range(0)));
+}
+BENCHMARK(BM_RealQuadrantBaseline)->Apply(RealDataArgs);
+
+void BM_RealQuadrantDsg(benchmark::State& state) {
+  const Dataset& ds = Pick(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BuildQuadrantDsg(ds).CellSkyline(0, 0).data());
+  }
+  state.SetLabel(PickName(state.range(0)));
+}
+BENCHMARK(BM_RealQuadrantDsg)->Apply(RealDataArgs);
+
+void BM_RealQuadrantScanning(benchmark::State& state) {
+  const Dataset& ds = Pick(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        BuildQuadrantScanning(ds).CellSkyline(0, 0).data());
+  }
+  state.SetLabel(PickName(state.range(0)));
+}
+BENCHMARK(BM_RealQuadrantScanning)->Apply(RealDataArgs);
+
+void BM_RealQuadrantSweeping(benchmark::State& state) {
+  const Dataset& ds = Pick(state.range(0));
+  if (!ds.HasDistinctCoordinates()) {
+    // Tie-heavy tables use the tie-tolerant cell labelling instead.
+    const CellGrid grid(ds);
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(
+          BuildSweepingCellLabels(ds, grid).num_polyominoes);
+    }
+    state.SetLabel(std::string(PickName(state.range(0))) + "/cell-labels");
+    return;
+  }
+  for (auto _ : state) {
+    const auto diagram = BuildQuadrantSweeping(ds);
+    SKYDIA_CHECK(diagram.ok());
+    benchmark::DoNotOptimize(diagram->polyominoes.size());
+  }
+  state.SetLabel(PickName(state.range(0)));
+}
+BENCHMARK(BM_RealQuadrantSweeping)->Apply(RealDataArgs);
+
+void BM_RealDynamicBaseline(benchmark::State& state) {
+  const Dataset& ds = Pick(state.range(0));
+  if (state.range(0) == 1) {
+    state.SkipWithError("O(n^5) baseline is infeasible at n = 512");
+    return;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        BuildDynamicBaseline(ds).SubcellSkyline(0, 0).data());
+  }
+  state.SetLabel(PickName(state.range(0)));
+}
+BENCHMARK(BM_RealDynamicBaseline)->Apply(RealDataArgs);
+
+void BM_RealDynamicSubset(benchmark::State& state) {
+  const Dataset& ds = Pick(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        BuildDynamicSubset(ds).SubcellSkyline(0, 0).data());
+  }
+  state.SetLabel(PickName(state.range(0)));
+}
+BENCHMARK(BM_RealDynamicSubset)->Apply(RealDataArgs)->Iterations(1);
+
+void BM_RealDynamicScanning(benchmark::State& state) {
+  const Dataset& ds = Pick(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        BuildDynamicScanning(ds).SubcellSkyline(0, 0).data());
+  }
+  state.SetLabel(PickName(state.range(0)));
+}
+BENCHMARK(BM_RealDynamicScanning)->Apply(RealDataArgs)->Iterations(1);
+
+}  // namespace
+}  // namespace skydia::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,57 @@
+// Experiment tab4-substrate: the classic skyline algorithms underpinning all
+// diagram baselines (sort-scan, BNL, SFS, divide & conquer) across the three
+// canonical distributions. Anchors the substrate costs every other number
+// builds on.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "src/skyline/algorithms.h"
+
+namespace skydia::bench {
+namespace {
+
+void SkylineArgs(benchmark::internal::Benchmark* b, int64_t max_n) {
+  for (int64_t dist = 0; dist < 3; ++dist) {
+    for (int64_t n = 1024; n <= max_n; n *= 8) {
+      b->Args({dist, n});
+    }
+  }
+  b->ArgNames({"dist", "n"})->Unit(benchmark::kMillisecond);
+}
+
+void RunSkyline(benchmark::State& state, SkylineAlgorithm algorithm,
+                int64_t n) {
+  const Dataset ds =
+      MakeDataset(n, 1 << 20, DistributionFromIndex(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeSkyline2d(ds, algorithm));
+  }
+  state.SetLabel(DistributionName(DistributionFromIndex(state.range(0))));
+}
+
+void BM_SkylineSortScan(benchmark::State& state) {
+  RunSkyline(state, SkylineAlgorithm::kSortScan, state.range(1));
+}
+BENCHMARK(BM_SkylineSortScan)->Apply([](auto* b) { SkylineArgs(b, 65536); });
+
+void BM_SkylineBnl(benchmark::State& state) {
+  RunSkyline(state, SkylineAlgorithm::kBlockNestedLoop, state.range(1));
+}
+BENCHMARK(BM_SkylineBnl)->Apply([](auto* b) { SkylineArgs(b, 65536); });
+
+void BM_SkylineSfs(benchmark::State& state) {
+  RunSkyline(state, SkylineAlgorithm::kSortFilter, state.range(1));
+}
+BENCHMARK(BM_SkylineSfs)->Apply([](auto* b) { SkylineArgs(b, 65536); });
+
+void BM_SkylineDivideConquer(benchmark::State& state) {
+  RunSkyline(state, SkylineAlgorithm::kDivideConquer, state.range(1));
+}
+BENCHMARK(BM_SkylineDivideConquer)->Apply([](auto* b) {
+  SkylineArgs(b, 65536);
+});
+
+}  // namespace
+}  // namespace skydia::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,103 @@
+#include "src/apps/authentication.h"
+
+#include <cstring>
+
+namespace skydia {
+
+namespace {
+
+Sha256Digest CombineDigests(const Sha256Digest& left,
+                            const Sha256Digest& right) {
+  Sha256 h;
+  h.Update(left.data(), left.size());
+  h.Update(right.data(), right.size());
+  return h.Finish();
+}
+
+uint64_t NextPowerOfTwo(uint64_t v) {
+  uint64_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+Sha256Digest AuthenticatedDiagram::LeafDigest(uint64_t cell_index,
+                                              std::span<const PointId> result) {
+  Sha256 h;
+  uint8_t buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<uint8_t>(cell_index >> (8 * i));
+  h.Update(buf, 8);
+  for (PointId id : result) {
+    uint8_t idb[4];
+    for (int i = 0; i < 4; ++i) idb[i] = static_cast<uint8_t>(id >> (8 * i));
+    h.Update(idb, 4);
+  }
+  return h.Finish();
+}
+
+AuthenticatedDiagram::AuthenticatedDiagram(const CellDiagram& diagram)
+    : diagram_(diagram) {
+  const CellGrid& grid = diagram.grid();
+  num_leaves_ = grid.num_cells();
+  const uint64_t padded = NextPowerOfTwo(std::max<uint64_t>(num_leaves_, 1));
+
+  std::vector<Sha256Digest> leaves(padded);
+  for (uint64_t i = 0; i < padded; ++i) {
+    if (i < num_leaves_) {
+      const auto cx = static_cast<uint32_t>(i % grid.num_columns());
+      const auto cy = static_cast<uint32_t>(i / grid.num_columns());
+      leaves[i] = LeafDigest(i, diagram.CellSkyline(cx, cy));
+    } else {
+      leaves[i] = Sha256::Hash("skydia:padding-leaf");
+    }
+  }
+  levels_.push_back(std::move(leaves));
+  while (levels_.back().size() > 1) {
+    const std::vector<Sha256Digest>& below = levels_.back();
+    std::vector<Sha256Digest> level(below.size() / 2);
+    for (size_t i = 0; i < level.size(); ++i) {
+      level[i] = CombineDigests(below[2 * i], below[2 * i + 1]);
+    }
+    levels_.push_back(std::move(level));
+  }
+  root_ = levels_.back()[0];
+}
+
+SkylineProof AuthenticatedDiagram::Prove(const Point2D& q) const {
+  const CellGrid& grid = diagram_.grid();
+  const uint32_t cx = grid.ColumnOf(q.x);
+  const uint32_t cy = grid.RowOf(q.y);
+  SkylineProof proof;
+  proof.cell_index = grid.CellIndex(cx, cy);
+  const auto result = diagram_.CellSkyline(cx, cy);
+  proof.result.assign(result.begin(), result.end());
+  uint64_t idx = proof.cell_index;
+  for (size_t level = 0; level + 1 < levels_.size(); ++level) {
+    proof.path.push_back(levels_[level][idx ^ 1]);
+    idx >>= 1;
+  }
+  return proof;
+}
+
+bool AuthenticatedDiagram::Verify(const Sha256Digest& root,
+                                  uint64_t num_leaves,
+                                  const SkylineProof& proof) {
+  if (proof.cell_index >= num_leaves) return false;
+  const uint64_t padded = NextPowerOfTwo(std::max<uint64_t>(num_leaves, 1));
+  // Path length must match the tree height exactly.
+  uint64_t expect_height = 0;
+  for (uint64_t v = padded; v > 1; v >>= 1) ++expect_height;
+  if (proof.path.size() != expect_height) return false;
+
+  Sha256Digest digest = LeafDigest(proof.cell_index, proof.result);
+  uint64_t idx = proof.cell_index;
+  for (const Sha256Digest& sibling : proof.path) {
+    digest = (idx & 1) ? CombineDigests(sibling, digest)
+                       : CombineDigests(digest, sibling);
+    idx >>= 1;
+  }
+  return std::memcmp(digest.data(), root.data(), digest.size()) == 0;
+}
+
+}  // namespace skydia

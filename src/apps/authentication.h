@@ -1,0 +1,60 @@
+// Authenticated outsourced skyline queries (application 2 of §I), the
+// skyline-diagram analogue of Voronoi-based kNN authentication: the data
+// owner builds a Merkle tree over the diagram's cells and publishes the root
+// digest; an untrusted server answers queries with the cell result plus a
+// Merkle path; clients verify the path against the root, so a cheating
+// server cannot forge or truncate results.
+#ifndef SKYDIA_SRC_APPS_AUTHENTICATION_H_
+#define SKYDIA_SRC_APPS_AUTHENTICATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/sha256.h"
+#include "src/common/status.h"
+#include "src/core/skyline_cell.h"
+#include "src/geometry/point.h"
+
+namespace skydia {
+
+/// A verification object accompanying one query answer.
+struct SkylineProof {
+  uint64_t cell_index = 0;  // row-major cell
+  std::vector<PointId> result;
+  /// Sibling digests from leaf to root.
+  std::vector<Sha256Digest> path;
+};
+
+/// Merkle commitment over all cells of a CellDiagram.
+class AuthenticatedDiagram {
+ public:
+  /// Builds the tree; keeps a reference to `diagram` (must outlive this).
+  explicit AuthenticatedDiagram(const CellDiagram& diagram);
+
+  /// The public root digest.
+  const Sha256Digest& root() const { return root_; }
+  uint64_t num_leaves() const { return num_leaves_; }
+
+  /// Server side: answer + proof for query point q.
+  SkylineProof Prove(const Point2D& q) const;
+
+  /// Client side: checks a proof against a trusted root digest. Static so a
+  /// client needs only the root, not the diagram.
+  static bool Verify(const Sha256Digest& root, uint64_t num_leaves,
+                     const SkylineProof& proof);
+
+ private:
+  static Sha256Digest LeafDigest(uint64_t cell_index,
+                                 std::span<const PointId> result);
+
+  const CellDiagram& diagram_;
+  uint64_t num_leaves_ = 0;
+  /// levels_[0] = leaf digests (padded to a power of two); levels_.back() has
+  /// a single root entry.
+  std::vector<std::vector<Sha256Digest>> levels_;
+  Sha256Digest root_;
+};
+
+}  // namespace skydia
+
+#endif  // SKYDIA_SRC_APPS_AUTHENTICATION_H_

@@ -1,0 +1,104 @@
+#include "src/apps/pir.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace skydia {
+
+PirDatabase BuildPirDatabase(const CellDiagram& diagram) {
+  const CellGrid& grid = diagram.grid();
+  PirDatabase db;
+  db.num_records = grid.num_cells();
+
+  uint64_t max_ids = 0;
+  for (uint32_t cy = 0; cy < grid.num_rows(); ++cy) {
+    for (uint32_t cx = 0; cx < grid.num_columns(); ++cx) {
+      max_ids = std::max<uint64_t>(max_ids, diagram.CellSkyline(cx, cy).size());
+    }
+  }
+  db.record_bytes = 4 + max_ids * 4;  // u32 count + padded u32 ids
+  db.data.assign(db.num_records * db.record_bytes, 0);
+
+  for (uint32_t cy = 0; cy < grid.num_rows(); ++cy) {
+    for (uint32_t cx = 0; cx < grid.num_columns(); ++cx) {
+      const uint64_t rec = grid.CellIndex(cx, cy);
+      uint8_t* out = db.data.data() + rec * db.record_bytes;
+      const auto sky = diagram.CellSkyline(cx, cy);
+      const auto count = static_cast<uint32_t>(sky.size());
+      for (int b = 0; b < 4; ++b) out[b] = static_cast<uint8_t>(count >> (8 * b));
+      for (size_t i = 0; i < sky.size(); ++i) {
+        for (int b = 0; b < 4; ++b) {
+          out[4 + 4 * i + b] = static_cast<uint8_t>(sky[i] >> (8 * b));
+        }
+      }
+    }
+  }
+  return db;
+}
+
+std::vector<PointId> DecodePirRecord(const uint8_t* record,
+                                     uint64_t record_bytes) {
+  uint32_t count = 0;
+  for (int b = 0; b < 4; ++b) count |= uint32_t{record[b]} << (8 * b);
+  SKYDIA_CHECK_LE(4 + uint64_t{count} * 4, record_bytes);
+  std::vector<PointId> ids(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t v = 0;
+    for (int b = 0; b < 4; ++b) v |= uint32_t{record[4 + 4 * i + b]} << (8 * b);
+    ids[i] = v;
+  }
+  return ids;
+}
+
+std::vector<uint8_t> PirServer::Answer(
+    const std::vector<uint8_t>& selection) const {
+  SKYDIA_CHECK_EQ(selection.size(), database_->num_records);
+  std::vector<uint8_t> answer(database_->record_bytes, 0);
+  for (uint64_t i = 0; i < database_->num_records; ++i) {
+    if (!selection[i]) continue;
+    const uint8_t* rec = database_->record(i);
+    for (uint64_t b = 0; b < database_->record_bytes; ++b) answer[b] ^= rec[b];
+  }
+  return answer;
+}
+
+PirClient::Queries PirClient::CreateQueries(uint64_t index, Rng* rng) const {
+  SKYDIA_CHECK_LT(index, num_records_);
+  Queries q;
+  q.to_server1.resize(num_records_);
+  for (auto& bit : q.to_server1) bit = static_cast<uint8_t>(rng->NextBounded(2));
+  q.to_server2 = q.to_server1;
+  q.to_server2[index] ^= 1;
+  return q;
+}
+
+StatusOr<std::vector<uint8_t>> PirClient::Decode(
+    const std::vector<uint8_t>& answer1,
+    const std::vector<uint8_t>& answer2) const {
+  if (answer1.size() != record_bytes_ || answer2.size() != record_bytes_) {
+    return Status::InvalidArgument("PIR answers have the wrong size");
+  }
+  std::vector<uint8_t> record(record_bytes_);
+  for (uint64_t b = 0; b < record_bytes_; ++b) {
+    record[b] = answer1[b] ^ answer2[b];
+  }
+  return record;
+}
+
+StatusOr<std::vector<PointId>> PrivateSkylineQuery(const CellDiagram& diagram,
+                                                   const PirDatabase& database,
+                                                   const PirServer& server1,
+                                                   const PirServer& server2,
+                                                   const Point2D& q, Rng* rng) {
+  const CellGrid& grid = diagram.grid();
+  const uint64_t index = grid.CellIndex(grid.ColumnOf(q.x), grid.RowOf(q.y));
+  PirClient client(database.num_records, database.record_bytes);
+  const PirClient::Queries queries = client.CreateQueries(index, rng);
+  StatusOr<std::vector<uint8_t>> record = client.Decode(
+      server1.Answer(queries.to_server1), server2.Answer(queries.to_server2));
+  if (!record.ok()) return record.status();
+  return DecodePirRecord(record->data(), database.record_bytes);
+}
+
+}  // namespace skydia

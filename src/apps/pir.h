@@ -1,0 +1,85 @@
+// Private skyline queries via two-server XOR PIR (application 3 of §I),
+// mirroring the Voronoi-based private kNN construction: the diagram's cell
+// table is replicated on two non-colluding servers; the client retrieves the
+// cell covering its query point without either server learning which cell —
+// hence which query location — was requested.
+//
+// Protocol (classic Chor et al. two-server scheme): the client draws a
+// uniformly random subset S1 of record indices and sets S2 = S1 xor {i}. Each
+// server returns the XOR of its selected records; the XOR of the two answers
+// is record i. Each individual subset is uniformly random, so a single
+// server's view is independent of i.
+#ifndef SKYDIA_SRC_APPS_PIR_H_
+#define SKYDIA_SRC_APPS_PIR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/common/status.h"
+#include "src/core/skyline_cell.h"
+#include "src/geometry/point.h"
+
+namespace skydia {
+
+/// Fixed-size record encoding of one cell's result (id count + padded ids).
+struct PirDatabase {
+  uint64_t num_records = 0;
+  uint64_t record_bytes = 0;
+  std::vector<uint8_t> data;  // num_records * record_bytes
+
+  const uint8_t* record(uint64_t i) const { return data.data() + i * record_bytes; }
+};
+
+/// Serializes a CellDiagram's cell table into the PIR record format.
+PirDatabase BuildPirDatabase(const CellDiagram& diagram);
+
+/// Decodes one record back into a result-id list.
+std::vector<PointId> DecodePirRecord(const uint8_t* record,
+                                     uint64_t record_bytes);
+
+/// One of the two non-colluding servers.
+class PirServer {
+ public:
+  explicit PirServer(const PirDatabase* database) : database_(database) {}
+
+  /// XORs the records selected by `selection` (one bit per record).
+  std::vector<uint8_t> Answer(const std::vector<uint8_t>& selection) const;
+
+ private:
+  const PirDatabase* database_;
+};
+
+/// Client-side query state for one retrieval.
+class PirClient {
+ public:
+  PirClient(uint64_t num_records, uint64_t record_bytes)
+      : num_records_(num_records), record_bytes_(record_bytes) {}
+
+  /// Builds the two selection vectors for retrieving record `index`.
+  struct Queries {
+    std::vector<uint8_t> to_server1;
+    std::vector<uint8_t> to_server2;
+  };
+  Queries CreateQueries(uint64_t index, Rng* rng) const;
+
+  /// Combines the two answers into the requested record.
+  StatusOr<std::vector<uint8_t>> Decode(const std::vector<uint8_t>& answer1,
+                                        const std::vector<uint8_t>& answer2) const;
+
+ private:
+  uint64_t num_records_;
+  uint64_t record_bytes_;
+};
+
+/// End-to-end convenience: privately retrieves the skyline of the cell
+/// containing `q` from two PirServer replicas.
+StatusOr<std::vector<PointId>> PrivateSkylineQuery(const CellDiagram& diagram,
+                                                   const PirDatabase& database,
+                                                   const PirServer& server1,
+                                                   const PirServer& server2,
+                                                   const Point2D& q, Rng* rng);
+
+}  // namespace skydia
+
+#endif  // SKYDIA_SRC_APPS_PIR_H_

@@ -1,0 +1,138 @@
+#include "src/apps/reverse_skyline.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <numeric>
+
+#include "src/common/hash.h"
+
+namespace skydia {
+
+namespace {
+
+bool DynamicallyDominatesAround(const Point2D& center, const Point2D& a,
+                                const Point2D& b) {
+  const int64_t ax = std::llabs(a.x - center.x);
+  const int64_t ay = std::llabs(a.y - center.y);
+  const int64_t bx = std::llabs(b.x - center.x);
+  const int64_t by = std::llabs(b.y - center.y);
+  return ax <= bx && ay <= by && (ax < bx || ay < by);
+}
+
+uint64_t CoordKey(int64_t x, int64_t y) {
+  return HashCombine(static_cast<uint64_t>(x) * 0x9E3779B97F4A7C15ull,
+                     static_cast<uint64_t>(y));
+}
+
+}  // namespace
+
+std::vector<PointId> ReverseSkylineBruteForce(const Dataset& dataset,
+                                              const Point2D& q) {
+  std::vector<PointId> result;
+  for (PointId p = 0; p < dataset.size(); ++p) {
+    const Point2D& center = dataset.point(p);
+    bool dominated = false;
+    for (PointId other = 0; other < dataset.size(); ++other) {
+      if (other == p) continue;
+      if (DynamicallyDominatesAround(center, dataset.point(other), q)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) result.push_back(p);
+  }
+  return result;
+}
+
+ReverseSkylineIndex::ReverseSkylineIndex(const Dataset& dataset)
+    : dataset_(dataset) {
+  const size_t n = dataset.size();
+  std::vector<PointId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](PointId a, PointId b) {
+    return dataset.point(a).x < dataset.point(b).x;
+  });
+  sorted_x_.reserve(n);
+  y_by_x_.reserve(n);
+  for (PointId id : order) {
+    sorted_x_.push_back(dataset.point(id).x);
+    y_by_x_.push_back(dataset.point(id).y);
+    ++exact_[CoordKey(dataset.point(id).x, dataset.point(id).y)];
+  }
+  // Merge-sort tree: node 1 covers [0, n); children split halves; each node
+  // stores its range's y values sorted.
+  tree_.assign(4 * std::max<size_t>(n, 1), {});
+  if (n == 0) return;
+  auto build = [&](auto&& self, size_t node, size_t lo, size_t hi) -> void {
+    if (hi - lo == 1) {
+      tree_[node] = {y_by_x_[lo]};
+      return;
+    }
+    const size_t mid = (lo + hi) / 2;
+    self(self, 2 * node, lo, mid);
+    self(self, 2 * node + 1, mid, hi);
+    tree_[node].resize(hi - lo);
+    std::merge(tree_[2 * node].begin(), tree_[2 * node].end(),
+               tree_[2 * node + 1].begin(), tree_[2 * node + 1].end(),
+               tree_[node].begin());
+  };
+  build(build, 1, 0, n);
+}
+
+int64_t ReverseSkylineIndex::CountNode(size_t node, size_t lo, size_t hi,
+                                       size_t x_lo, size_t x_hi, int64_t y_lo,
+                                       int64_t y_hi) const {
+  if (x_hi <= lo || hi <= x_lo) return 0;
+  if (x_lo <= lo && hi <= x_hi) {
+    const std::vector<int64_t>& ys = tree_[node];
+    return std::upper_bound(ys.begin(), ys.end(), y_hi) -
+           std::lower_bound(ys.begin(), ys.end(), y_lo);
+  }
+  const size_t mid = (lo + hi) / 2;
+  return CountNode(2 * node, lo, mid, x_lo, x_hi, y_lo, y_hi) +
+         CountNode(2 * node + 1, mid, hi, x_lo, x_hi, y_lo, y_hi);
+}
+
+int64_t ReverseSkylineIndex::CountBox(int64_t x_lo, int64_t x_hi, int64_t y_lo,
+                                      int64_t y_hi) const {
+  if (sorted_x_.empty() || x_lo > x_hi || y_lo > y_hi) return 0;
+  const size_t lo = std::lower_bound(sorted_x_.begin(), sorted_x_.end(), x_lo) -
+                    sorted_x_.begin();
+  const size_t hi = std::upper_bound(sorted_x_.begin(), sorted_x_.end(), x_hi) -
+                    sorted_x_.begin();
+  if (lo >= hi) return 0;
+  return CountNode(1, 0, sorted_x_.size(), lo, hi, y_lo, y_hi);
+}
+
+int64_t ReverseSkylineIndex::CountAt(int64_t x, int64_t y) const {
+  const auto it = exact_.find(CoordKey(x, y));
+  return it == exact_.end() ? 0 : it->second;
+}
+
+std::vector<PointId> ReverseSkylineIndex::Query(const Point2D& q) const {
+  std::vector<PointId> result;
+  for (PointId p = 0; p < dataset_.size(); ++p) {
+    const Point2D& c = dataset_.point(p);
+    const int64_t dx = std::llabs(q.x - c.x);
+    const int64_t dy = std::llabs(q.y - c.y);
+    // Closed box minus exact-corner ties (no strict dimension) minus p
+    // itself; anything left dominates q around p.
+    const int64_t in_box =
+        CountBox(c.x - dx, c.x + dx, c.y - dy, c.y + dy);
+    int64_t corners = 0;
+    for (const int64_t cx : dx == 0 ? std::vector<int64_t>{c.x}
+                                    : std::vector<int64_t>{c.x - dx, c.x + dx}) {
+      for (const int64_t cy : dy == 0
+                                  ? std::vector<int64_t>{c.y}
+                                  : std::vector<int64_t>{c.y - dy, c.y + dy}) {
+        corners += CountAt(cx, cy);
+      }
+    }
+    const bool p_is_corner = (dx == 0 && dy == 0);
+    const int64_t dominators = in_box - corners - (p_is_corner ? 0 : 1);
+    if (dominators == 0) result.push_back(p);
+  }
+  return result;
+}
+
+}  // namespace skydia

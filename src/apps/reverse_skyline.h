@@ -1,0 +1,58 @@
+// Reverse skyline queries (application 1 of §I): the reverse skyline of a
+// query q is the set of points p whose *dynamic* skyline (with p as the
+// query point) contains q — equivalently, p is in RSL(q) iff no other point
+// p' satisfies |p'[i] - p[i]| <= |q[i] - p[i]| in every dimension with one
+// strict inequality.
+//
+// Besides the O(n^2) reference, ReverseSkylineIndex answers RSL queries with
+// an orthogonal range-counting structure (a merge-sort tree over the
+// x-sorted points): p is in RSL(q) iff the closed box centred at p with
+// half-extents |q - p| contains no competitor except corner ties. Build
+// O(n log n), query O(n log^2 n) — the precompute-then-lookup pattern the
+// paper advocates for skyline-diagram applications.
+#ifndef SKYDIA_SRC_APPS_REVERSE_SKYLINE_H_
+#define SKYDIA_SRC_APPS_REVERSE_SKYLINE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/geometry/dataset.h"
+#include "src/geometry/point.h"
+
+namespace skydia {
+
+/// Reference implementation, O(n^2). Returns ids sorted ascending.
+std::vector<PointId> ReverseSkylineBruteForce(const Dataset& dataset,
+                                              const Point2D& q);
+
+/// Precomputed index for reverse skyline queries.
+class ReverseSkylineIndex {
+ public:
+  /// Keeps a reference to `dataset`; it must outlive the index.
+  explicit ReverseSkylineIndex(const Dataset& dataset);
+
+  /// Returns RSL(q), ids sorted ascending.
+  std::vector<PointId> Query(const Point2D& q) const;
+
+  /// Number of points with x in [x_lo, x_hi] and y in [y_lo, y_hi]
+  /// (closed ranges). Exposed for testing.
+  int64_t CountBox(int64_t x_lo, int64_t x_hi, int64_t y_lo,
+                   int64_t y_hi) const;
+
+ private:
+  int64_t CountNode(size_t node, size_t lo, size_t hi, size_t x_lo,
+                    size_t x_hi, int64_t y_lo, int64_t y_hi) const;
+  /// Number of points exactly at (x, y).
+  int64_t CountAt(int64_t x, int64_t y) const;
+
+  const Dataset& dataset_;
+  std::vector<int64_t> sorted_x_;            // x of points, ascending
+  std::vector<int64_t> y_by_x_;              // y in the same order
+  std::vector<std::vector<int64_t>> tree_;   // merge-sort tree over y_by_x_
+  std::unordered_map<uint64_t, int64_t> exact_;
+};
+
+}  // namespace skydia
+
+#endif  // SKYDIA_SRC_APPS_REVERSE_SKYLINE_H_

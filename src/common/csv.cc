@@ -1,0 +1,131 @@
+#include "src/common/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace skydia {
+
+StatusOr<CsvDocument> ParseCsv(std::string_view text) {
+  CsvDocument doc;
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;
+  bool row_started = false;
+
+  auto end_field = [&] {
+    row.push_back(std::move(field));
+    field.clear();
+    field_started = false;
+  };
+  auto end_row = [&] {
+    end_field();
+    doc.rows.push_back(std::move(row));
+    row.clear();
+    row_started = false;
+  };
+
+  for (size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_quotes = true;
+        field_started = true;
+        row_started = true;
+        break;
+      case ',':
+        end_field();
+        row_started = true;
+        break;
+      case '\r':
+        break;  // tolerate CRLF
+      case '\n':
+        if (row_started || field_started || !row.empty()) {
+          end_row();
+        }
+        break;
+      default:
+        field.push_back(c);
+        field_started = true;
+        row_started = true;
+        break;
+    }
+  }
+  if (in_quotes) {
+    return Status::Corruption("unterminated quoted CSV field");
+  }
+  if (row_started || field_started || !row.empty()) {
+    end_row();
+  }
+  return doc;
+}
+
+StatusOr<CsvDocument> ReadCsvFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("cannot open CSV file: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseCsv(buffer.str());
+}
+
+namespace {
+
+bool NeedsQuoting(const std::string& field) {
+  return field.find_first_of(",\"\r\n") != std::string::npos;
+}
+
+void AppendField(std::string* out, const std::string& field) {
+  if (!NeedsQuoting(field)) {
+    *out += field;
+    return;
+  }
+  out->push_back('"');
+  for (char c : field) {
+    if (c == '"') out->push_back('"');
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+std::string WriteCsv(const CsvDocument& doc) {
+  std::string out;
+  for (const auto& row : doc.rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      AppendField(&out, row[i]);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+Status WriteCsvFile(const std::string& path, const CsvDocument& doc) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return Status::Internal("cannot open CSV file for writing: " + path);
+  }
+  out << WriteCsv(doc);
+  if (!out) {
+    return Status::Internal("short write to CSV file: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace skydia

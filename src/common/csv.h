@@ -1,0 +1,35 @@
+// Small CSV reader/writer for dataset files (real-data loaders, experiment
+// output). Supports quoted fields with embedded commas/quotes/newlines; does
+// not attempt full RFC 4180 edge cases beyond that.
+#ifndef SKYDIA_SRC_COMMON_CSV_H_
+#define SKYDIA_SRC_COMMON_CSV_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace skydia {
+
+/// A parsed CSV document: rows of string fields. Row 0 is the header when the
+/// file has one; this type does not interpret headers itself.
+struct CsvDocument {
+  std::vector<std::vector<std::string>> rows;
+};
+
+/// Parses CSV text. Returns Corruption on unterminated quotes.
+StatusOr<CsvDocument> ParseCsv(std::string_view text);
+
+/// Reads and parses a CSV file. Returns NotFound if unreadable.
+StatusOr<CsvDocument> ReadCsvFile(const std::string& path);
+
+/// Serializes rows to CSV text, quoting fields only when necessary.
+std::string WriteCsv(const CsvDocument& doc);
+
+/// Writes rows to a file. Returns Internal on I/O failure.
+Status WriteCsvFile(const std::string& path, const CsvDocument& doc);
+
+}  // namespace skydia
+
+#endif  // SKYDIA_SRC_COMMON_CSV_H_

@@ -1,0 +1,27 @@
+#include "src/common/hash.h"
+
+namespace skydia {
+
+uint64_t Fnv1a64(const void* data, size_t len) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= bytes[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+uint64_t Fnv1a64(std::string_view s) { return Fnv1a64(s.data(), s.size()); }
+
+uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  // 64-bit variant of boost::hash_combine with a stronger finalizer constant.
+  seed ^= value + 0x9E3779B97F4A7C15ull + (seed << 12) + (seed >> 4);
+  return seed;
+}
+
+uint64_t HashIds(const std::vector<uint32_t>& ids) {
+  return Fnv1a64(ids.data(), ids.size() * sizeof(uint32_t));
+}
+
+}  // namespace skydia

@@ -1,0 +1,27 @@
+// Non-cryptographic hashing helpers used for result-set interning and the
+// diagram structure statistics. For authenticated queries see sha256.h.
+#ifndef SKYDIA_SRC_COMMON_HASH_H_
+#define SKYDIA_SRC_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace skydia {
+
+/// 64-bit FNV-1a over a byte range.
+uint64_t Fnv1a64(const void* data, size_t len);
+
+/// 64-bit FNV-1a over a string.
+uint64_t Fnv1a64(std::string_view s);
+
+/// Order-dependent combination of two 64-bit hashes (boost-style mix).
+uint64_t HashCombine(uint64_t seed, uint64_t value);
+
+/// Hashes a vector of 32-bit ids (the canonical interned skyline-set form).
+uint64_t HashIds(const std::vector<uint32_t>& ids);
+
+}  // namespace skydia
+
+#endif  // SKYDIA_SRC_COMMON_HASH_H_

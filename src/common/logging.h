@@ -1,0 +1,78 @@
+// Minimal leveled logging and check macros.
+//
+// Library code uses SKYDIA_CHECK for invariants whose violation indicates a
+// bug (terminates with a message), and the LOG(level) stream for diagnostics.
+// Verbosity is controlled globally; benchmarks silence INFO by default.
+#ifndef SKYDIA_SRC_COMMON_LOGGING_H_
+#define SKYDIA_SRC_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace skydia {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the minimum level that is emitted (default: kInfo).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Accumulates one log line and emits it to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+/// Emits the message and aborts. Used by SKYDIA_CHECK.
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line, const char* condition);
+  [[noreturn]] ~FatalMessage();
+
+  template <typename T>
+  FatalMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace skydia
+
+#define SKYDIA_LOG(level)                                                 \
+  ::skydia::internal::LogMessage(::skydia::LogLevel::k##level, __FILE__, \
+                                 __LINE__)
+
+// Invariant check: always on (release builds included); diagram algorithms
+// are cheap enough that the branch cost is negligible next to correctness.
+#define SKYDIA_CHECK(condition)                                            \
+  (condition) ? (void)0                                                    \
+              : (void)::skydia::internal::FatalMessage(__FILE__, __LINE__, \
+                                                       #condition)
+
+#define SKYDIA_CHECK_EQ(a, b) SKYDIA_CHECK((a) == (b))
+#define SKYDIA_CHECK_NE(a, b) SKYDIA_CHECK((a) != (b))
+#define SKYDIA_CHECK_LT(a, b) SKYDIA_CHECK((a) < (b))
+#define SKYDIA_CHECK_LE(a, b) SKYDIA_CHECK((a) <= (b))
+#define SKYDIA_CHECK_GT(a, b) SKYDIA_CHECK((a) > (b))
+#define SKYDIA_CHECK_GE(a, b) SKYDIA_CHECK((a) >= (b))
+
+#endif  // SKYDIA_SRC_COMMON_LOGGING_H_

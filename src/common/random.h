@@ -1,0 +1,49 @@
+// Deterministic pseudo-random number generation for workload synthesis.
+//
+// Benchmarks and tests must be reproducible across runs and machines, so the
+// library ships its own generator (splitmix64 seeding a xoshiro256**) instead
+// of relying on implementation-defined std::default_random_engine behaviour.
+#ifndef SKYDIA_SRC_COMMON_RANDOM_H_
+#define SKYDIA_SRC_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+namespace skydia {
+
+/// xoshiro256** PRNG with splitmix64 seeding. Deterministic across platforms.
+/// Not thread-safe; use one instance per thread.
+class Rng {
+ public:
+  /// Seeds the generator. The same seed always yields the same stream.
+  explicit Rng(uint64_t seed = kDefaultSeed);
+
+  /// Returns the next 64 uniformly random bits.
+  uint64_t NextUint64();
+
+  /// Returns a uniform integer in [0, bound). `bound` must be > 0.
+  /// Uses rejection sampling, so the result is exactly uniform.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Returns a uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  /// Returns a uniform double in [0, 1).
+  double NextDouble();
+
+  /// Returns a standard normal variate (Box-Muller).
+  double NextGaussian();
+
+  /// Returns true with probability `p` (clamped to [0, 1]).
+  bool NextBernoulli(double p);
+
+  static constexpr uint64_t kDefaultSeed = 0x9E3779B97F4A7C15ull;
+
+ private:
+  uint64_t state_[4];
+  bool has_spare_gaussian_ = false;
+  double spare_gaussian_ = 0.0;
+};
+
+}  // namespace skydia
+
+#endif  // SKYDIA_SRC_COMMON_RANDOM_H_

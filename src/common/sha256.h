@@ -1,0 +1,57 @@
+// Minimal SHA-256 implementation (FIPS 180-4).
+//
+// Used by the authenticated-skyline-query application (src/apps/authentication)
+// to build Merkle commitments over diagram cells. Self-contained so the
+// library has no external crypto dependency; validated against the FIPS test
+// vectors in tests/common/sha256_test.cc.
+#ifndef SKYDIA_SRC_COMMON_SHA256_H_
+#define SKYDIA_SRC_COMMON_SHA256_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace skydia {
+
+/// A 32-byte SHA-256 digest.
+using Sha256Digest = std::array<uint8_t, 32>;
+
+/// Incremental SHA-256 hasher.
+///
+/// Usage:
+///   Sha256 h;
+///   h.Update(data, len);
+///   Sha256Digest d = h.Finish();
+/// Finish() may be called only once; the object is then exhausted.
+class Sha256 {
+ public:
+  Sha256();
+
+  /// Absorbs `len` bytes.
+  void Update(const void* data, size_t len);
+  void Update(std::string_view s) { Update(s.data(), s.size()); }
+
+  /// Finalizes and returns the digest.
+  Sha256Digest Finish();
+
+  /// One-shot convenience.
+  static Sha256Digest Hash(const void* data, size_t len);
+  static Sha256Digest Hash(std::string_view s) { return Hash(s.data(), s.size()); }
+
+ private:
+  void ProcessBlock(const uint8_t* block);
+
+  uint32_t state_[8];
+  uint64_t total_len_ = 0;
+  uint8_t buffer_[64];
+  size_t buffer_len_ = 0;
+};
+
+/// Renders a digest as lowercase hex.
+std::string DigestToHex(const Sha256Digest& digest);
+
+}  // namespace skydia
+
+#endif  // SKYDIA_SRC_COMMON_SHA256_H_

@@ -1,0 +1,54 @@
+// Minimal fixed-size thread pool for the parallel diagram constructions
+// (the direction the paper's journal extension develops). Tasks are
+// fire-and-forget; WaitIdle() barriers until everything submitted so far has
+// run.
+#ifndef SKYDIA_SRC_COMMON_THREAD_POOL_H_
+#define SKYDIA_SRC_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace skydia {
+
+/// Fixed-size worker pool. Exceptions must not escape tasks (the library is
+/// exception-free); a task that throws terminates the process.
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (>= 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues a task.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and all workers are idle.
+  void WaitIdle();
+
+  /// Convenience: runs fn(i) for i in [0, count) across the pool and waits.
+  void ParallelFor(size_t count, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  size_t active_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace skydia
+
+#endif  // SKYDIA_SRC_COMMON_THREAD_POOL_H_

@@ -1,0 +1,38 @@
+// Wall-clock stopwatch for the experiment harnesses that report paper-style
+// tables (google-benchmark handles the microbenchmarks; this is for one-shot
+// end-to-end build timings).
+#ifndef SKYDIA_SRC_COMMON_TIMER_H_
+#define SKYDIA_SRC_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace skydia {
+
+/// Monotonic stopwatch. Starts on construction; Restart() resets.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction/Restart in seconds.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in whole milliseconds.
+  int64_t ElapsedMillis() const {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace skydia
+
+#endif  // SKYDIA_SRC_COMMON_TIMER_H_

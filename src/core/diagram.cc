@@ -1,0 +1,109 @@
+#include "src/core/diagram.h"
+
+#include "src/core/dynamic_baseline.h"
+#include "src/core/dynamic_scanning.h"
+#include "src/core/dynamic_subset.h"
+#include "src/skyline/query.h"
+
+namespace skydia {
+
+const char* SkylineQueryTypeName(SkylineQueryType type) {
+  switch (type) {
+    case SkylineQueryType::kQuadrant:
+      return "quadrant";
+    case SkylineQueryType::kGlobal:
+      return "global";
+    case SkylineQueryType::kDynamic:
+      return "dynamic";
+  }
+  return "?";
+}
+
+const char* DynamicAlgorithmName(DynamicAlgorithm algorithm) {
+  switch (algorithm) {
+    case DynamicAlgorithm::kBaseline:
+      return "baseline";
+    case DynamicAlgorithm::kSubset:
+      return "subset";
+    case DynamicAlgorithm::kScanning:
+      return "scanning";
+  }
+  return "?";
+}
+
+StatusOr<SkylineDiagram> SkylineDiagram::Build(Dataset dataset,
+                                               SkylineQueryType type,
+                                               const BuildOptions& options) {
+  if (dataset.empty()) {
+    return Status::InvalidArgument("cannot build a diagram of zero points");
+  }
+  SkylineDiagram diagram(std::move(dataset), type);
+  switch (type) {
+    case SkylineQueryType::kQuadrant:
+      diagram.cell_ = std::make_unique<CellDiagram>(BuildQuadrantDiagram(
+          diagram.dataset_, options.cell_algorithm, options.diagram));
+      break;
+    case SkylineQueryType::kGlobal:
+      diagram.cell_ = std::make_unique<CellDiagram>(BuildGlobalDiagram(
+          diagram.dataset_, options.cell_algorithm, options.diagram));
+      break;
+    case SkylineQueryType::kDynamic:
+      switch (options.dynamic_algorithm) {
+        case DynamicAlgorithm::kBaseline:
+          diagram.subcell_ = std::make_unique<SubcellDiagram>(
+              BuildDynamicBaseline(diagram.dataset_, options.diagram));
+          break;
+        case DynamicAlgorithm::kSubset:
+          diagram.subcell_ = std::make_unique<SubcellDiagram>(
+              BuildDynamicSubset(diagram.dataset_, options.cell_algorithm,
+                                 options.diagram));
+          break;
+        case DynamicAlgorithm::kScanning:
+          diagram.subcell_ = std::make_unique<SubcellDiagram>(
+              BuildDynamicScanning(diagram.dataset_, options.diagram));
+          break;
+      }
+      break;
+  }
+  return diagram;
+}
+
+std::span<const PointId> SkylineDiagram::Query(const Point2D& q) const {
+  if (cell_ != nullptr) return cell_->Query(q);
+  return subcell_->Query(q);
+}
+
+bool SkylineDiagram::OnBoundary(const Point2D& q) const {
+  if (cell_ != nullptr) {
+    return cell_->grid().IsOnVerticalLine(q.x) ||
+           cell_->grid().IsOnHorizontalLine(q.y);
+  }
+  return subcell_->grid().x_axis().IsOnLine(2 * q.x) ||
+         subcell_->grid().y_axis().IsOnLine(2 * q.y);
+}
+
+std::vector<PointId> SkylineDiagram::QueryExact(const Point2D& q) const {
+  switch (type_) {
+    case SkylineQueryType::kQuadrant: {
+      // The half-open convention is exact everywhere for Q1 semantics.
+      const auto span = Query(q);
+      return std::vector<PointId>(span.begin(), span.end());
+    }
+    case SkylineQueryType::kGlobal:
+      if (OnBoundary(q)) return GlobalSkyline(dataset_, q);
+      break;
+    case SkylineQueryType::kDynamic:
+      if (OnBoundary(q)) return DynamicSkyline(dataset_, q);
+      break;
+  }
+  const auto span = Query(q);
+  return std::vector<PointId>(span.begin(), span.end());
+}
+
+std::vector<std::string> SkylineDiagram::QueryLabels(const Point2D& q) const {
+  std::vector<std::string> labels;
+  for (PointId id : QueryExact(q)) labels.push_back(dataset_.label(id));
+  return labels;
+}
+
+}  // namespace skydia

@@ -1,0 +1,105 @@
+// SkylineDiagram: the library's user-facing entry point.
+//
+// Builds the skyline diagram for one of the three query semantics and
+// answers point-location queries in O(log n). This is the analogue of using
+// a (k-th order) Voronoi diagram to answer kNN queries: build once, then
+// every skyline query is a grid lookup instead of an O(n log n) computation.
+//
+// Example:
+//   auto dataset = Dataset::Create(points, /*domain_size=*/1024);
+//   auto diagram = SkylineDiagram::Build(std::move(dataset).value(),
+//                                        SkylineQueryType::kQuadrant);
+//   for (PointId id : diagram->Query({10, 80})) { ... }
+#ifndef SKYDIA_SRC_CORE_DIAGRAM_H_
+#define SKYDIA_SRC_CORE_DIAGRAM_H_
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/core/global_diagram.h"
+#include "src/core/options.h"
+#include "src/core/skyline_cell.h"
+#include "src/core/subcell_diagram.h"
+#include "src/geometry/dataset.h"
+
+namespace skydia {
+
+/// Which skyline query semantics the diagram precomputes.
+enum class SkylineQueryType { kQuadrant, kGlobal, kDynamic };
+
+const char* SkylineQueryTypeName(SkylineQueryType type);
+
+/// Which dynamic-diagram construction to run.
+enum class DynamicAlgorithm {
+  kBaseline,  // Algorithm 5
+  kSubset,    // Algorithm 6
+  kScanning,  // Algorithm 7
+};
+
+const char* DynamicAlgorithmName(DynamicAlgorithm algorithm);
+
+/// Options for SkylineDiagram::Build.
+struct SkylineBuildOptions {
+  /// Construction used for quadrant/global diagrams (and for the global
+  /// diagram underlying the dynamic subset algorithm).
+  QuadrantAlgorithm cell_algorithm = QuadrantAlgorithm::kScanning;
+  /// Construction used for dynamic diagrams.
+  DynamicAlgorithm dynamic_algorithm = DynamicAlgorithm::kScanning;
+  DiagramOptions diagram;
+};
+
+/// A built skyline diagram with its source dataset. Movable, not copyable.
+class SkylineDiagram {
+ public:
+  using BuildOptions = SkylineBuildOptions;
+
+  /// Builds the diagram. Takes ownership of the dataset (queries need it for
+  /// labels and for the boundary fallback).
+  static StatusOr<SkylineDiagram> Build(Dataset dataset, SkylineQueryType type,
+                                        const BuildOptions& options = {});
+
+  SkylineDiagram(SkylineDiagram&&) = default;
+  SkylineDiagram& operator=(SkylineDiagram&&) = default;
+
+  SkylineQueryType type() const { return type_; }
+  const Dataset& dataset() const { return dataset_; }
+
+  /// Answers the skyline query at `q` via point location. For quadrant
+  /// diagrams the answer is exact for every `q`; for global and dynamic
+  /// diagrams it is exact for `q` in the interior of its cell/subcell (see
+  /// global_diagram.h) — use QueryExact for guaranteed-exact answers at
+  /// arbitrary positions.
+  std::span<const PointId> Query(const Point2D& q) const;
+
+  /// Exact answer at any position: uses the diagram when `q` is interior and
+  /// falls back to the O(n log n) reference evaluation on cell boundaries.
+  std::vector<PointId> QueryExact(const Point2D& q) const;
+
+  /// Query result rendered through the dataset's labels.
+  std::vector<std::string> QueryLabels(const Point2D& q) const;
+
+  /// The underlying cell diagram (quadrant/global builds only).
+  const CellDiagram* cell_diagram() const { return cell_.get(); }
+  /// The underlying subcell diagram (dynamic builds only).
+  const SubcellDiagram* subcell_diagram() const { return subcell_.get(); }
+
+ private:
+  SkylineDiagram(Dataset dataset, SkylineQueryType type)
+      : dataset_(std::move(dataset)), type_(type) {}
+
+  /// True when `q` lies on a grid (or bisector) line of this diagram.
+  bool OnBoundary(const Point2D& q) const;
+
+  Dataset dataset_;
+  SkylineQueryType type_;
+  std::unique_ptr<CellDiagram> cell_;
+  std::unique_ptr<SubcellDiagram> subcell_;
+};
+
+}  // namespace skydia
+
+#endif  // SKYDIA_SRC_CORE_DIAGRAM_H_

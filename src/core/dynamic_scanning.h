@@ -1,0 +1,28 @@
+// Scanning dynamic skyline diagram (Algorithm 7, §V.C): sweep the subcells
+// row by row; when the sweep crosses a vertical (resp. horizontal) grid or
+// bisector line, only the points party to that line can change dominance, so
+//
+//   Sky(SC_next) = DynamicSkyline( Sky(SC_prev) ∪ contributors(line) )
+//
+// evaluated at the next subcell's representative. Correctness: a pairwise
+// dominance relation (a, b) flips only at a's and b's bisector lines, so the
+// new skyline is contained in the candidate set; and because dynamic
+// dominance (fixed query) is transitive, any candidate dominated by a
+// non-candidate is also dominated by a new-skyline member, which *is* a
+// candidate — so the skyline of the candidate set equals the true skyline.
+#ifndef SKYDIA_SRC_CORE_DYNAMIC_SCANNING_H_
+#define SKYDIA_SRC_CORE_DYNAMIC_SCANNING_H_
+
+#include "src/core/options.h"
+#include "src/core/subcell_diagram.h"
+#include "src/geometry/dataset.h"
+
+namespace skydia {
+
+/// Builds the dynamic skyline diagram with the scanning algorithm.
+SubcellDiagram BuildDynamicScanning(const Dataset& dataset,
+                                    const DiagramOptions& options = {});
+
+}  // namespace skydia
+
+#endif  // SKYDIA_SRC_CORE_DYNAMIC_SCANNING_H_

@@ -1,0 +1,102 @@
+#include "src/core/global_diagram.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+#include "src/core/quadrant_baseline.h"
+#include "src/core/quadrant_dsg.h"
+#include "src/core/quadrant_scanning.h"
+
+namespace skydia {
+
+namespace {
+
+Dataset Reflect(const Dataset& dataset, bool flip_x, bool flip_y) {
+  const int64_t d = dataset.domain_size();
+  std::vector<Point2D> points;
+  points.reserve(dataset.size());
+  for (const Point2D& p : dataset.points()) {
+    points.push_back(Point2D{flip_x ? d - 1 - p.x : p.x,
+                             flip_y ? d - 1 - p.y : p.y});
+  }
+  auto reflected = Dataset::Create(std::move(points), d);
+  SKYDIA_CHECK(reflected.ok());
+  return std::move(reflected).value();
+}
+
+}  // namespace
+
+const char* QuadrantAlgorithmName(QuadrantAlgorithm algorithm) {
+  switch (algorithm) {
+    case QuadrantAlgorithm::kBaseline:
+      return "baseline";
+    case QuadrantAlgorithm::kDsg:
+      return "dsg";
+    case QuadrantAlgorithm::kScanning:
+      return "scanning";
+  }
+  return "?";
+}
+
+CellDiagram BuildQuadrantDiagram(const Dataset& dataset,
+                                 QuadrantAlgorithm algorithm,
+                                 const DiagramOptions& options) {
+  switch (algorithm) {
+    case QuadrantAlgorithm::kBaseline:
+      return BuildQuadrantBaseline(dataset, options);
+    case QuadrantAlgorithm::kDsg:
+      return BuildQuadrantDsg(dataset, options);
+    case QuadrantAlgorithm::kScanning:
+      return BuildQuadrantScanning(dataset, options);
+  }
+  SKYDIA_CHECK(false);
+  return BuildQuadrantBaseline(dataset, options);
+}
+
+CellDiagram BuildGlobalDiagram(const Dataset& dataset,
+                               QuadrantAlgorithm algorithm,
+                               const DiagramOptions& options) {
+  // Quadrant diagrams of the four reflections. Index k matches
+  // QuadrantOf(): 0 = (+x, +y), 1 = (-x, +y), 2 = (-x, -y), 3 = (+x, -y).
+  const CellDiagram q1 = BuildQuadrantDiagram(dataset, algorithm, options);
+  const CellDiagram q2 = BuildQuadrantDiagram(
+      Reflect(dataset, /*flip_x=*/true, /*flip_y=*/false), algorithm, options);
+  const CellDiagram q3 = BuildQuadrantDiagram(
+      Reflect(dataset, /*flip_x=*/true, /*flip_y=*/true), algorithm, options);
+  const CellDiagram q4 = BuildQuadrantDiagram(
+      Reflect(dataset, /*flip_x=*/false, /*flip_y=*/true), algorithm, options);
+
+  CellDiagram global(dataset, options.intern_result_sets);
+  const CellGrid& grid = global.grid();
+  const uint32_t cols = grid.num_columns();
+  const uint32_t rows = grid.num_rows();
+  SKYDIA_CHECK_EQ(cols, q2.grid().num_columns());
+  SKYDIA_CHECK_EQ(rows, q2.grid().num_rows());
+
+  std::vector<PointId> merged;
+  for (uint32_t cy = 0; cy < rows; ++cy) {
+    for (uint32_t cx = 0; cx < cols; ++cx) {
+      // Reflected axes index from the other end: interior column cx of the
+      // original grid corresponds to interior column (cols-1) - cx of an
+      // x-reflected grid, and likewise for rows.
+      const uint32_t rx = (cols - 1) - cx;
+      const uint32_t ry = (rows - 1) - cy;
+      merged.clear();
+      const auto append = [&](std::span<const PointId> part) {
+        merged.insert(merged.end(), part.begin(), part.end());
+      };
+      append(q1.CellSkyline(cx, cy));
+      append(q2.CellSkyline(rx, cy));
+      append(q3.CellSkyline(rx, ry));
+      append(q4.CellSkyline(cx, ry));
+      std::sort(merged.begin(), merged.end());
+      // The quadrants partition the candidates, so no duplicates can occur;
+      // dedupe defensively anyway (it is free on sorted data).
+      merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+      global.set_cell(cx, cy, global.pool().InternCopy(merged));
+    }
+  }
+  return global;
+}
+
+}  // namespace skydia

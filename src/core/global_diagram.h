@@ -1,0 +1,44 @@
+// Global skyline diagram: the global skyline is the union of the four
+// per-quadrant skylines (§III), so the diagram is assembled from four runs of
+// a quadrant builder on reflected copies of the dataset — reflection turns
+// each quadrant's dominance into first-quadrant dominance, and cell indices
+// map back by reversing the reflected axes.
+//
+// Exactness: cell results are exact for query points in the *interior* of
+// their cell (not on a grid line). A query exactly on a grid line uses strict
+// "<" candidate membership for the reflected quadrants, which the half-open
+// convention cannot represent on the reflected axes; callers who must answer
+// boundary queries exactly should fall back to skyline/query.h. Dynamic
+// diagrams (src/core/dynamic_*.h) share the same interior-exactness contract.
+#ifndef SKYDIA_SRC_CORE_GLOBAL_DIAGRAM_H_
+#define SKYDIA_SRC_CORE_GLOBAL_DIAGRAM_H_
+
+#include "src/core/options.h"
+#include "src/core/skyline_cell.h"
+#include "src/geometry/dataset.h"
+
+namespace skydia {
+
+/// Which cell-based construction runs underneath.
+enum class QuadrantAlgorithm {
+  kBaseline,  // Algorithm 1
+  kDsg,       // Algorithm 2
+  kScanning,  // Algorithm 3
+};
+
+const char* QuadrantAlgorithmName(QuadrantAlgorithm algorithm);
+
+/// Dispatches to the chosen first-quadrant builder.
+CellDiagram BuildQuadrantDiagram(const Dataset& dataset,
+                                 QuadrantAlgorithm algorithm,
+                                 const DiagramOptions& options = {});
+
+/// Builds the global skyline diagram (union of the four quadrant skylines per
+/// cell) using `algorithm` for each of the four reflected constructions.
+CellDiagram BuildGlobalDiagram(const Dataset& dataset,
+                               QuadrantAlgorithm algorithm,
+                               const DiagramOptions& options = {});
+
+}  // namespace skydia
+
+#endif  // SKYDIA_SRC_CORE_GLOBAL_DIAGRAM_H_

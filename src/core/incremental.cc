@@ -1,0 +1,101 @@
+#include "src/core/incremental.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+#include "src/core/quadrant_scanning.h"
+
+namespace skydia {
+
+StatusOr<IncrementalQuadrantDiagram> IncrementalQuadrantDiagram::Create(
+    Dataset dataset, const DiagramOptions& options) {
+  if (dataset.empty()) {
+    return Status::InvalidArgument("cannot build a diagram of zero points");
+  }
+  auto diagram = std::make_unique<CellDiagram>(
+      BuildQuadrantScanning(dataset, options));
+  return IncrementalQuadrantDiagram(std::move(dataset), std::move(diagram),
+                                    options.intern_result_sets);
+}
+
+StatusOr<PointId> IncrementalQuadrantDiagram::Insert(const Point2D& p) {
+  if (p.x < 0 || p.x >= dataset_.domain_size() || p.y < 0 ||
+      p.y >= dataset_.domain_size()) {
+    return Status::InvalidArgument("point outside the domain");
+  }
+
+  // Extend the dataset; the new id is the previous size.
+  const auto new_id = static_cast<PointId>(dataset_.size());
+  std::vector<Point2D> points = dataset_.points();
+  points.push_back(p);
+  std::vector<std::string> labels;
+  if (dataset_.has_labels()) {
+    labels.reserve(points.size());
+    for (PointId id = 0; id < new_id; ++id) labels.push_back(dataset_.label(id));
+    labels.push_back("p" + std::to_string(new_id));
+  }
+  auto new_dataset = Dataset::Create(std::move(points), dataset_.domain_size(),
+                                     std::move(labels));
+  SKYDIA_CHECK(new_dataset.ok());
+
+  const CellGrid& old_grid = diagram_->grid();
+  const bool x_existed = old_grid.IsOnVerticalLine(p.x);
+  const bool y_existed = old_grid.IsOnHorizontalLine(p.y);
+
+  auto next = std::make_unique<CellDiagram>(*new_dataset, intern_);
+  const CellGrid& grid = next->grid();
+  const uint32_t r = grid.xrank(new_id);
+  const uint32_t ry = grid.yrank(new_id);
+  const uint32_t cols = grid.num_columns();
+  const uint32_t rows = grid.num_rows();
+  SKYDIA_CHECK_EQ(cols, old_grid.num_columns() + (x_existed ? 0 : 1));
+  SKYDIA_CHECK_EQ(rows, old_grid.num_rows() + (y_existed ? 0 : 1));
+
+  // New column -> old column with identical candidate set (p excluded).
+  const auto old_cx = [&](uint32_t cx) {
+    return (x_existed || cx <= r) ? cx : cx - 1;
+  };
+  const auto old_cy = [&](uint32_t cy) {
+    return (y_existed || cy <= ry) ? cy : cy - 1;
+  };
+
+  // Phase 1: the unchanged region (p is not a candidate) copies old results.
+  for (uint32_t cy = 0; cy < rows; ++cy) {
+    for (uint32_t cx = 0; cx < cols; ++cx) {
+      if (cx <= r && cy <= ry) continue;
+      next->set_cell(cx, cy,
+                     next->pool().InternCopy(
+                         diagram_->CellSkyline(old_cx(cx), old_cy(cy))));
+    }
+  }
+
+  // Phase 2: refill the affected rectangle with the Theorem 1 scan, seeded
+  // by the already-copied column r+1 and row ry+1.
+  std::vector<PointId> scratch;
+  for (uint32_t cy = ry + 1; cy-- > 0;) {
+    for (uint32_t cx = r + 1; cx-- > 0;) {
+      const std::vector<PointId>& corner = grid.PointsAtCorner(cx, cy);
+      SetId result;
+      if (!corner.empty()) {
+        scratch = corner;
+        std::sort(scratch.begin(), scratch.end());
+        result = next->pool().InternCopy(scratch);
+      } else {
+        internal::ScanningMergeIdentity(next->CellSkyline(cx + 1, cy),
+                                        next->CellSkyline(cx, cy + 1),
+                                        next->CellSkyline(cx + 1, cy + 1),
+                                        &scratch);
+        result = next->pool().InternCopy(scratch);
+      }
+      next->set_cell(cx, cy, result);
+    }
+  }
+
+  last_insert_recomputed_cells_ =
+      static_cast<uint64_t>(r + 1) * (ry + 1);
+  dataset_ = std::move(new_dataset).value();
+  diagram_ = std::move(next);
+  return new_id;
+}
+
+}  // namespace skydia

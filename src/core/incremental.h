@@ -1,0 +1,71 @@
+// Incremental maintenance of the quadrant skyline diagram under point
+// insertion.
+//
+// Inserting p only changes the results of cells whose candidate set gains p,
+// i.e. the lower-left rectangle of cells with cx <= xrank(p) and
+// cy <= yrank(p); everything up-right of p's grid lines keeps its result
+// verbatim. The affected rectangle is refilled with the Theorem 1 scanning
+// identity seeded from the unchanged cells, so an insertion near the
+// upper-right corner of the data costs almost nothing and even a worst-case
+// insertion never recomputes a skyline from scratch.
+//
+// Ids are stable: Insert appends, so existing PointIds keep their meaning.
+// (Deletion would renumber ids and shares no structure; rebuild instead.)
+#ifndef SKYDIA_SRC_CORE_INCREMENTAL_H_
+#define SKYDIA_SRC_CORE_INCREMENTAL_H_
+
+#include <memory>
+
+#include "src/common/status.h"
+#include "src/core/options.h"
+#include "src/core/skyline_cell.h"
+#include "src/geometry/dataset.h"
+
+namespace skydia {
+
+/// A quadrant skyline diagram that supports appending points.
+class IncrementalQuadrantDiagram {
+ public:
+  /// Builds the initial diagram (scanning construction).
+  static StatusOr<IncrementalQuadrantDiagram> Create(
+      Dataset dataset, const DiagramOptions& options = {});
+
+  IncrementalQuadrantDiagram(IncrementalQuadrantDiagram&&) = default;
+  IncrementalQuadrantDiagram& operator=(IncrementalQuadrantDiagram&&) =
+      default;
+
+  /// Inserts `p` and updates the diagram. Returns the new point's id (always
+  /// the previous size()) or InvalidArgument when `p` is outside the domain.
+  StatusOr<PointId> Insert(const Point2D& p);
+
+  const Dataset& dataset() const { return dataset_; }
+  const CellDiagram& diagram() const { return *diagram_; }
+
+  /// Point-location query (exact everywhere, like CellDiagram::Query).
+  std::span<const PointId> Query(const Point2D& q) const {
+    return diagram_->Query(q);
+  }
+
+  /// Number of cells whose result was recomputed by the last Insert (the
+  /// affected rectangle); 0 before any insert. For tests and benchmarks.
+  uint64_t last_insert_recomputed_cells() const {
+    return last_insert_recomputed_cells_;
+  }
+
+ private:
+  IncrementalQuadrantDiagram(Dataset dataset,
+                             std::unique_ptr<CellDiagram> diagram,
+                             bool intern)
+      : dataset_(std::move(dataset)),
+        diagram_(std::move(diagram)),
+        intern_(intern) {}
+
+  Dataset dataset_;
+  std::unique_ptr<CellDiagram> diagram_;
+  bool intern_;
+  uint64_t last_insert_recomputed_cells_ = 0;
+};
+
+}  // namespace skydia
+
+#endif  // SKYDIA_SRC_CORE_INCREMENTAL_H_

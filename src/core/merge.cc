@@ -1,0 +1,76 @@
+#include "src/core/merge.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+namespace skydia {
+
+MergedPolyominoes MergeCells(const CellDiagram& diagram) {
+  const CellGrid& grid = diagram.grid();
+  const uint32_t cols = grid.num_columns();
+  const uint32_t rows = grid.num_rows();
+  const uint64_t cells = grid.num_cells();
+
+  std::vector<uint32_t> parent(cells);
+  std::iota(parent.begin(), parent.end(), 0);
+  auto find = [&](uint32_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  auto unite = [&](uint32_t a, uint32_t b) {
+    a = find(a);
+    b = find(b);
+    if (a != b) parent[a] = b;
+  };
+
+  // Interned SetIds make "same result" a single integer comparison; a pool
+  // without deduplication still works because equal neighbours were interned
+  // from identical content only when dedup is on — so compare set contents
+  // via ids where possible and fall back to span equality otherwise.
+  const SkylineSetPool& pool = diagram.pool();
+  auto same = [&](SetId a, SetId b) {
+    if (a == b) return true;
+    const auto sa = pool.Get(a);
+    const auto sb = pool.Get(b);
+    return sa.size() == sb.size() &&
+           std::equal(sa.begin(), sa.end(), sb.begin());
+  };
+
+  for (uint32_t cy = 0; cy < rows; ++cy) {
+    for (uint32_t cx = 0; cx < cols; ++cx) {
+      const auto idx = static_cast<uint32_t>(grid.CellIndex(cx, cy));
+      if (cx + 1 < cols &&
+          same(diagram.cell_set(cx, cy), diagram.cell_set(cx + 1, cy))) {
+        unite(idx, static_cast<uint32_t>(grid.CellIndex(cx + 1, cy)));
+      }
+      if (cy + 1 < rows &&
+          same(diagram.cell_set(cx, cy), diagram.cell_set(cx, cy + 1))) {
+        unite(idx, static_cast<uint32_t>(grid.CellIndex(cx, cy + 1)));
+      }
+    }
+  }
+
+  MergedPolyominoes merged;
+  merged.cell_to_polyomino.resize(cells);
+  std::unordered_map<uint32_t, uint32_t> compact;
+  for (uint64_t i = 0; i < cells; ++i) {
+    const uint32_t root = find(static_cast<uint32_t>(i));
+    auto [it, inserted] =
+        compact.emplace(root, static_cast<uint32_t>(compact.size()));
+    if (inserted) {
+      merged.polyomino_set.push_back(
+          diagram.cell_set(static_cast<uint32_t>(i % cols),
+                           static_cast<uint32_t>(i / cols)));
+      merged.polyomino_cells.push_back(0);
+    }
+    merged.cell_to_polyomino[i] = it->second;
+    ++merged.polyomino_cells[it->second];
+  }
+  return merged;
+}
+
+}  // namespace skydia

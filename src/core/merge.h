@@ -1,0 +1,35 @@
+// Merging skyline cells into skyline polyominoes (the second phase shared by
+// the baseline, DSG and scanning algorithms, §IV.A): adjacent cells with the
+// same result set belong to the same polyomino. With interned result sets
+// this is a connected-components pass over cell labels.
+#ifndef SKYDIA_SRC_CORE_MERGE_H_
+#define SKYDIA_SRC_CORE_MERGE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/skyline_cell.h"
+#include "src/skyline/interning.h"
+
+namespace skydia {
+
+/// The polyomino decomposition of a CellDiagram.
+struct MergedPolyominoes {
+  /// Row-major polyomino id per cell (same layout as the diagram's cells).
+  std::vector<uint32_t> cell_to_polyomino;
+  /// Result set of each polyomino.
+  std::vector<SetId> polyomino_set;
+  /// Number of cells in each polyomino.
+  std::vector<uint32_t> polyomino_cells;
+
+  uint32_t num_polyominoes() const {
+    return static_cast<uint32_t>(polyomino_set.size());
+  }
+};
+
+/// Merges 4-adjacent cells with equal result sets into polyominoes. O(cells).
+MergedPolyominoes MergeCells(const CellDiagram& diagram);
+
+}  // namespace skydia
+
+#endif  // SKYDIA_SRC_CORE_MERGE_H_

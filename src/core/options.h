@@ -1,0 +1,17 @@
+// Construction options shared by the diagram builders.
+#ifndef SKYDIA_SRC_CORE_OPTIONS_H_
+#define SKYDIA_SRC_CORE_OPTIONS_H_
+
+namespace skydia {
+
+/// Options accepted by every diagram builder. Defaults reproduce the paper's
+/// algorithms; the toggles exist for the ablation benchmarks.
+struct DiagramOptions {
+  /// Hash-cons the per-cell result sets (see SkylineSetPool). Turning this
+  /// off makes every cell store a private copy — the `abl-intern` ablation.
+  bool intern_result_sets = true;
+};
+
+}  // namespace skydia
+
+#endif  // SKYDIA_SRC_CORE_OPTIONS_H_

@@ -1,0 +1,25 @@
+// Parallel quadrant-diagram construction — the direction the paper's journal
+// extension develops. The cell grid is partitioned into horizontal stripes;
+// each worker replays the (cheap) row-advance removals up to its stripe and
+// then sweeps its rows independently with the DSG algorithm, producing
+// results in a worker-local interning pool. A deterministic merge remaps the
+// per-stripe pools into the final diagram; the per-cell result *contents*
+// are identical to the sequential builders' regardless of thread count (pool
+// id numbering may differ).
+#ifndef SKYDIA_SRC_CORE_PARALLEL_H_
+#define SKYDIA_SRC_CORE_PARALLEL_H_
+
+#include "src/core/options.h"
+#include "src/core/skyline_cell.h"
+#include "src/geometry/dataset.h"
+
+namespace skydia {
+
+/// Builds the first-quadrant skyline diagram with the DSG algorithm across
+/// `num_threads` workers (>= 1; 1 degenerates to the sequential algorithm).
+CellDiagram BuildQuadrantDsgParallel(const Dataset& dataset, int num_threads,
+                                     const DiagramOptions& options = {});
+
+}  // namespace skydia
+
+#endif  // SKYDIA_SRC_CORE_PARALLEL_H_

@@ -1,0 +1,203 @@
+#include "src/core/quadrant_sweeping.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+#include "src/common/logging.h"
+
+namespace skydia {
+
+namespace {
+
+// One axis-parallel half-open ray family: sorted line coordinates plus the
+// extent of each line (an H-line at y extends over x in [0, extent]).
+struct Lines {
+  std::vector<int64_t> coord;
+  std::vector<int64_t> extent;
+
+  size_t IndexOf(int64_t c) const {
+    const auto it = std::lower_bound(coord.begin(), coord.end(), c);
+    SKYDIA_CHECK(it != coord.end() && *it == c);
+    return static_cast<size_t>(it - coord.begin());
+  }
+};
+
+Lines CollectLines(const std::vector<Point2D>& points, bool horizontal,
+                   int64_t s) {
+  std::map<int64_t, int64_t> extent_by_coord;
+  for (const Point2D& p : points) {
+    const int64_t c = horizontal ? p.y : p.x;
+    const int64_t e = horizontal ? p.x : p.y;
+    auto [it, inserted] = extent_by_coord.emplace(c, e);
+    if (!inserted) it->second = std::max(it->second, e);
+  }
+  // Domain boundary at 0 and the virtual sentinel seed at (s, s) close the
+  // arrangement so faces tile [0, s]^2.
+  extent_by_coord[0] = s;
+  extent_by_coord[s] = s;
+  Lines lines;
+  lines.coord.reserve(extent_by_coord.size());
+  lines.extent.reserve(extent_by_coord.size());
+  for (const auto& [c, e] : extent_by_coord) {
+    // A point on the opposite axis (p.x == 0 for a horizontal ray) emits a
+    // zero-length ray: an empty wall that must not enter the arrangement.
+    if (e <= 0) continue;
+    lines.coord.push_back(c);
+    lines.extent.push_back(e);
+  }
+  return lines;
+}
+
+}  // namespace
+
+StatusOr<SweepingDiagram> BuildQuadrantSweeping(const Dataset& dataset) {
+  if (!dataset.HasDistinctCoordinates()) {
+    return Status::InvalidArgument(
+        "the sweeping vertex-walk requires distinct coordinates per "
+        "dimension; use BuildSweepingCellLabels for tie-heavy data");
+  }
+  const int64_t s = dataset.domain_size();
+  const Lines h = CollectLines(dataset.points(), /*horizontal=*/true, s);
+  const Lines v = CollectLines(dataset.points(), /*horizontal=*/false, s);
+
+  // Arrangement nodes: (v.coord[j], h.coord[i]) whenever the two rays cross.
+  // h_nodes[i] lists the x positions on H-line i, ascending; v_nodes[j] the
+  // y positions on V-line j.
+  std::vector<std::vector<int64_t>> h_nodes(h.coord.size());
+  std::vector<std::vector<int64_t>> v_nodes(v.coord.size());
+  uint64_t num_nodes = 0;
+  for (size_t i = 0; i < h.coord.size(); ++i) {
+    const int64_t hy = h.coord[i];
+    const int64_t hxmax = h.extent[i];
+    for (size_t j = 0; j < v.coord.size(); ++j) {
+      const int64_t vx = v.coord[j];
+      if (vx > hxmax) break;  // v.coord ascending
+      if (hy <= v.extent[j]) {
+        h_nodes[i].push_back(vx);
+        v_nodes[j].push_back(hy);
+        ++num_nodes;
+      }
+    }
+  }
+  // v_nodes entries were appended in ascending i order, hence ascending y.
+
+  SweepingDiagram diagram;
+  diagram.num_intersections = num_nodes;
+
+  auto left_neighbor = [&](size_t hi, int64_t x) -> int64_t {
+    const std::vector<int64_t>& xs = h_nodes[hi];
+    const auto it = std::lower_bound(xs.begin(), xs.end(), x);
+    SKYDIA_CHECK(it != xs.begin());
+    return *(it - 1);
+  };
+  auto right_neighbor = [&](size_t hi, int64_t x) -> int64_t {
+    const std::vector<int64_t>& xs = h_nodes[hi];
+    const auto it = std::upper_bound(xs.begin(), xs.end(), x);
+    SKYDIA_CHECK(it != xs.end());
+    return *it;
+  };
+  auto lower_neighbor = [&](size_t vj, int64_t y) -> int64_t {
+    const std::vector<int64_t>& ys = v_nodes[vj];
+    const auto it = std::lower_bound(ys.begin(), ys.end(), y);
+    SKYDIA_CHECK(it != ys.begin());
+    return *(it - 1);
+  };
+
+  // Every node with x > 0 and y > 0 is the upper-right corner of exactly one
+  // polyomino (Theorem 2 discussion); walk its outline.
+  for (size_t i = 0; i < h.coord.size(); ++i) {
+    const int64_t hy = h.coord[i];
+    if (hy == 0) continue;
+    for (int64_t gx : h_nodes[i]) {
+      if (gx == 0) continue;
+      SweepingPolyomino poly;
+      poly.corner = Point2D{gx, hy};
+      std::vector<Point2D>& verts = poly.outline.vertices;
+      verts.push_back(poly.corner);
+      // Top edge: one step left.
+      Point2D vtx{left_neighbor(i, gx), hy};
+      verts.push_back(vtx);
+      // Lower-left staircase: alternate down / right until the right step
+      // returns to the corner's vertical line; the closing right edge back up
+      // to the corner is implicit in the vertex cycle.
+      while (vtx.x != gx) {
+        const size_t vj = v.IndexOf(vtx.x);
+        vtx.y = lower_neighbor(vj, vtx.y);
+        verts.push_back(vtx);
+        const auto hit =
+            std::lower_bound(h.coord.begin(), h.coord.end(), vtx.y);
+        SKYDIA_CHECK(hit != h.coord.end() && *hit == vtx.y);
+        const auto hi = static_cast<size_t>(hit - h.coord.begin());
+        vtx.x = right_neighbor(hi, vtx.x);
+        verts.push_back(vtx);
+      }
+      diagram.polyominoes.push_back(std::move(poly));
+    }
+  }
+  return diagram;
+}
+
+SweepingCellLabels BuildSweepingCellLabels(const Dataset& dataset,
+                                           const CellGrid& grid) {
+  const uint32_t cols = grid.num_columns();
+  const uint32_t rows = grid.num_rows();
+  const uint64_t cells = grid.num_cells();
+
+  // max_yrank_at_col[cx]: highest yrank among points on vertical grid line
+  // cx, or -1 when the column has no point. Walls derive from these extents.
+  std::vector<int64_t> max_yrank_at_col(cols, -1);
+  std::vector<int64_t> max_xrank_at_row(rows, -1);
+  for (PointId id = 0; id < dataset.size(); ++id) {
+    const uint32_t xr = grid.xrank(id);
+    const uint32_t yr = grid.yrank(id);
+    max_yrank_at_col[xr] = std::max<int64_t>(max_yrank_at_col[xr], yr);
+    max_xrank_at_row[yr] = std::max<int64_t>(max_xrank_at_row[yr], xr);
+  }
+
+  // Union-find over cells.
+  std::vector<uint32_t> parent(cells);
+  std::iota(parent.begin(), parent.end(), 0);
+  auto find = [&](uint32_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  auto unite = [&](uint32_t a, uint32_t b) {
+    a = find(a);
+    b = find(b);
+    if (a != b) parent[a] = b;
+  };
+
+  for (uint32_t cy = 0; cy < rows; ++cy) {
+    for (uint32_t cx = 0; cx < cols; ++cx) {
+      const auto idx = static_cast<uint32_t>(grid.CellIndex(cx, cy));
+      // Right neighbour: blocked by the downward ray of any point on the
+      // shared grid line reaching this row.
+      if (cx + 1 < cols && max_yrank_at_col[cx] < static_cast<int64_t>(cy)) {
+        unite(idx, static_cast<uint32_t>(grid.CellIndex(cx + 1, cy)));
+      }
+      // Upper neighbour: blocked by the leftward ray of any point on the
+      // shared grid line reaching this column.
+      if (cy + 1 < rows && max_xrank_at_row[cy] < static_cast<int64_t>(cx)) {
+        unite(idx, static_cast<uint32_t>(grid.CellIndex(cx, cy + 1)));
+      }
+    }
+  }
+
+  SweepingCellLabels result;
+  result.labels.resize(cells);
+  std::unordered_map<uint32_t, uint32_t> compact;
+  for (uint64_t i = 0; i < cells; ++i) {
+    const uint32_t root = find(static_cast<uint32_t>(i));
+    auto [it, inserted] =
+        compact.emplace(root, static_cast<uint32_t>(compact.size()));
+    result.labels[i] = it->second;
+  }
+  result.num_polyominoes = static_cast<uint32_t>(compact.size());
+  return result;
+}
+
+}  // namespace skydia

@@ -1,0 +1,66 @@
+// Sweeping construction of the quadrant skyline diagram (Algorithm 4 +
+// Theorem 2): two half-open grid lines per point — one downward, one leftward
+// — partition the plane into the skyline polyominoes *directly*, without ever
+// computing a per-cell skyline. O(n^2) time.
+//
+// Two implementations are provided:
+//
+//  * BuildQuadrantSweeping — the paper's vertex-walk. Every intersection
+//    point of the arrangement is the upper-right corner of exactly one
+//    polyomino, whose outline is traced left / (down, right)* through
+//    neighbouring intersections. Requires distinct coordinates per dimension
+//    (the paper's general-position setting); returns InvalidArgument
+//    otherwise. The domain boundary is closed with a virtual sentinel seed at
+//    (s, s) plus the two axes, so the polyominoes tile [0, s]^2 exactly.
+//
+//  * BuildSweepingCellLabels — a tie-tolerant variant used for validation and
+//    structure statistics: labels every skyline cell (rank space) with its
+//    polyomino id via union-find over the "no ray between these cells"
+//    adjacency. Cells (cx, cy) ~ (cx+1, cy) are connected iff no point with
+//    xrank == cx has yrank >= cy, and symmetrically for rows.
+#ifndef SKYDIA_SRC_CORE_QUADRANT_SWEEPING_H_
+#define SKYDIA_SRC_CORE_QUADRANT_SWEEPING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/geometry/dataset.h"
+#include "src/geometry/grid.h"
+#include "src/geometry/point.h"
+#include "src/geometry/polyomino.h"
+
+namespace skydia {
+
+/// One region of the sweeping diagram.
+struct SweepingPolyomino {
+  /// The intersection point that is this polyomino's upper-right corner.
+  Point2D corner;
+  /// Closed rectilinear outline: corner, its left neighbour, then the
+  /// lower-left staircase, ending below the corner.
+  PolyominoOutline outline;
+};
+
+/// The sweeping diagram: polyominoes tiling [0, domain_size]^2.
+struct SweepingDiagram {
+  std::vector<SweepingPolyomino> polyominoes;
+  /// Number of arrangement intersections (equals polyominoes.size() plus the
+  /// boundary nodes that cannot be upper-right corners).
+  uint64_t num_intersections = 0;
+};
+
+/// Paper Algorithm 4. Requires dataset.HasDistinctCoordinates().
+StatusOr<SweepingDiagram> BuildQuadrantSweeping(const Dataset& dataset);
+
+/// Tie-tolerant polyomino labelling of the skyline cells.
+struct SweepingCellLabels {
+  /// Row-major (grid.CellIndex) polyomino label per cell.
+  std::vector<uint32_t> labels;
+  uint32_t num_polyominoes = 0;
+};
+SweepingCellLabels BuildSweepingCellLabels(const Dataset& dataset,
+                                           const CellGrid& grid);
+
+}  // namespace skydia
+
+#endif  // SKYDIA_SRC_CORE_QUADRANT_SWEEPING_H_

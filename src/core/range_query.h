@@ -1,0 +1,44 @@
+// Range skyline queries over a built diagram: given an axis-aligned
+// rectangle of possible query positions (the location-uncertainty scenario
+// of the paper's related work, Lin et al. / Cheema et al.), report what the
+// skyline can be anywhere in the range. The diagram makes these trivial —
+// enumerate the covered cells and combine their interned results.
+#ifndef SKYDIA_SRC_CORE_RANGE_QUERY_H_
+#define SKYDIA_SRC_CORE_RANGE_QUERY_H_
+
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/core/skyline_cell.h"
+#include "src/geometry/point.h"
+
+namespace skydia {
+
+/// An axis-aligned closed rectangle of query positions.
+struct QueryRange {
+  int64_t x_lo = 0;
+  int64_t x_hi = 0;
+  int64_t y_lo = 0;
+  int64_t y_hi = 0;
+};
+
+/// Points that are in the skyline of *some* query position in the range
+/// (union over covered cells), sorted ascending. InvalidArgument when the
+/// range is inverted.
+StatusOr<std::vector<PointId>> RangeSkylineUnion(const CellDiagram& diagram,
+                                                 const QueryRange& range);
+
+/// Points in the skyline of *every* query position in the range
+/// (intersection over covered cells), sorted ascending — the range's "safe"
+/// results in the safe-zone terminology.
+StatusOr<std::vector<PointId>> RangeSkylineIntersection(
+    const CellDiagram& diagram, const QueryRange& range);
+
+/// Number of distinct skyline results across the range — 1 means the whole
+/// rectangle is a safe zone (lies within one skyline polyomino's result).
+StatusOr<uint64_t> RangeDistinctResults(const CellDiagram& diagram,
+                                        const QueryRange& range);
+
+}  // namespace skydia
+
+#endif  // SKYDIA_SRC_CORE_RANGE_QUERY_H_

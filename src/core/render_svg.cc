@@ -1,0 +1,187 @@
+#include "src/core/render_svg.h"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "src/common/hash.h"
+
+namespace skydia {
+
+namespace {
+
+// Stable pastel color for a result set id: hash -> hue, fixed
+// saturation/lightness, so equal results share a color across renders.
+std::string ColorForSet(const SkylineSetPool& pool, SetId id) {
+  if (pool.Get(id).empty()) return "#f2f2f2";
+  const uint64_t h = HashIds(
+      std::vector<PointId>(pool.Get(id).begin(), pool.Get(id).end()));
+  const int hue = static_cast<int>(h % 360);
+  std::ostringstream os;
+  os << "hsl(" << hue << ", 55%, 78%)";
+  return os.str();
+}
+
+struct Mapper {
+  double scale;
+  int height_px;
+
+  double X(double x) const { return x * scale; }
+  // SVG y grows downward; flip so the diagram reads like the paper's plots.
+  double Y(double y) const { return height_px - y * scale; }
+};
+
+void EmitHeader(std::ostringstream* svg, int width, int height) {
+  *svg << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << width
+       << "\" height=\"" << height << "\" viewBox=\"0 0 " << width << " "
+       << height << "\">\n";
+  *svg << "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+}
+
+void EmitSeeds(std::ostringstream* svg, const Dataset& dataset,
+               const Mapper& m, bool labels) {
+  for (PointId id = 0; id < dataset.size(); ++id) {
+    const Point2D& p = dataset.point(id);
+    *svg << "<circle cx=\"" << m.X(static_cast<double>(p.x)) << "\" cy=\""
+         << m.Y(static_cast<double>(p.y))
+         << "\" r=\"3\" fill=\"#222\" stroke=\"white\" stroke-width=\"1\"/>\n";
+    if (labels) {
+      *svg << "<text x=\"" << m.X(static_cast<double>(p.x)) + 5 << "\" y=\""
+           << m.Y(static_cast<double>(p.y)) - 5
+           << "\" font-size=\"10\" font-family=\"sans-serif\">"
+           << dataset.label(id) << "</text>\n";
+    }
+  }
+}
+
+}  // namespace
+
+std::string RenderCellDiagramSvg(const Dataset& dataset,
+                                 const CellDiagram& diagram,
+                                 const SvgOptions& options) {
+  const auto s = static_cast<double>(dataset.domain_size());
+  const Mapper m{options.width_px / s, options.width_px};
+  const CellGrid& grid = diagram.grid();
+
+  std::ostringstream svg;
+  EmitHeader(&svg, options.width_px, options.width_px);
+
+  // Cell rectangles: column cx spans [left, right) where the boundaries are
+  // the grid values (clamped to the domain box).
+  auto column_span = [&](uint32_t cx) {
+    const double left = cx == 0 ? 0.0 : static_cast<double>(grid.x_value(cx - 1));
+    const double right = cx < grid.num_distinct_x()
+                             ? static_cast<double>(grid.x_value(cx))
+                             : s;
+    return std::pair<double, double>(left, right);
+  };
+  auto row_span = [&](uint32_t cy) {
+    const double lo = cy == 0 ? 0.0 : static_cast<double>(grid.y_value(cy - 1));
+    const double hi = cy < grid.num_distinct_y()
+                          ? static_cast<double>(grid.y_value(cy))
+                          : s;
+    return std::pair<double, double>(lo, hi);
+  };
+
+  for (uint32_t cy = 0; cy < grid.num_rows(); ++cy) {
+    const auto [ylo, yhi] = row_span(cy);
+    if (yhi <= ylo) continue;
+    for (uint32_t cx = 0; cx < grid.num_columns(); ++cx) {
+      const auto [xlo, xhi] = column_span(cx);
+      if (xhi <= xlo) continue;
+      svg << "<rect x=\"" << m.X(xlo) << "\" y=\"" << m.Y(yhi) << "\" width=\""
+          << (xhi - xlo) * m.scale << "\" height=\"" << (yhi - ylo) * m.scale
+          << "\" fill=\"" << ColorForSet(diagram.pool(), diagram.cell_set(cx, cy))
+          << "\"/>\n";
+    }
+  }
+
+  if (options.draw_grid_lines) {
+    for (uint32_t i = 0; i < grid.num_distinct_x(); ++i) {
+      const double x = m.X(static_cast<double>(grid.x_value(i)));
+      svg << "<line x1=\"" << x << "\" y1=\"0\" x2=\"" << x << "\" y2=\""
+          << options.width_px
+          << "\" stroke=\"#999\" stroke-width=\"0.5\"/>\n";
+    }
+    for (uint32_t i = 0; i < grid.num_distinct_y(); ++i) {
+      const double y = m.Y(static_cast<double>(grid.y_value(i)));
+      svg << "<line x1=\"0\" y1=\"" << y << "\" x2=\"" << options.width_px
+          << "\" y2=\"" << y << "\" stroke=\"#999\" stroke-width=\"0.5\"/>\n";
+    }
+  }
+  EmitSeeds(&svg, dataset, m, options.draw_labels);
+  svg << "</svg>\n";
+  return svg.str();
+}
+
+std::string RenderSubcellDiagramSvg(const Dataset& dataset,
+                                    const SubcellDiagram& diagram,
+                                    const SvgOptions& options) {
+  const auto s = static_cast<double>(dataset.domain_size());
+  const Mapper m{options.width_px / s, options.width_px};
+  const SubcellGrid& grid = diagram.grid();
+
+  std::ostringstream svg;
+  EmitHeader(&svg, options.width_px, options.width_px);
+
+  // Subcell boundaries are half-integer (doubled coordinates / 2).
+  auto slab_span = [&](const SubcellAxis& axis, uint32_t slab) {
+    const double lo = slab == 0 ? 0.0 : axis.line(slab - 1) / 2.0;
+    const double hi = slab < axis.num_lines() ? axis.line(slab) / 2.0 : s;
+    return std::pair<double, double>(lo, hi);
+  };
+
+  for (uint32_t sy = 0; sy < grid.num_rows(); ++sy) {
+    const auto [ylo, yhi] = slab_span(grid.y_axis(), sy);
+    if (yhi <= ylo) continue;
+    for (uint32_t sx = 0; sx < grid.num_columns(); ++sx) {
+      const auto [xlo, xhi] = slab_span(grid.x_axis(), sx);
+      if (xhi <= xlo) continue;
+      svg << "<rect x=\"" << m.X(xlo) << "\" y=\"" << m.Y(yhi) << "\" width=\""
+          << (xhi - xlo) * m.scale << "\" height=\"" << (yhi - ylo) * m.scale
+          << "\" fill=\""
+          << ColorForSet(diagram.pool(), diagram.subcell_set(sx, sy))
+          << "\"/>\n";
+    }
+  }
+  EmitSeeds(&svg, dataset, m, options.draw_labels);
+  svg << "</svg>\n";
+  return svg.str();
+}
+
+std::string RenderSweepingDiagramSvg(const Dataset& dataset,
+                                     const SweepingDiagram& diagram,
+                                     const SvgOptions& options) {
+  const auto s = static_cast<double>(dataset.domain_size());
+  const Mapper m{options.width_px / s, options.width_px};
+
+  std::ostringstream svg;
+  EmitHeader(&svg, options.width_px, options.width_px);
+  for (size_t i = 0; i < diagram.polyominoes.size(); ++i) {
+    const SweepingPolyomino& poly = diagram.polyominoes[i];
+    const int hue = static_cast<int>(
+        HashCombine(static_cast<uint64_t>(poly.corner.x),
+                    static_cast<uint64_t>(poly.corner.y)) %
+        360);
+    svg << "<polygon points=\"";
+    for (const Point2D& v : poly.outline.vertices) {
+      svg << m.X(static_cast<double>(v.x)) << ","
+          << m.Y(static_cast<double>(v.y)) << " ";
+    }
+    svg << "\" fill=\"hsl(" << hue
+        << ", 55%, 80%)\" stroke=\"#666\" stroke-width=\"0.6\"/>\n";
+  }
+  EmitSeeds(&svg, dataset, m, options.draw_labels);
+  svg << "</svg>\n";
+  return svg.str();
+}
+
+Status WriteSvgFile(const std::string& path, const std::string& svg) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::Internal("cannot open for writing: " + path);
+  out << svg;
+  if (!out) return Status::Internal("short write: " + path);
+  return Status::OK();
+}
+
+}  // namespace skydia

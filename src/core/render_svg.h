@@ -1,0 +1,47 @@
+// SVG rendering of skyline diagrams — the library's version of the paper's
+// Figure 3 (quadrant diagram) and Figure 9 (subcell structure). Regions are
+// colored by their result set (same result = same color), seeds drawn on
+// top, so the polyomino structure is visible at a glance.
+#ifndef SKYDIA_SRC_CORE_RENDER_SVG_H_
+#define SKYDIA_SRC_CORE_RENDER_SVG_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/core/quadrant_sweeping.h"
+#include "src/core/skyline_cell.h"
+#include "src/core/subcell_diagram.h"
+#include "src/geometry/dataset.h"
+
+namespace skydia {
+
+/// Rendering options. Defaults produce a 640-pixel-wide standalone SVG.
+struct SvgOptions {
+  int width_px = 640;
+  bool draw_grid_lines = true;
+  bool draw_labels = false;  // point labels next to the seeds
+};
+
+/// Renders a cell diagram (quadrant/global): each cell is a rectangle filled
+/// with a color derived from its result set.
+std::string RenderCellDiagramSvg(const Dataset& dataset,
+                                 const CellDiagram& diagram,
+                                 const SvgOptions& options = {});
+
+/// Renders a dynamic (subcell) diagram.
+std::string RenderSubcellDiagramSvg(const Dataset& dataset,
+                                    const SubcellDiagram& diagram,
+                                    const SvgOptions& options = {});
+
+/// Renders the sweeping diagram's polyomino outlines directly (distinct
+/// coordinates only — the outlines come from BuildQuadrantSweeping).
+std::string RenderSweepingDiagramSvg(const Dataset& dataset,
+                                     const SweepingDiagram& diagram,
+                                     const SvgOptions& options = {});
+
+/// Writes SVG text to a file.
+Status WriteSvgFile(const std::string& path, const std::string& svg);
+
+}  // namespace skydia
+
+#endif  // SKYDIA_SRC_CORE_RENDER_SVG_H_

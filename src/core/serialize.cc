@@ -1,0 +1,378 @@
+#include "src/core/serialize.h"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "src/common/sha256.h"
+
+namespace skydia {
+
+namespace {
+
+constexpr char kMagic[8] = {'S', 'K', 'Y', 'D', 'I', 'A', 'G', '1'};
+constexpr uint8_t kKindCell = 1;
+constexpr uint8_t kKindSubcell = 2;
+
+// --- little-endian emit helpers ---------------------------------------------
+
+void PutU8(std::string* out, uint8_t v) { out->push_back(static_cast<char>(v)); }
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void PutI64(std::string* out, int64_t v) {
+  PutU64(out, static_cast<uint64_t>(v));
+}
+
+// --- bounds-checked reader ---------------------------------------------------
+
+class Reader {
+ public:
+  explicit Reader(std::string_view bytes) : bytes_(bytes) {}
+
+  bool ReadBytes(void* out, size_t len) {
+    if (bytes_.size() - pos_ < len) return false;
+    std::memcpy(out, bytes_.data() + pos_, len);
+    pos_ += len;
+    return true;
+  }
+  bool ReadU8(uint8_t* v) { return ReadBytes(v, 1); }
+  bool ReadU32(uint32_t* v) {
+    uint8_t b[4];
+    if (!ReadBytes(b, 4)) return false;
+    *v = 0;
+    for (int i = 0; i < 4; ++i) *v |= uint32_t{b[i]} << (8 * i);
+    return true;
+  }
+  bool ReadU64(uint64_t* v) {
+    uint8_t b[8];
+    if (!ReadBytes(b, 8)) return false;
+    *v = 0;
+    for (int i = 0; i < 8; ++i) *v |= uint64_t{b[i]} << (8 * i);
+    return true;
+  }
+  bool ReadI64(int64_t* v) {
+    uint64_t u;
+    if (!ReadU64(&u)) return false;
+    *v = static_cast<int64_t>(u);
+    return true;
+  }
+  bool ReadString(std::string* out, size_t len) {
+    if (bytes_.size() - pos_ < len) return false;
+    out->assign(bytes_.data() + pos_, len);
+    pos_ += len;
+    return true;
+  }
+  size_t remaining() const { return bytes_.size() - pos_; }
+  size_t position() const { return pos_; }
+
+ private:
+  std::string_view bytes_;
+  size_t pos_ = 0;
+};
+
+// --- shared sections ---------------------------------------------------------
+
+void EmitDataset(const Dataset& dataset, std::string* out) {
+  PutU64(out, static_cast<uint64_t>(dataset.domain_size()));
+  PutU64(out, dataset.size());
+  for (const Point2D& p : dataset.points()) {
+    PutI64(out, p.x);
+    PutI64(out, p.y);
+  }
+  PutU8(out, dataset.has_labels() ? 1 : 0);
+  if (dataset.has_labels()) {
+    for (PointId id = 0; id < dataset.size(); ++id) {
+      const std::string label = dataset.label(id);
+      PutU32(out, static_cast<uint32_t>(label.size()));
+      out->append(label);
+    }
+  }
+}
+
+StatusOr<Dataset> ReadDataset(Reader* reader) {
+  uint64_t domain = 0;
+  uint64_t n = 0;
+  if (!reader->ReadU64(&domain) || !reader->ReadU64(&n)) {
+    return Status::Corruption("truncated dataset header");
+  }
+  if (n > (uint64_t{1} << 32)) {
+    return Status::Corruption("implausible point count");
+  }
+  std::vector<Point2D> points;
+  points.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    Point2D p;
+    if (!reader->ReadI64(&p.x) || !reader->ReadI64(&p.y)) {
+      return Status::Corruption("truncated point table");
+    }
+    points.push_back(p);
+  }
+  uint8_t has_labels = 0;
+  if (!reader->ReadU8(&has_labels)) {
+    return Status::Corruption("truncated label flag");
+  }
+  std::vector<std::string> labels;
+  if (has_labels == 1) {
+    labels.reserve(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      uint32_t len = 0;
+      std::string label;
+      if (!reader->ReadU32(&len) || !reader->ReadString(&label, len)) {
+        return Status::Corruption("truncated label table");
+      }
+      labels.push_back(std::move(label));
+    }
+  } else if (has_labels != 0) {
+    return Status::Corruption("invalid label flag");
+  }
+  auto dataset =
+      Dataset::Create(std::move(points), static_cast<int64_t>(domain),
+                      std::move(labels));
+  if (!dataset.ok()) {
+    return Status::Corruption("stored dataset violates domain bounds: " +
+                              dataset.status().message());
+  }
+  return dataset;
+}
+
+void EmitPool(const SkylineSetPool& pool, std::string* out) {
+  PutU64(out, pool.size());
+  for (SetId id = 0; id < pool.size(); ++id) {
+    const auto set = pool.Get(id);
+    PutU64(out, set.size());
+    for (PointId pid : set) PutU32(out, pid);
+  }
+}
+
+Status ReadPool(Reader* reader, size_t num_points, SkylineSetPool* pool) {
+  uint64_t num_sets = 0;
+  if (!reader->ReadU64(&num_sets)) {
+    return Status::Corruption("truncated pool header");
+  }
+  if (num_sets == 0) {
+    return Status::Corruption("pool must contain the empty set");
+  }
+  for (uint64_t s = 0; s < num_sets; ++s) {
+    uint64_t size = 0;
+    if (!reader->ReadU64(&size)) {
+      return Status::Corruption("truncated set header");
+    }
+    if (size > num_points) {
+      return Status::Corruption("result set larger than the dataset");
+    }
+    std::vector<PointId> ids(size);
+    PointId prev = 0;
+    for (uint64_t i = 0; i < size; ++i) {
+      if (!reader->ReadU32(&ids[i])) {
+        return Status::Corruption("truncated set contents");
+      }
+      if (ids[i] >= num_points) {
+        return Status::Corruption("result set references unknown point");
+      }
+      if (i > 0 && ids[i] <= prev) {
+        return Status::Corruption("result set not sorted/unique");
+      }
+      prev = ids[i];
+    }
+    if (s == 0) {
+      if (!ids.empty()) {
+        return Status::Corruption("set 0 must be the empty set");
+      }
+      continue;  // the pool pre-interns it
+    }
+    pool->Append(std::move(ids));
+  }
+  return Status::OK();
+}
+
+Status ReadCells(Reader* reader, uint64_t expected_count, size_t pool_size,
+                 std::vector<SetId>* out) {
+  uint64_t count = 0;
+  if (!reader->ReadU64(&count)) {
+    return Status::Corruption("truncated cell header");
+  }
+  if (count != expected_count) {
+    return Status::Corruption("cell count does not match the grid shape");
+  }
+  out->resize(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    if (!reader->ReadU32(&(*out)[i])) {
+      return Status::Corruption("truncated cell table");
+    }
+    if ((*out)[i] >= pool_size) {
+      return Status::Corruption("cell references unknown result set");
+    }
+  }
+  return Status::OK();
+}
+
+void AppendChecksum(std::string* out) {
+  const Sha256Digest digest = Sha256::Hash(out->data(), out->size());
+  out->append(reinterpret_cast<const char*>(digest.data()), digest.size());
+}
+
+Status CheckEnvelope(const std::string& bytes, uint8_t expected_kind,
+                     std::string_view* payload) {
+  if (bytes.size() < sizeof(kMagic) + 1 + 32) {
+    return Status::Corruption("file too short");
+  }
+  if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("bad magic");
+  }
+  const size_t body_len = bytes.size() - 32;
+  const Sha256Digest digest = Sha256::Hash(bytes.data(), body_len);
+  if (std::memcmp(bytes.data() + body_len, digest.data(), 32) != 0) {
+    return Status::Corruption("checksum mismatch");
+  }
+  const auto kind = static_cast<uint8_t>(bytes[sizeof(kMagic)]);
+  if (kind != expected_kind) {
+    return Status::Corruption("wrong diagram kind");
+  }
+  *payload = std::string_view(bytes).substr(sizeof(kMagic) + 1,
+                                            body_len - sizeof(kMagic) - 1);
+  return Status::OK();
+}
+
+Status WriteFile(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::Internal("cannot open for writing: " + path);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!out) return Status::Internal("short write: " + path);
+  return Status::OK();
+}
+
+StatusOr<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+}  // namespace
+
+std::string SerializeCellDiagram(const Dataset& dataset,
+                                 const CellDiagram& diagram) {
+  std::string out(kMagic, sizeof(kMagic));
+  PutU8(&out, kKindCell);
+  EmitDataset(dataset, &out);
+  EmitPool(diagram.pool(), &out);
+  const CellGrid& grid = diagram.grid();
+  PutU64(&out, grid.num_cells());
+  for (uint32_t cy = 0; cy < grid.num_rows(); ++cy) {
+    for (uint32_t cx = 0; cx < grid.num_columns(); ++cx) {
+      PutU32(&out, diagram.cell_set(cx, cy));
+    }
+  }
+  AppendChecksum(&out);
+  return out;
+}
+
+Status SaveCellDiagram(const Dataset& dataset, const CellDiagram& diagram,
+                       const std::string& path) {
+  return WriteFile(path, SerializeCellDiagram(dataset, diagram));
+}
+
+StatusOr<LoadedCellDiagram> ParseCellDiagram(const std::string& bytes) {
+  std::string_view payload;
+  if (Status s = CheckEnvelope(bytes, kKindCell, &payload); !s.ok()) return s;
+  Reader reader(payload);
+  StatusOr<Dataset> dataset = ReadDataset(&reader);
+  if (!dataset.ok()) return dataset.status();
+
+  CellDiagram diagram(*dataset);
+  if (Status s = ReadPool(&reader, dataset->size(), &diagram.pool()); !s.ok()) {
+    return s;
+  }
+  std::vector<SetId> cells;
+  if (Status s = ReadCells(&reader, diagram.grid().num_cells(),
+                           diagram.pool().size(), &cells);
+      !s.ok()) {
+    return s;
+  }
+  if (reader.remaining() != 0) {
+    return Status::Corruption("trailing bytes after cell table");
+  }
+  const CellGrid& grid = diagram.grid();
+  for (uint32_t cy = 0; cy < grid.num_rows(); ++cy) {
+    for (uint32_t cx = 0; cx < grid.num_columns(); ++cx) {
+      diagram.set_cell(cx, cy, cells[grid.CellIndex(cx, cy)]);
+    }
+  }
+  return LoadedCellDiagram{std::move(dataset).value(), std::move(diagram)};
+}
+
+StatusOr<LoadedCellDiagram> LoadCellDiagram(const std::string& path) {
+  StatusOr<std::string> bytes = ReadFile(path);
+  if (!bytes.ok()) return bytes.status();
+  return ParseCellDiagram(*bytes);
+}
+
+std::string SerializeSubcellDiagram(const Dataset& dataset,
+                                    const SubcellDiagram& diagram) {
+  std::string out(kMagic, sizeof(kMagic));
+  PutU8(&out, kKindSubcell);
+  EmitDataset(dataset, &out);
+  EmitPool(diagram.pool(), &out);
+  const SubcellGrid& grid = diagram.grid();
+  PutU64(&out, grid.num_subcells());
+  for (uint32_t sy = 0; sy < grid.num_rows(); ++sy) {
+    for (uint32_t sx = 0; sx < grid.num_columns(); ++sx) {
+      PutU32(&out, diagram.subcell_set(sx, sy));
+    }
+  }
+  AppendChecksum(&out);
+  return out;
+}
+
+Status SaveSubcellDiagram(const Dataset& dataset,
+                          const SubcellDiagram& diagram,
+                          const std::string& path) {
+  return WriteFile(path, SerializeSubcellDiagram(dataset, diagram));
+}
+
+StatusOr<LoadedSubcellDiagram> ParseSubcellDiagram(const std::string& bytes) {
+  std::string_view payload;
+  if (Status s = CheckEnvelope(bytes, kKindSubcell, &payload); !s.ok()) {
+    return s;
+  }
+  Reader reader(payload);
+  StatusOr<Dataset> dataset = ReadDataset(&reader);
+  if (!dataset.ok()) return dataset.status();
+
+  SubcellDiagram diagram(*dataset);
+  if (Status s = ReadPool(&reader, dataset->size(), &diagram.pool()); !s.ok()) {
+    return s;
+  }
+  std::vector<SetId> cells;
+  if (Status s = ReadCells(&reader, diagram.grid().num_subcells(),
+                           diagram.pool().size(), &cells);
+      !s.ok()) {
+    return s;
+  }
+  if (reader.remaining() != 0) {
+    return Status::Corruption("trailing bytes after subcell table");
+  }
+  const SubcellGrid& grid = diagram.grid();
+  for (uint32_t sy = 0; sy < grid.num_rows(); ++sy) {
+    for (uint32_t sx = 0; sx < grid.num_columns(); ++sx) {
+      diagram.set_subcell(sx, sy, cells[grid.SubcellIndex(sx, sy)]);
+    }
+  }
+  return LoadedSubcellDiagram{std::move(dataset).value(), std::move(diagram)};
+}
+
+StatusOr<LoadedSubcellDiagram> LoadSubcellDiagram(const std::string& path) {
+  StatusOr<std::string> bytes = ReadFile(path);
+  if (!bytes.ok()) return bytes.status();
+  return ParseSubcellDiagram(*bytes);
+}
+
+}  // namespace skydia

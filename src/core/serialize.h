@@ -1,0 +1,61 @@
+// Binary serialization of built skyline diagrams: the precompute-once /
+// serve-forever deployment the paper motivates (and the basis for the
+// outsourcing applications — an owner builds and signs the file, servers
+// load it).
+//
+// Format (little-endian):
+//   magic "SKYDIAG1" | kind u8 (1 = cell, 2 = subcell)
+//   dataset: domain u64, n u64, n x (x i64, y i64),
+//            labels: flag u8, then n x (len u32, bytes) when present
+//   pool: num_sets u64, per set (size u64, ids u32...)   -- set 0 is empty
+//   cells: count u64, ids u32...
+//   footer: SHA-256 of everything above
+// Load verifies the magic, every structural invariant (sorted/unique set
+// contents, in-range ids, grid shape) and the checksum, returning
+// Status::Corruption on any mismatch — see tests/core/serialize_test.cc for
+// the failure-injection matrix.
+#ifndef SKYDIA_SRC_CORE_SERIALIZE_H_
+#define SKYDIA_SRC_CORE_SERIALIZE_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/core/diagram.h"
+#include "src/core/skyline_cell.h"
+#include "src/core/subcell_diagram.h"
+#include "src/geometry/dataset.h"
+
+namespace skydia {
+
+/// A diagram loaded from disk, together with the dataset it was built from.
+struct LoadedCellDiagram {
+  Dataset dataset;
+  CellDiagram diagram;
+};
+struct LoadedSubcellDiagram {
+  Dataset dataset;
+  SubcellDiagram diagram;
+};
+
+/// Serializes a cell diagram (quadrant or global) with its source dataset.
+std::string SerializeCellDiagram(const Dataset& dataset,
+                                 const CellDiagram& diagram);
+Status SaveCellDiagram(const Dataset& dataset, const CellDiagram& diagram,
+                       const std::string& path);
+
+/// Deserializes; returns Corruption on malformed/damaged input.
+StatusOr<LoadedCellDiagram> ParseCellDiagram(const std::string& bytes);
+StatusOr<LoadedCellDiagram> LoadCellDiagram(const std::string& path);
+
+/// Subcell (dynamic) variants.
+std::string SerializeSubcellDiagram(const Dataset& dataset,
+                                    const SubcellDiagram& diagram);
+Status SaveSubcellDiagram(const Dataset& dataset,
+                          const SubcellDiagram& diagram,
+                          const std::string& path);
+StatusOr<LoadedSubcellDiagram> ParseSubcellDiagram(const std::string& bytes);
+StatusOr<LoadedSubcellDiagram> LoadSubcellDiagram(const std::string& path);
+
+}  // namespace skydia
+
+#endif  // SKYDIA_SRC_CORE_SERIALIZE_H_

@@ -1,0 +1,34 @@
+#include "src/core/skyline_cell.h"
+
+#include <algorithm>
+
+namespace skydia {
+
+bool CellDiagram::SameResults(const CellDiagram& other) const {
+  if (grid_.num_columns() != other.grid_.num_columns() ||
+      grid_.num_rows() != other.grid_.num_rows()) {
+    return false;
+  }
+  for (uint32_t cy = 0; cy < grid_.num_rows(); ++cy) {
+    for (uint32_t cx = 0; cx < grid_.num_columns(); ++cx) {
+      const auto a = CellSkyline(cx, cy);
+      const auto b = other.CellSkyline(cx, cy);
+      if (a.size() != b.size() || !std::equal(a.begin(), a.end(), b.begin())) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+CellDiagram::Stats CellDiagram::ComputeStats() const {
+  Stats stats;
+  stats.num_cells = grid_.num_cells();
+  stats.num_distinct_sets = pool_->size();
+  stats.total_set_elements = pool_->total_elements();
+  stats.approx_bytes =
+      pool_->ApproximateMemoryBytes() + cells_.size() * sizeof(SetId);
+  return stats;
+}
+
+}  // namespace skydia

@@ -1,0 +1,97 @@
+// SubcellGrid: the grid of *skyline subcells* (Definition 7) for dynamic
+// skyline diagrams.
+//
+// For dynamic skylines the grid lines are (a) the vertical/horizontal lines
+// through every point and (b) the per-pair bisector lines in each dimension.
+// Bisectors fall on half-integers, so the grid works in *doubled*
+// coordinates: the line set per dimension is { a + b : a, b point values }
+// (taking a == b covers the point lines, 2a). With a limited domain of size s
+// the positions collapse to at most 2s-1 distinct values — the effect the
+// domain-size experiments measure.
+//
+// Subcell representatives live on quarter-integer positions, represented in
+// 4x-scaled coordinates (see src/skyline/dominance.h): the representative of
+// the open interval (L[i-1], L[i]) in doubled coordinates is L[i-1] + L[i] in
+// 4x coordinates, strictly inside and never colliding with a mapped point.
+#ifndef SKYDIA_SRC_CORE_SUBCELL_GRID_H_
+#define SKYDIA_SRC_CORE_SUBCELL_GRID_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/geometry/dataset.h"
+#include "src/geometry/point.h"
+
+namespace skydia {
+
+/// One dimension's subcell line arrangement (doubled coordinates).
+class SubcellAxis {
+ public:
+  /// `values` are the distinct original point coordinates of this dimension.
+  explicit SubcellAxis(const std::vector<int64_t>& values);
+
+  /// Number of grid+bisector lines.
+  uint32_t num_lines() const { return static_cast<uint32_t>(lines_.size()); }
+  /// Number of subcell slabs (lines + 1).
+  uint32_t num_slabs() const { return num_lines() + 1; }
+
+  /// Doubled coordinate of line i.
+  int64_t line(uint32_t i) const { return lines_[i]; }
+
+  /// 4x-coordinate representative strictly inside slab i.
+  int64_t Representative4(uint32_t slab) const;
+
+  /// Slab containing the doubled coordinate `v2` under the half-open
+  /// convention (lines belong to the slab on their left); exact for interior
+  /// queries.
+  uint32_t SlabOfDoubled(int64_t v2) const;
+
+  /// True when the doubled coordinate `v2` falls exactly on a line.
+  bool IsOnLine(int64_t v2) const;
+
+ private:
+  std::vector<int64_t> lines_;
+};
+
+/// Full 2-D subcell grid plus per-line contributor lists.
+class SubcellGrid {
+ public:
+  explicit SubcellGrid(const Dataset& dataset);
+
+  const SubcellAxis& x_axis() const { return x_; }
+  const SubcellAxis& y_axis() const { return y_; }
+
+  uint32_t num_columns() const { return x_.num_slabs(); }
+  uint32_t num_rows() const { return y_.num_slabs(); }
+  uint64_t num_subcells() const {
+    return static_cast<uint64_t>(num_columns()) * num_rows();
+  }
+
+  uint64_t SubcellIndex(uint32_t sx, uint32_t sy) const {
+    return static_cast<uint64_t>(sy) * num_columns() + sx;
+  }
+
+  /// Point ids whose dominance relations can flip when a query crosses
+  /// vertical line i: every p with (line(i) - p.x) equal to some point's x
+  /// coordinate (this covers both p's own grid line and all bisectors p is
+  /// party to). Sorted ascending.
+  const std::vector<PointId>& ContributorsX(uint32_t line) const {
+    return contrib_x_[line];
+  }
+  const std::vector<PointId>& ContributorsY(uint32_t line) const {
+    return contrib_y_[line];
+  }
+
+ private:
+  static std::vector<std::vector<PointId>> BuildContributors(
+      const Dataset& dataset, const SubcellAxis& axis, bool use_x);
+
+  SubcellAxis x_;
+  SubcellAxis y_;
+  std::vector<std::vector<PointId>> contrib_x_;
+  std::vector<std::vector<PointId>> contrib_y_;
+};
+
+}  // namespace skydia
+
+#endif  // SKYDIA_SRC_CORE_SUBCELL_GRID_H_

@@ -1,0 +1,46 @@
+// Real-data workloads.
+//
+// (1) The paper's running example: the 11-hotel dataset of Figure 1, with
+//     coordinates reconstructed so that every query result stated in the
+//     paper holds verbatim for q = (10, 80):
+//       quadrant-1 skyline {p3, p8, p10}, Q2 {p6}, Q3 {}, Q4 {p11},
+//       global {p3, p6, p8, p10, p11}, dynamic {p6, p11}.
+//     (tests/datagen/real_data_test.cc asserts all of these.)
+//
+// (2) An "NBA-like" stand-in for the paper's (unnamed, unavailable) real
+//     dataset: a deterministic correlated integer table with realistic
+//     column ranges, written to CSV and read back through the CSV substrate,
+//     so the real-data path exercises limited-domain, tie-heavy data end to
+//     end. See DESIGN.md "Substitutions".
+#ifndef SKYDIA_SRC_DATAGEN_REAL_DATA_H_
+#define SKYDIA_SRC_DATAGEN_REAL_DATA_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/geometry/dataset.h"
+
+namespace skydia {
+
+/// The hotel running example (Figure 1). Labels are "p1".."p11";
+/// x = distance to downtown, y = price; domain size 128.
+Dataset HotelExample();
+
+/// The paper's example query point q = (10, 80).
+Point2D HotelExampleQuery();
+
+/// Writes the NBA-like stand-in table (columns: player_id, points_rank,
+/// rebounds_rank — lower is better) as CSV. Deterministic in the seed.
+Status WriteNbaLikeCsv(const std::string& path, size_t n, uint64_t seed);
+
+/// Loads a 2-D dataset from a CSV file with a header row. `x_column` and
+/// `y_column` name the attribute columns; a "label" column is used for
+/// labels when present. Domain is the smallest power of two above the max
+/// coordinate.
+StatusOr<Dataset> LoadDatasetCsv(const std::string& path,
+                                 const std::string& x_column,
+                                 const std::string& y_column);
+
+}  // namespace skydia
+
+#endif  // SKYDIA_SRC_DATAGEN_REAL_DATA_H_

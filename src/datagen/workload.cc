@@ -1,0 +1,72 @@
+#include "src/datagen/workload.h"
+
+#include <algorithm>
+
+#include "src/common/random.h"
+#include "src/core/subcell_grid.h"
+
+namespace skydia {
+
+std::vector<Point2D> GenerateQueries(const Dataset& dataset, size_t count,
+                                     uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Point2D> queries;
+  queries.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    queries.push_back(Point2D{rng.NextInt(0, dataset.domain_size() - 1),
+                              rng.NextInt(0, dataset.domain_size() - 1)});
+  }
+  return queries;
+}
+
+namespace {
+
+std::vector<int64_t> Distinct(const Dataset& dataset, bool use_x) {
+  std::vector<int64_t> values;
+  values.reserve(dataset.size());
+  for (const Point2D& p : dataset.points()) {
+    values.push_back(use_x ? p.x : p.y);
+  }
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  return values;
+}
+
+// Representative (4x coordinates) of a random slab between consecutive
+// point-grid lines.
+int64_t GridSlabRep4(const std::vector<int64_t>& values, Rng* rng) {
+  const size_t slabs = values.size() + 1;
+  const size_t slab = rng->NextBounded(slabs);
+  if (slab == 0) return 4 * values.front() - 1;
+  if (slab == values.size()) return 4 * values.back() + 1;
+  return 2 * (values[slab - 1] + values[slab]);
+}
+
+}  // namespace
+
+std::vector<std::pair<int64_t, int64_t>> GenerateInteriorQueries4(
+    const Dataset& dataset, size_t count, uint64_t seed,
+    bool avoid_bisectors) {
+  Rng rng(seed);
+  std::vector<std::pair<int64_t, int64_t>> queries;
+  queries.reserve(count);
+  if (avoid_bisectors) {
+    const SubcellGrid grid(dataset);
+    for (size_t i = 0; i < count; ++i) {
+      const auto sx =
+          static_cast<uint32_t>(rng.NextBounded(grid.num_columns()));
+      const auto sy = static_cast<uint32_t>(rng.NextBounded(grid.num_rows()));
+      queries.emplace_back(grid.x_axis().Representative4(sx),
+                           grid.y_axis().Representative4(sy));
+    }
+  } else {
+    const std::vector<int64_t> xs = Distinct(dataset, /*use_x=*/true);
+    const std::vector<int64_t> ys = Distinct(dataset, /*use_x=*/false);
+    for (size_t i = 0; i < count; ++i) {
+      queries.emplace_back(GridSlabRep4(xs, &rng), GridSlabRep4(ys, &rng));
+    }
+  }
+  return queries;
+}
+
+}  // namespace skydia

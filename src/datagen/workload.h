@@ -1,0 +1,29 @@
+// Query workload generation for the query-latency experiments and the
+// Monte-Carlo validation tests.
+#ifndef SKYDIA_SRC_DATAGEN_WORKLOAD_H_
+#define SKYDIA_SRC_DATAGEN_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/geometry/dataset.h"
+#include "src/geometry/point.h"
+
+namespace skydia {
+
+/// Uniform random integer query points over the dataset's domain.
+/// Deterministic in the seed.
+std::vector<Point2D> GenerateQueries(const Dataset& dataset, size_t count,
+                                     uint64_t seed);
+
+/// Query points guaranteed to avoid every grid line of the dataset (and with
+/// `avoid_bisectors`, every bisector line too) — i.e. interior positions
+/// where all diagram semantics are exact. Points are returned in 4x-scaled
+/// coordinates, suitable for the *At4 reference-query entry points. Queries
+/// are drawn by picking a random cell/subcell and using its representative.
+std::vector<std::pair<int64_t, int64_t>> GenerateInteriorQueries4(
+    const Dataset& dataset, size_t count, uint64_t seed, bool avoid_bisectors);
+
+}  // namespace skydia
+
+#endif  // SKYDIA_SRC_DATAGEN_WORKLOAD_H_

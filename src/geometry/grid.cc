@@ -1,0 +1,73 @@
+#include "src/geometry/grid.h"
+
+#include <algorithm>
+
+namespace skydia {
+
+namespace {
+
+std::vector<int64_t> SortedDistinct(const std::vector<Point2D>& points,
+                                    bool use_x) {
+  std::vector<int64_t> values;
+  values.reserve(points.size());
+  for (const Point2D& p : points) values.push_back(use_x ? p.x : p.y);
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  return values;
+}
+
+uint32_t RankOf(const std::vector<int64_t>& values, int64_t v) {
+  return static_cast<uint32_t>(
+      std::lower_bound(values.begin(), values.end(), v) - values.begin());
+}
+
+}  // namespace
+
+CellGrid::CellGrid(const Dataset& dataset)
+    : xs_(SortedDistinct(dataset.points(), /*use_x=*/true)),
+      ys_(SortedDistinct(dataset.points(), /*use_x=*/false)) {
+  const size_t n = dataset.size();
+  xrank_.resize(n);
+  yrank_.resize(n);
+  column_points_.resize(num_columns());
+  row_points_.resize(num_rows());
+  for (PointId id = 0; id < n; ++id) {
+    const Point2D& p = dataset.point(id);
+    xrank_[id] = RankOf(xs_, p.x);
+    yrank_[id] = RankOf(ys_, p.y);
+    column_points_[xrank_[id]].push_back(id);
+    row_points_[yrank_[id]].push_back(id);
+    corner_points_[CellIndex(xrank_[id], yrank_[id])].push_back(id);
+  }
+}
+
+uint32_t CellGrid::ColumnOf(int64_t qx) const { return RankOf(xs_, qx); }
+
+uint32_t CellGrid::RowOf(int64_t qy) const { return RankOf(ys_, qy); }
+
+bool CellGrid::IsOnVerticalLine(int64_t qx) const {
+  return std::binary_search(xs_.begin(), xs_.end(), qx);
+}
+
+bool CellGrid::IsOnHorizontalLine(int64_t qy) const {
+  return std::binary_search(ys_.begin(), ys_.end(), qy);
+}
+
+const std::vector<PointId>& CellGrid::PointsAtColumn(uint32_t cx) const {
+  if (cx >= column_points_.size()) return empty_;
+  return column_points_[cx];
+}
+
+const std::vector<PointId>& CellGrid::PointsAtRow(uint32_t cy) const {
+  if (cy >= row_points_.size()) return empty_;
+  return row_points_[cy];
+}
+
+const std::vector<PointId>& CellGrid::PointsAtCorner(uint32_t cx,
+                                                     uint32_t cy) const {
+  auto it = corner_points_.find(CellIndex(cx, cy));
+  if (it == corner_points_.end()) return empty_;
+  return it->second;
+}
+
+}  // namespace skydia

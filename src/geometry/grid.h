@@ -1,0 +1,92 @@
+// CellGrid: the coordinate-compressed grid of *skyline cells* (Definition 6).
+//
+// A horizontal and a vertical grid line through every point divide the plane
+// into O(n^2) cells; all query points in one cell share the same
+// quadrant/global skyline. With ties (shared coordinate values) several
+// points contribute the same line, which is what bounds the cell count by the
+// domain size; the grid therefore works in *rank space*:
+//
+//   xrank(p) = index of p.x among the sorted distinct x values (0-based)
+//
+// Cell columns are indexed 0..NumDistinctX() inclusive. Column `cx` contains
+// the query x-range (xs[cx-1], xs[cx]]  (half-open; column 0 extends to -inf,
+// column NumDistinctX() to +inf). Under the library's candidate semantics for
+// the first quadrant (p is a candidate for query q iff p.x >= q.x and
+// p.y >= q.y), the candidate set of every query in column cx is exactly
+// {p : xrank(p) >= cx}, so the half-open convention is *exact* for all query
+// positions, including queries lying on grid lines.
+#ifndef SKYDIA_SRC_GEOMETRY_GRID_H_
+#define SKYDIA_SRC_GEOMETRY_GRID_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/geometry/dataset.h"
+#include "src/geometry/point.h"
+
+namespace skydia {
+
+/// Coordinate compression plus cell arithmetic for one 2-D dataset.
+class CellGrid {
+ public:
+  explicit CellGrid(const Dataset& dataset);
+
+  /// Number of distinct x (resp. y) coordinate values among the points.
+  uint32_t num_distinct_x() const { return static_cast<uint32_t>(xs_.size()); }
+  uint32_t num_distinct_y() const { return static_cast<uint32_t>(ys_.size()); }
+
+  /// Grid dimensions in cells: columns = num_distinct_x()+1, etc.
+  uint32_t num_columns() const { return num_distinct_x() + 1; }
+  uint32_t num_rows() const { return num_distinct_y() + 1; }
+  uint64_t num_cells() const {
+    return static_cast<uint64_t>(num_columns()) * num_rows();
+  }
+
+  /// The i-th distinct x (resp. y) value, ascending. i < num_distinct_x().
+  int64_t x_value(uint32_t i) const { return xs_[i]; }
+  int64_t y_value(uint32_t i) const { return ys_[i]; }
+
+  /// Rank of point `id` (index of its coordinate among the distinct values).
+  uint32_t xrank(PointId id) const { return xrank_[id]; }
+  uint32_t yrank(PointId id) const { return yrank_[id]; }
+
+  /// Cell column containing query coordinate `qx`: the number of distinct x
+  /// values strictly less than `qx`.
+  uint32_t ColumnOf(int64_t qx) const;
+  uint32_t RowOf(int64_t qy) const;
+
+  /// True when `qx` coincides with a vertical grid line (a point's x value).
+  bool IsOnVerticalLine(int64_t qx) const;
+  bool IsOnHorizontalLine(int64_t qy) const;
+
+  /// Flattened row-major cell index.
+  uint64_t CellIndex(uint32_t cx, uint32_t cy) const {
+    return static_cast<uint64_t>(cy) * num_columns() + cx;
+  }
+
+  /// Point ids whose xrank == cx (the contributors of the vertical grid line
+  /// crossed when moving from column cx to cx+1). Empty for cx ==
+  /// num_distinct_x().
+  const std::vector<PointId>& PointsAtColumn(uint32_t cx) const;
+  const std::vector<PointId>& PointsAtRow(uint32_t cy) const;
+
+  /// Point ids with rank exactly (cx, cy) — the points sitting on the "upper
+  /// right corner" of cell (cx, cy) in the paper's terminology. Empty for
+  /// most cells.
+  const std::vector<PointId>& PointsAtCorner(uint32_t cx, uint32_t cy) const;
+
+ private:
+  std::vector<int64_t> xs_;  // sorted distinct x values
+  std::vector<int64_t> ys_;
+  std::vector<uint32_t> xrank_;  // per point
+  std::vector<uint32_t> yrank_;
+  std::vector<std::vector<PointId>> column_points_;  // indexed by xrank
+  std::vector<std::vector<PointId>> row_points_;     // indexed by yrank
+  std::unordered_map<uint64_t, std::vector<PointId>> corner_points_;
+  std::vector<PointId> empty_;
+};
+
+}  // namespace skydia
+
+#endif  // SKYDIA_SRC_GEOMETRY_GRID_H_

@@ -1,0 +1,17 @@
+#include "src/geometry/point.h"
+
+#include <sstream>
+
+namespace skydia {
+
+std::ostream& operator<<(std::ostream& os, const Point2D& p) {
+  return os << "(" << p.x << ", " << p.y << ")";
+}
+
+std::string ToString(const Point2D& p) {
+  std::ostringstream os;
+  os << p;
+  return os.str();
+}
+
+}  // namespace skydia

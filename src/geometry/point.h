@@ -1,0 +1,42 @@
+// Basic geometric vocabulary: 2-D points with integer coordinates and ids.
+//
+// All skydia coordinates are integers on a limited domain (see DESIGN.md,
+// "Coordinate model"). The dynamic-skyline machinery works in doubled (and
+// for subcell representatives, quadrupled) coordinates so that bisector lines
+// and interval midpoints stay exact.
+#ifndef SKYDIA_SRC_GEOMETRY_POINT_H_
+#define SKYDIA_SRC_GEOMETRY_POINT_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+namespace skydia {
+
+/// Index of a point within its Dataset. Stable across all diagram structures.
+using PointId = uint32_t;
+
+/// Sentinel for "no point".
+inline constexpr PointId kInvalidPointId = static_cast<PointId>(-1);
+
+/// A point in the plane with integer coordinates.
+struct Point2D {
+  int64_t x = 0;
+  int64_t y = 0;
+
+  friend bool operator==(const Point2D& a, const Point2D& b) = default;
+};
+
+/// Lexicographic (x, then y) comparison; the canonical sort order used by the
+/// sort-scan skyline algorithms.
+inline bool LexLess(const Point2D& a, const Point2D& b) {
+  if (a.x != b.x) return a.x < b.x;
+  return a.y < b.y;
+}
+
+std::ostream& operator<<(std::ostream& os, const Point2D& p);
+std::string ToString(const Point2D& p);
+
+}  // namespace skydia
+
+#endif  // SKYDIA_SRC_GEOMETRY_POINT_H_

@@ -1,0 +1,64 @@
+#include "src/geometry/polyomino.h"
+
+#include <cstdlib>
+
+namespace skydia {
+
+int64_t PolyominoOutline::SignedDoubleArea() const {
+  const size_t n = vertices.size();
+  if (n < 3) return 0;
+  int64_t twice = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const Point2D& a = vertices[i];
+    const Point2D& b = vertices[(i + 1) % n];
+    twice += a.x * b.y - b.x * a.y;
+  }
+  return twice;
+}
+
+int64_t PolyominoOutline::Area() const {
+  return std::llabs(SignedDoubleArea()) / 2;
+}
+
+int64_t PolyominoOutline::Perimeter() const {
+  const size_t n = vertices.size();
+  if (n < 2) return 0;
+  int64_t total = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const Point2D& a = vertices[i];
+    const Point2D& b = vertices[(i + 1) % n];
+    total += std::llabs(a.x - b.x) + std::llabs(a.y - b.y);
+  }
+  return total;
+}
+
+bool PolyominoOutline::ContainsInterior(const Point2D& p) const {
+  // Even-odd ray casting against vertical edges only (sufficient for
+  // rectilinear polygons): count edges crossing the horizontal ray to +x.
+  const size_t n = vertices.size();
+  bool inside = false;
+  for (size_t i = 0; i < n; ++i) {
+    const Point2D& a = vertices[i];
+    const Point2D& b = vertices[(i + 1) % n];
+    if (a.x != b.x) continue;  // horizontal edge, cannot cross the ray
+    const int64_t lo = std::min(a.y, b.y);
+    const int64_t hi = std::max(a.y, b.y);
+    if (p.y >= lo && p.y < hi && a.x > p.x) inside = !inside;
+  }
+  return inside;
+}
+
+bool PolyominoOutline::IsRectilinear() const {
+  const size_t n = vertices.size();
+  if (n < 4) return false;
+  for (size_t i = 0; i < n; ++i) {
+    const Point2D& a = vertices[i];
+    const Point2D& b = vertices[(i + 1) % n];
+    const bool horizontal = a.y == b.y && a.x != b.x;
+    const bool vertical = a.x == b.x && a.y != b.y;
+    if (!horizontal && !vertical) return false;
+  }
+  return true;
+}
+
+}  // namespace skydia

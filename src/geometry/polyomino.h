@@ -1,0 +1,42 @@
+// Rectilinear polyomino outlines (the "skymino" regions of the diagram) and
+// helpers for area/containment checks used by the sweeping algorithm and the
+// structure-statistics harness.
+#ifndef SKYDIA_SRC_GEOMETRY_POLYOMINO_H_
+#define SKYDIA_SRC_GEOMETRY_POLYOMINO_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/geometry/point.h"
+
+namespace skydia {
+
+/// A closed rectilinear polygon given by its vertex cycle. Consecutive
+/// vertices differ in exactly one coordinate; the last vertex connects back
+/// to the first. Orientation is not prescribed.
+struct PolyominoOutline {
+  std::vector<Point2D> vertices;
+
+  /// Signed double area via the shoelace formula (positive for
+  /// counter-clockwise orientation).
+  int64_t SignedDoubleArea() const;
+
+  /// |SignedDoubleArea()| / 2 — exact because rectilinear polygons on integer
+  /// coordinates always have even double area.
+  int64_t Area() const;
+
+  /// Perimeter length.
+  int64_t Perimeter() const;
+
+  /// Point-in-polygon test (even-odd rule) for points strictly inside; points
+  /// on the boundary return an unspecified side, so callers should test
+  /// interior samples only.
+  bool ContainsInterior(const Point2D& p) const;
+
+  /// True when all edges are axis-parallel and the cycle closes.
+  bool IsRectilinear() const;
+};
+
+}  // namespace skydia
+
+#endif  // SKYDIA_SRC_GEOMETRY_POLYOMINO_H_

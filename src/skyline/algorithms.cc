@@ -1,0 +1,382 @@
+#include "src/skyline/algorithms.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "src/common/logging.h"
+#include "src/skyline/dominance.h"
+
+namespace skydia {
+
+namespace {
+
+// Sorts index permutation of `ids` by (x asc, y asc) over `coords` and scans
+// the staircase. A point is a skyline member iff no point with strictly
+// smaller x has y <= its y, and within its x-group it attains the group
+// minimum y (duplicates of the minimum all qualify).
+std::vector<PointId> MinStaircaseImpl(const std::vector<Point2D>& coords,
+                                      const std::vector<PointId>& ids) {
+  SKYDIA_CHECK_EQ(coords.size(), ids.size());
+  const size_t n = coords.size();
+  std::vector<uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    if (coords[a].x != coords[b].x) return coords[a].x < coords[b].x;
+    return coords[a].y < coords[b].y;
+  });
+
+  std::vector<PointId> result;
+  int64_t best_y = std::numeric_limits<int64_t>::max();  // min y over prior groups
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j < n && coords[order[j]].x == coords[order[i]].x) ++j;
+    // Group [i, j) shares one x; group minimum y comes first in the order.
+    const int64_t group_min_y = coords[order[i]].y;
+    if (group_min_y < best_y) {
+      for (size_t k = i; k < j && coords[order[k]].y == group_min_y; ++k) {
+        result.push_back(ids[order[k]]);
+      }
+      best_y = group_min_y;
+    }
+    i = j;
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+std::vector<PointId> SkylineBnlNd(const DatasetNd& dataset) {
+  // Block-nested-loop with a single window (all in memory): candidates enter
+  // the window unless dominated; dominated window members are evicted.
+  const int dims = dataset.dims();
+  std::vector<PointId> window;
+  for (PointId id = 0; id < dataset.size(); ++id) {
+    const int64_t* p = dataset.row(id);
+    bool dominated = false;
+    size_t out = 0;
+    for (size_t w = 0; w < window.size(); ++w) {
+      const int64_t* q = dataset.row(window[w]);
+      if (!dominated && DominatesNd(q, p, dims)) {
+        dominated = true;
+        // Nothing already in the window can be dominated by q's survivor set;
+        // keep the remainder unchanged.
+        for (size_t rest = w; rest < window.size(); ++rest) {
+          window[out++] = window[rest];
+        }
+        break;
+      }
+      if (!DominatesNd(p, q, dims)) {
+        window[out++] = window[w];
+      }
+    }
+    if (!dominated) {
+      window.resize(out);
+      window.push_back(id);
+    } else {
+      window.resize(out);
+    }
+  }
+  std::sort(window.begin(), window.end());
+  return window;
+}
+
+std::vector<PointId> SkylineSfsNd(const DatasetNd& dataset) {
+  // Sort-Filter-Skyline: process points in ascending coordinate-sum order
+  // (a monotone scoring function), so no later point can dominate an earlier
+  // one and the window only grows.
+  const int dims = dataset.dims();
+  std::vector<PointId> order(dataset.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<int64_t> score(dataset.size());
+  for (PointId id = 0; id < dataset.size(); ++id) {
+    int64_t s = 0;
+    for (int d = 0; d < dims; ++d) s += dataset.coord(id, d);
+    score[id] = s;
+  }
+  std::sort(order.begin(), order.end(), [&](PointId a, PointId b) {
+    if (score[a] != score[b]) return score[a] < score[b];
+    return a < b;
+  });
+
+  std::vector<PointId> skyline;
+  for (PointId id : order) {
+    const int64_t* p = dataset.row(id);
+    bool dominated = false;
+    for (PointId s : skyline) {
+      if (DominatesNd(dataset.row(s), p, dims)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) skyline.push_back(id);
+  }
+  std::sort(skyline.begin(), skyline.end());
+  return skyline;
+}
+
+// --- Divide & conquer -------------------------------------------------------
+
+// View over point ids comparing a suffix of the dimensions.
+struct DcContext {
+  const DatasetNd* dataset;
+};
+
+// True when a <= b coordinate-wise on dims [from, dims).
+bool LeqOnSuffix(const DatasetNd& ds, PointId a, PointId b, int from) {
+  for (int d = from; d < ds.dims(); ++d) {
+    if (ds.coord(a, d) > ds.coord(b, d)) return false;
+  }
+  return true;
+}
+
+// Removes from `high` every id dominated-on-suffix by some id in `low`
+// (non-strict <= on dims [from, dims); strictness is guaranteed by the
+// caller's dim `from - 1` split). Specialized paths for 1 and 2 remaining
+// dimensions keep the common cases near-linear.
+void FilterDominated(const DatasetNd& ds, const std::vector<PointId>& low,
+                     std::vector<PointId>* high, int from) {
+  if (low.empty() || high->empty()) return;
+  const int remaining = ds.dims() - from;
+  if (remaining <= 0) {
+    high->clear();  // dim-0 strictness alone dominates everything
+    return;
+  }
+  if (remaining == 1) {
+    int64_t min_v = std::numeric_limits<int64_t>::max();
+    for (PointId l : low) min_v = std::min(min_v, ds.coord(l, from));
+    std::erase_if(*high, [&](PointId h) { return ds.coord(h, from) >= min_v; });
+    return;
+  }
+  if (remaining == 2) {
+    // Staircase test: h is dominated iff some l has l[d0] <= h[d0] and
+    // l[d1] <= h[d1]. Sweep both sides in ascending d0, tracking min d1.
+    const int d0 = from;
+    const int d1 = from + 1;
+    std::vector<PointId> low_sorted = low;
+    std::sort(low_sorted.begin(), low_sorted.end(), [&](PointId a, PointId b) {
+      return ds.coord(a, d0) < ds.coord(b, d0);
+    });
+    std::vector<PointId> high_sorted = *high;
+    std::sort(high_sorted.begin(), high_sorted.end(),
+              [&](PointId a, PointId b) {
+                return ds.coord(a, d0) < ds.coord(b, d0);
+              });
+    std::vector<PointId> kept;
+    kept.reserve(high_sorted.size());
+    size_t li = 0;
+    int64_t min_d1 = std::numeric_limits<int64_t>::max();
+    for (PointId h : high_sorted) {
+      while (li < low_sorted.size() &&
+             ds.coord(low_sorted[li], d0) <= ds.coord(h, d0)) {
+        min_d1 = std::min(min_d1, ds.coord(low_sorted[li], d1));
+        ++li;
+      }
+      if (ds.coord(h, d1) < min_d1) kept.push_back(h);
+    }
+    std::sort(kept.begin(), kept.end());
+    std::vector<PointId> filtered;
+    filtered.reserve(kept.size());
+    // Preserve the original order of *high.
+    for (PointId h : *high) {
+      if (std::binary_search(kept.begin(), kept.end(), h)) {
+        filtered.push_back(h);
+      }
+    }
+    *high = std::move(filtered);
+    return;
+  }
+  // General case: pairwise filter (used only for d >= 4 recursion tails).
+  std::erase_if(*high, [&](PointId h) {
+    for (PointId l : low) {
+      if (LeqOnSuffix(ds, l, h, from)) return true;
+    }
+    return false;
+  });
+}
+
+// Computes the skyline of `ids` (distinct points, pre-sorted lexicographically
+// over dims [from, dims)) considering only dims [from, dims).
+std::vector<PointId> DcSkyline(const DatasetNd& ds, std::vector<PointId> ids,
+                               int from) {
+  const int remaining = ds.dims() - from;
+  if (ids.size() <= 1) return ids;
+  if (remaining == 1) {
+    // Minimum of the single remaining dimension; the lexicographic pre-sort
+    // puts it first, and only exact ties share it (points are distinct on the
+    // suffix only if... they may tie entirely on the suffix).
+    int64_t min_v = std::numeric_limits<int64_t>::max();
+    for (PointId id : ids) min_v = std::min(min_v, ds.coord(id, from));
+    std::erase_if(ids, [&](PointId id) { return ds.coord(id, from) != min_v; });
+    return ids;
+  }
+  if (remaining == 2) {
+    std::vector<Point2D> coords;
+    coords.reserve(ids.size());
+    for (PointId id : ids) {
+      coords.push_back(Point2D{ds.coord(id, from), ds.coord(id, from + 1)});
+    }
+    return MinStaircase(std::move(coords), ids);
+  }
+  if (ids.size() <= 32) {
+    // Small base case: pairwise suffix dominance with explicit strictness.
+    std::vector<PointId> result;
+    for (PointId a : ids) {
+      bool dominated = false;
+      for (PointId b : ids) {
+        if (a == b) continue;
+        bool leq = true;
+        bool strict = false;
+        for (int d = from; d < ds.dims(); ++d) {
+          if (ds.coord(b, d) > ds.coord(a, d)) {
+            leq = false;
+            break;
+          }
+          if (ds.coord(b, d) < ds.coord(a, d)) strict = true;
+        }
+        if (leq && strict) {
+          dominated = true;
+          break;
+        }
+      }
+      if (!dominated) result.push_back(a);
+    }
+    return result;
+  }
+
+  // Split on dim `from` so that low-part values are strictly below high-part
+  // values. If every point shares the value, the dimension is inert: recurse
+  // on the suffix.
+  std::sort(ids.begin(), ids.end(), [&](PointId a, PointId b) {
+    return ds.coord(a, from) < ds.coord(b, from);
+  });
+  const int64_t lo_v = ds.coord(ids.front(), from);
+  const int64_t hi_v = ds.coord(ids.back(), from);
+  if (lo_v == hi_v) {
+    return DcSkyline(ds, std::move(ids), from + 1);
+  }
+  const int64_t mid_v = ds.coord(ids[ids.size() / 2], from);
+  // Put values <= split in low; choose split so both sides are non-empty.
+  const int64_t split = (mid_v == hi_v) ? mid_v - 1 : mid_v;
+  std::vector<PointId> low;
+  std::vector<PointId> high;
+  for (PointId id : ids) {
+    (ds.coord(id, from) <= split ? low : high).push_back(id);
+  }
+  std::vector<PointId> sky_low = DcSkyline(ds, std::move(low), from);
+  std::vector<PointId> sky_high = DcSkyline(ds, std::move(high), from);
+  // Every low point beats every high point strictly on dim `from`, so a high
+  // survivor must avoid non-strict suffix dominance by any low skyline point.
+  FilterDominated(ds, sky_low, &sky_high, from + 1);
+  sky_low.insert(sky_low.end(), sky_high.begin(), sky_high.end());
+  return sky_low;
+}
+
+std::vector<PointId> SkylineDcIds(const DatasetNd& dataset,
+                                  std::vector<PointId> order) {
+  const int dims = dataset.dims();
+  const size_t n = order.size();
+  // Group exact duplicates: duplicates of a skyline member are all skyline.
+  std::sort(order.begin(), order.end(), [&](PointId a, PointId b) {
+    for (int d = 0; d < dims; ++d) {
+      if (dataset.coord(a, d) != dataset.coord(b, d)) {
+        return dataset.coord(a, d) < dataset.coord(b, d);
+      }
+    }
+    return a < b;
+  });
+  std::vector<PointId> representatives;
+  std::vector<std::pair<size_t, size_t>> groups;  // [begin, end) into `order`
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    auto equal = [&](PointId a, PointId b) {
+      for (int d = 0; d < dims; ++d) {
+        if (dataset.coord(a, d) != dataset.coord(b, d)) return false;
+      }
+      return true;
+    };
+    while (j < n && equal(order[i], order[j])) ++j;
+    representatives.push_back(order[i]);
+    groups.emplace_back(i, j);
+    i = j;
+  }
+
+  std::vector<PointId> sky_reps = DcSkyline(dataset, representatives, 0);
+  std::sort(sky_reps.begin(), sky_reps.end());
+
+  std::vector<PointId> result;
+  for (size_t g = 0; g < groups.size(); ++g) {
+    const PointId rep = order[groups[g].first];
+    if (std::binary_search(sky_reps.begin(), sky_reps.end(), rep)) {
+      for (size_t k = groups[g].first; k < groups[g].second; ++k) {
+        result.push_back(order[k]);
+      }
+    }
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+std::vector<PointId> SkylineDcNd(const DatasetNd& dataset) {
+  std::vector<PointId> ids(dataset.size());
+  std::iota(ids.begin(), ids.end(), 0);
+  return SkylineDcIds(dataset, std::move(ids));
+}
+
+}  // namespace
+
+std::vector<PointId> SkylineOfSubsetNd(const DatasetNd& dataset,
+                                       const std::vector<PointId>& candidates) {
+  return SkylineDcIds(dataset, candidates);
+}
+
+std::vector<PointId> MinStaircase(std::vector<Point2D> coords,
+                                  std::vector<PointId> ids) {
+  return MinStaircaseImpl(coords, ids);
+}
+
+std::vector<PointId> ComputeSkyline2d(const Dataset& dataset,
+                                      SkylineAlgorithm algorithm) {
+  if (algorithm == SkylineAlgorithm::kSortScan) {
+    std::vector<PointId> ids(dataset.size());
+    std::iota(ids.begin(), ids.end(), 0);
+    return MinStaircaseImpl(dataset.points(), ids);
+  }
+  return ComputeSkylineNd(DatasetNd::FromDataset2d(dataset), algorithm);
+}
+
+std::vector<PointId> ComputeSkylineNd(const DatasetNd& dataset,
+                                      SkylineAlgorithm algorithm) {
+  switch (algorithm) {
+    case SkylineAlgorithm::kSortScan: {
+      SKYDIA_CHECK_EQ(dataset.dims(), 2);
+      std::vector<Point2D> coords;
+      coords.reserve(dataset.size());
+      std::vector<PointId> ids(dataset.size());
+      std::iota(ids.begin(), ids.end(), 0);
+      for (PointId id = 0; id < dataset.size(); ++id) {
+        coords.push_back(Point2D{dataset.coord(id, 0), dataset.coord(id, 1)});
+      }
+      return MinStaircaseImpl(coords, ids);
+    }
+    case SkylineAlgorithm::kBlockNestedLoop:
+      return SkylineBnlNd(dataset);
+    case SkylineAlgorithm::kSortFilter:
+      return SkylineSfsNd(dataset);
+    case SkylineAlgorithm::kDivideConquer:
+      return SkylineDcNd(dataset);
+  }
+  SKYDIA_CHECK(false);
+  return {};
+}
+
+std::vector<PointId> SkylineOfSubset2d(const Dataset& dataset,
+                                       const std::vector<PointId>& candidates) {
+  std::vector<Point2D> coords;
+  coords.reserve(candidates.size());
+  for (PointId id : candidates) coords.push_back(dataset.point(id));
+  return MinStaircaseImpl(coords, candidates);
+}
+
+}  // namespace skydia

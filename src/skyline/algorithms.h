@@ -1,0 +1,57 @@
+// Skyline computation substrate.
+//
+// Implements the classic algorithms the paper builds on (and compares
+// against): the 2-D sort-scan staircase, Block-Nested-Loop (BNL,
+// Börzsönyi et al.), Sort-Filter-Skyline (SFS, Chomicki et al.) and the
+// divide-and-conquer maxima algorithm (Kung/Luccio/Preparata lineage) for
+// d >= 2. All return point ids sorted ascending, all are exact under ties
+// (duplicate points are mutually non-dominating and all belong to the
+// skyline).
+#ifndef SKYDIA_SRC_SKYLINE_ALGORITHMS_H_
+#define SKYDIA_SRC_SKYLINE_ALGORITHMS_H_
+
+#include <vector>
+
+#include "src/geometry/dataset.h"
+#include "src/geometry/point.h"
+
+namespace skydia {
+
+enum class SkylineAlgorithm {
+  kSortScan,        // 2-D only, O(n log n)
+  kBlockNestedLoop, // any d, O(n^2) worst case
+  kSortFilter,      // any d, O(n^2) worst case, strong in practice
+  kDivideConquer,   // any d, O(n log n) for d=2/3 style recursion
+};
+
+/// Computes the skyline of the whole 2-D dataset (min-preference) with the
+/// requested algorithm. Returns ids sorted ascending.
+std::vector<PointId> ComputeSkyline2d(const Dataset& dataset,
+                                      SkylineAlgorithm algorithm);
+
+/// Computes the skyline of a d-dimensional dataset. kSortScan is rejected for
+/// d != 2 via SKYDIA_CHECK.
+std::vector<PointId> ComputeSkylineNd(const DatasetNd& dataset,
+                                      SkylineAlgorithm algorithm);
+
+/// Computes the skyline of the subset `candidates` (ids into `dataset`),
+/// min-preference over the original coordinates. O(k log k) sort-scan.
+/// Returns ids sorted ascending.
+std::vector<PointId> SkylineOfSubset2d(const Dataset& dataset,
+                                       const std::vector<PointId>& candidates);
+
+/// Computes the skyline of the subset `candidates` (ids into `dataset`) in d
+/// dimensions via the divide & conquer recursion. Returns ids sorted
+/// ascending.
+std::vector<PointId> SkylineOfSubsetNd(const DatasetNd& dataset,
+                                       const std::vector<PointId>& candidates);
+
+/// Staircase core shared by several diagram algorithms: given (x, y, id)
+/// triples, returns the ids of min-preference skyline members, ascending.
+/// Exact under ties in either coordinate and under duplicate points.
+std::vector<PointId> MinStaircase(std::vector<Point2D> coords,
+                                  std::vector<PointId> ids);
+
+}  // namespace skydia
+
+#endif  // SKYDIA_SRC_SKYLINE_ALGORITHMS_H_

@@ -1,0 +1,14 @@
+#include "src/skyline/dominance.h"
+
+namespace skydia {
+
+bool DominatesNd(const int64_t* a, const int64_t* b, int dims) {
+  bool strict = false;
+  for (int i = 0; i < dims; ++i) {
+    if (a[i] > b[i]) return false;
+    if (a[i] < b[i]) strict = true;
+  }
+  return strict;
+}
+
+}  // namespace skydia

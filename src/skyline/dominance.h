@@ -1,0 +1,67 @@
+// Dominance predicates (Definitions 1-3 of the paper).
+//
+// The library's convention is *min-preference*: a dominates b when a is
+// coordinate-wise <= b with at least one strict inequality. For quadrant and
+// dynamic queries the comparison happens on |p - q| distances; helpers below
+// provide the exact-integer versions used throughout (including 4x-scaled
+// coordinates for subcell representatives, see DESIGN.md).
+#ifndef SKYDIA_SRC_SKYLINE_DOMINANCE_H_
+#define SKYDIA_SRC_SKYLINE_DOMINANCE_H_
+
+#include <cstdint>
+#include <cstdlib>
+
+#include "src/geometry/point.h"
+
+namespace skydia {
+
+/// True when `a` dominates `b` (min-preference, Definition 1).
+inline bool Dominates(const Point2D& a, const Point2D& b) {
+  return a.x <= b.x && a.y <= b.y && (a.x < b.x || a.y < b.y);
+}
+
+/// d-dimensional dominance over raw coordinate rows.
+bool DominatesNd(const int64_t* a, const int64_t* b, int dims);
+
+/// True when `a` dominates `b` *with regard to query q* (Definition 2,
+/// dynamic dominance): |a[i]-q[i]| <= |b[i]-q[i]| for all i, strict for one.
+/// The query is given in 4x-scaled coordinates (points are compared as 4*p),
+/// so that subcell representatives — which live on quarter-integer positions —
+/// stay exact.
+inline bool DynamicDominates4(const Point2D& a, const Point2D& b, int64_t qx4,
+                              int64_t qy4) {
+  const int64_t ax = std::llabs(4 * a.x - qx4);
+  const int64_t ay = std::llabs(4 * a.y - qy4);
+  const int64_t bx = std::llabs(4 * b.x - qx4);
+  const int64_t by = std::llabs(4 * b.y - qy4);
+  return ax <= bx && ay <= by && (ax < bx || ay < by);
+}
+
+/// Quadrant index of point `p` relative to query `q` under the library's
+/// partition convention: Q1 = (x>=, y>=), Q2 = (x<, y>=), Q3 = (x<, y<),
+/// Q4 = (x>=, y<). Returns 0..3 for Q1..Q4.
+inline int QuadrantOf(const Point2D& p, const Point2D& q) {
+  const bool right = p.x >= q.x;
+  const bool up = p.y >= q.y;
+  if (right && up) return 0;
+  if (!right && up) return 1;
+  if (!right && !up) return 2;
+  return 3;
+}
+
+/// True when `a` dominates `b` with regard to `q` under *global* dominance
+/// (Definition 3): both must lie in the same quadrant of `q`, and `a` must be
+/// coordinate-wise at least as close with one dimension strictly closer.
+inline bool GlobalDominates(const Point2D& a, const Point2D& b,
+                            const Point2D& q) {
+  if (QuadrantOf(a, q) != QuadrantOf(b, q)) return false;
+  const int64_t ax = std::llabs(a.x - q.x);
+  const int64_t ay = std::llabs(a.y - q.y);
+  const int64_t bx = std::llabs(b.x - q.x);
+  const int64_t by = std::llabs(b.y - q.y);
+  return ax <= bx && ay <= by && (ax < bx || ay < by);
+}
+
+}  // namespace skydia
+
+#endif  // SKYDIA_SRC_SKYLINE_DOMINANCE_H_

@@ -1,0 +1,117 @@
+#include "src/skyline/dsg.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "src/skyline/dominance.h"
+
+namespace skydia {
+
+DirectedSkylineGraph::DirectedSkylineGraph(const Dataset& dataset) {
+  const size_t n = dataset.size();
+  children_.resize(n);
+  parents_.resize(n);
+
+  // Sort ids by (x asc, y asc). For each point c, walk the prefix backwards
+  // (descending x) collecting the maxima of its dominator set.
+  std::vector<PointId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](PointId a, PointId b) {
+    const Point2D& pa = dataset.point(a);
+    const Point2D& pb = dataset.point(b);
+    if (pa.x != pb.x) return pa.x < pb.x;
+    if (pa.y != pb.y) return pa.y < pb.y;
+    return a < b;
+  });
+
+  for (size_t ci = 0; ci < n; ++ci) {
+    const PointId c = order[ci];
+    const Point2D& pc = dataset.point(c);
+    // Walk x-groups from c's own group leftwards. Within one x value, a
+    // dominator is excluded by a same-x dominator with strictly larger y,
+    // and by any already-seen (strictly larger x) dominator with y >= its y.
+    int64_t max_seen_y = std::numeric_limits<int64_t>::min();
+    bool any_seen = false;
+    // Points after ci with the same x as c cannot dominate c (their y >= c.y
+    // by sort order), so the backwards walk starts at ci.
+    size_t i = ci;
+    while (i > 0) {
+      // Identify the x-group ending at i-1.
+      const int64_t gx = dataset.point(order[i - 1]).x;
+      size_t begin = i;
+      while (begin > 0 && dataset.point(order[begin - 1]).x == gx) --begin;
+      // Collect dominators in [begin, i) and their max y.
+      int64_t group_max = std::numeric_limits<int64_t>::min();
+      bool group_any = false;
+      for (size_t k = begin; k < i; ++k) {
+        const Point2D& w = dataset.point(order[k]);
+        const bool dominates =
+            w.x <= pc.x && w.y <= pc.y && (w.x < pc.x || w.y < pc.y);
+        if (dominates) {
+          group_any = true;
+          group_max = std::max(group_max, w.y);
+        }
+      }
+      if (group_any && (!any_seen || group_max > max_seen_y)) {
+        for (size_t k = begin; k < i; ++k) {
+          const PointId w_id = order[k];
+          const Point2D& w = dataset.point(w_id);
+          const bool dominates =
+              w.x <= pc.x && w.y <= pc.y && (w.x < pc.x || w.y < pc.y);
+          if (dominates && w.y == group_max) {
+            parents_[c].push_back(w_id);
+            children_[w_id].push_back(c);
+          }
+        }
+      }
+      if (group_any) {
+        max_seen_y = any_seen ? std::max(max_seen_y, group_max) : group_max;
+        any_seen = true;
+      }
+      i = begin;
+    }
+  }
+  Finalize();
+}
+
+DirectedSkylineGraph::DirectedSkylineGraph(const DatasetNd& dataset) {
+  const size_t n = dataset.size();
+  const int dims = dataset.dims();
+  children_.resize(n);
+  parents_.resize(n);
+  std::vector<PointId> dominators;
+  for (PointId c = 0; c < n; ++c) {
+    dominators.clear();
+    for (PointId w = 0; w < n; ++w) {
+      if (w != c && DominatesNd(dataset.row(w), dataset.row(c), dims)) {
+        dominators.push_back(w);
+      }
+    }
+    for (PointId u : dominators) {
+      bool direct = true;
+      for (PointId w : dominators) {
+        if (w != u && DominatesNd(dataset.row(u), dataset.row(w), dims)) {
+          direct = false;
+          break;
+        }
+      }
+      if (direct) {
+        parents_[c].push_back(u);
+        children_[u].push_back(c);
+      }
+    }
+  }
+  Finalize();
+}
+
+void DirectedSkylineGraph::Finalize() {
+  num_links_ = 0;
+  for (auto& v : children_) {
+    std::sort(v.begin(), v.end());
+    num_links_ += v.size();
+  }
+  for (auto& v : parents_) std::sort(v.begin(), v.end());
+}
+
+}  // namespace skydia

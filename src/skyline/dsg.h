@@ -1,0 +1,61 @@
+// Directed Skyline Graph (§IV.B).
+//
+// Captures the *direct* dominance relationships between points: u is a direct
+// parent of c when u dominates c and no third point w satisfies
+// u ≼ w ≼ c. The incremental diagram algorithm removes points in a monotone
+// sweep order (dominators are always removed no later than the points they
+// dominate), so a point becomes a skyline member exactly when its last
+// remaining direct parent is removed — counting direct parents suffices.
+//
+// Direct parents of c are the maxima of c's dominator set: a dominator u is
+// direct iff it does not strictly dominate any other dominator of c.
+#ifndef SKYDIA_SRC_SKYLINE_DSG_H_
+#define SKYDIA_SRC_SKYLINE_DSG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/geometry/dataset.h"
+#include "src/geometry/point.h"
+
+namespace skydia {
+
+/// The direct-dominance DAG of a 2-D dataset. Immutable after construction.
+class DirectedSkylineGraph {
+ public:
+  /// Builds the graph in O(n^2) time (per-point maxima scan over a sorted
+  /// order).
+  explicit DirectedSkylineGraph(const Dataset& dataset);
+
+  /// d-dimensional variant (pairwise, O(n^2 d + links * n) worst case; meant
+  /// for the small inputs the high-dimensional diagrams run on).
+  explicit DirectedSkylineGraph(const DatasetNd& dataset);
+
+  size_t num_points() const { return children_.size(); }
+
+  /// Direct children of `id` (points it directly dominates), sorted.
+  const std::vector<PointId>& children(PointId id) const {
+    return children_[id];
+  }
+  /// Direct parents of `id`, sorted.
+  const std::vector<PointId>& parents(PointId id) const {
+    return parents_[id];
+  }
+  uint32_t parent_count(PointId id) const {
+    return static_cast<uint32_t>(parents_[id].size());
+  }
+
+  /// Total number of direct links (the paper's practical-cost driver).
+  uint64_t num_links() const { return num_links_; }
+
+ private:
+  void Finalize();
+
+  std::vector<std::vector<PointId>> children_;
+  std::vector<std::vector<PointId>> parents_;
+  uint64_t num_links_ = 0;
+};
+
+}  // namespace skydia
+
+#endif  // SKYDIA_SRC_SKYLINE_DSG_H_

@@ -1,0 +1,86 @@
+#include "src/skyline/interning.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/common/hash.h"
+
+namespace skydia {
+
+namespace {
+
+uint64_t HashSpan(std::span<const PointId> ids) {
+  return Fnv1a64(ids.data(), ids.size() * sizeof(PointId));
+}
+
+[[maybe_unused]] bool SortedUnique(std::span<const PointId> ids) {
+  for (size_t i = 1; i < ids.size(); ++i) {
+    if (ids[i - 1] >= ids[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+SkylineSetPool::SkylineSetPool(bool deduplicate) : deduplicate_(deduplicate) {
+  // Reserve id 0 for the empty set so diagram code can use kEmptySetId.
+  sets_.emplace_back();
+  index_[HashSpan({})].push_back(kEmptySetId);
+}
+
+SetId SkylineSetPool::LookupOrInsert(std::span<const PointId> ids,
+                                     bool may_move,
+                                     std::vector<PointId>* owned) {
+  assert(SortedUnique(ids));
+  const uint64_t h = HashSpan(ids);
+  std::vector<SetId>& bucket = index_[h];
+  if (deduplicate_ || ids.empty()) {
+    for (SetId candidate : bucket) {
+      const std::vector<PointId>& existing = sets_[candidate];
+      if (existing.size() == ids.size() &&
+          std::equal(existing.begin(), existing.end(), ids.begin())) {
+        return candidate;
+      }
+    }
+  }
+  const auto id = static_cast<SetId>(sets_.size());
+  if (may_move) {
+    sets_.push_back(std::move(*owned));
+  } else {
+    sets_.emplace_back(ids.begin(), ids.end());
+  }
+  total_elements_ += ids.size();
+  bucket.push_back(id);
+  return id;
+}
+
+SetId SkylineSetPool::Intern(std::vector<PointId> ids) {
+  return LookupOrInsert(ids, /*may_move=*/true, &ids);
+}
+
+SetId SkylineSetPool::Append(std::vector<PointId> ids) {
+  assert(SortedUnique(std::span<const PointId>(ids)));
+  const uint64_t h = HashSpan(std::span<const PointId>(ids));
+  const auto id = static_cast<SetId>(sets_.size());
+  total_elements_ += ids.size();
+  index_[h].push_back(id);
+  sets_.push_back(std::move(ids));
+  return id;
+}
+
+SetId SkylineSetPool::InternCopy(std::span<const PointId> ids) {
+  return LookupOrInsert(ids, /*may_move=*/false, nullptr);
+}
+
+uint64_t SkylineSetPool::ApproximateMemoryBytes() const {
+  uint64_t bytes = total_elements_ * sizeof(PointId);
+  bytes += sets_.size() * sizeof(std::vector<PointId>);
+  bytes += index_.size() *
+           (sizeof(uint64_t) + sizeof(std::vector<SetId>) + sizeof(void*));
+  for (const auto& [h, bucket] : index_) {
+    bytes += bucket.size() * sizeof(SetId);
+  }
+  return bytes;
+}
+
+}  // namespace skydia

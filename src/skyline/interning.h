@@ -1,0 +1,76 @@
+// Hash-consing pool for skyline result sets.
+//
+// The cell maps store one result per cell — up to O(n^2) cells for
+// quadrant/global and O(n^4) subcells for dynamic diagrams — but neighbouring
+// cells overwhelmingly share results (that is exactly why polyominoes exist).
+// Interning stores every distinct result once and lets cells carry a 32-bit
+// id, turning the O(n^3)/O(n^5) worst-case output space into
+// O(#polyominoes * avg skyline size) in practice. The `abl-intern` benchmark
+// quantifies the effect.
+#ifndef SKYDIA_SRC_SKYLINE_INTERNING_H_
+#define SKYDIA_SRC_SKYLINE_INTERNING_H_
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "src/geometry/point.h"
+
+namespace skydia {
+
+/// Identifier of an interned skyline result set.
+using SetId = uint32_t;
+
+/// The id every pool assigns to the empty set (always interned first).
+inline constexpr SetId kEmptySetId = 0;
+
+/// Deduplicating store of point-id sets. Sets are canonicalized as ascending
+/// id vectors. Not thread-safe.
+class SkylineSetPool {
+ public:
+  /// `deduplicate == false` disables hash-consing (every Intern call stores a
+  /// fresh copy); used only by the interning ablation benchmark.
+  explicit SkylineSetPool(bool deduplicate = true);
+
+  /// Interns `ids`, which must be sorted ascending and duplicate-free
+  /// (checked in debug builds). Returns the id of the canonical copy.
+  SetId Intern(std::vector<PointId> ids);
+
+  /// Interns without taking ownership (copies only on first sight).
+  SetId InternCopy(std::span<const PointId> ids);
+
+  /// Appends `ids` as a new set without deduplication lookup, returning its
+  /// id. Used by deserialization to reproduce a stored pool verbatim
+  /// (including pools built with deduplication off). `ids` must be sorted
+  /// ascending and duplicate-free.
+  SetId Append(std::vector<PointId> ids);
+
+  /// The canonical members of set `id`, ascending.
+  std::span<const PointId> Get(SetId id) const {
+    return std::span<const PointId>(sets_[id]);
+  }
+
+  /// Number of distinct sets (including the empty set).
+  size_t size() const { return sets_.size(); }
+
+  /// Total stored elements across all distinct sets.
+  uint64_t total_elements() const { return total_elements_; }
+
+  /// Approximate heap footprint of the pool in bytes.
+  uint64_t ApproximateMemoryBytes() const;
+
+ private:
+  SetId LookupOrInsert(std::span<const PointId> ids, bool may_move,
+                       std::vector<PointId>* owned);
+
+  std::vector<std::vector<PointId>> sets_;
+  // hash -> candidate set ids (collision chain).
+  std::unordered_map<uint64_t, std::vector<SetId>> index_;
+  uint64_t total_elements_ = 0;
+  bool deduplicate_ = true;
+};
+
+}  // namespace skydia
+
+#endif  // SKYDIA_SRC_SKYLINE_INTERNING_H_

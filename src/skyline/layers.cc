@@ -1,0 +1,72 @@
+#include "src/skyline/layers.h"
+
+#include <numeric>
+
+#include "src/skyline/algorithms.h"
+#include "src/skyline/dominance.h"
+
+namespace skydia {
+
+SkylineLayers ComputeSkylineLayers(const Dataset& dataset) {
+  SkylineLayers result;
+  result.layer_of.assign(dataset.size(), 0);
+  std::vector<PointId> remaining(dataset.size());
+  std::iota(remaining.begin(), remaining.end(), 0);
+  while (!remaining.empty()) {
+    std::vector<PointId> layer = SkylineOfSubset2d(dataset, remaining);
+    const auto layer_index = static_cast<uint32_t>(result.layers.size());
+    for (PointId id : layer) result.layer_of[id] = layer_index;
+    // `layer` is sorted ascending (SkylineOfSubset2d contract); remaining is
+    // kept sorted, so one linear pass removes the peeled points.
+    std::vector<PointId> next;
+    next.reserve(remaining.size() - layer.size());
+    size_t li = 0;
+    for (PointId id : remaining) {
+      if (li < layer.size() && layer[li] == id) {
+        ++li;
+      } else {
+        next.push_back(id);
+      }
+    }
+    result.layers.push_back(std::move(layer));
+    remaining = std::move(next);
+  }
+  return result;
+}
+
+SkylineLayers ComputeSkylineLayersNd(const DatasetNd& dataset) {
+  SkylineLayers result;
+  const int dims = dataset.dims();
+  result.layer_of.assign(dataset.size(), 0);
+  std::vector<PointId> remaining(dataset.size());
+  std::iota(remaining.begin(), remaining.end(), 0);
+  while (!remaining.empty()) {
+    std::vector<PointId> layer;
+    for (PointId a : remaining) {
+      bool dominated = false;
+      for (PointId b : remaining) {
+        if (b != a && DominatesNd(dataset.row(b), dataset.row(a), dims)) {
+          dominated = true;
+          break;
+        }
+      }
+      if (!dominated) layer.push_back(a);
+    }
+    const auto layer_index = static_cast<uint32_t>(result.layers.size());
+    for (PointId id : layer) result.layer_of[id] = layer_index;
+    std::vector<PointId> next;
+    size_t li = 0;
+    for (PointId id : remaining) {
+      if (li < layer.size() && layer[li] == id) {
+        ++li;
+      } else {
+        next.push_back(id);
+      }
+    }
+    result.layers.push_back(std::move(layer));
+    remaining = std::move(next);
+  }
+  return result;
+}
+
+}  // namespace skydia

@@ -1,0 +1,37 @@
+// Skyline layers (the onion peeling of §IV.B): layer 1 is the skyline of the
+// dataset, layer k the skyline of what remains after peeling layers < k.
+// Properties used downstream (paper, §IV.B): points within a layer are
+// mutually non-dominating; a point's dominators all live on strictly lower
+// layers.
+#ifndef SKYDIA_SRC_SKYLINE_LAYERS_H_
+#define SKYDIA_SRC_SKYLINE_LAYERS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/geometry/dataset.h"
+#include "src/geometry/point.h"
+
+namespace skydia {
+
+/// The layer decomposition of a 2-D dataset.
+struct SkylineLayers {
+  /// layers[k] = ids on layer k (0-based), each sorted ascending.
+  std::vector<std::vector<PointId>> layers;
+  /// layer_of[id] = 0-based layer index of the point.
+  std::vector<uint32_t> layer_of;
+
+  size_t num_layers() const { return layers.size(); }
+};
+
+/// Computes the skyline layers by iterated staircase peeling. O(L * n log n)
+/// where L is the number of layers.
+SkylineLayers ComputeSkylineLayers(const Dataset& dataset);
+
+/// d-dimensional variant (pairwise peeling, used by the high-dimensional
+/// diagram code on small inputs).
+SkylineLayers ComputeSkylineLayersNd(const DatasetNd& dataset);
+
+}  // namespace skydia
+
+#endif  // SKYDIA_SRC_SKYLINE_LAYERS_H_

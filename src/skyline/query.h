@@ -1,0 +1,79 @@
+// Reference (brute-force) query evaluation for the three skyline query
+// semantics. These are the ground truth every diagram algorithm is validated
+// against, and the "from scratch" competitor in the query-latency experiment.
+//
+// Semantics (see DESIGN.md "Coordinate model" for the boundary conventions):
+//  * Quadrant k candidates partition the point set:
+//      Q1 = {x >= qx, y >= qy}, Q2 = {x < qx, y >= qy},
+//      Q3 = {x < qx, y < qy},  Q4 = {x >= qx, y < qy}.
+//    Within a quadrant, p dominates p' iff it is coordinate-wise at least as
+//    close to q with one dimension strictly closer.
+//  * Global skyline = union of the four quadrant skylines (Definition 3).
+//  * Dynamic skyline maps every point through |p - q| and takes the
+//    traditional skyline of the mapped multiset (Definition 2).
+#ifndef SKYDIA_SRC_SKYLINE_QUERY_H_
+#define SKYDIA_SRC_SKYLINE_QUERY_H_
+
+#include <span>
+#include <vector>
+
+#include "src/geometry/dataset.h"
+#include "src/geometry/point.h"
+
+namespace skydia {
+
+/// Skyline of quadrant `quadrant` (0..3 for Q1..Q4) w.r.t. query `q`.
+/// Returns ids sorted ascending. O(n log n).
+std::vector<PointId> QuadrantSkyline(const Dataset& dataset, const Point2D& q,
+                                     int quadrant);
+
+/// First-quadrant skyline (the paper's default "quadrant skyline query").
+inline std::vector<PointId> FirstQuadrantSkyline(const Dataset& dataset,
+                                                 const Point2D& q) {
+  return QuadrantSkyline(dataset, q, 0);
+}
+
+/// Global skyline (union of the four quadrant skylines), ids sorted ascending.
+std::vector<PointId> GlobalSkyline(const Dataset& dataset, const Point2D& q);
+
+/// Dynamic skyline w.r.t. `q`, ids sorted ascending.
+std::vector<PointId> DynamicSkyline(const Dataset& dataset, const Point2D& q);
+
+/// Variants taking the query position in 4x-scaled coordinates (used for
+/// cell/subcell interior representatives on fractional positions).
+std::vector<PointId> QuadrantSkylineAt4(const Dataset& dataset, int64_t qx4,
+                                        int64_t qy4, int quadrant);
+std::vector<PointId> GlobalSkylineAt4(const Dataset& dataset, int64_t qx4,
+                                      int64_t qy4);
+
+/// Dynamic skyline w.r.t. a query position given in 4x-scaled coordinates
+/// (used for subcell representatives that live on quarter-integer positions).
+std::vector<PointId> DynamicSkylineAt4(const Dataset& dataset, int64_t qx4,
+                                       int64_t qy4);
+
+/// Dynamic skyline restricted to the candidate subset `candidates`
+/// (ids into `dataset`); the query is in 4x coordinates. Used by the subset
+/// and scanning diagram algorithms. O(k log k).
+std::vector<PointId> DynamicSkylineOfSubsetAt4(
+    const Dataset& dataset, const std::vector<PointId>& candidates,
+    int64_t qx4, int64_t qy4);
+
+/// One candidate mapped through |p - q| (4x coordinates).
+struct MappedCandidate {
+  int64_t mx;
+  int64_t my;
+  PointId id;
+};
+
+/// Allocation-free variant of DynamicSkylineOfSubsetAt4 for tight per-subcell
+/// loops: `scratch` and `out` are reused across calls. `out` receives the
+/// skyline ids sorted ascending.
+void DynamicSkylineOfSubsetAt4(const Dataset& dataset,
+                               std::span<const PointId> candidates,
+                               int64_t qx4, int64_t qy4,
+                               std::vector<MappedCandidate>* scratch,
+                               std::vector<PointId>* out);
+
+}  // namespace skydia
+
+#endif  // SKYDIA_SRC_SKYLINE_QUERY_H_

@@ -1,0 +1,93 @@
+#include "src/apps/reverse_skyline.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+#include "tests/testing/util.h"
+
+namespace skydia {
+namespace {
+
+using skydia::testing::RandomDataset;
+
+TEST(ReverseSkylineTest, SimpleExample) {
+  // q between two points: both see q undominated around them.
+  auto ds = Dataset::Create({{0, 0}, {10, 10}}, 16);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ReverseSkylineBruteForce(*ds, {5, 5}),
+            (std::vector<PointId>{0, 1}));
+}
+
+TEST(ReverseSkylineTest, BlockedByCloserPoint) {
+  // Around p0 = (0,0), p1 = (2,2) is closer than q = (10,10) in both dims,
+  // so p0 drops out; around p1, p0 sits at distance (2,2) < q's (8,8), so p1
+  // drops out too. Only p2 = (12,12) — q at distance (2,2), both competitors
+  // at (10,10)+ — keeps q undominated.
+  auto ds = Dataset::Create({{0, 0}, {2, 2}, {12, 12}}, 16);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ReverseSkylineBruteForce(*ds, {10, 10}),
+            (std::vector<PointId>{2}));
+}
+
+TEST(ReverseSkylineTest, IndexMatchesBruteForceRandom) {
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    const Dataset ds = RandomDataset(60, 40, seed);
+    const ReverseSkylineIndex index(ds);
+    Rng rng(seed * 19);
+    for (int i = 0; i < 25; ++i) {
+      const Point2D q{rng.NextInt(0, 39), rng.NextInt(0, 39)};
+      EXPECT_EQ(index.Query(q), ReverseSkylineBruteForce(ds, q))
+          << "seed " << seed << " q " << q;
+    }
+  }
+}
+
+TEST(ReverseSkylineTest, IndexMatchesBruteForceWithTies) {
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    const Dataset ds = RandomDataset(80, 8, seed);  // heavy duplicates
+    const ReverseSkylineIndex index(ds);
+    Rng rng(seed * 23);
+    for (int i = 0; i < 25; ++i) {
+      const Point2D q{rng.NextInt(0, 7), rng.NextInt(0, 7)};
+      EXPECT_EQ(index.Query(q), ReverseSkylineBruteForce(ds, q))
+          << "seed " << seed << " q " << q;
+    }
+  }
+}
+
+TEST(ReverseSkylineTest, QueryOnDataPoint) {
+  const Dataset ds = RandomDataset(40, 20, 31);
+  const ReverseSkylineIndex index(ds);
+  for (PointId id = 0; id < 10; ++id) {
+    const Point2D q = ds.point(id);
+    EXPECT_EQ(index.Query(q), ReverseSkylineBruteForce(ds, q));
+  }
+}
+
+TEST(ReverseSkylineTest, CountBoxAgainstLinearScan) {
+  const Dataset ds = RandomDataset(50, 30, 37);
+  const ReverseSkylineIndex index(ds);
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    const int64_t x_lo = rng.NextInt(-5, 30);
+    const int64_t x_hi = x_lo + rng.NextInt(0, 20);
+    const int64_t y_lo = rng.NextInt(-5, 30);
+    const int64_t y_hi = y_lo + rng.NextInt(0, 20);
+    int64_t expected = 0;
+    for (const Point2D& p : ds.points()) {
+      if (p.x >= x_lo && p.x <= x_hi && p.y >= y_lo && p.y <= y_hi) ++expected;
+    }
+    EXPECT_EQ(index.CountBox(x_lo, x_hi, y_lo, y_hi), expected);
+  }
+}
+
+TEST(ReverseSkylineTest, SinglePointDatasetAlwaysReverseSkyline) {
+  auto ds = Dataset::Create({{5, 5}}, 16);
+  ASSERT_TRUE(ds.ok());
+  const ReverseSkylineIndex index(*ds);
+  EXPECT_EQ(index.Query({0, 0}), (std::vector<PointId>{0}));
+  EXPECT_EQ(index.Query({5, 5}), (std::vector<PointId>{0}));
+}
+
+}  // namespace
+}  // namespace skydia

@@ -1,0 +1,89 @@
+#include "src/common/csv.h"
+
+#include <cstdio>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+namespace skydia {
+namespace {
+
+TEST(CsvTest, ParsesSimpleRows) {
+  auto doc = ParseCsv("a,b,c\n1,2,3\n");
+  ASSERT_TRUE(doc.ok());
+  ASSERT_EQ(doc->rows.size(), 2u);
+  EXPECT_EQ(doc->rows[0], (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(doc->rows[1], (std::vector<std::string>{"1", "2", "3"}));
+}
+
+TEST(CsvTest, HandlesMissingTrailingNewline) {
+  auto doc = ParseCsv("a,b\n1,2");
+  ASSERT_TRUE(doc.ok());
+  ASSERT_EQ(doc->rows.size(), 2u);
+  EXPECT_EQ(doc->rows[1][1], "2");
+}
+
+TEST(CsvTest, HandlesCrlf) {
+  auto doc = ParseCsv("a,b\r\n1,2\r\n");
+  ASSERT_TRUE(doc.ok());
+  ASSERT_EQ(doc->rows.size(), 2u);
+  EXPECT_EQ(doc->rows[0][0], "a");
+}
+
+TEST(CsvTest, QuotedFieldsWithCommasAndNewlines) {
+  auto doc = ParseCsv("\"x,y\",\"line1\nline2\"\n");
+  ASSERT_TRUE(doc.ok());
+  ASSERT_EQ(doc->rows.size(), 1u);
+  EXPECT_EQ(doc->rows[0][0], "x,y");
+  EXPECT_EQ(doc->rows[0][1], "line1\nline2");
+}
+
+TEST(CsvTest, EscapedQuotes) {
+  auto doc = ParseCsv("\"he said \"\"hi\"\"\"\n");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->rows[0][0], "he said \"hi\"");
+}
+
+TEST(CsvTest, EmptyFields) {
+  auto doc = ParseCsv("a,,c\n,,\n");
+  ASSERT_TRUE(doc.ok());
+  ASSERT_EQ(doc->rows.size(), 2u);
+  EXPECT_EQ(doc->rows[0][1], "");
+  EXPECT_EQ(doc->rows[1].size(), 3u);
+}
+
+TEST(CsvTest, UnterminatedQuoteIsCorruption) {
+  auto doc = ParseCsv("\"unterminated\n");
+  ASSERT_FALSE(doc.ok());
+  EXPECT_EQ(doc.status().code(), StatusCode::kCorruption);
+}
+
+TEST(CsvTest, RoundTripThroughWriter) {
+  CsvDocument doc;
+  doc.rows = {{"label", "x"}, {"has,comma", "5"}, {"has\"quote", "7"}};
+  const std::string text = WriteCsv(doc);
+  auto parsed = ParseCsv(text);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->rows, doc.rows);
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "skydia_csv_test.csv").string();
+  CsvDocument doc;
+  doc.rows = {{"a", "b"}, {"1", "2"}};
+  ASSERT_TRUE(WriteCsvFile(path, doc).ok());
+  auto loaded = ReadCsvFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->rows, doc.rows);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, MissingFileIsNotFound) {
+  auto doc = ReadCsvFile("/nonexistent/skydia/file.csv");
+  ASSERT_FALSE(doc.ok());
+  EXPECT_EQ(doc.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace skydia

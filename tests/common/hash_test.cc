@@ -1,0 +1,37 @@
+#include "src/common/hash.h"
+
+#include <gtest/gtest.h>
+
+namespace skydia {
+namespace {
+
+TEST(HashTest, Fnv1aKnownVectors) {
+  // Reference values for 64-bit FNV-1a.
+  EXPECT_EQ(Fnv1a64(""), 0xcbf29ce484222325ull);
+  EXPECT_EQ(Fnv1a64("a"), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(Fnv1a64("foobar"), 0x85944171f73967e8ull);
+}
+
+TEST(HashTest, Fnv1aDependsOnEveryByte) {
+  EXPECT_NE(Fnv1a64("abc"), Fnv1a64("abd"));
+  EXPECT_NE(Fnv1a64("abc"), Fnv1a64("abcx"));
+}
+
+TEST(HashTest, HashCombineOrderMatters) {
+  EXPECT_NE(HashCombine(HashCombine(0, 1), 2),
+            HashCombine(HashCombine(0, 2), 1));
+}
+
+TEST(HashTest, HashIdsMatchesByteHash) {
+  const std::vector<uint32_t> ids = {1, 2, 3};
+  EXPECT_EQ(HashIds(ids), Fnv1a64(ids.data(), ids.size() * sizeof(uint32_t)));
+}
+
+TEST(HashTest, HashIdsDistinguishesContents) {
+  EXPECT_NE(HashIds({1, 2, 3}), HashIds({1, 2, 4}));
+  EXPECT_NE(HashIds({1, 2, 3}), HashIds({1, 2}));
+  EXPECT_NE(HashIds({}), HashIds({0}));
+}
+
+}  // namespace
+}  // namespace skydia

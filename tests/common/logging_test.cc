@@ -1,0 +1,43 @@
+#include "src/common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace skydia {
+namespace {
+
+TEST(LoggingTest, LevelRoundTrips) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, SuppressedMessagesDoNotCrash) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  SKYDIA_LOG(Info) << "should be suppressed " << 42;
+  SKYDIA_LOG(Debug) << "also suppressed";
+  SetLogLevel(original);
+  SUCCEED();
+}
+
+TEST(LoggingTest, ChecksPassOnTrueConditions) {
+  SKYDIA_CHECK(true);
+  SKYDIA_CHECK_EQ(1, 1);
+  SKYDIA_CHECK_NE(1, 2);
+  SKYDIA_CHECK_LT(1, 2);
+  SKYDIA_CHECK_LE(2, 2);
+  SKYDIA_CHECK_GT(3, 2);
+  SKYDIA_CHECK_GE(3, 3);
+  SUCCEED();
+}
+
+TEST(LoggingDeathTest, CheckFailureAborts) {
+  EXPECT_DEATH(SKYDIA_CHECK(1 == 2), "check failed");
+  EXPECT_DEATH(SKYDIA_CHECK_EQ(3, 4), "check failed");
+}
+
+}  // namespace
+}  // namespace skydia

@@ -1,0 +1,66 @@
+#include "src/common/sha256.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace skydia {
+namespace {
+
+// FIPS 180-4 / NIST test vectors.
+TEST(Sha256Test, EmptyString) {
+  EXPECT_EQ(DigestToHex(Sha256::Hash("")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc) {
+  EXPECT_EQ(DigestToHex(Sha256::Hash("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+  EXPECT_EQ(
+      DigestToHex(Sha256::Hash(
+          "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionAs) {
+  Sha256 h;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.Update(chunk);
+  EXPECT_EQ(DigestToHex(h.Finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  const std::string msg = "The quick brown fox jumps over the lazy dog";
+  for (size_t split = 0; split <= msg.size(); ++split) {
+    Sha256 h;
+    h.Update(msg.substr(0, split));
+    h.Update(msg.substr(split));
+    EXPECT_EQ(DigestToHex(h.Finish()), DigestToHex(Sha256::Hash(msg)))
+        << "split at " << split;
+  }
+}
+
+TEST(Sha256Test, ExactBlockBoundaryLengths) {
+  // 55/56/63/64/65 bytes cross the padding edge cases.
+  for (const size_t len : {55u, 56u, 63u, 64u, 65u, 119u, 120u}) {
+    const std::string msg(len, 'x');
+    Sha256 incremental;
+    for (char c : msg) incremental.Update(&c, 1);
+    EXPECT_EQ(DigestToHex(incremental.Finish()),
+              DigestToHex(Sha256::Hash(msg)))
+        << "length " << len;
+  }
+}
+
+TEST(Sha256Test, DigestToHexFormat) {
+  const std::string hex = DigestToHex(Sha256::Hash("abc"));
+  EXPECT_EQ(hex.size(), 64u);
+  EXPECT_EQ(hex.find_first_not_of("0123456789abcdef"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace skydia

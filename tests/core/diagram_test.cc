@@ -1,0 +1,139 @@
+#include "src/core/diagram.h"
+
+#include <gtest/gtest.h>
+
+#include "src/datagen/real_data.h"
+#include "src/datagen/workload.h"
+#include "src/skyline/query.h"
+#include "tests/testing/util.h"
+
+namespace skydia {
+namespace {
+
+using skydia::testing::RandomDataset;
+
+TEST(SkylineDiagramTest, RejectsEmptyDataset) {
+  auto ds = Dataset::Create({}, 16);
+  ASSERT_TRUE(ds.ok());
+  auto diagram =
+      SkylineDiagram::Build(std::move(ds).value(), SkylineQueryType::kQuadrant);
+  EXPECT_FALSE(diagram.ok());
+  EXPECT_EQ(diagram.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SkylineDiagramTest, QuadrantQueryExactEverywhere) {
+  const Dataset ds = RandomDataset(20, 12, 3);
+  auto built = SkylineDiagram::Build(RandomDataset(20, 12, 3),
+                                     SkylineQueryType::kQuadrant);
+  ASSERT_TRUE(built.ok());
+  for (int64_t x = 0; x < 12; ++x) {
+    for (int64_t y = 0; y < 12; ++y) {
+      EXPECT_EQ(built->QueryExact({x, y}), FirstQuadrantSkyline(ds, {x, y}))
+          << "(" << x << ", " << y << ")";
+    }
+  }
+}
+
+TEST(SkylineDiagramTest, GlobalQueryExactEverywhere) {
+  const Dataset ds = RandomDataset(18, 12, 5);
+  auto built = SkylineDiagram::Build(RandomDataset(18, 12, 5),
+                                     SkylineQueryType::kGlobal);
+  ASSERT_TRUE(built.ok());
+  for (int64_t x = 0; x < 12; ++x) {
+    for (int64_t y = 0; y < 12; ++y) {
+      EXPECT_EQ(built->QueryExact({x, y}), GlobalSkyline(ds, {x, y}))
+          << "(" << x << ", " << y << ")";
+    }
+  }
+}
+
+TEST(SkylineDiagramTest, DynamicQueryExactEverywhere) {
+  const Dataset ds = RandomDataset(10, 10, 7);
+  auto built = SkylineDiagram::Build(RandomDataset(10, 10, 7),
+                                     SkylineQueryType::kDynamic);
+  ASSERT_TRUE(built.ok());
+  for (int64_t x = 0; x < 10; ++x) {
+    for (int64_t y = 0; y < 10; ++y) {
+      EXPECT_EQ(built->QueryExact({x, y}), DynamicSkyline(ds, {x, y}))
+          << "(" << x << ", " << y << ")";
+    }
+  }
+}
+
+TEST(SkylineDiagramTest, AllCellAlgorithmsAgreeThroughFacade) {
+  for (const QuadrantAlgorithm algo :
+       {QuadrantAlgorithm::kBaseline, QuadrantAlgorithm::kDsg,
+        QuadrantAlgorithm::kScanning}) {
+    SkylineDiagram::BuildOptions options;
+    options.cell_algorithm = algo;
+    auto built = SkylineDiagram::Build(RandomDataset(15, 16, 9),
+                                       SkylineQueryType::kQuadrant, options);
+    ASSERT_TRUE(built.ok());
+    const Dataset ds = RandomDataset(15, 16, 9);
+    const auto result = built->Query({4, 4});
+    EXPECT_EQ(std::vector<PointId>(result.begin(), result.end()),
+              FirstQuadrantSkyline(ds, {4, 4}));
+  }
+}
+
+TEST(SkylineDiagramTest, AllDynamicAlgorithmsAgreeThroughFacade) {
+  const Dataset reference = RandomDataset(8, 12, 11);
+  for (const DynamicAlgorithm algo :
+       {DynamicAlgorithm::kBaseline, DynamicAlgorithm::kSubset,
+        DynamicAlgorithm::kScanning}) {
+    SkylineDiagram::BuildOptions options;
+    options.dynamic_algorithm = algo;
+    auto built = SkylineDiagram::Build(RandomDataset(8, 12, 11),
+                                       SkylineQueryType::kDynamic, options);
+    ASSERT_TRUE(built.ok());
+    EXPECT_EQ(built->QueryExact({5, 5}), DynamicSkyline(reference, {5, 5}))
+        << DynamicAlgorithmName(algo);
+  }
+}
+
+TEST(SkylineDiagramTest, HotelExampleAllThreeSemantics) {
+  const Point2D q = HotelExampleQuery();
+
+  auto quadrant =
+      SkylineDiagram::Build(HotelExample(), SkylineQueryType::kQuadrant);
+  ASSERT_TRUE(quadrant.ok());
+  EXPECT_EQ(quadrant->QueryLabels(q),
+            (std::vector<std::string>{"p3", "p8", "p10"}));
+
+  auto global =
+      SkylineDiagram::Build(HotelExample(), SkylineQueryType::kGlobal);
+  ASSERT_TRUE(global.ok());
+  EXPECT_EQ(global->QueryLabels(q),
+            (std::vector<std::string>{"p3", "p6", "p8", "p10", "p11"}));
+
+  auto dynamic =
+      SkylineDiagram::Build(HotelExample(), SkylineQueryType::kDynamic);
+  ASSERT_TRUE(dynamic.ok());
+  EXPECT_EQ(dynamic->QueryLabels(q), (std::vector<std::string>{"p6", "p11"}));
+}
+
+TEST(SkylineDiagramTest, AccessorsExposeUnderlyingDiagrams) {
+  auto quadrant =
+      SkylineDiagram::Build(HotelExample(), SkylineQueryType::kQuadrant);
+  ASSERT_TRUE(quadrant.ok());
+  EXPECT_NE(quadrant->cell_diagram(), nullptr);
+  EXPECT_EQ(quadrant->subcell_diagram(), nullptr);
+  EXPECT_EQ(quadrant->type(), SkylineQueryType::kQuadrant);
+
+  auto dynamic =
+      SkylineDiagram::Build(HotelExample(), SkylineQueryType::kDynamic);
+  ASSERT_TRUE(dynamic.ok());
+  EXPECT_EQ(dynamic->cell_diagram(), nullptr);
+  EXPECT_NE(dynamic->subcell_diagram(), nullptr);
+}
+
+TEST(SkylineDiagramTest, EnumNames) {
+  EXPECT_STREQ(SkylineQueryTypeName(SkylineQueryType::kQuadrant), "quadrant");
+  EXPECT_STREQ(SkylineQueryTypeName(SkylineQueryType::kGlobal), "global");
+  EXPECT_STREQ(SkylineQueryTypeName(SkylineQueryType::kDynamic), "dynamic");
+  EXPECT_STREQ(DynamicAlgorithmName(DynamicAlgorithm::kSubset), "subset");
+  EXPECT_STREQ(QuadrantAlgorithmName(QuadrantAlgorithm::kDsg), "dsg");
+}
+
+}  // namespace
+}  // namespace skydia

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "src/core/dynamic_baseline.h"
+#include "src/core/dynamic_scanning.h"
+#include "src/core/dynamic_subset.h"
+#include "src/datagen/distributions.h"
+#include "src/datagen/real_data.h"
+#include "src/skyline/query.h"
+#include "tests/testing/util.h"
+
+namespace skydia {
+namespace {
+
+using skydia::testing::RandomDataset;
+
+using Builder = SubcellDiagram (*)(const Dataset&);
+
+SubcellDiagram BuildBaseline(const Dataset& ds) {
+  return BuildDynamicBaseline(ds);
+}
+SubcellDiagram BuildSubset(const Dataset& ds) { return BuildDynamicSubset(ds); }
+SubcellDiagram BuildScanning(const Dataset& ds) {
+  return BuildDynamicScanning(ds);
+}
+
+struct BuilderParam {
+  Builder builder;
+  const char* name;
+};
+
+class DynamicDiagramTest : public ::testing::TestWithParam<BuilderParam> {};
+
+TEST_P(DynamicDiagramTest, EverySubcellMatchesBruteForce) {
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    const Dataset ds = RandomDataset(10, 16, seed);
+    const SubcellDiagram diagram = GetParam().builder(ds);
+    const SubcellGrid& grid = diagram.grid();
+    for (uint32_t sy = 0; sy < grid.num_rows(); ++sy) {
+      for (uint32_t sx = 0; sx < grid.num_columns(); ++sx) {
+        const auto expected =
+            DynamicSkylineAt4(ds, grid.x_axis().Representative4(sx),
+                              grid.y_axis().Representative4(sy));
+        const auto actual = diagram.SubcellSkyline(sx, sy);
+        ASSERT_EQ(std::vector<PointId>(actual.begin(), actual.end()), expected)
+            << "seed " << seed << " subcell (" << sx << ", " << sy << ")";
+      }
+    }
+  }
+}
+
+TEST_P(DynamicDiagramTest, TieHeavyDataset) {
+  const Dataset ds = RandomDataset(20, 6, 7);  // many coincident lines
+  const SubcellDiagram diagram = GetParam().builder(ds);
+  const SubcellGrid& grid = diagram.grid();
+  for (uint32_t sy = 0; sy < grid.num_rows(); ++sy) {
+    for (uint32_t sx = 0; sx < grid.num_columns(); ++sx) {
+      const auto expected =
+          DynamicSkylineAt4(ds, grid.x_axis().Representative4(sx),
+                            grid.y_axis().Representative4(sy));
+      const auto actual = diagram.SubcellSkyline(sx, sy);
+      ASSERT_EQ(std::vector<PointId>(actual.begin(), actual.end()), expected)
+          << "subcell (" << sx << ", " << sy << ")";
+    }
+  }
+}
+
+TEST_P(DynamicDiagramTest, SinglePoint) {
+  auto ds = Dataset::Create({{3, 3}}, 8);
+  ASSERT_TRUE(ds.ok());
+  const SubcellDiagram diagram = GetParam().builder(*ds);
+  // One line per axis -> 2x2 subcells, each containing only the point.
+  EXPECT_EQ(diagram.grid().num_subcells(), 4u);
+  for (uint32_t sy = 0; sy < 2; ++sy) {
+    for (uint32_t sx = 0; sx < 2; ++sx) {
+      EXPECT_EQ(diagram.SubcellSkyline(sx, sy).size(), 1u);
+    }
+  }
+}
+
+TEST_P(DynamicDiagramTest, DuplicatePoints) {
+  auto ds = Dataset::Create({{2, 2}, {2, 2}, {5, 5}}, 8);
+  ASSERT_TRUE(ds.ok());
+  const SubcellDiagram diagram = GetParam().builder(*ds);
+  const SubcellGrid& grid = diagram.grid();
+  for (uint32_t sy = 0; sy < grid.num_rows(); ++sy) {
+    for (uint32_t sx = 0; sx < grid.num_columns(); ++sx) {
+      const auto expected =
+          DynamicSkylineAt4(*ds, grid.x_axis().Representative4(sx),
+                            grid.y_axis().Representative4(sy));
+      const auto actual = diagram.SubcellSkyline(sx, sy);
+      ASSERT_EQ(std::vector<PointId>(actual.begin(), actual.end()), expected);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBuilders, DynamicDiagramTest,
+    ::testing::Values(BuilderParam{&BuildBaseline, "baseline"},
+                      BuilderParam{&BuildSubset, "subset"},
+                      BuilderParam{&BuildScanning, "scanning"}),
+    [](const auto& info) { return info.param.name; });
+
+TEST(DynamicDiagramCrossTest, AllThreeBuildersAgree) {
+  struct Case {
+    size_t n;
+    int64_t domain;
+    Distribution distribution;
+  };
+  const Case cases[] = {
+      {12, 64, Distribution::kIndependent},
+      {12, 64, Distribution::kCorrelated},
+      {12, 64, Distribution::kAnticorrelated},
+      {24, 8, Distribution::kIndependent},
+  };
+  for (const Case& c : cases) {
+    DataGenOptions options;
+    options.n = c.n;
+    options.domain_size = c.domain;
+    options.distribution = c.distribution;
+    options.seed = 17;
+    auto ds = GenerateDataset(options);
+    ASSERT_TRUE(ds.ok());
+    const SubcellDiagram baseline = BuildDynamicBaseline(*ds);
+    const SubcellDiagram subset = BuildDynamicSubset(*ds);
+    const SubcellDiagram scanning = BuildDynamicScanning(*ds);
+    EXPECT_TRUE(baseline.SameResults(subset))
+        << DistributionName(c.distribution);
+    EXPECT_TRUE(baseline.SameResults(scanning))
+        << DistributionName(c.distribution);
+  }
+}
+
+TEST(DynamicDiagramCrossTest, SubsetWorksWithEveryGlobalBuilder) {
+  const Dataset ds = RandomDataset(14, 24, 23);
+  const SubcellDiagram a = BuildDynamicSubset(ds, QuadrantAlgorithm::kBaseline);
+  const SubcellDiagram b = BuildDynamicSubset(ds, QuadrantAlgorithm::kDsg);
+  const SubcellDiagram c = BuildDynamicSubset(ds, QuadrantAlgorithm::kScanning);
+  EXPECT_TRUE(a.SameResults(b));
+  EXPECT_TRUE(a.SameResults(c));
+}
+
+TEST(DynamicDiagramCrossTest, HotelExampleDynamicQuery) {
+  const Dataset hotels = HotelExample();
+  const SubcellDiagram diagram = BuildDynamicScanning(hotels);
+  // q = (10, 80) may lie on a bisector line; the paper's stated dynamic
+  // result {p6, p11} must hold via the exact reference at minimum.
+  EXPECT_EQ(DynamicSkyline(hotels, HotelExampleQuery()),
+            (std::vector<PointId>{5, 10}));
+  // And the diagram agrees at the interior representative of q's subcell.
+  const SubcellGrid& grid = diagram.grid();
+  const uint32_t sx = grid.x_axis().SlabOfDoubled(2 * HotelExampleQuery().x);
+  const uint32_t sy = grid.y_axis().SlabOfDoubled(2 * HotelExampleQuery().y);
+  const auto expected =
+      DynamicSkylineAt4(hotels, grid.x_axis().Representative4(sx),
+                        grid.y_axis().Representative4(sy));
+  const auto actual = diagram.SubcellSkyline(sx, sy);
+  EXPECT_EQ(std::vector<PointId>(actual.begin(), actual.end()), expected);
+}
+
+TEST(DynamicDiagramCrossTest, StatsAreConsistent) {
+  const Dataset ds = RandomDataset(12, 20, 29);
+  const SubcellDiagram diagram = BuildDynamicScanning(ds);
+  const SubcellDiagram::Stats stats = diagram.ComputeStats();
+  EXPECT_EQ(stats.num_subcells, diagram.grid().num_subcells());
+  EXPECT_GE(stats.num_distinct_sets, 1u);
+  EXPECT_GT(stats.approx_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace skydia

@@ -1,0 +1,105 @@
+#include "src/core/global_diagram.h"
+
+#include <gtest/gtest.h>
+
+#include "src/datagen/real_data.h"
+#include "src/datagen/workload.h"
+#include "src/skyline/query.h"
+#include "tests/testing/util.h"
+
+namespace skydia {
+namespace {
+
+using skydia::testing::RandomDataset;
+
+class GlobalDiagramTest : public ::testing::TestWithParam<QuadrantAlgorithm> {
+};
+
+TEST_P(GlobalDiagramTest, InteriorQueriesMatchBruteForce) {
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    const Dataset ds = RandomDataset(30, 24, seed);
+    const CellDiagram diagram = BuildGlobalDiagram(ds, GetParam());
+    const CellGrid& grid = diagram.grid();
+    const auto queries =
+        GenerateInteriorQueries4(ds, 200, seed * 100, /*avoid_bisectors=*/false);
+    for (const auto& [qx4, qy4] : queries) {
+      // Locate the cell of the interior position: count of grid values
+      // strictly below.
+      uint32_t cx = 0;
+      while (cx < grid.num_distinct_x() && 4 * grid.x_value(cx) < qx4) ++cx;
+      uint32_t cy = 0;
+      while (cy < grid.num_distinct_y() && 4 * grid.y_value(cy) < qy4) ++cy;
+      const auto actual = diagram.CellSkyline(cx, cy);
+      EXPECT_EQ(std::vector<PointId>(actual.begin(), actual.end()),
+                GlobalSkylineAt4(ds, qx4, qy4))
+          << "seed " << seed << " q4 (" << qx4 << ", " << qy4 << ")";
+    }
+  }
+}
+
+TEST_P(GlobalDiagramTest, TieHeavyInteriorQueries) {
+  const Dataset ds = RandomDataset(60, 8, 5);
+  const CellDiagram diagram = BuildGlobalDiagram(ds, GetParam());
+  const CellGrid& grid = diagram.grid();
+  const auto queries =
+      GenerateInteriorQueries4(ds, 100, 999, /*avoid_bisectors=*/false);
+  for (const auto& [qx4, qy4] : queries) {
+    uint32_t cx = 0;
+    while (cx < grid.num_distinct_x() && 4 * grid.x_value(cx) < qx4) ++cx;
+    uint32_t cy = 0;
+    while (cy < grid.num_distinct_y() && 4 * grid.y_value(cy) < qy4) ++cy;
+    const auto actual = diagram.CellSkyline(cx, cy);
+    EXPECT_EQ(std::vector<PointId>(actual.begin(), actual.end()),
+              GlobalSkylineAt4(ds, qx4, qy4));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBuilders, GlobalDiagramTest,
+                         ::testing::Values(QuadrantAlgorithm::kBaseline,
+                                           QuadrantAlgorithm::kDsg,
+                                           QuadrantAlgorithm::kScanning),
+                         [](const auto& info) {
+                           return QuadrantAlgorithmName(info.param);
+                         });
+
+TEST(GlobalDiagramTest, BuildersAgreeWithEachOther) {
+  const Dataset ds = RandomDataset(40, 20, 9);
+  const CellDiagram a = BuildGlobalDiagram(ds, QuadrantAlgorithm::kBaseline);
+  const CellDiagram b = BuildGlobalDiagram(ds, QuadrantAlgorithm::kDsg);
+  const CellDiagram c = BuildGlobalDiagram(ds, QuadrantAlgorithm::kScanning);
+  EXPECT_TRUE(a.SameResults(b));
+  EXPECT_TRUE(a.SameResults(c));
+}
+
+TEST(GlobalDiagramTest, GlobalContainsQuadrantResult) {
+  const Dataset ds = RandomDataset(35, 30, 13);
+  const CellDiagram quadrant =
+      BuildQuadrantDiagram(ds, QuadrantAlgorithm::kScanning);
+  const CellDiagram global =
+      BuildGlobalDiagram(ds, QuadrantAlgorithm::kScanning);
+  const CellGrid& grid = quadrant.grid();
+  for (uint32_t cy = 0; cy < grid.num_rows(); ++cy) {
+    for (uint32_t cx = 0; cx < grid.num_columns(); ++cx) {
+      const auto q1 = quadrant.CellSkyline(cx, cy);
+      const auto g = global.CellSkyline(cx, cy);
+      for (PointId id : q1) {
+        EXPECT_TRUE(std::binary_search(g.begin(), g.end(), id))
+            << "cell (" << cx << ", " << cy << ")";
+      }
+    }
+  }
+}
+
+TEST(GlobalDiagramTest, HotelExampleMatchesPaper) {
+  const Dataset hotels = HotelExample();
+  const CellDiagram diagram =
+      BuildGlobalDiagram(hotels, QuadrantAlgorithm::kScanning);
+  // q = (10, 80) is interior (no hotel has x == 10 or y == 80).
+  const auto result = diagram.Query(HotelExampleQuery());
+  // Global skyline = {p3, p6, p8, p10, p11} = ids {2, 5, 7, 9, 10}.
+  EXPECT_EQ(std::vector<PointId>(result.begin(), result.end()),
+            (std::vector<PointId>{2, 5, 7, 9, 10}));
+}
+
+}  // namespace
+}  // namespace skydia

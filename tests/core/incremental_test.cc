@@ -1,0 +1,107 @@
+#include "src/core/incremental.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/quadrant_scanning.h"
+#include "src/datagen/distributions.h"
+#include "src/skyline/query.h"
+#include "tests/testing/util.h"
+
+namespace skydia {
+namespace {
+
+using skydia::testing::RandomDataset;
+
+Dataset Slice(const Dataset& ds, size_t count) {
+  std::vector<Point2D> points(ds.points().begin(),
+                              ds.points().begin() + count);
+  return std::move(Dataset::Create(std::move(points), ds.domain_size()))
+      .value();
+}
+
+TEST(IncrementalTest, InsertMatchesFullRebuildRandom) {
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    const Dataset full = RandomDataset(25, 24, seed);
+    auto incremental =
+        IncrementalQuadrantDiagram::Create(Slice(full, 10));
+    ASSERT_TRUE(incremental.ok());
+    for (size_t i = 10; i < full.size(); ++i) {
+      auto id = incremental->Insert(full.point(static_cast<PointId>(i)));
+      ASSERT_TRUE(id.ok());
+      EXPECT_EQ(*id, i);
+    }
+    const CellDiagram rebuilt = BuildQuadrantScanning(full);
+    EXPECT_TRUE(incremental->diagram().SameResults(rebuilt)) << "seed " << seed;
+  }
+}
+
+TEST(IncrementalTest, InsertWithTies) {
+  // Insertions that share coordinates with existing points (no new grid
+  // line) and exact duplicates.
+  auto base = Dataset::Create({{3, 3}, {6, 6}}, 10);
+  ASSERT_TRUE(base.ok());
+  auto incremental = IncrementalQuadrantDiagram::Create(*base);
+  ASSERT_TRUE(incremental.ok());
+  ASSERT_TRUE(incremental->Insert({3, 6}).ok());   // both coords shared
+  ASSERT_TRUE(incremental->Insert({3, 3}).ok());   // exact duplicate
+  ASSERT_TRUE(incremental->Insert({6, 1}).ok());   // one shared coord
+
+  auto full = Dataset::Create({{3, 3}, {6, 6}, {3, 6}, {3, 3}, {6, 1}}, 10);
+  ASSERT_TRUE(full.ok());
+  EXPECT_TRUE(
+      incremental->diagram().SameResults(BuildQuadrantScanning(*full)));
+}
+
+TEST(IncrementalTest, UpperRightInsertRecomputesOneCell) {
+  auto base = Dataset::Create({{1, 1}, {2, 2}}, 16);
+  ASSERT_TRUE(base.ok());
+  auto incremental = IncrementalQuadrantDiagram::Create(*base);
+  ASSERT_TRUE(incremental.ok());
+  // Dominated corner insert: its ranks are maximal, so the affected
+  // rectangle is the full lower-left grid...
+  ASSERT_TRUE(incremental->Insert({10, 10}).ok());
+  EXPECT_EQ(incremental->last_insert_recomputed_cells(), 3u * 3u);
+  // ...while a lower-left insert touches exactly one cell.
+  ASSERT_TRUE(incremental->Insert({0, 0}).ok());
+  EXPECT_EQ(incremental->last_insert_recomputed_cells(), 1u);
+}
+
+TEST(IncrementalTest, QueriesAreExactAfterInserts) {
+  auto incremental =
+      IncrementalQuadrantDiagram::Create(RandomDataset(8, 12, 3));
+  ASSERT_TRUE(incremental.ok());
+  Rng rng(99);
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_TRUE(
+        incremental->Insert({rng.NextInt(0, 11), rng.NextInt(0, 11)}).ok());
+  }
+  const Dataset& ds = incremental->dataset();
+  for (int64_t x = 0; x < 12; ++x) {
+    for (int64_t y = 0; y < 12; ++y) {
+      const auto actual = incremental->Query({x, y});
+      EXPECT_EQ(std::vector<PointId>(actual.begin(), actual.end()),
+                FirstQuadrantSkyline(ds, {x, y}));
+    }
+  }
+}
+
+TEST(IncrementalTest, RejectsOutOfDomainInserts) {
+  auto incremental =
+      IncrementalQuadrantDiagram::Create(RandomDataset(5, 8, 5));
+  ASSERT_TRUE(incremental.ok());
+  EXPECT_FALSE(incremental->Insert({8, 0}).ok());
+  EXPECT_FALSE(incremental->Insert({0, -1}).ok());
+}
+
+TEST(IncrementalTest, LabelsExtendWhenPresent) {
+  auto base = Dataset::Create({{1, 1}}, 8, {"first"});
+  ASSERT_TRUE(base.ok());
+  auto incremental = IncrementalQuadrantDiagram::Create(*base);
+  ASSERT_TRUE(incremental.ok());
+  ASSERT_TRUE(incremental->Insert({2, 2}).ok());
+  EXPECT_EQ(incremental->dataset().label(0), "first");
+  EXPECT_EQ(incremental->dataset().label(1), "p1");
+}
+
+}  // namespace
+}  // namespace skydia

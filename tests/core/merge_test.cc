@@ -1,0 +1,117 @@
+#include "src/core/merge.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/quadrant_scanning.h"
+#include "tests/testing/util.h"
+
+namespace skydia {
+namespace {
+
+using skydia::testing::RandomDataset;
+
+TEST(MergeTest, SinglePointProducesTwoPolyominoes) {
+  auto ds = Dataset::Create({{4, 4}}, 10);
+  ASSERT_TRUE(ds.ok());
+  const CellDiagram diagram = BuildQuadrantScanning(*ds);
+  const MergedPolyominoes merged = MergeCells(diagram);
+  // Cell (0,0) has result {p0}; the other three cells are empty and
+  // 4-connected through (1,1).
+  EXPECT_EQ(merged.num_polyominoes(), 2u);
+}
+
+TEST(MergeTest, LabelsCoverAllCellsExactlyOnce) {
+  const Dataset ds = RandomDataset(30, 24, 5);
+  const CellDiagram diagram = BuildQuadrantScanning(ds);
+  const MergedPolyominoes merged = MergeCells(diagram);
+  EXPECT_EQ(merged.cell_to_polyomino.size(), diagram.grid().num_cells());
+  uint64_t total = 0;
+  for (uint32_t cells : merged.polyomino_cells) total += cells;
+  EXPECT_EQ(total, diagram.grid().num_cells());
+}
+
+TEST(MergeTest, CellsInOnePolyominoShareResults) {
+  const Dataset ds = RandomDataset(40, 16, 7);  // ties included
+  const CellDiagram diagram = BuildQuadrantScanning(ds);
+  const MergedPolyominoes merged = MergeCells(diagram);
+  const CellGrid& grid = diagram.grid();
+  for (uint32_t cy = 0; cy < grid.num_rows(); ++cy) {
+    for (uint32_t cx = 0; cx < grid.num_columns(); ++cx) {
+      const uint32_t label = merged.cell_to_polyomino[grid.CellIndex(cx, cy)];
+      const auto expected = diagram.pool().Get(merged.polyomino_set[label]);
+      const auto actual = diagram.CellSkyline(cx, cy);
+      EXPECT_TRUE(expected.size() == actual.size() &&
+                  std::equal(expected.begin(), expected.end(), actual.begin()));
+    }
+  }
+}
+
+TEST(MergeTest, AdjacentCellsWithDifferentResultsGetDifferentLabels) {
+  const Dataset ds = RandomDataset(25, 32, 11);
+  const CellDiagram diagram = BuildQuadrantScanning(ds);
+  const MergedPolyominoes merged = MergeCells(diagram);
+  const CellGrid& grid = diagram.grid();
+  for (uint32_t cy = 0; cy < grid.num_rows(); ++cy) {
+    for (uint32_t cx = 0; cx + 1 < grid.num_columns(); ++cx) {
+      const auto a = diagram.CellSkyline(cx, cy);
+      const auto b = diagram.CellSkyline(cx + 1, cy);
+      const bool same_result =
+          a.size() == b.size() && std::equal(a.begin(), a.end(), b.begin());
+      const bool same_label =
+          merged.cell_to_polyomino[grid.CellIndex(cx, cy)] ==
+          merged.cell_to_polyomino[grid.CellIndex(cx + 1, cy)];
+      if (!same_result) {
+        EXPECT_FALSE(same_label);
+      } else {
+        EXPECT_TRUE(same_label);
+      }
+    }
+  }
+}
+
+TEST(MergeTest, PolyominoesAreConnected) {
+  // BFS from one cell of each polyomino over same-label adjacency must reach
+  // the whole polyomino.
+  const Dataset ds = RandomDataset(20, 20, 13);
+  const CellDiagram diagram = BuildQuadrantScanning(ds);
+  const MergedPolyominoes merged = MergeCells(diagram);
+  const CellGrid& grid = diagram.grid();
+  const uint32_t cols = grid.num_columns();
+  const uint32_t rows = grid.num_rows();
+
+  std::vector<uint32_t> first_cell(merged.num_polyominoes(), UINT32_MAX);
+  for (uint64_t i = 0; i < merged.cell_to_polyomino.size(); ++i) {
+    const uint32_t label = merged.cell_to_polyomino[i];
+    if (first_cell[label] == UINT32_MAX) {
+      first_cell[label] = static_cast<uint32_t>(i);
+    }
+  }
+  for (uint32_t label = 0; label < merged.num_polyominoes(); ++label) {
+    std::vector<uint8_t> visited(cols * rows, 0);
+    std::vector<uint32_t> stack = {first_cell[label]};
+    visited[first_cell[label]] = 1;
+    uint32_t reached = 0;
+    while (!stack.empty()) {
+      const uint32_t cell = stack.back();
+      stack.pop_back();
+      ++reached;
+      const uint32_t cx = cell % cols;
+      const uint32_t cy = cell / cols;
+      const auto try_push = [&](uint32_t nx, uint32_t ny) {
+        const auto n = static_cast<uint32_t>(grid.CellIndex(nx, ny));
+        if (!visited[n] && merged.cell_to_polyomino[n] == label) {
+          visited[n] = 1;
+          stack.push_back(n);
+        }
+      };
+      if (cx > 0) try_push(cx - 1, cy);
+      if (cx + 1 < cols) try_push(cx + 1, cy);
+      if (cy > 0) try_push(cx, cy - 1);
+      if (cy + 1 < rows) try_push(cx, cy + 1);
+    }
+    EXPECT_EQ(reached, merged.polyomino_cells[label]) << "label " << label;
+  }
+}
+
+}  // namespace
+}  // namespace skydia

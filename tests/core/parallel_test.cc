@@ -1,0 +1,65 @@
+#include "src/core/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/quadrant_baseline.h"
+#include "src/core/quadrant_dsg.h"
+#include "src/datagen/distributions.h"
+#include "tests/testing/util.h"
+
+namespace skydia {
+namespace {
+
+using skydia::testing::RandomDataset;
+
+TEST(ParallelDsgTest, MatchesSequentialAcrossThreadCounts) {
+  const Dataset ds = RandomDataset(60, 48, 3);
+  const CellDiagram sequential = BuildQuadrantDsg(ds);
+  for (const int threads : {1, 2, 3, 4, 7}) {
+    const CellDiagram parallel = BuildQuadrantDsgParallel(ds, threads);
+    EXPECT_TRUE(parallel.SameResults(sequential)) << threads << " threads";
+  }
+}
+
+TEST(ParallelDsgTest, MatchesBaselineOnTieHeavyData) {
+  const Dataset ds = RandomDataset(80, 8, 5);
+  const CellDiagram baseline = BuildQuadrantBaseline(ds);
+  const CellDiagram parallel = BuildQuadrantDsgParallel(ds, 4);
+  EXPECT_TRUE(parallel.SameResults(baseline));
+}
+
+TEST(ParallelDsgTest, MoreThreadsThanRows) {
+  auto ds = Dataset::Create({{1, 1}, {2, 2}}, 8);
+  ASSERT_TRUE(ds.ok());
+  const CellDiagram sequential = BuildQuadrantDsg(*ds);
+  const CellDiagram parallel = BuildQuadrantDsgParallel(*ds, 16);
+  EXPECT_TRUE(parallel.SameResults(sequential));
+}
+
+TEST(ParallelDsgTest, DistributionSweep) {
+  for (const Distribution dist :
+       {Distribution::kIndependent, Distribution::kCorrelated,
+        Distribution::kAnticorrelated}) {
+    DataGenOptions options;
+    options.n = 50;
+    options.domain_size = 64;
+    options.distribution = dist;
+    options.seed = 9;
+    auto ds = GenerateDataset(options);
+    ASSERT_TRUE(ds.ok());
+    const CellDiagram sequential = BuildQuadrantDsg(*ds);
+    const CellDiagram parallel = BuildQuadrantDsgParallel(*ds, 3);
+    EXPECT_TRUE(parallel.SameResults(sequential)) << DistributionName(dist);
+  }
+}
+
+TEST(ParallelDsgTest, SinglePoint) {
+  auto ds = Dataset::Create({{3, 3}}, 8);
+  ASSERT_TRUE(ds.ok());
+  const CellDiagram parallel = BuildQuadrantDsgParallel(*ds, 4);
+  EXPECT_EQ(parallel.CellSkyline(0, 0).size(), 1u);
+  EXPECT_TRUE(parallel.CellSkyline(1, 1).empty());
+}
+
+}  // namespace
+}  // namespace skydia

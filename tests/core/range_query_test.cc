@@ -1,0 +1,126 @@
+#include "src/core/range_query.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/core/quadrant_scanning.h"
+#include "src/skyline/query.h"
+#include "tests/testing/util.h"
+
+namespace skydia {
+namespace {
+
+using skydia::testing::RandomDataset;
+
+// Oracle: evaluate the quadrant skyline at every integer position in the
+// range and combine.
+std::pair<std::set<PointId>, std::set<PointId>> OracleUnionIntersection(
+    const Dataset& ds, const QueryRange& range) {
+  std::set<PointId> uni;
+  std::set<PointId> inter;
+  bool first = true;
+  for (int64_t x = range.x_lo; x <= range.x_hi; ++x) {
+    for (int64_t y = range.y_lo; y <= range.y_hi; ++y) {
+      const auto sky = FirstQuadrantSkyline(ds, {x, y});
+      uni.insert(sky.begin(), sky.end());
+      if (first) {
+        inter.insert(sky.begin(), sky.end());
+        first = false;
+      } else {
+        std::set<PointId> next;
+        for (PointId id : sky) {
+          if (inter.count(id)) next.insert(id);
+        }
+        inter = std::move(next);
+      }
+    }
+  }
+  return {uni, inter};
+}
+
+TEST(RangeQueryTest, UnionAndIntersectionMatchIntegerOracle) {
+  const Dataset ds = RandomDataset(20, 16, 3);
+  const CellDiagram diagram = BuildQuadrantScanning(ds);
+  Rng rng(7);
+  for (int i = 0; i < 20; ++i) {
+    QueryRange range;
+    range.x_lo = rng.NextInt(0, 15);
+    range.x_hi = range.x_lo + rng.NextInt(0, 15 - range.x_lo);
+    range.y_lo = rng.NextInt(0, 15);
+    range.y_hi = range.y_lo + rng.NextInt(0, 15 - range.y_lo);
+    const auto [uni, inter] = OracleUnionIntersection(ds, range);
+
+    auto u = RangeSkylineUnion(diagram, range);
+    ASSERT_TRUE(u.ok());
+    EXPECT_EQ(std::set<PointId>(u->begin(), u->end()), uni);
+
+    auto x = RangeSkylineIntersection(diagram, range);
+    ASSERT_TRUE(x.ok());
+    EXPECT_EQ(std::set<PointId>(x->begin(), x->end()), inter);
+  }
+}
+
+TEST(RangeQueryTest, DegenerateRangeEqualsPointQuery) {
+  const Dataset ds = RandomDataset(15, 12, 5);
+  const CellDiagram diagram = BuildQuadrantScanning(ds);
+  const QueryRange range{5, 5, 7, 7};
+  auto u = RangeSkylineUnion(diagram, range);
+  auto x = RangeSkylineIntersection(diagram, range);
+  ASSERT_TRUE(u.ok());
+  ASSERT_TRUE(x.ok());
+  EXPECT_EQ(*u, FirstQuadrantSkyline(ds, {5, 7}));
+  EXPECT_EQ(*x, FirstQuadrantSkyline(ds, {5, 7}));
+  auto d = RangeDistinctResults(diagram, range);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(*d, 1u);
+}
+
+TEST(RangeQueryTest, InvertedRangeRejected) {
+  const Dataset ds = RandomDataset(5, 8, 7);
+  const CellDiagram diagram = BuildQuadrantScanning(ds);
+  EXPECT_FALSE(RangeSkylineUnion(diagram, {5, 4, 0, 1}).ok());
+  EXPECT_FALSE(RangeSkylineIntersection(diagram, {0, 1, 5, 4}).ok());
+  EXPECT_FALSE(RangeDistinctResults(diagram, {5, 4, 5, 4}).ok());
+}
+
+TEST(RangeQueryTest, WholeDomainUnionIsAllSkylineCandidates) {
+  // The union over every query position is exactly the points that appear
+  // in some cell's result; each point appears in the cell just below-left
+  // of itself, so the union is the whole dataset.
+  const Dataset ds = RandomDataset(12, 16, 9);
+  const CellDiagram diagram = BuildQuadrantScanning(ds);
+  auto u = RangeSkylineUnion(diagram, {0, 15, 0, 15});
+  ASSERT_TRUE(u.ok());
+  EXPECT_EQ(u->size(), ds.size());
+}
+
+TEST(RangeQueryTest, DistinctResultsCountsSafeZones) {
+  const Dataset ds = RandomDataset(18, 20, 11);
+  const CellDiagram diagram = BuildQuadrantScanning(ds);
+  // Whole domain has many results...
+  auto whole = RangeDistinctResults(diagram, {0, 19, 0, 19});
+  ASSERT_TRUE(whole.ok());
+  EXPECT_GT(*whole, 1u);
+  // ...while the top-right corner past every point is one empty region.
+  auto corner = RangeDistinctResults(diagram, {19, 19, 19, 19});
+  ASSERT_TRUE(corner.ok());
+  EXPECT_EQ(*corner, 1u);
+}
+
+TEST(RangeQueryTest, DistinctResultsWithoutInterning) {
+  const Dataset ds = RandomDataset(10, 12, 13);
+  DiagramOptions no_intern;
+  no_intern.intern_result_sets = false;
+  const CellDiagram plain = BuildQuadrantScanning(ds);
+  const CellDiagram raw = BuildQuadrantScanning(ds, no_intern);
+  const QueryRange range{0, 11, 0, 11};
+  auto a = RangeDistinctResults(plain, range);
+  auto b = RangeDistinctResults(raw, range);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);
+}
+
+}  // namespace
+}  // namespace skydia

@@ -1,0 +1,148 @@
+#include "src/core/serialize.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "src/core/dynamic_scanning.h"
+#include "src/core/quadrant_scanning.h"
+#include "src/datagen/real_data.h"
+#include "tests/testing/util.h"
+
+namespace skydia {
+namespace {
+
+using skydia::testing::RandomDataset;
+
+TEST(SerializeTest, CellDiagramRoundTrip) {
+  const Dataset ds = RandomDataset(30, 32, 3);
+  const CellDiagram diagram = BuildQuadrantScanning(ds);
+  const std::string bytes = SerializeCellDiagram(ds, diagram);
+  auto loaded = ParseCellDiagram(bytes);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->dataset.points(), ds.points());
+  EXPECT_EQ(loaded->dataset.domain_size(), ds.domain_size());
+  EXPECT_TRUE(loaded->diagram.SameResults(diagram));
+}
+
+TEST(SerializeTest, CellDiagramWithLabelsRoundTrip) {
+  const Dataset hotels = HotelExample();
+  const CellDiagram diagram = BuildQuadrantScanning(hotels);
+  auto loaded = ParseCellDiagram(SerializeCellDiagram(hotels, diagram));
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->dataset.has_labels());
+  EXPECT_EQ(loaded->dataset.label(10), "p11");
+  EXPECT_TRUE(loaded->diagram.SameResults(diagram));
+}
+
+TEST(SerializeTest, SubcellDiagramRoundTrip) {
+  const Dataset ds = RandomDataset(12, 16, 5);
+  const SubcellDiagram diagram = BuildDynamicScanning(ds);
+  auto loaded = ParseSubcellDiagram(SerializeSubcellDiagram(ds, diagram));
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_TRUE(loaded->diagram.SameResults(diagram));
+}
+
+TEST(SerializeTest, QueriesSurviveTheRoundTrip) {
+  const Dataset ds = RandomDataset(20, 24, 7);
+  const CellDiagram diagram = BuildQuadrantScanning(ds);
+  auto loaded = ParseCellDiagram(SerializeCellDiagram(ds, diagram));
+  ASSERT_TRUE(loaded.ok());
+  for (int64_t x = 0; x < 24; x += 3) {
+    for (int64_t y = 0; y < 24; y += 3) {
+      const auto a = diagram.Query({x, y});
+      const auto b = loaded->diagram.Query({x, y});
+      EXPECT_TRUE(a.size() == b.size() &&
+                  std::equal(a.begin(), a.end(), b.begin()));
+    }
+  }
+}
+
+TEST(SerializeTest, FileRoundTrip) {
+  const Dataset ds = RandomDataset(15, 20, 9);
+  const CellDiagram diagram = BuildQuadrantScanning(ds);
+  const std::string path = ::testing::TempDir() + "/skydia_diagram.skd";
+  ASSERT_TRUE(SaveCellDiagram(ds, diagram, path).ok());
+  auto loaded = LoadCellDiagram(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->diagram.SameResults(diagram));
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, MissingFileIsNotFound) {
+  auto loaded = LoadCellDiagram("/no/such/skydia/file.skd");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+// --- failure injection -------------------------------------------------------
+
+std::string ValidBytes() {
+  const Dataset ds = RandomDataset(10, 16, 11);
+  const CellDiagram diagram = BuildQuadrantScanning(ds);
+  return SerializeCellDiagram(ds, diagram);
+}
+
+TEST(SerializeTest, RejectsBadMagic) {
+  std::string bytes = ValidBytes();
+  bytes[0] ^= 0xFF;
+  auto loaded = ParseCellDiagram(bytes);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+}
+
+TEST(SerializeTest, RejectsEveryBitFlipSomewhere) {
+  const std::string valid = ValidBytes();
+  // Flip one byte at a spread of positions; the checksum (or an earlier
+  // structural check) must catch every one of them.
+  for (size_t pos = 8; pos < valid.size(); pos += 37) {
+    std::string bytes = valid;
+    bytes[pos] ^= 0x5A;
+    auto loaded = ParseCellDiagram(bytes);
+    EXPECT_FALSE(loaded.ok()) << "undetected corruption at byte " << pos;
+  }
+}
+
+TEST(SerializeTest, RejectsTruncation) {
+  const std::string valid = ValidBytes();
+  for (const size_t keep :
+       {size_t{0}, size_t{5}, size_t{9}, valid.size() / 2, valid.size() - 1}) {
+    auto loaded = ParseCellDiagram(valid.substr(0, keep));
+    EXPECT_FALSE(loaded.ok()) << "kept " << keep << " bytes";
+    EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+  }
+}
+
+TEST(SerializeTest, RejectsTrailingGarbage) {
+  std::string bytes = ValidBytes();
+  bytes += "extra";
+  auto loaded = ParseCellDiagram(bytes);
+  EXPECT_FALSE(loaded.ok());
+}
+
+TEST(SerializeTest, RejectsKindConfusion) {
+  // A subcell file must not parse as a cell diagram and vice versa.
+  const Dataset ds = RandomDataset(8, 12, 13);
+  const SubcellDiagram dynamic = BuildDynamicScanning(ds);
+  const std::string sub_bytes = SerializeSubcellDiagram(ds, dynamic);
+  EXPECT_FALSE(ParseCellDiagram(sub_bytes).ok());
+
+  const CellDiagram cells = BuildQuadrantScanning(ds);
+  const std::string cell_bytes = SerializeCellDiagram(ds, cells);
+  EXPECT_FALSE(ParseSubcellDiagram(cell_bytes).ok());
+}
+
+TEST(SerializeTest, NoDedupPoolSurvives) {
+  // Diagrams built without interning store duplicate sets; Append-based
+  // reconstruction must keep cell->content intact.
+  const Dataset ds = RandomDataset(12, 16, 15);
+  DiagramOptions options;
+  options.intern_result_sets = false;
+  const CellDiagram diagram = BuildQuadrantScanning(ds, options);
+  auto loaded = ParseCellDiagram(SerializeCellDiagram(ds, diagram));
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_TRUE(loaded->diagram.SameResults(diagram));
+}
+
+}  // namespace
+}  // namespace skydia

@@ -1,0 +1,110 @@
+#include "src/core/subcell_grid.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/testing/util.h"
+
+namespace skydia {
+namespace {
+
+using skydia::testing::RandomDataset;
+
+TEST(SubcellAxisTest, LinesArePairwiseSumsInDoubledCoordinates) {
+  // Values {1, 4}: lines at 2, 5, 8 (doubled: 2*1, 1+4, 2*4).
+  const SubcellAxis axis({1, 4});
+  ASSERT_EQ(axis.num_lines(), 3u);
+  EXPECT_EQ(axis.line(0), 2);
+  EXPECT_EQ(axis.line(1), 5);
+  EXPECT_EQ(axis.line(2), 8);
+  EXPECT_EQ(axis.num_slabs(), 4u);
+}
+
+TEST(SubcellAxisTest, CoincidentSumsCollapse) {
+  // Values {0, 2, 4}: sums 0,2,4,4,6,8 -> lines {0,2,4,6,8}.
+  const SubcellAxis axis({0, 2, 4});
+  EXPECT_EQ(axis.num_lines(), 5u);
+}
+
+TEST(SubcellAxisTest, RepresentativesAreStrictlyInterior) {
+  const SubcellAxis axis({1, 4, 9});
+  for (uint32_t slab = 0; slab < axis.num_slabs(); ++slab) {
+    const int64_t rep4 = axis.Representative4(slab);
+    if (slab > 0) {
+      EXPECT_GT(rep4, 2 * axis.line(slab - 1));
+    }
+    if (slab < axis.num_lines()) {
+      EXPECT_LT(rep4, 2 * axis.line(slab));
+    }
+  }
+}
+
+TEST(SubcellAxisTest, RepresentativeNeverHitsAMappedPoint) {
+  // Mapped point positions in 4x space are 4*value = 2*(point line); the
+  // representative is strictly between adjacent lines, so never equal.
+  const SubcellAxis axis({3, 5, 6, 11});
+  for (uint32_t slab = 0; slab < axis.num_slabs(); ++slab) {
+    const int64_t rep4 = axis.Representative4(slab);
+    for (const int64_t v : {3, 5, 6, 11}) {
+      EXPECT_NE(rep4, 4 * v);
+    }
+  }
+}
+
+TEST(SubcellAxisTest, SlabOfDoubledHalfOpen) {
+  const SubcellAxis axis({1, 4});  // lines 2, 5, 8
+  EXPECT_EQ(axis.SlabOfDoubled(1), 0u);
+  EXPECT_EQ(axis.SlabOfDoubled(2), 0u);  // on line 0 -> left slab
+  EXPECT_EQ(axis.SlabOfDoubled(3), 1u);
+  EXPECT_EQ(axis.SlabOfDoubled(5), 1u);
+  EXPECT_EQ(axis.SlabOfDoubled(6), 2u);
+  EXPECT_EQ(axis.SlabOfDoubled(9), 3u);
+  EXPECT_TRUE(axis.IsOnLine(5));
+  EXPECT_FALSE(axis.IsOnLine(6));
+}
+
+TEST(SubcellGridTest, DimensionsMultiply) {
+  auto ds = Dataset::Create({{1, 1}, {4, 9}}, 16);
+  ASSERT_TRUE(ds.ok());
+  const SubcellGrid grid(*ds);
+  // x values {1,4} -> 3 lines -> 4 slabs; y values {1,9} -> 3 lines -> 4.
+  EXPECT_EQ(grid.num_columns(), 4u);
+  EXPECT_EQ(grid.num_rows(), 4u);
+  EXPECT_EQ(grid.num_subcells(), 16u);
+}
+
+TEST(SubcellGridTest, ContributorsCoverBisectorParties) {
+  auto ds = Dataset::Create({{1, 0}, {4, 0}, {9, 0}}, 16);
+  ASSERT_TRUE(ds.ok());
+  const SubcellGrid grid(*ds);
+  const SubcellAxis& x = grid.x_axis();
+  // Lines (doubled): 2(=2*1), 5(=1+4), 8(=2*4), 10(=1+9), 13(=4+9), 18(=2*9).
+  ASSERT_EQ(x.num_lines(), 6u);
+  EXPECT_EQ(grid.ContributorsX(0), (std::vector<PointId>{0}));        // 2*1
+  EXPECT_EQ(grid.ContributorsX(1), (std::vector<PointId>{0, 1}));     // 1+4
+  EXPECT_EQ(grid.ContributorsX(2), (std::vector<PointId>{1}));        // 2*4
+  EXPECT_EQ(grid.ContributorsX(3), (std::vector<PointId>{0, 2}));     // 1+9
+  EXPECT_EQ(grid.ContributorsX(4), (std::vector<PointId>{1, 2}));     // 4+9
+  EXPECT_EQ(grid.ContributorsX(5), (std::vector<PointId>{2}));        // 2*9
+}
+
+TEST(SubcellGridTest, CoincidentLinesMergeContributors) {
+  // Points at x = 0, 2, 4: line 4 is both 2*2 and 0+4.
+  auto ds = Dataset::Create({{0, 0}, {2, 0}, {4, 0}}, 8);
+  ASSERT_TRUE(ds.ok());
+  const SubcellGrid grid(*ds);
+  const SubcellAxis& x = grid.x_axis();
+  ASSERT_EQ(x.num_lines(), 5u);  // 0, 2, 4, 6, 8
+  EXPECT_EQ(x.line(2), 4);
+  EXPECT_EQ(grid.ContributorsX(2), (std::vector<PointId>{0, 1, 2}));
+}
+
+TEST(SubcellGridTest, LineCountBoundedByDomain) {
+  const Dataset ds = RandomDataset(64, 16, 3);
+  const SubcellGrid grid(ds);
+  // Doubled coordinates range over [0, 2*(s-1)] -> at most 2s-1 lines.
+  EXPECT_LE(grid.x_axis().num_lines(), 2u * 16 - 1);
+  EXPECT_LE(grid.y_axis().num_lines(), 2u * 16 - 1);
+}
+
+}  // namespace
+}  // namespace skydia

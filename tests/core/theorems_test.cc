@@ -1,0 +1,156 @@
+// Direct checks of the paper's formal statements, independent of the
+// algorithm implementations (which have their own suites): Theorem 1's
+// multiset identity over skyline cells, its saturating-subtraction extension
+// under ties, and the Theorem 2 properties of the sweeping subdivision.
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "src/core/quadrant_baseline.h"
+#include "src/core/quadrant_sweeping.h"
+#include "src/skyline/query.h"
+#include "tests/testing/util.h"
+
+namespace skydia {
+namespace {
+
+using skydia::testing::RandomDataset;
+using skydia::testing::RandomDistinctDataset;
+
+// Theorem 1: Sky(C[i][j]) = Sky(C[i+1][j]) + Sky(C[i][j+1]) - Sky(C[i+1][j+1])
+// (multiset arithmetic, subtraction saturating at zero) for every cell
+// without a point on its upper-right corner. Verified against the
+// baseline-built diagram, so this exercises the *identity*, not the scanning
+// code.
+TEST(Theorem1Test, MultisetIdentityHoldsOnDistinctData) {
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    const Dataset ds = RandomDistinctDataset(20, 64, seed);
+    const CellDiagram diagram = BuildQuadrantBaseline(ds);
+    const CellGrid& grid = diagram.grid();
+    for (uint32_t cy = 0; cy + 1 < grid.num_rows(); ++cy) {
+      for (uint32_t cx = 0; cx + 1 < grid.num_columns(); ++cx) {
+        if (!grid.PointsAtCorner(cx, cy).empty()) continue;
+        std::map<PointId, int> count;
+        for (PointId id : diagram.CellSkyline(cx + 1, cy)) ++count[id];
+        for (PointId id : diagram.CellSkyline(cx, cy + 1)) ++count[id];
+        for (PointId id : diagram.CellSkyline(cx + 1, cy + 1)) --count[id];
+        std::vector<PointId> combined;
+        for (const auto& [id, c] : count) {
+          ASSERT_LE(c, 1) << "multiset count above 1";
+          // Counts of -1 occur when a candidate is dominated from both the
+          // cell's grid lines while surviving among the upper-right points;
+          // the subtraction must saturate (see SaturationIsRequired).
+          if (c == 1) combined.push_back(id);
+        }
+        const auto expected = diagram.CellSkyline(cx, cy);
+        EXPECT_EQ(combined, std::vector<PointId>(expected.begin(),
+                                                 expected.end()))
+            << "seed " << seed << " cell (" << cx << ", " << cy << ")";
+      }
+    }
+  }
+}
+
+TEST(Theorem1Test, SaturationIsRequired) {
+  // A candidate dominated by a point on the crossed vertical line AND a
+  // point on the crossed horizontal line — while undominated among the
+  // strictly-upper-right points — shows count -1 in the raw multiset
+  // arithmetic. This happens even with distinct coordinates; the saturating
+  // variant stays correct. Documents why BuildQuadrantScanning clamps at 0.
+  bool saw_saturation = false;
+  for (uint64_t seed = 1; seed <= 30 && !saw_saturation; ++seed) {
+    const Dataset ds = RandomDataset(40, 6, seed);
+    const CellDiagram diagram = BuildQuadrantBaseline(ds);
+    const CellGrid& grid = diagram.grid();
+    for (uint32_t cy = 0; cy + 1 < grid.num_rows(); ++cy) {
+      for (uint32_t cx = 0; cx + 1 < grid.num_columns(); ++cx) {
+        if (!grid.PointsAtCorner(cx, cy).empty()) continue;
+        std::map<PointId, int> count;
+        for (PointId id : diagram.CellSkyline(cx + 1, cy)) ++count[id];
+        for (PointId id : diagram.CellSkyline(cx, cy + 1)) ++count[id];
+        for (PointId id : diagram.CellSkyline(cx + 1, cy + 1)) --count[id];
+        std::vector<PointId> combined;
+        for (const auto& [id, c] : count) {
+          if (c < 0) saw_saturation = true;  // the case Theorem 1 glosses
+          if (c >= 1) combined.push_back(id);
+        }
+        const auto expected = diagram.CellSkyline(cx, cy);
+        // Saturated arithmetic must still reproduce the true skyline.
+        ASSERT_EQ(combined, std::vector<PointId>(expected.begin(),
+                                                 expected.end()))
+            << "seed " << seed;
+      }
+    }
+  }
+  EXPECT_TRUE(saw_saturation)
+      << "expected at least one tie configuration requiring saturation";
+}
+
+TEST(Theorem1Test, CornerCellsHaveTheCornerAsSkyline) {
+  const Dataset ds = RandomDataset(30, 16, 7);
+  const CellDiagram diagram = BuildQuadrantBaseline(ds);
+  const CellGrid& grid = diagram.grid();
+  for (uint32_t cy = 0; cy < grid.num_rows(); ++cy) {
+    for (uint32_t cx = 0; cx < grid.num_columns(); ++cx) {
+      const auto& corner = grid.PointsAtCorner(cx, cy);
+      if (corner.empty()) continue;
+      std::vector<PointId> expected = corner;
+      std::sort(expected.begin(), expected.end());
+      const auto actual = diagram.CellSkyline(cx, cy);
+      EXPECT_EQ(std::vector<PointId>(actual.begin(), actual.end()), expected);
+    }
+  }
+}
+
+// Theorem 2: the half-open grid segments partition the plane into regions of
+// constant quadrant skyline. Checked as: crossing any downward ray strictly
+// below its point changes the skyline; crossing where no ray lies does not.
+TEST(Theorem2Test, RaysAreExactlyTheResultBoundaries) {
+  const Dataset ds = RandomDistinctDataset(14, 40, 3);
+  for (PointId id = 0; id < ds.size(); ++id) {
+    const Point2D& p = ds.point(id);
+    // Just below p, crossing its vertical ray: results must differ.
+    const int64_t y4 = 4 * p.y - 2;
+    if (p.y == 0) continue;
+    const auto left = QuadrantSkylineAt4(ds, 4 * p.x - 1, y4, 0);
+    const auto right = QuadrantSkylineAt4(ds, 4 * p.x + 1, y4, 0);
+    EXPECT_NE(left, right) << "crossing the ray of " << ds.label(id)
+                           << " below it must change the skyline";
+    // Just above p (beyond the ray): results must agree.
+    const int64_t above4 = 4 * p.y + 2;
+    const auto left_above = QuadrantSkylineAt4(ds, 4 * p.x - 1, above4, 0);
+    const auto right_above = QuadrantSkylineAt4(ds, 4 * p.x + 1, above4, 0);
+    EXPECT_EQ(left_above, right_above)
+        << "no ray above " << ds.label(id) << ", the skyline cannot change";
+  }
+}
+
+TEST(Theorem2Test, PolyominoShapeIsTopEdgePlusStaircase) {
+  // "The polyominos are either rectangles or half-rectangles with lower left
+  // side shaped like steps": vertex count is even and >= 4, first edge goes
+  // left, second goes down.
+  const Dataset ds = RandomDistinctDataset(18, 48, 5);
+  const auto swept = BuildQuadrantSweeping(ds);
+  ASSERT_TRUE(swept.ok());
+  for (const auto& poly : swept->polyominoes) {
+    const auto& v = poly.outline.vertices;
+    ASSERT_GE(v.size(), 4u);
+    EXPECT_EQ(v.size() % 2, 0u);
+    EXPECT_EQ(v[0], poly.corner);
+    EXPECT_LT(v[1].x, v[0].x);  // top edge leftward
+    EXPECT_EQ(v[1].y, v[0].y);
+    EXPECT_LT(v[2].y, v[1].y);  // then down
+    EXPECT_EQ(v[2].x, v[1].x);
+    // Staircase monotonicity: x never decreases, y never increases after the
+    // top edge.
+    for (size_t i = 2; i + 1 < v.size(); i += 2) {
+      EXPECT_LE(v[i].y, v[i - 1].y);
+      if (i + 1 < v.size()) {
+        EXPECT_GE(v[i + 1].x, v[i].x);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace skydia

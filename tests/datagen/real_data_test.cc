@@ -1,0 +1,113 @@
+#include "src/datagen/real_data.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "src/common/csv.h"
+#include "src/skyline/query.h"
+
+namespace skydia {
+namespace {
+
+// These assertions pin the paper's running example (Figure 1): every stated
+// query result must hold verbatim for q = (10, 80).
+TEST(HotelExampleTest, QuadrantSkylinesMatchPaper) {
+  const Dataset hotels = HotelExample();
+  const Point2D q = HotelExampleQuery();
+  // First quadrant: {p3, p8, p10} (ids 2, 7, 9).
+  EXPECT_EQ(QuadrantSkyline(hotels, q, 0), (std::vector<PointId>{2, 7, 9}));
+  // Second quadrant: {p6}.
+  EXPECT_EQ(QuadrantSkyline(hotels, q, 1), (std::vector<PointId>{5}));
+  // Third quadrant: empty.
+  EXPECT_TRUE(QuadrantSkyline(hotels, q, 2).empty());
+  // Fourth quadrant: {p11}.
+  EXPECT_EQ(QuadrantSkyline(hotels, q, 3), (std::vector<PointId>{10}));
+}
+
+TEST(HotelExampleTest, GlobalSkylineMatchesPaper) {
+  const Dataset hotels = HotelExample();
+  // {p3, p6, p8, p10, p11}.
+  EXPECT_EQ(GlobalSkyline(hotels, HotelExampleQuery()),
+            (std::vector<PointId>{2, 5, 7, 9, 10}));
+}
+
+TEST(HotelExampleTest, DynamicSkylineMatchesPaper) {
+  const Dataset hotels = HotelExample();
+  // {p6, p11}: the paper's t6/t11 observation.
+  EXPECT_EQ(DynamicSkyline(hotels, HotelExampleQuery()),
+            (std::vector<PointId>{5, 10}));
+}
+
+TEST(HotelExampleTest, DynamicIsSubsetOfGlobal) {
+  const Dataset hotels = HotelExample();
+  const auto dynamic = DynamicSkyline(hotels, HotelExampleQuery());
+  const auto global = GlobalSkyline(hotels, HotelExampleQuery());
+  for (PointId id : dynamic) {
+    EXPECT_TRUE(std::binary_search(global.begin(), global.end(), id));
+  }
+}
+
+TEST(HotelExampleTest, LabelsAndShape) {
+  const Dataset hotels = HotelExample();
+  EXPECT_EQ(hotels.size(), 11u);
+  EXPECT_EQ(hotels.label(0), "p1");
+  EXPECT_EQ(hotels.label(10), "p11");
+  EXPECT_EQ(hotels.domain_size(), 128);
+}
+
+TEST(NbaLikeTest, WriteAndLoadRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "skydia_nba_test.csv").string();
+  ASSERT_TRUE(WriteNbaLikeCsv(path, 200, /*seed=*/7).ok());
+  auto ds = LoadDatasetCsv(path, "points_rank", "rebounds_rank");
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->size(), 200u);
+  EXPECT_TRUE(ds->has_labels());
+  EXPECT_EQ(ds->label(0), "player0");
+  // Domain: smallest power of two above the max coordinate.
+  EXPECT_LE(ds->domain_size(), 1024);
+  std::remove(path.c_str());
+}
+
+TEST(NbaLikeTest, DeterministicInSeed) {
+  const auto dir = std::filesystem::temp_directory_path();
+  const std::string path_a = (dir / "skydia_nba_a.csv").string();
+  const std::string path_b = (dir / "skydia_nba_b.csv").string();
+  ASSERT_TRUE(WriteNbaLikeCsv(path_a, 50, 3).ok());
+  ASSERT_TRUE(WriteNbaLikeCsv(path_b, 50, 3).ok());
+  auto a = LoadDatasetCsv(path_a, "points_rank", "rebounds_rank");
+  auto b = LoadDatasetCsv(path_b, "points_rank", "rebounds_rank");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->points(), b->points());
+  std::remove(path_a.c_str());
+  std::remove(path_b.c_str());
+}
+
+TEST(LoadDatasetCsvTest, MissingColumnsRejected) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "skydia_badcol.csv").string();
+  CsvDocument doc;
+  doc.rows = {{"a", "b"}, {"1", "2"}};
+  ASSERT_TRUE(WriteCsvFile(path, doc).ok());
+  EXPECT_FALSE(LoadDatasetCsv(path, "missing", "b").ok());
+  std::remove(path.c_str());
+}
+
+TEST(LoadDatasetCsvTest, NonIntegerValuesRejected) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "skydia_badint.csv").string();
+  CsvDocument doc;
+  doc.rows = {{"x", "y"}, {"1", "not-a-number"}};
+  ASSERT_TRUE(WriteCsvFile(path, doc).ok());
+  const auto loaded = LoadDatasetCsv(path, "x", "y");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace skydia

@@ -1,0 +1,61 @@
+#include "src/datagen/workload.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/subcell_grid.h"
+#include "src/geometry/grid.h"
+#include "tests/testing/util.h"
+
+namespace skydia {
+namespace {
+
+using skydia::testing::RandomDataset;
+
+TEST(WorkloadTest, QueriesStayInDomain) {
+  const Dataset ds = RandomDataset(20, 64, 1);
+  const auto queries = GenerateQueries(ds, 500, 7);
+  EXPECT_EQ(queries.size(), 500u);
+  for (const Point2D& q : queries) {
+    EXPECT_GE(q.x, 0);
+    EXPECT_LT(q.x, 64);
+    EXPECT_GE(q.y, 0);
+    EXPECT_LT(q.y, 64);
+  }
+}
+
+TEST(WorkloadTest, QueriesDeterministic) {
+  const Dataset ds = RandomDataset(20, 64, 1);
+  EXPECT_EQ(GenerateQueries(ds, 50, 9), GenerateQueries(ds, 50, 9));
+  EXPECT_NE(GenerateQueries(ds, 50, 9), GenerateQueries(ds, 50, 10));
+}
+
+TEST(WorkloadTest, InteriorQueriesAvoidGridLines) {
+  const Dataset ds = RandomDataset(30, 16, 3);  // tie-heavy
+  const auto queries =
+      GenerateInteriorQueries4(ds, 300, 11, /*avoid_bisectors=*/false);
+  for (const auto& [qx4, qy4] : queries) {
+    for (const Point2D& p : ds.points()) {
+      EXPECT_NE(qx4, 4 * p.x);
+      EXPECT_NE(qy4, 4 * p.y);
+    }
+  }
+}
+
+TEST(WorkloadTest, InteriorQueriesAvoidBisectors) {
+  const Dataset ds = RandomDataset(15, 32, 5);
+  const SubcellGrid grid(ds);
+  const auto queries =
+      GenerateInteriorQueries4(ds, 300, 13, /*avoid_bisectors=*/true);
+  for (const auto& [qx4, qy4] : queries) {
+    // 4x position of a doubled line L is 2L; interior queries never match.
+    for (uint32_t i = 0; i < grid.x_axis().num_lines(); ++i) {
+      EXPECT_NE(qx4, 2 * grid.x_axis().line(i));
+    }
+    for (uint32_t i = 0; i < grid.y_axis().num_lines(); ++i) {
+      EXPECT_NE(qy4, 2 * grid.y_axis().line(i));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace skydia

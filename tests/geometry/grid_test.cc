@@ -1,0 +1,81 @@
+#include "src/geometry/grid.h"
+
+#include <gtest/gtest.h>
+
+namespace skydia {
+namespace {
+
+Dataset MakeDataset(std::vector<Point2D> points, int64_t domain = 100) {
+  auto ds = Dataset::Create(std::move(points), domain);
+  EXPECT_TRUE(ds.ok());
+  return std::move(ds).value();
+}
+
+TEST(CellGridTest, DistinctCoordinateCounts) {
+  const Dataset ds = MakeDataset({{1, 5}, {3, 7}, {3, 9}, {6, 5}});
+  const CellGrid grid(ds);
+  EXPECT_EQ(grid.num_distinct_x(), 3u);  // 1, 3, 6
+  EXPECT_EQ(grid.num_distinct_y(), 3u);  // 5, 7, 9
+  EXPECT_EQ(grid.num_columns(), 4u);
+  EXPECT_EQ(grid.num_rows(), 4u);
+  EXPECT_EQ(grid.num_cells(), 16u);
+}
+
+TEST(CellGridTest, RanksFollowSortedDistinctValues) {
+  const Dataset ds = MakeDataset({{6, 5}, {1, 9}, {3, 7}});
+  const CellGrid grid(ds);
+  EXPECT_EQ(grid.xrank(0), 2u);  // x=6 is the largest
+  EXPECT_EQ(grid.xrank(1), 0u);
+  EXPECT_EQ(grid.xrank(2), 1u);
+  EXPECT_EQ(grid.yrank(0), 0u);  // y=5 is the smallest
+  EXPECT_EQ(grid.yrank(1), 2u);
+  EXPECT_EQ(grid.yrank(2), 1u);
+}
+
+TEST(CellGridTest, ColumnOfHalfOpenConvention) {
+  const Dataset ds = MakeDataset({{10, 0}, {20, 1}});
+  const CellGrid grid(ds);
+  EXPECT_EQ(grid.ColumnOf(5), 0u);
+  EXPECT_EQ(grid.ColumnOf(10), 0u);  // on the line -> left column
+  EXPECT_EQ(grid.ColumnOf(11), 1u);
+  EXPECT_EQ(grid.ColumnOf(20), 1u);
+  EXPECT_EQ(grid.ColumnOf(21), 2u);
+}
+
+TEST(CellGridTest, PointsAtColumnGroupsTies) {
+  const Dataset ds = MakeDataset({{3, 1}, {3, 2}, {7, 3}});
+  const CellGrid grid(ds);
+  EXPECT_EQ(grid.PointsAtColumn(0), (std::vector<PointId>{0, 1}));
+  EXPECT_EQ(grid.PointsAtColumn(1), (std::vector<PointId>{2}));
+  EXPECT_TRUE(grid.PointsAtColumn(2).empty());
+  EXPECT_TRUE(grid.PointsAtColumn(99).empty());
+}
+
+TEST(CellGridTest, PointsAtCorner) {
+  const Dataset ds = MakeDataset({{3, 1}, {3, 1}, {7, 5}});
+  const CellGrid grid(ds);
+  EXPECT_EQ(grid.PointsAtCorner(0, 0), (std::vector<PointId>{0, 1}));
+  EXPECT_EQ(grid.PointsAtCorner(1, 1), (std::vector<PointId>{2}));
+  EXPECT_TRUE(grid.PointsAtCorner(0, 1).empty());
+}
+
+TEST(CellGridTest, BoundaryPredicates) {
+  const Dataset ds = MakeDataset({{3, 8}});
+  const CellGrid grid(ds);
+  EXPECT_TRUE(grid.IsOnVerticalLine(3));
+  EXPECT_FALSE(grid.IsOnVerticalLine(8));
+  EXPECT_TRUE(grid.IsOnHorizontalLine(8));
+  EXPECT_FALSE(grid.IsOnHorizontalLine(3));
+}
+
+TEST(CellGridTest, CellIndexRowMajor) {
+  const Dataset ds = MakeDataset({{1, 1}, {2, 2}});
+  const CellGrid grid(ds);  // 3x3 cells
+  EXPECT_EQ(grid.CellIndex(0, 0), 0u);
+  EXPECT_EQ(grid.CellIndex(2, 0), 2u);
+  EXPECT_EQ(grid.CellIndex(0, 1), 3u);
+  EXPECT_EQ(grid.CellIndex(2, 2), 8u);
+}
+
+}  // namespace
+}  // namespace skydia

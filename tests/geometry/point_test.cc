@@ -1,0 +1,30 @@
+#include "src/geometry/point.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace skydia {
+namespace {
+
+TEST(PointTest, Equality) {
+  EXPECT_EQ((Point2D{1, 2}), (Point2D{1, 2}));
+  EXPECT_NE((Point2D{1, 2}), (Point2D{2, 1}));
+}
+
+TEST(PointTest, LexLessOrdersByXThenY) {
+  EXPECT_TRUE(LexLess({1, 5}, {2, 0}));
+  EXPECT_TRUE(LexLess({1, 2}, {1, 3}));
+  EXPECT_FALSE(LexLess({1, 3}, {1, 3}));
+  EXPECT_FALSE(LexLess({2, 0}, {1, 9}));
+}
+
+TEST(PointTest, Streaming) {
+  std::ostringstream os;
+  os << Point2D{10, 80};
+  EXPECT_EQ(os.str(), "(10, 80)");
+  EXPECT_EQ(ToString(Point2D{-1, 3}), "(-1, 3)");
+}
+
+}  // namespace
+}  // namespace skydia

@@ -1,0 +1,70 @@
+#include "src/geometry/polyomino.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace skydia {
+namespace {
+
+PolyominoOutline Rect(int64_t x0, int64_t y0, int64_t x1, int64_t y1) {
+  // Counter-clockwise rectangle.
+  return PolyominoOutline{{{x0, y0}, {x1, y0}, {x1, y1}, {x0, y1}}};
+}
+
+TEST(PolyominoTest, RectangleArea) {
+  const PolyominoOutline r = Rect(0, 0, 4, 3);
+  EXPECT_EQ(r.Area(), 12);
+  EXPECT_EQ(r.Perimeter(), 14);
+  EXPECT_TRUE(r.IsRectilinear());
+}
+
+TEST(PolyominoTest, OrientationDoesNotAffectArea) {
+  PolyominoOutline cw = Rect(0, 0, 4, 3);
+  std::reverse(cw.vertices.begin(), cw.vertices.end());
+  EXPECT_EQ(cw.Area(), 12);
+  EXPECT_LT(cw.SignedDoubleArea(), 0);
+}
+
+TEST(PolyominoTest, LShapeArea) {
+  // L-shape: 4x4 square minus 2x2 top-right notch.
+  const PolyominoOutline l{
+      {{0, 0}, {4, 0}, {4, 2}, {2, 2}, {2, 4}, {0, 4}}};
+  EXPECT_EQ(l.Area(), 12);
+  EXPECT_EQ(l.Perimeter(), 16);
+  EXPECT_TRUE(l.IsRectilinear());
+}
+
+TEST(PolyominoTest, StaircaseArea) {
+  // The shape the sweeping walk produces: top edge, then down/right steps.
+  const PolyominoOutline s{
+      {{6, 6}, {0, 6}, {0, 4}, {2, 4}, {2, 2}, {4, 2}, {4, 0}, {6, 0}}};
+  EXPECT_EQ(s.Area(), 36 - 4 - 8);  // full square minus two steps
+  EXPECT_TRUE(s.IsRectilinear());
+}
+
+TEST(PolyominoTest, ContainsInterior) {
+  const PolyominoOutline l{
+      {{0, 0}, {4, 0}, {4, 2}, {2, 2}, {2, 4}, {0, 4}}};
+  EXPECT_TRUE(l.ContainsInterior({1, 1}));
+  EXPECT_TRUE(l.ContainsInterior({3, 1}));
+  EXPECT_TRUE(l.ContainsInterior({1, 3}));
+  EXPECT_FALSE(l.ContainsInterior({3, 3}));  // in the notch
+  EXPECT_FALSE(l.ContainsInterior({5, 1}));
+  EXPECT_FALSE(l.ContainsInterior({-1, 1}));
+}
+
+TEST(PolyominoTest, NonRectilinearDetected) {
+  const PolyominoOutline diag{{{0, 0}, {2, 2}, {0, 2}}};
+  EXPECT_FALSE(diag.IsRectilinear());
+}
+
+TEST(PolyominoTest, DegenerateOutlines) {
+  PolyominoOutline empty;
+  EXPECT_EQ(empty.Area(), 0);
+  EXPECT_EQ(empty.Perimeter(), 0);
+  EXPECT_FALSE(empty.IsRectilinear());
+}
+
+}  // namespace
+}  // namespace skydia

@@ -1,0 +1,171 @@
+#include "src/skyline/algorithms.h"
+
+#include <gtest/gtest.h>
+
+#include "src/datagen/distributions.h"
+#include "tests/testing/util.h"
+
+namespace skydia {
+namespace {
+
+using skydia::testing::BruteSkyline2d;
+using skydia::testing::BruteSkylineNd;
+using skydia::testing::RandomDataset;
+
+TEST(MinStaircaseTest, SimpleStaircase) {
+  const std::vector<Point2D> coords = {{1, 5}, {2, 3}, {3, 4}, {4, 1}};
+  const std::vector<PointId> ids = {0, 1, 2, 3};
+  EXPECT_EQ(MinStaircase(coords, ids), (std::vector<PointId>{0, 1, 3}));
+}
+
+TEST(MinStaircaseTest, TiesInXKeepOnlyGroupMinimum) {
+  const std::vector<Point2D> coords = {{1, 5}, {1, 3}, {1, 3}, {2, 4}};
+  const std::vector<PointId> ids = {0, 1, 2, 3};
+  // Both copies of (1,3) survive; (1,5) is dominated by them; (2,4) too.
+  EXPECT_EQ(MinStaircase(coords, ids), (std::vector<PointId>{1, 2}));
+}
+
+TEST(MinStaircaseTest, TiesInYAcrossGroups) {
+  const std::vector<Point2D> coords = {{1, 3}, {2, 3}};
+  const std::vector<PointId> ids = {0, 1};
+  // (1,3) dominates (2,3): equal y, strictly smaller x.
+  EXPECT_EQ(MinStaircase(coords, ids), (std::vector<PointId>{0}));
+}
+
+TEST(MinStaircaseTest, DuplicatePointsAllSurvive) {
+  const std::vector<Point2D> coords = {{2, 2}, {2, 2}, {5, 1}, {1, 5}};
+  const std::vector<PointId> ids = {0, 1, 2, 3};
+  EXPECT_EQ(MinStaircase(coords, ids), (std::vector<PointId>{0, 1, 2, 3}));
+}
+
+TEST(MinStaircaseTest, EmptyInput) {
+  EXPECT_TRUE(MinStaircase({}, {}).empty());
+}
+
+struct AlgoParam {
+  SkylineAlgorithm algorithm;
+  const char* name;
+};
+
+class SkylineAlgorithmTest : public ::testing::TestWithParam<AlgoParam> {};
+
+TEST_P(SkylineAlgorithmTest, MatchesBruteForceOnRandom2d) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    const Dataset ds = RandomDataset(/*n=*/120, /*domain=*/64, seed);
+    EXPECT_EQ(ComputeSkyline2d(ds, GetParam().algorithm), BruteSkyline2d(ds))
+        << "seed " << seed;
+  }
+}
+
+TEST_P(SkylineAlgorithmTest, MatchesBruteForceWithHeavyTies) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    const Dataset ds = RandomDataset(/*n=*/200, /*domain=*/8, seed);
+    EXPECT_EQ(ComputeSkyline2d(ds, GetParam().algorithm), BruteSkyline2d(ds))
+        << "seed " << seed;
+  }
+}
+
+TEST_P(SkylineAlgorithmTest, SinglePoint) {
+  auto ds = Dataset::Create({{5, 5}}, 10);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ComputeSkyline2d(*ds, GetParam().algorithm),
+            (std::vector<PointId>{0}));
+}
+
+TEST_P(SkylineAlgorithmTest, AllDuplicates) {
+  auto ds = Dataset::Create({{3, 3}, {3, 3}, {3, 3}}, 10);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ComputeSkyline2d(*ds, GetParam().algorithm),
+            (std::vector<PointId>{0, 1, 2}));
+}
+
+TEST_P(SkylineAlgorithmTest, ChainHasSingleWinner) {
+  auto ds = Dataset::Create({{0, 0}, {1, 1}, {2, 2}, {3, 3}}, 10);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ComputeSkyline2d(*ds, GetParam().algorithm),
+            (std::vector<PointId>{0}));
+}
+
+TEST_P(SkylineAlgorithmTest, AntichainKeepsEverything) {
+  auto ds = Dataset::Create({{0, 3}, {1, 2}, {2, 1}, {3, 0}}, 10);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ComputeSkyline2d(*ds, GetParam().algorithm),
+            (std::vector<PointId>{0, 1, 2, 3}));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithms, SkylineAlgorithmTest,
+    ::testing::Values(AlgoParam{SkylineAlgorithm::kSortScan, "sortscan"},
+                      AlgoParam{SkylineAlgorithm::kBlockNestedLoop, "bnl"},
+                      AlgoParam{SkylineAlgorithm::kSortFilter, "sfs"},
+                      AlgoParam{SkylineAlgorithm::kDivideConquer, "dc"}),
+    [](const ::testing::TestParamInfo<AlgoParam>& info) {
+      return info.param.name;
+    });
+
+struct NdAlgoParam {
+  SkylineAlgorithm algorithm;
+  int dims;
+  const char* name;
+};
+
+class SkylineNdTest : public ::testing::TestWithParam<NdAlgoParam> {};
+
+TEST_P(SkylineNdTest, MatchesBruteForceNd) {
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    DataGenOptions options;
+    options.n = 80;
+    options.domain_size = 16;  // heavy ties in high dimensions
+    options.seed = seed;
+    options.distribution =
+        seed % 2 == 0 ? Distribution::kIndependent : Distribution::kAnticorrelated;
+    auto nd = GenerateDatasetNd(options, GetParam().dims);
+    ASSERT_TRUE(nd.ok());
+    EXPECT_EQ(ComputeSkylineNd(*nd, GetParam().algorithm), BruteSkylineNd(*nd))
+        << "seed " << seed << " dims " << GetParam().dims;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    NdAlgorithms, SkylineNdTest,
+    ::testing::Values(NdAlgoParam{SkylineAlgorithm::kBlockNestedLoop, 3, "bnl3"},
+                      NdAlgoParam{SkylineAlgorithm::kSortFilter, 3, "sfs3"},
+                      NdAlgoParam{SkylineAlgorithm::kDivideConquer, 3, "dc3"},
+                      NdAlgoParam{SkylineAlgorithm::kBlockNestedLoop, 4, "bnl4"},
+                      NdAlgoParam{SkylineAlgorithm::kSortFilter, 4, "sfs4"},
+                      NdAlgoParam{SkylineAlgorithm::kDivideConquer, 4, "dc4"},
+                      NdAlgoParam{SkylineAlgorithm::kDivideConquer, 5, "dc5"}),
+    [](const ::testing::TestParamInfo<NdAlgoParam>& info) {
+      return info.param.name;
+    });
+
+TEST(SkylineOfSubsetTest, RestrictsToCandidates2d) {
+  auto ds = Dataset::Create({{0, 0}, {5, 5}, {6, 4}, {4, 6}}, 10);
+  ASSERT_TRUE(ds.ok());
+  // Without point 0, the other three form partial dominance.
+  EXPECT_EQ(SkylineOfSubset2d(*ds, {1, 2, 3}), (std::vector<PointId>{1, 2, 3}));
+  EXPECT_EQ(SkylineOfSubset2d(*ds, {0, 1}), (std::vector<PointId>{0}));
+  EXPECT_TRUE(SkylineOfSubset2d(*ds, {}).empty());
+}
+
+TEST(SkylineOfSubsetTest, RestrictsToCandidatesNd) {
+  auto nd = DatasetNd::Create({0, 0, 0, 1, 1, 1, 2, 0, 1}, 3, 10);
+  ASSERT_TRUE(nd.ok());
+  EXPECT_EQ(SkylineOfSubsetNd(*nd, {1, 2}), (std::vector<PointId>{1, 2}));
+  EXPECT_EQ(SkylineOfSubsetNd(*nd, {0, 1, 2}), (std::vector<PointId>{0}));
+}
+
+TEST(SkylineDcTest, LargeScaleAgainstSfs) {
+  DataGenOptions options;
+  options.n = 5000;
+  options.domain_size = 1 << 20;
+  options.distribution = Distribution::kAnticorrelated;
+  options.seed = 99;
+  auto nd = GenerateDatasetNd(options, 3);
+  ASSERT_TRUE(nd.ok());
+  EXPECT_EQ(ComputeSkylineNd(*nd, SkylineAlgorithm::kDivideConquer),
+            ComputeSkylineNd(*nd, SkylineAlgorithm::kSortFilter));
+}
+
+}  // namespace
+}  // namespace skydia

@@ -1,0 +1,77 @@
+#include "src/skyline/dominance.h"
+
+#include <gtest/gtest.h>
+
+namespace skydia {
+namespace {
+
+TEST(DominanceTest, StrictAndNonStrict) {
+  EXPECT_TRUE(Dominates({1, 1}, {2, 2}));
+  EXPECT_TRUE(Dominates({1, 2}, {2, 2}));   // tie in y, strict in x
+  EXPECT_TRUE(Dominates({2, 1}, {2, 2}));   // tie in x, strict in y
+  EXPECT_FALSE(Dominates({2, 2}, {2, 2}));  // equal points never dominate
+  EXPECT_FALSE(Dominates({1, 3}, {2, 2}));  // incomparable
+  EXPECT_FALSE(Dominates({3, 1}, {2, 2}));
+}
+
+TEST(DominanceTest, NdMatches2d) {
+  const int64_t a[] = {1, 2};
+  const int64_t b[] = {2, 2};
+  EXPECT_TRUE(DominatesNd(a, b, 2));
+  EXPECT_FALSE(DominatesNd(b, a, 2));
+  EXPECT_FALSE(DominatesNd(a, a, 2));
+}
+
+TEST(DominanceTest, NdThreeDims) {
+  const int64_t a[] = {1, 2, 3};
+  const int64_t b[] = {1, 2, 4};
+  const int64_t c[] = {0, 9, 3};
+  EXPECT_TRUE(DominatesNd(a, b, 3));
+  EXPECT_FALSE(DominatesNd(b, a, 3));
+  EXPECT_FALSE(DominatesNd(a, c, 3));
+  EXPECT_FALSE(DominatesNd(c, a, 3));
+}
+
+TEST(DominanceTest, QuadrantOfPartition) {
+  const Point2D q{10, 10};
+  EXPECT_EQ(QuadrantOf({10, 10}, q), 0);  // boundary points go to Q1/Q4 sides
+  EXPECT_EQ(QuadrantOf({15, 12}, q), 0);
+  EXPECT_EQ(QuadrantOf({5, 12}, q), 1);
+  EXPECT_EQ(QuadrantOf({5, 5}, q), 2);
+  EXPECT_EQ(QuadrantOf({15, 5}, q), 3);
+  EXPECT_EQ(QuadrantOf({10, 5}, q), 3);
+  EXPECT_EQ(QuadrantOf({5, 10}, q), 1);
+}
+
+TEST(DominanceTest, DynamicDominates4UsesAbsoluteDistances) {
+  // q at (10, 10) in original coordinates -> (40, 40) in 4x.
+  const int64_t qx4 = 40;
+  const int64_t qy4 = 40;
+  // (8, 8) is at distance (2, 2); (13, 13) at (3, 3) -> dominated.
+  EXPECT_TRUE(DynamicDominates4({8, 8}, {13, 13}, qx4, qy4));
+  // Cross-quadrant dominance is the point of dynamic skylines.
+  EXPECT_TRUE(DynamicDominates4({9, 9}, {12, 12}, qx4, qy4));
+  // Equal distances never dominate.
+  EXPECT_FALSE(DynamicDominates4({8, 8}, {12, 12}, qx4, qy4));
+  EXPECT_FALSE(DynamicDominates4({12, 12}, {8, 8}, qx4, qy4));
+}
+
+TEST(DominanceTest, DynamicDominates4FractionalQuery) {
+  // q = (10.25, 10.25) -> 4x = (41, 41): distances to (10,10) are (1,1),
+  // to (11,11) are (3,3).
+  EXPECT_TRUE(DynamicDominates4({10, 10}, {11, 11}, 41, 41));
+  EXPECT_FALSE(DynamicDominates4({11, 11}, {10, 10}, 41, 41));
+}
+
+TEST(DominanceTest, GlobalDominanceRequiresSameQuadrant) {
+  const Point2D q{10, 10};
+  // (8, 12) is in Q2, (13, 13) in Q1: no global dominance across quadrants.
+  EXPECT_FALSE(GlobalDominates({8, 12}, {13, 13}, q));
+  // Within Q1: (11, 11) dominates (13, 13).
+  EXPECT_TRUE(GlobalDominates({11, 11}, {13, 13}, q));
+  // Within Q3: closer in both -> dominates.
+  EXPECT_TRUE(GlobalDominates({9, 9}, {5, 5}, q));
+}
+
+}  // namespace
+}  // namespace skydia

@@ -1,0 +1,117 @@
+#include "src/skyline/dsg.h"
+
+#include <gtest/gtest.h>
+
+#include "src/skyline/dominance.h"
+#include "tests/testing/util.h"
+
+namespace skydia {
+namespace {
+
+using skydia::testing::RandomDataset;
+
+// O(n^3) oracle for direct dominance: u -> c iff u dominates c and no w lies
+// strictly between.
+std::vector<std::pair<PointId, PointId>> BruteDirectLinks(const Dataset& ds) {
+  std::vector<std::pair<PointId, PointId>> links;
+  for (PointId u = 0; u < ds.size(); ++u) {
+    for (PointId c = 0; c < ds.size(); ++c) {
+      if (u == c || !Dominates(ds.point(u), ds.point(c))) continue;
+      bool direct = true;
+      for (PointId w = 0; w < ds.size(); ++w) {
+        if (w == u || w == c) continue;
+        if (Dominates(ds.point(u), ds.point(w)) &&
+            Dominates(ds.point(w), ds.point(c))) {
+          direct = false;
+          break;
+        }
+      }
+      if (direct) links.emplace_back(u, c);
+    }
+  }
+  return links;
+}
+
+TEST(DsgTest, PaperRunningExampleStructure) {
+  // Figure 6 shape: layer-1 points have no parents; direct links skip levels
+  // only when nothing lies between.
+  auto ds = Dataset::Create({{1, 1}, {2, 3}, {3, 2}, {4, 4}}, 10);
+  ASSERT_TRUE(ds.ok());
+  const DirectedSkylineGraph dsg(*ds);
+  EXPECT_TRUE(dsg.parents(0).empty());
+  EXPECT_EQ(dsg.parents(1), (std::vector<PointId>{0}));
+  EXPECT_EQ(dsg.parents(2), (std::vector<PointId>{0}));
+  // (4,4) is directly below (2,3) and (3,2); (1,1) is indirect.
+  EXPECT_EQ(dsg.parents(3), (std::vector<PointId>{1, 2}));
+  EXPECT_EQ(dsg.children(0), (std::vector<PointId>{1, 2}));
+  EXPECT_EQ(dsg.num_links(), 4u);
+}
+
+TEST(DsgTest, MatchesBruteForceOnRandomData) {
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    const Dataset ds = RandomDataset(60, 40, seed);
+    const DirectedSkylineGraph dsg(ds);
+    auto expected = BruteDirectLinks(ds);
+    std::vector<std::pair<PointId, PointId>> actual;
+    for (PointId u = 0; u < ds.size(); ++u) {
+      for (PointId c : dsg.children(u)) actual.emplace_back(u, c);
+    }
+    std::sort(expected.begin(), expected.end());
+    std::sort(actual.begin(), actual.end());
+    EXPECT_EQ(actual, expected) << "seed " << seed;
+  }
+}
+
+TEST(DsgTest, MatchesBruteForceWithHeavyTies) {
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    const Dataset ds = RandomDataset(80, 6, seed);  // many shared coords
+    const DirectedSkylineGraph dsg(ds);
+    auto expected = BruteDirectLinks(ds);
+    std::vector<std::pair<PointId, PointId>> actual;
+    for (PointId u = 0; u < ds.size(); ++u) {
+      for (PointId c : dsg.children(u)) actual.emplace_back(u, c);
+    }
+    std::sort(expected.begin(), expected.end());
+    std::sort(actual.begin(), actual.end());
+    EXPECT_EQ(actual, expected) << "seed " << seed;
+  }
+}
+
+TEST(DsgTest, ParentsAndChildrenAreConsistent) {
+  const Dataset ds = RandomDataset(100, 30, 5);
+  const DirectedSkylineGraph dsg(ds);
+  uint64_t parent_links = 0;
+  for (PointId c = 0; c < ds.size(); ++c) {
+    parent_links += dsg.parents(c).size();
+    for (PointId u : dsg.parents(c)) {
+      const auto& ch = dsg.children(u);
+      EXPECT_TRUE(std::binary_search(ch.begin(), ch.end(), c));
+    }
+  }
+  EXPECT_EQ(parent_links, dsg.num_links());
+}
+
+TEST(DsgTest, NdConstructorMatches2dOnLiftedData) {
+  const Dataset ds = RandomDataset(50, 12, 21);
+  const DirectedSkylineGraph d2(ds);
+  const DirectedSkylineGraph dn(DatasetNd::FromDataset2d(ds));
+  ASSERT_EQ(d2.num_points(), dn.num_points());
+  EXPECT_EQ(d2.num_links(), dn.num_links());
+  for (PointId id = 0; id < ds.size(); ++id) {
+    EXPECT_EQ(d2.children(id), dn.children(id)) << "point " << id;
+    EXPECT_EQ(d2.parents(id), dn.parents(id)) << "point " << id;
+  }
+}
+
+TEST(DsgTest, DuplicatePointsAreMutualNonParents) {
+  auto ds = Dataset::Create({{2, 2}, {2, 2}, {5, 5}}, 10);
+  ASSERT_TRUE(ds.ok());
+  const DirectedSkylineGraph dsg(*ds);
+  EXPECT_TRUE(dsg.parents(0).empty());
+  EXPECT_TRUE(dsg.parents(1).empty());
+  // Both duplicates are direct parents of (5,5).
+  EXPECT_EQ(dsg.parents(2), (std::vector<PointId>{0, 1}));
+}
+
+}  // namespace
+}  // namespace skydia

@@ -1,0 +1,77 @@
+#include "src/skyline/interning.h"
+
+#include <gtest/gtest.h>
+
+namespace skydia {
+namespace {
+
+TEST(InterningTest, EmptySetIsPreInterned) {
+  SkylineSetPool pool;
+  EXPECT_EQ(pool.size(), 1u);
+  EXPECT_TRUE(pool.Get(kEmptySetId).empty());
+  EXPECT_EQ(pool.Intern({}), kEmptySetId);
+}
+
+TEST(InterningTest, DeduplicatesEqualSets) {
+  SkylineSetPool pool;
+  const SetId a = pool.Intern({1, 2, 3});
+  const SetId b = pool.Intern({1, 2, 3});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(pool.size(), 2u);
+}
+
+TEST(InterningTest, DistinguishesDifferentSets) {
+  SkylineSetPool pool;
+  const SetId a = pool.Intern({1, 2, 3});
+  const SetId b = pool.Intern({1, 2});
+  const SetId c = pool.Intern({1, 2, 4});
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(b, c);
+}
+
+TEST(InterningTest, GetReturnsCanonicalContents) {
+  SkylineSetPool pool;
+  const SetId a = pool.Intern({5, 9, 11});
+  const auto span = pool.Get(a);
+  EXPECT_EQ(std::vector<PointId>(span.begin(), span.end()),
+            (std::vector<PointId>{5, 9, 11}));
+}
+
+TEST(InterningTest, InternCopyMatchesIntern) {
+  SkylineSetPool pool;
+  const std::vector<PointId> ids = {4, 8};
+  const SetId a = pool.InternCopy(ids);
+  const SetId b = pool.Intern({4, 8});
+  EXPECT_EQ(a, b);
+}
+
+TEST(InterningTest, TotalElementsCountsDistinctOnly) {
+  SkylineSetPool pool;
+  pool.Intern({1, 2, 3});
+  pool.Intern({1, 2, 3});
+  pool.Intern({7});
+  EXPECT_EQ(pool.total_elements(), 4u);
+}
+
+TEST(InterningTest, NoDedupModeStoresCopies) {
+  SkylineSetPool pool(/*deduplicate=*/false);
+  const SetId a = pool.Intern({1, 2});
+  const SetId b = pool.Intern({1, 2});
+  EXPECT_NE(a, b);
+  // The empty set stays shared so kEmptySetId remains meaningful.
+  EXPECT_EQ(pool.Intern({}), kEmptySetId);
+}
+
+TEST(InterningTest, ManySetsStressAndMemoryAccounting) {
+  SkylineSetPool pool;
+  for (uint32_t i = 0; i < 1000; ++i) {
+    pool.Intern({i, i + 1, i + 2});
+  }
+  EXPECT_EQ(pool.size(), 1001u);
+  EXPECT_EQ(pool.total_elements(), 3000u);
+  EXPECT_GT(pool.ApproximateMemoryBytes(), 3000u * sizeof(PointId));
+}
+
+}  // namespace
+}  // namespace skydia

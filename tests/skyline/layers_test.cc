@@ -1,0 +1,96 @@
+#include "src/skyline/layers.h"
+
+#include <gtest/gtest.h>
+
+#include "src/skyline/dominance.h"
+#include "tests/testing/util.h"
+
+namespace skydia {
+namespace {
+
+using skydia::testing::BruteSkyline2d;
+using skydia::testing::RandomDataset;
+
+TEST(SkylineLayersTest, FirstLayerIsSkyline) {
+  const Dataset ds = RandomDataset(100, 64, 42);
+  const SkylineLayers layers = ComputeSkylineLayers(ds);
+  ASSERT_FALSE(layers.layers.empty());
+  EXPECT_EQ(layers.layers[0], BruteSkyline2d(ds));
+}
+
+TEST(SkylineLayersTest, LayersPartitionThePoints) {
+  const Dataset ds = RandomDataset(150, 32, 7);
+  const SkylineLayers layers = ComputeSkylineLayers(ds);
+  size_t total = 0;
+  std::vector<bool> seen(ds.size(), false);
+  for (const auto& layer : layers.layers) {
+    for (PointId id : layer) {
+      EXPECT_FALSE(seen[id]);
+      seen[id] = true;
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, ds.size());
+}
+
+TEST(SkylineLayersTest, LayerOfMatchesMembership) {
+  const Dataset ds = RandomDataset(80, 50, 3);
+  const SkylineLayers layers = ComputeSkylineLayers(ds);
+  for (size_t k = 0; k < layers.layers.size(); ++k) {
+    for (PointId id : layers.layers[k]) {
+      EXPECT_EQ(layers.layer_of[id], k);
+    }
+  }
+}
+
+TEST(SkylineLayersTest, WithinLayerNoDominance) {
+  const Dataset ds = RandomDataset(120, 16, 11);  // heavy ties
+  const SkylineLayers layers = ComputeSkylineLayers(ds);
+  for (const auto& layer : layers.layers) {
+    for (PointId a : layer) {
+      for (PointId b : layer) {
+        EXPECT_FALSE(a != b && Dominates(ds.point(a), ds.point(b)))
+            << "layer-mates " << a << " and " << b;
+      }
+    }
+  }
+}
+
+TEST(SkylineLayersTest, DominatorsLiveOnLowerLayers) {
+  const Dataset ds = RandomDataset(120, 16, 13);
+  const SkylineLayers layers = ComputeSkylineLayers(ds);
+  for (PointId a = 0; a < ds.size(); ++a) {
+    for (PointId b = 0; b < ds.size(); ++b) {
+      if (a != b && Dominates(ds.point(a), ds.point(b))) {
+        EXPECT_LT(layers.layer_of[a], layers.layer_of[b]);
+      }
+    }
+  }
+}
+
+TEST(SkylineLayersTest, ChainProducesOneLayerPerPoint) {
+  auto ds = Dataset::Create({{0, 0}, {1, 1}, {2, 2}}, 10);
+  ASSERT_TRUE(ds.ok());
+  const SkylineLayers layers = ComputeSkylineLayers(*ds);
+  EXPECT_EQ(layers.num_layers(), 3u);
+}
+
+TEST(SkylineLayersTest, AntichainIsOneLayer) {
+  auto ds = Dataset::Create({{0, 3}, {1, 2}, {2, 1}, {3, 0}}, 10);
+  ASSERT_TRUE(ds.ok());
+  const SkylineLayers layers = ComputeSkylineLayers(*ds);
+  EXPECT_EQ(layers.num_layers(), 1u);
+}
+
+TEST(SkylineLayersTest, NdMatches2dOnLiftedData) {
+  const Dataset ds = RandomDataset(60, 20, 17);
+  const SkylineLayers two = ComputeSkylineLayers(ds);
+  const SkylineLayers nd = ComputeSkylineLayersNd(DatasetNd::FromDataset2d(ds));
+  ASSERT_EQ(two.num_layers(), nd.num_layers());
+  for (size_t k = 0; k < two.num_layers(); ++k) {
+    EXPECT_EQ(two.layers[k], nd.layers[k]);
+  }
+}
+
+}  // namespace
+}  // namespace skydia

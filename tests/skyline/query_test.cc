@@ -1,0 +1,147 @@
+#include "src/skyline/query.h"
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "src/skyline/dominance.h"
+#include "tests/testing/util.h"
+
+namespace skydia {
+namespace {
+
+using skydia::testing::RandomDataset;
+
+// Oracles built directly from the dominance predicates.
+std::vector<PointId> OracleQuadrant(const Dataset& ds, const Point2D& q,
+                                    int quadrant) {
+  std::vector<PointId> result;
+  for (PointId a = 0; a < ds.size(); ++a) {
+    if (QuadrantOf(ds.point(a), q) != quadrant) continue;
+    bool dominated = false;
+    for (PointId b = 0; b < ds.size(); ++b) {
+      if (b != a && QuadrantOf(ds.point(b), q) == quadrant &&
+          GlobalDominates(ds.point(b), ds.point(a), q)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) result.push_back(a);
+  }
+  return result;
+}
+
+std::vector<PointId> OracleDynamic(const Dataset& ds, int64_t qx4,
+                                   int64_t qy4) {
+  std::vector<PointId> result;
+  for (PointId a = 0; a < ds.size(); ++a) {
+    bool dominated = false;
+    for (PointId b = 0; b < ds.size(); ++b) {
+      if (b != a && DynamicDominates4(ds.point(b), ds.point(a), qx4, qy4)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) result.push_back(a);
+  }
+  return result;
+}
+
+TEST(QueryTest, QuadrantMatchesOracleOnRandomQueries) {
+  const Dataset ds = RandomDataset(80, 40, 31);
+  Rng rng(9);
+  for (int i = 0; i < 30; ++i) {
+    const Point2D q{rng.NextInt(0, 39), rng.NextInt(0, 39)};
+    for (int k = 0; k < 4; ++k) {
+      EXPECT_EQ(QuadrantSkyline(ds, q, k), OracleQuadrant(ds, q, k))
+          << "query " << q << " quadrant " << k;
+    }
+  }
+}
+
+TEST(QueryTest, GlobalIsUnionOfQuadrants) {
+  const Dataset ds = RandomDataset(60, 30, 33);
+  Rng rng(10);
+  for (int i = 0; i < 20; ++i) {
+    const Point2D q{rng.NextInt(0, 29), rng.NextInt(0, 29)};
+    std::vector<PointId> expected;
+    for (int k = 0; k < 4; ++k) {
+      auto part = QuadrantSkyline(ds, q, k);
+      expected.insert(expected.end(), part.begin(), part.end());
+    }
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(GlobalSkyline(ds, q), expected);
+  }
+}
+
+TEST(QueryTest, DynamicMatchesOracle) {
+  const Dataset ds = RandomDataset(70, 25, 35);
+  Rng rng(11);
+  for (int i = 0; i < 30; ++i) {
+    const int64_t qx4 = rng.NextInt(0, 4 * 25);
+    const int64_t qy4 = rng.NextInt(0, 4 * 25);
+    EXPECT_EQ(DynamicSkylineAt4(ds, qx4, qy4), OracleDynamic(ds, qx4, qy4));
+  }
+}
+
+TEST(QueryTest, DynamicIsSubsetOfGlobal) {
+  // The structural property Algorithm 6 relies on (§V.B).
+  const Dataset ds = RandomDataset(90, 50, 37);
+  Rng rng(12);
+  for (int i = 0; i < 40; ++i) {
+    const Point2D q{rng.NextInt(0, 49), rng.NextInt(0, 49)};
+    const auto dynamic = DynamicSkyline(ds, q);
+    const auto global = GlobalSkyline(ds, q);
+    for (PointId id : dynamic) {
+      EXPECT_TRUE(std::binary_search(global.begin(), global.end(), id))
+          << "dynamic member " << id << " missing from global at " << q;
+    }
+  }
+}
+
+TEST(QueryTest, QueryOnAPointIncludesIt) {
+  auto ds = Dataset::Create({{5, 5}, {7, 7}}, 10);
+  ASSERT_TRUE(ds.ok());
+  // q == p0: p0 at distance (0,0) dominates everything else.
+  EXPECT_EQ(DynamicSkyline(*ds, {5, 5}), (std::vector<PointId>{0}));
+  EXPECT_EQ(FirstQuadrantSkyline(*ds, {5, 5}), (std::vector<PointId>{0}));
+}
+
+TEST(QueryTest, SubsetEvaluationMatchesFullWhenSubsetContainsAnswer) {
+  const Dataset ds = RandomDataset(50, 20, 41);
+  Rng rng(13);
+  for (int i = 0; i < 20; ++i) {
+    const int64_t qx4 = rng.NextInt(0, 80);
+    const int64_t qy4 = rng.NextInt(0, 80);
+    const auto full = DynamicSkylineAt4(ds, qx4, qy4);
+    // The full skyline evaluated as a subset must reproduce itself.
+    EXPECT_EQ(DynamicSkylineOfSubsetAt4(ds, full, qx4, qy4), full);
+  }
+}
+
+TEST(QueryTest, QuadrantAt4MatchesIntegerVersionOnIntegerQueries) {
+  const Dataset ds = RandomDataset(60, 30, 43);
+  Rng rng(14);
+  for (int i = 0; i < 20; ++i) {
+    const Point2D q{rng.NextInt(0, 29), rng.NextInt(0, 29)};
+    for (int k = 0; k < 4; ++k) {
+      EXPECT_EQ(QuadrantSkylineAt4(ds, 4 * q.x, 4 * q.y, k),
+                QuadrantSkyline(ds, q, k));
+    }
+    EXPECT_EQ(GlobalSkylineAt4(ds, 4 * q.x, 4 * q.y), GlobalSkyline(ds, q));
+  }
+}
+
+TEST(QueryTest, HotelFigureOneSemantics) {
+  // Quadrant partition boundaries: points exactly on q's lines belong to the
+  // >= side, matching Definition 3's partition of the point set.
+  auto ds = Dataset::Create({{10, 80}, {10, 70}, {5, 80}}, 128);
+  ASSERT_TRUE(ds.ok());
+  const Point2D q{10, 80};
+  EXPECT_EQ(QuadrantSkyline(*ds, q, 0), (std::vector<PointId>{0}));
+  EXPECT_EQ(QuadrantSkyline(*ds, q, 3), (std::vector<PointId>{1}));
+  EXPECT_EQ(QuadrantSkyline(*ds, q, 1), (std::vector<PointId>{2}));
+}
+
+}  // namespace
+}  // namespace skydia

@@ -1,0 +1,113 @@
+// Shared helpers for the skydia test suites: brute-force oracles and random
+// dataset construction independent of the library's generators.
+#ifndef SKYDIA_TESTS_TESTING_UTIL_H_
+#define SKYDIA_TESTS_TESTING_UTIL_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/geometry/dataset.h"
+#include "src/skyline/dominance.h"
+
+namespace skydia::testing {
+
+/// O(n^2) oracle: min-preference skyline by pairwise dominance.
+inline std::vector<PointId> BruteSkyline2d(const Dataset& dataset) {
+  std::vector<PointId> result;
+  for (PointId a = 0; a < dataset.size(); ++a) {
+    bool dominated = false;
+    for (PointId b = 0; b < dataset.size(); ++b) {
+      if (b != a && Dominates(dataset.point(b), dataset.point(a))) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) result.push_back(a);
+  }
+  return result;
+}
+
+/// O(n^2 d) oracle for d dimensions.
+inline std::vector<PointId> BruteSkylineNd(const DatasetNd& dataset) {
+  std::vector<PointId> result;
+  for (PointId a = 0; a < dataset.size(); ++a) {
+    bool dominated = false;
+    for (PointId b = 0; b < dataset.size(); ++b) {
+      if (b != a &&
+          DominatesNd(dataset.row(b), dataset.row(a), dataset.dims())) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) result.push_back(a);
+  }
+  return result;
+}
+
+/// Random dataset with optionally heavy coordinate ties (small domain).
+inline Dataset RandomDataset(size_t n, int64_t domain, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Point2D> points;
+  points.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    points.push_back(
+        Point2D{rng.NextInt(0, domain - 1), rng.NextInt(0, domain - 1)});
+  }
+  auto ds = Dataset::Create(std::move(points), domain);
+  return std::move(ds).value();
+}
+
+/// Random dataset with distinct coordinates per dimension (n <= domain).
+inline Dataset RandomDistinctDataset(size_t n, int64_t domain, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<int64_t> xs(domain);
+  std::vector<int64_t> ys(domain);
+  for (int64_t v = 0; v < domain; ++v) {
+    xs[v] = v;
+    ys[v] = v;
+  }
+  // Partial Fisher-Yates for the first n entries of each axis.
+  for (size_t i = 0; i < n; ++i) {
+    std::swap(xs[i], xs[i + rng.NextBounded(domain - i)]);
+    std::swap(ys[i], ys[i + rng.NextBounded(domain - i)]);
+  }
+  std::vector<Point2D> points;
+  points.reserve(n);
+  for (size_t i = 0; i < n; ++i) points.push_back(Point2D{xs[i], ys[i]});
+  auto ds = Dataset::Create(std::move(points), domain);
+  return std::move(ds).value();
+}
+
+/// Like RandomDistinctDataset but with all coordinates >= 1, so every
+/// skyline cell has positive area inside [0, domain]^2 (coordinate-0 points
+/// pin degenerate cell strips to the domain edge that geometric partitions
+/// cannot represent).
+inline Dataset RandomDistinctPositiveDataset(size_t n, int64_t domain,
+                                             uint64_t seed) {
+  Rng rng(seed);
+  std::vector<int64_t> xs(domain - 1);
+  std::vector<int64_t> ys(domain - 1);
+  for (int64_t v = 1; v < domain; ++v) {
+    xs[v - 1] = v;
+    ys[v - 1] = v;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    std::swap(xs[i], xs[i + rng.NextBounded(domain - 1 - i)]);
+    std::swap(ys[i], ys[i + rng.NextBounded(domain - 1 - i)]);
+  }
+  std::vector<Point2D> points;
+  points.reserve(n);
+  for (size_t i = 0; i < n; ++i) points.push_back(Point2D{xs[i], ys[i]});
+  auto ds = Dataset::Create(std::move(points), domain);
+  return std::move(ds).value();
+}
+
+inline std::vector<PointId> AsSorted(std::vector<PointId> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+}  // namespace skydia::testing
+
+#endif  // SKYDIA_TESTS_TESTING_UTIL_H_

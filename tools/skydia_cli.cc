@@ -1,0 +1,330 @@
+// skydia command-line tool: generate workloads, build/save/load diagrams,
+// answer queries, dump structure statistics and render SVG visualizations.
+//
+// Usage:
+//   skydia generate --n 256 --domain 1024 --dist independent --seed 1
+//          --out points.csv
+//   skydia build   --in points.csv --x x --y y --type quadrant
+//          [--algo scanning] [--threads 1] --out diagram.skd
+//   skydia query   --diagram diagram.skd --qx 10 --qy 80 [--exact]
+//   skydia stats   --diagram diagram.skd
+//   skydia render  --diagram diagram.skd --out diagram.svg [--labels]
+//
+// Exit code 0 on success; errors print to stderr.
+#include <cstdint>
+#include <cstdlib>
+#include <functional>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/csv.h"
+#include "src/core/diagram.h"
+#include "src/core/dynamic_scanning.h"
+#include "src/core/merge.h"
+#include "src/core/parallel.h"
+#include "src/core/render_svg.h"
+#include "src/core/serialize.h"
+#include "src/datagen/distributions.h"
+#include "src/datagen/real_data.h"
+#include "src/skyline/query.h"
+
+namespace skydia {
+namespace {
+
+// --- tiny flag parser --------------------------------------------------------
+
+class Flags {
+ public:
+  Flags(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        error_ = "unexpected positional argument: " + arg;
+        return;
+      }
+      arg = arg.substr(2);
+      const auto eq = arg.find('=');
+      if (eq != std::string::npos) {
+        values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        values_[arg] = argv[++i];
+      } else {
+        values_[arg] = "true";  // boolean flag
+      }
+    }
+  }
+
+  const std::string& error() const { return error_; }
+
+  std::string GetString(const std::string& name,
+                        const std::string& fallback = "") const {
+    const auto it = values_.find(name);
+    return it == values_.end() ? fallback : it->second;
+  }
+  int64_t GetInt(const std::string& name, int64_t fallback) const {
+    const auto it = values_.find(name);
+    return it == values_.end() ? fallback : std::atoll(it->second.c_str());
+  }
+  bool GetBool(const std::string& name) const {
+    const auto it = values_.find(name);
+    return it != values_.end() && it->second != "false";
+  }
+  bool Has(const std::string& name) const { return values_.count(name) > 0; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::string error_;
+};
+
+int Fail(const std::string& message) {
+  std::cerr << "error: " << message << "\n";
+  return 1;
+}
+
+void PrintUsage() {
+  std::cerr
+      << "skydia — skyline diagrams for skyline queries\n\n"
+         "commands:\n"
+         "  generate --n N --domain S [--dist independent|correlated|\n"
+         "           anticorrelated|clustered] [--seed K] [--distinct]\n"
+         "           --out points.csv\n"
+         "  build    --in points.csv [--x x --y y] --type quadrant|global|\n"
+         "           dynamic [--algo baseline|dsg|scanning] [--threads T]\n"
+         "           --out diagram.skd\n"
+         "  query    --diagram diagram.skd --qx X --qy Y [--exact]\n"
+         "  stats    --diagram diagram.skd\n"
+         "  render   --diagram diagram.skd --out out.svg [--labels]\n"
+         "  hotels   (print the paper's Figure 1 example)\n";
+}
+
+// --- commands ----------------------------------------------------------------
+
+int CmdGenerate(const Flags& flags) {
+  DataGenOptions options;
+  options.n = static_cast<size_t>(flags.GetInt("n", 256));
+  options.domain_size = flags.GetInt("domain", 1024);
+  options.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  options.distinct_coordinates = flags.GetBool("distinct");
+  const std::string dist = flags.GetString("dist", "independent");
+  if (dist == "independent") {
+    options.distribution = Distribution::kIndependent;
+  } else if (dist == "correlated") {
+    options.distribution = Distribution::kCorrelated;
+  } else if (dist == "anticorrelated") {
+    options.distribution = Distribution::kAnticorrelated;
+  } else if (dist == "clustered") {
+    options.distribution = Distribution::kClustered;
+  } else {
+    return Fail("unknown --dist " + dist);
+  }
+  const std::string out = flags.GetString("out");
+  if (out.empty()) return Fail("--out is required");
+
+  auto dataset = GenerateDataset(options);
+  if (!dataset.ok()) return Fail(dataset.status().ToString());
+
+  CsvDocument doc;
+  doc.rows.push_back({"label", "x", "y"});
+  for (PointId id = 0; id < dataset->size(); ++id) {
+    const Point2D& p = dataset->point(id);
+    doc.rows.push_back(
+        {dataset->label(id), std::to_string(p.x), std::to_string(p.y)});
+  }
+  if (Status s = WriteCsvFile(out, doc); !s.ok()) return Fail(s.ToString());
+  std::cout << "wrote " << dataset->size() << " " << dist << " points to "
+            << out << "\n";
+  return 0;
+}
+
+int CmdBuild(const Flags& flags) {
+  const std::string in = flags.GetString("in");
+  const std::string out = flags.GetString("out");
+  if (in.empty() || out.empty()) return Fail("--in and --out are required");
+
+  auto dataset =
+      LoadDatasetCsv(in, flags.GetString("x", "x"), flags.GetString("y", "y"));
+  if (!dataset.ok()) return Fail(dataset.status().ToString());
+
+  const std::string type = flags.GetString("type", "quadrant");
+  const std::string algo = flags.GetString("algo", "scanning");
+  const int threads = static_cast<int>(flags.GetInt("threads", 1));
+
+  SkylineDiagram::BuildOptions build;
+  if (algo == "baseline") {
+    build.cell_algorithm = QuadrantAlgorithm::kBaseline;
+    build.dynamic_algorithm = DynamicAlgorithm::kBaseline;
+  } else if (algo == "dsg") {
+    build.cell_algorithm = QuadrantAlgorithm::kDsg;
+    build.dynamic_algorithm = DynamicAlgorithm::kSubset;
+  } else if (algo == "scanning") {
+    build.cell_algorithm = QuadrantAlgorithm::kScanning;
+    build.dynamic_algorithm = DynamicAlgorithm::kScanning;
+  } else {
+    return Fail("unknown --algo " + algo);
+  }
+
+  Status saved = Status::OK();
+  if (type == "quadrant" && threads > 1) {
+    const CellDiagram diagram = BuildQuadrantDsgParallel(*dataset, threads);
+    saved = SaveCellDiagram(*dataset, diagram, out);
+  } else if (type == "quadrant" || type == "global") {
+    const SkylineQueryType qt = type == "quadrant"
+                                    ? SkylineQueryType::kQuadrant
+                                    : SkylineQueryType::kGlobal;
+    auto diagram = SkylineDiagram::Build(*dataset, qt, build);
+    if (!diagram.ok()) return Fail(diagram.status().ToString());
+    saved = SaveCellDiagram(*dataset, *diagram->cell_diagram(), out);
+  } else if (type == "dynamic") {
+    auto diagram =
+        SkylineDiagram::Build(*dataset, SkylineQueryType::kDynamic, build);
+    if (!diagram.ok()) return Fail(diagram.status().ToString());
+    saved = SaveSubcellDiagram(*dataset, *diagram->subcell_diagram(), out);
+  } else {
+    return Fail("unknown --type " + type);
+  }
+  if (!saved.ok()) return Fail(saved.ToString());
+  std::cout << "built " << type << " diagram (" << algo << ", " << threads
+            << " thread(s)) over " << dataset->size() << " points -> " << out
+            << "\n";
+  return 0;
+}
+
+// Tries the cell format first, then the subcell format.
+int WithLoadedDiagram(const Flags& flags,
+                      const std::function<int(const LoadedCellDiagram*)>& cell,
+                      const std::function<int(const LoadedSubcellDiagram*)>&
+                          subcell) {
+  const std::string path = flags.GetString("diagram");
+  if (path.empty()) return Fail("--diagram is required");
+  auto as_cell = LoadCellDiagram(path);
+  if (as_cell.ok()) return cell(&*as_cell);
+  auto as_subcell = LoadSubcellDiagram(path);
+  if (as_subcell.ok()) return subcell(&*as_subcell);
+  return Fail("cannot load " + path + ": " + as_cell.status().ToString());
+}
+
+int CmdQuery(const Flags& flags) {
+  if (!flags.Has("qx") || !flags.Has("qy")) {
+    return Fail("--qx and --qy are required");
+  }
+  const Point2D q{flags.GetInt("qx", 0), flags.GetInt("qy", 0)};
+  const bool exact = flags.GetBool("exact");
+  const auto print = [&](const Dataset& dataset,
+                         const std::vector<PointId>& ids) {
+    std::cout << "skyline(" << q << ") = {";
+    for (size_t i = 0; i < ids.size(); ++i) {
+      std::cout << (i ? ", " : "") << dataset.label(ids[i]);
+    }
+    std::cout << "}\n";
+    return 0;
+  };
+  return WithLoadedDiagram(
+      flags,
+      [&](const LoadedCellDiagram* loaded) {
+        const auto span = loaded->diagram.Query(q);
+        std::vector<PointId> ids(span.begin(), span.end());
+        return print(loaded->dataset, ids);
+      },
+      [&](const LoadedSubcellDiagram* loaded) {
+        if (exact) {
+          return print(loaded->dataset, DynamicSkyline(loaded->dataset, q));
+        }
+        const auto span = loaded->diagram.Query(q);
+        std::vector<PointId> ids(span.begin(), span.end());
+        return print(loaded->dataset, ids);
+      });
+}
+
+int CmdStats(const Flags& flags) {
+  return WithLoadedDiagram(
+      flags,
+      [&](const LoadedCellDiagram* loaded) {
+        const auto stats = loaded->diagram.ComputeStats();
+        const MergedPolyominoes merged = MergeCells(loaded->diagram);
+        std::cout << "kind: cell diagram (quadrant/global)\n"
+                  << "points: " << loaded->dataset.size() << "\n"
+                  << "domain: " << loaded->dataset.domain_size() << "\n"
+                  << "cells: " << stats.num_cells << "\n"
+                  << "polyominoes: " << merged.num_polyominoes() << "\n"
+                  << "distinct results: " << stats.num_distinct_sets << "\n"
+                  << "approx bytes: " << stats.approx_bytes << "\n";
+        return 0;
+      },
+      [&](const LoadedSubcellDiagram* loaded) {
+        const auto stats = loaded->diagram.ComputeStats();
+        std::cout << "kind: subcell diagram (dynamic)\n"
+                  << "points: " << loaded->dataset.size() << "\n"
+                  << "domain: " << loaded->dataset.domain_size() << "\n"
+                  << "subcells: " << stats.num_subcells << "\n"
+                  << "distinct results: " << stats.num_distinct_sets << "\n"
+                  << "approx bytes: " << stats.approx_bytes << "\n";
+        return 0;
+      });
+}
+
+int CmdRender(const Flags& flags) {
+  const std::string out = flags.GetString("out");
+  if (out.empty()) return Fail("--out is required");
+  SvgOptions svg;
+  svg.draw_labels = flags.GetBool("labels");
+  return WithLoadedDiagram(
+      flags,
+      [&](const LoadedCellDiagram* loaded) {
+        const Status s = WriteSvgFile(
+            out, RenderCellDiagramSvg(loaded->dataset, loaded->diagram, svg));
+        if (!s.ok()) return Fail(s.ToString());
+        std::cout << "rendered " << out << "\n";
+        return 0;
+      },
+      [&](const LoadedSubcellDiagram* loaded) {
+        const Status s = WriteSvgFile(
+            out,
+            RenderSubcellDiagramSvg(loaded->dataset, loaded->diagram, svg));
+        if (!s.ok()) return Fail(s.ToString());
+        std::cout << "rendered " << out << "\n";
+        return 0;
+      });
+}
+
+int CmdHotels() {
+  const Dataset hotels = HotelExample();
+  const Point2D q = HotelExampleQuery();
+  std::cout << "Figure 1 running example, q = " << q << "\n";
+  const auto print = [&](const char* name, const std::vector<PointId>& ids) {
+    std::cout << "  " << name << ": {";
+    for (size_t i = 0; i < ids.size(); ++i) {
+      std::cout << (i ? ", " : "") << hotels.label(ids[i]);
+    }
+    std::cout << "}\n";
+  };
+  print("quadrant", FirstQuadrantSkyline(hotels, q));
+  print("global", GlobalSkyline(hotels, q));
+  print("dynamic", DynamicSkyline(hotels, q));
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) {
+    PrintUsage();
+    return 1;
+  }
+  const std::string command = argv[1];
+  const Flags flags(argc, argv, 2);
+  if (!flags.error().empty()) return Fail(flags.error());
+
+  if (command == "generate") return CmdGenerate(flags);
+  if (command == "build") return CmdBuild(flags);
+  if (command == "query") return CmdQuery(flags);
+  if (command == "stats") return CmdStats(flags);
+  if (command == "render") return CmdRender(flags);
+  if (command == "hotels") return CmdHotels();
+  PrintUsage();
+  return Fail("unknown command " + command);
+}
+
+}  // namespace
+}  // namespace skydia
+
+int main(int argc, char** argv) { return skydia::Main(argc, argv); }
