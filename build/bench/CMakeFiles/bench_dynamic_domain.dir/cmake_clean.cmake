@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dynamic_domain.dir/bench_dynamic_domain.cc.o"
+  "CMakeFiles/bench_dynamic_domain.dir/bench_dynamic_domain.cc.o.d"
+  "bench_dynamic_domain"
+  "bench_dynamic_domain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dynamic_domain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

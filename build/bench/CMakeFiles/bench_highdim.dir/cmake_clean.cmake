@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_highdim.dir/bench_highdim.cc.o"
+  "CMakeFiles/bench_highdim.dir/bench_highdim.cc.o.d"
+  "bench_highdim"
+  "bench_highdim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_highdim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_quadrant_domain.dir/bench_quadrant_domain.cc.o"
+  "CMakeFiles/bench_quadrant_domain.dir/bench_quadrant_domain.cc.o.d"
+  "bench_quadrant_domain"
+  "bench_quadrant_domain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_quadrant_domain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_quadrant_scaling.dir/bench_quadrant_scaling.cc.o"
+  "CMakeFiles/bench_quadrant_scaling.dir/bench_quadrant_scaling.cc.o.d"
+  "bench_quadrant_scaling"
+  "bench_quadrant_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_quadrant_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_skyline_algos.dir/bench_skyline_algos.cc.o"
+  "CMakeFiles/bench_skyline_algos.dir/bench_skyline_algos.cc.o.d"
+  "bench_skyline_algos"
+  "bench_skyline_algos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_skyline_algos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

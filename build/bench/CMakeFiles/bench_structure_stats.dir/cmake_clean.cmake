@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_structure_stats.dir/bench_structure_stats.cc.o"
+  "CMakeFiles/bench_structure_stats.dir/bench_structure_stats.cc.o.d"
+  "bench_structure_stats"
+  "bench_structure_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_structure_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotel_pricing.dir/hotel_pricing.cpp.o"
+  "CMakeFiles/hotel_pricing.dir/hotel_pricing.cpp.o.d"
+  "hotel_pricing"
+  "hotel_pricing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotel_pricing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/private_authenticated_queries.dir/private_authenticated_queries.cpp.o"
+  "CMakeFiles/private_authenticated_queries.dir/private_authenticated_queries.cpp.o.d"
+  "private_authenticated_queries"
+  "private_authenticated_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/private_authenticated_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reverse_skyline_demo.dir/reverse_skyline_demo.cpp.o"
+  "CMakeFiles/reverse_skyline_demo.dir/reverse_skyline_demo.cpp.o.d"
+  "reverse_skyline_demo"
+  "reverse_skyline_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reverse_skyline_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safe_zone_monitor.dir/safe_zone_monitor.cpp.o"
+  "CMakeFiles/safe_zone_monitor.dir/safe_zone_monitor.cpp.o.d"
+  "safe_zone_monitor"
+  "safe_zone_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safe_zone_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,59 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/authentication.cc" "src/CMakeFiles/skydia.dir/apps/authentication.cc.o" "gcc" "src/CMakeFiles/skydia.dir/apps/authentication.cc.o.d"
+  "/root/repo/src/apps/pir.cc" "src/CMakeFiles/skydia.dir/apps/pir.cc.o" "gcc" "src/CMakeFiles/skydia.dir/apps/pir.cc.o.d"
+  "/root/repo/src/apps/reverse_skyline.cc" "src/CMakeFiles/skydia.dir/apps/reverse_skyline.cc.o" "gcc" "src/CMakeFiles/skydia.dir/apps/reverse_skyline.cc.o.d"
+  "/root/repo/src/common/csv.cc" "src/CMakeFiles/skydia.dir/common/csv.cc.o" "gcc" "src/CMakeFiles/skydia.dir/common/csv.cc.o.d"
+  "/root/repo/src/common/hash.cc" "src/CMakeFiles/skydia.dir/common/hash.cc.o" "gcc" "src/CMakeFiles/skydia.dir/common/hash.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/skydia.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/skydia.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/random.cc" "src/CMakeFiles/skydia.dir/common/random.cc.o" "gcc" "src/CMakeFiles/skydia.dir/common/random.cc.o.d"
+  "/root/repo/src/common/sha256.cc" "src/CMakeFiles/skydia.dir/common/sha256.cc.o" "gcc" "src/CMakeFiles/skydia.dir/common/sha256.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/skydia.dir/common/status.cc.o" "gcc" "src/CMakeFiles/skydia.dir/common/status.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "src/CMakeFiles/skydia.dir/common/thread_pool.cc.o" "gcc" "src/CMakeFiles/skydia.dir/common/thread_pool.cc.o.d"
+  "/root/repo/src/core/diagram.cc" "src/CMakeFiles/skydia.dir/core/diagram.cc.o" "gcc" "src/CMakeFiles/skydia.dir/core/diagram.cc.o.d"
+  "/root/repo/src/core/dynamic_baseline.cc" "src/CMakeFiles/skydia.dir/core/dynamic_baseline.cc.o" "gcc" "src/CMakeFiles/skydia.dir/core/dynamic_baseline.cc.o.d"
+  "/root/repo/src/core/dynamic_scanning.cc" "src/CMakeFiles/skydia.dir/core/dynamic_scanning.cc.o" "gcc" "src/CMakeFiles/skydia.dir/core/dynamic_scanning.cc.o.d"
+  "/root/repo/src/core/dynamic_subset.cc" "src/CMakeFiles/skydia.dir/core/dynamic_subset.cc.o" "gcc" "src/CMakeFiles/skydia.dir/core/dynamic_subset.cc.o.d"
+  "/root/repo/src/core/global_diagram.cc" "src/CMakeFiles/skydia.dir/core/global_diagram.cc.o" "gcc" "src/CMakeFiles/skydia.dir/core/global_diagram.cc.o.d"
+  "/root/repo/src/core/highdim.cc" "src/CMakeFiles/skydia.dir/core/highdim.cc.o" "gcc" "src/CMakeFiles/skydia.dir/core/highdim.cc.o.d"
+  "/root/repo/src/core/incremental.cc" "src/CMakeFiles/skydia.dir/core/incremental.cc.o" "gcc" "src/CMakeFiles/skydia.dir/core/incremental.cc.o.d"
+  "/root/repo/src/core/merge.cc" "src/CMakeFiles/skydia.dir/core/merge.cc.o" "gcc" "src/CMakeFiles/skydia.dir/core/merge.cc.o.d"
+  "/root/repo/src/core/parallel.cc" "src/CMakeFiles/skydia.dir/core/parallel.cc.o" "gcc" "src/CMakeFiles/skydia.dir/core/parallel.cc.o.d"
+  "/root/repo/src/core/quadrant_baseline.cc" "src/CMakeFiles/skydia.dir/core/quadrant_baseline.cc.o" "gcc" "src/CMakeFiles/skydia.dir/core/quadrant_baseline.cc.o.d"
+  "/root/repo/src/core/quadrant_dsg.cc" "src/CMakeFiles/skydia.dir/core/quadrant_dsg.cc.o" "gcc" "src/CMakeFiles/skydia.dir/core/quadrant_dsg.cc.o.d"
+  "/root/repo/src/core/quadrant_scanning.cc" "src/CMakeFiles/skydia.dir/core/quadrant_scanning.cc.o" "gcc" "src/CMakeFiles/skydia.dir/core/quadrant_scanning.cc.o.d"
+  "/root/repo/src/core/quadrant_sweeping.cc" "src/CMakeFiles/skydia.dir/core/quadrant_sweeping.cc.o" "gcc" "src/CMakeFiles/skydia.dir/core/quadrant_sweeping.cc.o.d"
+  "/root/repo/src/core/range_query.cc" "src/CMakeFiles/skydia.dir/core/range_query.cc.o" "gcc" "src/CMakeFiles/skydia.dir/core/range_query.cc.o.d"
+  "/root/repo/src/core/render_svg.cc" "src/CMakeFiles/skydia.dir/core/render_svg.cc.o" "gcc" "src/CMakeFiles/skydia.dir/core/render_svg.cc.o.d"
+  "/root/repo/src/core/serialize.cc" "src/CMakeFiles/skydia.dir/core/serialize.cc.o" "gcc" "src/CMakeFiles/skydia.dir/core/serialize.cc.o.d"
+  "/root/repo/src/core/skyline_cell.cc" "src/CMakeFiles/skydia.dir/core/skyline_cell.cc.o" "gcc" "src/CMakeFiles/skydia.dir/core/skyline_cell.cc.o.d"
+  "/root/repo/src/core/subcell_grid.cc" "src/CMakeFiles/skydia.dir/core/subcell_grid.cc.o" "gcc" "src/CMakeFiles/skydia.dir/core/subcell_grid.cc.o.d"
+  "/root/repo/src/datagen/distributions.cc" "src/CMakeFiles/skydia.dir/datagen/distributions.cc.o" "gcc" "src/CMakeFiles/skydia.dir/datagen/distributions.cc.o.d"
+  "/root/repo/src/datagen/real_data.cc" "src/CMakeFiles/skydia.dir/datagen/real_data.cc.o" "gcc" "src/CMakeFiles/skydia.dir/datagen/real_data.cc.o.d"
+  "/root/repo/src/datagen/workload.cc" "src/CMakeFiles/skydia.dir/datagen/workload.cc.o" "gcc" "src/CMakeFiles/skydia.dir/datagen/workload.cc.o.d"
+  "/root/repo/src/geometry/dataset.cc" "src/CMakeFiles/skydia.dir/geometry/dataset.cc.o" "gcc" "src/CMakeFiles/skydia.dir/geometry/dataset.cc.o.d"
+  "/root/repo/src/geometry/grid.cc" "src/CMakeFiles/skydia.dir/geometry/grid.cc.o" "gcc" "src/CMakeFiles/skydia.dir/geometry/grid.cc.o.d"
+  "/root/repo/src/geometry/point.cc" "src/CMakeFiles/skydia.dir/geometry/point.cc.o" "gcc" "src/CMakeFiles/skydia.dir/geometry/point.cc.o.d"
+  "/root/repo/src/geometry/polyomino.cc" "src/CMakeFiles/skydia.dir/geometry/polyomino.cc.o" "gcc" "src/CMakeFiles/skydia.dir/geometry/polyomino.cc.o.d"
+  "/root/repo/src/skyline/algorithms.cc" "src/CMakeFiles/skydia.dir/skyline/algorithms.cc.o" "gcc" "src/CMakeFiles/skydia.dir/skyline/algorithms.cc.o.d"
+  "/root/repo/src/skyline/dominance.cc" "src/CMakeFiles/skydia.dir/skyline/dominance.cc.o" "gcc" "src/CMakeFiles/skydia.dir/skyline/dominance.cc.o.d"
+  "/root/repo/src/skyline/dsg.cc" "src/CMakeFiles/skydia.dir/skyline/dsg.cc.o" "gcc" "src/CMakeFiles/skydia.dir/skyline/dsg.cc.o.d"
+  "/root/repo/src/skyline/interning.cc" "src/CMakeFiles/skydia.dir/skyline/interning.cc.o" "gcc" "src/CMakeFiles/skydia.dir/skyline/interning.cc.o.d"
+  "/root/repo/src/skyline/layers.cc" "src/CMakeFiles/skydia.dir/skyline/layers.cc.o" "gcc" "src/CMakeFiles/skydia.dir/skyline/layers.cc.o.d"
+  "/root/repo/src/skyline/query.cc" "src/CMakeFiles/skydia.dir/skyline/query.cc.o" "gcc" "src/CMakeFiles/skydia.dir/skyline/query.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

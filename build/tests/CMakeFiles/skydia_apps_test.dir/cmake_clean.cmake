@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skydia_apps_test.dir/apps/authentication_test.cc.o"
+  "CMakeFiles/skydia_apps_test.dir/apps/authentication_test.cc.o.d"
+  "CMakeFiles/skydia_apps_test.dir/apps/pir_test.cc.o"
+  "CMakeFiles/skydia_apps_test.dir/apps/pir_test.cc.o.d"
+  "CMakeFiles/skydia_apps_test.dir/apps/reverse_skyline_test.cc.o"
+  "CMakeFiles/skydia_apps_test.dir/apps/reverse_skyline_test.cc.o.d"
+  "skydia_apps_test"
+  "skydia_apps_test.pdb"
+  "skydia_apps_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skydia_apps_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

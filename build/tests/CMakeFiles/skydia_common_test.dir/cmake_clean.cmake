@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skydia_common_test.dir/common/csv_test.cc.o"
+  "CMakeFiles/skydia_common_test.dir/common/csv_test.cc.o.d"
+  "CMakeFiles/skydia_common_test.dir/common/hash_test.cc.o"
+  "CMakeFiles/skydia_common_test.dir/common/hash_test.cc.o.d"
+  "CMakeFiles/skydia_common_test.dir/common/logging_test.cc.o"
+  "CMakeFiles/skydia_common_test.dir/common/logging_test.cc.o.d"
+  "CMakeFiles/skydia_common_test.dir/common/random_test.cc.o"
+  "CMakeFiles/skydia_common_test.dir/common/random_test.cc.o.d"
+  "CMakeFiles/skydia_common_test.dir/common/sha256_test.cc.o"
+  "CMakeFiles/skydia_common_test.dir/common/sha256_test.cc.o.d"
+  "CMakeFiles/skydia_common_test.dir/common/status_test.cc.o"
+  "CMakeFiles/skydia_common_test.dir/common/status_test.cc.o.d"
+  "CMakeFiles/skydia_common_test.dir/common/thread_pool_test.cc.o"
+  "CMakeFiles/skydia_common_test.dir/common/thread_pool_test.cc.o.d"
+  "skydia_common_test"
+  "skydia_common_test.pdb"
+  "skydia_common_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skydia_common_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/dynamic_diagram_test.cc" "tests/CMakeFiles/skydia_core_dynamic_test.dir/core/dynamic_diagram_test.cc.o" "gcc" "tests/CMakeFiles/skydia_core_dynamic_test.dir/core/dynamic_diagram_test.cc.o.d"
+  "/root/repo/tests/core/subcell_grid_test.cc" "tests/CMakeFiles/skydia_core_dynamic_test.dir/core/subcell_grid_test.cc.o" "gcc" "tests/CMakeFiles/skydia_core_dynamic_test.dir/core/subcell_grid_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/skydia.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

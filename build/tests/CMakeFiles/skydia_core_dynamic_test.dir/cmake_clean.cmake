@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skydia_core_dynamic_test.dir/core/dynamic_diagram_test.cc.o"
+  "CMakeFiles/skydia_core_dynamic_test.dir/core/dynamic_diagram_test.cc.o.d"
+  "CMakeFiles/skydia_core_dynamic_test.dir/core/subcell_grid_test.cc.o"
+  "CMakeFiles/skydia_core_dynamic_test.dir/core/subcell_grid_test.cc.o.d"
+  "skydia_core_dynamic_test"
+  "skydia_core_dynamic_test.pdb"
+  "skydia_core_dynamic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skydia_core_dynamic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skydia_core_extras_test.dir/core/incremental_test.cc.o"
+  "CMakeFiles/skydia_core_extras_test.dir/core/incremental_test.cc.o.d"
+  "CMakeFiles/skydia_core_extras_test.dir/core/parallel_test.cc.o"
+  "CMakeFiles/skydia_core_extras_test.dir/core/parallel_test.cc.o.d"
+  "CMakeFiles/skydia_core_extras_test.dir/core/range_query_test.cc.o"
+  "CMakeFiles/skydia_core_extras_test.dir/core/range_query_test.cc.o.d"
+  "CMakeFiles/skydia_core_extras_test.dir/core/render_svg_test.cc.o"
+  "CMakeFiles/skydia_core_extras_test.dir/core/render_svg_test.cc.o.d"
+  "CMakeFiles/skydia_core_extras_test.dir/core/serialize_test.cc.o"
+  "CMakeFiles/skydia_core_extras_test.dir/core/serialize_test.cc.o.d"
+  "skydia_core_extras_test"
+  "skydia_core_extras_test.pdb"
+  "skydia_core_extras_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skydia_core_extras_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

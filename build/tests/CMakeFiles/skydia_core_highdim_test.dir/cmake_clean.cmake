@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skydia_core_highdim_test.dir/core/highdim_test.cc.o"
+  "CMakeFiles/skydia_core_highdim_test.dir/core/highdim_test.cc.o.d"
+  "skydia_core_highdim_test"
+  "skydia_core_highdim_test.pdb"
+  "skydia_core_highdim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skydia_core_highdim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/global_diagram_test.cc" "tests/CMakeFiles/skydia_core_quadrant_test.dir/core/global_diagram_test.cc.o" "gcc" "tests/CMakeFiles/skydia_core_quadrant_test.dir/core/global_diagram_test.cc.o.d"
+  "/root/repo/tests/core/merge_test.cc" "tests/CMakeFiles/skydia_core_quadrant_test.dir/core/merge_test.cc.o" "gcc" "tests/CMakeFiles/skydia_core_quadrant_test.dir/core/merge_test.cc.o.d"
+  "/root/repo/tests/core/quadrant_diagram_test.cc" "tests/CMakeFiles/skydia_core_quadrant_test.dir/core/quadrant_diagram_test.cc.o" "gcc" "tests/CMakeFiles/skydia_core_quadrant_test.dir/core/quadrant_diagram_test.cc.o.d"
+  "/root/repo/tests/core/sweeping_test.cc" "tests/CMakeFiles/skydia_core_quadrant_test.dir/core/sweeping_test.cc.o" "gcc" "tests/CMakeFiles/skydia_core_quadrant_test.dir/core/sweeping_test.cc.o.d"
+  "/root/repo/tests/core/theorems_test.cc" "tests/CMakeFiles/skydia_core_quadrant_test.dir/core/theorems_test.cc.o" "gcc" "tests/CMakeFiles/skydia_core_quadrant_test.dir/core/theorems_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/skydia.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skydia_core_quadrant_test.dir/core/global_diagram_test.cc.o"
+  "CMakeFiles/skydia_core_quadrant_test.dir/core/global_diagram_test.cc.o.d"
+  "CMakeFiles/skydia_core_quadrant_test.dir/core/merge_test.cc.o"
+  "CMakeFiles/skydia_core_quadrant_test.dir/core/merge_test.cc.o.d"
+  "CMakeFiles/skydia_core_quadrant_test.dir/core/quadrant_diagram_test.cc.o"
+  "CMakeFiles/skydia_core_quadrant_test.dir/core/quadrant_diagram_test.cc.o.d"
+  "CMakeFiles/skydia_core_quadrant_test.dir/core/sweeping_test.cc.o"
+  "CMakeFiles/skydia_core_quadrant_test.dir/core/sweeping_test.cc.o.d"
+  "CMakeFiles/skydia_core_quadrant_test.dir/core/theorems_test.cc.o"
+  "CMakeFiles/skydia_core_quadrant_test.dir/core/theorems_test.cc.o.d"
+  "skydia_core_quadrant_test"
+  "skydia_core_quadrant_test.pdb"
+  "skydia_core_quadrant_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skydia_core_quadrant_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skydia_datagen_test.dir/datagen/distributions_test.cc.o"
+  "CMakeFiles/skydia_datagen_test.dir/datagen/distributions_test.cc.o.d"
+  "CMakeFiles/skydia_datagen_test.dir/datagen/real_data_test.cc.o"
+  "CMakeFiles/skydia_datagen_test.dir/datagen/real_data_test.cc.o.d"
+  "CMakeFiles/skydia_datagen_test.dir/datagen/workload_test.cc.o"
+  "CMakeFiles/skydia_datagen_test.dir/datagen/workload_test.cc.o.d"
+  "skydia_datagen_test"
+  "skydia_datagen_test.pdb"
+  "skydia_datagen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skydia_datagen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

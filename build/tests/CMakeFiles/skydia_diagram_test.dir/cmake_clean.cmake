@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skydia_diagram_test.dir/core/diagram_test.cc.o"
+  "CMakeFiles/skydia_diagram_test.dir/core/diagram_test.cc.o.d"
+  "skydia_diagram_test"
+  "skydia_diagram_test.pdb"
+  "skydia_diagram_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skydia_diagram_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skydia_geometry_test.dir/geometry/dataset_test.cc.o"
+  "CMakeFiles/skydia_geometry_test.dir/geometry/dataset_test.cc.o.d"
+  "CMakeFiles/skydia_geometry_test.dir/geometry/grid_test.cc.o"
+  "CMakeFiles/skydia_geometry_test.dir/geometry/grid_test.cc.o.d"
+  "CMakeFiles/skydia_geometry_test.dir/geometry/point_test.cc.o"
+  "CMakeFiles/skydia_geometry_test.dir/geometry/point_test.cc.o.d"
+  "CMakeFiles/skydia_geometry_test.dir/geometry/polyomino_test.cc.o"
+  "CMakeFiles/skydia_geometry_test.dir/geometry/polyomino_test.cc.o.d"
+  "skydia_geometry_test"
+  "skydia_geometry_test.pdb"
+  "skydia_geometry_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skydia_geometry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

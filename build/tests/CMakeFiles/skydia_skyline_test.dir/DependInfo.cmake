@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/skyline/algorithms_test.cc" "tests/CMakeFiles/skydia_skyline_test.dir/skyline/algorithms_test.cc.o" "gcc" "tests/CMakeFiles/skydia_skyline_test.dir/skyline/algorithms_test.cc.o.d"
+  "/root/repo/tests/skyline/dominance_test.cc" "tests/CMakeFiles/skydia_skyline_test.dir/skyline/dominance_test.cc.o" "gcc" "tests/CMakeFiles/skydia_skyline_test.dir/skyline/dominance_test.cc.o.d"
+  "/root/repo/tests/skyline/dsg_test.cc" "tests/CMakeFiles/skydia_skyline_test.dir/skyline/dsg_test.cc.o" "gcc" "tests/CMakeFiles/skydia_skyline_test.dir/skyline/dsg_test.cc.o.d"
+  "/root/repo/tests/skyline/interning_test.cc" "tests/CMakeFiles/skydia_skyline_test.dir/skyline/interning_test.cc.o" "gcc" "tests/CMakeFiles/skydia_skyline_test.dir/skyline/interning_test.cc.o.d"
+  "/root/repo/tests/skyline/layers_test.cc" "tests/CMakeFiles/skydia_skyline_test.dir/skyline/layers_test.cc.o" "gcc" "tests/CMakeFiles/skydia_skyline_test.dir/skyline/layers_test.cc.o.d"
+  "/root/repo/tests/skyline/query_test.cc" "tests/CMakeFiles/skydia_skyline_test.dir/skyline/query_test.cc.o" "gcc" "tests/CMakeFiles/skydia_skyline_test.dir/skyline/query_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/skydia.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

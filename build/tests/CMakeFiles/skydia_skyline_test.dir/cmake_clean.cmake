@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skydia_skyline_test.dir/skyline/algorithms_test.cc.o"
+  "CMakeFiles/skydia_skyline_test.dir/skyline/algorithms_test.cc.o.d"
+  "CMakeFiles/skydia_skyline_test.dir/skyline/dominance_test.cc.o"
+  "CMakeFiles/skydia_skyline_test.dir/skyline/dominance_test.cc.o.d"
+  "CMakeFiles/skydia_skyline_test.dir/skyline/dsg_test.cc.o"
+  "CMakeFiles/skydia_skyline_test.dir/skyline/dsg_test.cc.o.d"
+  "CMakeFiles/skydia_skyline_test.dir/skyline/interning_test.cc.o"
+  "CMakeFiles/skydia_skyline_test.dir/skyline/interning_test.cc.o.d"
+  "CMakeFiles/skydia_skyline_test.dir/skyline/layers_test.cc.o"
+  "CMakeFiles/skydia_skyline_test.dir/skyline/layers_test.cc.o.d"
+  "CMakeFiles/skydia_skyline_test.dir/skyline/query_test.cc.o"
+  "CMakeFiles/skydia_skyline_test.dir/skyline/query_test.cc.o.d"
+  "skydia_skyline_test"
+  "skydia_skyline_test.pdb"
+  "skydia_skyline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skydia_skyline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/skydia_common_test[1]_include.cmake")
+include("/root/repo/build/tests/skydia_geometry_test[1]_include.cmake")
+include("/root/repo/build/tests/skydia_skyline_test[1]_include.cmake")
+include("/root/repo/build/tests/skydia_core_quadrant_test[1]_include.cmake")
+include("/root/repo/build/tests/skydia_core_dynamic_test[1]_include.cmake")
+include("/root/repo/build/tests/skydia_core_highdim_test[1]_include.cmake")
+include("/root/repo/build/tests/skydia_diagram_test[1]_include.cmake")
+include("/root/repo/build/tests/skydia_core_extras_test[1]_include.cmake")
+include("/root/repo/build/tests/skydia_datagen_test[1]_include.cmake")
+include("/root/repo/build/tests/skydia_apps_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skydia_cli.dir/skydia_cli.cc.o"
+  "CMakeFiles/skydia_cli.dir/skydia_cli.cc.o.d"
+  "skydia"
+  "skydia.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skydia_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
