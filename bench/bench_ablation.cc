@@ -33,6 +33,7 @@ void BM_InternOn(benchmark::State& state) {
     stats = diagram.ComputeStats();
   }
   state.counters["bytes"] = static_cast<double>(stats.approx_bytes);
+  state.counters["pool_bytes"] = static_cast<double>(stats.pool_bytes);
   state.counters["distinct_sets"] = static_cast<double>(stats.num_distinct_sets);
 }
 BENCHMARK(BM_InternOn)
@@ -54,6 +55,7 @@ void BM_InternOff(benchmark::State& state) {
     stats = diagram.ComputeStats();
   }
   state.counters["bytes"] = static_cast<double>(stats.approx_bytes);
+  state.counters["pool_bytes"] = static_cast<double>(stats.pool_bytes);
   state.counters["distinct_sets"] = static_cast<double>(stats.num_distinct_sets);
 }
 BENCHMARK(BM_InternOff)
@@ -108,6 +110,23 @@ void BM_ParallelDsg(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ParallelDsg)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->ArgNames({"threads"})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+// Same ablation for the stripe-parallel dynamic scanning builder.
+void BM_ParallelDynamicScanning(benchmark::State& state) {
+  const Dataset ds = MakeDataset(96, 512, Distribution::kIndependent);
+  const int threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        BuildDynamicScanningParallel(ds, threads).SubcellSkyline(0, 0).data());
+  }
+}
+BENCHMARK(BM_ParallelDynamicScanning)
     ->Arg(1)
     ->Arg(2)
     ->Arg(4)

@@ -11,6 +11,7 @@
 #include "src/core/dynamic_baseline.h"
 #include "src/core/dynamic_scanning.h"
 #include "src/core/dynamic_subset.h"
+#include "src/core/parallel.h"
 
 namespace skydia::bench {
 namespace {
@@ -58,6 +59,30 @@ void BM_DynamicScanning(benchmark::State& state) {
   state.SetLabel(DistributionName(DistributionFromIndex(state.range(0))));
 }
 BENCHMARK(BM_DynamicScanning)->Apply([](auto* b) { DynamicArgs(b, 128); });
+
+// Stripe-parallel scanning (subcell rows per worker, private pools, one
+// deterministic remap-merge). Same output as BM_DynamicScanning; the
+// speedup is the row-stripe parallelism minus the per-stripe seed skyline
+// and the merge.
+void BM_DynamicScanningParallel(benchmark::State& state) {
+  const Dataset ds =
+      MakeDataset(state.range(1), kDomain, Distribution::kIndependent);
+  const int threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const SubcellDiagram diagram = BuildDynamicScanningParallel(ds, threads);
+    benchmark::DoNotOptimize(diagram.SubcellSkyline(0, 0).data());
+  }
+}
+BENCHMARK(BM_DynamicScanningParallel)->Apply([](auto* b) {
+  for (const int64_t threads : {1, 2, 4}) {
+    for (int64_t n = 32; n <= 128; n *= 2) {
+      b->Args({threads, n});
+    }
+  }
+  b->ArgNames({"threads", "n"})
+      ->Unit(benchmark::kMillisecond)
+      ->Iterations(1);
+});
 
 // Unlimited-domain regime (s = 2^16): bisector lines rarely coincide, so a
 // line has O(1) contributors and the paper's ordering emerges — scanning

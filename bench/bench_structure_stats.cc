@@ -36,6 +36,7 @@ void BM_QuadrantStructure(benchmark::State& state) {
   state.counters["polyominoes"] = static_cast<double>(polyominoes);
   state.counters["distinct_sets"] = static_cast<double>(stats.num_distinct_sets);
   state.counters["set_elems"] = static_cast<double>(stats.total_set_elements);
+  state.counters["pool_bytes"] = static_cast<double>(stats.pool_bytes);
   state.counters["bytes"] = static_cast<double>(stats.approx_bytes);
   state.SetLabel(DistributionName(DistributionFromIndex(state.range(0))));
 }
@@ -75,6 +76,7 @@ void BM_DynamicStructure(benchmark::State& state) {
   state.counters["subcells"] = static_cast<double>(stats.num_subcells);
   state.counters["distinct_sets"] = static_cast<double>(stats.num_distinct_sets);
   state.counters["set_elems"] = static_cast<double>(stats.total_set_elements);
+  state.counters["pool_bytes"] = static_cast<double>(stats.pool_bytes);
   state.counters["bytes"] = static_cast<double>(stats.approx_bytes);
   state.SetLabel(DistributionName(DistributionFromIndex(state.range(0))));
 }

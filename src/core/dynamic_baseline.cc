@@ -105,6 +105,7 @@ SubcellDiagram BuildDynamicBaseline(const Dataset& dataset,
       diagram.set_subcell(sx, sy, diagram.pool().InternCopy(scratch));
     }
   }
+  diagram.pool().Freeze();
   return diagram;
 }
 

@@ -1,24 +1,10 @@
 #include "src/core/dynamic_scanning.h"
 
-#include <algorithm>
+#include <vector>
 
-#include "src/skyline/query.h"
+#include "src/core/sweep_kernel.h"
 
 namespace skydia {
-
-namespace {
-
-// candidates = sorted_union(prev, extra), both sorted ascending.
-void SortedUnion(const std::vector<PointId>& prev,
-                 const std::vector<PointId>& extra,
-                 std::vector<PointId>* out) {
-  out->clear();
-  out->reserve(prev.size() + extra.size());
-  std::set_union(prev.begin(), prev.end(), extra.begin(), extra.end(),
-                 std::back_inserter(*out));
-}
-
-}  // namespace
 
 SubcellDiagram BuildDynamicScanning(const Dataset& dataset,
                                     const DiagramOptions& options) {
@@ -27,34 +13,20 @@ SubcellDiagram BuildDynamicScanning(const Dataset& dataset,
   const uint32_t cols = grid.num_columns();
   const uint32_t rows = grid.num_rows();
 
-  // Row anchor: the skyline of subcell (0, sy), advanced upward across the
-  // horizontal lines. Start with a from-scratch computation at (0, 0).
-  std::vector<PointId> row_anchor = DynamicSkylineAt4(
-      dataset, grid.x_axis().Representative4(0), grid.y_axis().Representative4(0));
-
-  std::vector<PointId> current;
-  std::vector<PointId> candidates;
-  std::vector<MappedCandidate> scratch;
+  // The shared row walk (src/core/sweep_kernel.h): seed the anchor at
+  // (0, 0) from scratch, then advance it across each horizontal line and
+  // scan every row incrementally across the vertical lines.
+  DynamicRowScanner scanner(dataset, grid);
+  scanner.SeedRow(0);
+  std::vector<SetId> row(cols, kEmptySetId);
   for (uint32_t sy = 0; sy < rows; ++sy) {
-    const int64_t repy4 = grid.y_axis().Representative4(sy);
-    if (sy > 0) {
-      // Cross horizontal line sy-1 at column 0.
-      SortedUnion(row_anchor, grid.ContributorsY(sy - 1), &candidates);
-      DynamicSkylineOfSubsetAt4(dataset, candidates,
-                                grid.x_axis().Representative4(0), repy4,
-                                &scratch, &row_anchor);
-    }
-    current = row_anchor;
-    diagram.set_subcell(0, sy, diagram.pool().InternCopy(current));
-    for (uint32_t sx = 1; sx < cols; ++sx) {
-      // Cross vertical line sx-1.
-      SortedUnion(current, grid.ContributorsX(sx - 1), &candidates);
-      DynamicSkylineOfSubsetAt4(dataset, candidates,
-                                grid.x_axis().Representative4(sx), repy4,
-                                &scratch, &current);
-      diagram.set_subcell(sx, sy, diagram.pool().InternCopy(current));
+    if (sy > 0) scanner.AdvanceRow(sy);
+    scanner.ScanRow(sy, &diagram.pool(), row.data());
+    for (uint32_t sx = 0; sx < cols; ++sx) {
+      diagram.set_subcell(sx, sy, row[sx]);
     }
   }
+  diagram.pool().Freeze();
   return diagram;
 }
 

@@ -68,6 +68,7 @@ SubcellDiagram BuildDynamicSubsetWithGlobal(const Dataset& dataset,
       diagram.set_subcell(sx, sy, diagram.pool().InternCopy(sky));
     }
   }
+  diagram.pool().Freeze();
   return diagram;
 }
 

@@ -96,6 +96,7 @@ CellDiagram BuildGlobalDiagram(const Dataset& dataset,
       global.set_cell(cx, cy, global.pool().InternCopy(merged));
     }
   }
+  global.pool().Freeze();
   return global;
 }
 

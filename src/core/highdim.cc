@@ -122,6 +122,7 @@ NdCellDiagram BuildNdBaseline(const DatasetNd& dataset,
     std::vector<PointId> sky = SkylineOfSubsetNd(dataset, candidates);
     diagram.set_cell(grid.Flatten(idx), diagram.pool().Intern(std::move(sky)));
   } while (NextIndex(grid, &idx, grid.dims()));
+  diagram.pool().Freeze();
   return diagram;
 }
 
@@ -197,6 +198,7 @@ NdCellDiagram BuildNdDsg(const DatasetNd& dataset,
                        diagram.pool().InternCopy(scratch));
     }
   } while (NextIndex(grid, &prefix, last));
+  diagram.pool().Freeze();
   return diagram;
 }
 
@@ -250,6 +252,7 @@ NdCellDiagram ScanNd(const DatasetNd& dataset, const DiagramOptions& options,
     }
     if (d < 0) break;
   }
+  diagram.pool().Freeze();
   return diagram;
 }
 

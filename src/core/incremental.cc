@@ -91,6 +91,7 @@ StatusOr<PointId> IncrementalQuadrantDiagram::Insert(const Point2D& p) {
     }
   }
 
+  next->pool().Freeze();
   last_insert_recomputed_cells_ =
       static_cast<uint64_t>(r + 1) * (ry + 1);
   dataset_ = std::move(new_dataset).value();

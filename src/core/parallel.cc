@@ -2,10 +2,11 @@
 
 #include <algorithm>
 #include <memory>
-#include <set>
+#include <vector>
 
 #include "src/common/logging.h"
 #include "src/common/thread_pool.h"
+#include "src/core/sweep_kernel.h"
 #include "src/skyline/dsg.h"
 #include "src/skyline/interning.h"
 
@@ -13,47 +14,9 @@ namespace skydia {
 
 namespace {
 
-// Per-worker sweep state (mirrors quadrant_dsg.cc).
-struct SweepState {
-  std::vector<uint8_t> alive;
-  std::vector<uint32_t> parents_left;
-  std::set<PointId> skyline;
-};
-
-void RemoveBatch(const DirectedSkylineGraph& dsg,
-                 const std::vector<PointId>& batch, SweepState* state) {
-  std::vector<PointId> newly_removed;
-  for (PointId id : batch) {
-    if (!state->alive[id]) continue;
-    state->alive[id] = 0;
-    state->skyline.erase(id);
-    newly_removed.push_back(id);
-  }
-  for (PointId id : newly_removed) {
-    for (PointId child : dsg.children(id)) {
-      if (!state->alive[child]) continue;
-      if (--state->parents_left[child] == 0) {
-        state->skyline.insert(child);
-      }
-    }
-  }
-}
-
-SweepState InitialState(const DirectedSkylineGraph& dsg, size_t n) {
-  SweepState state;
-  state.alive.assign(n, 1);
-  state.parents_left.resize(n);
-  for (PointId id = 0; id < n; ++id) {
-    state.parents_left[id] = dsg.parent_count(id);
-    if (state.parents_left[id] == 0) state.skyline.insert(id);
-  }
-  return state;
-}
-
 // One stripe's output: row-major SetIds into its private pool.
 struct StripeResult {
-  uint32_t row_begin = 0;
-  uint32_t row_end = 0;
+  StripeRange rows;
   std::unique_ptr<SkylineSetPool> pool;
   std::vector<SetId> cells;
 };
@@ -73,61 +36,115 @@ CellDiagram BuildQuadrantDsgParallel(const Dataset& dataset, int num_threads,
   const auto stripes =
       std::min<uint32_t>(rows, static_cast<uint32_t>(num_threads));
   std::vector<StripeResult> results(stripes);
-  const uint32_t rows_per_stripe = (rows + stripes - 1) / stripes;
 
   {
     ThreadPool pool(static_cast<size_t>(num_threads));
     pool.ParallelFor(stripes, [&](size_t stripe) {
       StripeResult& result = results[stripe];
-      result.row_begin = static_cast<uint32_t>(stripe) * rows_per_stripe;
-      result.row_end =
-          std::min<uint32_t>(rows, result.row_begin + rows_per_stripe);
+      result.rows = StripeRows(rows, stripes, static_cast<uint32_t>(stripe));
       result.pool = std::make_unique<SkylineSetPool>();
       result.cells.assign(
-          static_cast<size_t>(result.row_end - result.row_begin) * cols,
+          static_cast<size_t>(result.rows.end - result.rows.begin) * cols,
           kEmptySetId);
 
       // Replay the row advances below this stripe — removals only, no cell
       // recording, so the whole replay costs O(n + links).
-      SweepState row_state = InitialState(dsg, n);
-      for (uint32_t cy = 0; cy < result.row_begin; ++cy) {
-        RemoveBatch(dsg, grid.PointsAtRow(cy), &row_state);
+      std::vector<PointId> removed_scratch;
+      SweepState row_state = InitialSweepState(dsg, n);
+      for (uint32_t cy = 0; cy < result.rows.begin; ++cy) {
+        RemoveBatch(dsg, grid.PointsAtRow(cy), &row_state, &removed_scratch);
       }
 
       std::vector<PointId> scratch;
-      for (uint32_t cy = result.row_begin; cy < result.row_end; ++cy) {
+      for (uint32_t cy = result.rows.begin; cy < result.rows.end; ++cy) {
         SweepState work = row_state;
         for (uint32_t cx = 0; cx < cols; ++cx) {
-          if (cx > 0) RemoveBatch(dsg, grid.PointsAtColumn(cx - 1), &work);
+          if (cx > 0) {
+            RemoveBatch(dsg, grid.PointsAtColumn(cx - 1), &work,
+                        &removed_scratch);
+          }
           scratch.assign(work.skyline.begin(), work.skyline.end());
-          result.cells[static_cast<size_t>(cy - result.row_begin) * cols + cx] =
-              result.pool->InternCopy(scratch);
+          result.cells[static_cast<size_t>(cy - result.rows.begin) * cols +
+                       cx] = result.pool->InternCopy(scratch);
         }
-        if (cy + 1 < result.row_end) {
-          RemoveBatch(dsg, grid.PointsAtRow(cy), &row_state);
+        if (cy + 1 < result.rows.end) {
+          RemoveBatch(dsg, grid.PointsAtRow(cy), &row_state, &removed_scratch);
         }
       }
+      result.pool->Freeze();
     });
   }
 
   // Deterministic merge: stripes in order, remapping each private pool into
   // the diagram's pool.
-  std::vector<SetId> remap;
   for (const StripeResult& result : results) {
-    remap.assign(result.pool->size(), kEmptySetId);
-    for (SetId id = 0; id < result.pool->size(); ++id) {
-      remap[id] = diagram.pool().InternCopy(result.pool->Get(id));
-    }
-    for (uint32_t cy = result.row_begin; cy < result.row_end; ++cy) {
+    const std::vector<SetId> remap = RemapPool(*result.pool, &diagram.pool());
+    for (uint32_t cy = result.rows.begin; cy < result.rows.end; ++cy) {
       for (uint32_t cx = 0; cx < cols; ++cx) {
         diagram.set_cell(
             cx, cy,
-            remap[result.cells[static_cast<size_t>(cy - result.row_begin) *
+            remap[result.cells[static_cast<size_t>(cy - result.rows.begin) *
                                    cols +
                                cx]]);
       }
     }
   }
+  diagram.pool().Freeze();
+  return diagram;
+}
+
+SubcellDiagram BuildDynamicScanningParallel(const Dataset& dataset,
+                                            int num_threads,
+                                            const DiagramOptions& options) {
+  SKYDIA_CHECK_GE(num_threads, 1);
+  SubcellDiagram diagram(dataset, options.intern_result_sets);
+  const SubcellGrid& grid = diagram.grid();
+  const uint32_t rows = grid.num_rows();
+  const uint32_t cols = grid.num_columns();
+
+  const auto stripes =
+      std::min<uint32_t>(rows, static_cast<uint32_t>(num_threads));
+  std::vector<StripeResult> results(stripes);
+
+  {
+    ThreadPool pool(static_cast<size_t>(num_threads));
+    pool.ParallelFor(stripes, [&](size_t stripe) {
+      StripeResult& result = results[stripe];
+      result.rows = StripeRows(rows, stripes, static_cast<uint32_t>(stripe));
+      result.pool = std::make_unique<SkylineSetPool>();
+      result.cells.assign(
+          static_cast<size_t>(result.rows.end - result.rows.begin) * cols,
+          kEmptySetId);
+
+      // Enter the stripe with one from-scratch skyline at (0, row_begin),
+      // then scan incrementally exactly like the sequential builder.
+      DynamicRowScanner scanner(dataset, grid);
+      scanner.SeedRow(result.rows.begin);
+      for (uint32_t sy = result.rows.begin; sy < result.rows.end; ++sy) {
+        if (sy > result.rows.begin) scanner.AdvanceRow(sy);
+        scanner.ScanRow(
+            sy, result.pool.get(),
+            result.cells.data() +
+                static_cast<size_t>(sy - result.rows.begin) * cols);
+      }
+      result.pool->Freeze();
+    });
+  }
+
+  // Deterministic merge in stripe order (mirrors BuildQuadrantDsgParallel).
+  for (const StripeResult& result : results) {
+    const std::vector<SetId> remap = RemapPool(*result.pool, &diagram.pool());
+    for (uint32_t sy = result.rows.begin; sy < result.rows.end; ++sy) {
+      for (uint32_t sx = 0; sx < cols; ++sx) {
+        diagram.set_subcell(
+            sx, sy,
+            remap[result.cells[static_cast<size_t>(sy - result.rows.begin) *
+                                   cols +
+                               sx]]);
+      }
+    }
+  }
+  diagram.pool().Freeze();
   return diagram;
 }
 

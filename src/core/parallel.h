@@ -1,7 +1,9 @@
-// Parallel quadrant-diagram construction — the direction the paper's journal
-// extension develops. The cell grid is partitioned into horizontal stripes;
-// each worker replays the (cheap) row-advance removals up to its stripe and
-// then sweeps its rows independently with the DSG algorithm, producing
+// Parallel diagram construction — the direction the paper's journal
+// extension develops. The cell (or subcell) grid is partitioned into
+// horizontal stripes; each worker enters its stripe independently — by
+// replaying the cheap row-advance removals (DSG) or with one from-scratch
+// skyline at the stripe's first subcell (dynamic scanning) — and then sweeps
+// its rows with the shared kernel (src/core/sweep_kernel.h), producing
 // results in a worker-local interning pool. A deterministic merge remaps the
 // per-stripe pools into the final diagram; the per-cell result *contents*
 // are identical to the sequential builders' regardless of thread count (pool
@@ -11,6 +13,7 @@
 
 #include "src/core/options.h"
 #include "src/core/skyline_cell.h"
+#include "src/core/subcell_diagram.h"
 #include "src/geometry/dataset.h"
 
 namespace skydia {
@@ -19,6 +22,15 @@ namespace skydia {
 /// `num_threads` workers (>= 1; 1 degenerates to the sequential algorithm).
 CellDiagram BuildQuadrantDsgParallel(const Dataset& dataset, int num_threads,
                                      const DiagramOptions& options = {});
+
+/// Builds the dynamic skyline diagram with the scanning algorithm
+/// (Algorithm 7) across `num_threads` workers. Subcell rows are striped;
+/// each worker seeds its first row with one O(n log n) from-scratch skyline
+/// and scans incrementally from there. SameResults-equal to
+/// BuildDynamicScanning for every thread count.
+SubcellDiagram BuildDynamicScanningParallel(const Dataset& dataset,
+                                            int num_threads,
+                                            const DiagramOptions& options = {});
 
 }  // namespace skydia
 

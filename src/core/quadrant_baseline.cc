@@ -63,6 +63,7 @@ CellDiagram BuildQuadrantBaseline(const Dataset& dataset,
       diagram.set_cell(cx, cy, diagram.pool().InternCopy(scratch));
     }
   }
+  diagram.pool().Freeze();
   return diagram;
 }
 

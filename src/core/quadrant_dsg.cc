@@ -1,47 +1,13 @@
 #include "src/core/quadrant_dsg.h"
 
-#include <algorithm>
-#include <set>
 #include <vector>
 
+#include "src/core/sweep_kernel.h"
 #include "src/skyline/dsg.h"
 
 namespace skydia {
 
 namespace {
-
-// Mutable sweep state: which points are still candidates, how many direct
-// parents each has left, and the current skyline.
-struct SweepState {
-  std::vector<uint8_t> alive;
-  std::vector<uint32_t> parents_left;
-  std::set<PointId> skyline;
-};
-
-// Removes `batch` from the state: phase 1 retires the points themselves,
-// phase 2 promotes surviving children whose last direct parent vanished.
-// Only points that were actually alive participate in phase 2 — batch lists
-// may contain points removed by an earlier (orthogonal) sweep, and their
-// children were already decremented then.
-void RemoveBatch(const DirectedSkylineGraph& dsg,
-                 const std::vector<PointId>& batch, SweepState* state,
-                 std::vector<PointId>* newly_removed) {
-  newly_removed->clear();
-  for (PointId id : batch) {
-    if (!state->alive[id]) continue;
-    state->alive[id] = 0;
-    state->skyline.erase(id);
-    newly_removed->push_back(id);
-  }
-  for (PointId id : *newly_removed) {
-    for (PointId child : dsg.children(id)) {
-      if (!state->alive[child]) continue;
-      if (--state->parents_left[child] == 0) {
-        state->skyline.insert(child);
-      }
-    }
-  }
-}
 
 void RecordCell(const SweepState& state, uint32_t cx, uint32_t cy,
                 CellDiagram* diagram, std::vector<PointId>* scratch) {
@@ -56,16 +22,9 @@ CellDiagram BuildQuadrantDsg(const Dataset& dataset,
   CellDiagram diagram(dataset, options.intern_result_sets);
   const CellGrid& grid = diagram.grid();
   const DirectedSkylineGraph dsg(dataset);
-  const size_t n = dataset.size();
 
   // Row-start state: everything with yrank >= current row alive.
-  SweepState row_state;
-  row_state.alive.assign(n, 1);
-  row_state.parents_left.resize(n);
-  for (PointId id = 0; id < n; ++id) {
-    row_state.parents_left[id] = dsg.parent_count(id);
-    if (row_state.parents_left[id] == 0) row_state.skyline.insert(id);
-  }
+  SweepState row_state = InitialSweepState(dsg, dataset.size());
 
   std::vector<PointId> scratch;
   std::vector<PointId> removed_scratch;
@@ -82,6 +41,7 @@ CellDiagram BuildQuadrantDsg(const Dataset& dataset,
       RemoveBatch(dsg, grid.PointsAtRow(cy), &row_state, &removed_scratch);
     }
   }
+  diagram.pool().Freeze();
   return diagram;
 }
 

@@ -88,6 +88,7 @@ CellDiagram BuildQuadrantScanning(const Dataset& dataset,
     }
     std::swap(above, current);
   }
+  diagram.pool().Freeze();
   return diagram;
 }
 

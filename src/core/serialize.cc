@@ -10,7 +10,13 @@ namespace skydia {
 
 namespace {
 
-constexpr char kMagic[8] = {'S', 'K', 'Y', 'D', 'I', 'A', 'G', '1'};
+// The last magic byte is the format version. v1 stored the pool as one
+// length-prefixed id list per set; v2 stores the flat interning arena in one
+// block (length-prefixed member buffer + per-set offset table). Writers emit
+// v2; readers accept both.
+constexpr char kMagicPrefix[7] = {'S', 'K', 'Y', 'D', 'I', 'A', 'G'};
+constexpr uint8_t kVersion1 = 1;
+constexpr uint8_t kVersion2 = 2;
 constexpr uint8_t kKindCell = 1;
 constexpr uint8_t kKindSubcell = 2;
 
@@ -142,16 +148,44 @@ StatusOr<Dataset> ReadDataset(Reader* reader) {
   return dataset;
 }
 
+// v2 pool block: the interning arena emitted flat — num_sets, then the
+// length-prefixed member buffer in one run, then the {offset, length} record
+// table. Loading is one buffer read plus an index rebuild instead of
+// num_sets separate allocations.
 void EmitPool(const SkylineSetPool& pool, std::string* out) {
   PutU64(out, pool.size());
+  PutU64(out, pool.total_elements());
+  for (SetId id = 0; id < pool.size(); ++id) {
+    for (PointId pid : pool.Get(id)) PutU32(out, pid);
+  }
+  uint64_t offset = 0;
   for (SetId id = 0; id < pool.size(); ++id) {
     const auto set = pool.Get(id);
-    PutU64(out, set.size());
-    for (PointId pid : set) PutU32(out, pid);
+    PutU64(out, offset);
+    PutU32(out, static_cast<uint32_t>(set.size()));
+    offset += set.size();
   }
 }
 
-Status ReadPool(Reader* reader, size_t num_points, SkylineSetPool* pool) {
+// Checks one set's structural invariants (shared by both format readers).
+Status ValidateSet(std::span<const PointId> ids, size_t num_points) {
+  if (ids.size() > num_points) {
+    return Status::Corruption("result set larger than the dataset");
+  }
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (ids[i] >= num_points) {
+      return Status::Corruption("result set references unknown point");
+    }
+    if (i > 0 && ids[i] <= ids[i - 1]) {
+      return Status::Corruption("result set not sorted/unique");
+    }
+  }
+  return Status::OK();
+}
+
+// v1 pool section: one length-prefixed id list per set, reproduced via
+// Append. Kept so pre-v2 diagram files stay loadable.
+Status ReadPoolV1(Reader* reader, size_t num_points, SkylineSetPool* pool) {
   uint64_t num_sets = 0;
   if (!reader->ReadU64(&num_sets)) {
     return Status::Corruption("truncated pool header");
@@ -168,18 +202,13 @@ Status ReadPool(Reader* reader, size_t num_points, SkylineSetPool* pool) {
       return Status::Corruption("result set larger than the dataset");
     }
     std::vector<PointId> ids(size);
-    PointId prev = 0;
     for (uint64_t i = 0; i < size; ++i) {
       if (!reader->ReadU32(&ids[i])) {
         return Status::Corruption("truncated set contents");
       }
-      if (ids[i] >= num_points) {
-        return Status::Corruption("result set references unknown point");
-      }
-      if (i > 0 && ids[i] <= prev) {
-        return Status::Corruption("result set not sorted/unique");
-      }
-      prev = ids[i];
+    }
+    if (Status s_check = ValidateSet(ids, num_points); !s_check.ok()) {
+      return s_check;
     }
     if (s == 0) {
       if (!ids.empty()) {
@@ -190,6 +219,65 @@ Status ReadPool(Reader* reader, size_t num_points, SkylineSetPool* pool) {
     pool->Append(std::move(ids));
   }
   return Status::OK();
+}
+
+Status ReadPoolV2(Reader* reader, size_t num_points, SkylineSetPool* pool) {
+  uint64_t num_sets = 0;
+  uint64_t buffer_len = 0;
+  if (!reader->ReadU64(&num_sets) || !reader->ReadU64(&buffer_len)) {
+    return Status::Corruption("truncated pool header");
+  }
+  if (num_sets == 0) {
+    return Status::Corruption("pool must contain the empty set");
+  }
+  // Each buffer element takes 4 bytes and each record 12; cap both against
+  // the remaining payload before allocating.
+  if (buffer_len > reader->remaining() / sizeof(PointId) ||
+      num_sets > (uint64_t{1} << 32)) {
+    return Status::Corruption("implausible pool arena size");
+  }
+  std::vector<PointId> buffer(buffer_len);
+  for (uint64_t i = 0; i < buffer_len; ++i) {
+    if (!reader->ReadU32(&buffer[i])) {
+      return Status::Corruption("truncated pool arena");
+    }
+  }
+  std::vector<uint32_t> lengths(num_sets);
+  uint64_t expected_offset = 0;
+  for (uint64_t s = 0; s < num_sets; ++s) {
+    uint64_t offset = 0;
+    uint32_t length = 0;
+    if (!reader->ReadU64(&offset) || !reader->ReadU32(&length)) {
+      return Status::Corruption("truncated pool offset table");
+    }
+    // The writer emits sets back to back; require the canonical layout so
+    // offsets cannot alias or leave gaps.
+    if (offset != expected_offset || length > buffer_len - offset) {
+      return Status::Corruption("pool offset table is not a flat arena");
+    }
+    const std::span<const PointId> ids(buffer.data() + offset, length);
+    if (Status s_check = ValidateSet(ids, num_points); !s_check.ok()) {
+      return s_check;
+    }
+    expected_offset = offset + length;
+    lengths[s] = length;
+  }
+  if (expected_offset != buffer_len) {
+    return Status::Corruption("pool arena has trailing members");
+  }
+  if (lengths[0] != 0) {
+    return Status::Corruption("set 0 must be the empty set");
+  }
+  pool->AdoptArena(std::move(buffer), lengths);
+  return Status::OK();
+}
+
+Status ReadPool(Reader* reader, uint8_t version, size_t num_points,
+                SkylineSetPool* pool) {
+  Status status = version == kVersion1 ? ReadPoolV1(reader, num_points, pool)
+                                       : ReadPoolV2(reader, num_points, pool);
+  if (status.ok()) pool->Freeze();
+  return status;
 }
 
 Status ReadCells(Reader* reader, uint64_t expected_count, size_t pool_size,
@@ -219,25 +307,41 @@ void AppendChecksum(std::string* out) {
 }
 
 Status CheckEnvelope(const std::string& bytes, uint8_t expected_kind,
-                     std::string_view* payload) {
-  if (bytes.size() < sizeof(kMagic) + 1 + 32) {
+                     std::string_view* payload, uint8_t* version) {
+  constexpr size_t kHeaderLen = sizeof(kMagicPrefix) + 1 + 1;  // magic|ver|kind
+  if (bytes.size() < kHeaderLen + 32) {
     return Status::Corruption("file too short");
   }
-  if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+  if (std::memcmp(bytes.data(), kMagicPrefix, sizeof(kMagicPrefix)) != 0) {
     return Status::Corruption("bad magic");
+  }
+  const char version_char = bytes[sizeof(kMagicPrefix)];
+  if (version_char == '1') {
+    *version = kVersion1;
+  } else if (version_char == '2') {
+    *version = kVersion2;
+  } else {
+    return Status::Corruption("unsupported format version");
   }
   const size_t body_len = bytes.size() - 32;
   const Sha256Digest digest = Sha256::Hash(bytes.data(), body_len);
   if (std::memcmp(bytes.data() + body_len, digest.data(), 32) != 0) {
     return Status::Corruption("checksum mismatch");
   }
-  const auto kind = static_cast<uint8_t>(bytes[sizeof(kMagic)]);
+  const auto kind = static_cast<uint8_t>(bytes[kHeaderLen - 1]);
   if (kind != expected_kind) {
     return Status::Corruption("wrong diagram kind");
   }
-  *payload = std::string_view(bytes).substr(sizeof(kMagic) + 1,
-                                            body_len - sizeof(kMagic) - 1);
+  *payload =
+      std::string_view(bytes).substr(kHeaderLen, body_len - kHeaderLen);
   return Status::OK();
+}
+
+std::string EnvelopeHeader(uint8_t kind) {
+  std::string out(kMagicPrefix, sizeof(kMagicPrefix));
+  out.push_back('2');
+  PutU8(&out, kind);
+  return out;
 }
 
 Status WriteFile(const std::string& path, const std::string& bytes) {
@@ -260,8 +364,7 @@ StatusOr<std::string> ReadFile(const std::string& path) {
 
 std::string SerializeCellDiagram(const Dataset& dataset,
                                  const CellDiagram& diagram) {
-  std::string out(kMagic, sizeof(kMagic));
-  PutU8(&out, kKindCell);
+  std::string out = EnvelopeHeader(kKindCell);
   EmitDataset(dataset, &out);
   EmitPool(diagram.pool(), &out);
   const CellGrid& grid = diagram.grid();
@@ -282,13 +385,17 @@ Status SaveCellDiagram(const Dataset& dataset, const CellDiagram& diagram,
 
 StatusOr<LoadedCellDiagram> ParseCellDiagram(const std::string& bytes) {
   std::string_view payload;
-  if (Status s = CheckEnvelope(bytes, kKindCell, &payload); !s.ok()) return s;
+  uint8_t version = 0;
+  if (Status s = CheckEnvelope(bytes, kKindCell, &payload, &version); !s.ok()) {
+    return s;
+  }
   Reader reader(payload);
   StatusOr<Dataset> dataset = ReadDataset(&reader);
   if (!dataset.ok()) return dataset.status();
 
   CellDiagram diagram(*dataset);
-  if (Status s = ReadPool(&reader, dataset->size(), &diagram.pool()); !s.ok()) {
+  if (Status s = ReadPool(&reader, version, dataset->size(), &diagram.pool());
+      !s.ok()) {
     return s;
   }
   std::vector<SetId> cells;
@@ -317,8 +424,7 @@ StatusOr<LoadedCellDiagram> LoadCellDiagram(const std::string& path) {
 
 std::string SerializeSubcellDiagram(const Dataset& dataset,
                                     const SubcellDiagram& diagram) {
-  std::string out(kMagic, sizeof(kMagic));
-  PutU8(&out, kKindSubcell);
+  std::string out = EnvelopeHeader(kKindSubcell);
   EmitDataset(dataset, &out);
   EmitPool(diagram.pool(), &out);
   const SubcellGrid& grid = diagram.grid();
@@ -340,7 +446,9 @@ Status SaveSubcellDiagram(const Dataset& dataset,
 
 StatusOr<LoadedSubcellDiagram> ParseSubcellDiagram(const std::string& bytes) {
   std::string_view payload;
-  if (Status s = CheckEnvelope(bytes, kKindSubcell, &payload); !s.ok()) {
+  uint8_t version = 0;
+  if (Status s = CheckEnvelope(bytes, kKindSubcell, &payload, &version);
+      !s.ok()) {
     return s;
   }
   Reader reader(payload);
@@ -348,7 +456,8 @@ StatusOr<LoadedSubcellDiagram> ParseSubcellDiagram(const std::string& bytes) {
   if (!dataset.ok()) return dataset.status();
 
   SubcellDiagram diagram(*dataset);
-  if (Status s = ReadPool(&reader, dataset->size(), &diagram.pool()); !s.ok()) {
+  if (Status s = ReadPool(&reader, version, dataset->size(), &diagram.pool());
+      !s.ok()) {
     return s;
   }
   std::vector<SetId> cells;

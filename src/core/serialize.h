@@ -3,17 +3,22 @@
 // outsourcing applications — an owner builds and signs the file, servers
 // load it).
 //
-// Format (little-endian):
-//   magic "SKYDIAG1" | kind u8 (1 = cell, 2 = subcell)
+// Format (little-endian), version 2 — the last magic byte is the version:
+//   magic "SKYDIAG2" | kind u8 (1 = cell, 2 = subcell)
 //   dataset: domain u64, n u64, n x (x i64, y i64),
 //            labels: flag u8, then n x (len u32, bytes) when present
-//   pool: num_sets u64, per set (size u64, ids u32...)   -- set 0 is empty
+//   pool (the flat interning arena, one block):
+//            num_sets u64, buffer_len u64, buffer u32 x buffer_len,
+//            then num_sets x (offset u64, length u32)  -- set 0 is empty;
+//            sets must tile the buffer back to back in id order
 //   cells: count u64, ids u32...
 //   footer: SHA-256 of everything above
+// Version 1 ("SKYDIAG1") stored the pool as one length-prefixed id list per
+// set; readers still accept it (writers always emit v2).
 // Load verifies the magic, every structural invariant (sorted/unique set
-// contents, in-range ids, grid shape) and the checksum, returning
-// Status::Corruption on any mismatch — see tests/core/serialize_test.cc for
-// the failure-injection matrix.
+// contents, in-range ids, canonical arena layout, grid shape) and the
+// checksum, returning Status::Corruption on any mismatch — see
+// tests/core/serialize_test.cc for the failure-injection matrix.
 #ifndef SKYDIA_SRC_CORE_SERIALIZE_H_
 #define SKYDIA_SRC_CORE_SERIALIZE_H_
 

@@ -26,8 +26,8 @@ CellDiagram::Stats CellDiagram::ComputeStats() const {
   stats.num_cells = grid_.num_cells();
   stats.num_distinct_sets = pool_->size();
   stats.total_set_elements = pool_->total_elements();
-  stats.approx_bytes =
-      pool_->ApproximateMemoryBytes() + cells_.size() * sizeof(SetId);
+  stats.pool_bytes = pool_->ApproximateMemoryBytes();
+  stats.approx_bytes = stats.pool_bytes + cells_.size() * sizeof(SetId);
   return stats;
 }
 

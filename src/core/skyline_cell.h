@@ -66,6 +66,7 @@ class CellDiagram {
     uint64_t num_cells = 0;
     uint64_t num_distinct_sets = 0;   // interned sets incl. empty
     uint64_t total_set_elements = 0;  // sum of distinct set sizes
+    uint64_t pool_bytes = 0;          // interning arena footprint alone
     uint64_t approx_bytes = 0;        // pool + cell map footprint
   };
   Stats ComputeStats() const;

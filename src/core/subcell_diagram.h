@@ -76,6 +76,7 @@ class SubcellDiagram {
     uint64_t num_subcells = 0;
     uint64_t num_distinct_sets = 0;
     uint64_t total_set_elements = 0;
+    uint64_t pool_bytes = 0;  // interning arena footprint alone
     uint64_t approx_bytes = 0;
   };
   Stats ComputeStats() const {
@@ -83,8 +84,8 @@ class SubcellDiagram {
     stats.num_subcells = grid_.num_subcells();
     stats.num_distinct_sets = pool_->size();
     stats.total_set_elements = pool_->total_elements();
-    stats.approx_bytes =
-        pool_->ApproximateMemoryBytes() + cells_.size() * sizeof(SetId);
+    stats.pool_bytes = pool_->ApproximateMemoryBytes();
+    stats.approx_bytes = stats.pool_bytes + cells_.size() * sizeof(SetId);
     return stats;
   }
 

@@ -1,0 +1,97 @@
+#include "src/core/sweep_kernel.h"
+
+#include <algorithm>
+#include <iterator>
+
+namespace skydia {
+
+namespace {
+
+// candidates = sorted_union(prev, extra), both sorted ascending.
+void SortedUnion(const std::vector<PointId>& prev,
+                 const std::vector<PointId>& extra,
+                 std::vector<PointId>* out) {
+  out->clear();
+  out->reserve(prev.size() + extra.size());
+  std::set_union(prev.begin(), prev.end(), extra.begin(), extra.end(),
+                 std::back_inserter(*out));
+}
+
+}  // namespace
+
+SweepState InitialSweepState(const DirectedSkylineGraph& dsg, size_t n) {
+  SweepState state;
+  state.alive.assign(n, 1);
+  state.parents_left.resize(n);
+  for (PointId id = 0; id < n; ++id) {
+    state.parents_left[id] = dsg.parent_count(id);
+    if (state.parents_left[id] == 0) state.skyline.insert(id);
+  }
+  return state;
+}
+
+void RemoveBatch(const DirectedSkylineGraph& dsg,
+                 const std::vector<PointId>& batch, SweepState* state,
+                 std::vector<PointId>* newly_removed) {
+  newly_removed->clear();
+  for (PointId id : batch) {
+    if (!state->alive[id]) continue;
+    state->alive[id] = 0;
+    state->skyline.erase(id);
+    newly_removed->push_back(id);
+  }
+  for (PointId id : *newly_removed) {
+    for (PointId child : dsg.children(id)) {
+      if (!state->alive[child]) continue;
+      if (--state->parents_left[child] == 0) {
+        state->skyline.insert(child);
+      }
+    }
+  }
+}
+
+void DynamicRowScanner::SeedRow(uint32_t sy) {
+  row_anchor_ = DynamicSkylineAt4(dataset_, grid_.x_axis().Representative4(0),
+                                  grid_.y_axis().Representative4(sy));
+}
+
+void DynamicRowScanner::AdvanceRow(uint32_t sy) {
+  SortedUnion(row_anchor_, grid_.ContributorsY(sy - 1), &candidates_);
+  DynamicSkylineOfSubsetAt4(dataset_, candidates_,
+                            grid_.x_axis().Representative4(0),
+                            grid_.y_axis().Representative4(sy), &mapped_,
+                            &row_anchor_);
+}
+
+void DynamicRowScanner::ScanRow(uint32_t sy, SkylineSetPool* pool,
+                                SetId* row_out) {
+  const int64_t repy4 = grid_.y_axis().Representative4(sy);
+  current_ = row_anchor_;
+  row_out[0] = pool->InternCopy(current_);
+  for (uint32_t sx = 1; sx < grid_.num_columns(); ++sx) {
+    // Cross vertical line sx-1.
+    SortedUnion(current_, grid_.ContributorsX(sx - 1), &candidates_);
+    DynamicSkylineOfSubsetAt4(dataset_, candidates_,
+                              grid_.x_axis().Representative4(sx), repy4,
+                              &mapped_, &current_);
+    row_out[sx] = pool->InternCopy(current_);
+  }
+}
+
+StripeRange StripeRows(uint32_t rows, uint32_t stripes, uint32_t stripe) {
+  const uint32_t rows_per_stripe = (rows + stripes - 1) / stripes;
+  StripeRange range;
+  range.begin = std::min(rows, stripe * rows_per_stripe);
+  range.end = std::min(rows, range.begin + rows_per_stripe);
+  return range;
+}
+
+std::vector<SetId> RemapPool(const SkylineSetPool& src, SkylineSetPool* dst) {
+  std::vector<SetId> remap(src.size(), kEmptySetId);
+  for (SetId id = 0; id < src.size(); ++id) {
+    remap[id] = dst->InternCopy(src.Get(id));
+  }
+  return remap;
+}
+
+}  // namespace skydia

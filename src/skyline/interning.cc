@@ -24,62 +24,111 @@ uint64_t HashSpan(std::span<const PointId> ids) {
 
 SkylineSetPool::SkylineSetPool(bool deduplicate) : deduplicate_(deduplicate) {
   // Reserve id 0 for the empty set so diagram code can use kEmptySetId.
-  sets_.emplace_back();
-  index_[HashSpan({})].push_back(kEmptySetId);
+  records_.push_back(SetRecord{0, 0});
+  chain_.push_back(kNoSet);
+  index_.emplace(HashSpan({}), kEmptySetId);
 }
 
-SetId SkylineSetPool::LookupOrInsert(std::span<const PointId> ids,
-                                     bool may_move,
-                                     std::vector<PointId>* owned) {
-  assert(SortedUnique(ids));
-  const uint64_t h = HashSpan(ids);
-  std::vector<SetId>& bucket = index_[h];
-  if (deduplicate_ || ids.empty()) {
-    for (SetId candidate : bucket) {
-      const std::vector<PointId>& existing = sets_[candidate];
-      if (existing.size() == ids.size() &&
-          std::equal(existing.begin(), existing.end(), ids.begin())) {
-        return candidate;
-      }
-    }
-  }
-  const auto id = static_cast<SetId>(sets_.size());
-  if (may_move) {
-    sets_.push_back(std::move(*owned));
+SetId SkylineSetPool::PushSet(std::span<const PointId> ids, uint64_t hash) {
+  const auto id = static_cast<SetId>(records_.size());
+  const uint64_t offset = arena_.size();
+  // `ids` may point into the arena itself; growing can reallocate, so append
+  // via a stable index rather than through the (possibly dangling) span.
+  const bool aliases = !ids.empty() && ids.data() >= arena_.data() &&
+                       ids.data() < arena_.data() + arena_.size();
+  if (aliases) {
+    const size_t src = static_cast<size_t>(ids.data() - arena_.data());
+    arena_.resize(arena_.size() + ids.size());
+    std::copy_n(arena_.begin() + static_cast<ptrdiff_t>(src), ids.size(),
+                arena_.begin() + static_cast<ptrdiff_t>(offset));
   } else {
-    sets_.emplace_back(ids.begin(), ids.end());
+    arena_.insert(arena_.end(), ids.begin(), ids.end());
   }
-  total_elements_ += ids.size();
-  bucket.push_back(id);
+  records_.push_back(SetRecord{offset, static_cast<uint32_t>(ids.size())});
+  // Head insertion into the hash chain.
+  const auto [it, inserted] = index_.emplace(hash, id);
+  if (inserted) {
+    chain_.push_back(kNoSet);
+  } else {
+    chain_.push_back(it->second);
+    it->second = id;
+  }
   return id;
 }
 
+SetId SkylineSetPool::LookupOrInsert(std::span<const PointId> ids) {
+  assert(SortedUnique(ids));
+  const uint64_t h = HashSpan(ids);
+  if (deduplicate_ || ids.empty()) {
+    const auto it = index_.find(h);
+    if (it != index_.end()) {
+      for (SetId candidate = it->second; candidate != kNoSet;
+           candidate = chain_[candidate]) {
+        const auto existing = Get(candidate);
+        if (existing.size() == ids.size() &&
+            std::equal(existing.begin(), existing.end(), ids.begin())) {
+          return candidate;
+        }
+      }
+    }
+  }
+  return PushSet(ids, h);
+}
+
 SetId SkylineSetPool::Intern(std::vector<PointId> ids) {
-  return LookupOrInsert(ids, /*may_move=*/true, &ids);
+  return LookupOrInsert(ids);
+}
+
+SetId SkylineSetPool::InternCopy(std::span<const PointId> ids) {
+  return LookupOrInsert(ids);
 }
 
 SetId SkylineSetPool::Append(std::vector<PointId> ids) {
   assert(SortedUnique(std::span<const PointId>(ids)));
-  const uint64_t h = HashSpan(std::span<const PointId>(ids));
-  const auto id = static_cast<SetId>(sets_.size());
-  total_elements_ += ids.size();
-  index_[h].push_back(id);
-  sets_.push_back(std::move(ids));
-  return id;
+  return PushSet(ids, HashSpan(ids));
 }
 
-SetId SkylineSetPool::InternCopy(std::span<const PointId> ids) {
-  return LookupOrInsert(ids, /*may_move=*/false, nullptr);
+void SkylineSetPool::AdoptArena(std::vector<PointId> buffer,
+                                const std::vector<uint32_t>& lengths) {
+  assert(records_.size() == 1 && arena_.empty());
+  assert(!lengths.empty() && lengths[0] == 0);
+  arena_ = std::move(buffer);
+  records_.clear();
+  chain_.clear();
+  index_.clear();
+  records_.reserve(lengths.size());
+  chain_.reserve(lengths.size());
+  uint64_t offset = 0;
+  for (size_t s = 0; s < lengths.size(); ++s) {
+    const auto id = static_cast<SetId>(s);
+    records_.push_back(SetRecord{offset, lengths[s]});
+    offset += lengths[s];
+    const uint64_t h = HashSpan(Get(id));
+    const auto [it, inserted] = index_.emplace(h, id);
+    if (inserted) {
+      chain_.push_back(kNoSet);
+    } else {
+      chain_.push_back(it->second);
+      it->second = id;
+    }
+  }
+  assert(offset == arena_.size());
+}
+
+void SkylineSetPool::Freeze() {
+  arena_.shrink_to_fit();
+  records_.shrink_to_fit();
+  chain_.shrink_to_fit();
 }
 
 uint64_t SkylineSetPool::ApproximateMemoryBytes() const {
-  uint64_t bytes = total_elements_ * sizeof(PointId);
-  bytes += sets_.size() * sizeof(std::vector<PointId>);
+  uint64_t bytes = arena_.capacity() * sizeof(PointId);
+  bytes += records_.capacity() * sizeof(SetRecord);
+  bytes += chain_.capacity() * sizeof(SetId);
+  // Closed-addressing hash map: one node per entry plus the bucket array.
   bytes += index_.size() *
-           (sizeof(uint64_t) + sizeof(std::vector<SetId>) + sizeof(void*));
-  for (const auto& [h, bucket] : index_) {
-    bytes += bucket.size() * sizeof(SetId);
-  }
+           (sizeof(std::pair<const uint64_t, SetId>) + sizeof(void*));
+  bytes += index_.bucket_count() * sizeof(void*);
   return bytes;
 }
 

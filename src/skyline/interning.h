@@ -7,6 +7,19 @@
 // id, turning the O(n^3)/O(n^5) worst-case output space into
 // O(#polyominoes * avg skyline size) in practice. The `abl-intern` benchmark
 // quantifies the effect.
+//
+// Storage layout: the pool is an arena. All set members live back to back in
+// one contiguous buffer; each SetId maps to an {offset, length} record into
+// it. Point-location therefore touches exactly two cache lines (record +
+// members) instead of chasing a per-set heap vector, and the per-set overhead
+// is a 16-byte record rather than a 24-byte std::vector header plus its
+// allocation. SetIds are assigned densely in insertion order and are stable
+// for the lifetime of the pool (Freeze() never renumbers).
+//
+// Span validity: spans returned by Get() point into the arena and are
+// invalidated by any subsequent Intern/InternCopy/Append that grows the
+// buffer — consume them before interning again, or copy. (Freeze() also
+// reallocates; existing SetIds stay valid, outstanding spans do not.)
 #ifndef SKYDIA_SRC_SKYLINE_INTERNING_H_
 #define SKYDIA_SRC_SKYLINE_INTERNING_H_
 
@@ -25,8 +38,8 @@ using SetId = uint32_t;
 /// The id every pool assigns to the empty set (always interned first).
 inline constexpr SetId kEmptySetId = 0;
 
-/// Deduplicating store of point-id sets. Sets are canonicalized as ascending
-/// id vectors. Not thread-safe.
+/// Deduplicating arena store of point-id sets. Sets are canonicalized as
+/// ascending id vectors. Not thread-safe.
 class SkylineSetPool {
  public:
   /// `deduplicate == false` disables hash-consing (every Intern call stores a
@@ -46,28 +59,54 @@ class SkylineSetPool {
   /// ascending and duplicate-free.
   SetId Append(std::vector<PointId> ids);
 
-  /// The canonical members of set `id`, ascending.
+  /// Replaces the contents of a freshly constructed pool with a whole arena
+  /// at once: `buffer` holds every set's members back to back, partitioned by
+  /// `lengths` (one entry per set; entry 0 must be 0 for the empty set). The
+  /// v2 deserialization path uses this to adopt the on-disk arena block
+  /// without per-set copies. Rebuilds the dedup index.
+  void AdoptArena(std::vector<PointId> buffer,
+                  const std::vector<uint32_t>& lengths);
+
+  /// The canonical members of set `id`, ascending. Invalidated by the next
+  /// mutating call (see file comment).
   std::span<const PointId> Get(SetId id) const {
-    return std::span<const PointId>(sets_[id]);
+    const SetRecord& r = records_[id];
+    return std::span<const PointId>(arena_.data() + r.offset, r.length);
   }
 
   /// Number of distinct sets (including the empty set).
-  size_t size() const { return sets_.size(); }
+  size_t size() const { return records_.size(); }
 
-  /// Total stored elements across all distinct sets.
-  uint64_t total_elements() const { return total_elements_; }
+  /// Total stored elements across all distinct sets (== arena length).
+  uint64_t total_elements() const { return arena_.size(); }
 
-  /// Approximate heap footprint of the pool in bytes.
+  /// Releases growth slack: shrinks the arena and record tables to their
+  /// exact sizes. Call after construction finishes; the pool stays fully
+  /// usable (later Intern calls simply regrow).
+  void Freeze();
+
+  /// Heap footprint of the pool in bytes. Exact for the arena, record and
+  /// chain storage (capacities, not sizes); the hash index is estimated from
+  /// node and bucket counts.
   uint64_t ApproximateMemoryBytes() const;
 
  private:
-  SetId LookupOrInsert(std::span<const PointId> ids, bool may_move,
-                       std::vector<PointId>* owned);
+  struct SetRecord {
+    uint64_t offset;
+    uint32_t length;
+  };
+  static constexpr SetId kNoSet = ~SetId{0};
 
-  std::vector<std::vector<PointId>> sets_;
-  // hash -> candidate set ids (collision chain).
-  std::unordered_map<uint64_t, std::vector<SetId>> index_;
-  uint64_t total_elements_ = 0;
+  SetId LookupOrInsert(std::span<const PointId> ids);
+  /// Appends the members to the arena and registers the new set in the index
+  /// chain. `ids` may alias the arena itself.
+  SetId PushSet(std::span<const PointId> ids, uint64_t hash);
+
+  std::vector<PointId> arena_;     // all members, back to back
+  std::vector<SetRecord> records_; // SetId -> slice of arena_
+  // hash -> first SetId with that hash; collisions chain through chain_.
+  std::unordered_map<uint64_t, SetId> index_;
+  std::vector<SetId> chain_;       // SetId -> next SetId with the same hash
   bool deduplicate_ = true;
 };
 

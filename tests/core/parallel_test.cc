@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "src/core/dynamic_baseline.h"
+#include "src/core/dynamic_scanning.h"
 #include "src/core/quadrant_baseline.h"
 #include "src/core/quadrant_dsg.h"
 #include "src/datagen/distributions.h"
@@ -59,6 +61,51 @@ TEST(ParallelDsgTest, SinglePoint) {
   const CellDiagram parallel = BuildQuadrantDsgParallel(*ds, 4);
   EXPECT_EQ(parallel.CellSkyline(0, 0).size(), 1u);
   EXPECT_TRUE(parallel.CellSkyline(1, 1).empty());
+}
+
+TEST(ParallelDynamicTest, MatchesSequentialAcrossThreadsAndDistributions) {
+  for (const Distribution dist :
+       {Distribution::kIndependent, Distribution::kCorrelated,
+        Distribution::kAnticorrelated}) {
+    DataGenOptions options;
+    options.n = 28;
+    options.domain_size = 48;
+    options.distribution = dist;
+    options.seed = 17;
+    auto ds = GenerateDataset(options);
+    ASSERT_TRUE(ds.ok());
+    const SubcellDiagram sequential = BuildDynamicScanning(*ds);
+    for (const int threads : {1, 2, 7}) {
+      const SubcellDiagram parallel = BuildDynamicScanningParallel(*ds, threads);
+      EXPECT_TRUE(parallel.SameResults(sequential))
+          << DistributionName(dist) << ", " << threads << " threads";
+    }
+  }
+}
+
+TEST(ParallelDynamicTest, MatchesBaselineOnTieHeavyData) {
+  // A tiny domain makes grid and bisector lines coincide heavily — the
+  // adversarial case for the incremental candidate propagation.
+  const Dataset ds = RandomDataset(24, 6, 23);
+  const SubcellDiagram baseline = BuildDynamicBaseline(ds);
+  const SubcellDiagram parallel = BuildDynamicScanningParallel(ds, 4);
+  EXPECT_TRUE(parallel.SameResults(baseline));
+}
+
+TEST(ParallelDynamicTest, MoreThreadsThanRows) {
+  auto ds = Dataset::Create({{1, 1}, {2, 3}}, 8);
+  ASSERT_TRUE(ds.ok());
+  const SubcellDiagram sequential = BuildDynamicScanning(*ds);
+  const SubcellDiagram parallel = BuildDynamicScanningParallel(*ds, 16);
+  EXPECT_TRUE(parallel.SameResults(sequential));
+}
+
+TEST(ParallelDynamicTest, SinglePoint) {
+  auto ds = Dataset::Create({{3, 3}}, 8);
+  ASSERT_TRUE(ds.ok());
+  const SubcellDiagram sequential = BuildDynamicScanning(*ds);
+  const SubcellDiagram parallel = BuildDynamicScanningParallel(*ds, 4);
+  EXPECT_TRUE(parallel.SameResults(sequential));
 }
 
 }  // namespace

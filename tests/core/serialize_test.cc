@@ -132,6 +132,61 @@ TEST(SerializeTest, RejectsKindConfusion) {
   EXPECT_FALSE(ParseSubcellDiagram(cell_bytes).ok());
 }
 
+// --- format versioning -------------------------------------------------------
+
+#include "tests/core/serialize_v1_fixture.inc"
+
+TEST(SerializeTest, WritesVersion2Magic) {
+  const std::string bytes = ValidBytes();
+  ASSERT_GE(bytes.size(), 8u);
+  EXPECT_EQ(bytes.substr(0, 8), "SKYDIAG2");
+}
+
+TEST(SerializeTest, V1CellFixtureStillLoads) {
+  const std::string bytes(kV1CellBlob, kV1CellBlob_len);
+  ASSERT_EQ(bytes.substr(0, 8), "SKYDIAG1");
+  auto loaded = ParseCellDiagram(bytes);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+
+  // The blob was written for exactly this dataset/diagram; the v1 reader
+  // must reproduce it content-identically.
+  const Dataset ds = RandomDataset(10, 16, 11);
+  EXPECT_EQ(loaded->dataset.points(), ds.points());
+  const CellDiagram rebuilt = BuildQuadrantScanning(ds);
+  EXPECT_TRUE(loaded->diagram.SameResults(rebuilt));
+}
+
+TEST(SerializeTest, V1SubcellFixtureStillLoads) {
+  const std::string bytes(kV1SubcellBlob, kV1SubcellBlob_len);
+  ASSERT_EQ(bytes.substr(0, 8), "SKYDIAG1");
+  auto loaded = ParseSubcellDiagram(bytes);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+
+  const Dataset ds = RandomDataset(8, 12, 13);
+  EXPECT_EQ(loaded->dataset.points(), ds.points());
+  const SubcellDiagram rebuilt = BuildDynamicScanning(ds);
+  EXPECT_TRUE(loaded->diagram.SameResults(rebuilt));
+}
+
+TEST(SerializeTest, V1RoundTripsThroughV2) {
+  // Load the v1 fixture, re-serialize (always v2), reload: still equal.
+  auto loaded = ParseCellDiagram(std::string(kV1CellBlob, kV1CellBlob_len));
+  ASSERT_TRUE(loaded.ok());
+  const std::string v2 = SerializeCellDiagram(loaded->dataset, loaded->diagram);
+  EXPECT_EQ(v2.substr(0, 8), "SKYDIAG2");
+  auto reloaded = ParseCellDiagram(v2);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status();
+  EXPECT_TRUE(reloaded->diagram.SameResults(loaded->diagram));
+}
+
+TEST(SerializeTest, RejectsUnknownVersion) {
+  std::string bytes = ValidBytes();
+  bytes[7] = '3';
+  auto loaded = ParseCellDiagram(bytes);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+}
+
 TEST(SerializeTest, NoDedupPoolSurvives) {
   // Diagrams built without interning store duplicate sets; Append-based
   // reconstruction must keep cell->content intact.

@@ -73,5 +73,83 @@ TEST(InterningTest, ManySetsStressAndMemoryAccounting) {
   EXPECT_GT(pool.ApproximateMemoryBytes(), 3000u * sizeof(PointId));
 }
 
+TEST(InterningTest, ArenaStorageIsContiguous) {
+  SkylineSetPool pool;
+  const SetId a = pool.Intern({1, 2, 3});
+  const SetId b = pool.Intern({4, 5});
+  // Sets live back-to-back in one buffer, in intern order.
+  const auto sa = pool.Get(a);
+  const auto sb = pool.Get(b);
+  EXPECT_EQ(sa.data() + sa.size(), sb.data());
+}
+
+TEST(InterningTest, AppendSkipsDeduplication) {
+  SkylineSetPool pool;
+  const SetId a = pool.Intern({1, 2, 3});
+  const SetId b = pool.Append({1, 2, 3});
+  EXPECT_NE(a, b);  // verbatim reload: a duplicate stays a separate set
+  const auto span = pool.Get(b);
+  EXPECT_EQ(std::vector<PointId>(span.begin(), span.end()),
+            (std::vector<PointId>{1, 2, 3}));
+}
+
+TEST(InterningTest, InternCopyOfOwnSpanIsSafe) {
+  // The source span aliases the arena; growth during insertion must not
+  // read freed memory or corrupt the copy.
+  SkylineSetPool pool(/*deduplicate=*/false);
+  const SetId first = pool.Intern({10, 20, 30});
+  for (int i = 0; i < 64; ++i) {
+    const SetId copy = pool.InternCopy(pool.Get(first));
+    const auto span = pool.Get(copy);
+    ASSERT_EQ(std::vector<PointId>(span.begin(), span.end()),
+              (std::vector<PointId>{10, 20, 30}));
+  }
+}
+
+TEST(InterningTest, FreezePreservesIdsAndContents) {
+  SkylineSetPool pool;
+  std::vector<SetId> ids;
+  for (uint32_t i = 0; i < 100; ++i) ids.push_back(pool.Intern({i, i + 7}));
+  pool.Freeze();
+  for (uint32_t i = 0; i < 100; ++i) {
+    const auto span = pool.Get(ids[i]);
+    EXPECT_EQ(std::vector<PointId>(span.begin(), span.end()),
+              (std::vector<PointId>{i, i + 7}));
+  }
+  // The pool stays usable after Freeze: interning an existing set still
+  // dedups, and new sets can still be added.
+  EXPECT_EQ(pool.Intern({3, 10}), ids[3]);
+  EXPECT_EQ(pool.Intern({999, 1000}), ids.size() + 1);
+}
+
+TEST(InterningTest, FreezeMakesAccountingExact) {
+  SkylineSetPool pool;
+  for (uint32_t i = 0; i < 500; ++i) pool.Intern({i, i + 1, i + 2, i + 3});
+  pool.Freeze();
+  // After shrinking, the arena term of the estimate equals the live data:
+  // everything beyond elements + records is index overhead, bounded well
+  // below the old per-set vector-header cost (24 bytes/set).
+  const size_t floor =
+      pool.total_elements() * sizeof(PointId) + pool.size() * 12;
+  EXPECT_GE(pool.ApproximateMemoryBytes(), floor);
+}
+
+TEST(InterningTest, AdoptArenaRebuildsPool) {
+  SkylineSetPool pool;
+  // 3 sets: {}, {2, 4}, {9}; buffer laid out back-to-back.
+  pool.AdoptArena({2, 4, 9}, {0, 2, 1});
+  ASSERT_EQ(pool.size(), 3u);
+  EXPECT_TRUE(pool.Get(0).empty());
+  const auto s1 = pool.Get(1);
+  EXPECT_EQ(std::vector<PointId>(s1.begin(), s1.end()),
+            (std::vector<PointId>{2, 4}));
+  const auto s2 = pool.Get(2);
+  EXPECT_EQ(std::vector<PointId>(s2.begin(), s2.end()),
+            (std::vector<PointId>{9}));
+  EXPECT_EQ(pool.total_elements(), 3u);
+  // The rebuilt index dedups future interns against adopted content.
+  EXPECT_EQ(pool.Intern({9}), 2u);
+}
+
 }  // namespace
 }  // namespace skydia

@@ -169,6 +169,10 @@ int CmdBuild(const Flags& flags) {
   if (type == "quadrant" && threads > 1) {
     const CellDiagram diagram = BuildQuadrantDsgParallel(*dataset, threads);
     saved = SaveCellDiagram(*dataset, diagram, out);
+  } else if (type == "dynamic" && threads > 1) {
+    const SubcellDiagram diagram =
+        BuildDynamicScanningParallel(*dataset, threads);
+    saved = SaveSubcellDiagram(*dataset, diagram, out);
   } else if (type == "quadrant" || type == "global") {
     const SkylineQueryType qt = type == "quadrant"
                                     ? SkylineQueryType::kQuadrant
@@ -249,6 +253,8 @@ int CmdStats(const Flags& flags) {
                   << "cells: " << stats.num_cells << "\n"
                   << "polyominoes: " << merged.num_polyominoes() << "\n"
                   << "distinct results: " << stats.num_distinct_sets << "\n"
+                  << "result elements: " << stats.total_set_elements << "\n"
+                  << "arena bytes: " << stats.pool_bytes << "\n"
                   << "approx bytes: " << stats.approx_bytes << "\n";
         return 0;
       },
@@ -259,6 +265,8 @@ int CmdStats(const Flags& flags) {
                   << "domain: " << loaded->dataset.domain_size() << "\n"
                   << "subcells: " << stats.num_subcells << "\n"
                   << "distinct results: " << stats.num_distinct_sets << "\n"
+                  << "result elements: " << stats.total_set_elements << "\n"
+                  << "arena bytes: " << stats.pool_bytes << "\n"
                   << "approx bytes: " << stats.approx_bytes << "\n";
         return 0;
       });
