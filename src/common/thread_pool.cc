@@ -16,6 +16,8 @@ ThreadPool::ThreadPool(size_t num_threads) {
 }
 
 ThreadPool::~ThreadPool() {
+  // Workers drain the queue before exiting (WorkerLoop only returns on an
+  // empty queue), so everything submitted before destruction still runs.
   {
     std::unique_lock<std::mutex> lock(mu_);
     shutdown_ = true;
@@ -43,6 +45,12 @@ void ThreadPool::ParallelFor(size_t count,
   if (count == 0) return;
   // Chunked dynamic scheduling: one shared counter, each worker grabs the
   // next index. Chunk size 1 is fine — diagram rows are coarse tasks.
+  //
+  // `relaxed` is intentional: the counter only dispenses indices and carries
+  // no data. Publication of fn(i)'s writes to the caller rides the mu_
+  // handshake inside WaitIdle(), not this atomic. Capturing `fn` by reference
+  // is safe for the same reason — WaitIdle() barriers before it goes out of
+  // scope.
   auto next = std::make_shared<std::atomic<size_t>>(0);
   const size_t tasks = std::min(count, num_threads());
   for (size_t t = 0; t < tasks; ++t) {

@@ -17,6 +17,16 @@ namespace skydia {
 
 /// Fixed-size worker pool. Exceptions must not escape tasks (the library is
 /// exception-free); a task that throws terminates the process.
+///
+/// Synchronization protocol (checked by the TSan CI job via
+/// tests/core/parallel_stress_test.cc): every shared member — `queue_`,
+/// `active_`, `shutdown_` — is read and written only under `mu_`. Task side
+/// effects are published to the caller through a mutex handshake: a worker
+/// finishes a task, then takes `mu_` to decrement `active_`; WaitIdle()
+/// observes `active_ == 0` under the same mutex, so everything the task wrote
+/// happens-before anything the caller reads after WaitIdle() returns. Tasks
+/// themselves synchronize with nothing — they must write disjoint data or
+/// bring their own atomics.
 class ThreadPool {
  public:
   /// Starts `num_threads` workers (>= 1).

@@ -1,11 +1,47 @@
 #include "src/core/diagram.h"
 
+#include "src/common/logging.h"
 #include "src/core/dynamic_baseline.h"
 #include "src/core/dynamic_scanning.h"
 #include "src/core/dynamic_subset.h"
+#include "src/core/validate.h"
 #include "src/skyline/query.h"
 
 namespace skydia {
+
+namespace {
+
+// Debug builds re-check every freshly built diagram against the structural
+// invariants plus a few sampled brute-force queries (src/core/validate.h).
+// Release/RelWithDebInfo builds skip this entirely.
+#ifndef NDEBUG
+constexpr size_t kDebugValidateSamples = 4;
+
+void DebugValidate(const SkylineDiagram& diagram,
+                   const SkylineBuildOptions& options) {
+  ValidateOptions validate;
+  validate.sample_queries = kDebugValidateSamples;
+  validate.require_canonical_pool = options.diagram.intern_result_sets;
+  Status status;
+  if (diagram.cell_diagram() != nullptr) {
+    validate.semantics = diagram.type() == SkylineQueryType::kQuadrant
+                             ? CellSemantics::kQuadrant
+                             : CellSemantics::kGlobal;
+    status =
+        ValidateDiagram(diagram.dataset(), *diagram.cell_diagram(), validate);
+  } else {
+    status = ValidateDiagram(diagram.dataset(), *diagram.subcell_diagram(),
+                             validate);
+  }
+  if (!status.ok()) {
+    SKYDIA_LOG(Error) << "freshly built " << SkylineQueryTypeName(diagram.type())
+                      << " diagram violates its invariants: " << status;
+  }
+  SKYDIA_CHECK(status.ok());
+}
+#endif  // NDEBUG
+
+}  // namespace
 
 const char* SkylineQueryTypeName(SkylineQueryType type) {
   switch (type) {
@@ -65,6 +101,9 @@ StatusOr<SkylineDiagram> SkylineDiagram::Build(Dataset dataset,
       }
       break;
   }
+#ifndef NDEBUG
+  DebugValidate(diagram, options);
+#endif
   return diagram;
 }
 

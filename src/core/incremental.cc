@@ -32,7 +32,10 @@ StatusOr<PointId> IncrementalQuadrantDiagram::Insert(const Point2D& p) {
   if (dataset_.has_labels()) {
     labels.reserve(points.size());
     for (PointId id = 0; id < new_id; ++id) labels.push_back(dataset_.label(id));
-    labels.push_back("p" + std::to_string(new_id));
+    // insert-based to dodge GCC 12's -Wrestrict false positive (PR 105651)
+    // on `"p" + std::to_string(...)` at -O2.
+    labels.push_back(std::to_string(new_id));
+    labels.back().insert(0, 1, 'p');
   }
   auto new_dataset = Dataset::Create(std::move(points), dataset_.domain_size(),
                                      std::move(labels));

@@ -7,6 +7,7 @@
 #include "src/common/logging.h"
 #include "src/common/thread_pool.h"
 #include "src/core/sweep_kernel.h"
+#include "src/core/validate.h"
 #include "src/skyline/dsg.h"
 #include "src/skyline/interning.h"
 
@@ -14,12 +15,35 @@ namespace skydia {
 
 namespace {
 
-// One stripe's output: row-major SetIds into its private pool.
+// One stripe's output: row-major SetIds into its private pool. Workers write
+// disjoint StripeResult slots with no locking; the writes become visible to
+// the merging thread through the WaitIdle() mutex handshake at the end of
+// ThreadPool::ParallelFor.
 struct StripeResult {
   StripeRange rows;
   std::unique_ptr<SkylineSetPool> pool;
   std::vector<SetId> cells;
 };
+
+// Debug builds re-check the merged diagram (mirrors the assertion in
+// SkylineDiagram::Build; the parallel builders bypass that entry point).
+#ifndef NDEBUG
+template <typename Diagram>
+void DebugValidateParallel(const Dataset& dataset, const Diagram& diagram,
+                           const DiagramOptions& options,
+                           CellSemantics semantics) {
+  ValidateOptions validate;
+  validate.sample_queries = 4;
+  validate.semantics = semantics;
+  validate.require_canonical_pool = options.intern_result_sets;
+  const Status status = ValidateDiagram(dataset, diagram, validate);
+  if (!status.ok()) {
+    SKYDIA_LOG(Error) << "parallel-built diagram violates its invariants: "
+                      << status;
+  }
+  SKYDIA_CHECK(status.ok());
+}
+#endif  // NDEBUG
 
 }  // namespace
 
@@ -90,6 +114,9 @@ CellDiagram BuildQuadrantDsgParallel(const Dataset& dataset, int num_threads,
     }
   }
   diagram.pool().Freeze();
+#ifndef NDEBUG
+  DebugValidateParallel(dataset, diagram, options, CellSemantics::kQuadrant);
+#endif
   return diagram;
 }
 
@@ -145,6 +172,9 @@ SubcellDiagram BuildDynamicScanningParallel(const Dataset& dataset,
     }
   }
   diagram.pool().Freeze();
+#ifndef NDEBUG
+  DebugValidateParallel(dataset, diagram, options, CellSemantics::kAuto);
+#endif
   return diagram;
 }
 

@@ -230,11 +230,15 @@ Status ReadPoolV2(Reader* reader, size_t num_points, SkylineSetPool* pool) {
   if (num_sets == 0) {
     return Status::Corruption("pool must contain the empty set");
   }
-  // Each buffer element takes 4 bytes and each record 12; cap both against
-  // the remaining payload before allocating.
+  // Each buffer element takes 4 bytes and each offset-table record 12; cap
+  // both counts against the remaining payload before allocating, so a forged
+  // header cannot demand a multi-gigabyte buffer the blob does not carry.
   if (buffer_len > reader->remaining() / sizeof(PointId) ||
       num_sets > (uint64_t{1} << 32)) {
     return Status::Corruption("implausible pool arena size");
+  }
+  if (num_sets > (reader->remaining() - buffer_len * sizeof(PointId)) / 12) {
+    return Status::Corruption("pool offset table larger than the payload");
   }
   std::vector<PointId> buffer(buffer_len);
   for (uint64_t i = 0; i < buffer_len; ++i) {
@@ -383,7 +387,8 @@ Status SaveCellDiagram(const Dataset& dataset, const CellDiagram& diagram,
   return WriteFile(path, SerializeCellDiagram(dataset, diagram));
 }
 
-StatusOr<LoadedCellDiagram> ParseCellDiagram(const std::string& bytes) {
+StatusOr<LoadedCellDiagram> ParseCellDiagram(const std::string& bytes,
+                                             const ParseOptions& options) {
   std::string_view payload;
   uint8_t version = 0;
   if (Status s = CheckEnvelope(bytes, kKindCell, &payload, &version); !s.ok()) {
@@ -413,13 +418,20 @@ StatusOr<LoadedCellDiagram> ParseCellDiagram(const std::string& bytes) {
       diagram.set_cell(cx, cy, cells[grid.CellIndex(cx, cy)]);
     }
   }
+  if (options.validate_structure) {
+    if (Status s = ValidateDiagram(*dataset, diagram, options.validate);
+        !s.ok()) {
+      return s;
+    }
+  }
   return LoadedCellDiagram{std::move(dataset).value(), std::move(diagram)};
 }
 
-StatusOr<LoadedCellDiagram> LoadCellDiagram(const std::string& path) {
+StatusOr<LoadedCellDiagram> LoadCellDiagram(const std::string& path,
+                                            const ParseOptions& options) {
   StatusOr<std::string> bytes = ReadFile(path);
   if (!bytes.ok()) return bytes.status();
-  return ParseCellDiagram(*bytes);
+  return ParseCellDiagram(*bytes, options);
 }
 
 std::string SerializeSubcellDiagram(const Dataset& dataset,
@@ -444,7 +456,8 @@ Status SaveSubcellDiagram(const Dataset& dataset,
   return WriteFile(path, SerializeSubcellDiagram(dataset, diagram));
 }
 
-StatusOr<LoadedSubcellDiagram> ParseSubcellDiagram(const std::string& bytes) {
+StatusOr<LoadedSubcellDiagram> ParseSubcellDiagram(
+    const std::string& bytes, const ParseOptions& options) {
   std::string_view payload;
   uint8_t version = 0;
   if (Status s = CheckEnvelope(bytes, kKindSubcell, &payload, &version);
@@ -475,13 +488,20 @@ StatusOr<LoadedSubcellDiagram> ParseSubcellDiagram(const std::string& bytes) {
       diagram.set_subcell(sx, sy, cells[grid.SubcellIndex(sx, sy)]);
     }
   }
+  if (options.validate_structure) {
+    if (Status s = ValidateDiagram(*dataset, diagram, options.validate);
+        !s.ok()) {
+      return s;
+    }
+  }
   return LoadedSubcellDiagram{std::move(dataset).value(), std::move(diagram)};
 }
 
-StatusOr<LoadedSubcellDiagram> LoadSubcellDiagram(const std::string& path) {
+StatusOr<LoadedSubcellDiagram> LoadSubcellDiagram(const std::string& path,
+                                                  const ParseOptions& options) {
   StatusOr<std::string> bytes = ReadFile(path);
   if (!bytes.ok()) return bytes.status();
-  return ParseSubcellDiagram(*bytes);
+  return ParseSubcellDiagram(*bytes, options);
 }
 
 }  // namespace skydia

@@ -77,7 +77,7 @@ std::vector<std::vector<PointId>> SubcellGrid::BuildContributors(
     // line is a bisector (or grid line) p is party to.
     for (const auto& [value, ids] : by_value) {
       const int64_t partner = line - value;
-      if (by_value.count(partner)) {
+      if (by_value.contains(partner)) {
         out.insert(out.end(), ids.begin(), ids.end());
       }
     }

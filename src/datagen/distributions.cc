@@ -115,12 +115,12 @@ StatusOr<DatasetNd> GenerateDatasetNd(const DataGenOptions& options,
         int64_t v = sample[d];
         for (int64_t delta = 0;; ++delta) {
           const int64_t up = v + delta;
-          if (up < options.domain_size && !used[d].count(up)) {
+          if (up < options.domain_size && !used[d].contains(up)) {
             v = up;
             break;
           }
           const int64_t down = v - delta;
-          if (down >= 0 && !used[d].count(down)) {
+          if (down >= 0 && !used[d].contains(down)) {
             v = down;
             break;
           }

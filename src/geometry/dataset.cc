@@ -26,7 +26,11 @@ StatusOr<Dataset> Dataset::Create(std::vector<Point2D> points,
 
 std::string Dataset::label(PointId id) const {
   if (id < labels_.size()) return labels_[id];
-  return "p" + std::to_string(id);
+  // Built via insert rather than `"p" + ...`: the operator+ form trips GCC
+  // 12's -Wrestrict false positive (PR 105651) at -O2 under -Werror.
+  std::string label = std::to_string(id);
+  label.insert(0, 1, 'p');
+  return label;
 }
 
 bool Dataset::HasDistinctCoordinates() const {

@@ -77,6 +77,17 @@ class SkylineSetPool {
   /// Number of distinct sets (including the empty set).
   size_t size() const { return records_.size(); }
 
+  /// Arena offset of set `id`'s members (record introspection for the
+  /// structural validator; see src/core/validate.h). Together with
+  /// `Get(id).size()` this exposes the full {offset, length} record.
+  uint64_t record_offset(SetId id) const { return records_[id].offset; }
+
+  /// Whether Intern/InternCopy hash-cons (true except for the
+  /// interning-ablation pools). Note a deduplicating pool can still hold
+  /// duplicate contents when populated via Append/AdoptArena — deserialized
+  /// pools reproduce whatever the writer stored.
+  bool deduplicates() const { return deduplicate_; }
+
   /// Total stored elements across all distinct sets (== arena length).
   uint64_t total_elements() const { return arena_.size(); }
 

@@ -1,0 +1,140 @@
+// Concurrency stress tests, written to be run under ThreadSanitizer (the
+// `tsan` CMake preset / CI job). They hammer the ThreadPool primitive and the
+// two parallel diagram builders at varying thread counts, maximising
+// cross-thread interleavings: plain (non-atomic) writes that must be
+// published by the pool's mutex handshake, pool reuse across rounds, nested
+// submission, and teardown with a loaded queue. Under TSan any missing
+// happens-before edge is a hard failure; under a plain build the tests still
+// verify the functional results.
+#include <atomic>
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/thread_pool.h"
+#include "src/core/parallel.h"
+#include "src/core/dynamic_scanning.h"
+#include "src/core/quadrant_dsg.h"
+#include "tests/testing/util.h"
+
+namespace skydia {
+namespace {
+
+using skydia::testing::RandomDataset;
+
+TEST(ThreadPoolStressTest, ParallelForCoversEveryIndexExactlyOnce) {
+  // Plain int writes: only the WaitIdle barrier makes them visible to the
+  // checking thread. TSan flags the pool if that edge is missing.
+  for (const size_t threads : {1u, 2u, 3u, 8u, 16u}) {
+    ThreadPool pool(threads);
+    for (const size_t count : {0u, 1u, 7u, 64u, 1013u}) {
+      std::vector<int> hits(count, 0);
+      pool.ParallelFor(count, [&hits](size_t i) { ++hits[i]; });
+      EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), size_t{0}), count)
+          << threads << " threads, " << count << " indices";
+    }
+  }
+}
+
+TEST(ThreadPoolStressTest, ReuseAcrossRoundsPublishesPriorWrites) {
+  // Each round reads the values the previous round wrote — likely from a
+  // different worker thread — so every round depends on the inter-round
+  // happens-before chain through WaitIdle.
+  constexpr size_t kIndices = 257;
+  constexpr int kRounds = 50;
+  ThreadPool pool(8);
+  std::vector<int> counters(kIndices, 0);
+  for (int round = 0; round < kRounds; ++round) {
+    pool.ParallelFor(kIndices, [&counters, round](size_t i) {
+      EXPECT_EQ(counters[i], round);
+      ++counters[i];
+    });
+  }
+  for (const int value : counters) EXPECT_EQ(value, kRounds);
+}
+
+TEST(ThreadPoolStressTest, SubmitWaitIdleDrainsEverything) {
+  ThreadPool pool(5);
+  std::atomic<size_t> done{0};
+  constexpr size_t kTasks = 2000;
+  for (size_t i = 0; i < kTasks; ++i) {
+    pool.Submit([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(done.load(), kTasks);
+}
+
+TEST(ThreadPoolStressTest, NestedSubmissionRunsBeforeIdle) {
+  // Tasks that enqueue children before returning: WaitIdle must not report
+  // idle between a parent finishing and its already-enqueued child starting.
+  ThreadPool pool(4);
+  std::atomic<size_t> done{0};
+  constexpr size_t kParents = 100;
+  for (size_t i = 0; i < kParents; ++i) {
+    pool.Submit([&pool, &done] {
+      pool.Submit([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+      done.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(done.load(), 2 * kParents);
+}
+
+TEST(ThreadPoolStressTest, DestructorDrainsLoadedQueue) {
+  // ~ThreadPool drains whatever was submitted; repeated create/destroy also
+  // stresses worker startup racing against immediate shutdown.
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<size_t> done{0};
+    {
+      ThreadPool pool(3);
+      for (size_t i = 0; i < 64; ++i) {
+        pool.Submit([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+      }
+    }
+    EXPECT_EQ(done.load(), 64u);
+  }
+}
+
+TEST(ParallelBuilderStressTest, QuadrantMatchesSequentialUnderRepetition) {
+  const Dataset ds = RandomDataset(80, 64, 29);
+  const CellDiagram sequential = BuildQuadrantDsg(ds);
+  for (int round = 0; round < 3; ++round) {
+    for (const int threads : {2, 3, 5, 8, 13}) {
+      const CellDiagram parallel = BuildQuadrantDsgParallel(ds, threads);
+      EXPECT_TRUE(parallel.SameResults(sequential))
+          << "round " << round << ", " << threads << " threads";
+    }
+  }
+}
+
+TEST(ParallelBuilderStressTest, DynamicMatchesSequentialUnderRepetition) {
+  const Dataset ds = RandomDataset(36, 48, 31);
+  const SubcellDiagram sequential = BuildDynamicScanning(ds);
+  for (int round = 0; round < 3; ++round) {
+    for (const int threads : {2, 3, 5, 8, 13}) {
+      const SubcellDiagram parallel = BuildDynamicScanningParallel(ds, threads);
+      EXPECT_TRUE(parallel.SameResults(sequential))
+          << "round " << round << ", " << threads << " threads";
+    }
+  }
+}
+
+TEST(ParallelBuilderStressTest, InterleavedFamiliesShareNothing) {
+  // Both builders create private pools; alternating them back-to-back would
+  // surface any accidental shared mutable state between the two paths.
+  const Dataset ds = RandomDataset(48, 48, 37);
+  const CellDiagram cell_reference = BuildQuadrantDsg(ds);
+  const SubcellDiagram subcell_reference = BuildDynamicScanning(ds);
+  for (int round = 0; round < 4; ++round) {
+    const int threads = 2 + round;
+    EXPECT_TRUE(
+        BuildQuadrantDsgParallel(ds, threads).SameResults(cell_reference));
+    EXPECT_TRUE(BuildDynamicScanningParallel(ds, threads)
+                    .SameResults(subcell_reference));
+  }
+}
+
+}  // namespace
+}  // namespace skydia

@@ -1,9 +1,11 @@
 #include "src/core/serialize.h"
 
 #include <cstdio>
+#include <cstring>
 
 #include <gtest/gtest.h>
 
+#include "src/common/sha256.h"
 #include "src/core/dynamic_scanning.h"
 #include "src/core/quadrant_scanning.h"
 #include "src/datagen/real_data.h"
@@ -130,6 +132,114 @@ TEST(SerializeTest, RejectsKindConfusion) {
   const CellDiagram cells = BuildQuadrantScanning(ds);
   const std::string cell_bytes = SerializeCellDiagram(ds, cells);
   EXPECT_FALSE(ParseSubcellDiagram(cell_bytes).ok());
+}
+
+// --- v2 pool offset-table hardening ------------------------------------------
+//
+// The checksum catches random damage, but a malicious (or buggy) writer can
+// produce a correctly checksummed blob whose pool offset table points outside
+// the arena buffer, or whose header demands absurd allocations. These must be
+// rejected by the structural checks with a Corruption status — never by
+// reading out of bounds or by attempting a multi-gigabyte allocation.
+
+uint64_t ReadU64At(const std::string& bytes, size_t pos) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= uint64_t{static_cast<uint8_t>(bytes[pos + i])} << (8 * i);
+  }
+  return v;
+}
+
+void WriteU64At(std::string* bytes, size_t pos, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    (*bytes)[pos + i] = static_cast<char>(v >> (8 * i));
+  }
+}
+
+void WriteU32At(std::string* bytes, size_t pos, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    (*bytes)[pos + i] = static_cast<char>(v >> (8 * i));
+  }
+}
+
+// Re-signs a hand-corrupted blob so only the structural checks can reject it.
+void Rechecksum(std::string* bytes) {
+  const size_t body = bytes->size() - 32;
+  const Sha256Digest digest = Sha256::Hash(bytes->data(), body);
+  std::memcpy(bytes->data() + body, digest.data(), digest.size());
+}
+
+// Byte layout of a label-free v2 cell blob (see serialize.cc file comment):
+// magic+version+kind (9), dataset (8 domain + 8 n + 16n points + 1 label
+// flag), then the pool block.
+struct PoolLayout {
+  size_t header_pos;  // num_sets u64, buffer_len u64
+  size_t buffer_pos;
+  size_t table_pos;   // num_sets x (offset u64, length u32)
+  uint64_t num_sets;
+  uint64_t buffer_len;
+};
+
+PoolLayout LocatePool(const std::string& bytes) {
+  PoolLayout layout;
+  const uint64_t n = ReadU64At(bytes, 9 + 8);
+  layout.header_pos = 9 + 16 + 16 * n + 1;
+  layout.num_sets = ReadU64At(bytes, layout.header_pos);
+  layout.buffer_len = ReadU64At(bytes, layout.header_pos + 8);
+  layout.buffer_pos = layout.header_pos + 16;
+  layout.table_pos = layout.buffer_pos + 4 * layout.buffer_len;
+  return layout;
+}
+
+TEST(SerializeTest, RejectsOffsetTablePointingPastBufferEnd) {
+  std::string bytes = ValidBytes();
+  const PoolLayout pool = LocatePool(bytes);
+  ASSERT_GE(pool.num_sets, 2u);
+  // Point record 1 far past the arena buffer and re-sign the blob.
+  WriteU64At(&bytes, pool.table_pos + 12, pool.buffer_len + 1000);
+  Rechecksum(&bytes);
+  auto loaded = ParseCellDiagram(bytes);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+}
+
+TEST(SerializeTest, RejectsRecordLengthOverrunningBuffer) {
+  std::string bytes = ValidBytes();
+  const PoolLayout pool = LocatePool(bytes);
+  ASSERT_GE(pool.num_sets, 2u);
+  // Record 1 keeps its canonical offset but claims more members than the
+  // buffer holds.
+  WriteU32At(&bytes, pool.table_pos + 12 + 8,
+             static_cast<uint32_t>(pool.buffer_len + 5));
+  Rechecksum(&bytes);
+  auto loaded = ParseCellDiagram(bytes);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+}
+
+TEST(SerializeTest, RejectsImplausibleSetCountWithoutAllocating) {
+  std::string bytes = ValidBytes();
+  const PoolLayout pool = LocatePool(bytes);
+  // 2^31 sets would demand an 8 GiB offset-table allocation before the fix;
+  // the reader must reject against the actual payload size instead.
+  WriteU64At(&bytes, pool.header_pos, uint64_t{1} << 31);
+  Rechecksum(&bytes);
+  auto loaded = ParseCellDiagram(bytes);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+}
+
+TEST(SerializeTest, RejectsNonCanonicalGapInOffsetTable) {
+  std::string bytes = ValidBytes();
+  const PoolLayout pool = LocatePool(bytes);
+  ASSERT_GE(pool.num_sets, 3u);
+  // Shift record 2 forward by one element: records must tile back to back.
+  const uint64_t offset = ReadU64At(bytes, pool.table_pos + 24);
+  WriteU64At(&bytes, pool.table_pos + 24, offset + 1);
+  Rechecksum(&bytes);
+  auto loaded = ParseCellDiagram(bytes);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
 }
 
 // --- format versioning -------------------------------------------------------

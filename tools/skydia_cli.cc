@@ -8,6 +8,7 @@
 //          [--algo scanning] [--threads 1] --out diagram.skd
 //   skydia query   --diagram diagram.skd --qx 10 --qy 80 [--exact]
 //   skydia stats   --diagram diagram.skd
+//   skydia check   diagram.skd [--samples 64] [--seed 1]
 //   skydia render  --diagram diagram.skd --out diagram.svg [--labels]
 //
 // Exit code 0 on success; errors print to stderr.
@@ -26,6 +27,7 @@
 #include "src/core/parallel.h"
 #include "src/core/render_svg.h"
 #include "src/core/serialize.h"
+#include "src/core/validate.h"
 #include "src/datagen/distributions.h"
 #include "src/datagen/real_data.h"
 #include "src/skyline/query.h"
@@ -71,7 +73,7 @@ class Flags {
     const auto it = values_.find(name);
     return it != values_.end() && it->second != "false";
   }
-  bool Has(const std::string& name) const { return values_.count(name) > 0; }
+  bool Has(const std::string& name) const { return values_.contains(name); }
 
  private:
   std::map<std::string, std::string> values_;
@@ -95,6 +97,9 @@ void PrintUsage() {
          "           --out diagram.skd\n"
          "  query    --diagram diagram.skd --qx X --qy Y [--exact]\n"
          "  stats    --diagram diagram.skd\n"
+         "  check    <diagram.skd> [--samples N] [--seed K]\n"
+         "           [--allow-duplicate-sets]  (validate invariants;\n"
+         "           non-zero exit on corruption)\n"
          "  render   --diagram diagram.skd --out out.svg [--labels]\n"
          "  hotels   (print the paper's Figure 1 example)\n";
 }
@@ -272,6 +277,51 @@ int CmdStats(const Flags& flags) {
       });
 }
 
+// Validates every invariant of a stored diagram (src/core/validate.h) and
+// exits non-zero on the first violation. The file's checksum and field-level
+// structure are already verified by the loader; `check` additionally proves
+// the decoded diagram is a well-formed skyline diagram and spot-checks stored
+// results against brute-force queries.
+int CmdCheck(const Flags& flags, const std::string& positional_path) {
+  std::string path = flags.GetString("diagram");
+  if (path.empty()) path = positional_path;
+  if (path.empty()) return Fail("usage: skydia check <diagram.skd>");
+
+  ValidateOptions validate;
+  validate.sample_queries = static_cast<size_t>(flags.GetInt("samples", 64));
+  validate.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  validate.require_canonical_pool = !flags.GetBool("allow-duplicate-sets");
+
+  auto as_cell = LoadCellDiagram(path);
+  if (as_cell.ok()) {
+    if (Status s = ValidateDiagram(as_cell->dataset, as_cell->diagram, validate);
+        !s.ok()) {
+      return Fail(path + ": " + s.ToString());
+    }
+    std::cout << "ok: cell diagram, " << as_cell->dataset.size()
+              << " points, " << as_cell->diagram.grid().num_cells()
+              << " cells, " << as_cell->diagram.pool().size()
+              << " result sets, " << validate.sample_queries
+              << " sampled queries verified\n";
+    return 0;
+  }
+  auto as_subcell = LoadSubcellDiagram(path);
+  if (as_subcell.ok()) {
+    if (Status s =
+            ValidateDiagram(as_subcell->dataset, as_subcell->diagram, validate);
+        !s.ok()) {
+      return Fail(path + ": " + s.ToString());
+    }
+    std::cout << "ok: subcell diagram, " << as_subcell->dataset.size()
+              << " points, " << as_subcell->diagram.grid().num_subcells()
+              << " subcells, " << as_subcell->diagram.pool().size()
+              << " result sets, " << validate.sample_queries
+              << " sampled queries verified\n";
+    return 0;
+  }
+  return Fail("cannot load " + path + ": " + as_cell.status().ToString());
+}
+
 int CmdRender(const Flags& flags) {
   const std::string out = flags.GetString("out");
   if (out.empty()) return Fail("--out is required");
@@ -319,13 +369,22 @@ int Main(int argc, char** argv) {
     return 1;
   }
   const std::string command = argv[1];
-  const Flags flags(argc, argv, 2);
+  // `check` accepts the diagram path as a positional argument.
+  std::string positional;
+  int first_flag = 2;
+  if (command == "check" && argc > 2 &&
+      std::string(argv[2]).rfind("--", 0) != 0) {
+    positional = argv[2];
+    first_flag = 3;
+  }
+  const Flags flags(argc, argv, first_flag);
   if (!flags.error().empty()) return Fail(flags.error());
 
   if (command == "generate") return CmdGenerate(flags);
   if (command == "build") return CmdBuild(flags);
   if (command == "query") return CmdQuery(flags);
   if (command == "stats") return CmdStats(flags);
+  if (command == "check") return CmdCheck(flags, positional);
   if (command == "render") return CmdRender(flags);
   if (command == "hotels") return CmdHotels();
   PrintUsage();
