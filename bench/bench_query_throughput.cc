@@ -2,10 +2,19 @@
 // query through the diagram is a point-location lookup; computing it from
 // scratch is an O(n log n) scan. This is the paper's core motivation — the
 // skyline counterpart of answering kNN via a Voronoi diagram.
+//
+// Three serving paths over the same query stream:
+//   BM_QueryFromScratch       — no precomputation, linear scan per query
+//   BM_QueryViaIndex          — PointLocationIndex lookup, O(log s)
+//   BM_QueryBatchedParallel   — QueryEngine::AnswerBatch sharded over threads
 #include <benchmark/benchmark.h>
+
+#include <vector>
 
 #include "bench/bench_common.h"
 #include "src/core/diagram.h"
+#include "src/core/point_location.h"
+#include "src/core/query_engine.h"
 #include "src/datagen/workload.h"
 #include "src/skyline/query.h"
 
@@ -36,6 +45,48 @@ void BM_QueryViaQuadrantDiagram(benchmark::State& state) {
 }
 BENCHMARK(BM_QueryViaQuadrantDiagram)->Apply(QueryArgs);
 
+void BM_QueryViaIndex(benchmark::State& state) {
+  const Dataset ds =
+      MakeDataset(state.range(0), 1 << 16, Distribution::kIndependent);
+  auto diagram = SkylineDiagram::Build(ds, SkylineQueryType::kQuadrant);
+  SKYDIA_CHECK(diagram.ok());
+  const PointLocationIndex index(*diagram->cell_diagram());
+  const auto queries = GenerateQueries(ds, kQueries, kBenchSeed);
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto result = index.Query(queries[i++ % kQueries]);
+    benchmark::DoNotOptimize(result.data());
+    benchmark::DoNotOptimize(result.size());
+  }
+}
+BENCHMARK(BM_QueryViaIndex)->Apply(QueryArgs);
+
+void BM_QueryBatchedParallel(benchmark::State& state) {
+  const Dataset ds =
+      MakeDataset(state.range(0), 1 << 16, Distribution::kIndependent);
+  auto diagram = SkylineDiagram::Build(ds, SkylineQueryType::kQuadrant);
+  SKYDIA_CHECK(diagram.ok());
+  QueryEngineOptions options;
+  options.num_threads = static_cast<int>(state.range(1));
+  options.parallel_batch_threshold = 1;
+  const QueryEngine engine(ds, *diagram->cell_diagram(),
+                           SkylineQueryType::kQuadrant, options);
+  const auto queries = GenerateQueries(ds, kQueries, kBenchSeed);
+  std::vector<SetId> out;
+  for (auto _ : state) {
+    engine.AnswerBatch(queries, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kQueries));
+}
+BENCHMARK(BM_QueryBatchedParallel)
+    ->Args({4096, 1})
+    ->Args({4096, 2})
+    ->Args({4096, 4})
+    ->ArgNames({"n", "threads"})
+    ->Unit(benchmark::kMicrosecond);
+
 void BM_QueryFromScratch(benchmark::State& state) {
   const Dataset ds =
       MakeDataset(state.range(0), 1 << 16, Distribution::kIndependent);
@@ -62,6 +113,26 @@ void BM_DynamicQueryViaDiagram(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_DynamicQueryViaDiagram)
+    ->Args({64})
+    ->Args({128})
+    ->ArgNames({"n"})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_DynamicQueryViaIndex(benchmark::State& state) {
+  auto diagram = SkylineDiagram::Build(
+      MakeDataset(state.range(0), 512, Distribution::kIndependent),
+      SkylineQueryType::kDynamic);
+  SKYDIA_CHECK(diagram.ok());
+  const PointLocationIndex index(*diagram->subcell_diagram());
+  const auto queries =
+      GenerateQueries(diagram->dataset(), kQueries, kBenchSeed);
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto result = index.Query(queries[i++ % kQueries]);
+    benchmark::DoNotOptimize(result.data());
+  }
+}
+BENCHMARK(BM_DynamicQueryViaIndex)
     ->Args({64})
     ->Args({128})
     ->ArgNames({"n"})

@@ -1,0 +1,222 @@
+#include "src/core/query_engine.h"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <utility>
+
+#include "src/skyline/query.h"
+
+namespace skydia {
+
+namespace {
+
+/// One direct-mapped memo slot: the last query point that hashed here.
+struct MemoEntry {
+  int64_t x = 0;
+  int64_t y = 0;
+  SetId set = kEmptySetId;
+  bool valid = false;
+};
+
+uint64_t MixQueryPoint(const Point2D& q) {
+  // splitmix64 finalizer over the two coordinates; cheap and well spread
+  // for the clustered query patterns the memo targets.
+  uint64_t h = static_cast<uint64_t>(q.x) * 0x9E3779B97F4A7C15ull +
+               static_cast<uint64_t>(q.y) * 0xC2B2AE3D27D4EB4Full;
+  h ^= h >> 30;
+  h *= 0xBF58476D1CE4E5B9ull;
+  h ^= h >> 27;
+  return h;
+}
+
+uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+QueryEngine::QueryEngine(const Dataset& dataset, const CellDiagram& diagram,
+                         SkylineQueryType semantics,
+                         const QueryEngineOptions& options)
+    : index_(diagram),
+      dataset_(&dataset),
+      semantics_(semantics),
+      options_(options) {
+  if (options_.memo_entries > 0) {
+    options_.memo_entries = std::bit_ceil(options_.memo_entries);
+  }
+  if (options_.num_threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(
+        static_cast<size_t>(options_.num_threads));
+  }
+}
+
+QueryEngine::QueryEngine(const Dataset& dataset, const SubcellDiagram& diagram,
+                         const QueryEngineOptions& options)
+    : index_(diagram),
+      dataset_(&dataset),
+      semantics_(SkylineQueryType::kDynamic),
+      options_(options) {
+  if (options_.memo_entries > 0) {
+    options_.memo_entries = std::bit_ceil(options_.memo_entries);
+  }
+  if (options_.num_threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(
+        static_cast<size_t>(options_.num_threads));
+  }
+}
+
+std::span<const PointId> QueryEngine::Answer(const Point2D& q) const {
+  queries_served_.fetch_add(1, std::memory_order_relaxed);
+  return index_.Query(q);
+}
+
+SetId QueryEngine::AnswerSetId(const Point2D& q) const {
+  queries_served_.fetch_add(1, std::memory_order_relaxed);
+  return index_.LocateSet(q);
+}
+
+std::vector<PointId> QueryEngine::AnswerExact(const Point2D& q) const {
+  // Quadrant answers are exact at every position (half-open cells match the
+  // >= candidate rule); the other semantics only need the oracle when the
+  // query sits exactly on a grid/bisector line.
+  if (semantics_ != SkylineQueryType::kQuadrant && index_.OnBoundary(q)) {
+    queries_served_.fetch_add(1, std::memory_order_relaxed);
+    return semantics_ == SkylineQueryType::kGlobal
+               ? GlobalSkyline(*dataset_, q)
+               : DynamicSkyline(*dataset_, q);
+  }
+  const std::span<const PointId> result = Answer(q);
+  return std::vector<PointId>(result.begin(), result.end());
+}
+
+void QueryEngine::AnswerShard(std::span<const Point2D> queries,
+                              SetId* out) const {
+  const size_t memo_size = options_.memo_entries;
+  std::vector<MemoEntry> memo(memo_size);
+  uint64_t hits = 0;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const Point2D& q = queries[i];
+    const bool sampled = (i % kLatencySampleStride) == 0;
+    const uint64_t start = sampled ? NowNanos() : 0;
+    SetId set;
+    MemoEntry* slot = nullptr;
+    if (memo_size > 0) {
+      slot = &memo[MixQueryPoint(q) & (memo_size - 1)];
+      if (slot->valid && slot->x == q.x && slot->y == q.y) {
+        out[i] = slot->set;
+        ++hits;
+        if (sampled) RecordLatency(NowNanos() - start);
+        continue;
+      }
+    }
+    set = index_.LocateSet(q);
+    if (slot != nullptr) *slot = MemoEntry{q.x, q.y, set, true};
+    out[i] = set;
+    if (sampled) RecordLatency(NowNanos() - start);
+  }
+  queries_served_.fetch_add(queries.size(), std::memory_order_relaxed);
+  memo_hits_.fetch_add(hits, std::memory_order_relaxed);
+}
+
+void QueryEngine::AnswerBatch(std::span<const Point2D> queries,
+                              std::vector<SetId>* out) const {
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  out->resize(queries.size());
+  if (pool_ == nullptr || queries.size() < options_.parallel_batch_threshold) {
+    AnswerShard(queries, out->data());
+    return;
+  }
+  // One contiguous shard per worker: private memo and counters per shard,
+  // disjoint output ranges, publication via the pool's WaitIdle handshake.
+  const size_t shards = pool_->num_threads();
+  const size_t chunk = (queries.size() + shards - 1) / shards;
+  SetId* const out_data = out->data();
+  pool_->ParallelFor(shards, [&](size_t shard) {
+    const size_t begin = shard * chunk;
+    if (begin >= queries.size()) return;
+    const size_t end = std::min(queries.size(), begin + chunk);
+    AnswerShard(queries.subspan(begin, end - begin), out_data + begin);
+  });
+}
+
+std::vector<SetId> QueryEngine::AnswerBatch(
+    std::span<const Point2D> queries) const {
+  std::vector<SetId> out;
+  AnswerBatch(queries, &out);
+  return out;
+}
+
+void QueryEngine::RecordLatency(uint64_t ns) const {
+  const auto bucket = static_cast<size_t>(std::bit_width(ns | 1) - 1);
+  latency_buckets_[std::min(bucket, kLatencyBuckets - 1)].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+QueryEngineStats QueryEngine::Stats() const {
+  QueryEngineStats stats;
+  stats.queries_served = queries_served_.load(std::memory_order_relaxed);
+  stats.memo_hits = memo_hits_.load(std::memory_order_relaxed);
+  stats.batches = batches_.load(std::memory_order_relaxed);
+  uint64_t counts[kLatencyBuckets];
+  for (size_t b = 0; b < kLatencyBuckets; ++b) {
+    counts[b] = latency_buckets_[b].load(std::memory_order_relaxed);
+    stats.latency_samples += counts[b];
+  }
+  if (stats.latency_samples == 0) return stats;
+  const auto percentile = [&](double fraction) {
+    const auto target = static_cast<uint64_t>(
+        fraction * static_cast<double>(stats.latency_samples - 1));
+    uint64_t seen = 0;
+    for (size_t b = 0; b < kLatencyBuckets; ++b) {
+      seen += counts[b];
+      if (counts[b] > 0 && seen > target) {
+        // Midpoint of the power-of-two bucket [2^b, 2^(b+1)).
+        return 1.5 * static_cast<double>(uint64_t{1} << b);
+      }
+    }
+    return 0.0;
+  };
+  stats.p50_latency_ns = percentile(0.50);
+  stats.p99_latency_ns = percentile(0.99);
+  return stats;
+}
+
+StatusOr<ServableDiagram> ServableDiagram::Load(
+    const std::string& path, const QueryEngineOptions& options,
+    SkylineQueryType cell_semantics) {
+  if (cell_semantics == SkylineQueryType::kDynamic) {
+    return Status::InvalidArgument(
+        "cell_semantics must be kQuadrant or kGlobal; dynamic semantics are "
+        "inferred from subcell blobs");
+  }
+  ServableDiagram servable;
+  auto as_cell = LoadCellDiagram(path);
+  if (as_cell.ok()) {
+    servable.cell_ =
+        std::make_unique<LoadedCellDiagram>(std::move(as_cell).value());
+    servable.engine_ = std::make_unique<QueryEngine>(
+        servable.cell_->dataset, servable.cell_->diagram, cell_semantics,
+        options);
+    return servable;
+  }
+  auto as_subcell = LoadSubcellDiagram(path);
+  if (as_subcell.ok()) {
+    servable.subcell_ =
+        std::make_unique<LoadedSubcellDiagram>(std::move(as_subcell).value());
+    servable.engine_ = std::make_unique<QueryEngine>(
+        servable.subcell_->dataset, servable.subcell_->diagram, options);
+    return servable;
+  }
+  return as_cell.status();
+}
+
+const Dataset& ServableDiagram::dataset() const {
+  return cell_ ? cell_->dataset : subcell_->dataset;
+}
+
+}  // namespace skydia

@@ -1,0 +1,178 @@
+// QueryEngine: the batched, thread-parallel query-serving layer over a built
+// skyline diagram — the "answer millions of skyline queries from the
+// precomputed partition" half of the paper's precompute-once story.
+//
+// A single engine wraps one diagram (any of the three semantics) behind a
+// PointLocationIndex and serves:
+//   * Answer(q)        — one O(log s) lookup, span into the interned arena.
+//   * AnswerBatch(qs)  — a batch of queries sharded across a ThreadPool.
+//     Each shard runs with private scratch and an optional small
+//     direct-mapped memo, so repeated query points (the heavy-traffic case:
+//     many users asking from the same place) skip the binary searches.
+//   * AnswerExact(q)   — boundary-exact answers: quadrant answers are exact
+//     everywhere by construction; global/dynamic queries that land exactly
+//     on a grid/bisector line fall back to the O(n log n) oracle
+//     (src/skyline/query.h). See point_location.h for the convention.
+//
+// The engine keeps lightweight serving counters — queries served, memo hits,
+// batches, and a sampled log-bucket latency histogram (every 32nd query in a
+// shard is timed) — exposed through Stats(). Counters are atomics updated
+// with relaxed ordering: exact totals, no inter-thread ordering guarantees.
+//
+// All serving methods are const and thread-safe; concurrent AnswerBatch
+// calls on one engine are allowed (they share the engine's pool and may wait
+// on each other's shards, which affects latency, not correctness).
+//
+// ServableDiagram closes the deployment loop: it loads a serialized blob
+// (v1 or v2) and rebuilds the index immediately, so a frozen file is
+// servable right after Load() returns.
+#ifndef SKYDIA_SRC_CORE_QUERY_ENGINE_H_
+#define SKYDIA_SRC_CORE_QUERY_ENGINE_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/thread_pool.h"
+#include "src/core/diagram.h"
+#include "src/core/point_location.h"
+#include "src/core/serialize.h"
+#include "src/geometry/dataset.h"
+#include "src/geometry/point.h"
+#include "src/skyline/interning.h"
+
+namespace skydia {
+
+/// Options for QueryEngine.
+struct QueryEngineOptions {
+  /// Worker threads for AnswerBatch. 1 serves batches inline on the calling
+  /// thread; > 1 creates a dedicated ThreadPool of that size.
+  int num_threads = 1;
+  /// Batches smaller than this are answered inline even when a pool exists
+  /// (sharding overhead dominates below roughly a thousand lookups).
+  size_t parallel_batch_threshold = 1024;
+  /// Entries in the per-shard direct-mapped memo (rounded up to a power of
+  /// two). 0 disables memoization.
+  size_t memo_entries = 64;
+};
+
+/// Serving statistics. Latency percentiles come from sampled measurements
+/// (every 32nd query of a shard), reported as the midpoint of a power-of-two
+/// nanosecond bucket; 0 when nothing was sampled yet.
+struct QueryEngineStats {
+  uint64_t queries_served = 0;
+  uint64_t memo_hits = 0;
+  uint64_t batches = 0;
+  uint64_t latency_samples = 0;
+  double p50_latency_ns = 0;
+  double p99_latency_ns = 0;
+};
+
+/// Batched query-serving over one diagram. Non-owning: the dataset and
+/// diagram must outlive the engine (ServableDiagram bundles ownership).
+class QueryEngine {
+ public:
+  /// Serves a cell diagram. `semantics` selects the exact-answer fallback
+  /// oracle (kQuadrant or kGlobal; a cell diagram never encodes kDynamic).
+  QueryEngine(const Dataset& dataset, const CellDiagram& diagram,
+              SkylineQueryType semantics,
+              const QueryEngineOptions& options = {});
+  /// Serves a subcell (dynamic) diagram.
+  QueryEngine(const Dataset& dataset, const SubcellDiagram& diagram,
+              const QueryEngineOptions& options = {});
+
+  /// One query via point location: sorted ids, interior-exact contract (see
+  /// point_location.h). The span points into the diagram's arena.
+  std::span<const PointId> Answer(const Point2D& q) const;
+
+  /// One query, returning the interned result-set id (compact answer for
+  /// callers that dedupe or forward ids; resolve with Get()).
+  SetId AnswerSetId(const Point2D& q) const;
+
+  /// Boundary-exact answer: the diagram result when it is exact at `q`, the
+  /// brute-force oracle otherwise.
+  std::vector<PointId> AnswerExact(const Point2D& q) const;
+
+  /// Answers every query in `queries`, writing one interned id per query to
+  /// `out` (resized to match). Shards across the engine's pool when the
+  /// batch is large enough.
+  void AnswerBatch(std::span<const Point2D> queries,
+                   std::vector<SetId>* out) const;
+  std::vector<SetId> AnswerBatch(std::span<const Point2D> queries) const;
+
+  /// Members of an interned result set.
+  std::span<const PointId> Get(SetId id) const { return index_.Get(id); }
+
+  const PointLocationIndex& index() const { return index_; }
+  const Dataset& dataset() const { return *dataset_; }
+  SkylineQueryType semantics() const { return semantics_; }
+
+  /// Snapshot of the serving counters.
+  QueryEngineStats Stats() const;
+
+ private:
+  static constexpr size_t kLatencyBuckets = 48;
+  static constexpr size_t kLatencySampleStride = 32;
+
+  /// Answers queries[i] -> out[i] for one contiguous shard, with private
+  /// memo and counters (merged into the atomics once per shard).
+  void AnswerShard(std::span<const Point2D> queries, SetId* out) const;
+  void RecordLatency(uint64_t ns) const;
+
+  PointLocationIndex index_;
+  const Dataset* dataset_;
+  SkylineQueryType semantics_;
+  QueryEngineOptions options_;
+  std::unique_ptr<ThreadPool> pool_;  // null when num_threads == 1
+
+  mutable std::atomic<uint64_t> queries_served_{0};
+  mutable std::atomic<uint64_t> memo_hits_{0};
+  mutable std::atomic<uint64_t> batches_{0};
+  mutable std::array<std::atomic<uint64_t>, kLatencyBuckets> latency_buckets_{};
+};
+
+/// A diagram loaded from disk together with everything needed to serve it:
+/// dataset, decoded diagram, and a ready QueryEngine. Movable, not copyable.
+class ServableDiagram {
+ public:
+  /// Loads a serialized cell or subcell diagram (tries cell first, exactly
+  /// like the CLI) and builds the serving index. `cell_semantics` tells the
+  /// engine which exact-answer oracle a cell blob encodes — the file format
+  /// does not record quadrant vs global (kDynamic is inferred from subcell
+  /// blobs and must not be passed here).
+  static StatusOr<ServableDiagram> Load(
+      const std::string& path, const QueryEngineOptions& options = {},
+      SkylineQueryType cell_semantics = SkylineQueryType::kQuadrant);
+
+  ServableDiagram(ServableDiagram&&) = default;
+  ServableDiagram& operator=(ServableDiagram&&) = default;
+
+  const QueryEngine& engine() const { return *engine_; }
+  const Dataset& dataset() const;
+  SkylineQueryType type() const { return engine_->semantics(); }
+
+  /// Underlying diagrams (null for the other kind).
+  const CellDiagram* cell_diagram() const {
+    return cell_ ? &cell_->diagram : nullptr;
+  }
+  const SubcellDiagram* subcell_diagram() const {
+    return subcell_ ? &subcell_->diagram : nullptr;
+  }
+
+ private:
+  ServableDiagram() = default;
+
+  // unique_ptrs pin the addresses the engine's index references.
+  std::unique_ptr<LoadedCellDiagram> cell_;
+  std::unique_ptr<LoadedSubcellDiagram> subcell_;
+  std::unique_ptr<QueryEngine> engine_;
+};
+
+}  // namespace skydia
+
+#endif  // SKYDIA_SRC_CORE_QUERY_ENGINE_H_

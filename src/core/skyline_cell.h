@@ -48,6 +48,12 @@ class CellDiagram {
     return pool_->Get(cell_set(cx, cy));
   }
 
+  /// The full row-major cell table (index = cy * num_columns + cx). Flat
+  /// view consumed by PointLocationIndex; stays valid while the diagram
+  /// lives (set_cell writes in place, the table never reallocates after
+  /// construction).
+  std::span<const SetId> cell_table() const { return cells_; }
+
   /// Point-location: the result for query point `q`.
   std::span<const PointId> Query(const Point2D& q) const {
     return CellSkyline(grid_.ColumnOf(q.x), grid_.RowOf(q.y));

@@ -47,6 +47,11 @@ class SubcellDiagram {
     return pool_->Get(subcell_set(sx, sy));
   }
 
+  /// The full row-major subcell table (index = sy * num_columns + sx). Flat
+  /// view consumed by PointLocationIndex; stays valid while the diagram
+  /// lives.
+  std::span<const SetId> cell_table() const { return cells_; }
+
   /// Point-location for an integer query point (interior-exact).
   std::span<const PointId> Query(const Point2D& q) const {
     return SubcellSkyline(grid_.x_axis().SlabOfDoubled(2 * q.x),

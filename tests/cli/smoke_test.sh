@@ -1,0 +1,109 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the skydia CLI: generate -> build -> check ->
+# query round trip, exit-code contract for bad invocations, and a golden
+# diff for batched query output.
+#
+# Usage: smoke_test.sh <path-to-skydia-binary> <path-to-tests/cli-dir>
+set -u
+
+SKYDIA="$1"
+GOLDEN_DIR="$2"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+cd "$WORK" || exit 1
+
+failures=0
+step() { echo "--- $*"; }
+fail() {
+  echo "FAIL: $*" >&2
+  failures=$((failures + 1))
+}
+
+expect_ok() {
+  local what="$1"
+  shift
+  if ! "$@"; then fail "$what: expected exit 0, got $?"; fi
+}
+
+expect_err() {
+  local what="$1"
+  shift
+  if "$@" 2>/dev/null; then fail "$what: expected non-zero exit"; fi
+}
+
+step "generate a deterministic workload"
+expect_ok "generate" "$SKYDIA" generate --n 32 --domain 64 --seed 7 \
+  --out points.csv
+
+step "build one diagram per semantics"
+expect_ok "build quadrant" "$SKYDIA" build --in points.csv --type quadrant \
+  --out quadrant.skd
+expect_ok "build global" "$SKYDIA" build --in points.csv --type global \
+  --out global.skd
+expect_ok "build dynamic" "$SKYDIA" build --in points.csv --type dynamic \
+  --out dynamic.skd
+
+step "check validates every blob"
+expect_ok "check quadrant" "$SKYDIA" check quadrant.skd
+expect_ok "check global" "$SKYDIA" check global.skd --allow-duplicate-sets
+expect_ok "check dynamic" "$SKYDIA" check dynamic.skd
+
+step "query a blob with a points CSV (golden output)"
+cat > queries.csv <<'EOF'
+x,y
+0,0
+5,5
+13,7
+31,2
+63,63
+-5,70
+100,100
+EOF
+if ! "$SKYDIA" query quadrant.skd queries.csv > batch.out; then
+  fail "query batch: expected exit 0"
+fi
+if ! diff -u "$GOLDEN_DIR/query_golden.txt" batch.out; then
+  fail "query batch output differs from tests/cli/query_golden.txt"
+fi
+
+step "single-point and exact queries answer on every semantics"
+expect_ok "query quadrant point" "$SKYDIA" query quadrant.skd --qx 5 --qy 5
+expect_ok "query global exact" "$SKYDIA" query global.skd --qx 5 --qy 5 \
+  --exact --semantics global
+expect_ok "query dynamic exact" "$SKYDIA" query dynamic.skd --qx 5 --qy 5 \
+  --exact
+
+step "batched query with stats and threads"
+if ! "$SKYDIA" query quadrant.skd queries.csv --threads 2 --stats \
+    > stats.out; then
+  fail "query --stats: expected exit 0"
+fi
+grep -q "engine stats: served=" stats.out || \
+  fail "query --stats output is missing engine stats"
+
+step "bench mode smoke"
+if ! "$SKYDIA" query quadrant.skd queries.csv --bench --repeat 1 \
+    --threads 2 > bench.out; then
+  fail "query --bench: expected exit 0"
+fi
+grep -q "ns/query" bench.out || fail "bench output is missing ns/query lines"
+
+step "bad invocations exit non-zero"
+expect_err "query without arguments" "$SKYDIA" query
+expect_err "query missing blob" "$SKYDIA" query missing.skd queries.csv
+expect_err "query missing csv" "$SKYDIA" query quadrant.skd missing.csv
+expect_err "query bad semantics" "$SKYDIA" query quadrant.skd queries.csv \
+  --semantics sideways
+expect_err "query --qx without --qy" "$SKYDIA" query quadrant.skd --qx 1
+expect_err "unknown command" "$SKYDIA" frobnicate
+
+step "corrupt blobs are rejected by check and query"
+head -c 64 quadrant.skd > corrupt.skd
+expect_err "check corrupt" "$SKYDIA" check corrupt.skd
+expect_err "query corrupt" "$SKYDIA" query corrupt.skd queries.csv
+
+if [ "$failures" -ne 0 ]; then
+  echo "$failures smoke-test failure(s)" >&2
+  exit 1
+fi
+echo "cli smoke test passed"

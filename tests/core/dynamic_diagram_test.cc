@@ -113,16 +113,11 @@ TEST(DynamicDiagramCrossTest, AllThreeBuildersAgree) {
       {24, 8, Distribution::kIndependent},
   };
   for (const Case& c : cases) {
-    DataGenOptions options;
-    options.n = c.n;
-    options.domain_size = c.domain;
-    options.distribution = c.distribution;
-    options.seed = 17;
-    auto ds = GenerateDataset(options);
-    ASSERT_TRUE(ds.ok());
-    const SubcellDiagram baseline = BuildDynamicBaseline(*ds);
-    const SubcellDiagram subset = BuildDynamicSubset(*ds);
-    const SubcellDiagram scanning = BuildDynamicScanning(*ds);
+    const Dataset ds =
+        testing::GeneratedDataset(c.n, c.domain, c.distribution, 17);
+    const SubcellDiagram baseline = BuildDynamicBaseline(ds);
+    const SubcellDiagram subset = BuildDynamicSubset(ds);
+    const SubcellDiagram scanning = BuildDynamicScanning(ds);
     EXPECT_TRUE(baseline.SameResults(subset))
         << DistributionName(c.distribution);
     EXPECT_TRUE(baseline.SameResults(scanning))

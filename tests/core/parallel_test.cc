@@ -42,15 +42,9 @@ TEST(ParallelDsgTest, DistributionSweep) {
   for (const Distribution dist :
        {Distribution::kIndependent, Distribution::kCorrelated,
         Distribution::kAnticorrelated}) {
-    DataGenOptions options;
-    options.n = 50;
-    options.domain_size = 64;
-    options.distribution = dist;
-    options.seed = 9;
-    auto ds = GenerateDataset(options);
-    ASSERT_TRUE(ds.ok());
-    const CellDiagram sequential = BuildQuadrantDsg(*ds);
-    const CellDiagram parallel = BuildQuadrantDsgParallel(*ds, 3);
+    const Dataset ds = testing::GeneratedDataset(50, 64, dist, 9);
+    const CellDiagram sequential = BuildQuadrantDsg(ds);
+    const CellDiagram parallel = BuildQuadrantDsgParallel(ds, 3);
     EXPECT_TRUE(parallel.SameResults(sequential)) << DistributionName(dist);
   }
 }
@@ -67,16 +61,10 @@ TEST(ParallelDynamicTest, MatchesSequentialAcrossThreadsAndDistributions) {
   for (const Distribution dist :
        {Distribution::kIndependent, Distribution::kCorrelated,
         Distribution::kAnticorrelated}) {
-    DataGenOptions options;
-    options.n = 28;
-    options.domain_size = 48;
-    options.distribution = dist;
-    options.seed = 17;
-    auto ds = GenerateDataset(options);
-    ASSERT_TRUE(ds.ok());
-    const SubcellDiagram sequential = BuildDynamicScanning(*ds);
+    const Dataset ds = testing::GeneratedDataset(28, 48, dist, 17);
+    const SubcellDiagram sequential = BuildDynamicScanning(ds);
     for (const int threads : {1, 2, 7}) {
-      const SubcellDiagram parallel = BuildDynamicScanningParallel(*ds, threads);
+      const SubcellDiagram parallel = BuildDynamicScanningParallel(ds, threads);
       EXPECT_TRUE(parallel.SameResults(sequential))
           << DistributionName(dist) << ", " << threads << " threads";
     }

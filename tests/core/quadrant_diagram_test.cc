@@ -110,16 +110,11 @@ class CrossAlgorithmEqualityTest
 TEST_P(CrossAlgorithmEqualityTest, AllThreeBuildersAgree) {
   const EqualityCase& c = GetParam();
   for (uint64_t seed = 1; seed <= 3; ++seed) {
-    DataGenOptions options;
-    options.n = c.n;
-    options.domain_size = c.domain;
-    options.distribution = c.distribution;
-    options.seed = seed;
-    auto ds = GenerateDataset(options);
-    ASSERT_TRUE(ds.ok());
-    const CellDiagram baseline = BuildQuadrantBaseline(*ds);
-    const CellDiagram dsg = BuildQuadrantDsg(*ds);
-    const CellDiagram scanning = BuildQuadrantScanning(*ds);
+    const Dataset ds =
+        testing::GeneratedDataset(c.n, c.domain, c.distribution, seed);
+    const CellDiagram baseline = BuildQuadrantBaseline(ds);
+    const CellDiagram dsg = BuildQuadrantDsg(ds);
+    const CellDiagram scanning = BuildQuadrantScanning(ds);
     EXPECT_TRUE(baseline.SameResults(dsg)) << "seed " << seed;
     EXPECT_TRUE(baseline.SameResults(scanning)) << "seed " << seed;
   }

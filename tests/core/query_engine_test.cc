@@ -1,0 +1,294 @@
+// Property-based differential tests for the query-serving engine: for
+// thousands of random (dataset, query) pairs across all three semantics
+// and all distributions — including duplicate/collinear-heavy data — the
+// engine's answers must equal the brute-force oracles in
+// src/skyline/query.h. Failing
+// cases print their reproduction seed (see tests/testing/property.h).
+#include "src/core/query_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/core/diagram.h"
+#include "src/core/serialize.h"
+#include "src/datagen/distributions.h"
+#include "src/skyline/query.h"
+#include "tests/testing/property.h"
+#include "tests/testing/util.h"
+
+namespace skydia {
+namespace {
+
+using skydia::testing::GeneratedDataset;
+using skydia::testing::PropertyBaseSeed;
+using skydia::testing::RandomDataset;
+using skydia::testing::RandomQueryPoint;
+using skydia::testing::RunSeededCases;
+
+constexpr Distribution kDistributions[] = {Distribution::kIndependent,
+                                           Distribution::kCorrelated,
+                                           Distribution::kAnticorrelated};
+
+// 3 datasets x 400 queries = 1200 differential queries per semantics x
+// distribution (the acceptance floor is 1000).
+constexpr size_t kDatasetsPerDistribution = 3;
+constexpr size_t kQueriesPerDataset = 400;
+
+void ExpectSameIds(std::span<const PointId> got,
+                   const std::vector<PointId>& expected, const Point2D& q,
+                   const char* what) {
+  const bool equal = got.size() == expected.size() &&
+                     std::equal(got.begin(), got.end(), expected.begin());
+  EXPECT_TRUE(equal) << what << " disagrees with the oracle at q = " << q
+                     << " (got " << got.size() << " ids, expected "
+                     << expected.size() << ")";
+}
+
+SkylineDiagram BuildOrDie(const Dataset& dataset, SkylineQueryType type) {
+  auto diagram = SkylineDiagram::Build(dataset, type);
+  EXPECT_TRUE(diagram.ok()) << diagram.status();
+  return std::move(diagram).value();
+}
+
+QueryEngine MakeEngine(const SkylineDiagram& diagram,
+                       const QueryEngineOptions& options = {}) {
+  if (diagram.cell_diagram() != nullptr) {
+    return QueryEngine(diagram.dataset(), *diagram.cell_diagram(),
+                       diagram.type(), options);
+  }
+  return QueryEngine(diagram.dataset(), *diagram.subcell_diagram(), options);
+}
+
+// Differential check of one engine against the oracles for `queries` random
+// positions: Answer() must match wherever the diagram contract says it is
+// exact, AnswerExact() must match everywhere.
+void CheckEngineAgainstOracle(const QueryEngine& engine, Rng& rng,
+                              size_t queries) {
+  const Dataset& ds = engine.dataset();
+  for (size_t i = 0; i < queries; ++i) {
+    const Point2D q = RandomQueryPoint(rng, ds);
+    std::vector<PointId> expected;
+    switch (engine.semantics()) {
+      case SkylineQueryType::kQuadrant:
+        expected = FirstQuadrantSkyline(ds, q);
+        // Quadrant point location is exact at every position, boundaries
+        // and vertices included.
+        ExpectSameIds(engine.Answer(q), expected, q, "quadrant Answer");
+        break;
+      case SkylineQueryType::kGlobal:
+        expected = GlobalSkyline(ds, q);
+        if (!engine.index().OnBoundary(q)) {
+          ExpectSameIds(engine.Answer(q), expected, q, "global Answer");
+        }
+        break;
+      case SkylineQueryType::kDynamic:
+        expected = DynamicSkyline(ds, q);
+        if (!engine.index().OnBoundary(q)) {
+          ExpectSameIds(engine.Answer(q), expected, q, "dynamic Answer");
+        }
+        break;
+    }
+    ExpectSameIds(engine.AnswerExact(q), expected, q, "AnswerExact");
+    if (::testing::Test::HasFailure()) return;
+  }
+}
+
+class QueryEngineDifferentialTest
+    : public ::testing::TestWithParam<SkylineQueryType> {};
+
+TEST_P(QueryEngineDifferentialTest, MatchesOracleOnEveryDistribution) {
+  const SkylineQueryType type = GetParam();
+  for (const Distribution distribution : kDistributions) {
+    const std::string property =
+        std::string(SkylineQueryTypeName(type)) + " diagram answers == " +
+        DistributionName(distribution) + " oracle";
+    RunSeededCases(
+        property.c_str(), kDatasetsPerDistribution,
+        PropertyBaseSeed(20260805 + static_cast<uint64_t>(type)),
+        [&](Rng& rng, uint64_t seed) {
+          const Dataset ds = GeneratedDataset(40, 64, distribution, seed);
+          const SkylineDiagram diagram = BuildOrDie(ds, type);
+          const QueryEngine engine = MakeEngine(diagram);
+          CheckEngineAgainstOracle(engine, rng, kQueriesPerDataset);
+        });
+  }
+}
+
+TEST_P(QueryEngineDifferentialTest, MatchesOracleOnDuplicateHeavyData) {
+  // Tiny domains force duplicate points and collinear coordinates, the
+  // adversarial case for the half-open convention and for bisector/grid
+  // line coincidences in the dynamic arrangement.
+  const SkylineQueryType type = GetParam();
+  RunSeededCases(
+      "tie-heavy diagram answers == oracle", kDatasetsPerDistribution,
+      PropertyBaseSeed(777 + static_cast<uint64_t>(type)),
+      [&](Rng& rng, uint64_t seed) {
+        const Dataset ds = RandomDataset(24, 8, seed);
+        const SkylineDiagram diagram = BuildOrDie(ds, type);
+        const QueryEngine engine = MakeEngine(diagram);
+        CheckEngineAgainstOracle(engine, rng, kQueriesPerDataset);
+      });
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSemantics, QueryEngineDifferentialTest,
+                         ::testing::Values(SkylineQueryType::kQuadrant,
+                                           SkylineQueryType::kGlobal,
+                                           SkylineQueryType::kDynamic),
+                         [](const auto& info) {
+                           return std::string(
+                               SkylineQueryTypeName(info.param));
+                         });
+
+TEST(QueryEngineBatchTest, BatchMatchesSingleAcrossThreadCounts) {
+  const Dataset ds =
+      GeneratedDataset(48, 128, Distribution::kIndependent, 11);
+  const SkylineDiagram diagram = BuildOrDie(ds, SkylineQueryType::kQuadrant);
+  const QueryEngine reference = MakeEngine(diagram);
+
+  Rng rng(12);
+  std::vector<Point2D> queries;
+  queries.reserve(3000);
+  for (size_t i = 0; i < 3000; ++i) {
+    // Duplicate every third query to give the memo something to hit.
+    if (i % 3 == 2 && !queries.empty()) {
+      queries.push_back(queries[rng.NextBounded(queries.size())]);
+    } else {
+      queries.push_back(RandomQueryPoint(rng, ds));
+    }
+  }
+
+  for (const int threads : {1, 2, 7}) {
+    for (const size_t memo : {size_t{0}, size_t{64}}) {
+      QueryEngineOptions options;
+      options.num_threads = threads;
+      options.memo_entries = memo;
+      options.parallel_batch_threshold = 128;  // force sharding
+      const QueryEngine engine = MakeEngine(diagram, options);
+      const std::vector<SetId> answers = engine.AnswerBatch(queries);
+      ASSERT_EQ(answers.size(), queries.size());
+      for (size_t i = 0; i < queries.size(); ++i) {
+        const auto got = engine.Get(answers[i]);
+        const auto expected = reference.Answer(queries[i]);
+        ASSERT_TRUE(got.size() == expected.size() &&
+                    std::equal(got.begin(), got.end(), expected.begin()))
+            << "batch answer " << i << " (threads=" << threads
+            << ", memo=" << memo << ") diverges at q = " << queries[i];
+      }
+    }
+  }
+}
+
+TEST(QueryEngineBatchTest, SmallBatchesStayInline) {
+  const Dataset ds = GeneratedDataset(16, 32, Distribution::kCorrelated, 5);
+  const SkylineDiagram diagram = BuildOrDie(ds, SkylineQueryType::kQuadrant);
+  QueryEngineOptions options;
+  options.num_threads = 4;
+  options.parallel_batch_threshold = 1 << 20;  // never reached
+  const QueryEngine engine = MakeEngine(diagram, options);
+  const std::vector<Point2D> queries(100, Point2D{3, 3});
+  const std::vector<SetId> answers = engine.AnswerBatch(queries);
+  ASSERT_EQ(answers.size(), queries.size());
+  for (const SetId id : answers) EXPECT_EQ(id, answers.front());
+}
+
+TEST(QueryEngineStatsTest, CountersAndLatencyPercentiles) {
+  const Dataset ds =
+      GeneratedDataset(32, 64, Distribution::kIndependent, 21);
+  const SkylineDiagram diagram = BuildOrDie(ds, SkylineQueryType::kQuadrant);
+  QueryEngineOptions options;
+  options.memo_entries = 64;
+  const QueryEngine engine = MakeEngine(diagram, options);
+
+  // A batch of one repeated point: everything after the first lookup per
+  // shard is a memo hit.
+  const std::vector<Point2D> repeated(512, Point2D{7, 9});
+  (void)engine.AnswerBatch(repeated);
+  (void)engine.Answer(Point2D{1, 1});
+
+  const QueryEngineStats stats = engine.Stats();
+  EXPECT_EQ(stats.queries_served, 513u);
+  EXPECT_EQ(stats.batches, 1u);
+  EXPECT_EQ(stats.memo_hits, 511u);
+  EXPECT_GT(stats.latency_samples, 0u);
+  EXPECT_GT(stats.p50_latency_ns, 0.0);
+  EXPECT_GE(stats.p99_latency_ns, stats.p50_latency_ns);
+}
+
+TEST(QueryEngineStatsTest, MemoDisabledNeverHits) {
+  const Dataset ds = GeneratedDataset(16, 32, Distribution::kClustered, 3);
+  const SkylineDiagram diagram = BuildOrDie(ds, SkylineQueryType::kQuadrant);
+  QueryEngineOptions options;
+  options.memo_entries = 0;
+  const QueryEngine engine = MakeEngine(diagram, options);
+  const std::vector<Point2D> repeated(64, Point2D{2, 2});
+  (void)engine.AnswerBatch(repeated);
+  EXPECT_EQ(engine.Stats().memo_hits, 0u);
+}
+
+// A temporary file path inside the build tree's test working directory.
+std::string TempBlobPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(ServableDiagramTest, LoadedBlobServesIdenticallyToFreshBuild) {
+  struct Case {
+    SkylineQueryType type;
+    const char* file;
+  };
+  const Case cases[] = {
+      {SkylineQueryType::kQuadrant, "servable_quadrant.skd"},
+      {SkylineQueryType::kGlobal, "servable_global.skd"},
+      {SkylineQueryType::kDynamic, "servable_dynamic.skd"},
+  };
+  for (const Case& c : cases) {
+    const Dataset ds =
+        GeneratedDataset(28, 48, Distribution::kAnticorrelated, 31);
+    const SkylineDiagram built = BuildOrDie(ds, c.type);
+    const std::string path = TempBlobPath(c.file);
+    if (built.cell_diagram() != nullptr) {
+      ASSERT_TRUE(SaveCellDiagram(ds, *built.cell_diagram(), path).ok());
+    } else {
+      ASSERT_TRUE(SaveSubcellDiagram(ds, *built.subcell_diagram(), path).ok());
+    }
+
+    const SkylineQueryType cell_semantics =
+        c.type == SkylineQueryType::kDynamic ? SkylineQueryType::kQuadrant
+                                             : c.type;
+    auto servable = ServableDiagram::Load(path, {}, cell_semantics);
+    ASSERT_TRUE(servable.ok()) << servable.status();
+    EXPECT_EQ(servable->type(), c.type);
+    ASSERT_EQ(servable->dataset().size(), ds.size());
+
+    const QueryEngine in_memory = MakeEngine(built);
+    Rng rng(41);
+    for (size_t i = 0; i < 200; ++i) {
+      const Point2D q = RandomQueryPoint(rng, ds);
+      const auto expected = in_memory.AnswerExact(q);
+      const auto got = servable->engine().AnswerExact(q);
+      ASSERT_EQ(got, expected)
+          << SkylineQueryTypeName(c.type) << " blob diverges at q = " << q;
+    }
+    std::remove(path.c_str());
+  }
+}
+
+TEST(ServableDiagramTest, RejectsDynamicCellSemantics) {
+  const auto servable = ServableDiagram::Load(
+      TempBlobPath("unused.skd"), {}, SkylineQueryType::kDynamic);
+  ASSERT_FALSE(servable.ok());
+  EXPECT_EQ(servable.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ServableDiagramTest, MissingFileFailsWithStatus) {
+  const auto servable =
+      ServableDiagram::Load(TempBlobPath("does_not_exist.skd"));
+  ASSERT_FALSE(servable.ok());
+}
+
+}  // namespace
+}  // namespace skydia

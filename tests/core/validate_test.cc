@@ -23,14 +23,7 @@ namespace {
 using skydia::testing::RandomDataset;
 
 Dataset MakeDataset(Distribution distribution, uint64_t seed) {
-  DataGenOptions options;
-  options.n = 24;
-  options.domain_size = 48;
-  options.distribution = distribution;
-  options.seed = seed;
-  auto ds = GenerateDataset(options);
-  EXPECT_TRUE(ds.ok());
-  return std::move(ds).value();
+  return testing::GeneratedDataset(24, 48, distribution, seed);
 }
 
 constexpr Distribution kDistributions[] = {Distribution::kIndependent,

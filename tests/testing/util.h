@@ -7,10 +7,25 @@
 #include <vector>
 
 #include "src/common/random.h"
+#include "src/datagen/distributions.h"
 #include "src/geometry/dataset.h"
 #include "src/skyline/dominance.h"
 
 namespace skydia::testing {
+
+/// One seeded dataset through the library's workload generator. The single
+/// shared construction for every suite that needs "n points of distribution
+/// D at seed K" (previously re-implemented ad hoc per test file).
+inline Dataset GeneratedDataset(size_t n, int64_t domain,
+                                Distribution distribution, uint64_t seed) {
+  DataGenOptions options;
+  options.n = n;
+  options.domain_size = domain;
+  options.distribution = distribution;
+  options.seed = seed;
+  auto ds = GenerateDataset(options);
+  return std::move(ds).value();
+}
 
 /// O(n^2) oracle: min-preference skyline by pairwise dominance.
 inline std::vector<PointId> BruteSkyline2d(const Dataset& dataset) {

@@ -1,0 +1,184 @@
+#!/usr/bin/env python3
+"""Line-coverage gate over gcov profiles, with an HTML report.
+
+Zero-dependency replacement for gcovr: walks a coverage-instrumented build
+tree (SKYDIA_COVERAGE=ON, tests already run), feeds every .gcda through
+`gcov --json-format`, merges per-line execution counts across translation
+units, and
+
+  * prints a per-file table for sources matching --filter,
+  * writes a self-contained HTML report (summary + uncovered lines), and
+  * exits 1 if aggregate line coverage over the filtered files is below
+    --min-percent.
+
+Usage:
+  python3 tools/coverage_gate.py --build-dir build/coverage \
+      --filter src/core --min-percent 90 --html-out coverage.html
+"""
+
+import argparse
+import html
+import json
+import os
+import subprocess
+import sys
+
+
+def find_gcda(build_dir):
+    for root, _dirs, files in os.walk(build_dir):
+        for name in files:
+            if name.endswith(".gcda"):
+                yield os.path.join(root, name)
+
+
+def run_gcov(gcda, build_dir):
+    """Returns the parsed gcov JSON documents for one .gcda file."""
+    proc = subprocess.run(
+        ["gcov", "--json-format", "--stdout", gcda],
+        cwd=build_dir,
+        capture_output=True,
+        text=True,
+        check=False,
+    )
+    docs = []
+    for line in proc.stdout.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            docs.append(json.loads(line))
+        except json.JSONDecodeError:
+            pass  # gcov prints warnings on stdout for stale profiles
+    return docs
+
+
+def merge_counts(docs, build_dir, source_root, counts):
+    """Accumulates {source_path: {line: count}} from gcov JSON documents."""
+    for doc in docs:
+        for entry in doc.get("files", []):
+            path = entry.get("file", "")
+            if not os.path.isabs(path):
+                path = os.path.join(build_dir, path)
+            path = os.path.realpath(path)
+            if not path.startswith(source_root + os.sep):
+                continue
+            rel = os.path.relpath(path, source_root)
+            per_line = counts.setdefault(rel, {})
+            for line in entry.get("lines", []):
+                number = line.get("line_number")
+                if number is None:
+                    continue
+                per_line[number] = per_line.get(number, 0) + int(
+                    line.get("count", 0))
+
+
+def coverage_of(per_line):
+    covered = sum(1 for count in per_line.values() if count > 0)
+    return covered, len(per_line)
+
+
+def render_html(rows, total_covered, total_lines, minimum, uncovered):
+    percent = 100.0 * total_covered / total_lines if total_lines else 0.0
+    verdict = "PASS" if percent >= minimum else "FAIL"
+    out = [
+        "<!DOCTYPE html><html><head><meta charset='utf-8'>",
+        "<title>skydia coverage</title>",
+        "<style>body{font-family:monospace}table{border-collapse:collapse}",
+        "td,th{border:1px solid #999;padding:2px 8px;text-align:right}",
+        "td:first-child,th:first-child{text-align:left}",
+        ".low{background:#fdd}.ok{background:#dfd}</style></head><body>",
+        "<h1>skydia line coverage</h1>",
+        "<p>gate: %.2f%% covered, floor %.2f%% — <b>%s</b></p>"
+        % (percent, minimum, verdict),
+        "<table><tr><th>file</th><th>covered</th><th>lines</th>"
+        "<th>%</th></tr>",
+    ]
+    for rel, covered, lines in rows:
+        file_pct = 100.0 * covered / lines if lines else 0.0
+        css = "ok" if file_pct >= minimum else "low"
+        out.append(
+            "<tr class='%s'><td>%s</td><td>%d</td><td>%d</td>"
+            "<td>%.1f</td></tr>"
+            % (css, html.escape(rel), covered, lines, file_pct))
+    out.append(
+        "<tr><th>total</th><th>%d</th><th>%d</th><th>%.2f</th></tr></table>"
+        % (total_covered, total_lines, percent))
+    out.append("<h2>uncovered lines</h2><pre>")
+    for rel, lines in uncovered:
+        out.append("%s: %s" % (html.escape(rel),
+                               ", ".join(str(n) for n in lines)))
+    out.append("</pre></body></html>")
+    return "\n".join(out)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", required=True)
+    parser.add_argument("--source-root", default=".")
+    parser.add_argument("--filter", default="src/core",
+                        help="source path prefix the gate applies to")
+    parser.add_argument("--min-percent", type=float, default=0.0)
+    parser.add_argument("--html-out", default="")
+    args = parser.parse_args()
+
+    source_root = os.path.realpath(args.source_root)
+    build_dir = os.path.realpath(args.build_dir)
+    gcda_files = sorted(find_gcda(build_dir))
+    if not gcda_files:
+        print("error: no .gcda profiles under %s (configure with "
+              "--preset coverage and run ctest first)" % build_dir)
+        return 1
+
+    counts = {}
+    for gcda in gcda_files:
+        merge_counts(run_gcov(gcda, build_dir), build_dir, source_root,
+                     counts)
+
+    prefix = args.filter.rstrip("/") + "/"
+    rows = []
+    uncovered = []
+    total_covered = 0
+    total_lines = 0
+    for rel in sorted(counts):
+        if not rel.startswith(prefix):
+            continue
+        covered, lines = coverage_of(counts[rel])
+        if lines == 0:
+            continue
+        rows.append((rel, covered, lines))
+        total_covered += covered
+        total_lines += lines
+        missing = sorted(n for n, c in counts[rel].items() if c == 0)
+        if missing:
+            uncovered.append((rel, missing))
+
+    if total_lines == 0:
+        print("error: no instrumented lines match filter %r" % args.filter)
+        return 1
+
+    percent = 100.0 * total_covered / total_lines
+    width = max(len(rel) for rel, _c, _l in rows)
+    for rel, covered, lines in rows:
+        print("%-*s %6d/%-6d %6.1f%%"
+              % (width, rel, covered, lines, 100.0 * covered / lines))
+    print("%-*s %6d/%-6d %6.2f%% (floor %.2f%%)"
+          % (width, "TOTAL", total_covered, total_lines, percent,
+             args.min_percent))
+
+    if args.html_out:
+        with open(args.html_out, "w", encoding="utf-8") as fh:
+            fh.write(render_html(rows, total_covered, total_lines,
+                                 args.min_percent, uncovered))
+        print("wrote %s" % args.html_out)
+
+    if percent < args.min_percent:
+        print("FAIL: %s line coverage %.2f%% is below the %.2f%% floor"
+              % (args.filter, percent, args.min_percent))
+        return 1
+    print("PASS: %s line coverage %.2f%% >= %.2f%%"
+          % (args.filter, percent, args.min_percent))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

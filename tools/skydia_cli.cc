@@ -6,7 +6,9 @@
 //          --out points.csv
 //   skydia build   --in points.csv --x x --y y --type quadrant
 //          [--algo scanning] [--threads 1] --out diagram.skd
-//   skydia query   --diagram diagram.skd --qx 10 --qy 80 [--exact]
+//   skydia query   diagram.skd points.csv [--threads T] [--exact]
+//          [--semantics quadrant|global] [--stats] [--bench [--repeat R]]
+//   skydia query   diagram.skd --qx 10 --qy 80 [--exact]
 //   skydia stats   --diagram diagram.skd
 //   skydia check   diagram.skd [--samples 64] [--seed 1]
 //   skydia render  --diagram diagram.skd --out diagram.svg [--labels]
@@ -17,14 +19,17 @@
 #include <functional>
 #include <iostream>
 #include <map>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "src/common/csv.h"
+#include "src/common/timer.h"
 #include "src/core/diagram.h"
 #include "src/core/dynamic_scanning.h"
 #include "src/core/merge.h"
 #include "src/core/parallel.h"
+#include "src/core/query_engine.h"
 #include "src/core/render_svg.h"
 #include "src/core/serialize.h"
 #include "src/core/validate.h"
@@ -95,7 +100,9 @@ void PrintUsage() {
          "  build    --in points.csv [--x x --y y] --type quadrant|global|\n"
          "           dynamic [--algo baseline|dsg|scanning] [--threads T]\n"
          "           --out diagram.skd\n"
-         "  query    --diagram diagram.skd --qx X --qy Y [--exact]\n"
+         "  query    <diagram.skd> [<points.csv>] [--qx X --qy Y]\n"
+         "           [--x x --y y] [--threads T] [--exact] [--stats]\n"
+         "           [--semantics quadrant|global] [--bench [--repeat R]]\n"
          "  stats    --diagram diagram.skd\n"
          "  check    <diagram.skd> [--samples N] [--seed K]\n"
          "           [--allow-duplicate-sets]  (validate invariants;\n"
@@ -214,36 +221,187 @@ int WithLoadedDiagram(const Flags& flags,
   return Fail("cannot load " + path + ": " + as_cell.status().ToString());
 }
 
-int CmdQuery(const Flags& flags) {
-  if (!flags.Has("qx") || !flags.Has("qy")) {
-    return Fail("--qx and --qy are required");
+// Loads query points from a CSV with a header row naming columns `x_column`
+// and `y_column`; extra columns are ignored.
+StatusOr<std::vector<Point2D>> LoadQueryPoints(const std::string& path,
+                                               const std::string& x_column,
+                                               const std::string& y_column) {
+  auto doc = ReadCsvFile(path);
+  if (!doc.ok()) return doc.status();
+  if (doc->rows.empty()) {
+    return Status::InvalidArgument("query CSV has no header row: " + path);
   }
-  const Point2D q{flags.GetInt("qx", 0), flags.GetInt("qy", 0)};
-  const bool exact = flags.GetBool("exact");
-  const auto print = [&](const Dataset& dataset,
-                         const std::vector<PointId>& ids) {
-    std::cout << "skyline(" << q << ") = {";
-    for (size_t i = 0; i < ids.size(); ++i) {
-      std::cout << (i ? ", " : "") << dataset.label(ids[i]);
-    }
-    std::cout << "}\n";
-    return 0;
+  const auto& header = doc->rows[0];
+  size_t xi = header.size();
+  size_t yi = header.size();
+  for (size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == x_column) xi = i;
+    if (header[i] == y_column) yi = i;
+  }
+  if (xi == header.size() || yi == header.size()) {
+    return Status::InvalidArgument("query CSV columns not found: " + x_column +
+                                   ", " + y_column);
+  }
+  const auto parse = [](const std::string& field, int64_t* out) {
+    char* end = nullptr;
+    *out = std::strtoll(field.c_str(), &end, 10);
+    return end != field.c_str() && *end == '\0';
   };
-  return WithLoadedDiagram(
-      flags,
-      [&](const LoadedCellDiagram* loaded) {
-        const auto span = loaded->diagram.Query(q);
-        std::vector<PointId> ids(span.begin(), span.end());
-        return print(loaded->dataset, ids);
-      },
-      [&](const LoadedSubcellDiagram* loaded) {
-        if (exact) {
-          return print(loaded->dataset, DynamicSkyline(loaded->dataset, q));
-        }
-        const auto span = loaded->diagram.Query(q);
-        std::vector<PointId> ids(span.begin(), span.end());
-        return print(loaded->dataset, ids);
-      });
+  std::vector<Point2D> points;
+  points.reserve(doc->rows.size() - 1);
+  for (size_t r = 1; r < doc->rows.size(); ++r) {
+    const auto& row = doc->rows[r];
+    Point2D q;
+    if (xi >= row.size() || yi >= row.size() || !parse(row[xi], &q.x) ||
+        !parse(row[yi], &q.y)) {
+      return Status::Corruption("bad query CSV row " + std::to_string(r) +
+                                " in " + path);
+    }
+    points.push_back(q);
+  }
+  return points;
+}
+
+void PrintAnswer(const Dataset& dataset, const Point2D& q,
+                 std::span<const PointId> ids) {
+  std::cout << "skyline(" << q << ") = {";
+  for (size_t i = 0; i < ids.size(); ++i) {
+    std::cout << (i ? ", " : "") << dataset.label(ids[i]);
+  }
+  std::cout << "}\n";
+}
+
+void PrintEngineStats(const QueryEngine& engine) {
+  const QueryEngineStats stats = engine.Stats();
+  std::cout << "engine stats: served=" << stats.queries_served
+            << " memo_hits=" << stats.memo_hits
+            << " batches=" << stats.batches << " p50=" << stats.p50_latency_ns
+            << "ns p99=" << stats.p99_latency_ns << "ns\n";
+}
+
+// Compares, over the same query stream: (a) from-scratch linear scans of the
+// dataset, (b) per-query indexed lookups, (c) the batched parallel API.
+int RunQueryBench(const ServableDiagram& servable,
+                  const std::vector<Point2D>& points, int repeat) {
+  if (points.empty()) return Fail("--bench needs a non-empty points CSV");
+  if (repeat < 1) repeat = 1;
+  const Dataset& dataset = servable.dataset();
+  const QueryEngine& engine = servable.engine();
+  const double total = static_cast<double>(points.size()) * repeat;
+
+  uint64_t sink = 0;
+  Timer timer;
+  for (int r = 0; r < repeat; ++r) {
+    for (const Point2D& q : points) {
+      switch (engine.semantics()) {
+        case SkylineQueryType::kQuadrant:
+          sink += FirstQuadrantSkyline(dataset, q).size();
+          break;
+        case SkylineQueryType::kGlobal:
+          sink += GlobalSkyline(dataset, q).size();
+          break;
+        case SkylineQueryType::kDynamic:
+          sink += DynamicSkyline(dataset, q).size();
+          break;
+      }
+    }
+  }
+  const double scan_ns = timer.ElapsedSeconds() * 1e9 / total;
+
+  timer.Restart();
+  for (int r = 0; r < repeat; ++r) {
+    for (const Point2D& q : points) sink += engine.Answer(q).size();
+  }
+  const double single_ns = timer.ElapsedSeconds() * 1e9 / total;
+
+  std::vector<SetId> out;
+  timer.Restart();
+  for (int r = 0; r < repeat; ++r) engine.AnswerBatch(points, &out);
+  const double batch_ns = timer.ElapsedSeconds() * 1e9 / total;
+  for (const SetId id : out) sink += id;
+
+  std::cout << "bench: " << points.size() << " queries x " << repeat
+            << " repeat(s), n=" << dataset.size() << " (sink " << sink
+            << ")\n";
+  const auto line = [&](const char* name, double ns) {
+    std::cout << "  " << name << ": " << static_cast<int64_t>(ns)
+              << " ns/query (" << scan_ns / (ns > 0 ? ns : 1) << "x)\n";
+  };
+  line("linear scan", scan_ns);
+  line("index      ", single_ns);
+  line("batched    ", batch_ns);
+  PrintEngineStats(engine);
+  return 0;
+}
+
+int CmdQuery(const Flags& flags,
+             const std::vector<std::string>& positionals) {
+  std::string path = flags.GetString("diagram");
+  if (path.empty() && !positionals.empty()) path = positionals[0];
+  if (path.empty()) {
+    return Fail(
+        "usage: skydia query <diagram.skd> [<points.csv>] [--qx X --qy Y]");
+  }
+  std::string points_path = flags.GetString("points");
+  if (points_path.empty() && positionals.size() > 1) {
+    points_path = positionals[1];
+  }
+
+  const std::string semantics = flags.GetString("semantics", "quadrant");
+  SkylineQueryType cell_semantics;
+  if (semantics == "quadrant") {
+    cell_semantics = SkylineQueryType::kQuadrant;
+  } else if (semantics == "global") {
+    cell_semantics = SkylineQueryType::kGlobal;
+  } else {
+    return Fail("unknown --semantics " + semantics + " (quadrant|global)");
+  }
+
+  QueryEngineOptions options;
+  options.num_threads = static_cast<int>(flags.GetInt("threads", 1));
+  auto servable = ServableDiagram::Load(path, options, cell_semantics);
+  if (!servable.ok()) return Fail(servable.status().ToString());
+  const QueryEngine& engine = servable->engine();
+  const Dataset& dataset = servable->dataset();
+  const bool exact = flags.GetBool("exact");
+
+  if (flags.Has("qx") || flags.Has("qy")) {
+    if (!flags.Has("qx") || !flags.Has("qy")) {
+      return Fail("--qx and --qy must be given together");
+    }
+    const Point2D q{flags.GetInt("qx", 0), flags.GetInt("qy", 0)};
+    if (exact) {
+      PrintAnswer(dataset, q, engine.AnswerExact(q));
+    } else {
+      PrintAnswer(dataset, q, engine.Answer(q));
+    }
+  } else if (points_path.empty()) {
+    return Fail("provide <points.csv> (or --points), or --qx and --qy");
+  }
+
+  if (!points_path.empty()) {
+    auto points = LoadQueryPoints(points_path, flags.GetString("x", "x"),
+                                  flags.GetString("y", "y"));
+    if (!points.ok()) return Fail(points.status().ToString());
+    if (flags.GetBool("bench")) {
+      const int repeat = static_cast<int>(flags.GetInt("repeat", 3));
+      const int rc = RunQueryBench(*servable, *points, repeat);
+      if (rc != 0) return rc;
+    } else if (exact) {
+      for (const Point2D& q : *points) {
+        PrintAnswer(dataset, q, engine.AnswerExact(q));
+      }
+    } else {
+      std::vector<SetId> out;
+      engine.AnswerBatch(*points, &out);
+      for (size_t i = 0; i < points->size(); ++i) {
+        PrintAnswer(dataset, (*points)[i], engine.Get(out[i]));
+      }
+    }
+  }
+
+  if (flags.GetBool("stats")) PrintEngineStats(engine);
+  return 0;
 }
 
 int CmdStats(const Flags& flags) {
@@ -369,22 +527,26 @@ int Main(int argc, char** argv) {
     return 1;
   }
   const std::string command = argv[1];
-  // `check` accepts the diagram path as a positional argument.
-  std::string positional;
+  // `check` and `query` accept leading positional arguments (the diagram
+  // path, and for `query` an optional points CSV).
+  std::vector<std::string> positionals;
   int first_flag = 2;
-  if (command == "check" && argc > 2 &&
-      std::string(argv[2]).rfind("--", 0) != 0) {
-    positional = argv[2];
-    first_flag = 3;
+  if (command == "check" || command == "query") {
+    while (first_flag < argc &&
+           std::string(argv[first_flag]).rfind("--", 0) != 0) {
+      positionals.emplace_back(argv[first_flag++]);
+    }
   }
   const Flags flags(argc, argv, first_flag);
   if (!flags.error().empty()) return Fail(flags.error());
 
   if (command == "generate") return CmdGenerate(flags);
   if (command == "build") return CmdBuild(flags);
-  if (command == "query") return CmdQuery(flags);
+  if (command == "query") return CmdQuery(flags, positionals);
   if (command == "stats") return CmdStats(flags);
-  if (command == "check") return CmdCheck(flags, positional);
+  if (command == "check") {
+    return CmdCheck(flags, positionals.empty() ? "" : positionals[0]);
+  }
   if (command == "render") return CmdRender(flags);
   if (command == "hotels") return CmdHotels();
   PrintUsage();
