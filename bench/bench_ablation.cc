@@ -12,12 +12,7 @@
 
 #include "bench/bench_common.h"
 #include "src/common/random.h"
-#include "src/core/dynamic_baseline.h"
-#include "src/core/dynamic_scanning.h"
-#include "src/core/dynamic_subset.h"
 #include "src/core/incremental.h"
-#include "src/core/parallel.h"
-#include "src/core/quadrant_scanning.h"
 
 namespace skydia::bench {
 namespace {
@@ -29,8 +24,10 @@ void BM_InternOn(benchmark::State& state) {
   for (auto _ : state) {
     DiagramOptions options;
     options.intern_result_sets = true;
-    const CellDiagram diagram = BuildQuadrantScanning(ds, options);
-    stats = diagram.ComputeStats();
+    const SkylineDiagram diagram =
+        BuildDiagram(ds, SkylineQueryType::kQuadrant, BuildAlgorithm::kScanning,
+                     /*parallelism=*/1, options);
+    stats = diagram.cell_diagram()->ComputeStats();
   }
   state.counters["bytes"] = static_cast<double>(stats.approx_bytes);
   state.counters["pool_bytes"] = static_cast<double>(stats.pool_bytes);
@@ -51,8 +48,10 @@ void BM_InternOff(benchmark::State& state) {
   for (auto _ : state) {
     DiagramOptions options;
     options.intern_result_sets = false;
-    const CellDiagram diagram = BuildQuadrantScanning(ds, options);
-    stats = diagram.ComputeStats();
+    const SkylineDiagram diagram =
+        BuildDiagram(ds, SkylineQueryType::kQuadrant, BuildAlgorithm::kScanning,
+                     /*parallelism=*/1, options);
+    stats = diagram.cell_diagram()->ComputeStats();
   }
   state.counters["bytes"] = static_cast<double>(stats.approx_bytes);
   state.counters["pool_bytes"] = static_cast<double>(stats.pool_bytes);
@@ -74,7 +73,10 @@ void BM_CandidatesScanning(benchmark::State& state) {
   const Dataset ds = MakeDataset(state.range(0), 512, Distribution::kIndependent);
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        BuildDynamicScanning(ds).SubcellSkyline(0, 0).data());
+        BuildDiagram(ds, SkylineQueryType::kDynamic, BuildAlgorithm::kScanning)
+            .subcell_diagram()
+            ->SubcellSkyline(0, 0)
+            .data());
   }
 }
 BENCHMARK(BM_CandidatesScanning)->Apply(CandidateArgs);
@@ -83,7 +85,10 @@ void BM_CandidatesSubsetRecompute(benchmark::State& state) {
   const Dataset ds = MakeDataset(state.range(0), 512, Distribution::kIndependent);
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        BuildDynamicSubset(ds).SubcellSkyline(0, 0).data());
+        BuildDiagram(ds, SkylineQueryType::kDynamic, BuildAlgorithm::kSubset)
+            .subcell_diagram()
+            ->SubcellSkyline(0, 0)
+            .data());
   }
 }
 BENCHMARK(BM_CandidatesSubsetRecompute)->Apply(CandidateArgs);
@@ -92,7 +97,10 @@ void BM_CandidatesFullRecompute(benchmark::State& state) {
   const Dataset ds = MakeDataset(state.range(0), 512, Distribution::kIndependent);
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        BuildDynamicBaseline(ds).SubcellSkyline(0, 0).data());
+        BuildDiagram(ds, SkylineQueryType::kDynamic, BuildAlgorithm::kBaseline)
+            .subcell_diagram()
+            ->SubcellSkyline(0, 0)
+            .data());
   }
 }
 BENCHMARK(BM_CandidatesFullRecompute)->Apply(CandidateArgs);
@@ -106,7 +114,11 @@ void BM_ParallelDsg(benchmark::State& state) {
   const int threads = static_cast<int>(state.range(0));
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        BuildQuadrantDsgParallel(ds, threads).CellSkyline(0, 0).data());
+        BuildDiagram(ds, SkylineQueryType::kQuadrant, BuildAlgorithm::kDsg,
+                     threads)
+            .cell_diagram()
+            ->CellSkyline(0, 0)
+            .data());
   }
 }
 BENCHMARK(BM_ParallelDsg)
@@ -123,7 +135,11 @@ void BM_ParallelDynamicScanning(benchmark::State& state) {
   const int threads = static_cast<int>(state.range(0));
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        BuildDynamicScanningParallel(ds, threads).SubcellSkyline(0, 0).data());
+        BuildDiagram(ds, SkylineQueryType::kDynamic, BuildAlgorithm::kScanning,
+                     threads)
+            .subcell_diagram()
+            ->SubcellSkyline(0, 0)
+            .data());
   }
 }
 BENCHMARK(BM_ParallelDynamicScanning)
@@ -162,7 +178,10 @@ void BM_IncrementalFullRebuild(benchmark::State& state) {
   Dataset ds = MakeDataset(state.range(0), 1 << 16, Distribution::kIndependent);
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        BuildQuadrantScanning(ds).CellSkyline(0, 0).data());
+        BuildDiagram(ds, SkylineQueryType::kQuadrant, BuildAlgorithm::kScanning)
+            .cell_diagram()
+            ->CellSkyline(0, 0)
+            .data());
   }
 }
 BENCHMARK(BM_IncrementalFullRebuild)

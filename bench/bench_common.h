@@ -6,8 +6,12 @@
 #define SKYDIA_BENCH_BENCH_COMMON_H_
 
 #include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "src/common/logging.h"
+#include "src/core/diagram.h"
 #include "src/datagen/distributions.h"
 #include "src/geometry/dataset.h"
 
@@ -52,6 +56,33 @@ inline Dataset MakeDistinctDataset(int64_t n, int64_t domain,
   auto ds = GenerateDataset(options);
   SKYDIA_CHECK(ds.ok());
   return std::move(ds).value();
+}
+
+inline Dataset CopyDataset(const Dataset& ds) {
+  std::vector<std::string> labels;
+  if (ds.has_labels()) {
+    labels.reserve(ds.size());
+    for (PointId id = 0; id < ds.size(); ++id) labels.push_back(ds.label(id));
+  }
+  auto copy = Dataset::Create(ds.points(), ds.domain_size(), std::move(labels));
+  SKYDIA_CHECK(copy.ok());
+  return std::move(copy).value();
+}
+
+// Benchmark-side spelling of the public builder facade. The dataset copy is
+// O(n) against Ω(n log n) construction, so the measured loop stays dominated
+// by the build itself.
+inline SkylineDiagram BuildDiagram(
+    const Dataset& ds, SkylineQueryType type,
+    BuildAlgorithm algorithm = BuildAlgorithm::kAuto, int parallelism = 1,
+    const DiagramOptions& diagram_options = {}) {
+  SkylineBuildOptions options;
+  options.algorithm = algorithm;
+  options.parallelism = parallelism;
+  options.diagram = diagram_options;
+  auto built = SkylineDiagram::Build(CopyDataset(ds), type, options);
+  SKYDIA_CHECK(built.ok());
+  return std::move(built).value();
 }
 
 }  // namespace skydia::bench

@@ -5,9 +5,6 @@
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_common.h"
-#include "src/core/dynamic_baseline.h"
-#include "src/core/dynamic_scanning.h"
-#include "src/core/dynamic_subset.h"
 
 namespace skydia::bench {
 namespace {
@@ -25,8 +22,10 @@ void BM_DynamicDomainBaseline(benchmark::State& state) {
   const Dataset ds =
       MakeDataset(kN, state.range(0), Distribution::kIndependent);
   for (auto _ : state) {
-    const SubcellDiagram diagram = BuildDynamicBaseline(ds);
-    benchmark::DoNotOptimize(diagram.SubcellSkyline(0, 0).data());
+    const SkylineDiagram diagram =
+        BuildDiagram(ds, SkylineQueryType::kDynamic, BuildAlgorithm::kBaseline);
+    benchmark::DoNotOptimize(
+        diagram.subcell_diagram()->SubcellSkyline(0, 0).data());
   }
 }
 BENCHMARK(BM_DynamicDomainBaseline)->Apply(DomainArgs);
@@ -35,8 +34,10 @@ void BM_DynamicDomainSubset(benchmark::State& state) {
   const Dataset ds =
       MakeDataset(kN, state.range(0), Distribution::kIndependent);
   for (auto _ : state) {
-    const SubcellDiagram diagram = BuildDynamicSubset(ds);
-    benchmark::DoNotOptimize(diagram.SubcellSkyline(0, 0).data());
+    const SkylineDiagram diagram =
+        BuildDiagram(ds, SkylineQueryType::kDynamic, BuildAlgorithm::kSubset);
+    benchmark::DoNotOptimize(
+        diagram.subcell_diagram()->SubcellSkyline(0, 0).data());
   }
 }
 BENCHMARK(BM_DynamicDomainSubset)->Apply(DomainArgs);
@@ -45,8 +46,10 @@ void BM_DynamicDomainScanning(benchmark::State& state) {
   const Dataset ds =
       MakeDataset(kN, state.range(0), Distribution::kIndependent);
   for (auto _ : state) {
-    const SubcellDiagram diagram = BuildDynamicScanning(ds);
-    benchmark::DoNotOptimize(diagram.SubcellSkyline(0, 0).data());
+    const SkylineDiagram diagram =
+        BuildDiagram(ds, SkylineQueryType::kDynamic, BuildAlgorithm::kScanning);
+    benchmark::DoNotOptimize(
+        diagram.subcell_diagram()->SubcellSkyline(0, 0).data());
   }
 }
 BENCHMARK(BM_DynamicDomainScanning)->Apply(DomainArgs);

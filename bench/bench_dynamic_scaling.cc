@@ -8,10 +8,6 @@
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_common.h"
-#include "src/core/dynamic_baseline.h"
-#include "src/core/dynamic_scanning.h"
-#include "src/core/dynamic_subset.h"
-#include "src/core/parallel.h"
 
 namespace skydia::bench {
 namespace {
@@ -31,8 +27,10 @@ void BM_DynamicBaseline(benchmark::State& state) {
   const Dataset ds = MakeDataset(state.range(1), kDomain,
                                  DistributionFromIndex(state.range(0)));
   for (auto _ : state) {
-    const SubcellDiagram diagram = BuildDynamicBaseline(ds);
-    benchmark::DoNotOptimize(diagram.SubcellSkyline(0, 0).data());
+    const SkylineDiagram diagram =
+        BuildDiagram(ds, SkylineQueryType::kDynamic, BuildAlgorithm::kBaseline);
+    benchmark::DoNotOptimize(
+        diagram.subcell_diagram()->SubcellSkyline(0, 0).data());
   }
   state.SetLabel(DistributionName(DistributionFromIndex(state.range(0))));
 }
@@ -42,8 +40,10 @@ void BM_DynamicSubset(benchmark::State& state) {
   const Dataset ds = MakeDataset(state.range(1), kDomain,
                                  DistributionFromIndex(state.range(0)));
   for (auto _ : state) {
-    const SubcellDiagram diagram = BuildDynamicSubset(ds);
-    benchmark::DoNotOptimize(diagram.SubcellSkyline(0, 0).data());
+    const SkylineDiagram diagram =
+        BuildDiagram(ds, SkylineQueryType::kDynamic, BuildAlgorithm::kSubset);
+    benchmark::DoNotOptimize(
+        diagram.subcell_diagram()->SubcellSkyline(0, 0).data());
   }
   state.SetLabel(DistributionName(DistributionFromIndex(state.range(0))));
 }
@@ -53,8 +53,10 @@ void BM_DynamicScanning(benchmark::State& state) {
   const Dataset ds = MakeDataset(state.range(1), kDomain,
                                  DistributionFromIndex(state.range(0)));
   for (auto _ : state) {
-    const SubcellDiagram diagram = BuildDynamicScanning(ds);
-    benchmark::DoNotOptimize(diagram.SubcellSkyline(0, 0).data());
+    const SkylineDiagram diagram =
+        BuildDiagram(ds, SkylineQueryType::kDynamic, BuildAlgorithm::kScanning);
+    benchmark::DoNotOptimize(
+        diagram.subcell_diagram()->SubcellSkyline(0, 0).data());
   }
   state.SetLabel(DistributionName(DistributionFromIndex(state.range(0))));
 }
@@ -69,8 +71,10 @@ void BM_DynamicScanningParallel(benchmark::State& state) {
       MakeDataset(state.range(1), kDomain, Distribution::kIndependent);
   const int threads = static_cast<int>(state.range(0));
   for (auto _ : state) {
-    const SubcellDiagram diagram = BuildDynamicScanningParallel(ds, threads);
-    benchmark::DoNotOptimize(diagram.SubcellSkyline(0, 0).data());
+    const SkylineDiagram diagram = BuildDiagram(
+        ds, SkylineQueryType::kDynamic, BuildAlgorithm::kScanning, threads);
+    benchmark::DoNotOptimize(
+        diagram.subcell_diagram()->SubcellSkyline(0, 0).data());
   }
 }
 BENCHMARK(BM_DynamicScanningParallel)->Apply([](auto* b) {
@@ -98,8 +102,10 @@ void BM_DynamicBaselineUnlimited(benchmark::State& state) {
   const Dataset ds =
       MakeDataset(state.range(0), 1 << 16, Distribution::kIndependent);
   for (auto _ : state) {
-    const SubcellDiagram diagram = BuildDynamicBaseline(ds);
-    benchmark::DoNotOptimize(diagram.SubcellSkyline(0, 0).data());
+    const SkylineDiagram diagram =
+        BuildDiagram(ds, SkylineQueryType::kDynamic, BuildAlgorithm::kBaseline);
+    benchmark::DoNotOptimize(
+        diagram.subcell_diagram()->SubcellSkyline(0, 0).data());
   }
 }
 BENCHMARK(BM_DynamicBaselineUnlimited)->Apply(UnlimitedArgs);
@@ -108,8 +114,10 @@ void BM_DynamicSubsetUnlimited(benchmark::State& state) {
   const Dataset ds =
       MakeDataset(state.range(0), 1 << 16, Distribution::kIndependent);
   for (auto _ : state) {
-    const SubcellDiagram diagram = BuildDynamicSubset(ds);
-    benchmark::DoNotOptimize(diagram.SubcellSkyline(0, 0).data());
+    const SkylineDiagram diagram =
+        BuildDiagram(ds, SkylineQueryType::kDynamic, BuildAlgorithm::kSubset);
+    benchmark::DoNotOptimize(
+        diagram.subcell_diagram()->SubcellSkyline(0, 0).data());
   }
 }
 BENCHMARK(BM_DynamicSubsetUnlimited)->Apply(UnlimitedArgs);
@@ -118,8 +126,10 @@ void BM_DynamicScanningUnlimited(benchmark::State& state) {
   const Dataset ds =
       MakeDataset(state.range(0), 1 << 16, Distribution::kIndependent);
   for (auto _ : state) {
-    const SubcellDiagram diagram = BuildDynamicScanning(ds);
-    benchmark::DoNotOptimize(diagram.SubcellSkyline(0, 0).data());
+    const SkylineDiagram diagram =
+        BuildDiagram(ds, SkylineQueryType::kDynamic, BuildAlgorithm::kScanning);
+    benchmark::DoNotOptimize(
+        diagram.subcell_diagram()->SubcellSkyline(0, 0).data());
   }
 }
 BENCHMARK(BM_DynamicScanningUnlimited)->Apply(UnlimitedArgs);

@@ -5,9 +5,6 @@
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_common.h"
-#include "src/core/quadrant_baseline.h"
-#include "src/core/quadrant_dsg.h"
-#include "src/core/quadrant_scanning.h"
 #include "src/core/quadrant_sweeping.h"
 
 namespace skydia::bench {
@@ -26,8 +23,9 @@ void BM_DomainBaseline(benchmark::State& state) {
   const Dataset ds =
       MakeDataset(kN, state.range(0), Distribution::kIndependent);
   for (auto _ : state) {
-    const CellDiagram diagram = BuildQuadrantBaseline(ds);
-    benchmark::DoNotOptimize(diagram.CellSkyline(0, 0).data());
+    const SkylineDiagram diagram = BuildDiagram(
+        ds, SkylineQueryType::kQuadrant, BuildAlgorithm::kBaseline);
+    benchmark::DoNotOptimize(diagram.cell_diagram()->CellSkyline(0, 0).data());
   }
 }
 BENCHMARK(BM_DomainBaseline)->Apply(DomainArgs);
@@ -36,8 +34,9 @@ void BM_DomainDsg(benchmark::State& state) {
   const Dataset ds =
       MakeDataset(kN, state.range(0), Distribution::kIndependent);
   for (auto _ : state) {
-    const CellDiagram diagram = BuildQuadrantDsg(ds);
-    benchmark::DoNotOptimize(diagram.CellSkyline(0, 0).data());
+    const SkylineDiagram diagram =
+        BuildDiagram(ds, SkylineQueryType::kQuadrant, BuildAlgorithm::kDsg);
+    benchmark::DoNotOptimize(diagram.cell_diagram()->CellSkyline(0, 0).data());
   }
 }
 BENCHMARK(BM_DomainDsg)->Apply(DomainArgs);
@@ -46,8 +45,9 @@ void BM_DomainScanning(benchmark::State& state) {
   const Dataset ds =
       MakeDataset(kN, state.range(0), Distribution::kIndependent);
   for (auto _ : state) {
-    const CellDiagram diagram = BuildQuadrantScanning(ds);
-    benchmark::DoNotOptimize(diagram.CellSkyline(0, 0).data());
+    const SkylineDiagram diagram = BuildDiagram(
+        ds, SkylineQueryType::kQuadrant, BuildAlgorithm::kScanning);
+    benchmark::DoNotOptimize(diagram.cell_diagram()->CellSkyline(0, 0).data());
   }
 }
 BENCHMARK(BM_DomainScanning)->Apply(DomainArgs);

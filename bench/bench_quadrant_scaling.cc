@@ -9,9 +9,6 @@
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_common.h"
-#include "src/core/quadrant_baseline.h"
-#include "src/core/quadrant_dsg.h"
-#include "src/core/quadrant_scanning.h"
 #include "src/core/quadrant_sweeping.h"
 
 namespace skydia::bench {
@@ -30,8 +27,9 @@ void BM_QuadrantBaseline(benchmark::State& state) {
   const Dataset ds = MakeDataset(state.range(1), 1 << 16,
                                  DistributionFromIndex(state.range(0)));
   for (auto _ : state) {
-    const CellDiagram diagram = BuildQuadrantBaseline(ds);
-    benchmark::DoNotOptimize(diagram.CellSkyline(0, 0).data());
+    const SkylineDiagram diagram = BuildDiagram(
+        ds, SkylineQueryType::kQuadrant, BuildAlgorithm::kBaseline);
+    benchmark::DoNotOptimize(diagram.cell_diagram()->CellSkyline(0, 0).data());
   }
   state.SetLabel(DistributionName(DistributionFromIndex(state.range(0))));
 }
@@ -43,8 +41,9 @@ void BM_QuadrantDsg(benchmark::State& state) {
   const Dataset ds = MakeDataset(state.range(1), 1 << 16,
                                  DistributionFromIndex(state.range(0)));
   for (auto _ : state) {
-    const CellDiagram diagram = BuildQuadrantDsg(ds);
-    benchmark::DoNotOptimize(diagram.CellSkyline(0, 0).data());
+    const SkylineDiagram diagram =
+        BuildDiagram(ds, SkylineQueryType::kQuadrant, BuildAlgorithm::kDsg);
+    benchmark::DoNotOptimize(diagram.cell_diagram()->CellSkyline(0, 0).data());
   }
   state.SetLabel(DistributionName(DistributionFromIndex(state.range(0))));
 }
@@ -56,8 +55,9 @@ void BM_QuadrantScanning(benchmark::State& state) {
   const Dataset ds = MakeDataset(state.range(1), 1 << 16,
                                  DistributionFromIndex(state.range(0)));
   for (auto _ : state) {
-    const CellDiagram diagram = BuildQuadrantScanning(ds);
-    benchmark::DoNotOptimize(diagram.CellSkyline(0, 0).data());
+    const SkylineDiagram diagram = BuildDiagram(
+        ds, SkylineQueryType::kQuadrant, BuildAlgorithm::kScanning);
+    benchmark::DoNotOptimize(diagram.cell_diagram()->CellSkyline(0, 0).data());
   }
   state.SetLabel(DistributionName(DistributionFromIndex(state.range(0))));
 }

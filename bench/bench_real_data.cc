@@ -8,12 +8,6 @@
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_common.h"
-#include "src/core/dynamic_baseline.h"
-#include "src/core/dynamic_scanning.h"
-#include "src/core/dynamic_subset.h"
-#include "src/core/quadrant_baseline.h"
-#include "src/core/quadrant_dsg.h"
-#include "src/core/quadrant_scanning.h"
 #include "src/core/quadrant_sweeping.h"
 #include "src/datagen/real_data.h"
 
@@ -49,7 +43,11 @@ void RealDataArgs(benchmark::internal::Benchmark* b) {
 void BM_RealQuadrantBaseline(benchmark::State& state) {
   const Dataset& ds = Pick(state.range(0));
   for (auto _ : state) {
-    benchmark::DoNotOptimize(BuildQuadrantBaseline(ds).CellSkyline(0, 0).data());
+    benchmark::DoNotOptimize(
+        BuildDiagram(ds, SkylineQueryType::kQuadrant, BuildAlgorithm::kBaseline)
+            .cell_diagram()
+            ->CellSkyline(0, 0)
+            .data());
   }
   state.SetLabel(PickName(state.range(0)));
 }
@@ -58,7 +56,11 @@ BENCHMARK(BM_RealQuadrantBaseline)->Apply(RealDataArgs);
 void BM_RealQuadrantDsg(benchmark::State& state) {
   const Dataset& ds = Pick(state.range(0));
   for (auto _ : state) {
-    benchmark::DoNotOptimize(BuildQuadrantDsg(ds).CellSkyline(0, 0).data());
+    benchmark::DoNotOptimize(
+        BuildDiagram(ds, SkylineQueryType::kQuadrant, BuildAlgorithm::kDsg)
+            .cell_diagram()
+            ->CellSkyline(0, 0)
+            .data());
   }
   state.SetLabel(PickName(state.range(0)));
 }
@@ -68,7 +70,10 @@ void BM_RealQuadrantScanning(benchmark::State& state) {
   const Dataset& ds = Pick(state.range(0));
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        BuildQuadrantScanning(ds).CellSkyline(0, 0).data());
+        BuildDiagram(ds, SkylineQueryType::kQuadrant, BuildAlgorithm::kScanning)
+            .cell_diagram()
+            ->CellSkyline(0, 0)
+            .data());
   }
   state.SetLabel(PickName(state.range(0)));
 }
@@ -103,7 +108,10 @@ void BM_RealDynamicBaseline(benchmark::State& state) {
   }
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        BuildDynamicBaseline(ds).SubcellSkyline(0, 0).data());
+        BuildDiagram(ds, SkylineQueryType::kDynamic, BuildAlgorithm::kBaseline)
+            .subcell_diagram()
+            ->SubcellSkyline(0, 0)
+            .data());
   }
   state.SetLabel(PickName(state.range(0)));
 }
@@ -113,7 +121,10 @@ void BM_RealDynamicSubset(benchmark::State& state) {
   const Dataset& ds = Pick(state.range(0));
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        BuildDynamicSubset(ds).SubcellSkyline(0, 0).data());
+        BuildDiagram(ds, SkylineQueryType::kDynamic, BuildAlgorithm::kSubset)
+            .subcell_diagram()
+            ->SubcellSkyline(0, 0)
+            .data());
   }
   state.SetLabel(PickName(state.range(0)));
 }
@@ -123,7 +134,10 @@ void BM_RealDynamicScanning(benchmark::State& state) {
   const Dataset& ds = Pick(state.range(0));
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        BuildDynamicScanning(ds).SubcellSkyline(0, 0).data());
+        BuildDiagram(ds, SkylineQueryType::kDynamic, BuildAlgorithm::kScanning)
+            .subcell_diagram()
+            ->SubcellSkyline(0, 0)
+            .data());
   }
   state.SetLabel(PickName(state.range(0)));
 }

@@ -1,0 +1,263 @@
+// Closed-loop throughput benchmark for the `skydia serve` daemon.
+//
+// Opens N connections, keeps `pipeline` query lines in flight on each, and
+// measures completed replies over a wall-clock window. Two modes:
+//
+//   bench_serve_throughput --port P [--host H]      drive an external server
+//   bench_serve_throughput                          self-hosted: builds an
+//       n=4096 quadrant fixture, starts an in-process SkylineServer, and
+//       drives it over real loopback sockets (the CI smoke configuration).
+//
+// Flags: --connections C (default 4), --pipeline D (default 64),
+//        --duration-seconds S (default 2), --n N (fixture size, default
+//        4096), --labels (ask for label replies).
+//
+// Prints total queries, qps and error counts; exits non-zero when any reply
+// was an error, a connection failed, or throughput was zero — the CI smoke
+// job relies on the exit code.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/core/diagram.h"
+#include "src/core/serialize.h"
+#include "src/datagen/distributions.h"
+#include "src/serve/server.h"
+
+namespace skydia {
+namespace {
+
+struct ClientStats {
+  uint64_t replies = 0;
+  uint64_t errors = 0;
+  bool transport_failed = false;
+};
+
+int DialServer(const std::string& host, int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return -1;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+bool SendAll(int fd, const std::string& data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+/// One closed-loop connection: write a burst of `pipeline` queries, read
+/// exactly that many reply lines, repeat until the deadline.
+void RunClient(const std::string& host, int port, int64_t domain,
+               int pipeline, bool labels,
+               std::chrono::steady_clock::time_point deadline, uint64_t seed,
+               ClientStats* stats) {
+  const int fd = DialServer(host, port);
+  if (fd < 0) {
+    stats->transport_failed = true;
+    return;
+  }
+  Rng rng(seed);
+  std::string burst;
+  std::string inbox;
+  char chunk[16 * 1024];
+  while (std::chrono::steady_clock::now() < deadline) {
+    burst.clear();
+    for (int i = 0; i < pipeline; ++i) {
+      const int64_t x = rng.NextInt(0, domain - 1);
+      const int64_t y = rng.NextInt(0, domain - 1);
+      burst.append("{\"q\":[")
+          .append(std::to_string(x))
+          .append(",")
+          .append(std::to_string(y));
+      if (labels) {
+        burst.append("],\"labels\":true}\n");
+      } else {
+        burst.append("]}\n");
+      }
+    }
+    if (!SendAll(fd, burst)) {
+      stats->transport_failed = true;
+      break;
+    }
+    int pending = pipeline;
+    while (pending > 0) {
+      size_t nl;
+      while (pending > 0 && (nl = inbox.find('\n')) != std::string::npos) {
+        if (inbox.compare(0, 9, "{\"error\":") == 0) ++stats->errors;
+        ++stats->replies;
+        --pending;
+        inbox.erase(0, nl + 1);
+      }
+      if (pending == 0) break;
+      const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        stats->transport_failed = true;
+        pending = 0;
+        break;
+      }
+      inbox.append(chunk, static_cast<size_t>(n));
+    }
+    if (stats->transport_failed) break;
+  }
+  ::close(fd);
+}
+
+int64_t FlagInt(int argc, char** argv, const char* name, int64_t fallback) {
+  const std::string prefix = std::string(name) + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == name && i + 1 < argc) return std::atoll(argv[i + 1]);
+    if (arg.rfind(prefix, 0) == 0) {
+      return std::atoll(arg.c_str() + prefix.size());
+    }
+  }
+  return fallback;
+}
+
+std::string FlagString(int argc, char** argv, const char* name,
+                       const std::string& fallback) {
+  const std::string prefix = std::string(name) + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == name && i + 1 < argc) return argv[i + 1];
+    if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+  }
+  return fallback;
+}
+
+bool FlagBool(int argc, char** argv, const char* name) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == name) return true;
+  }
+  return false;
+}
+
+int Main(int argc, char** argv) {
+  const std::string host = FlagString(argc, argv, "--host", "127.0.0.1");
+  int port = static_cast<int>(FlagInt(argc, argv, "--port", 0));
+  const int connections =
+      static_cast<int>(FlagInt(argc, argv, "--connections", 4));
+  const int pipeline = static_cast<int>(FlagInt(argc, argv, "--pipeline", 64));
+  const int duration =
+      static_cast<int>(FlagInt(argc, argv, "--duration-seconds", 2));
+  const auto n = static_cast<size_t>(FlagInt(argc, argv, "--n", 4096));
+  const bool labels = FlagBool(argc, argv, "--labels");
+  int64_t domain = FlagInt(argc, argv, "--domain", 1 << 20);
+
+  // Self-hosted mode: build the fixture, save it (the reload path needs a
+  // file on disk), and serve it in-process.
+  serve::SkylineServer* server = nullptr;
+  serve::SkylineServer self_hosted;
+  std::string fixture_path;
+  if (port == 0) {
+    DataGenOptions gen;
+    gen.n = n;
+    gen.domain_size = domain;
+    gen.seed = 42;
+    auto dataset = GenerateDataset(gen);
+    if (!dataset.ok()) {
+      std::cerr << "fixture dataset: " << dataset.status() << "\n";
+      return 1;
+    }
+    auto diagram = SkylineDiagram::Build(*std::move(dataset),
+                                         SkylineQueryType::kQuadrant);
+    if (!diagram.ok()) {
+      std::cerr << "fixture build: " << diagram.status() << "\n";
+      return 1;
+    }
+    fixture_path = "/tmp/skydia_bench_serve_" + std::to_string(::getpid()) +
+                   ".skd";
+    if (Status s = SaveCellDiagram(diagram->dataset(),
+                                   *diagram->cell_diagram(), fixture_path);
+        !s.ok()) {
+      std::cerr << "fixture save: " << s << "\n";
+      return 1;
+    }
+    if (Status s = self_hosted.Start(fixture_path); !s.ok()) {
+      std::cerr << "server start: " << s << "\n";
+      return 1;
+    }
+    server = &self_hosted;
+    port = self_hosted.port();
+    std::cout << "self-hosted fixture: n=" << n << " domain=" << domain
+              << " port=" << port << "\n";
+  }
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(duration);
+  std::vector<ClientStats> stats(static_cast<size_t>(connections));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(connections));
+  const auto start = std::chrono::steady_clock::now();
+  for (int c = 0; c < connections; ++c) {
+    threads.emplace_back(RunClient, host, port, domain, pipeline, labels,
+                         deadline, static_cast<uint64_t>(c + 1),
+                         &stats[static_cast<size_t>(c)]);
+  }
+  for (auto& t : threads) t.join();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  uint64_t replies = 0;
+  uint64_t errors = 0;
+  bool transport_failed = false;
+  for (const ClientStats& s : stats) {
+    replies += s.replies;
+    errors += s.errors;
+    transport_failed = transport_failed || s.transport_failed;
+  }
+  const double qps = elapsed > 0 ? static_cast<double>(replies) / elapsed : 0;
+  std::printf(
+      "serve bench: %llu replies in %.2fs over %d connection(s) "
+      "(pipeline %d) -> %.0f qps, %llu error replies%s\n",
+      static_cast<unsigned long long>(replies), elapsed, connections,
+      pipeline, qps, static_cast<unsigned long long>(errors),
+      transport_failed ? ", TRANSPORT FAILURE" : "");
+  if (server != nullptr) {
+    std::cout << server->RenderMetrics();
+    server->Stop();
+  }
+  if (!fixture_path.empty()) ::unlink(fixture_path.c_str());
+
+  if (transport_failed || errors > 0 || replies == 0) return 1;
+  return 0;
+}
+
+}  // namespace
+}  // namespace skydia
+
+int main(int argc, char** argv) { return skydia::Main(argc, argv); }

@@ -5,9 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_common.h"
-#include "src/core/dynamic_scanning.h"
 #include "src/core/merge.h"
-#include "src/core/quadrant_scanning.h"
 #include "src/core/quadrant_sweeping.h"
 
 namespace skydia::bench {
@@ -28,7 +26,9 @@ void BM_QuadrantStructure(benchmark::State& state) {
   CellDiagram::Stats stats;
   uint32_t polyominoes = 0;
   for (auto _ : state) {
-    const CellDiagram diagram = BuildQuadrantScanning(ds);
+    const SkylineDiagram built = BuildDiagram(
+        ds, SkylineQueryType::kQuadrant, BuildAlgorithm::kScanning);
+    const CellDiagram& diagram = *built.cell_diagram();
     stats = diagram.ComputeStats();
     polyominoes = MergeCells(diagram).num_polyominoes();
   }
@@ -70,8 +70,9 @@ void BM_DynamicStructure(benchmark::State& state) {
                                  DistributionFromIndex(state.range(0)));
   SubcellDiagram::Stats stats;
   for (auto _ : state) {
-    const SubcellDiagram diagram = BuildDynamicScanning(ds);
-    stats = diagram.ComputeStats();
+    const SkylineDiagram built =
+        BuildDiagram(ds, SkylineQueryType::kDynamic, BuildAlgorithm::kScanning);
+    stats = built.subcell_diagram()->ComputeStats();
   }
   state.counters["subcells"] = static_cast<double>(stats.num_subcells);
   state.counters["distinct_sets"] = static_cast<double>(stats.num_distinct_sets);

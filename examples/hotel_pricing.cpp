@@ -10,7 +10,6 @@
 
 #include "src/core/diagram.h"
 #include "src/core/merge.h"
-#include "src/core/quadrant_scanning.h"
 #include "src/datagen/real_data.h"
 
 using namespace skydia;
@@ -50,7 +49,7 @@ int main(int argc, char** argv) {
   print("Dynamic skyline (closest overall)", dynamic->QueryLabels(q));
 
   // Show the precomputed structure the queries run against.
-  const CellDiagram cells = BuildQuadrantScanning(hotels);
+  const CellDiagram& cells = *quadrant->cell_diagram();
   const MergedPolyominoes merged = MergeCells(cells);
   const auto stats = cells.ComputeStats();
   std::cout << "\nQuadrant diagram structure: " << stats.num_cells

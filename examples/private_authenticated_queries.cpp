@@ -8,10 +8,11 @@
 //
 //   $ ./private_authenticated_queries
 #include <iostream>
+#include <utility>
 
 #include "src/apps/authentication.h"
 #include "src/apps/pir.h"
-#include "src/core/quadrant_scanning.h"
+#include "src/core/diagram.h"
 #include "src/datagen/distributions.h"
 #include "src/datagen/workload.h"
 
@@ -27,9 +28,16 @@ int main() {
     std::cerr << "datagen failed: " << dataset.status() << "\n";
     return 1;
   }
-  const CellDiagram diagram = BuildQuadrantScanning(*dataset);
+  auto built = SkylineDiagram::Build(std::move(dataset).value(),
+                                     SkylineQueryType::kQuadrant);
+  if (!built.ok()) {
+    std::cerr << "diagram construction failed: " << built.status() << "\n";
+    return 1;
+  }
+  const Dataset& data = built->dataset();
+  const CellDiagram& diagram = *built->cell_diagram();
   std::cout << "diagram: " << diagram.grid().num_cells() << " cells over "
-            << dataset->size() << " points\n\n";
+            << data.size() << " points\n\n";
 
   // --- Authentication ------------------------------------------------------
   const AuthenticatedDiagram auth(diagram);
@@ -62,7 +70,7 @@ int main() {
             << db.record_bytes << " bytes\n";
   Rng rng(31);
   int correct = 0;
-  const auto queries = GenerateQueries(*dataset, 20, 41);
+  const auto queries = GenerateQueries(data, 20, 41);
   for (const Point2D& query : queries) {
     auto result =
         PrivateSkylineQuery(diagram, db, replica1, replica2, query, &rng);

@@ -4,6 +4,7 @@
 #include "src/core/dynamic_baseline.h"
 #include "src/core/dynamic_scanning.h"
 #include "src/core/dynamic_subset.h"
+#include "src/core/parallel.h"
 #include "src/core/validate.h"
 #include "src/skyline/query.h"
 
@@ -55,6 +56,14 @@ const char* SkylineQueryTypeName(SkylineQueryType type) {
   return "?";
 }
 
+StatusOr<SkylineQueryType> ParseSkylineQueryType(const std::string& name) {
+  if (name == "quadrant") return SkylineQueryType::kQuadrant;
+  if (name == "global") return SkylineQueryType::kGlobal;
+  if (name == "dynamic") return SkylineQueryType::kDynamic;
+  return Status::InvalidArgument("unknown query semantics \"" + name +
+                                 "\" (quadrant|global|dynamic)");
+}
+
 const char* DynamicAlgorithmName(DynamicAlgorithm algorithm) {
   switch (algorithm) {
     case DynamicAlgorithm::kBaseline:
@@ -67,39 +76,128 @@ const char* DynamicAlgorithmName(DynamicAlgorithm algorithm) {
   return "?";
 }
 
+const char* BuildAlgorithmName(BuildAlgorithm algorithm) {
+  switch (algorithm) {
+    case BuildAlgorithm::kAuto:
+      return "auto";
+    case BuildAlgorithm::kBaseline:
+      return "baseline";
+    case BuildAlgorithm::kDsg:
+      return "dsg";
+    case BuildAlgorithm::kSubset:
+      return "subset";
+    case BuildAlgorithm::kScanning:
+      return "scanning";
+  }
+  return "?";
+}
+
+StatusOr<BuildAlgorithm> ParseBuildAlgorithm(const std::string& name) {
+  if (name == "auto") return BuildAlgorithm::kAuto;
+  if (name == "baseline") return BuildAlgorithm::kBaseline;
+  if (name == "dsg") return BuildAlgorithm::kDsg;
+  if (name == "subset") return BuildAlgorithm::kSubset;
+  if (name == "scanning") return BuildAlgorithm::kScanning;
+  return Status::InvalidArgument(
+      "unknown build algorithm \"" + name +
+      "\" (auto|baseline|dsg|subset|scanning)");
+}
+
+namespace {
+
+/// Builds the cell diagram (quadrant or global) for the resolved options.
+StatusOr<CellDiagram> BuildCell(const Dataset& dataset, SkylineQueryType type,
+                                const SkylineBuildOptions& options) {
+  QuadrantAlgorithm cell = QuadrantAlgorithm::kScanning;
+  switch (options.algorithm) {
+    case BuildAlgorithm::kAuto:
+      cell = (options.parallelism > 1 && type == SkylineQueryType::kQuadrant)
+                 ? QuadrantAlgorithm::kDsg
+                 : QuadrantAlgorithm::kScanning;
+      break;
+    case BuildAlgorithm::kBaseline:
+      cell = QuadrantAlgorithm::kBaseline;
+      break;
+    case BuildAlgorithm::kDsg:
+      cell = QuadrantAlgorithm::kDsg;
+      break;
+    case BuildAlgorithm::kScanning:
+      cell = QuadrantAlgorithm::kScanning;
+      break;
+    case BuildAlgorithm::kSubset:
+      return Status::InvalidArgument(
+          "the subset construction builds dynamic diagrams only");
+  }
+  if (options.parallelism > 1) {
+    if (type == SkylineQueryType::kGlobal) {
+      return Status::InvalidArgument(
+          "global diagrams have no parallel construction; use parallelism 1");
+    }
+    if (cell != QuadrantAlgorithm::kDsg) {
+      return Status::InvalidArgument(
+          "parallel quadrant construction runs the dsg algorithm; request "
+          "algorithm auto or dsg");
+    }
+    return BuildQuadrantDsgParallel(dataset, options.parallelism,
+                                    options.diagram);
+  }
+  return type == SkylineQueryType::kQuadrant
+             ? BuildQuadrantDiagram(dataset, cell, options.diagram)
+             : BuildGlobalDiagram(dataset, cell, options.diagram);
+}
+
+/// Builds the subcell diagram (dynamic semantics) for the resolved options.
+StatusOr<SubcellDiagram> BuildSubcell(const Dataset& dataset,
+                                      const SkylineBuildOptions& options) {
+  if (options.parallelism > 1) {
+    if (options.algorithm != BuildAlgorithm::kAuto &&
+        options.algorithm != BuildAlgorithm::kScanning) {
+      return Status::InvalidArgument(
+          "parallel dynamic construction runs the scanning algorithm; "
+          "request algorithm auto or scanning");
+    }
+    return BuildDynamicScanningParallel(dataset, options.parallelism,
+                                        options.diagram);
+  }
+  switch (options.algorithm) {
+    case BuildAlgorithm::kAuto:
+    case BuildAlgorithm::kScanning:
+      return BuildDynamicScanning(dataset, options.diagram);
+    case BuildAlgorithm::kBaseline:
+      return BuildDynamicBaseline(dataset, options.diagram);
+    case BuildAlgorithm::kSubset:
+      return BuildDynamicSubset(dataset, QuadrantAlgorithm::kScanning,
+                                options.diagram);
+    case BuildAlgorithm::kDsg:
+      // The DSG spelling of a dynamic build: the subset construction over a
+      // DSG-built global diagram.
+      return BuildDynamicSubset(dataset, QuadrantAlgorithm::kDsg,
+                                options.diagram);
+  }
+  return Status::Internal("unreachable dynamic algorithm");
+}
+
+}  // namespace
+
 StatusOr<SkylineDiagram> SkylineDiagram::Build(Dataset dataset,
                                                SkylineQueryType type,
                                                const BuildOptions& options) {
   if (dataset.empty()) {
     return Status::InvalidArgument("cannot build a diagram of zero points");
   }
+  if (options.parallelism < 1) {
+    return Status::InvalidArgument("parallelism must be >= 1");
+  }
   SkylineDiagram diagram(std::move(dataset), type);
-  switch (type) {
-    case SkylineQueryType::kQuadrant:
-      diagram.cell_ = std::make_unique<CellDiagram>(BuildQuadrantDiagram(
-          diagram.dataset_, options.cell_algorithm, options.diagram));
-      break;
-    case SkylineQueryType::kGlobal:
-      diagram.cell_ = std::make_unique<CellDiagram>(BuildGlobalDiagram(
-          diagram.dataset_, options.cell_algorithm, options.diagram));
-      break;
-    case SkylineQueryType::kDynamic:
-      switch (options.dynamic_algorithm) {
-        case DynamicAlgorithm::kBaseline:
-          diagram.subcell_ = std::make_unique<SubcellDiagram>(
-              BuildDynamicBaseline(diagram.dataset_, options.diagram));
-          break;
-        case DynamicAlgorithm::kSubset:
-          diagram.subcell_ = std::make_unique<SubcellDiagram>(
-              BuildDynamicSubset(diagram.dataset_, options.cell_algorithm,
-                                 options.diagram));
-          break;
-        case DynamicAlgorithm::kScanning:
-          diagram.subcell_ = std::make_unique<SubcellDiagram>(
-              BuildDynamicScanning(diagram.dataset_, options.diagram));
-          break;
-      }
-      break;
+  if (type == SkylineQueryType::kDynamic) {
+    auto subcell = BuildSubcell(diagram.dataset_, options);
+    if (!subcell.ok()) return subcell.status();
+    diagram.subcell_ =
+        std::make_unique<SubcellDiagram>(std::move(subcell).value());
+  } else {
+    auto cell = BuildCell(diagram.dataset_, type, options);
+    if (!cell.ok()) return cell.status();
+    diagram.cell_ = std::make_unique<CellDiagram>(std::move(cell).value());
   }
 #ifndef NDEBUG
   DebugValidate(diagram, options);

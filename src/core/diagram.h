@@ -33,6 +33,9 @@ enum class SkylineQueryType { kQuadrant, kGlobal, kDynamic };
 
 const char* SkylineQueryTypeName(SkylineQueryType type);
 
+/// Parses "quadrant" | "global" | "dynamic" (the CLI and wire spellings).
+StatusOr<SkylineQueryType> ParseSkylineQueryType(const std::string& name);
+
 /// Which dynamic-diagram construction to run.
 enum class DynamicAlgorithm {
   kBaseline,  // Algorithm 5
@@ -42,13 +45,36 @@ enum class DynamicAlgorithm {
 
 const char* DynamicAlgorithmName(DynamicAlgorithm algorithm);
 
+/// Algorithm selector for SkylineDiagram::Build, unified across the three
+/// query semantics. Every named paper construction is reachable through this
+/// one enum; Build() rejects combinations that do not exist (for example
+/// kSubset for a quadrant diagram) with InvalidArgument.
+enum class BuildAlgorithm {
+  /// The recommended construction for the requested semantics and
+  /// parallelism: scanning everywhere, except that a parallel quadrant build
+  /// selects the striped DSG construction.
+  kAuto,
+  kBaseline,  // Algorithm 1 (quadrant/global) / Algorithm 5 (dynamic)
+  kDsg,       // Algorithm 2 (quadrant/global); DSG-backed subset for dynamic
+  kSubset,    // Algorithm 6 (dynamic only)
+  kScanning,  // Algorithm 3 (quadrant/global) / Algorithm 7 (dynamic)
+};
+
+const char* BuildAlgorithmName(BuildAlgorithm algorithm);
+
+/// Parses "auto" | "baseline" | "dsg" | "subset" | "scanning" (the CLI and
+/// config spellings). Returns InvalidArgument on anything else.
+StatusOr<BuildAlgorithm> ParseBuildAlgorithm(const std::string& name);
+
 /// Options for SkylineDiagram::Build.
 struct SkylineBuildOptions {
-  /// Construction used for quadrant/global diagrams (and for the global
-  /// diagram underlying the dynamic subset algorithm).
-  QuadrantAlgorithm cell_algorithm = QuadrantAlgorithm::kScanning;
-  /// Construction used for dynamic diagrams.
-  DynamicAlgorithm dynamic_algorithm = DynamicAlgorithm::kScanning;
+  /// Which construction to run (see BuildAlgorithm).
+  BuildAlgorithm algorithm = BuildAlgorithm::kAuto;
+  /// Worker threads for construction. 1 runs the sequential reference
+  /// algorithms; > 1 selects the striped parallel builders (quadrant: DSG,
+  /// dynamic: scanning — other algorithm choices are rejected, and global
+  /// diagrams have no parallel construction).
+  int parallelism = 1;
   DiagramOptions diagram;
 };
 

@@ -16,6 +16,8 @@
 
 namespace skydia {
 
+/// Deprecated direct entry point — new code should go through
+/// SkylineDiagram::Build (src/core/diagram.h), which dispatches here.
 /// Builds the dynamic skyline diagram with the baseline algorithm.
 SubcellDiagram BuildDynamicBaseline(const Dataset& dataset,
                                     const DiagramOptions& options = {});

@@ -16,6 +16,8 @@
 
 namespace skydia {
 
+/// Deprecated direct entry point — new code should go through
+/// SkylineDiagram::Build (src/core/diagram.h), which dispatches here.
 /// Builds the dynamic skyline diagram via the subset algorithm. `algorithm`
 /// selects the underlying global-diagram construction (default: scanning,
 /// the fastest cell-based builder).

@@ -28,11 +28,15 @@ enum class QuadrantAlgorithm {
 
 const char* QuadrantAlgorithmName(QuadrantAlgorithm algorithm);
 
+/// Deprecated direct entry point — new code should go through
+/// SkylineDiagram::Build (src/core/diagram.h), which dispatches here.
 /// Dispatches to the chosen first-quadrant builder.
 CellDiagram BuildQuadrantDiagram(const Dataset& dataset,
                                  QuadrantAlgorithm algorithm,
                                  const DiagramOptions& options = {});
 
+/// Deprecated direct entry point — new code should go through
+/// SkylineDiagram::Build (src/core/diagram.h), which dispatches here.
 /// Builds the global skyline diagram (union of the four quadrant skylines per
 /// cell) using `algorithm` for each of the four reflected constructions.
 CellDiagram BuildGlobalDiagram(const Dataset& dataset,

@@ -8,14 +8,20 @@
 namespace skydia {
 
 StatusOr<IncrementalQuadrantDiagram> IncrementalQuadrantDiagram::Create(
-    Dataset dataset, const DiagramOptions& options) {
+    Dataset dataset, const IncrementalOptions& options) {
   if (dataset.empty()) {
     return Status::InvalidArgument("cannot build a diagram of zero points");
   }
+  if (options.require_distinct_coordinates &&
+      !dataset.HasDistinctCoordinates()) {
+    return Status::InvalidArgument(
+        "require_distinct_coordinates was set but the seed dataset has "
+        "duplicated coordinate values");
+  }
   auto diagram = std::make_unique<CellDiagram>(
-      BuildQuadrantScanning(dataset, options));
+      BuildQuadrantScanning(dataset, options.diagram));
   return IncrementalQuadrantDiagram(std::move(dataset), std::move(diagram),
-                                    options.intern_result_sets);
+                                    options);
 }
 
 StatusOr<PointId> IncrementalQuadrantDiagram::Insert(const Point2D& p) {
@@ -37,15 +43,21 @@ StatusOr<PointId> IncrementalQuadrantDiagram::Insert(const Point2D& p) {
     labels.push_back(std::to_string(new_id));
     labels.back().insert(0, 1, 'p');
   }
+  DatasetOptions dataset_options;
+  dataset_options.require_distinct_coordinates =
+      options_.require_distinct_coordinates;
   auto new_dataset = Dataset::Create(std::move(points), dataset_.domain_size(),
-                                     std::move(labels));
-  SKYDIA_CHECK(new_dataset.ok());
+                                     std::move(labels), dataset_options);
+  // A rejected extension (for example a duplicated coordinate under
+  // require_distinct_coordinates) leaves this diagram untouched.
+  if (!new_dataset.ok()) return new_dataset.status();
 
   const CellGrid& old_grid = diagram_->grid();
   const bool x_existed = old_grid.IsOnVerticalLine(p.x);
   const bool y_existed = old_grid.IsOnHorizontalLine(p.y);
 
-  auto next = std::make_unique<CellDiagram>(*new_dataset, intern_);
+  auto next = std::make_unique<CellDiagram>(
+      *new_dataset, options_.diagram.intern_result_sets);
   const CellGrid& grid = next->grid();
   const uint32_t r = grid.xrank(new_id);
   const uint32_t ry = grid.yrank(new_id);

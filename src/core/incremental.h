@@ -23,19 +23,32 @@
 
 namespace skydia {
 
+/// Options for IncrementalQuadrantDiagram.
+struct IncrementalOptions {
+  DiagramOptions diagram;
+  /// Maintain the distinct-coordinates invariant across inserts: Create and
+  /// Insert reject any point that duplicates an existing x or y coordinate
+  /// (forwarded to Dataset::Create, whose failure surfaces as
+  /// InvalidArgument — never an abort).
+  bool require_distinct_coordinates = false;
+};
+
 /// A quadrant skyline diagram that supports appending points.
 class IncrementalQuadrantDiagram {
  public:
   /// Builds the initial diagram (scanning construction).
   static StatusOr<IncrementalQuadrantDiagram> Create(
-      Dataset dataset, const DiagramOptions& options = {});
+      Dataset dataset, const IncrementalOptions& options = {});
 
   IncrementalQuadrantDiagram(IncrementalQuadrantDiagram&&) = default;
   IncrementalQuadrantDiagram& operator=(IncrementalQuadrantDiagram&&) =
       default;
 
   /// Inserts `p` and updates the diagram. Returns the new point's id (always
-  /// the previous size()) or InvalidArgument when `p` is outside the domain.
+  /// the previous size()), or InvalidArgument when `p` is outside the domain
+  /// or the extended dataset fails validation (for example a duplicated
+  /// coordinate under `require_distinct_coordinates`). On error the diagram
+  /// is unchanged.
   StatusOr<PointId> Insert(const Point2D& p);
 
   const Dataset& dataset() const { return dataset_; }
@@ -55,14 +68,14 @@ class IncrementalQuadrantDiagram {
  private:
   IncrementalQuadrantDiagram(Dataset dataset,
                              std::unique_ptr<CellDiagram> diagram,
-                             bool intern)
+                             const IncrementalOptions& options)
       : dataset_(std::move(dataset)),
         diagram_(std::move(diagram)),
-        intern_(intern) {}
+        options_(options) {}
 
   Dataset dataset_;
   std::unique_ptr<CellDiagram> diagram_;
-  bool intern_;
+  IncrementalOptions options_;
   uint64_t last_insert_recomputed_cells_ = 0;
 };
 

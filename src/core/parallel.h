@@ -18,11 +18,15 @@
 
 namespace skydia {
 
+/// Deprecated direct entry point — new code should go through
+/// SkylineDiagram::Build (src/core/diagram.h), which dispatches here.
 /// Builds the first-quadrant skyline diagram with the DSG algorithm across
 /// `num_threads` workers (>= 1; 1 degenerates to the sequential algorithm).
 CellDiagram BuildQuadrantDsgParallel(const Dataset& dataset, int num_threads,
                                      const DiagramOptions& options = {});
 
+/// Deprecated direct entry point — new code should go through
+/// SkylineDiagram::Build (src/core/diagram.h), which dispatches here.
 /// Builds the dynamic skyline diagram with the scanning algorithm
 /// (Algorithm 7) across `num_threads` workers. Subcell rows are striped;
 /// each worker seeds its first row with one O(n log n) from-scratch skyline

@@ -11,6 +11,8 @@
 
 namespace skydia {
 
+/// Deprecated direct entry point — new code should go through
+/// SkylineDiagram::Build (src/core/diagram.h), which dispatches here.
 /// Builds the first-quadrant skyline diagram with the baseline algorithm.
 CellDiagram BuildQuadrantBaseline(const Dataset& dataset,
                                   const DiagramOptions& options = {});

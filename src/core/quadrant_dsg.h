@@ -20,6 +20,8 @@
 
 namespace skydia {
 
+/// Deprecated direct entry point — new code should go through
+/// SkylineDiagram::Build (src/core/diagram.h), which dispatches here.
 /// Builds the first-quadrant skyline diagram with the DSG algorithm.
 CellDiagram BuildQuadrantDsg(const Dataset& dataset,
                              const DiagramOptions& options = {});

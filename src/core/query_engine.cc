@@ -80,18 +80,82 @@ SetId QueryEngine::AnswerSetId(const Point2D& q) const {
   return index_.LocateSet(q);
 }
 
-std::vector<PointId> QueryEngine::AnswerExact(const Point2D& q) const {
+std::vector<PointId> QueryEngine::OracleAnswer(SkylineQueryType semantics,
+                                               const Point2D& q) const {
+  oracle_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+  switch (semantics) {
+    case SkylineQueryType::kQuadrant:
+      return FirstQuadrantSkyline(*dataset_, q);
+    case SkylineQueryType::kGlobal:
+      return GlobalSkyline(*dataset_, q);
+    case SkylineQueryType::kDynamic:
+      return DynamicSkyline(*dataset_, q);
+  }
+  return {};
+}
+
+StatusOr<std::vector<PointId>> QueryEngine::Answer(
+    const Point2D& q, const QueryOptions& options) const {
+  const SkylineQueryType want = options.semantics.value_or(semantics_);
+  if (want != semantics_) {
+    if (!options.exact) {
+      return Status::InvalidArgument(
+          std::string("this engine serves ") +
+          SkylineQueryTypeName(semantics_) + " semantics; answering a " +
+          SkylineQueryTypeName(want) +
+          " query needs the oracle path (set QueryOptions::exact)");
+    }
+    queries_served_.fetch_add(1, std::memory_order_relaxed);
+    return OracleAnswer(want, q);
+  }
   // Quadrant answers are exact at every position (half-open cells match the
   // >= candidate rule); the other semantics only need the oracle when the
   // query sits exactly on a grid/bisector line.
-  if (semantics_ != SkylineQueryType::kQuadrant && index_.OnBoundary(q)) {
+  if (options.exact && semantics_ != SkylineQueryType::kQuadrant &&
+      index_.OnBoundary(q)) {
     queries_served_.fetch_add(1, std::memory_order_relaxed);
-    return semantics_ == SkylineQueryType::kGlobal
-               ? GlobalSkyline(*dataset_, q)
-               : DynamicSkyline(*dataset_, q);
+    return OracleAnswer(semantics_, q);
   }
   const std::span<const PointId> result = Answer(q);
   return std::vector<PointId>(result.begin(), result.end());
+}
+
+StatusOr<std::vector<std::vector<PointId>>> QueryEngine::AnswerBatch(
+    std::span<const Point2D> queries, const QueryOptions& options) const {
+  const SkylineQueryType want = options.semantics.value_or(semantics_);
+  if (want != semantics_ && !options.exact) {
+    return Status::InvalidArgument(
+        std::string("this engine serves ") + SkylineQueryTypeName(semantics_) +
+        " semantics; answering a " + SkylineQueryTypeName(want) +
+        " batch needs the oracle path (set QueryOptions::exact)");
+  }
+  std::vector<std::vector<PointId>> out(queries.size());
+  if (want != semantics_) {
+    for (size_t i = 0; i < queries.size(); ++i) {
+      out[i] = OracleAnswer(want, queries[i]);
+    }
+    queries_served_.fetch_add(queries.size(), std::memory_order_relaxed);
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    return out;
+  }
+  std::vector<SetId> sets;
+  AnswerBatch(queries, &sets);
+  const bool may_fall_back =
+      options.exact && semantics_ != SkylineQueryType::kQuadrant;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    if (may_fall_back && index_.OnBoundary(queries[i])) {
+      out[i] = OracleAnswer(semantics_, queries[i]);
+    } else {
+      const std::span<const PointId> ids = index_.Get(sets[i]);
+      out[i].assign(ids.begin(), ids.end());
+    }
+  }
+  return out;
+}
+
+std::vector<PointId> QueryEngine::AnswerExact(const Point2D& q) const {
+  return std::move(Answer(q, QueryOptions{.exact = true, .semantics = {}}))
+      .value();
 }
 
 void QueryEngine::AnswerShard(std::span<const Point2D> queries,
@@ -162,6 +226,7 @@ QueryEngineStats QueryEngine::Stats() const {
   stats.queries_served = queries_served_.load(std::memory_order_relaxed);
   stats.memo_hits = memo_hits_.load(std::memory_order_relaxed);
   stats.batches = batches_.load(std::memory_order_relaxed);
+  stats.oracle_fallbacks = oracle_fallbacks_.load(std::memory_order_relaxed);
   uint64_t counts[kLatencyBuckets];
   for (size_t b = 0; b < kLatencyBuckets; ++b) {
     counts[b] = latency_buckets_[b].load(std::memory_order_relaxed);

@@ -33,6 +33,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -68,9 +69,25 @@ struct QueryEngineStats {
   uint64_t queries_served = 0;
   uint64_t memo_hits = 0;
   uint64_t batches = 0;
+  uint64_t oracle_fallbacks = 0;
   uint64_t latency_samples = 0;
   double p50_latency_ns = 0;
   double p99_latency_ns = 0;
+};
+
+/// Per-query options for the general Answer/AnswerBatch entry points. The
+/// one signature family shared by the single-query, batched, CLI and serving
+/// paths (replaces the earlier positional-bool spellings).
+struct QueryOptions {
+  /// Answer exactly at every position: queries on grid/bisector lines of a
+  /// global or dynamic diagram fall back to the O(n log n) oracle (quadrant
+  /// diagrams are exact everywhere by construction and never fall back).
+  bool exact = false;
+  /// The semantics the caller expects. Unset means "whatever this engine
+  /// serves". When set and different from the engine's: InvalidArgument
+  /// unless `exact` is also set, in which case every answer is computed by
+  /// the brute-force oracle under the requested semantics.
+  std::optional<SkylineQueryType> semantics;
 };
 
 /// Batched query-serving over one diagram. Non-owning: the dataset and
@@ -94,13 +111,25 @@ class QueryEngine {
   /// callers that dedupe or forward ids; resolve with Get()).
   SetId AnswerSetId(const Point2D& q) const;
 
-  /// Boundary-exact answer: the diagram result when it is exact at `q`, the
-  /// brute-force oracle otherwise.
+  /// One query under `options` (see QueryOptions). The general entry point:
+  /// exactness and semantics mismatches are handled here; the only error is
+  /// InvalidArgument for a semantics mismatch without `options.exact`.
+  StatusOr<std::vector<PointId>> Answer(const Point2D& q,
+                                        const QueryOptions& options) const;
+
+  /// Every query in `queries` under the same `options`, one id vector per
+  /// query. Runs the sharded SetId fast path underneath and patches in
+  /// oracle answers only where `options` require them.
+  StatusOr<std::vector<std::vector<PointId>>> AnswerBatch(
+      std::span<const Point2D> queries, const QueryOptions& options) const;
+
+  /// Deprecated spelling of Answer(q, {.exact = true}); prefer QueryOptions.
   std::vector<PointId> AnswerExact(const Point2D& q) const;
 
   /// Answers every query in `queries`, writing one interned id per query to
   /// `out` (resized to match). Shards across the engine's pool when the
-  /// batch is large enough.
+  /// batch is large enough. This is the serving hot path: diagram answers
+  /// only (the QueryOptions overload layers exactness on top).
   void AnswerBatch(std::span<const Point2D> queries,
                    std::vector<SetId>* out) const;
   std::vector<SetId> AnswerBatch(std::span<const Point2D> queries) const;
@@ -124,6 +153,10 @@ class QueryEngine {
   void AnswerShard(std::span<const Point2D> queries, SetId* out) const;
   void RecordLatency(uint64_t ns) const;
 
+  /// Brute-force answer under `semantics`; bumps the oracle counter.
+  std::vector<PointId> OracleAnswer(SkylineQueryType semantics,
+                                    const Point2D& q) const;
+
   PointLocationIndex index_;
   const Dataset* dataset_;
   SkylineQueryType semantics_;
@@ -133,6 +166,7 @@ class QueryEngine {
   mutable std::atomic<uint64_t> queries_served_{0};
   mutable std::atomic<uint64_t> memo_hits_{0};
   mutable std::atomic<uint64_t> batches_{0};
+  mutable std::atomic<uint64_t> oracle_fallbacks_{0};
   mutable std::array<std::atomic<uint64_t>, kLatencyBuckets> latency_buckets_{};
 };
 

@@ -7,7 +7,8 @@ namespace skydia {
 
 StatusOr<Dataset> Dataset::Create(std::vector<Point2D> points,
                                   int64_t domain_size,
-                                  std::vector<std::string> labels) {
+                                  std::vector<std::string> labels,
+                                  const DatasetOptions& options) {
   if (domain_size <= 0) {
     return Status::InvalidArgument("domain_size must be positive");
   }
@@ -19,6 +20,24 @@ StatusOr<Dataset> Dataset::Create(std::vector<Point2D> points,
       return Status::InvalidArgument("point " + ToString(p) +
                                      " outside domain [0, " +
                                      std::to_string(domain_size) + ")");
+    }
+  }
+  if (options.require_distinct_coordinates) {
+    std::unordered_set<int64_t> xs;
+    std::unordered_set<int64_t> ys;
+    xs.reserve(points.size());
+    ys.reserve(points.size());
+    for (const Point2D& p : points) {
+      if (!xs.insert(p.x).second) {
+        return Status::InvalidArgument(
+            "duplicate x coordinate " + std::to_string(p.x) +
+            " violates the distinct-coordinates requirement");
+      }
+      if (!ys.insert(p.y).second) {
+        return Status::InvalidArgument(
+            "duplicate y coordinate " + std::to_string(p.y) +
+            " violates the distinct-coordinates requirement");
+      }
     }
   }
   return Dataset(std::move(points), domain_size, std::move(labels));

@@ -13,6 +13,15 @@
 
 namespace skydia {
 
+/// Validation options for Dataset::Create.
+struct DatasetOptions {
+  /// Reject datasets where two points share an x or a y coordinate value.
+  /// The paper's general-position setting: required by the sweeping
+  /// vertex-walk construction, and used by incremental maintenance to keep
+  /// the property alive across inserts.
+  bool require_distinct_coordinates = false;
+};
+
 /// An immutable 2-D dataset. Coordinates are validated to lie in
 /// [0, domain_size) at construction. Duplicate points and shared coordinate
 /// values are allowed (the diagram algorithms are tie-aware; see DESIGN.md),
@@ -21,11 +30,12 @@ class Dataset {
  public:
   /// Validates coordinates against `domain_size` and builds the dataset.
   /// Optional `labels` (one per point) are carried for display; pass {} for
-  /// none. Returns InvalidArgument on out-of-domain coordinates or a label
-  /// count mismatch.
+  /// none. Returns InvalidArgument on out-of-domain coordinates, a label
+  /// count mismatch, or a violated DatasetOptions constraint.
   static StatusOr<Dataset> Create(std::vector<Point2D> points,
                                   int64_t domain_size,
-                                  std::vector<std::string> labels = {});
+                                  std::vector<std::string> labels = {},
+                                  const DatasetOptions& options = {});
 
   size_t size() const { return points_.size(); }
   bool empty() const { return points_.empty(); }

@@ -1,0 +1,114 @@
+#include "src/serve/metrics.h"
+
+#include <cstdio>
+
+namespace skydia::serve {
+
+namespace {
+
+void Counter(const char* name, const char* help, uint64_t value,
+             std::string* out) {
+  out->append("# HELP ").append(name).append(" ").append(help).push_back('\n');
+  out->append("# TYPE ").append(name).append(" counter\n");
+  out->append(name).append(" ").append(std::to_string(value)).push_back('\n');
+}
+
+void Gauge(const char* name, const char* help, double value,
+           std::string* out) {
+  out->append("# HELP ").append(name).append(" ").append(help).push_back('\n');
+  out->append("# TYPE ").append(name).append(" gauge\n");
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  out->append(name).append(" ").append(buf).push_back('\n');
+}
+
+}  // namespace
+
+std::string RenderPrometheusMetrics(const ServerMetrics& metrics,
+                                    const ServingSnapshot* snapshot,
+                                    double uptime_seconds) {
+  const auto load = [](const std::atomic<uint64_t>& a) {
+    return a.load(std::memory_order_relaxed);
+  };
+  std::string out;
+  out.reserve(4096);
+
+  Counter("skydia_connections_opened_total", "Accepted TCP connections.",
+          load(metrics.connections_opened), &out);
+  Gauge("skydia_connections_open", "Currently open connections.",
+        static_cast<double>(load(metrics.connections_open)), &out);
+  Counter("skydia_connections_rejected_total",
+          "Connections rejected at the max_connections cap.",
+          load(metrics.connections_rejected), &out);
+  Counter("skydia_requests_total", "Request lines processed.",
+          load(metrics.requests_total), &out);
+  Counter("skydia_error_replies_total", "Error reply lines sent.",
+          load(metrics.error_replies), &out);
+  Counter("skydia_malformed_requests_total",
+          "Request lines rejected by the parser.",
+          load(metrics.malformed_requests), &out);
+  Counter("skydia_oversize_disconnects_total",
+          "Connections closed for exceeding max_request_bytes.",
+          load(metrics.oversize_disconnects), &out);
+  Counter("skydia_idle_disconnects_total",
+          "Connections closed by the idle timeout.",
+          load(metrics.idle_disconnects), &out);
+  Counter("skydia_bytes_received_total", "Bytes read from clients.",
+          load(metrics.bytes_received), &out);
+  Counter("skydia_bytes_sent_total", "Bytes written to clients.",
+          load(metrics.bytes_sent), &out);
+  Counter("skydia_reloads_total", "Successful snapshot reloads.",
+          load(metrics.reloads), &out);
+  Counter("skydia_reload_failures_total",
+          "Reload attempts that kept the old snapshot.",
+          load(metrics.reload_failures), &out);
+  Gauge("skydia_uptime_seconds", "Seconds since the server started.",
+        uptime_seconds, &out);
+
+  if (snapshot == nullptr) return out;
+
+  Gauge("skydia_snapshot_generation", "Generation of the serving snapshot.",
+        static_cast<double>(snapshot->generation), &out);
+  Gauge("skydia_snapshot_points", "Points in the serving dataset.",
+        static_cast<double>(snapshot->diagram->dataset().size()), &out);
+
+  const QueryEngineStats engine = snapshot->diagram->engine().Stats();
+  Counter("skydia_queries_served_total",
+          "Queries answered by the current snapshot's engine.",
+          engine.queries_served, &out);
+  Counter("skydia_oracle_fallbacks_total",
+          "Queries answered by the brute-force oracle.",
+          engine.oracle_fallbacks, &out);
+  if (uptime_seconds > 0) {
+    Gauge("skydia_queries_per_second",
+          "Engine queries averaged over the uptime.",
+          static_cast<double>(engine.queries_served) / uptime_seconds, &out);
+  }
+  Gauge("skydia_query_latency_p50_ns",
+        "Median engine latency (sampled, log2 buckets).",
+        engine.p50_latency_ns, &out);
+  Gauge("skydia_query_latency_p99_ns",
+        "p99 engine latency (sampled, log2 buckets).", engine.p99_latency_ns,
+        &out);
+
+  const ResultCacheStats cache = snapshot->cache->Stats();
+  Counter("skydia_cache_hits_total", "Result cache hits.", cache.hits, &out);
+  Counter("skydia_cache_misses_total", "Result cache misses.", cache.misses,
+          &out);
+  Counter("skydia_cache_evictions_total", "Result cache evictions.",
+          cache.evictions, &out);
+  Gauge("skydia_cache_entries", "Resident result cache entries.",
+        static_cast<double>(cache.entries), &out);
+  Gauge("skydia_cache_value_bytes", "Resident result cache payload bytes.",
+        static_cast<double>(cache.value_bytes), &out);
+  const uint64_t probes = cache.hits + cache.misses;
+  Gauge("skydia_cache_hit_ratio",
+        "Hits over lookups for the current snapshot's cache.",
+        probes == 0 ? 0.0
+                    : static_cast<double>(cache.hits) /
+                          static_cast<double>(probes),
+        &out);
+  return out;
+}
+
+}  // namespace skydia::serve

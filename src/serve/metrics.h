@@ -1,0 +1,46 @@
+// Server observability: lightweight relaxed-atomic counters plus a
+// Prometheus text-format renderer for the /metrics endpoint.
+//
+// QueryEngine already tracks query counts and a sampled latency histogram
+// (src/core/query_engine.h); ServerMetrics adds the transport-level view
+// (connections, bytes, protocol errors, reloads). RenderPrometheusMetrics
+// joins both with the snapshot's cache counters into one scrape payload.
+#ifndef SKYDIA_SRC_SERVE_METRICS_H_
+#define SKYDIA_SRC_SERVE_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "src/serve/snapshot_registry.h"
+
+namespace skydia::serve {
+
+/// Transport-level serving counters. All relaxed atomics: exact totals, no
+/// inter-thread ordering implied.
+struct ServerMetrics {
+  std::atomic<uint64_t> connections_opened{0};
+  std::atomic<uint64_t> connections_open{0};
+  std::atomic<uint64_t> connections_rejected{0};  ///< over max_connections
+  std::atomic<uint64_t> requests_total{0};
+  std::atomic<uint64_t> error_replies{0};
+  std::atomic<uint64_t> malformed_requests{0};
+  std::atomic<uint64_t> oversize_disconnects{0};
+  std::atomic<uint64_t> idle_disconnects{0};
+  std::atomic<uint64_t> bytes_received{0};
+  std::atomic<uint64_t> bytes_sent{0};
+  std::atomic<uint64_t> reloads{0};
+  std::atomic<uint64_t> reload_failures{0};
+};
+
+/// Renders the Prometheus text exposition for one scrape: server counters,
+/// the snapshot's engine stats (qps, p50/p99 latency) and cache hit ratio,
+/// and the current generation. `snapshot` may be null (before the first
+/// install). `uptime_seconds` feeds the qps gauge.
+std::string RenderPrometheusMetrics(const ServerMetrics& metrics,
+                                    const ServingSnapshot* snapshot,
+                                    double uptime_seconds);
+
+}  // namespace skydia::serve
+
+#endif  // SKYDIA_SRC_SERVE_METRICS_H_

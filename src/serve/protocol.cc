@@ -1,0 +1,301 @@
+#include "src/serve/protocol.h"
+
+#include <limits>
+
+namespace skydia::serve {
+
+namespace {
+
+/// Strict single-pass scanner over one request line. The protocol's JSON
+/// subset keeps this tiny: objects of string keys, integer/bool/string
+/// values, plus the one [X,Y] coordinate array.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view s) : s_(s) {}
+
+  void SkipWs() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Eat(char c) {
+    SkipWs();
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool AtEnd() {
+    SkipWs();
+    return pos_ == s_.size();
+  }
+
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument(message + " at byte " +
+                                   std::to_string(pos_));
+  }
+
+  StatusOr<std::string> ParseString() {
+    if (!Eat('"')) return Error("expected string");
+    std::string out;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Error("raw control character in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= s_.size()) break;
+      const char esc = s_[pos_++];
+      switch (esc) {
+        case '"':
+        case '\\':
+        case '/':
+          out.push_back(esc);
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'u':
+          return Error("\\u escapes are not supported");
+        default:
+          return Error("unknown escape");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  StatusOr<int64_t> ParseInt() {
+    SkipWs();
+    const bool negative = pos_ < s_.size() && s_[pos_] == '-';
+    if (negative) ++pos_;
+    if (pos_ >= s_.size() || s_[pos_] < '0' || s_[pos_] > '9') {
+      return Error("expected integer");
+    }
+    uint64_t magnitude = 0;
+    while (pos_ < s_.size() && s_[pos_] >= '0' && s_[pos_] <= '9') {
+      const uint64_t digit = static_cast<uint64_t>(s_[pos_] - '0');
+      if (magnitude > (std::numeric_limits<uint64_t>::max() - digit) / 10) {
+        return Error("integer out of range");
+      }
+      magnitude = magnitude * 10 + digit;
+      ++pos_;
+    }
+    if (pos_ < s_.size() && (s_[pos_] == '.' || s_[pos_] == 'e' ||
+                             s_[pos_] == 'E')) {
+      return Error("coordinates and ids must be integers");
+    }
+    const uint64_t limit =
+        static_cast<uint64_t>(std::numeric_limits<int64_t>::max()) +
+        (negative ? 1 : 0);
+    if (magnitude > limit) return Error("integer out of range");
+    const auto value = static_cast<int64_t>(magnitude);
+    return negative ? -value : value;
+  }
+
+  StatusOr<bool> ParseBool() {
+    SkipWs();
+    if (s_.substr(pos_, 4) == "true") {
+      pos_ += 4;
+      return true;
+    }
+    if (s_.substr(pos_, 5) == "false") {
+      pos_ += 5;
+      return false;
+    }
+    return Error("expected true or false");
+  }
+
+ private:
+  std::string_view s_;
+  size_t pos_ = 0;
+};
+
+void AppendInt(int64_t v, std::string* out) { out->append(std::to_string(v)); }
+
+void AppendIdPrefix(std::optional<int64_t> id, std::string* out) {
+  out->push_back('{');
+  if (id.has_value()) {
+    out->append("\"id\":");
+    AppendInt(*id, out);
+    out->push_back(',');
+  }
+}
+
+}  // namespace
+
+StatusOr<Request> ParseRequest(std::string_view line) {
+  Cursor cursor(line);
+  if (!cursor.Eat('{')) {
+    return cursor.Error("request must be a JSON object");
+  }
+  Request request;
+  bool have_q = false;
+  bool have_cmd = false;
+  std::string cmd;
+  if (!cursor.Eat('}')) {
+    do {
+      auto key = cursor.ParseString();
+      if (!key.ok()) return key.status();
+      if (!cursor.Eat(':')) return cursor.Error("expected ':' after key");
+      if (*key == "q") {
+        if (!cursor.Eat('[')) return cursor.Error("\"q\" must be [x,y]");
+        auto x = cursor.ParseInt();
+        if (!x.ok()) return x.status();
+        if (!cursor.Eat(',')) return cursor.Error("\"q\" must be [x,y]");
+        auto y = cursor.ParseInt();
+        if (!y.ok()) return y.status();
+        if (!cursor.Eat(']')) return cursor.Error("\"q\" must be [x,y]");
+        request.q = Point2D{*x, *y};
+        have_q = true;
+      } else if (*key == "exact") {
+        auto v = cursor.ParseBool();
+        if (!v.ok()) return v.status();
+        request.exact = *v;
+      } else if (*key == "labels") {
+        auto v = cursor.ParseBool();
+        if (!v.ok()) return v.status();
+        request.labels = *v;
+      } else if (*key == "semantics") {
+        auto name = cursor.ParseString();
+        if (!name.ok()) return name.status();
+        auto semantics = ParseSkylineQueryType(*name);
+        if (!semantics.ok()) return semantics.status();
+        request.semantics = *semantics;
+      } else if (*key == "id") {
+        auto v = cursor.ParseInt();
+        if (!v.ok()) return v.status();
+        request.id = *v;
+      } else if (*key == "cmd") {
+        auto v = cursor.ParseString();
+        if (!v.ok()) return v.status();
+        cmd = *std::move(v);
+        have_cmd = true;
+      } else if (*key == "path") {
+        auto v = cursor.ParseString();
+        if (!v.ok()) return v.status();
+        request.path = *std::move(v);
+      } else {
+        return Status::InvalidArgument("unknown request field \"" + *key +
+                                       "\"");
+      }
+    } while (cursor.Eat(','));
+    if (!cursor.Eat('}')) return cursor.Error("expected ',' or '}'");
+  }
+  if (!cursor.AtEnd()) return cursor.Error("trailing bytes after request");
+
+  if (have_cmd) {
+    if (have_q) {
+      return Status::InvalidArgument("\"cmd\" and \"q\" are mutually exclusive");
+    }
+    if (cmd == "ping") {
+      request.kind = RequestKind::kPing;
+    } else if (cmd == "stats") {
+      request.kind = RequestKind::kStats;
+    } else if (cmd == "reload") {
+      request.kind = RequestKind::kReload;
+    } else {
+      return Status::InvalidArgument("unknown cmd \"" + cmd +
+                                     "\" (ping|stats|reload)");
+    }
+    return request;
+  }
+  if (!have_q) {
+    return Status::InvalidArgument("request needs \"q\" or \"cmd\"");
+  }
+  request.kind = RequestKind::kQuery;
+  return request;
+}
+
+void JsonEscape(std::string_view in, std::string* out) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  for (const char c : in) {
+    const auto u = static_cast<unsigned char>(c);
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+      out->push_back(c);
+    } else if (u < 0x20) {
+      out->append("\\u00");
+      out->push_back(kHex[u >> 4]);
+      out->push_back(kHex[u & 0xF]);
+    } else {
+      out->push_back(c);
+    }
+  }
+}
+
+std::string RenderIdsArray(std::span<const PointId> ids) {
+  std::string out;
+  out.reserve(2 + ids.size() * 6);
+  out.push_back('[');
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out.append(std::to_string(ids[i]));
+  }
+  out.push_back(']');
+  return out;
+}
+
+std::string RenderLabelsArray(const Dataset& dataset,
+                              std::span<const PointId> ids) {
+  std::string out;
+  out.push_back('[');
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out.push_back('"');
+    JsonEscape(dataset.label(ids[i]), &out);
+    out.push_back('"');
+  }
+  out.push_back(']');
+  return out;
+}
+
+void AppendQueryReply(std::optional<int64_t> id, uint64_t generation,
+                      std::string_view key, std::string_view array_json,
+                      std::string* out) {
+  AppendIdPrefix(id, out);
+  out->append("\"gen\":");
+  out->append(std::to_string(generation));
+  out->append(",\"");
+  out->append(key);
+  out->append("\":");
+  out->append(array_json);
+  out->append("}\n");
+}
+
+void AppendOkReply(std::optional<int64_t> id, uint64_t generation,
+                   std::string* out) {
+  AppendIdPrefix(id, out);
+  out->append("\"ok\":true,\"gen\":");
+  out->append(std::to_string(generation));
+  out->append("}\n");
+}
+
+void AppendErrorReply(std::optional<int64_t> id, std::string_view message,
+                      std::string* out) {
+  AppendIdPrefix(id, out);
+  out->append("\"error\":\"");
+  JsonEscape(message, out);
+  out->append("\"}\n");
+}
+
+}  // namespace skydia::serve

@@ -1,0 +1,95 @@
+// Wire protocol of `skydia serve`: line-delimited JSON over TCP.
+//
+// Every request is one JSON object on one line, every reply is one JSON
+// object on one line, in request order (pipelining is just "send many lines,
+// read as many lines"). Grammar (no nesting beyond the coordinate pair; all
+// numbers are integers):
+//
+//   query   := {"q":[X,Y]}                 point-location skyline query
+//              optional fields:
+//                "exact":true              boundary-exact answer (oracle
+//                                          fallback on grid/bisector lines)
+//                "labels":true             reply with dataset labels instead
+//                                          of point ids
+//                "semantics":"quadrant"|"global"|"dynamic"
+//                                          assert/override the semantics; a
+//                                          mismatch with the snapshot is an
+//                                          error unless "exact" is set
+//                "id":N                    opaque correlation id, echoed back
+//   admin   := {"cmd":"ping"}             liveness check
+//            | {"cmd":"stats"}            serving counters as JSON
+//            | {"cmd":"reload"[,"path":"..."]}
+//                                          hot-swap the snapshot (omitted
+//                                          path reloads the current file)
+//
+//   reply   := {"id":N,"gen":G,"ids":[...]}      (or "labels":[...])
+//            | {"id":N,"ok":true,"gen":G}        (admin acks)
+//            | {"id":N,"error":"message"}        ("id" present when known)
+//
+// "gen" is the snapshot generation that answered the query — the hot-swap
+// observability handle (tests/serve/hotswap_stress_test.cc asserts on it).
+//
+// Unknown fields, non-integer numbers, nested structures and \u escapes are
+// rejected with a per-line error reply; the connection stays open. Parsing
+// never throws and never aborts.
+#ifndef SKYDIA_SRC_SERVE_PROTOCOL_H_
+#define SKYDIA_SRC_SERVE_PROTOCOL_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "src/common/status.h"
+#include "src/core/diagram.h"
+#include "src/geometry/dataset.h"
+#include "src/geometry/point.h"
+
+namespace skydia::serve {
+
+/// What one request line asks for.
+enum class RequestKind { kQuery, kPing, kStats, kReload };
+
+/// One parsed request line.
+struct Request {
+  RequestKind kind = RequestKind::kQuery;
+  Point2D q{0, 0};
+  bool exact = false;
+  bool labels = false;
+  std::optional<SkylineQueryType> semantics;
+  std::optional<int64_t> id;  ///< echoed back verbatim when present
+  std::string path;           ///< reload target ("" = current file)
+};
+
+/// Parses one request line (without the trailing newline). Returns
+/// InvalidArgument with a position-annotated message on malformed input.
+StatusOr<Request> ParseRequest(std::string_view line);
+
+/// Appends `in` JSON-escaped (quotes, backslashes, control characters).
+void JsonEscape(std::string_view in, std::string* out);
+
+/// Renders a sorted id span as a JSON array: "[1,4,9]".
+std::string RenderIdsArray(std::span<const PointId> ids);
+
+/// Renders the labels of `ids` as a JSON array of strings.
+std::string RenderLabelsArray(const Dataset& dataset,
+                              std::span<const PointId> ids);
+
+/// Appends one query reply line: {"id":N,"gen":G,<key>:<array_json>}\n.
+/// `key` is "ids" or "labels"; `array_json` must already be rendered.
+void AppendQueryReply(std::optional<int64_t> id, uint64_t generation,
+                      std::string_view key, std::string_view array_json,
+                      std::string* out);
+
+/// Appends one admin ack line: {"id":N,"ok":true,"gen":G}\n.
+void AppendOkReply(std::optional<int64_t> id, uint64_t generation,
+                   std::string* out);
+
+/// Appends one error reply line: {"id":N,"error":"..."}\n.
+void AppendErrorReply(std::optional<int64_t> id, std::string_view message,
+                      std::string* out);
+
+}  // namespace skydia::serve
+
+#endif  // SKYDIA_SRC_SERVE_PROTOCOL_H_

@@ -1,0 +1,95 @@
+#include "src/serve/result_cache.h"
+
+#include <utility>
+
+namespace skydia::serve {
+
+namespace {
+
+size_t RoundUpPow2(size_t v) {
+  size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+ResultCache::ResultCache(const ResultCacheOptions& options)
+    : shard_count_(RoundUpPow2(options.shards == 0 ? 1 : options.shards)) {
+  if (options.capacity == 0) {
+    shard_capacity_ = 0;
+  } else {
+    shard_capacity_ = (options.capacity + shard_count_ - 1) / shard_count_;
+    if (shard_capacity_ == 0) shard_capacity_ = 1;
+  }
+  shards_ = std::make_unique<Shard[]>(shard_count_);
+}
+
+ResultCache::Shard& ResultCache::ShardFor(uint64_t key) const {
+  return shards_[SplitMix64(key) & (shard_count_ - 1)];
+}
+
+bool ResultCache::Lookup(uint64_t key, std::string* value) const {
+  if (shard_capacity_ == 0) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  *value = it->second->value;
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void ResultCache::Insert(uint64_t key, std::string value) {
+  if (shard_capacity_ == 0) return;
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it != shard.map.end()) {
+    shard.value_bytes -= it->second->value.size();
+    shard.value_bytes += value.size();
+    it->second->value = std::move(value);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  if (shard.lru.size() >= shard_capacity_) {
+    const Entry& victim = shard.lru.back();
+    shard.value_bytes -= victim.value.size();
+    shard.map.erase(victim.key);
+    shard.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  shard.value_bytes += value.size();
+  shard.lru.push_front(Entry{key, std::move(value)});
+  shard.map.emplace(key, shard.lru.begin());
+}
+
+ResultCacheStats ResultCache::Stats() const {
+  ResultCacheStats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.evictions = evictions_.load(std::memory_order_relaxed);
+  for (size_t i = 0; i < shard_count_; ++i) {
+    Shard& shard = shards_[i];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    stats.entries += shard.lru.size();
+    stats.value_bytes += shard.value_bytes;
+  }
+  return stats;
+}
+
+}  // namespace skydia::serve

@@ -1,0 +1,88 @@
+// ResultCache: a sharded LRU cache of rendered reply payloads, keyed by
+// interned result-set id.
+//
+// The server caches the JSON array text ("[1,4,9]" or the label variant) per
+// (SetId, labels) pair, so hot cells skip both the arena walk and the JSON
+// rendering. SetIds are snapshot-local, therefore each ServingSnapshot owns
+// its own cache (see snapshot_registry.h) — a hot swap retires the old cache
+// with the old diagram and stale entries are impossible by construction.
+//
+// Sharding: keys are mixed through splitmix64 and the high bits pick a
+// shard; each shard is an independent mutex + LRU list + hash map. Counters
+// are relaxed atomics (exact totals, no ordering).
+#ifndef SKYDIA_SRC_SERVE_RESULT_CACHE_H_
+#define SKYDIA_SRC_SERVE_RESULT_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace skydia::serve {
+
+/// Options for ResultCache.
+struct ResultCacheOptions {
+  /// Number of independent shards, rounded up to a power of two.
+  size_t shards = 8;
+  /// Total entry capacity across all shards. 0 disables caching (Lookup
+  /// always misses, Insert is a no-op).
+  size_t capacity = size_t{1} << 14;
+};
+
+/// Counter snapshot (see ResultCache::Stats).
+struct ResultCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t entries = 0;      ///< current resident entries
+  uint64_t value_bytes = 0;  ///< current resident value payload bytes
+};
+
+/// Sharded LRU string cache. Thread-safe; all methods may be called
+/// concurrently.
+class ResultCache {
+ public:
+  explicit ResultCache(const ResultCacheOptions& options = {});
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// Copies the cached value for `key` into `*value` and returns true, or
+  /// returns false on a miss. A hit refreshes the entry's LRU position.
+  bool Lookup(uint64_t key, std::string* value) const;
+
+  /// Inserts (or refreshes) `key` -> `value`, evicting the least recently
+  /// used entry of the shard when it is full.
+  void Insert(uint64_t key, std::string value);
+
+  ResultCacheStats Stats() const;
+
+ private:
+  struct Entry {
+    uint64_t key;
+    std::string value;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;  // front = most recently used
+    std::unordered_map<uint64_t, std::list<Entry>::iterator> map;
+    size_t value_bytes = 0;
+  };
+
+  Shard& ShardFor(uint64_t key) const;
+
+  size_t shard_count_;      // power of two
+  size_t shard_capacity_;   // per-shard entry cap; 0 disables the cache
+  std::unique_ptr<Shard[]> shards_;
+
+  mutable std::atomic<uint64_t> hits_{0};
+  mutable std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+};
+
+}  // namespace skydia::serve
+
+#endif  // SKYDIA_SRC_SERVE_RESULT_CACHE_H_

@@ -1,0 +1,473 @@
+#include "src/serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "src/common/logging.h"
+#include "src/serve/protocol.h"
+
+namespace skydia::serve {
+
+namespace {
+
+/// Cache key for one rendered reply array: the interned set id tagged with
+/// the representation bit (ids vs labels). SetIds are snapshot-local and the
+/// cache lives on the snapshot, so this key is collision-free by design.
+uint64_t CacheKey(SetId set, bool labels) {
+  return (static_cast<uint64_t>(set) << 1) | (labels ? 1u : 0u);
+}
+
+/// Sends all of `data`, suppressing SIGPIPE. Returns false on a broken
+/// connection.
+bool SendAll(int fd, std::string_view data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+/// Renders the {"cmd":"stats"} reply body: one flat JSON object of the
+/// engine's and cache's counters for the pinned snapshot.
+std::string RenderStatsJson(const ServingSnapshot* snapshot) {
+  if (snapshot == nullptr) return "{}";
+  const QueryEngineStats engine = snapshot->diagram->engine().Stats();
+  const ResultCacheStats cache = snapshot->cache->Stats();
+  std::string out;
+  out.reserve(256);
+  out.push_back('{');
+  const auto field = [&out](const char* name, uint64_t value, bool first) {
+    if (!first) out.push_back(',');
+    out.push_back('"');
+    out.append(name);
+    out.append("\":");
+    out.append(std::to_string(value));
+  };
+  field("generation", snapshot->generation, /*first=*/true);
+  field("points", snapshot->diagram->dataset().size(), false);
+  field("queries_served", engine.queries_served, false);
+  field("memo_hits", engine.memo_hits, false);
+  field("oracle_fallbacks", engine.oracle_fallbacks, false);
+  field("p50_latency_ns", static_cast<uint64_t>(engine.p50_latency_ns),
+        false);
+  field("p99_latency_ns", static_cast<uint64_t>(engine.p99_latency_ns),
+        false);
+  field("cache_hits", cache.hits, false);
+  field("cache_misses", cache.misses, false);
+  field("cache_evictions", cache.evictions, false);
+  field("cache_entries", cache.entries, false);
+  out.push_back('}');
+  return out;
+}
+
+}  // namespace
+
+SkylineServer::SkylineServer(const ServerOptions& options)
+    : options_(options) {}
+
+SkylineServer::~SkylineServer() { Stop(); }
+
+Status SkylineServer::BindAndListen() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("unparseable listen host \"" +
+                                   options_.host + "\"");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    return Status::Internal("bind " + options_.host + ":" +
+                            std::to_string(options_.port) + ": " +
+                            std::strerror(errno));
+  }
+  if (::listen(listen_fd_, 128) < 0) {
+    return Status::Internal(std::string("listen: ") + std::strerror(errno));
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) <
+      0) {
+    return Status::Internal(std::string("getsockname: ") +
+                            std::strerror(errno));
+  }
+  port_ = ntohs(addr.sin_port);
+  return Status::OK();
+}
+
+Status SkylineServer::Start(const std::string& blob_path) {
+  auto loaded =
+      ServableDiagram::Load(blob_path, options_.engine, options_.cell_semantics);
+  if (!loaded.ok()) return loaded.status();
+  return Start(std::move(loaded).value(), blob_path);
+}
+
+Status SkylineServer::Start(ServableDiagram diagram, std::string source_path) {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("server already running");
+  }
+  registry_.Install(std::move(diagram), std::move(source_path),
+                    options_.cache);
+  auto bound = BindAndListen();
+  if (!bound.ok()) {
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    return bound;
+  }
+  start_time_ = std::chrono::steady_clock::now();
+  running_.store(true, std::memory_order_release);
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void SkylineServer::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  // Wake the acceptor out of poll/accept, then join it before touching the
+  // connection list it also mutates.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (acceptor_.joinable()) acceptor_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  ReapConnections(/*all=*/true);
+}
+
+Status SkylineServer::Reload(const std::string& path) {
+  auto status = registry_.Reload(path, options_.engine,
+                                 options_.cell_semantics, options_.cache);
+  if (status.ok()) {
+    metrics_.reloads.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    metrics_.reload_failures.fetch_add(1, std::memory_order_relaxed);
+  }
+  return status;
+}
+
+std::string SkylineServer::RenderMetrics() const {
+  const auto snapshot = registry_.Current();
+  const double uptime =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    start_time_)
+          .count();
+  return RenderPrometheusMetrics(metrics_, snapshot.get(), uptime);
+}
+
+void SkylineServer::AcceptLoop() {
+  while (running_.load(std::memory_order_acquire)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 200);
+    ReapConnections(/*all=*/false);
+    if (ready <= 0) continue;
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd < 0) continue;
+
+    size_t open_count;
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      open_count = conns_.size();
+    }
+    if (open_count >= static_cast<size_t>(options_.max_connections)) {
+      metrics_.connections_rejected.fetch_add(1, std::memory_order_relaxed);
+      ::close(fd);
+      continue;
+    }
+
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    metrics_.connections_opened.fetch_add(1, std::memory_order_relaxed);
+    metrics_.connections_open.fetch_add(1, std::memory_order_relaxed);
+
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    Connection* raw = conn.get();
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      conns_.push_back(std::move(conn));
+    }
+    // The thread only reads/writes the fd and sets done; the fd is closed by
+    // the reaper (or Stop) strictly after joining, so no fd-reuse race.
+    raw->thread = std::thread([this, raw] { ConnectionLoop(raw); });
+  }
+}
+
+void SkylineServer::ReapConnections(bool all) {
+  std::list<std::unique_ptr<Connection>> doomed;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (auto it = conns_.begin(); it != conns_.end();) {
+      if (all || (*it)->done.load(std::memory_order_acquire)) {
+        doomed.push_back(std::move(*it));
+        it = conns_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (auto& conn : doomed) {
+    // Wake a blocked poll/recv, join, then close.
+    ::shutdown(conn->fd, SHUT_RDWR);
+    if (conn->thread.joinable()) conn->thread.join();
+    ::close(conn->fd);
+    metrics_.connections_open.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void SkylineServer::ConnectionLoop(Connection* conn) {
+  const int fd = conn->fd;
+  std::string buffer;
+  std::string reply;
+  char chunk[16 * 1024];
+  bool http = false;
+
+  while (running_.load(std::memory_order_acquire)) {
+    pollfd pfd{fd, POLLIN, 0};
+    const int timeout =
+        options_.idle_timeout_ms > 0 ? options_.idle_timeout_ms : -1;
+    const int ready = ::poll(&pfd, 1, timeout);
+    if (ready < 0 && errno == EINTR) continue;
+    if (ready == 0) {
+      metrics_.idle_disconnects.fetch_add(1, std::memory_order_relaxed);
+      break;
+    }
+    if (ready < 0) break;
+
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n == 0) break;
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    buffer.append(chunk, static_cast<size_t>(n));
+    metrics_.bytes_received.fetch_add(static_cast<uint64_t>(n),
+                                      std::memory_order_relaxed);
+
+    // HTTP detection: a scrape shares the port. Buffer until the header
+    // terminator, answer one request, close.
+    if (buffer.size() >= 4 && buffer.compare(0, 4, "GET ") == 0) http = true;
+    if (http) {
+      const size_t header_end = buffer.find("\r\n\r\n");
+      if (header_end == std::string::npos) {
+        if (buffer.size() > options_.max_request_bytes) break;
+        continue;
+      }
+      const size_t target_end = buffer.find(' ', 4);
+      const std::string_view target =
+          target_end == std::string::npos
+              ? std::string_view()
+              : std::string_view(buffer).substr(4, target_end - 4);
+      reply.clear();
+      ServeHttp(target, &reply);
+      if (SendAll(fd, reply)) {
+        metrics_.bytes_sent.fetch_add(reply.size(),
+                                      std::memory_order_relaxed);
+      }
+      break;
+    }
+
+    // Split the buffered bytes into complete lines; answer them as one
+    // pipelined batch against one pinned snapshot.
+    std::vector<std::string_view> lines;
+    const std::string_view view(buffer);
+    size_t start = 0;
+    for (size_t nl = view.find('\n', start); nl != std::string_view::npos;
+         nl = view.find('\n', start)) {
+      std::string_view line = view.substr(start, nl - start);
+      if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+      lines.push_back(line);
+      start = nl + 1;
+    }
+    const size_t remainder = buffer.size() - start;
+    if (remainder > options_.max_request_bytes) {
+      reply.clear();
+      AppendErrorReply(std::nullopt, "request line exceeds the size limit",
+                       &reply);
+      metrics_.error_replies.fetch_add(1, std::memory_order_relaxed);
+      metrics_.oversize_disconnects.fetch_add(1, std::memory_order_relaxed);
+      if (SendAll(fd, reply)) {
+        metrics_.bytes_sent.fetch_add(reply.size(),
+                                      std::memory_order_relaxed);
+      }
+      break;
+    }
+    if (!lines.empty()) {
+      reply.clear();
+      ServeBatch(lines, &reply);
+      buffer.erase(0, start);
+      if (!reply.empty()) {
+        if (!SendAll(fd, reply)) break;
+        metrics_.bytes_sent.fetch_add(reply.size(),
+                                      std::memory_order_relaxed);
+      }
+    }
+  }
+  conn->done.store(true, std::memory_order_release);
+}
+
+void SkylineServer::ServeHttp(std::string_view request_target,
+                              std::string* out) {
+  std::string body;
+  const char* content_type = "text/plain; version=0.0.4; charset=utf-8";
+  const char* status_line = "HTTP/1.1 200 OK";
+  if (request_target == "/metrics") {
+    body = RenderMetrics();
+  } else if (request_target == "/healthz") {
+    body = registry_.generation() > 0 ? "ok\n" : "no snapshot\n";
+    content_type = "text/plain; charset=utf-8";
+    if (registry_.generation() == 0) status_line = "HTTP/1.1 503 Service Unavailable";
+  } else {
+    body = "skydia serve: try /metrics or /healthz\n";
+    content_type = "text/plain; charset=utf-8";
+    status_line = "HTTP/1.1 404 Not Found";
+  }
+  out->append(status_line).append("\r\nContent-Type: ").append(content_type);
+  out->append("\r\nContent-Length: ")
+      .append(std::to_string(body.size()))
+      .append("\r\nConnection: close\r\n\r\n")
+      .append(body);
+}
+
+void SkylineServer::ServeBatch(std::span<const std::string_view> lines,
+                               std::string* out) {
+  // One snapshot pin for the whole pipelined batch: every reply in a batch
+  // carries the same generation even across a concurrent reload.
+  const auto snapshot = registry_.Current();
+
+  struct Pending {
+    Request request;
+    std::string parse_error;  // non-empty = reply with this error
+  };
+  std::vector<Pending> pending;
+  pending.reserve(lines.size());
+
+  // Pass 1: parse everything and run the batched SetId fast path over the
+  // plain diagram queries (the dominant traffic).
+  std::vector<Point2D> fast_queries;
+  std::vector<size_t> fast_index;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    metrics_.requests_total.fetch_add(1, std::memory_order_relaxed);
+    Pending p;
+    auto parsed = ParseRequest(lines[i]);
+    if (!parsed.ok()) {
+      p.parse_error = parsed.status().message();
+      metrics_.malformed_requests.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      p.request = *std::move(parsed);
+      if (p.request.kind == RequestKind::kQuery && !p.request.exact &&
+          !p.request.semantics.has_value()) {
+        fast_queries.push_back(p.request.q);
+        fast_index.push_back(i);
+      }
+    }
+    pending.push_back(std::move(p));
+  }
+
+  std::vector<SetId> fast_sets;
+  if (!fast_queries.empty() && snapshot != nullptr) {
+    snapshot->diagram->engine().AnswerBatch(fast_queries, &fast_sets);
+  }
+  std::vector<SetId> set_for_line(lines.size(), 0);
+  std::vector<bool> has_set(lines.size(), false);
+  for (size_t j = 0; j < fast_index.size(); ++j) {
+    set_for_line[fast_index[j]] = fast_sets[j];
+    has_set[fast_index[j]] = true;
+  }
+
+  // Pass 2: render replies in request order.
+  const uint64_t generation = snapshot != nullptr ? snapshot->generation : 0;
+  std::string cached;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    Pending& p = pending[i];
+    if (!p.parse_error.empty()) {
+      AppendErrorReply(p.request.id, p.parse_error, out);
+      metrics_.error_replies.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    const Request& req = p.request;
+    switch (req.kind) {
+      case RequestKind::kPing:
+        AppendOkReply(req.id, generation, out);
+        break;
+      case RequestKind::kStats: {
+        std::string body = RenderStatsJson(snapshot.get());
+        AppendQueryReply(req.id, generation, "stats", body, out);
+        break;
+      }
+      case RequestKind::kReload: {
+        auto status = Reload(req.path);
+        if (status.ok()) {
+          AppendOkReply(req.id, registry_.generation(), out);
+        } else {
+          AppendErrorReply(req.id, status.message(), out);
+          metrics_.error_replies.fetch_add(1, std::memory_order_relaxed);
+        }
+        break;
+      }
+      case RequestKind::kQuery: {
+        if (snapshot == nullptr) {
+          AppendErrorReply(req.id, "no snapshot installed", out);
+          metrics_.error_replies.fetch_add(1, std::memory_order_relaxed);
+          break;
+        }
+        const QueryEngine& engine = snapshot->diagram->engine();
+        const char* key = req.labels ? "labels" : "ids";
+        if (has_set[i]) {
+          // Fast path: interned set id -> per-snapshot rendered-reply cache.
+          const uint64_t cache_key = CacheKey(set_for_line[i], req.labels);
+          if (snapshot->cache->Lookup(cache_key, &cached)) {
+            AppendQueryReply(req.id, generation, key, cached, out);
+            break;
+          }
+          const auto ids = engine.Get(set_for_line[i]);
+          std::string array =
+              req.labels ? RenderLabelsArray(snapshot->diagram->dataset(), ids)
+                         : RenderIdsArray(ids);
+          AppendQueryReply(req.id, generation, key, array, out);
+          snapshot->cache->Insert(cache_key, std::move(array));
+          break;
+        }
+        // Slow path: exact and/or semantics-override queries go through the
+        // QueryOptions entry point (uncached; oracle answers are per-query).
+        QueryOptions query_options;
+        query_options.exact = req.exact;
+        query_options.semantics = req.semantics;
+        auto answer = engine.Answer(req.q, query_options);
+        if (!answer.ok()) {
+          AppendErrorReply(req.id, answer.status().message(), out);
+          metrics_.error_replies.fetch_add(1, std::memory_order_relaxed);
+          break;
+        }
+        const std::string array =
+            req.labels
+                ? RenderLabelsArray(snapshot->diagram->dataset(), *answer)
+                : RenderIdsArray(*answer);
+        AppendQueryReply(req.id, generation, key, array, out);
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace skydia::serve

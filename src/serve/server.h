@@ -1,0 +1,136 @@
+// SkylineServer: the `skydia serve` daemon.
+//
+// A long-running TCP server answering line-delimited JSON skyline queries
+// (src/serve/protocol.h) over a hot-swappable snapshot (snapshot_registry.h)
+// with a per-snapshot reply cache (result_cache.h) and a Prometheus
+// /metrics endpoint (metrics.h).
+//
+// Threading model: one acceptor thread plus one thread per connection.
+// Connections poll with the idle timeout, read whole lines, answer each
+// complete batch of lines through one pinned snapshot (so a pipelined batch
+// is answered consistently even across a concurrent reload), and reply in
+// order. A request that starts with "GET " is treated as HTTP: /metrics and
+// /healthz are served and the connection closes — the same port works for
+// both nc and curl.
+//
+// Robustness contract: a malformed line produces one error reply and the
+// connection stays open; a line longer than max_request_bytes produces one
+// error reply and closes the connection; client disconnects and SIGPIPE-free
+// sends are handled; nothing a client sends can abort the process.
+#ifndef SKYDIA_SRC_SERVE_SERVER_H_
+#define SKYDIA_SRC_SERVE_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <thread>
+
+#include "src/common/status.h"
+#include "src/core/query_engine.h"
+#include "src/serve/metrics.h"
+#include "src/serve/result_cache.h"
+#include "src/serve/snapshot_registry.h"
+
+namespace skydia::serve {
+
+/// Options for SkylineServer.
+struct ServerOptions {
+  /// Listen address. The default stays loopback-only; the daemon has no
+  /// authentication story, so exposing it wider is an explicit choice.
+  std::string host = "127.0.0.1";
+  /// Listen port; 0 picks a free port (read it back via port()).
+  int port = 0;
+  /// Engine options for loaded snapshots (threads, memo, batch threshold).
+  QueryEngineOptions engine;
+  /// Semantics a cell blob encodes (the file format does not record
+  /// quadrant vs global; dynamic is inferred from subcell blobs).
+  SkylineQueryType cell_semantics = SkylineQueryType::kQuadrant;
+  /// Per-snapshot reply cache sizing.
+  ResultCacheOptions cache;
+  /// A single request line (and a pipelined burst's buffer) may not exceed
+  /// this many bytes; beyond it the connection is closed after one error.
+  size_t max_request_bytes = 64 * 1024;
+  /// Connections silent for this long are closed. <= 0 disables the timeout.
+  int idle_timeout_ms = 60'000;
+  /// Accepted connections above this cap are closed immediately.
+  int max_connections = 256;
+};
+
+/// The serve daemon. Start() binds, loads the initial snapshot and returns;
+/// serving happens on background threads until Stop() (also run by the
+/// destructor) drains them.
+class SkylineServer {
+ public:
+  explicit SkylineServer(const ServerOptions& options = {});
+  ~SkylineServer();
+
+  SkylineServer(const SkylineServer&) = delete;
+  SkylineServer& operator=(const SkylineServer&) = delete;
+
+  /// Loads `blob_path` as the initial snapshot, binds and starts serving.
+  Status Start(const std::string& blob_path);
+  /// Starts serving an already-loaded diagram (tests and embedders).
+  /// `source_path` is what a path-less reload re-reads ("" disables it).
+  Status Start(ServableDiagram diagram, std::string source_path);
+
+  /// Stops accepting, closes every connection, joins all threads.
+  /// Idempotent; safe to call from a signal-handling thread's context (it
+  /// only uses shutdown/close/join, no allocation-order hazards).
+  void Stop();
+
+  /// Hot-swaps the snapshot from `path` ("" = re-read the current source).
+  /// On failure the old snapshot keeps serving and the error is returned.
+  Status Reload(const std::string& path);
+
+  /// The bound port (valid after Start).
+  int port() const { return port_; }
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  SnapshotRegistry& registry() { return registry_; }
+  const ServerMetrics& metrics() const { return metrics_; }
+
+  /// One /metrics scrape payload (also used by the HTTP path).
+  std::string RenderMetrics() const;
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  Status BindAndListen();
+  void AcceptLoop();
+  void ConnectionLoop(Connection* conn);
+  /// Reaps finished connection threads; with `all` set, closes and joins
+  /// every connection (Stop path).
+  void ReapConnections(bool all);
+
+  /// Answers one batch of complete request lines against one pinned
+  /// snapshot, appending reply lines to `out`. Returns false when the
+  /// connection must close (oversize line).
+  void ServeBatch(std::span<const std::string_view> lines, std::string* out);
+  void ServeHttp(std::string_view request_target, std::string* out);
+
+  ServerOptions options_;
+  SnapshotRegistry registry_;
+  ServerMetrics metrics_;
+  std::chrono::steady_clock::time_point start_time_;
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> running_{false};
+  std::thread acceptor_;
+  std::mutex conns_mu_;
+  std::list<std::unique_ptr<Connection>> conns_;  // guarded by conns_mu_
+};
+
+}  // namespace skydia::serve
+
+#endif  // SKYDIA_SRC_SERVE_SERVER_H_

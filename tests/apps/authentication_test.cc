@@ -2,7 +2,7 @@
 
 #include <gtest/gtest.h>
 
-#include "src/core/quadrant_scanning.h"
+#include "src/core/diagram.h"
 #include "src/datagen/workload.h"
 #include "tests/testing/util.h"
 
@@ -13,7 +13,9 @@ using skydia::testing::RandomDataset;
 
 TEST(AuthenticationTest, HonestProofsVerify) {
   const Dataset ds = RandomDataset(25, 32, 3);
-  const CellDiagram diagram = BuildQuadrantScanning(ds);
+  const SkylineDiagram built = testing::BuildDiagram(
+      ds, SkylineQueryType::kQuadrant, BuildAlgorithm::kScanning);
+  const CellDiagram& diagram = *built.cell_diagram();
   const AuthenticatedDiagram auth(diagram);
   for (const Point2D& q : GenerateQueries(ds, 50, 7)) {
     const SkylineProof proof = auth.Prove(q);
@@ -24,7 +26,9 @@ TEST(AuthenticationTest, HonestProofsVerify) {
 
 TEST(AuthenticationTest, ProofResultMatchesDiagram) {
   const Dataset ds = RandomDataset(20, 24, 5);
-  const CellDiagram diagram = BuildQuadrantScanning(ds);
+  const SkylineDiagram built = testing::BuildDiagram(
+      ds, SkylineQueryType::kQuadrant, BuildAlgorithm::kScanning);
+  const CellDiagram& diagram = *built.cell_diagram();
   const AuthenticatedDiagram auth(diagram);
   const Point2D q{7, 9};
   const SkylineProof proof = auth.Prove(q);
@@ -35,7 +39,9 @@ TEST(AuthenticationTest, ProofResultMatchesDiagram) {
 
 TEST(AuthenticationTest, TamperedResultFailsVerification) {
   const Dataset ds = RandomDataset(20, 24, 9);
-  const CellDiagram diagram = BuildQuadrantScanning(ds);
+  const SkylineDiagram built = testing::BuildDiagram(
+      ds, SkylineQueryType::kQuadrant, BuildAlgorithm::kScanning);
+  const CellDiagram& diagram = *built.cell_diagram();
   const AuthenticatedDiagram auth(diagram);
   SkylineProof proof = auth.Prove({5, 5});
 
@@ -54,7 +60,9 @@ TEST(AuthenticationTest, TamperedResultFailsVerification) {
 
 TEST(AuthenticationTest, WrongCellIndexFails) {
   const Dataset ds = RandomDataset(20, 24, 11);
-  const CellDiagram diagram = BuildQuadrantScanning(ds);
+  const SkylineDiagram built = testing::BuildDiagram(
+      ds, SkylineQueryType::kQuadrant, BuildAlgorithm::kScanning);
+  const CellDiagram& diagram = *built.cell_diagram();
   const AuthenticatedDiagram auth(diagram);
   SkylineProof proof = auth.Prove({5, 5});
   proof.cell_index = (proof.cell_index + 1) % auth.num_leaves();
@@ -64,7 +72,9 @@ TEST(AuthenticationTest, WrongCellIndexFails) {
 
 TEST(AuthenticationTest, TamperedPathFails) {
   const Dataset ds = RandomDataset(20, 24, 13);
-  const CellDiagram diagram = BuildQuadrantScanning(ds);
+  const SkylineDiagram built = testing::BuildDiagram(
+      ds, SkylineQueryType::kQuadrant, BuildAlgorithm::kScanning);
+  const CellDiagram& diagram = *built.cell_diagram();
   const AuthenticatedDiagram auth(diagram);
   SkylineProof proof = auth.Prove({3, 3});
   ASSERT_FALSE(proof.path.empty());
@@ -76,10 +86,12 @@ TEST(AuthenticationTest, TamperedPathFails) {
 TEST(AuthenticationTest, WrongRootFails) {
   const Dataset ds_a = RandomDataset(20, 24, 15);
   const Dataset ds_b = RandomDataset(20, 24, 16);
-  const CellDiagram diagram_a = BuildQuadrantScanning(ds_a);
-  const CellDiagram diagram_b = BuildQuadrantScanning(ds_b);
-  const AuthenticatedDiagram auth_a(diagram_a);
-  const AuthenticatedDiagram auth_b(diagram_b);
+  const SkylineDiagram built_a = testing::BuildDiagram(
+      ds_a, SkylineQueryType::kQuadrant, BuildAlgorithm::kScanning);
+  const SkylineDiagram built_b = testing::BuildDiagram(
+      ds_b, SkylineQueryType::kQuadrant, BuildAlgorithm::kScanning);
+  const AuthenticatedDiagram auth_a(*built_a.cell_diagram());
+  const AuthenticatedDiagram auth_b(*built_b.cell_diagram());
   const SkylineProof proof = auth_a.Prove({5, 5});
   if (auth_a.num_leaves() == auth_b.num_leaves()) {
     EXPECT_FALSE(AuthenticatedDiagram::Verify(auth_b.root(),
@@ -89,7 +101,9 @@ TEST(AuthenticationTest, WrongRootFails) {
 
 TEST(AuthenticationTest, PathLengthMustMatchTreeHeight) {
   const Dataset ds = RandomDataset(20, 24, 17);
-  const CellDiagram diagram = BuildQuadrantScanning(ds);
+  const SkylineDiagram built = testing::BuildDiagram(
+      ds, SkylineQueryType::kQuadrant, BuildAlgorithm::kScanning);
+  const CellDiagram& diagram = *built.cell_diagram();
   const AuthenticatedDiagram auth(diagram);
   SkylineProof proof = auth.Prove({5, 5});
   proof.path.pop_back();
@@ -99,10 +113,12 @@ TEST(AuthenticationTest, PathLengthMustMatchTreeHeight) {
 
 TEST(AuthenticationTest, RootIsDeterministic) {
   const Dataset ds = RandomDataset(15, 20, 19);
-  const CellDiagram d1 = BuildQuadrantScanning(ds);
-  const CellDiagram d2 = BuildQuadrantScanning(ds);
-  const AuthenticatedDiagram a1(d1);
-  const AuthenticatedDiagram a2(d2);
+  const SkylineDiagram d1 = testing::BuildDiagram(
+      ds, SkylineQueryType::kQuadrant, BuildAlgorithm::kScanning);
+  const SkylineDiagram d2 = testing::BuildDiagram(
+      ds, SkylineQueryType::kQuadrant, BuildAlgorithm::kScanning);
+  const AuthenticatedDiagram a1(*d1.cell_diagram());
+  const AuthenticatedDiagram a2(*d2.cell_diagram());
   EXPECT_EQ(DigestToHex(a1.root()), DigestToHex(a2.root()));
 }
 

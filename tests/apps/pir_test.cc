@@ -2,7 +2,7 @@
 
 #include <gtest/gtest.h>
 
-#include "src/core/quadrant_scanning.h"
+#include "src/core/diagram.h"
 #include "src/datagen/workload.h"
 #include "tests/testing/util.h"
 
@@ -13,7 +13,9 @@ using skydia::testing::RandomDataset;
 
 TEST(PirTest, DatabaseEncodesEveryCell) {
   const Dataset ds = RandomDataset(15, 20, 3);
-  const CellDiagram diagram = BuildQuadrantScanning(ds);
+  const SkylineDiagram built = testing::BuildDiagram(
+      ds, SkylineQueryType::kQuadrant, BuildAlgorithm::kScanning);
+  const CellDiagram& diagram = *built.cell_diagram();
   const PirDatabase db = BuildPirDatabase(diagram);
   EXPECT_EQ(db.num_records, diagram.grid().num_cells());
   const CellGrid& grid = diagram.grid();
@@ -30,7 +32,9 @@ TEST(PirTest, DatabaseEncodesEveryCell) {
 
 TEST(PirTest, EndToEndPrivateQueriesAreCorrect) {
   const Dataset ds = RandomDataset(20, 24, 5);
-  const CellDiagram diagram = BuildQuadrantScanning(ds);
+  const SkylineDiagram built = testing::BuildDiagram(
+      ds, SkylineQueryType::kQuadrant, BuildAlgorithm::kScanning);
+  const CellDiagram& diagram = *built.cell_diagram();
   const PirDatabase db = BuildPirDatabase(diagram);
   const PirServer server1(&db);
   const PirServer server2(&db);
@@ -88,7 +92,9 @@ TEST(PirTest, DecodeRejectsWrongSizes) {
 TEST(PirTest, XorReconstructionIdentity) {
   // Answer(S1) xor Answer(S2) equals the target record by linearity.
   const Dataset ds = RandomDataset(10, 16, 9);
-  const CellDiagram diagram = BuildQuadrantScanning(ds);
+  const SkylineDiagram built = testing::BuildDiagram(
+      ds, SkylineQueryType::kQuadrant, BuildAlgorithm::kScanning);
+  const CellDiagram& diagram = *built.cell_diagram();
   const PirDatabase db = BuildPirDatabase(diagram);
   const PirServer server(&db);
   PirClient client(db.num_records, db.record_bytes);

@@ -61,14 +61,14 @@ TEST(SkylineDiagramTest, DynamicQueryExactEverywhere) {
 }
 
 TEST(SkylineDiagramTest, AllCellAlgorithmsAgreeThroughFacade) {
-  for (const QuadrantAlgorithm algo :
-       {QuadrantAlgorithm::kBaseline, QuadrantAlgorithm::kDsg,
-        QuadrantAlgorithm::kScanning}) {
+  for (const BuildAlgorithm algo :
+       {BuildAlgorithm::kAuto, BuildAlgorithm::kBaseline, BuildAlgorithm::kDsg,
+        BuildAlgorithm::kScanning}) {
     SkylineDiagram::BuildOptions options;
-    options.cell_algorithm = algo;
+    options.algorithm = algo;
     auto built = SkylineDiagram::Build(RandomDataset(15, 16, 9),
                                        SkylineQueryType::kQuadrant, options);
-    ASSERT_TRUE(built.ok());
+    ASSERT_TRUE(built.ok()) << BuildAlgorithmName(algo);
     const Dataset ds = RandomDataset(15, 16, 9);
     const auto result = built->Query({4, 4});
     EXPECT_EQ(std::vector<PointId>(result.begin(), result.end()),
@@ -78,17 +78,48 @@ TEST(SkylineDiagramTest, AllCellAlgorithmsAgreeThroughFacade) {
 
 TEST(SkylineDiagramTest, AllDynamicAlgorithmsAgreeThroughFacade) {
   const Dataset reference = RandomDataset(8, 12, 11);
-  for (const DynamicAlgorithm algo :
-       {DynamicAlgorithm::kBaseline, DynamicAlgorithm::kSubset,
-        DynamicAlgorithm::kScanning}) {
+  for (const BuildAlgorithm algo :
+       {BuildAlgorithm::kAuto, BuildAlgorithm::kBaseline,
+        BuildAlgorithm::kSubset, BuildAlgorithm::kDsg,
+        BuildAlgorithm::kScanning}) {
     SkylineDiagram::BuildOptions options;
-    options.dynamic_algorithm = algo;
+    options.algorithm = algo;
     auto built = SkylineDiagram::Build(RandomDataset(8, 12, 11),
                                        SkylineQueryType::kDynamic, options);
-    ASSERT_TRUE(built.ok());
+    ASSERT_TRUE(built.ok()) << BuildAlgorithmName(algo);
     EXPECT_EQ(built->QueryExact({5, 5}), DynamicSkyline(reference, {5, 5}))
-        << DynamicAlgorithmName(algo);
+        << BuildAlgorithmName(algo);
   }
+}
+
+TEST(SkylineDiagramTest, RejectsAlgorithmSemanticsMismatch) {
+  // kSubset names a dynamic-only construction; the facade must reject it for
+  // cell diagrams instead of silently picking something else.
+  SkylineDiagram::BuildOptions options;
+  options.algorithm = BuildAlgorithm::kSubset;
+  auto built = SkylineDiagram::Build(RandomDataset(10, 16, 13),
+                                     SkylineQueryType::kQuadrant, options);
+  ASSERT_FALSE(built.ok());
+  EXPECT_EQ(built.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SkylineDiagramTest, RejectsBadParallelismCombinations) {
+  SkylineDiagram::BuildOptions options;
+  options.parallelism = 0;
+  EXPECT_FALSE(SkylineDiagram::Build(RandomDataset(10, 16, 13),
+                                     SkylineQueryType::kQuadrant, options)
+                   .ok());
+  // Global diagrams have no parallel construction.
+  options.parallelism = 4;
+  auto global = SkylineDiagram::Build(RandomDataset(10, 16, 13),
+                                      SkylineQueryType::kGlobal, options);
+  ASSERT_FALSE(global.ok());
+  EXPECT_EQ(global.status().code(), StatusCode::kInvalidArgument);
+  // A parallel quadrant build only exists for the DSG construction.
+  options.algorithm = BuildAlgorithm::kScanning;
+  EXPECT_FALSE(SkylineDiagram::Build(RandomDataset(10, 16, 13),
+                                     SkylineQueryType::kQuadrant, options)
+                   .ok());
 }
 
 TEST(SkylineDiagramTest, HotelExampleAllThreeSemantics) {
@@ -133,6 +164,27 @@ TEST(SkylineDiagramTest, EnumNames) {
   EXPECT_STREQ(SkylineQueryTypeName(SkylineQueryType::kDynamic), "dynamic");
   EXPECT_STREQ(DynamicAlgorithmName(DynamicAlgorithm::kSubset), "subset");
   EXPECT_STREQ(QuadrantAlgorithmName(QuadrantAlgorithm::kDsg), "dsg");
+  EXPECT_STREQ(BuildAlgorithmName(BuildAlgorithm::kAuto), "auto");
+  EXPECT_STREQ(BuildAlgorithmName(BuildAlgorithm::kScanning), "scanning");
+}
+
+TEST(SkylineDiagramTest, ParseRoundTrips) {
+  for (const BuildAlgorithm algo :
+       {BuildAlgorithm::kAuto, BuildAlgorithm::kBaseline, BuildAlgorithm::kDsg,
+        BuildAlgorithm::kSubset, BuildAlgorithm::kScanning}) {
+    auto parsed = ParseBuildAlgorithm(BuildAlgorithmName(algo));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, algo);
+  }
+  EXPECT_FALSE(ParseBuildAlgorithm("fastest").ok());
+  for (const SkylineQueryType type :
+       {SkylineQueryType::kQuadrant, SkylineQueryType::kGlobal,
+        SkylineQueryType::kDynamic}) {
+    auto parsed = ParseSkylineQueryType(SkylineQueryTypeName(type));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, type);
+  }
+  EXPECT_FALSE(ParseSkylineQueryType("voronoi").ok());
 }
 
 }  // namespace

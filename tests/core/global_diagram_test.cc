@@ -1,7 +1,6 @@
-#include "src/core/global_diagram.h"
-
 #include <gtest/gtest.h>
 
+#include "src/core/diagram.h"
 #include "src/datagen/real_data.h"
 #include "src/datagen/workload.h"
 #include "src/skyline/query.h"
@@ -10,15 +9,21 @@
 namespace skydia {
 namespace {
 
+using skydia::testing::BuildDiagram;
 using skydia::testing::RandomDataset;
 
-class GlobalDiagramTest : public ::testing::TestWithParam<QuadrantAlgorithm> {
+class GlobalDiagramTest : public ::testing::TestWithParam<BuildAlgorithm> {
+ protected:
+  SkylineDiagram Build(const Dataset& ds) const {
+    return BuildDiagram(ds, SkylineQueryType::kGlobal, GetParam());
+  }
 };
 
 TEST_P(GlobalDiagramTest, InteriorQueriesMatchBruteForce) {
   for (uint64_t seed = 1; seed <= 3; ++seed) {
     const Dataset ds = RandomDataset(30, 24, seed);
-    const CellDiagram diagram = BuildGlobalDiagram(ds, GetParam());
+    const SkylineDiagram built = Build(ds);
+    const CellDiagram& diagram = *built.cell_diagram();
     const CellGrid& grid = diagram.grid();
     const auto queries =
         GenerateInteriorQueries4(ds, 200, seed * 100, /*avoid_bisectors=*/false);
@@ -39,7 +44,8 @@ TEST_P(GlobalDiagramTest, InteriorQueriesMatchBruteForce) {
 
 TEST_P(GlobalDiagramTest, TieHeavyInteriorQueries) {
   const Dataset ds = RandomDataset(60, 8, 5);
-  const CellDiagram diagram = BuildGlobalDiagram(ds, GetParam());
+  const SkylineDiagram built = Build(ds);
+  const CellDiagram& diagram = *built.cell_diagram();
   const CellGrid& grid = diagram.grid();
   const auto queries =
       GenerateInteriorQueries4(ds, 100, 999, /*avoid_bisectors=*/false);
@@ -55,28 +61,33 @@ TEST_P(GlobalDiagramTest, TieHeavyInteriorQueries) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllBuilders, GlobalDiagramTest,
-                         ::testing::Values(QuadrantAlgorithm::kBaseline,
-                                           QuadrantAlgorithm::kDsg,
-                                           QuadrantAlgorithm::kScanning),
+                         ::testing::Values(BuildAlgorithm::kBaseline,
+                                           BuildAlgorithm::kDsg,
+                                           BuildAlgorithm::kScanning),
                          [](const auto& info) {
-                           return QuadrantAlgorithmName(info.param);
+                           return std::string(BuildAlgorithmName(info.param));
                          });
 
 TEST(GlobalDiagramTest, BuildersAgreeWithEachOther) {
   const Dataset ds = RandomDataset(40, 20, 9);
-  const CellDiagram a = BuildGlobalDiagram(ds, QuadrantAlgorithm::kBaseline);
-  const CellDiagram b = BuildGlobalDiagram(ds, QuadrantAlgorithm::kDsg);
-  const CellDiagram c = BuildGlobalDiagram(ds, QuadrantAlgorithm::kScanning);
-  EXPECT_TRUE(a.SameResults(b));
-  EXPECT_TRUE(a.SameResults(c));
+  const SkylineDiagram a =
+      BuildDiagram(ds, SkylineQueryType::kGlobal, BuildAlgorithm::kBaseline);
+  const SkylineDiagram b =
+      BuildDiagram(ds, SkylineQueryType::kGlobal, BuildAlgorithm::kDsg);
+  const SkylineDiagram c =
+      BuildDiagram(ds, SkylineQueryType::kGlobal, BuildAlgorithm::kScanning);
+  EXPECT_TRUE(a.cell_diagram()->SameResults(*b.cell_diagram()));
+  EXPECT_TRUE(a.cell_diagram()->SameResults(*c.cell_diagram()));
 }
 
 TEST(GlobalDiagramTest, GlobalContainsQuadrantResult) {
   const Dataset ds = RandomDataset(35, 30, 13);
-  const CellDiagram quadrant =
-      BuildQuadrantDiagram(ds, QuadrantAlgorithm::kScanning);
-  const CellDiagram global =
-      BuildGlobalDiagram(ds, QuadrantAlgorithm::kScanning);
+  const SkylineDiagram quadrant_built =
+      BuildDiagram(ds, SkylineQueryType::kQuadrant, BuildAlgorithm::kScanning);
+  const SkylineDiagram global_built =
+      BuildDiagram(ds, SkylineQueryType::kGlobal, BuildAlgorithm::kScanning);
+  const CellDiagram& quadrant = *quadrant_built.cell_diagram();
+  const CellDiagram& global = *global_built.cell_diagram();
   const CellGrid& grid = quadrant.grid();
   for (uint32_t cy = 0; cy < grid.num_rows(); ++cy) {
     for (uint32_t cx = 0; cx < grid.num_columns(); ++cx) {
@@ -92,8 +103,8 @@ TEST(GlobalDiagramTest, GlobalContainsQuadrantResult) {
 
 TEST(GlobalDiagramTest, HotelExampleMatchesPaper) {
   const Dataset hotels = HotelExample();
-  const CellDiagram diagram =
-      BuildGlobalDiagram(hotels, QuadrantAlgorithm::kScanning);
+  const SkylineDiagram diagram = BuildDiagram(
+      hotels, SkylineQueryType::kGlobal, BuildAlgorithm::kScanning);
   // q = (10, 80) is interior (no hotel has x == 10 or y == 80).
   const auto result = diagram.Query(HotelExampleQuery());
   // Global skyline = {p3, p6, p8, p10, p11} = ids {2, 5, 7, 9, 10}.

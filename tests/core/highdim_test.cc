@@ -2,7 +2,7 @@
 
 #include <gtest/gtest.h>
 
-#include "src/core/quadrant_scanning.h"
+#include "src/core/diagram.h"
 #include "src/datagen/distributions.h"
 #include "src/skyline/dominance.h"
 #include "tests/testing/util.h"
@@ -124,7 +124,9 @@ TEST_P(NdDiagramTest, TwoDimsMatchesQuadrantDiagram) {
   const Dataset ds2 = skydia::testing::RandomDataset(20, 16, 9);
   const DatasetNd ds = DatasetNd::FromDataset2d(ds2);
   const NdCellDiagram nd = GetParam().builder(ds, {});
-  const CellDiagram quad = BuildQuadrantScanning(ds2);
+  const SkylineDiagram built = skydia::testing::BuildDiagram(
+      ds2, SkylineQueryType::kQuadrant, BuildAlgorithm::kScanning);
+  const CellDiagram& quad = *built.cell_diagram();
   const CellGrid& grid2 = quad.grid();
   for (uint32_t cy = 0; cy < grid2.num_rows(); ++cy) {
     for (uint32_t cx = 0; cx < grid2.num_columns(); ++cx) {

@@ -2,7 +2,7 @@
 
 #include <gtest/gtest.h>
 
-#include "src/core/quadrant_scanning.h"
+#include "src/core/diagram.h"
 #include "src/datagen/distributions.h"
 #include "src/skyline/query.h"
 #include "tests/testing/util.h"
@@ -30,8 +30,10 @@ TEST(IncrementalTest, InsertMatchesFullRebuildRandom) {
       ASSERT_TRUE(id.ok());
       EXPECT_EQ(*id, i);
     }
-    const CellDiagram rebuilt = BuildQuadrantScanning(full);
-    EXPECT_TRUE(incremental->diagram().SameResults(rebuilt)) << "seed " << seed;
+    const SkylineDiagram rebuilt = testing::BuildDiagram(
+        full, SkylineQueryType::kQuadrant, BuildAlgorithm::kScanning);
+    EXPECT_TRUE(incremental->diagram().SameResults(*rebuilt.cell_diagram()))
+        << "seed " << seed;
   }
 }
 
@@ -48,8 +50,9 @@ TEST(IncrementalTest, InsertWithTies) {
 
   auto full = Dataset::Create({{3, 3}, {6, 6}, {3, 6}, {3, 3}, {6, 1}}, 10);
   ASSERT_TRUE(full.ok());
-  EXPECT_TRUE(
-      incremental->diagram().SameResults(BuildQuadrantScanning(*full)));
+  const SkylineDiagram rebuilt = testing::BuildDiagram(
+      *full, SkylineQueryType::kQuadrant, BuildAlgorithm::kScanning);
+  EXPECT_TRUE(incremental->diagram().SameResults(*rebuilt.cell_diagram()));
 }
 
 TEST(IncrementalTest, UpperRightInsertRecomputesOneCell) {
@@ -91,6 +94,41 @@ TEST(IncrementalTest, RejectsOutOfDomainInserts) {
   ASSERT_TRUE(incremental.ok());
   EXPECT_FALSE(incremental->Insert({8, 0}).ok());
   EXPECT_FALSE(incremental->Insert({0, -1}).ok());
+}
+
+TEST(IncrementalTest, DatasetValidationFailureIsInvalidArgumentNotAbort) {
+  // Under require_distinct_coordinates, an insert that duplicates an existing
+  // coordinate makes the extended Dataset::Create fail. That failure must
+  // surface as InvalidArgument from Insert — never a process abort — and the
+  // diagram must keep serving its pre-insert state.
+  IncrementalOptions options;
+  options.require_distinct_coordinates = true;
+  auto base = Dataset::Create({{1, 2}, {3, 4}}, 16);
+  ASSERT_TRUE(base.ok());
+  auto incremental = IncrementalQuadrantDiagram::Create(*base, options);
+  ASSERT_TRUE(incremental.ok());
+
+  const auto dup_x = incremental->Insert({1, 7});  // x collides with (1, 2)
+  ASSERT_FALSE(dup_x.ok());
+  EXPECT_EQ(dup_x.status().code(), StatusCode::kInvalidArgument);
+  const auto dup_y = incremental->Insert({7, 4});  // y collides with (3, 4)
+  ASSERT_FALSE(dup_y.ok());
+  EXPECT_EQ(dup_y.status().code(), StatusCode::kInvalidArgument);
+
+  // The failed inserts changed nothing: size, ids, and results are intact.
+  EXPECT_EQ(incremental->dataset().size(), 2u);
+  auto ok = incremental->Insert({5, 6});
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 2u);
+  const auto at_origin = incremental->Query({0, 0});
+  EXPECT_EQ(std::vector<PointId>(at_origin.begin(), at_origin.end()),
+            FirstQuadrantSkyline(incremental->dataset(), {0, 0}));
+
+  // And Create itself rejects a seed dataset that violates the invariant.
+  auto bad_seed = IncrementalQuadrantDiagram::Create(
+      std::move(Dataset::Create({{2, 2}, {2, 5}}, 8)).value(), options);
+  ASSERT_FALSE(bad_seed.ok());
+  EXPECT_EQ(bad_seed.status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST(IncrementalTest, LabelsExtendWhenPresent) {

@@ -2,7 +2,7 @@
 
 #include <gtest/gtest.h>
 
-#include "src/core/quadrant_scanning.h"
+#include "src/core/diagram.h"
 #include "tests/testing/util.h"
 
 namespace skydia {
@@ -13,8 +13,9 @@ using skydia::testing::RandomDataset;
 TEST(MergeTest, SinglePointProducesTwoPolyominoes) {
   auto ds = Dataset::Create({{4, 4}}, 10);
   ASSERT_TRUE(ds.ok());
-  const CellDiagram diagram = BuildQuadrantScanning(*ds);
-  const MergedPolyominoes merged = MergeCells(diagram);
+  const SkylineDiagram built = testing::BuildDiagram(
+      *ds, SkylineQueryType::kQuadrant, BuildAlgorithm::kScanning);
+  const MergedPolyominoes merged = MergeCells(*built.cell_diagram());
   // Cell (0,0) has result {p0}; the other three cells are empty and
   // 4-connected through (1,1).
   EXPECT_EQ(merged.num_polyominoes(), 2u);
@@ -22,7 +23,9 @@ TEST(MergeTest, SinglePointProducesTwoPolyominoes) {
 
 TEST(MergeTest, LabelsCoverAllCellsExactlyOnce) {
   const Dataset ds = RandomDataset(30, 24, 5);
-  const CellDiagram diagram = BuildQuadrantScanning(ds);
+  const SkylineDiagram built = testing::BuildDiagram(
+      ds, SkylineQueryType::kQuadrant, BuildAlgorithm::kScanning);
+  const CellDiagram& diagram = *built.cell_diagram();
   const MergedPolyominoes merged = MergeCells(diagram);
   EXPECT_EQ(merged.cell_to_polyomino.size(), diagram.grid().num_cells());
   uint64_t total = 0;
@@ -32,7 +35,9 @@ TEST(MergeTest, LabelsCoverAllCellsExactlyOnce) {
 
 TEST(MergeTest, CellsInOnePolyominoShareResults) {
   const Dataset ds = RandomDataset(40, 16, 7);  // ties included
-  const CellDiagram diagram = BuildQuadrantScanning(ds);
+  const SkylineDiagram built = testing::BuildDiagram(
+      ds, SkylineQueryType::kQuadrant, BuildAlgorithm::kScanning);
+  const CellDiagram& diagram = *built.cell_diagram();
   const MergedPolyominoes merged = MergeCells(diagram);
   const CellGrid& grid = diagram.grid();
   for (uint32_t cy = 0; cy < grid.num_rows(); ++cy) {
@@ -48,7 +53,9 @@ TEST(MergeTest, CellsInOnePolyominoShareResults) {
 
 TEST(MergeTest, AdjacentCellsWithDifferentResultsGetDifferentLabels) {
   const Dataset ds = RandomDataset(25, 32, 11);
-  const CellDiagram diagram = BuildQuadrantScanning(ds);
+  const SkylineDiagram built = testing::BuildDiagram(
+      ds, SkylineQueryType::kQuadrant, BuildAlgorithm::kScanning);
+  const CellDiagram& diagram = *built.cell_diagram();
   const MergedPolyominoes merged = MergeCells(diagram);
   const CellGrid& grid = diagram.grid();
   for (uint32_t cy = 0; cy < grid.num_rows(); ++cy) {
@@ -73,7 +80,9 @@ TEST(MergeTest, PolyominoesAreConnected) {
   // BFS from one cell of each polyomino over same-label adjacency must reach
   // the whole polyomino.
   const Dataset ds = RandomDataset(20, 20, 13);
-  const CellDiagram diagram = BuildQuadrantScanning(ds);
+  const SkylineDiagram built = testing::BuildDiagram(
+      ds, SkylineQueryType::kQuadrant, BuildAlgorithm::kScanning);
+  const CellDiagram& diagram = *built.cell_diagram();
   const MergedPolyominoes merged = MergeCells(diagram);
   const CellGrid& grid = diagram.grid();
   const uint32_t cols = grid.num_columns();

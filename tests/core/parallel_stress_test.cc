@@ -14,14 +14,13 @@
 #include <gtest/gtest.h>
 
 #include "src/common/thread_pool.h"
-#include "src/core/parallel.h"
-#include "src/core/dynamic_scanning.h"
-#include "src/core/quadrant_dsg.h"
+#include "src/core/diagram.h"
 #include "tests/testing/util.h"
 
 namespace skydia {
 namespace {
 
+using skydia::testing::BuildDiagram;
 using skydia::testing::RandomDataset;
 
 TEST(ThreadPoolStressTest, ParallelForCoversEveryIndexExactlyOnce) {
@@ -99,11 +98,14 @@ TEST(ThreadPoolStressTest, DestructorDrainsLoadedQueue) {
 
 TEST(ParallelBuilderStressTest, QuadrantMatchesSequentialUnderRepetition) {
   const Dataset ds = RandomDataset(80, 64, 29);
-  const CellDiagram sequential = BuildQuadrantDsg(ds);
+  const SkylineDiagram sequential =
+      BuildDiagram(ds, SkylineQueryType::kQuadrant, BuildAlgorithm::kDsg);
   for (int round = 0; round < 3; ++round) {
     for (const int threads : {2, 3, 5, 8, 13}) {
-      const CellDiagram parallel = BuildQuadrantDsgParallel(ds, threads);
-      EXPECT_TRUE(parallel.SameResults(sequential))
+      const SkylineDiagram parallel = BuildDiagram(
+          ds, SkylineQueryType::kQuadrant, BuildAlgorithm::kDsg, threads);
+      EXPECT_TRUE(
+          parallel.cell_diagram()->SameResults(*sequential.cell_diagram()))
           << "round " << round << ", " << threads << " threads";
     }
   }
@@ -111,11 +113,15 @@ TEST(ParallelBuilderStressTest, QuadrantMatchesSequentialUnderRepetition) {
 
 TEST(ParallelBuilderStressTest, DynamicMatchesSequentialUnderRepetition) {
   const Dataset ds = RandomDataset(36, 48, 31);
-  const SubcellDiagram sequential = BuildDynamicScanning(ds);
+  const SkylineDiagram sequential =
+      BuildDiagram(ds, SkylineQueryType::kDynamic, BuildAlgorithm::kScanning);
   for (int round = 0; round < 3; ++round) {
     for (const int threads : {2, 3, 5, 8, 13}) {
-      const SubcellDiagram parallel = BuildDynamicScanningParallel(ds, threads);
-      EXPECT_TRUE(parallel.SameResults(sequential))
+      const SkylineDiagram parallel =
+          BuildDiagram(ds, SkylineQueryType::kDynamic,
+                       BuildAlgorithm::kScanning, threads);
+      EXPECT_TRUE(parallel.subcell_diagram()->SameResults(
+          *sequential.subcell_diagram()))
           << "round " << round << ", " << threads << " threads";
     }
   }
@@ -125,14 +131,21 @@ TEST(ParallelBuilderStressTest, InterleavedFamiliesShareNothing) {
   // Both builders create private pools; alternating them back-to-back would
   // surface any accidental shared mutable state between the two paths.
   const Dataset ds = RandomDataset(48, 48, 37);
-  const CellDiagram cell_reference = BuildQuadrantDsg(ds);
-  const SubcellDiagram subcell_reference = BuildDynamicScanning(ds);
+  const SkylineDiagram cell_reference =
+      BuildDiagram(ds, SkylineQueryType::kQuadrant, BuildAlgorithm::kDsg);
+  const SkylineDiagram subcell_reference =
+      BuildDiagram(ds, SkylineQueryType::kDynamic, BuildAlgorithm::kScanning);
   for (int round = 0; round < 4; ++round) {
     const int threads = 2 + round;
     EXPECT_TRUE(
-        BuildQuadrantDsgParallel(ds, threads).SameResults(cell_reference));
-    EXPECT_TRUE(BuildDynamicScanningParallel(ds, threads)
-                    .SameResults(subcell_reference));
+        BuildDiagram(ds, SkylineQueryType::kQuadrant, BuildAlgorithm::kDsg,
+                     threads)
+            .cell_diagram()
+            ->SameResults(*cell_reference.cell_diagram()));
+    EXPECT_TRUE(BuildDiagram(ds, SkylineQueryType::kDynamic,
+                             BuildAlgorithm::kScanning, threads)
+                    .subcell_diagram()
+                    ->SameResults(*subcell_reference.subcell_diagram()));
   }
 }
 

@@ -1,41 +1,47 @@
-#include "src/core/parallel.h"
-
+// Parallel builders must agree exactly with their sequential references.
+// Every construction goes through the SkylineDiagram::Build facade: the
+// parallelism knob is the only thing that changes between the two sides.
 #include <gtest/gtest.h>
 
-#include "src/core/dynamic_baseline.h"
-#include "src/core/dynamic_scanning.h"
-#include "src/core/quadrant_baseline.h"
-#include "src/core/quadrant_dsg.h"
+#include "src/core/diagram.h"
 #include "src/datagen/distributions.h"
 #include "tests/testing/util.h"
 
 namespace skydia {
 namespace {
 
+using skydia::testing::BuildDiagram;
 using skydia::testing::RandomDataset;
 
 TEST(ParallelDsgTest, MatchesSequentialAcrossThreadCounts) {
   const Dataset ds = RandomDataset(60, 48, 3);
-  const CellDiagram sequential = BuildQuadrantDsg(ds);
+  const SkylineDiagram sequential =
+      BuildDiagram(ds, SkylineQueryType::kQuadrant, BuildAlgorithm::kDsg);
   for (const int threads : {1, 2, 3, 4, 7}) {
-    const CellDiagram parallel = BuildQuadrantDsgParallel(ds, threads);
-    EXPECT_TRUE(parallel.SameResults(sequential)) << threads << " threads";
+    const SkylineDiagram parallel = BuildDiagram(
+        ds, SkylineQueryType::kQuadrant, BuildAlgorithm::kDsg, threads);
+    EXPECT_TRUE(parallel.cell_diagram()->SameResults(*sequential.cell_diagram()))
+        << threads << " threads";
   }
 }
 
 TEST(ParallelDsgTest, MatchesBaselineOnTieHeavyData) {
   const Dataset ds = RandomDataset(80, 8, 5);
-  const CellDiagram baseline = BuildQuadrantBaseline(ds);
-  const CellDiagram parallel = BuildQuadrantDsgParallel(ds, 4);
-  EXPECT_TRUE(parallel.SameResults(baseline));
+  const SkylineDiagram baseline =
+      BuildDiagram(ds, SkylineQueryType::kQuadrant, BuildAlgorithm::kBaseline);
+  const SkylineDiagram parallel =
+      BuildDiagram(ds, SkylineQueryType::kQuadrant, BuildAlgorithm::kDsg, 4);
+  EXPECT_TRUE(parallel.cell_diagram()->SameResults(*baseline.cell_diagram()));
 }
 
 TEST(ParallelDsgTest, MoreThreadsThanRows) {
   auto ds = Dataset::Create({{1, 1}, {2, 2}}, 8);
   ASSERT_TRUE(ds.ok());
-  const CellDiagram sequential = BuildQuadrantDsg(*ds);
-  const CellDiagram parallel = BuildQuadrantDsgParallel(*ds, 16);
-  EXPECT_TRUE(parallel.SameResults(sequential));
+  const SkylineDiagram sequential =
+      BuildDiagram(*ds, SkylineQueryType::kQuadrant, BuildAlgorithm::kDsg);
+  const SkylineDiagram parallel =
+      BuildDiagram(*ds, SkylineQueryType::kQuadrant, BuildAlgorithm::kDsg, 16);
+  EXPECT_TRUE(parallel.cell_diagram()->SameResults(*sequential.cell_diagram()));
 }
 
 TEST(ParallelDsgTest, DistributionSweep) {
@@ -43,18 +49,24 @@ TEST(ParallelDsgTest, DistributionSweep) {
        {Distribution::kIndependent, Distribution::kCorrelated,
         Distribution::kAnticorrelated}) {
     const Dataset ds = testing::GeneratedDataset(50, 64, dist, 9);
-    const CellDiagram sequential = BuildQuadrantDsg(ds);
-    const CellDiagram parallel = BuildQuadrantDsgParallel(ds, 3);
-    EXPECT_TRUE(parallel.SameResults(sequential)) << DistributionName(dist);
+    const SkylineDiagram sequential =
+        BuildDiagram(ds, SkylineQueryType::kQuadrant, BuildAlgorithm::kDsg);
+    // kAuto with parallelism > 1 must select the striped DSG construction.
+    const SkylineDiagram parallel =
+        BuildDiagram(ds, SkylineQueryType::kQuadrant, BuildAlgorithm::kAuto, 3);
+    EXPECT_TRUE(
+        parallel.cell_diagram()->SameResults(*sequential.cell_diagram()))
+        << DistributionName(dist);
   }
 }
 
 TEST(ParallelDsgTest, SinglePoint) {
   auto ds = Dataset::Create({{3, 3}}, 8);
   ASSERT_TRUE(ds.ok());
-  const CellDiagram parallel = BuildQuadrantDsgParallel(*ds, 4);
-  EXPECT_EQ(parallel.CellSkyline(0, 0).size(), 1u);
-  EXPECT_TRUE(parallel.CellSkyline(1, 1).empty());
+  const SkylineDiagram parallel =
+      BuildDiagram(*ds, SkylineQueryType::kQuadrant, BuildAlgorithm::kDsg, 4);
+  EXPECT_EQ(parallel.cell_diagram()->CellSkyline(0, 0).size(), 1u);
+  EXPECT_TRUE(parallel.cell_diagram()->CellSkyline(1, 1).empty());
 }
 
 TEST(ParallelDynamicTest, MatchesSequentialAcrossThreadsAndDistributions) {
@@ -62,10 +74,14 @@ TEST(ParallelDynamicTest, MatchesSequentialAcrossThreadsAndDistributions) {
        {Distribution::kIndependent, Distribution::kCorrelated,
         Distribution::kAnticorrelated}) {
     const Dataset ds = testing::GeneratedDataset(28, 48, dist, 17);
-    const SubcellDiagram sequential = BuildDynamicScanning(ds);
+    const SkylineDiagram sequential =
+        BuildDiagram(ds, SkylineQueryType::kDynamic, BuildAlgorithm::kScanning);
     for (const int threads : {1, 2, 7}) {
-      const SubcellDiagram parallel = BuildDynamicScanningParallel(ds, threads);
-      EXPECT_TRUE(parallel.SameResults(sequential))
+      const SkylineDiagram parallel =
+          BuildDiagram(ds, SkylineQueryType::kDynamic,
+                       BuildAlgorithm::kScanning, threads);
+      EXPECT_TRUE(parallel.subcell_diagram()->SameResults(
+          *sequential.subcell_diagram()))
           << DistributionName(dist) << ", " << threads << " threads";
     }
   }
@@ -75,25 +91,34 @@ TEST(ParallelDynamicTest, MatchesBaselineOnTieHeavyData) {
   // A tiny domain makes grid and bisector lines coincide heavily — the
   // adversarial case for the incremental candidate propagation.
   const Dataset ds = RandomDataset(24, 6, 23);
-  const SubcellDiagram baseline = BuildDynamicBaseline(ds);
-  const SubcellDiagram parallel = BuildDynamicScanningParallel(ds, 4);
-  EXPECT_TRUE(parallel.SameResults(baseline));
+  const SkylineDiagram baseline =
+      BuildDiagram(ds, SkylineQueryType::kDynamic, BuildAlgorithm::kBaseline);
+  const SkylineDiagram parallel = BuildDiagram(
+      ds, SkylineQueryType::kDynamic, BuildAlgorithm::kScanning, 4);
+  EXPECT_TRUE(
+      parallel.subcell_diagram()->SameResults(*baseline.subcell_diagram()));
 }
 
 TEST(ParallelDynamicTest, MoreThreadsThanRows) {
   auto ds = Dataset::Create({{1, 1}, {2, 3}}, 8);
   ASSERT_TRUE(ds.ok());
-  const SubcellDiagram sequential = BuildDynamicScanning(*ds);
-  const SubcellDiagram parallel = BuildDynamicScanningParallel(*ds, 16);
-  EXPECT_TRUE(parallel.SameResults(sequential));
+  const SkylineDiagram sequential =
+      BuildDiagram(*ds, SkylineQueryType::kDynamic, BuildAlgorithm::kScanning);
+  const SkylineDiagram parallel = BuildDiagram(
+      *ds, SkylineQueryType::kDynamic, BuildAlgorithm::kScanning, 16);
+  EXPECT_TRUE(
+      parallel.subcell_diagram()->SameResults(*sequential.subcell_diagram()));
 }
 
 TEST(ParallelDynamicTest, SinglePoint) {
   auto ds = Dataset::Create({{3, 3}}, 8);
   ASSERT_TRUE(ds.ok());
-  const SubcellDiagram sequential = BuildDynamicScanning(*ds);
-  const SubcellDiagram parallel = BuildDynamicScanningParallel(*ds, 4);
-  EXPECT_TRUE(parallel.SameResults(sequential));
+  const SkylineDiagram sequential =
+      BuildDiagram(*ds, SkylineQueryType::kDynamic, BuildAlgorithm::kScanning);
+  const SkylineDiagram parallel = BuildDiagram(
+      *ds, SkylineQueryType::kDynamic, BuildAlgorithm::kScanning, 4);
+  EXPECT_TRUE(
+      parallel.subcell_diagram()->SameResults(*sequential.subcell_diagram()));
 }
 
 }  // namespace

@@ -1,9 +1,6 @@
 #include <gtest/gtest.h>
 
-#include "src/core/global_diagram.h"
-#include "src/core/quadrant_baseline.h"
-#include "src/core/quadrant_dsg.h"
-#include "src/core/quadrant_scanning.h"
+#include "src/core/diagram.h"
 #include "src/datagen/distributions.h"
 #include "src/skyline/query.h"
 #include "tests/testing/util.h"
@@ -11,6 +8,7 @@
 namespace skydia {
 namespace {
 
+using skydia::testing::BuildDiagram;
 using skydia::testing::RandomDataset;
 using skydia::testing::RandomDistinctDataset;
 
@@ -31,13 +29,18 @@ std::pair<int64_t, int64_t> CellRep4(const CellGrid& grid, uint32_t cx,
   return {x, y};
 }
 
-class QuadrantAlgorithmsTest
-    : public ::testing::TestWithParam<QuadrantAlgorithm> {};
+class QuadrantAlgorithmsTest : public ::testing::TestWithParam<BuildAlgorithm> {
+ protected:
+  SkylineDiagram Build(const Dataset& ds) const {
+    return BuildDiagram(ds, SkylineQueryType::kQuadrant, GetParam());
+  }
+};
 
 TEST_P(QuadrantAlgorithmsTest, EveryCellMatchesInteriorBruteForce) {
   for (uint64_t seed = 1; seed <= 4; ++seed) {
     const Dataset ds = RandomDataset(24, 20, seed);
-    const CellDiagram diagram = BuildQuadrantDiagram(ds, GetParam());
+    const SkylineDiagram built = Build(ds);
+    const CellDiagram& diagram = *built.cell_diagram();
     const CellGrid& grid = diagram.grid();
     for (uint32_t cy = 0; cy < grid.num_rows(); ++cy) {
       for (uint32_t cx = 0; cx < grid.num_columns(); ++cx) {
@@ -53,11 +56,11 @@ TEST_P(QuadrantAlgorithmsTest, EveryCellMatchesInteriorBruteForce) {
 
 TEST_P(QuadrantAlgorithmsTest, ExactForEveryIntegerQueryPosition) {
   const Dataset ds = RandomDataset(16, 12, 77);
-  const CellDiagram diagram = BuildQuadrantDiagram(ds, GetParam());
+  const SkylineDiagram built = Build(ds);
   for (int64_t qx = 0; qx < ds.domain_size(); ++qx) {
     for (int64_t qy = 0; qy < ds.domain_size(); ++qy) {
       const Point2D q{qx, qy};
-      const auto actual = diagram.Query(q);
+      const auto actual = built.Query(q);
       EXPECT_EQ(std::vector<PointId>(actual.begin(), actual.end()),
                 FirstQuadrantSkyline(ds, q))
           << "query " << q;
@@ -68,13 +71,13 @@ TEST_P(QuadrantAlgorithmsTest, ExactForEveryIntegerQueryPosition) {
 TEST_P(QuadrantAlgorithmsTest, HandlesDuplicatePoints) {
   auto ds = Dataset::Create({{3, 3}, {3, 3}, {1, 5}, {5, 1}}, 8);
   ASSERT_TRUE(ds.ok());
-  const CellDiagram diagram = BuildQuadrantDiagram(*ds, GetParam());
+  const SkylineDiagram built = Build(*ds);
   // Query at origin sees all four points; the duplicates are incomparable.
-  const auto origin = diagram.Query({0, 0});
+  const auto origin = built.Query({0, 0});
   EXPECT_EQ(std::vector<PointId>(origin.begin(), origin.end()),
             (std::vector<PointId>{0, 1, 2, 3}));
   // Query at the duplicate location keeps both copies.
-  const auto at_dup = diagram.Query({3, 3});
+  const auto at_dup = built.Query({3, 3});
   EXPECT_EQ(std::vector<PointId>(at_dup.begin(), at_dup.end()),
             (std::vector<PointId>{0, 1}));
 }
@@ -82,7 +85,8 @@ TEST_P(QuadrantAlgorithmsTest, HandlesDuplicatePoints) {
 TEST_P(QuadrantAlgorithmsTest, SinglePointDiagram) {
   auto ds = Dataset::Create({{4, 4}}, 10);
   ASSERT_TRUE(ds.ok());
-  const CellDiagram diagram = BuildQuadrantDiagram(*ds, GetParam());
+  const SkylineDiagram built = Build(*ds);
+  const CellDiagram& diagram = *built.cell_diagram();
   EXPECT_EQ(diagram.grid().num_cells(), 4u);
   EXPECT_EQ(diagram.CellSkyline(0, 0).size(), 1u);
   EXPECT_TRUE(diagram.CellSkyline(1, 0).empty());
@@ -91,11 +95,11 @@ TEST_P(QuadrantAlgorithmsTest, SinglePointDiagram) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllBuilders, QuadrantAlgorithmsTest,
-                         ::testing::Values(QuadrantAlgorithm::kBaseline,
-                                           QuadrantAlgorithm::kDsg,
-                                           QuadrantAlgorithm::kScanning),
+                         ::testing::Values(BuildAlgorithm::kBaseline,
+                                           BuildAlgorithm::kDsg,
+                                           BuildAlgorithm::kScanning),
                          [](const auto& info) {
-                           return QuadrantAlgorithmName(info.param);
+                           return std::string(BuildAlgorithmName(info.param));
                          });
 
 struct EqualityCase {
@@ -112,11 +116,16 @@ TEST_P(CrossAlgorithmEqualityTest, AllThreeBuildersAgree) {
   for (uint64_t seed = 1; seed <= 3; ++seed) {
     const Dataset ds =
         testing::GeneratedDataset(c.n, c.domain, c.distribution, seed);
-    const CellDiagram baseline = BuildQuadrantBaseline(ds);
-    const CellDiagram dsg = BuildQuadrantDsg(ds);
-    const CellDiagram scanning = BuildQuadrantScanning(ds);
-    EXPECT_TRUE(baseline.SameResults(dsg)) << "seed " << seed;
-    EXPECT_TRUE(baseline.SameResults(scanning)) << "seed " << seed;
+    const SkylineDiagram baseline = BuildDiagram(
+        ds, SkylineQueryType::kQuadrant, BuildAlgorithm::kBaseline);
+    const SkylineDiagram dsg =
+        BuildDiagram(ds, SkylineQueryType::kQuadrant, BuildAlgorithm::kDsg);
+    const SkylineDiagram scanning = BuildDiagram(
+        ds, SkylineQueryType::kQuadrant, BuildAlgorithm::kScanning);
+    EXPECT_TRUE(baseline.cell_diagram()->SameResults(*dsg.cell_diagram()))
+        << "seed " << seed;
+    EXPECT_TRUE(baseline.cell_diagram()->SameResults(*scanning.cell_diagram()))
+        << "seed " << seed;
   }
 }
 
@@ -139,7 +148,9 @@ TEST(QuadrantDiagramTest, PaperCellExampleMerging) {
   // The diagram's cell map is the input to merging: neighbouring cells with
   // equal results must intern to the same SetId.
   const Dataset ds = RandomDataset(20, 16, 3);
-  const CellDiagram diagram = BuildQuadrantScanning(ds);
+  const SkylineDiagram built =
+      BuildDiagram(ds, SkylineQueryType::kQuadrant, BuildAlgorithm::kScanning);
+  const CellDiagram& diagram = *built.cell_diagram();
   const CellGrid& grid = diagram.grid();
   for (uint32_t cy = 0; cy + 1 < grid.num_rows(); ++cy) {
     for (uint32_t cx = 0; cx + 1 < grid.num_columns(); ++cx) {
@@ -154,9 +165,10 @@ TEST(QuadrantDiagramTest, PaperCellExampleMerging) {
 
 TEST(QuadrantDiagramTest, StatsAreConsistent) {
   const Dataset ds = RandomDataset(40, 32, 9);
-  const CellDiagram diagram = BuildQuadrantScanning(ds);
-  const CellDiagram::Stats stats = diagram.ComputeStats();
-  EXPECT_EQ(stats.num_cells, diagram.grid().num_cells());
+  const SkylineDiagram built =
+      BuildDiagram(ds, SkylineQueryType::kQuadrant, BuildAlgorithm::kScanning);
+  const CellDiagram::Stats stats = built.cell_diagram()->ComputeStats();
+  EXPECT_EQ(stats.num_cells, built.cell_diagram()->grid().num_cells());
   EXPECT_GE(stats.num_distinct_sets, 2u);  // empty + at least one real set
   EXPECT_LE(stats.num_distinct_sets, stats.num_cells + 1);
   EXPECT_GT(stats.approx_bytes, 0u);
@@ -166,11 +178,14 @@ TEST(QuadrantDiagramTest, InterningAblationKeepsResults) {
   const Dataset ds = RandomDataset(30, 24, 15);
   DiagramOptions no_intern;
   no_intern.intern_result_sets = false;
-  const CellDiagram with = BuildQuadrantScanning(ds);
-  const CellDiagram without = BuildQuadrantScanning(ds, no_intern);
-  EXPECT_TRUE(with.SameResults(without));
-  EXPECT_GE(without.ComputeStats().num_distinct_sets,
-            with.ComputeStats().num_distinct_sets);
+  const SkylineDiagram with =
+      BuildDiagram(ds, SkylineQueryType::kQuadrant, BuildAlgorithm::kScanning);
+  const SkylineDiagram without =
+      BuildDiagram(ds, SkylineQueryType::kQuadrant, BuildAlgorithm::kScanning,
+                   /*parallelism=*/1, no_intern);
+  EXPECT_TRUE(with.cell_diagram()->SameResults(*without.cell_diagram()));
+  EXPECT_GE(without.cell_diagram()->ComputeStats().num_distinct_sets,
+            with.cell_diagram()->ComputeStats().num_distinct_sets);
 }
 
 }  // namespace

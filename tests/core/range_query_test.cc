@@ -4,7 +4,7 @@
 
 #include <gtest/gtest.h>
 
-#include "src/core/quadrant_scanning.h"
+#include "src/core/diagram.h"
 #include "src/skyline/query.h"
 #include "tests/testing/util.h"
 
@@ -41,7 +41,9 @@ std::pair<std::set<PointId>, std::set<PointId>> OracleUnionIntersection(
 
 TEST(RangeQueryTest, UnionAndIntersectionMatchIntegerOracle) {
   const Dataset ds = RandomDataset(20, 16, 3);
-  const CellDiagram diagram = BuildQuadrantScanning(ds);
+  const SkylineDiagram built = testing::BuildDiagram(
+      ds, SkylineQueryType::kQuadrant, BuildAlgorithm::kScanning);
+  const CellDiagram& diagram = *built.cell_diagram();
   Rng rng(7);
   for (int i = 0; i < 20; ++i) {
     QueryRange range;
@@ -63,7 +65,9 @@ TEST(RangeQueryTest, UnionAndIntersectionMatchIntegerOracle) {
 
 TEST(RangeQueryTest, DegenerateRangeEqualsPointQuery) {
   const Dataset ds = RandomDataset(15, 12, 5);
-  const CellDiagram diagram = BuildQuadrantScanning(ds);
+  const SkylineDiagram built = testing::BuildDiagram(
+      ds, SkylineQueryType::kQuadrant, BuildAlgorithm::kScanning);
+  const CellDiagram& diagram = *built.cell_diagram();
   const QueryRange range{5, 5, 7, 7};
   auto u = RangeSkylineUnion(diagram, range);
   auto x = RangeSkylineIntersection(diagram, range);
@@ -78,7 +82,9 @@ TEST(RangeQueryTest, DegenerateRangeEqualsPointQuery) {
 
 TEST(RangeQueryTest, InvertedRangeRejected) {
   const Dataset ds = RandomDataset(5, 8, 7);
-  const CellDiagram diagram = BuildQuadrantScanning(ds);
+  const SkylineDiagram built = testing::BuildDiagram(
+      ds, SkylineQueryType::kQuadrant, BuildAlgorithm::kScanning);
+  const CellDiagram& diagram = *built.cell_diagram();
   EXPECT_FALSE(RangeSkylineUnion(diagram, {5, 4, 0, 1}).ok());
   EXPECT_FALSE(RangeSkylineIntersection(diagram, {0, 1, 5, 4}).ok());
   EXPECT_FALSE(RangeDistinctResults(diagram, {5, 4, 5, 4}).ok());
@@ -89,7 +95,9 @@ TEST(RangeQueryTest, WholeDomainUnionIsAllSkylineCandidates) {
   // in some cell's result; each point appears in the cell just below-left
   // of itself, so the union is the whole dataset.
   const Dataset ds = RandomDataset(12, 16, 9);
-  const CellDiagram diagram = BuildQuadrantScanning(ds);
+  const SkylineDiagram built = testing::BuildDiagram(
+      ds, SkylineQueryType::kQuadrant, BuildAlgorithm::kScanning);
+  const CellDiagram& diagram = *built.cell_diagram();
   auto u = RangeSkylineUnion(diagram, {0, 15, 0, 15});
   ASSERT_TRUE(u.ok());
   EXPECT_EQ(u->size(), ds.size());
@@ -97,7 +105,9 @@ TEST(RangeQueryTest, WholeDomainUnionIsAllSkylineCandidates) {
 
 TEST(RangeQueryTest, DistinctResultsCountsSafeZones) {
   const Dataset ds = RandomDataset(18, 20, 11);
-  const CellDiagram diagram = BuildQuadrantScanning(ds);
+  const SkylineDiagram built = testing::BuildDiagram(
+      ds, SkylineQueryType::kQuadrant, BuildAlgorithm::kScanning);
+  const CellDiagram& diagram = *built.cell_diagram();
   // Whole domain has many results...
   auto whole = RangeDistinctResults(diagram, {0, 19, 0, 19});
   ASSERT_TRUE(whole.ok());
@@ -112,11 +122,15 @@ TEST(RangeQueryTest, DistinctResultsWithoutInterning) {
   const Dataset ds = RandomDataset(10, 12, 13);
   DiagramOptions no_intern;
   no_intern.intern_result_sets = false;
-  const CellDiagram plain = BuildQuadrantScanning(ds);
-  const CellDiagram raw = BuildQuadrantScanning(ds, no_intern);
+  const SkylineDiagram plain = testing::BuildDiagram(
+      ds, SkylineQueryType::kQuadrant, BuildAlgorithm::kScanning);
+  const SkylineDiagram raw =
+      testing::BuildDiagram(ds, SkylineQueryType::kQuadrant,
+                            BuildAlgorithm::kScanning, /*parallelism=*/1,
+                            no_intern);
   const QueryRange range{0, 11, 0, 11};
-  auto a = RangeDistinctResults(plain, range);
-  auto b = RangeDistinctResults(raw, range);
+  auto a = RangeDistinctResults(*plain.cell_diagram(), range);
+  auto b = RangeDistinctResults(*raw.cell_diagram(), range);
   ASSERT_TRUE(a.ok());
   ASSERT_TRUE(b.ok());
   EXPECT_EQ(*a, *b);

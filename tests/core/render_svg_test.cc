@@ -6,8 +6,7 @@
 
 #include <gtest/gtest.h>
 
-#include "src/core/dynamic_scanning.h"
-#include "src/core/quadrant_scanning.h"
+#include "src/core/diagram.h"
 #include "src/datagen/real_data.h"
 #include "tests/testing/util.h"
 
@@ -28,7 +27,9 @@ size_t CountOccurrences(const std::string& haystack, const std::string& needle) 
 
 TEST(RenderSvgTest, CellDiagramProducesWellFormedSvg) {
   const Dataset ds = RandomDataset(15, 20, 3);
-  const CellDiagram diagram = BuildQuadrantScanning(ds);
+  const SkylineDiagram built = testing::BuildDiagram(
+      ds, SkylineQueryType::kQuadrant, BuildAlgorithm::kScanning);
+  const CellDiagram& diagram = *built.cell_diagram();
   const std::string svg = RenderCellDiagramSvg(ds, diagram);
   EXPECT_NE(svg.find("<svg xmlns"), std::string::npos);
   EXPECT_NE(svg.find("</svg>"), std::string::npos);
@@ -40,7 +41,9 @@ TEST(RenderSvgTest, CellDiagramProducesWellFormedSvg) {
 
 TEST(RenderSvgTest, LabelsToggle) {
   const Dataset hotels = HotelExample();
-  const CellDiagram diagram = BuildQuadrantScanning(hotels);
+  const SkylineDiagram built = testing::BuildDiagram(
+      hotels, SkylineQueryType::kQuadrant, BuildAlgorithm::kScanning);
+  const CellDiagram& diagram = *built.cell_diagram();
   SvgOptions with_labels;
   with_labels.draw_labels = true;
   const std::string svg = RenderCellDiagramSvg(hotels, diagram, with_labels);
@@ -51,7 +54,9 @@ TEST(RenderSvgTest, LabelsToggle) {
 
 TEST(RenderSvgTest, EqualResultsShareColors) {
   const Dataset ds = RandomDataset(10, 16, 5);
-  const CellDiagram diagram = BuildQuadrantScanning(ds);
+  const SkylineDiagram built = testing::BuildDiagram(
+      ds, SkylineQueryType::kQuadrant, BuildAlgorithm::kScanning);
+  const CellDiagram& diagram = *built.cell_diagram();
   const std::string svg = RenderCellDiagramSvg(ds, diagram);
   // Distinct fill colors cannot exceed distinct result sets + background
   // tones; sanity-check by counting unique hsl() strings.
@@ -73,8 +78,10 @@ TEST(RenderSvgTest, EqualResultsShareColors) {
 
 TEST(RenderSvgTest, SubcellDiagramRenders) {
   const Dataset ds = RandomDataset(8, 12, 7);
-  const SubcellDiagram diagram = BuildDynamicScanning(ds);
-  const std::string svg = RenderSubcellDiagramSvg(ds, diagram);
+  const SkylineDiagram built = testing::BuildDiagram(
+      ds, SkylineQueryType::kDynamic, BuildAlgorithm::kScanning);
+  const std::string svg =
+      RenderSubcellDiagramSvg(ds, *built.subcell_diagram());
   EXPECT_NE(svg.find("<svg xmlns"), std::string::npos);
   EXPECT_EQ(CountOccurrences(svg, "<circle"), ds.size());
 }
@@ -89,7 +96,9 @@ TEST(RenderSvgTest, SweepingDiagramRendersEveryPolyomino) {
 
 TEST(RenderSvgTest, WriteSvgFileRoundTrip) {
   const Dataset ds = RandomDataset(5, 8, 11);
-  const CellDiagram diagram = BuildQuadrantScanning(ds);
+  const SkylineDiagram built = testing::BuildDiagram(
+      ds, SkylineQueryType::kQuadrant, BuildAlgorithm::kScanning);
+  const CellDiagram& diagram = *built.cell_diagram();
   const std::string path = ::testing::TempDir() + "/skydia_render.svg";
   ASSERT_TRUE(WriteSvgFile(path, RenderCellDiagramSvg(ds, diagram)).ok());
   std::ifstream in(path);

@@ -6,8 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "src/common/sha256.h"
-#include "src/core/dynamic_scanning.h"
-#include "src/core/quadrant_scanning.h"
+#include "src/core/diagram.h"
 #include "src/datagen/real_data.h"
 #include "tests/testing/util.h"
 
@@ -18,7 +17,9 @@ using skydia::testing::RandomDataset;
 
 TEST(SerializeTest, CellDiagramRoundTrip) {
   const Dataset ds = RandomDataset(30, 32, 3);
-  const CellDiagram diagram = BuildQuadrantScanning(ds);
+  const SkylineDiagram built = testing::BuildDiagram(
+      ds, SkylineQueryType::kQuadrant, BuildAlgorithm::kScanning);
+  const CellDiagram& diagram = *built.cell_diagram();
   const std::string bytes = SerializeCellDiagram(ds, diagram);
   auto loaded = ParseCellDiagram(bytes);
   ASSERT_TRUE(loaded.ok()) << loaded.status();
@@ -29,7 +30,9 @@ TEST(SerializeTest, CellDiagramRoundTrip) {
 
 TEST(SerializeTest, CellDiagramWithLabelsRoundTrip) {
   const Dataset hotels = HotelExample();
-  const CellDiagram diagram = BuildQuadrantScanning(hotels);
+  const SkylineDiagram built = testing::BuildDiagram(
+      hotels, SkylineQueryType::kQuadrant, BuildAlgorithm::kScanning);
+  const CellDiagram& diagram = *built.cell_diagram();
   auto loaded = ParseCellDiagram(SerializeCellDiagram(hotels, diagram));
   ASSERT_TRUE(loaded.ok());
   EXPECT_TRUE(loaded->dataset.has_labels());
@@ -39,7 +42,9 @@ TEST(SerializeTest, CellDiagramWithLabelsRoundTrip) {
 
 TEST(SerializeTest, SubcellDiagramRoundTrip) {
   const Dataset ds = RandomDataset(12, 16, 5);
-  const SubcellDiagram diagram = BuildDynamicScanning(ds);
+  const SkylineDiagram built = testing::BuildDiagram(
+      ds, SkylineQueryType::kDynamic, BuildAlgorithm::kScanning);
+  const SubcellDiagram& diagram = *built.subcell_diagram();
   auto loaded = ParseSubcellDiagram(SerializeSubcellDiagram(ds, diagram));
   ASSERT_TRUE(loaded.ok()) << loaded.status();
   EXPECT_TRUE(loaded->diagram.SameResults(diagram));
@@ -47,7 +52,9 @@ TEST(SerializeTest, SubcellDiagramRoundTrip) {
 
 TEST(SerializeTest, QueriesSurviveTheRoundTrip) {
   const Dataset ds = RandomDataset(20, 24, 7);
-  const CellDiagram diagram = BuildQuadrantScanning(ds);
+  const SkylineDiagram built = testing::BuildDiagram(
+      ds, SkylineQueryType::kQuadrant, BuildAlgorithm::kScanning);
+  const CellDiagram& diagram = *built.cell_diagram();
   auto loaded = ParseCellDiagram(SerializeCellDiagram(ds, diagram));
   ASSERT_TRUE(loaded.ok());
   for (int64_t x = 0; x < 24; x += 3) {
@@ -62,7 +69,9 @@ TEST(SerializeTest, QueriesSurviveTheRoundTrip) {
 
 TEST(SerializeTest, FileRoundTrip) {
   const Dataset ds = RandomDataset(15, 20, 9);
-  const CellDiagram diagram = BuildQuadrantScanning(ds);
+  const SkylineDiagram built = testing::BuildDiagram(
+      ds, SkylineQueryType::kQuadrant, BuildAlgorithm::kScanning);
+  const CellDiagram& diagram = *built.cell_diagram();
   const std::string path = ::testing::TempDir() + "/skydia_diagram.skd";
   ASSERT_TRUE(SaveCellDiagram(ds, diagram, path).ok());
   auto loaded = LoadCellDiagram(path);
@@ -81,7 +90,9 @@ TEST(SerializeTest, MissingFileIsNotFound) {
 
 std::string ValidBytes() {
   const Dataset ds = RandomDataset(10, 16, 11);
-  const CellDiagram diagram = BuildQuadrantScanning(ds);
+  const SkylineDiagram built = testing::BuildDiagram(
+      ds, SkylineQueryType::kQuadrant, BuildAlgorithm::kScanning);
+  const CellDiagram& diagram = *built.cell_diagram();
   return SerializeCellDiagram(ds, diagram);
 }
 
@@ -125,12 +136,16 @@ TEST(SerializeTest, RejectsTrailingGarbage) {
 TEST(SerializeTest, RejectsKindConfusion) {
   // A subcell file must not parse as a cell diagram and vice versa.
   const Dataset ds = RandomDataset(8, 12, 13);
-  const SubcellDiagram dynamic = BuildDynamicScanning(ds);
-  const std::string sub_bytes = SerializeSubcellDiagram(ds, dynamic);
+  const SkylineDiagram dynamic = testing::BuildDiagram(
+      ds, SkylineQueryType::kDynamic, BuildAlgorithm::kScanning);
+  const std::string sub_bytes =
+      SerializeSubcellDiagram(ds, *dynamic.subcell_diagram());
   EXPECT_FALSE(ParseCellDiagram(sub_bytes).ok());
 
-  const CellDiagram cells = BuildQuadrantScanning(ds);
-  const std::string cell_bytes = SerializeCellDiagram(ds, cells);
+  const SkylineDiagram cells = testing::BuildDiagram(
+      ds, SkylineQueryType::kQuadrant, BuildAlgorithm::kScanning);
+  const std::string cell_bytes =
+      SerializeCellDiagram(ds, *cells.cell_diagram());
   EXPECT_FALSE(ParseSubcellDiagram(cell_bytes).ok());
 }
 
@@ -262,8 +277,9 @@ TEST(SerializeTest, V1CellFixtureStillLoads) {
   // must reproduce it content-identically.
   const Dataset ds = RandomDataset(10, 16, 11);
   EXPECT_EQ(loaded->dataset.points(), ds.points());
-  const CellDiagram rebuilt = BuildQuadrantScanning(ds);
-  EXPECT_TRUE(loaded->diagram.SameResults(rebuilt));
+  const SkylineDiagram rebuilt = testing::BuildDiagram(
+      ds, SkylineQueryType::kQuadrant, BuildAlgorithm::kScanning);
+  EXPECT_TRUE(loaded->diagram.SameResults(*rebuilt.cell_diagram()));
 }
 
 TEST(SerializeTest, V1SubcellFixtureStillLoads) {
@@ -274,8 +290,9 @@ TEST(SerializeTest, V1SubcellFixtureStillLoads) {
 
   const Dataset ds = RandomDataset(8, 12, 13);
   EXPECT_EQ(loaded->dataset.points(), ds.points());
-  const SubcellDiagram rebuilt = BuildDynamicScanning(ds);
-  EXPECT_TRUE(loaded->diagram.SameResults(rebuilt));
+  const SkylineDiagram rebuilt = testing::BuildDiagram(
+      ds, SkylineQueryType::kDynamic, BuildAlgorithm::kScanning);
+  EXPECT_TRUE(loaded->diagram.SameResults(*rebuilt.subcell_diagram()));
 }
 
 TEST(SerializeTest, V1RoundTripsThroughV2) {
@@ -303,7 +320,11 @@ TEST(SerializeTest, NoDedupPoolSurvives) {
   const Dataset ds = RandomDataset(12, 16, 15);
   DiagramOptions options;
   options.intern_result_sets = false;
-  const CellDiagram diagram = BuildQuadrantScanning(ds, options);
+  const SkylineDiagram built =
+      testing::BuildDiagram(ds, SkylineQueryType::kQuadrant,
+                            BuildAlgorithm::kScanning, /*parallelism=*/1,
+                            options);
+  const CellDiagram& diagram = *built.cell_diagram();
   auto loaded = ParseCellDiagram(SerializeCellDiagram(ds, diagram));
   ASSERT_TRUE(loaded.ok()) << loaded.status();
   EXPECT_TRUE(loaded->diagram.SameResults(diagram));

@@ -6,7 +6,7 @@
 
 #include <gtest/gtest.h>
 
-#include "src/core/quadrant_baseline.h"
+#include "src/core/diagram.h"
 #include "src/core/quadrant_sweeping.h"
 #include "src/skyline/query.h"
 #include "tests/testing/util.h"
@@ -25,7 +25,9 @@ using skydia::testing::RandomDistinctDataset;
 TEST(Theorem1Test, MultisetIdentityHoldsOnDistinctData) {
   for (uint64_t seed = 1; seed <= 5; ++seed) {
     const Dataset ds = RandomDistinctDataset(20, 64, seed);
-    const CellDiagram diagram = BuildQuadrantBaseline(ds);
+    const SkylineDiagram built = testing::BuildDiagram(
+        ds, SkylineQueryType::kQuadrant, BuildAlgorithm::kBaseline);
+    const CellDiagram& diagram = *built.cell_diagram();
     const CellGrid& grid = diagram.grid();
     for (uint32_t cy = 0; cy + 1 < grid.num_rows(); ++cy) {
       for (uint32_t cx = 0; cx + 1 < grid.num_columns(); ++cx) {
@@ -60,7 +62,9 @@ TEST(Theorem1Test, SaturationIsRequired) {
   bool saw_saturation = false;
   for (uint64_t seed = 1; seed <= 30 && !saw_saturation; ++seed) {
     const Dataset ds = RandomDataset(40, 6, seed);
-    const CellDiagram diagram = BuildQuadrantBaseline(ds);
+    const SkylineDiagram built = testing::BuildDiagram(
+        ds, SkylineQueryType::kQuadrant, BuildAlgorithm::kBaseline);
+    const CellDiagram& diagram = *built.cell_diagram();
     const CellGrid& grid = diagram.grid();
     for (uint32_t cy = 0; cy + 1 < grid.num_rows(); ++cy) {
       for (uint32_t cx = 0; cx + 1 < grid.num_columns(); ++cx) {
@@ -88,7 +92,9 @@ TEST(Theorem1Test, SaturationIsRequired) {
 
 TEST(Theorem1Test, CornerCellsHaveTheCornerAsSkyline) {
   const Dataset ds = RandomDataset(30, 16, 7);
-  const CellDiagram diagram = BuildQuadrantBaseline(ds);
+  const SkylineDiagram built = testing::BuildDiagram(
+      ds, SkylineQueryType::kQuadrant, BuildAlgorithm::kBaseline);
+  const CellDiagram& diagram = *built.cell_diagram();
   const CellGrid& grid = diagram.grid();
   for (uint32_t cy = 0; cy < grid.num_rows(); ++cy) {
     for (uint32_t cx = 0; cx < grid.num_columns(); ++cx) {

@@ -6,12 +6,10 @@
 
 #include <gtest/gtest.h>
 
-#include "src/core/dynamic_baseline.h"
+#include "src/core/diagram.h"
 #include "src/core/dynamic_scanning.h"
-#include "src/core/dynamic_subset.h"
 #include "src/core/global_diagram.h"
 #include "src/core/merge.h"
-#include "src/core/parallel.h"
 #include "src/core/quadrant_sweeping.h"
 #include "src/core/serialize.h"
 #include "src/datagen/distributions.h"
@@ -20,6 +18,7 @@
 namespace skydia {
 namespace {
 
+using skydia::testing::BuildDiagram;
 using skydia::testing::RandomDataset;
 
 Dataset MakeDataset(Distribution distribution, uint64_t seed) {
@@ -40,15 +39,16 @@ ValidateOptions Sampled(size_t samples, CellSemantics semantics) {
 TEST(ValidateParityTest, QuadrantBuildersPassOnEveryDistribution) {
   for (const Distribution distribution : kDistributions) {
     const Dataset ds = MakeDataset(distribution, 7);
-    for (const QuadrantAlgorithm algorithm :
-         {QuadrantAlgorithm::kBaseline, QuadrantAlgorithm::kDsg,
-          QuadrantAlgorithm::kScanning}) {
-      const CellDiagram diagram = BuildQuadrantDiagram(ds, algorithm);
+    for (const BuildAlgorithm algorithm :
+         {BuildAlgorithm::kBaseline, BuildAlgorithm::kDsg,
+          BuildAlgorithm::kScanning}) {
+      const SkylineDiagram built =
+          BuildDiagram(ds, SkylineQueryType::kQuadrant, algorithm);
       const Status status = ValidateDiagram(
-          ds, diagram, Sampled(32, CellSemantics::kQuadrant));
+          ds, *built.cell_diagram(), Sampled(32, CellSemantics::kQuadrant));
       EXPECT_TRUE(status.ok())
           << DistributionName(distribution) << "/"
-          << QuadrantAlgorithmName(algorithm) << ": " << status;
+          << BuildAlgorithmName(algorithm) << ": " << status;
     }
   }
 }
@@ -56,15 +56,16 @@ TEST(ValidateParityTest, QuadrantBuildersPassOnEveryDistribution) {
 TEST(ValidateParityTest, GlobalBuildersPassOnEveryDistribution) {
   for (const Distribution distribution : kDistributions) {
     const Dataset ds = MakeDataset(distribution, 11);
-    for (const QuadrantAlgorithm algorithm :
-         {QuadrantAlgorithm::kBaseline, QuadrantAlgorithm::kDsg,
-          QuadrantAlgorithm::kScanning}) {
-      const CellDiagram diagram = BuildGlobalDiagram(ds, algorithm);
-      const Status status =
-          ValidateDiagram(ds, diagram, Sampled(32, CellSemantics::kGlobal));
+    for (const BuildAlgorithm algorithm :
+         {BuildAlgorithm::kBaseline, BuildAlgorithm::kDsg,
+          BuildAlgorithm::kScanning}) {
+      const SkylineDiagram built =
+          BuildDiagram(ds, SkylineQueryType::kGlobal, algorithm);
+      const Status status = ValidateDiagram(
+          ds, *built.cell_diagram(), Sampled(32, CellSemantics::kGlobal));
       EXPECT_TRUE(status.ok())
           << DistributionName(distribution) << "/"
-          << QuadrantAlgorithmName(algorithm) << ": " << status;
+          << BuildAlgorithmName(algorithm) << ": " << status;
     }
   }
 }
@@ -72,15 +73,16 @@ TEST(ValidateParityTest, GlobalBuildersPassOnEveryDistribution) {
 TEST(ValidateParityTest, DynamicBuildersPassOnEveryDistribution) {
   for (const Distribution distribution : kDistributions) {
     const Dataset ds = MakeDataset(distribution, 13);
-    const SubcellDiagram baseline = BuildDynamicBaseline(ds);
-    const SubcellDiagram subset =
-        BuildDynamicSubset(ds, QuadrantAlgorithm::kScanning);
-    const SubcellDiagram scanning = BuildDynamicScanning(ds);
-    for (const SubcellDiagram* diagram : {&baseline, &subset, &scanning}) {
-      const Status status =
-          ValidateDiagram(ds, *diagram, Sampled(32, CellSemantics::kAuto));
+    for (const BuildAlgorithm algorithm :
+         {BuildAlgorithm::kBaseline, BuildAlgorithm::kSubset,
+          BuildAlgorithm::kScanning}) {
+      const SkylineDiagram built =
+          BuildDiagram(ds, SkylineQueryType::kDynamic, algorithm);
+      const Status status = ValidateDiagram(
+          ds, *built.subcell_diagram(), Sampled(32, CellSemantics::kAuto));
       EXPECT_TRUE(status.ok())
-          << DistributionName(distribution) << ": " << status;
+          << DistributionName(distribution) << "/"
+          << BuildAlgorithmName(algorithm) << ": " << status;
     }
   }
 }
@@ -89,14 +91,18 @@ TEST(ValidateParityTest, ParallelBuildersPass) {
   for (const Distribution distribution : kDistributions) {
     const Dataset ds = MakeDataset(distribution, 17);
     for (const int threads : {2, 5}) {
-      const CellDiagram cells = BuildQuadrantDsgParallel(ds, threads);
-      const Status cell_status =
-          ValidateDiagram(ds, cells, Sampled(16, CellSemantics::kQuadrant));
+      const SkylineDiagram cells =
+          BuildDiagram(ds, SkylineQueryType::kQuadrant, BuildAlgorithm::kAuto,
+                       threads);
+      const Status cell_status = ValidateDiagram(
+          ds, *cells.cell_diagram(), Sampled(16, CellSemantics::kQuadrant));
       EXPECT_TRUE(cell_status.ok()) << cell_status;
 
-      const SubcellDiagram subcells =
-          BuildDynamicScanningParallel(ds, threads);
-      const Status subcell_status = ValidateDiagram(ds, subcells, Sampled(16, CellSemantics::kAuto));
+      const SkylineDiagram subcells =
+          BuildDiagram(ds, SkylineQueryType::kDynamic, BuildAlgorithm::kAuto,
+                       threads);
+      const Status subcell_status = ValidateDiagram(
+          ds, *subcells.subcell_diagram(), Sampled(16, CellSemantics::kAuto));
       EXPECT_TRUE(subcell_status.ok()) << subcell_status;
     }
   }
@@ -109,8 +115,9 @@ TEST(ValidateParityTest, SweepingPartitionMatchesValidatedDiagram) {
   // Positive coordinates: coordinate-0 points would pin degenerate cell
   // strips the geometric vertex walk cannot see (see sweeping_test.cc).
   const Dataset ds = skydia::testing::RandomDistinctPositiveDataset(18, 48, 19);
-  const CellDiagram diagram =
-      BuildQuadrantDiagram(ds, QuadrantAlgorithm::kScanning);
+  const SkylineDiagram built =
+      BuildDiagram(ds, SkylineQueryType::kQuadrant, BuildAlgorithm::kScanning);
+  const CellDiagram& diagram = *built.cell_diagram();
   ASSERT_TRUE(
       ValidateDiagram(ds, diagram, Sampled(32, CellSemantics::kQuadrant)).ok());
   const auto swept = BuildQuadrantSweeping(ds);
@@ -120,20 +127,26 @@ TEST(ValidateParityTest, SweepingPartitionMatchesValidatedDiagram) {
 
 TEST(ValidateParityTest, AutoSemanticsAcceptsBothCellFamilies) {
   const Dataset ds = RandomDataset(20, 24, 3);
-  const CellDiagram quadrant =
-      BuildQuadrantDiagram(ds, QuadrantAlgorithm::kScanning);
-  const CellDiagram global =
-      BuildGlobalDiagram(ds, QuadrantAlgorithm::kScanning);
-  EXPECT_TRUE(
-      ValidateDiagram(ds, quadrant, Sampled(48, CellSemantics::kAuto)).ok());
-  EXPECT_TRUE(
-      ValidateDiagram(ds, global, Sampled(48, CellSemantics::kAuto)).ok());
+  const SkylineDiagram quadrant =
+      BuildDiagram(ds, SkylineQueryType::kQuadrant, BuildAlgorithm::kScanning);
+  const SkylineDiagram global =
+      BuildDiagram(ds, SkylineQueryType::kGlobal, BuildAlgorithm::kScanning);
+  EXPECT_TRUE(ValidateDiagram(ds, *quadrant.cell_diagram(),
+                              Sampled(48, CellSemantics::kAuto))
+                  .ok());
+  EXPECT_TRUE(ValidateDiagram(ds, *global.cell_diagram(),
+                              Sampled(48, CellSemantics::kAuto))
+                  .ok());
   // And the wrong fixed oracle is rejected (the sampled cells of a 20-point
   // dataset inevitably include one where quadrant != global).
-  EXPECT_FALSE(
-      ValidateDiagram(ds, global, Sampled(48, CellSemantics::kQuadrant)).ok());
+  EXPECT_FALSE(ValidateDiagram(ds, *global.cell_diagram(),
+                               Sampled(48, CellSemantics::kQuadrant))
+                   .ok());
 }
 
+// The corruption tests below construct through the direct builder entry
+// points on purpose: they mutate diagram internals (set_cell, pool Append),
+// and the SkylineDiagram facade only hands out const views.
 TEST(ValidateCorruptionTest, DetectsOverwrittenCellResults) {
   const Dataset ds = RandomDataset(16, 24, 5);
   CellDiagram diagram = BuildQuadrantDiagram(ds, QuadrantAlgorithm::kScanning);
@@ -190,8 +203,10 @@ TEST(ValidateCorruptionTest, NoDedupDiagramNeedsRelaxedOptions) {
   const Dataset ds = RandomDataset(14, 20, 11);
   DiagramOptions build;
   build.intern_result_sets = false;
-  const CellDiagram diagram =
-      BuildQuadrantDiagram(ds, QuadrantAlgorithm::kScanning, build);
+  const SkylineDiagram built =
+      BuildDiagram(ds, SkylineQueryType::kQuadrant, BuildAlgorithm::kScanning,
+                   /*parallelism=*/1, build);
+  const CellDiagram& diagram = *built.cell_diagram();
   EXPECT_FALSE(ValidateDiagram(ds, diagram).ok());
   ValidateOptions relaxed = Sampled(16, CellSemantics::kQuadrant);
   relaxed.require_canonical_pool = false;
@@ -205,19 +220,22 @@ TEST(ValidateOnLoadTest, RoundTrippedDiagramsPassAllFamilies) {
   parse.validate_structure = true;
   parse.validate.sample_queries = 16;
 
-  const CellDiagram quadrant =
-      BuildQuadrantDiagram(ds, QuadrantAlgorithm::kScanning);
-  auto loaded_q = ParseCellDiagram(SerializeCellDiagram(ds, quadrant), parse);
+  const SkylineDiagram quadrant =
+      BuildDiagram(ds, SkylineQueryType::kQuadrant, BuildAlgorithm::kScanning);
+  auto loaded_q = ParseCellDiagram(
+      SerializeCellDiagram(ds, *quadrant.cell_diagram()), parse);
   ASSERT_TRUE(loaded_q.ok()) << loaded_q.status();
 
-  const CellDiagram global =
-      BuildGlobalDiagram(ds, QuadrantAlgorithm::kScanning);
-  auto loaded_g = ParseCellDiagram(SerializeCellDiagram(ds, global), parse);
+  const SkylineDiagram global =
+      BuildDiagram(ds, SkylineQueryType::kGlobal, BuildAlgorithm::kScanning);
+  auto loaded_g =
+      ParseCellDiagram(SerializeCellDiagram(ds, *global.cell_diagram()), parse);
   ASSERT_TRUE(loaded_g.ok()) << loaded_g.status();
 
-  const SubcellDiagram dynamic = BuildDynamicScanning(ds);
-  auto loaded_d =
-      ParseSubcellDiagram(SerializeSubcellDiagram(ds, dynamic), parse);
+  const SkylineDiagram dynamic =
+      BuildDiagram(ds, SkylineQueryType::kDynamic, BuildAlgorithm::kScanning);
+  auto loaded_d = ParseSubcellDiagram(
+      SerializeSubcellDiagram(ds, *dynamic.subcell_diagram()), parse);
   ASSERT_TRUE(loaded_d.ok()) << loaded_d.status();
 }
 

@@ -1,0 +1,174 @@
+#include "src/serve/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "tests/testing/util.h"
+
+namespace skydia::serve {
+namespace {
+
+TEST(ParseRequestTest, MinimalQuery) {
+  auto r = ParseRequest(R"({"q":[10,80]})");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->kind, RequestKind::kQuery);
+  EXPECT_EQ(r->q.x, 10);
+  EXPECT_EQ(r->q.y, 80);
+  EXPECT_FALSE(r->exact);
+  EXPECT_FALSE(r->labels);
+  EXPECT_FALSE(r->semantics.has_value());
+  EXPECT_FALSE(r->id.has_value());
+}
+
+TEST(ParseRequestTest, AllQueryFields) {
+  auto r = ParseRequest(
+      R"({"q":[-3,7],"exact":true,"labels":true,"semantics":"global","id":42})");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->q.x, -3);
+  EXPECT_EQ(r->q.y, 7);
+  EXPECT_TRUE(r->exact);
+  EXPECT_TRUE(r->labels);
+  ASSERT_TRUE(r->semantics.has_value());
+  EXPECT_EQ(*r->semantics, SkylineQueryType::kGlobal);
+  ASSERT_TRUE(r->id.has_value());
+  EXPECT_EQ(*r->id, 42);
+}
+
+TEST(ParseRequestTest, WhitespaceTolerated) {
+  auto r = ParseRequest(R"(  { "q" : [ 1 , 2 ] , "id" : 9 }  )");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->q.x, 1);
+  EXPECT_EQ(r->q.y, 2);
+  EXPECT_EQ(*r->id, 9);
+}
+
+TEST(ParseRequestTest, AdminCommands) {
+  auto ping = ParseRequest(R"({"cmd":"ping"})");
+  ASSERT_TRUE(ping.ok());
+  EXPECT_EQ(ping->kind, RequestKind::kPing);
+
+  auto stats = ParseRequest(R"({"cmd":"stats","id":1})");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->kind, RequestKind::kStats);
+  EXPECT_EQ(*stats->id, 1);
+
+  auto reload = ParseRequest(R"({"cmd":"reload"})");
+  ASSERT_TRUE(reload.ok());
+  EXPECT_EQ(reload->kind, RequestKind::kReload);
+  EXPECT_TRUE(reload->path.empty());
+
+  auto reload_path = ParseRequest(R"({"cmd":"reload","path":"/tmp/x.skd"})");
+  ASSERT_TRUE(reload_path.ok());
+  EXPECT_EQ(reload_path->kind, RequestKind::kReload);
+  EXPECT_EQ(reload_path->path, "/tmp/x.skd");
+}
+
+TEST(ParseRequestTest, StringEscapes) {
+  auto r = ParseRequest(R"({"cmd":"reload","path":"a\"b\\c\n\t"})");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->path, "a\"b\\c\n\t");
+}
+
+TEST(ParseRequestTest, Rejections) {
+  // One representative malformed line per rule; each must fail, never abort.
+  const char* bad[] = {
+      "",                                    // not an object
+      "[1,2]",                               // not an object
+      R"({"q":[1,2]} trailing)",             // trailing bytes
+      R"({"q":[1]})",                        // not a pair
+      R"({"q":[1,2,3]})",                    // not a pair
+      R"({"q":[1.5,2]})",                    // non-integer
+      R"({"q":[1e3,2]})",                    // non-integer
+      R"({"q":[99999999999999999999,2]})",   // overflow
+      R"({"zzz":1})",                        // unknown field
+      R"({"q":[1,2],"cmd":"ping"})",         // cmd and q together
+      R"({"exact":true})",                   // neither cmd nor q
+      R"({"cmd":"explode"})",                // unknown cmd
+      R"({"semantics":"voronoi","q":[1,2]})",// unknown semantics
+      R"({"exact":maybe,"q":[1,2]})",        // bad bool
+      R"({"q":[1,2])",                       // unterminated object
+      R"({"cmd":"ping)",                     // unterminated string
+  };
+  for (const char* line : bad) {
+    auto r = ParseRequest(line);
+    EXPECT_FALSE(r.ok()) << "accepted: " << line;
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument) << line;
+  }
+}
+
+TEST(ParseRequestTest, UnicodeEscapesRejected) {
+  // Built programmatically: backslash-u escapes are out of the protocol's
+  // JSON subset and must be rejected, not mis-decoded.
+  std::string line = R"({"cmd":"reload","path":")";
+  line += '\\';
+  line += "u0041\"}";
+  auto r = ParseRequest(line);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ParseRequestTest, NegativeIdAndInt64Extremes) {
+  auto r = ParseRequest(
+      R"({"q":[-9223372036854775808,9223372036854775807],"id":-1})");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->q.x, std::numeric_limits<int64_t>::min());
+  EXPECT_EQ(r->q.y, std::numeric_limits<int64_t>::max());
+  EXPECT_EQ(*r->id, -1);
+}
+
+TEST(RenderTest, IdsArray) {
+  const PointId ids[] = {1, 4, 9};
+  EXPECT_EQ(RenderIdsArray(ids), "[1,4,9]");
+  EXPECT_EQ(RenderIdsArray({}), "[]");
+}
+
+TEST(RenderTest, LabelsArrayEscapes) {
+  auto dataset = Dataset::Create({{1, 2}, {3, 4}}, 10, {"a\"b", "plain"});
+  ASSERT_TRUE(dataset.ok());
+  const PointId ids[] = {0, 1};
+  EXPECT_EQ(RenderLabelsArray(*dataset, ids), R"(["a\"b","plain"])");
+}
+
+TEST(RenderTest, JsonEscapeControlCharacters) {
+  std::string out;
+  JsonEscape(std::string_view("\x01ok\"\\", 5), &out);
+  std::string expected;
+  expected += '\\';
+  expected += "u0001ok";
+  expected += '\\';
+  expected += '"';
+  expected += '\\';
+  expected += '\\';
+  EXPECT_EQ(out, expected);
+}
+
+TEST(RenderTest, ReplyLines) {
+  std::string out;
+  AppendQueryReply(7, 3, "ids", "[1,2]", &out);
+  EXPECT_EQ(out, "{\"id\":7,\"gen\":3,\"ids\":[1,2]}\n");
+
+  out.clear();
+  AppendQueryReply(std::nullopt, 1, "labels", R"(["a"])", &out);
+  EXPECT_EQ(out, "{\"gen\":1,\"labels\":[\"a\"]}\n");
+
+  out.clear();
+  AppendOkReply(5, 2, &out);
+  EXPECT_EQ(out, "{\"id\":5,\"ok\":true,\"gen\":2}\n");
+
+  out.clear();
+  AppendErrorReply(std::nullopt, "bad \"thing\"", &out);
+  EXPECT_EQ(out, "{\"error\":\"bad \\\"thing\\\"\"}\n");
+}
+
+TEST(RenderTest, ReplyRoundTripsThroughParserShape) {
+  // Every reply the server emits must itself be a line the parser's string
+  // and integer rules agree on (guards accidental raw control bytes).
+  std::string out;
+  AppendErrorReply(-3, "tab\there", &out);
+  EXPECT_EQ(out.find('\t'), std::string::npos);
+  EXPECT_EQ(out.back(), '\n');
+}
+
+}  // namespace
+}  // namespace skydia::serve

@@ -1,0 +1,214 @@
+#include "src/serve/server.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/serve/protocol.h"
+#include "src/skyline/query.h"
+#include "tests/serve/serve_test_util.h"
+
+namespace skydia::serve {
+namespace {
+
+using skydia::testing::LineClient;
+using skydia::testing::SaveQuadrantFixture;
+
+std::string FixturePath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+/// Starts a server over a fresh fixture blob; fails the test on error.
+class ServerTest : public ::testing::Test {
+ protected:
+  void StartServer(const char* blob_name, size_t n = 64, uint64_t seed = 1) {
+    path_ = FixturePath(blob_name);
+    dataset_ = SaveQuadrantFixture(n, 1024, seed, path_);
+    ServerOptions options;
+    options.port = 0;  // ephemeral
+    server_ = std::make_unique<SkylineServer>(options);
+    ASSERT_TRUE(server_->Start(path_).ok());
+    ASSERT_TRUE(client_.Connect(server_->port()));
+  }
+
+  std::string path_;
+  std::optional<Dataset> dataset_;
+  std::unique_ptr<SkylineServer> server_;
+  LineClient client_;
+};
+
+std::string ExpectedIds(const Dataset& dataset, const Point2D& q) {
+  return RenderIdsArray(FirstQuadrantSkyline(dataset, q));
+}
+
+TEST_F(ServerTest, AnswersQueryAgainstOracle) {
+  StartServer("server_query.skd");
+  for (const Point2D q : {Point2D{0, 0}, Point2D{17, 900}, Point2D{512, 512},
+                          Point2D{1023, 1023}}) {
+    ASSERT_TRUE(client_.SendLine("{\"q\":[" + std::to_string(q.x) + "," +
+                                 std::to_string(q.y) + "]}"));
+    const std::string reply = client_.ReadLine();
+    EXPECT_EQ(reply,
+              "{\"gen\":1,\"ids\":" + ExpectedIds(*dataset_, q) + "}");
+  }
+}
+
+TEST_F(ServerTest, EchoesCorrelationIdAndLabels) {
+  StartServer("server_labels.skd");
+  ASSERT_TRUE(client_.SendLine(R"({"q":[512,512],"id":99,"labels":true})"));
+  const std::string reply = client_.ReadLine();
+  EXPECT_EQ(reply.rfind("{\"id\":99,\"gen\":1,\"labels\":[", 0), 0u) << reply;
+}
+
+TEST_F(ServerTest, PipelinedBatchRepliesInOrder) {
+  StartServer("server_pipeline.skd");
+  std::string burst;
+  constexpr int kDepth = 50;
+  for (int i = 0; i < kDepth; ++i) {
+    burst += "{\"id\":" + std::to_string(i) + ",\"q\":[" +
+             std::to_string(i * 20) + "," + std::to_string(1000 - i * 20) +
+             "]}\n";
+  }
+  ASSERT_TRUE(client_.Send(burst));
+  for (int i = 0; i < kDepth; ++i) {
+    const std::string reply = client_.ReadLine();
+    const std::string prefix = "{\"id\":" + std::to_string(i) + ",";
+    EXPECT_EQ(reply.rfind(prefix, 0), 0u) << reply;
+    EXPECT_EQ(reply.find("\"error\""), std::string::npos) << reply;
+  }
+}
+
+TEST_F(ServerTest, MalformedLineGetsErrorAndConnectionSurvives) {
+  StartServer("server_malformed.skd");
+  ASSERT_TRUE(client_.SendLine("this is not json"));
+  const std::string error_reply = client_.ReadLine();
+  EXPECT_EQ(error_reply.rfind("{\"error\":", 0), 0u) << error_reply;
+
+  // The same connection must keep serving.
+  ASSERT_TRUE(client_.SendLine(R"({"q":[512,512],"id":1})"));
+  const std::string ok_reply = client_.ReadLine();
+  EXPECT_EQ(ok_reply.rfind("{\"id\":1,\"gen\":1,\"ids\":", 0), 0u) << ok_reply;
+  EXPECT_GE(server_->metrics().malformed_requests.load(), 1u);
+}
+
+TEST_F(ServerTest, SemanticsMismatchIsPerLineError) {
+  StartServer("server_semantics.skd");
+  // The blob serves quadrant semantics; asking for dynamic without exact
+  // must error, with exact must answer via the oracle.
+  ASSERT_TRUE(client_.SendLine(R"({"q":[512,512],"semantics":"dynamic"})"));
+  EXPECT_EQ(client_.ReadLine().rfind("{\"error\":", 0), 0u);
+
+  ASSERT_TRUE(client_.SendLine(
+      R"({"q":[512,512],"semantics":"dynamic","exact":true,"id":2})"));
+  const std::string reply = client_.ReadLine();
+  EXPECT_EQ(reply.rfind("{\"id\":2,\"gen\":1,\"ids\":", 0), 0u) << reply;
+  EXPECT_EQ(reply.find("\"error\""), std::string::npos);
+}
+
+TEST_F(ServerTest, PingStatsAndReloadCommands) {
+  StartServer("server_admin.skd");
+  ASSERT_TRUE(client_.SendLine(R"({"cmd":"ping","id":1})"));
+  EXPECT_EQ(client_.ReadLine(), "{\"id\":1,\"ok\":true,\"gen\":1}");
+
+  ASSERT_TRUE(client_.SendLine(R"({"q":[512,512]})"));
+  (void)client_.ReadLine();
+  ASSERT_TRUE(client_.SendLine(R"({"cmd":"stats","id":2})"));
+  const std::string stats = client_.ReadLine();
+  EXPECT_NE(stats.find("\"queries_served\":"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("\"cache_misses\":"), std::string::npos) << stats;
+
+  // Overwrite the blob and hot-swap through the admin command.
+  SaveQuadrantFixture(96, 1024, /*seed=*/7, path_);
+  ASSERT_TRUE(client_.SendLine(R"({"cmd":"reload","id":3})"));
+  EXPECT_EQ(client_.ReadLine(), "{\"id\":3,\"ok\":true,\"gen\":2}");
+  ASSERT_TRUE(client_.SendLine(R"({"q":[512,512],"id":4})"));
+  EXPECT_EQ(client_.ReadLine().rfind("{\"id\":4,\"gen\":2,", 0), 0u);
+  EXPECT_EQ(server_->registry().Current()->diagram->dataset().size(), 96u);
+}
+
+TEST_F(ServerTest, FailedReloadKeepsOldSnapshot) {
+  StartServer("server_badreload.skd");
+  ASSERT_TRUE(client_.SendLine(
+      R"({"cmd":"reload","path":"/nonexistent/blob.skd","id":1})"));
+  const std::string reply = client_.ReadLine();
+  EXPECT_EQ(reply.rfind("{\"id\":1,\"error\":", 0), 0u) << reply;
+  ASSERT_TRUE(client_.SendLine(R"({"q":[512,512],"id":2})"));
+  EXPECT_EQ(client_.ReadLine().rfind("{\"id\":2,\"gen\":1,", 0), 0u);
+  EXPECT_EQ(server_->metrics().reload_failures.load(), 1u);
+}
+
+TEST_F(ServerTest, RepeatedCellQueriesHitTheCache) {
+  StartServer("server_cache.skd");
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(client_.SendLine(R"({"q":[512,512]})"));
+    ASSERT_FALSE(client_.ReadLine().empty());
+  }
+  const ResultCacheStats stats =
+      server_->registry().Current()->cache->Stats();
+  EXPECT_GE(stats.hits, 7u);
+  EXPECT_GE(stats.misses, 1u);
+}
+
+TEST_F(ServerTest, OversizeLineClosesConnection) {
+  ServerOptions options;
+  options.port = 0;
+  options.max_request_bytes = 256;
+  path_ = FixturePath("server_oversize.skd");
+  SaveQuadrantFixture(16, 1024, /*seed=*/1, path_);
+  server_ = std::make_unique<SkylineServer>(options);
+  ASSERT_TRUE(server_->Start(path_).ok());
+  ASSERT_TRUE(client_.Connect(server_->port()));
+
+  // A single unterminated line larger than the limit.
+  std::string oversize(1024, 'x');
+  ASSERT_TRUE(client_.Send(oversize));
+  const std::string reply = client_.ReadLine();
+  EXPECT_EQ(reply.rfind("{\"error\":", 0), 0u) << reply;
+  // After the error the server closes: the next read returns "".
+  EXPECT_EQ(client_.ReadLine(), "");
+}
+
+TEST_F(ServerTest, HttpMetricsAndHealthOnTheSamePort) {
+  StartServer("server_http.skd");
+  // Generate some traffic so the counters are nonzero.
+  ASSERT_TRUE(client_.SendLine(R"({"q":[512,512]})"));
+  ASSERT_FALSE(client_.ReadLine().empty());
+
+  LineClient http;
+  ASSERT_TRUE(http.Connect(server_->port()));
+  ASSERT_TRUE(http.Send("GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n"));
+  const std::string metrics = http.ReadAll();
+  EXPECT_NE(metrics.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(metrics.find("skydia_requests_total"), std::string::npos);
+  EXPECT_NE(metrics.find("skydia_snapshot_generation 1"), std::string::npos);
+  EXPECT_NE(metrics.find("skydia_cache_hit_ratio"), std::string::npos);
+  EXPECT_NE(metrics.find("skydia_query_latency_p99_ns"), std::string::npos);
+
+  LineClient health;
+  ASSERT_TRUE(health.Connect(server_->port()));
+  ASSERT_TRUE(health.Send("GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n"));
+  EXPECT_NE(health.ReadAll().find("ok"), std::string::npos);
+}
+
+TEST_F(ServerTest, StopIsIdempotentAndDrains) {
+  StartServer("server_stop.skd");
+  ASSERT_TRUE(client_.SendLine(R"({"q":[1,2]})"));
+  ASSERT_FALSE(client_.ReadLine().empty());
+  server_->Stop();
+  server_->Stop();  // second call is a no-op
+  EXPECT_FALSE(server_->running());
+  EXPECT_EQ(server_->metrics().connections_open.load(), 0u);
+}
+
+TEST(ServerStartTest, MissingBlobFailsCleanly) {
+  SkylineServer server;
+  const Status s = server.Start("/nonexistent/diagram.skd");
+  EXPECT_FALSE(s.ok());
+  EXPECT_FALSE(server.running());
+}
+
+}  // namespace
+}  // namespace skydia::serve

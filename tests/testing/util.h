@@ -4,14 +4,57 @@
 #define SKYDIA_TESTS_TESTING_UTIL_H_
 
 #include <algorithm>
+#include <string>
+#include <utility>
 #include <vector>
 
+#include "src/common/logging.h"
 #include "src/common/random.h"
+#include "src/core/diagram.h"
 #include "src/datagen/distributions.h"
 #include "src/geometry/dataset.h"
 #include "src/skyline/dominance.h"
 
 namespace skydia::testing {
+
+/// Builds a diagram through the SkylineDiagram::Build facade from a
+/// borrowed dataset (the facade takes ownership, so this copies — fine at
+/// test sizes). CHECK-fails on error: tests that exercise Build's error
+/// paths call the facade directly.
+inline SkylineDiagram BuildDiagram(const Dataset& dataset,
+                                   SkylineQueryType type,
+                                   BuildAlgorithm algorithm = BuildAlgorithm::kAuto,
+                                   int parallelism = 1,
+                                   const DiagramOptions& diagram_options = {}) {
+  std::vector<std::string> labels;
+  if (dataset.has_labels()) {
+    labels.reserve(dataset.size());
+    for (PointId id = 0; id < dataset.size(); ++id) {
+      labels.push_back(dataset.label(id));
+    }
+  }
+  auto copy = Dataset::Create(dataset.points(), dataset.domain_size(),
+                              std::move(labels));
+  SKYDIA_CHECK(copy.ok());
+  SkylineBuildOptions options;
+  options.algorithm = algorithm;
+  options.parallelism = parallelism;
+  options.diagram = diagram_options;
+  auto built = SkylineDiagram::Build(std::move(copy).value(), type, options);
+  SKYDIA_CHECK(built.ok());
+  return std::move(built).value();
+}
+
+/// BuildDiagram, unwrapped to the cell diagram (quadrant/global).
+inline SkylineDiagram BuildCellDiagram(
+    const Dataset& dataset, SkylineQueryType type,
+    BuildAlgorithm algorithm = BuildAlgorithm::kAuto, int parallelism = 1,
+    const DiagramOptions& diagram_options = {}) {
+  SkylineDiagram built =
+      BuildDiagram(dataset, type, algorithm, parallelism, diagram_options);
+  SKYDIA_CHECK(built.cell_diagram() != nullptr);
+  return built;
+}
 
 /// One seeded dataset through the library's workload generator. The single
 /// shared construction for every suite that needs "n points of distribution

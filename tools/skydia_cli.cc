@@ -5,15 +5,17 @@
 //   skydia generate --n 256 --domain 1024 --dist independent --seed 1
 //          --out points.csv
 //   skydia build   --in points.csv --x x --y y --type quadrant
-//          [--algo scanning] [--threads 1] --out diagram.skd
+//          [--algo auto] [--threads 1] --out diagram.skd
 //   skydia query   diagram.skd points.csv [--threads T] [--exact]
 //          [--semantics quadrant|global] [--stats] [--bench [--repeat R]]
 //   skydia query   diagram.skd --qx 10 --qy 80 [--exact]
+//   skydia serve   diagram.skd [--port 7447] [--threads T]
 //   skydia stats   --diagram diagram.skd
 //   skydia check   diagram.skd [--samples 64] [--seed 1]
 //   skydia render  --diagram diagram.skd --out diagram.svg [--labels]
 //
 // Exit code 0 on success; errors print to stderr.
+#include <csignal>
 #include <cstdint>
 #include <cstdlib>
 #include <functional>
@@ -26,15 +28,14 @@
 #include "src/common/csv.h"
 #include "src/common/timer.h"
 #include "src/core/diagram.h"
-#include "src/core/dynamic_scanning.h"
 #include "src/core/merge.h"
-#include "src/core/parallel.h"
 #include "src/core/query_engine.h"
 #include "src/core/render_svg.h"
 #include "src/core/serialize.h"
 #include "src/core/validate.h"
 #include "src/datagen/distributions.h"
 #include "src/datagen/real_data.h"
+#include "src/serve/server.h"
 #include "src/skyline/query.h"
 
 namespace skydia {
@@ -98,8 +99,8 @@ void PrintUsage() {
          "           anticorrelated|clustered] [--seed K] [--distinct]\n"
          "           --out points.csv\n"
          "  build    --in points.csv [--x x --y y] --type quadrant|global|\n"
-         "           dynamic [--algo baseline|dsg|scanning] [--threads T]\n"
-         "           --out diagram.skd\n"
+         "           dynamic [--algo auto|baseline|dsg|subset|scanning]\n"
+         "           [--threads T] --out diagram.skd\n"
          "  query    <diagram.skd> [<points.csv>] [--qx X --qy Y]\n"
          "           [--x x --y y] [--threads T] [--exact] [--stats]\n"
          "           [--semantics quadrant|global] [--bench [--repeat R]]\n"
@@ -107,6 +108,11 @@ void PrintUsage() {
          "  check    <diagram.skd> [--samples N] [--seed K]\n"
          "           [--allow-duplicate-sets]  (validate invariants;\n"
          "           non-zero exit on corruption)\n"
+         "  serve    <diagram.skd> [--host H] [--port P] [--threads T]\n"
+         "           [--semantics quadrant|global] [--cache-entries N]\n"
+         "           [--idle-timeout-ms MS] [--max-connections N]\n"
+         "           (line-JSON queries over TCP; SIGHUP hot-swaps the\n"
+         "           snapshot; GET /metrics on the same port)\n"
          "  render   --diagram diagram.skd --out out.svg [--labels]\n"
          "  hotels   (print the paper's Figure 1 example)\n";
 }
@@ -159,51 +165,28 @@ int CmdBuild(const Flags& flags) {
       LoadDatasetCsv(in, flags.GetString("x", "x"), flags.GetString("y", "y"));
   if (!dataset.ok()) return Fail(dataset.status().ToString());
 
-  const std::string type = flags.GetString("type", "quadrant");
-  const std::string algo = flags.GetString("algo", "scanning");
-  const int threads = static_cast<int>(flags.GetInt("threads", 1));
+  auto type = ParseSkylineQueryType(flags.GetString("type", "quadrant"));
+  if (!type.ok()) return Fail(type.status().ToString());
 
   SkylineDiagram::BuildOptions build;
-  if (algo == "baseline") {
-    build.cell_algorithm = QuadrantAlgorithm::kBaseline;
-    build.dynamic_algorithm = DynamicAlgorithm::kBaseline;
-  } else if (algo == "dsg") {
-    build.cell_algorithm = QuadrantAlgorithm::kDsg;
-    build.dynamic_algorithm = DynamicAlgorithm::kSubset;
-  } else if (algo == "scanning") {
-    build.cell_algorithm = QuadrantAlgorithm::kScanning;
-    build.dynamic_algorithm = DynamicAlgorithm::kScanning;
-  } else {
-    return Fail("unknown --algo " + algo);
-  }
+  auto algo = ParseBuildAlgorithm(flags.GetString("algo", "auto"));
+  if (!algo.ok()) return Fail(algo.status().ToString());
+  build.algorithm = *algo;
+  build.parallelism = static_cast<int>(flags.GetInt("threads", 1));
 
-  Status saved = Status::OK();
-  if (type == "quadrant" && threads > 1) {
-    const CellDiagram diagram = BuildQuadrantDsgParallel(*dataset, threads);
-    saved = SaveCellDiagram(*dataset, diagram, out);
-  } else if (type == "dynamic" && threads > 1) {
-    const SubcellDiagram diagram =
-        BuildDynamicScanningParallel(*dataset, threads);
-    saved = SaveSubcellDiagram(*dataset, diagram, out);
-  } else if (type == "quadrant" || type == "global") {
-    const SkylineQueryType qt = type == "quadrant"
-                                    ? SkylineQueryType::kQuadrant
-                                    : SkylineQueryType::kGlobal;
-    auto diagram = SkylineDiagram::Build(*dataset, qt, build);
-    if (!diagram.ok()) return Fail(diagram.status().ToString());
-    saved = SaveCellDiagram(*dataset, *diagram->cell_diagram(), out);
-  } else if (type == "dynamic") {
-    auto diagram =
-        SkylineDiagram::Build(*dataset, SkylineQueryType::kDynamic, build);
-    if (!diagram.ok()) return Fail(diagram.status().ToString());
-    saved = SaveSubcellDiagram(*dataset, *diagram->subcell_diagram(), out);
-  } else {
-    return Fail("unknown --type " + type);
-  }
+  auto diagram = SkylineDiagram::Build(*std::move(dataset), *type, build);
+  if (!diagram.ok()) return Fail(diagram.status().ToString());
+
+  const Status saved =
+      diagram->cell_diagram() != nullptr
+          ? SaveCellDiagram(diagram->dataset(), *diagram->cell_diagram(), out)
+          : SaveSubcellDiagram(diagram->dataset(),
+                               *diagram->subcell_diagram(), out);
   if (!saved.ok()) return Fail(saved.ToString());
-  std::cout << "built " << type << " diagram (" << algo << ", " << threads
-            << " thread(s)) over " << dataset->size() << " points -> " << out
-            << "\n";
+  std::cout << "built " << SkylineQueryTypeName(*type) << " diagram ("
+            << BuildAlgorithmName(build.algorithm) << ", "
+            << build.parallelism << " thread(s)) over "
+            << diagram->dataset().size() << " points -> " << out << "\n";
   return 0;
 }
 
@@ -347,31 +330,32 @@ int CmdQuery(const Flags& flags,
     points_path = positionals[1];
   }
 
-  const std::string semantics = flags.GetString("semantics", "quadrant");
-  SkylineQueryType cell_semantics;
-  if (semantics == "quadrant") {
-    cell_semantics = SkylineQueryType::kQuadrant;
-  } else if (semantics == "global") {
-    cell_semantics = SkylineQueryType::kGlobal;
-  } else {
-    return Fail("unknown --semantics " + semantics + " (quadrant|global)");
+  auto cell_semantics =
+      ParseSkylineQueryType(flags.GetString("semantics", "quadrant"));
+  if (!cell_semantics.ok()) return Fail(cell_semantics.status().ToString());
+  if (*cell_semantics == SkylineQueryType::kDynamic) {
+    return Fail("--semantics selects the cell-blob oracle (quadrant|global);"
+                " dynamic is inferred from subcell blobs");
   }
 
   QueryEngineOptions options;
   options.num_threads = static_cast<int>(flags.GetInt("threads", 1));
-  auto servable = ServableDiagram::Load(path, options, cell_semantics);
+  auto servable = ServableDiagram::Load(path, options, *cell_semantics);
   if (!servable.ok()) return Fail(servable.status().ToString());
   const QueryEngine& engine = servable->engine();
   const Dataset& dataset = servable->dataset();
-  const bool exact = flags.GetBool("exact");
+  QueryOptions query_options;
+  query_options.exact = flags.GetBool("exact");
 
   if (flags.Has("qx") || flags.Has("qy")) {
     if (!flags.Has("qx") || !flags.Has("qy")) {
       return Fail("--qx and --qy must be given together");
     }
     const Point2D q{flags.GetInt("qx", 0), flags.GetInt("qy", 0)};
-    if (exact) {
-      PrintAnswer(dataset, q, engine.AnswerExact(q));
+    if (query_options.exact) {
+      auto answer = engine.Answer(q, query_options);
+      if (!answer.ok()) return Fail(answer.status().ToString());
+      PrintAnswer(dataset, q, *answer);
     } else {
       PrintAnswer(dataset, q, engine.Answer(q));
     }
@@ -387,9 +371,11 @@ int CmdQuery(const Flags& flags,
       const int repeat = static_cast<int>(flags.GetInt("repeat", 3));
       const int rc = RunQueryBench(*servable, *points, repeat);
       if (rc != 0) return rc;
-    } else if (exact) {
-      for (const Point2D& q : *points) {
-        PrintAnswer(dataset, q, engine.AnswerExact(q));
+    } else if (query_options.exact) {
+      auto answers = engine.AnswerBatch(*points, query_options);
+      if (!answers.ok()) return Fail(answers.status().ToString());
+      for (size_t i = 0; i < points->size(); ++i) {
+        PrintAnswer(dataset, (*points)[i], (*answers)[i]);
       }
     } else {
       std::vector<SetId> out;
@@ -504,6 +490,72 @@ int CmdRender(const Flags& flags) {
       });
 }
 
+// Serves a built diagram blob over TCP until SIGINT/SIGTERM; SIGHUP
+// hot-swaps the snapshot by re-reading the blob (src/serve/server.h).
+int CmdServe(const Flags& flags, const std::string& positional_path) {
+  std::string path = flags.GetString("diagram");
+  if (path.empty()) path = positional_path;
+  if (path.empty()) {
+    return Fail("usage: skydia serve <diagram.skd> [--port P] [--threads T]");
+  }
+
+  auto cell_semantics =
+      ParseSkylineQueryType(flags.GetString("semantics", "quadrant"));
+  if (!cell_semantics.ok()) return Fail(cell_semantics.status().ToString());
+  if (*cell_semantics == SkylineQueryType::kDynamic) {
+    return Fail("--semantics selects the cell-blob oracle (quadrant|global);"
+                " dynamic is inferred from subcell blobs");
+  }
+
+  serve::ServerOptions options;
+  options.host = flags.GetString("host", "127.0.0.1");
+  options.port = static_cast<int>(flags.GetInt("port", 7447));
+  options.engine.num_threads = static_cast<int>(flags.GetInt("threads", 1));
+  options.cell_semantics = *cell_semantics;
+  options.cache.capacity =
+      static_cast<size_t>(flags.GetInt("cache-entries", 1 << 14));
+  options.idle_timeout_ms =
+      static_cast<int>(flags.GetInt("idle-timeout-ms", 60'000));
+  options.max_connections =
+      static_cast<int>(flags.GetInt("max-connections", 256));
+
+  // Handle the lifecycle signals synchronously on this thread via sigwait:
+  // the server threads keep serving while we sleep in sigwait, and a SIGHUP
+  // reload runs outside any signal-handler restrictions.
+  sigset_t mask;
+  sigemptyset(&mask);
+  sigaddset(&mask, SIGINT);
+  sigaddset(&mask, SIGTERM);
+  sigaddset(&mask, SIGHUP);
+  pthread_sigmask(SIG_BLOCK, &mask, nullptr);
+
+  serve::SkylineServer server(options);
+  if (Status s = server.Start(path); !s.ok()) return Fail(s.ToString());
+  std::cout << "serving " << path << " on " << options.host << ":"
+            << server.port() << " (generation "
+            << server.registry().generation()
+            << ", SIGHUP reloads, /metrics over HTTP)" << std::endl;
+
+  for (;;) {
+    int signo = 0;
+    if (sigwait(&mask, &signo) != 0) continue;
+    if (signo == SIGHUP) {
+      const Status s = server.Reload("");
+      if (s.ok()) {
+        std::cout << "reloaded " << path << " (generation "
+                  << server.registry().generation() << ")" << std::endl;
+      } else {
+        std::cerr << "reload failed, keeping old snapshot: " << s << std::endl;
+      }
+      continue;
+    }
+    break;  // SIGINT / SIGTERM
+  }
+  std::cout << "shutting down" << std::endl;
+  server.Stop();
+  return 0;
+}
+
 int CmdHotels() {
   const Dataset hotels = HotelExample();
   const Point2D q = HotelExampleQuery();
@@ -531,7 +583,7 @@ int Main(int argc, char** argv) {
   // path, and for `query` an optional points CSV).
   std::vector<std::string> positionals;
   int first_flag = 2;
-  if (command == "check" || command == "query") {
+  if (command == "check" || command == "query" || command == "serve") {
     while (first_flag < argc &&
            std::string(argv[first_flag]).rfind("--", 0) != 0) {
       positionals.emplace_back(argv[first_flag++]);
@@ -546,6 +598,9 @@ int Main(int argc, char** argv) {
   if (command == "stats") return CmdStats(flags);
   if (command == "check") {
     return CmdCheck(flags, positionals.empty() ? "" : positionals[0]);
+  }
+  if (command == "serve") {
+    return CmdServe(flags, positionals.empty() ? "" : positionals[0]);
   }
   if (command == "render") return CmdRender(flags);
   if (command == "hotels") return CmdHotels();
