@@ -194,4 +194,4 @@ BENCHMARK(BM_IncrementalFullRebuild)
 }  // namespace
 }  // namespace skydia::bench
 
-BENCHMARK_MAIN();
+SKYDIA_BENCH_MAIN(bench_ablation);

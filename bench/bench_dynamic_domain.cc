@@ -57,4 +57,4 @@ BENCHMARK(BM_DynamicDomainScanning)->Apply(DomainArgs);
 }  // namespace
 }  // namespace skydia::bench
 
-BENCHMARK_MAIN();
+SKYDIA_BENCH_MAIN(bench_dynamic_domain);

@@ -137,4 +137,4 @@ BENCHMARK(BM_DynamicScanningUnlimited)->Apply(UnlimitedArgs);
 }  // namespace
 }  // namespace skydia::bench
 
-BENCHMARK_MAIN();
+SKYDIA_BENCH_MAIN(bench_dynamic_scaling);

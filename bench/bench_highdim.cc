@@ -65,4 +65,4 @@ BENCHMARK(BM_NdScanningInclusionExclusion)->Apply(HighDimArgs);
 }  // namespace
 }  // namespace skydia::bench
 
-BENCHMARK_MAIN();
+SKYDIA_BENCH_MAIN(bench_highdim);

@@ -71,4 +71,4 @@ BENCHMARK(BM_DomainSweeping)->Apply(DomainArgs);
 }  // namespace
 }  // namespace skydia::bench
 
-BENCHMARK_MAIN();
+SKYDIA_BENCH_MAIN(bench_quadrant_domain);

@@ -82,4 +82,4 @@ BENCHMARK(BM_QuadrantSweeping)->Apply([](auto* b) {
 }  // namespace
 }  // namespace skydia::bench
 
-BENCHMARK_MAIN();
+SKYDIA_BENCH_MAIN(bench_quadrant_scaling);

@@ -87,6 +87,22 @@ BENCHMARK(BM_QueryBatchedParallel)
     ->ArgNames({"n", "threads"})
     ->Unit(benchmark::kMicrosecond);
 
+// The tracing overhead budget: with tracing off, SKYDIA_TRACE_SPAN must cost
+// one relaxed load — far below 1% of even the cheapest indexed query above
+// (compare ns_per_span against BM_QueryViaIndex rows in the same table). The
+// SKYDIA_CHECK is the compiled-in guard that the fast path is actually taken:
+// a regression that leaves tracing enabled by default fails the binary.
+void BM_TraceSpanDisabled(benchmark::State& state) {
+  SKYDIA_CHECK(!trace::Enabled());
+  for (auto _ : state) {
+    SKYDIA_TRACE_SPAN("bench.disabled");
+    benchmark::ClobberMemory();
+  }
+  // The Time column (and real_time_ns in the baseline) is ns per span.
+  state.SetLabel("trace-disabled-fastpath");
+}
+BENCHMARK(BM_TraceSpanDisabled)->Unit(benchmark::kNanosecond);
+
 void BM_QueryFromScratch(benchmark::State& state) {
   const Dataset ds =
       MakeDataset(state.range(0), 1 << 16, Distribution::kIndependent);
@@ -156,4 +172,4 @@ BENCHMARK(BM_DynamicQueryFromScratch)
 }  // namespace
 }  // namespace skydia::bench
 
-BENCHMARK_MAIN();
+SKYDIA_BENCH_MAIN(bench_query_throughput);

@@ -146,4 +146,4 @@ BENCHMARK(BM_RealDynamicScanning)->Apply(RealDataArgs)->Iterations(1);
 }  // namespace
 }  // namespace skydia::bench
 
-BENCHMARK_MAIN();
+SKYDIA_BENCH_MAIN(bench_real_data);

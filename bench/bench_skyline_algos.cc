@@ -54,4 +54,4 @@ BENCHMARK(BM_SkylineDivideConquer)->Apply([](auto* b) {
 }  // namespace
 }  // namespace skydia::bench
 
-BENCHMARK_MAIN();
+SKYDIA_BENCH_MAIN(bench_skyline_algos);

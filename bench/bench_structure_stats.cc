@@ -93,4 +93,4 @@ BENCHMARK(BM_DynamicStructure)->Apply([](auto* b) {
 }  // namespace
 }  // namespace skydia::bench
 
-BENCHMARK_MAIN();
+SKYDIA_BENCH_MAIN(bench_structure_stats);

@@ -1,11 +1,14 @@
 #include "src/common/logging.h"
 
 #include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/common/trace.h"
 
 namespace skydia {
 
 namespace {
-std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -20,6 +23,31 @@ const char* LevelName(LogLevel level) {
   }
   return "?";
 }
+
+/// Default level, honoring SKYDIA_LOG_LEVEL once at startup. Unknown values
+/// keep the kInfo default (logging cannot log its own misconfiguration
+/// before main, so it stays silent about it).
+int InitialLevel() {
+  const char* env = std::getenv("SKYDIA_LOG_LEVEL");
+  if (env != nullptr) {
+    LogLevel level;
+    if (internal::LevelFromString(env, &level)) {
+      return static_cast<int>(level);
+    }
+  }
+  return static_cast<int>(LogLevel::kInfo);
+}
+
+std::atomic<int> g_min_level{InitialLevel()};
+
+/// Seconds since the first log line of the process, on the same monotonic
+/// clock as trace spans, so "[ 12.345678 T03 ...]" lines align with a trace
+/// opened next to them.
+uint64_t LogEpochNanos() {
+  static const uint64_t epoch = trace::NowNanos();
+  return epoch;
+}
+
 }  // namespace
 
 void SetLogLevel(LogLevel level) {
@@ -32,12 +60,40 @@ LogLevel GetLogLevel() {
 
 namespace internal {
 
+bool LevelFromString(const std::string& name, LogLevel* out) {
+  if (name == "debug" || name == "DEBUG") {
+    *out = LogLevel::kDebug;
+  } else if (name == "info" || name == "INFO") {
+    *out = LogLevel::kInfo;
+  } else if (name == "warning" || name == "WARNING" || name == "warn" ||
+             name == "WARN") {
+    *out = LogLevel::kWarning;
+  } else if (name == "error" || name == "ERROR") {
+    *out = LogLevel::kError;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::string LogPrefix(LogLevel level, const char* file, int line) {
+  // Pin the epoch before reading the clock: on the first-ever log line the
+  // epoch static initializes inside this call, and evaluating NowNanos()
+  // first would time-travel the subtraction below zero.
+  const uint64_t epoch = LogEpochNanos();
+  const uint64_t now = trace::NowNanos();
+  const uint64_t ns = now > epoch ? now - epoch : 0;
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "[%10.6f T%02u %-5s %s:%d] ",
+                static_cast<double>(ns) / 1e9, trace::CurrentThreadId(),
+                LevelName(level), file, line);
+  return buf;
+}
+
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
     : enabled_(static_cast<int>(level) >=
                g_min_level.load(std::memory_order_relaxed)) {
-  if (enabled_) {
-    stream_ << "[" << LevelName(level) << " " << file << ":" << line << "] ";
-  }
+  if (enabled_) stream_ << LogPrefix(level, file, line);
 }
 
 LogMessage::~LogMessage() {
@@ -48,8 +104,8 @@ LogMessage::~LogMessage() {
 }
 
 FatalMessage::FatalMessage(const char* file, int line, const char* condition) {
-  stream_ << "[FATAL " << file << ":" << line << "] check failed: " << condition
-          << " ";
+  stream_ << LogPrefix(LogLevel::kError, file, line)
+          << "FATAL check failed: " << condition << " ";
 }
 
 FatalMessage::~FatalMessage() {

@@ -15,11 +15,22 @@ namespace skydia {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 
-/// Sets the minimum level that is emitted (default: kInfo).
+/// Sets the minimum level that is emitted. The startup default is kInfo,
+/// overridable via the SKYDIA_LOG_LEVEL environment variable
+/// (debug|info|warning|error, case-insensitive; unknown values are ignored).
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
 namespace internal {
+
+/// Parses a SKYDIA_LOG_LEVEL spelling. Returns false (and leaves `out`
+/// untouched) for unknown names. Exposed for the unit tests.
+bool LevelFromString(const std::string& name, LogLevel* out);
+
+/// The line prefix "[<seconds since first log> T<thread id> LEVEL file:line] "
+/// — the timestamp is monotonic and the thread id is trace::CurrentThreadId(),
+/// so log lines correlate with trace tracks. Exposed for the unit tests.
+std::string LogPrefix(LogLevel level, const char* file, int line);
 
 /// Accumulates one log line and emits it to stderr on destruction.
 class LogMessage {

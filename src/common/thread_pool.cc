@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <string>
 
 #include "src/common/logging.h"
+#include "src/common/trace.h"
 
 namespace skydia {
 
@@ -11,7 +13,7 @@ ThreadPool::ThreadPool(size_t num_threads) {
   SKYDIA_CHECK_GE(num_threads, 1u);
   workers_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
@@ -65,7 +67,10 @@ void ThreadPool::ParallelFor(size_t count,
   WaitIdle();
 }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::WorkerLoop(size_t worker_index) {
+  // Name the trace track up front so stripe spans land on a readable track
+  // even when the pool outlives many ParallelFor calls.
+  trace::SetThreadName("pool-worker-" + std::to_string(worker_index));
   for (;;) {
     std::function<void()> task;
     {

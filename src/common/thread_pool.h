@@ -48,7 +48,7 @@ class ThreadPool {
   void ParallelFor(size_t count, const std::function<void(size_t)>& fn);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop(size_t worker_index);
 
   std::mutex mu_;
   std::condition_variable work_available_;

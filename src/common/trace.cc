@@ -1,0 +1,475 @@
+#include "src/common/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace skydia::trace {
+
+namespace internal {
+
+std::atomic<bool> g_enabled{false};
+
+namespace {
+
+constexpr size_t kDefaultRingEvents = 16384;
+constexpr uint64_t kKindSpan = 1;
+constexpr uint64_t kKindCounter = 2;
+
+std::atomic<uint64_t> g_epoch_ns{0};
+std::atomic<size_t> g_ring_events{kDefaultRingEvents};
+std::atomic<uint32_t> g_next_tid{1};
+std::atomic<bool> g_exit_registered{false};
+std::atomic<bool> g_exit_flushed{false};
+
+size_t RoundUpPow2(size_t v) {
+  size_t p = 8;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+/// One ring slot. Every field is a relaxed atomic word; `seq` is written
+/// (release) before and after the payload so a concurrent reader can reject
+/// slots caught mid-write (see the reader in SnapshotBuffer).
+struct Slot {
+  std::atomic<uint64_t> seq{0};   // 0 = being written; else event index + 1
+  std::atomic<uint64_t> name{0};  // const char* bits (string literal)
+  std::atomic<uint64_t> a{0};     // span start ns / counter sample ns
+  std::atomic<uint64_t> b{0};     // span end ns / counter value
+  std::atomic<uint64_t> meta{0};  // kind | depth << 8
+};
+
+/// One thread's ring. Owned by the global registry so it outlives its
+/// thread (a pool worker's spans survive the pool teardown); the owning
+/// thread marks it retired on exit and Reset() reclaims it.
+struct ThreadBuffer {
+  explicit ThreadBuffer(size_t capacity)
+      : slots(capacity), mask(capacity - 1) {}
+
+  std::vector<Slot> slots;
+  size_t mask;
+  std::atomic<uint64_t> head{0};
+  std::atomic<bool> retired{false};
+  uint32_t tid = 0;
+  std::string name;  // guarded by RegistryMutex()
+};
+
+namespace {
+
+std::mutex& RegistryMutex() {
+  static std::mutex* mu = new std::mutex;
+  return *mu;
+}
+
+std::vector<std::unique_ptr<ThreadBuffer>>& Registry() {
+  static auto* buffers = new std::vector<std::unique_ptr<ThreadBuffer>>;
+  return *buffers;
+}
+
+thread_local int t_depth = 0;
+thread_local uint32_t t_tid = 0;
+
+/// Pointer into Registry(); set lazily, cleared (and the buffer retired)
+/// when the thread exits.
+struct LocalHandle {
+  ThreadBuffer* buffer = nullptr;
+  std::string pending_name;
+  ~LocalHandle() {
+    if (buffer != nullptr) {
+      buffer->retired.store(true, std::memory_order_release);
+    }
+  }
+};
+thread_local LocalHandle t_handle;
+
+void Push(ThreadBuffer* buffer, const char* name, uint64_t kind, uint64_t a,
+          uint64_t b, uint64_t depth) {
+  const uint64_t idx = buffer->head.load(std::memory_order_relaxed);
+  Slot& slot = buffer->slots[idx & buffer->mask];
+  slot.seq.store(0, std::memory_order_release);
+  slot.name.store(reinterpret_cast<uint64_t>(name), std::memory_order_relaxed);
+  slot.a.store(a, std::memory_order_relaxed);
+  slot.b.store(b, std::memory_order_relaxed);
+  slot.meta.store(kind | (depth << 8), std::memory_order_relaxed);
+  slot.seq.store(idx + 1, std::memory_order_release);
+  buffer->head.store(idx + 1, std::memory_order_release);
+}
+
+#if defined(__SANITIZE_THREAD__)
+#define SKYDIA_TRACE_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define SKYDIA_TRACE_TSAN 1
+#endif
+#endif
+
+/// The seqlock re-check after the payload reads. The acquire fence orders
+/// the payload loads before the sequence re-load; TSan has no fence support
+/// (GCC promotes -Wtsan under -Werror), so sanitized builds substitute an
+/// acquire re-load — every access stays atomic either way, so TSan still
+/// proves the protocol race-free.
+bool SlotStillValid(const Slot& slot, uint64_t expected) {
+#ifdef SKYDIA_TRACE_TSAN
+  return slot.seq.load(std::memory_order_acquire) == expected;
+#else
+  std::atomic_thread_fence(std::memory_order_acquire);
+  return slot.seq.load(std::memory_order_relaxed) == expected;
+#endif
+}
+
+/// Drains one buffer into a track. Seqlock-style reader: load seq, read the
+/// payload, acquire-fence, re-load seq — a slot overwritten mid-read fails
+/// the re-check and is skipped.
+ThreadTrack SnapshotBuffer(const ThreadBuffer& buffer, uint64_t epoch) {
+  ThreadTrack track;
+  track.tid = buffer.tid;
+  track.name = buffer.name;
+  const uint64_t head = buffer.head.load(std::memory_order_acquire);
+  const uint64_t capacity = buffer.mask + 1;
+  const uint64_t lo = head > capacity ? head - capacity : 0;
+  track.dropped = lo;
+  track.events.reserve(static_cast<size_t>(head - lo));
+  for (uint64_t idx = lo; idx < head; ++idx) {
+    const Slot& slot = buffer.slots[idx & buffer.mask];
+    if (slot.seq.load(std::memory_order_acquire) != idx + 1) continue;
+    const auto name = reinterpret_cast<const char*>(
+        slot.name.load(std::memory_order_relaxed));
+    const uint64_t a = slot.a.load(std::memory_order_relaxed);
+    const uint64_t b = slot.b.load(std::memory_order_relaxed);
+    const uint64_t meta = slot.meta.load(std::memory_order_relaxed);
+    if (!SlotStillValid(slot, idx + 1)) continue;
+
+    TraceEvent event;
+    event.name = name;
+    event.tid = buffer.tid;
+    event.start_ns = a > epoch ? a - epoch : 0;
+    if ((meta & 0xff) == kKindSpan) {
+      event.kind = TraceEvent::Kind::kSpan;
+      event.duration_ns = b > a ? b - a : 0;
+      event.depth = static_cast<uint32_t>(meta >> 8);
+    } else {
+      event.kind = TraceEvent::Kind::kCounter;
+      event.value = b;
+    }
+    track.events.push_back(event);
+  }
+  // Start-ascending, parents (longer spans) before their children on ties.
+  std::sort(track.events.begin(), track.events.end(),
+            [](const TraceEvent& x, const TraceEvent& y) {
+              if (x.start_ns != y.start_ns) return x.start_ns < y.start_ns;
+              return x.duration_ns > y.duration_ns;
+            });
+  return track;
+}
+
+void AppendDouble(double value, std::string* out) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", value);
+  out->append(buf);
+}
+
+}  // namespace
+
+ThreadBuffer* LocalBuffer() {
+  if (t_handle.buffer == nullptr) {
+    const size_t capacity =
+        RoundUpPow2(g_ring_events.load(std::memory_order_relaxed));
+    auto buffer = std::make_unique<ThreadBuffer>(capacity);
+    buffer->tid = CurrentThreadId();
+    std::lock_guard<std::mutex> lock(RegistryMutex());
+    buffer->name = t_handle.pending_name;
+    t_handle.buffer = buffer.get();
+    Registry().push_back(std::move(buffer));
+  }
+  return t_handle.buffer;
+}
+
+void EmitSpan(ThreadBuffer* buffer, const char* name, uint64_t start_ns,
+              uint64_t end_ns) {
+  Push(buffer, name, kKindSpan, start_ns, end_ns,
+       static_cast<uint64_t>(t_depth));
+}
+
+void EmitCounter(ThreadBuffer* buffer, const char* name, uint64_t value) {
+  Push(buffer, name, kKindCounter, NowNanos(), value, 0);
+}
+
+void AppendJsonEscaped(const char* text, std::string* out) {
+  for (const char* p = text; *p != '\0'; ++p) {
+    const auto c = static_cast<unsigned char>(*p);
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(static_cast<char>(c));
+        }
+    }
+  }
+}
+
+int SpanDepth() { return t_depth; }
+
+}  // namespace internal
+
+uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void SetEnabled(bool enabled) {
+  if (enabled && !internal::g_enabled.load(std::memory_order_relaxed)) {
+    internal::g_epoch_ns.store(NowNanos(), std::memory_order_relaxed);
+  }
+  internal::g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void Reset() {
+  std::lock_guard<std::mutex> lock(internal::RegistryMutex());
+  auto& buffers = internal::Registry();
+  std::erase_if(buffers, [](const std::unique_ptr<internal::ThreadBuffer>& b) {
+    return b->retired.load(std::memory_order_acquire);
+  });
+  for (auto& buffer : buffers) {
+    buffer->head.store(0, std::memory_order_release);
+    for (internal::Slot& slot : buffer->slots) {
+      slot.seq.store(0, std::memory_order_release);
+    }
+  }
+  internal::g_epoch_ns.store(NowNanos(), std::memory_order_relaxed);
+}
+
+void SetRingCapacity(size_t events) {
+  internal::g_ring_events.store(events < 8 ? 8 : events,
+                                std::memory_order_relaxed);
+}
+
+uint32_t CurrentThreadId() {
+  if (internal::t_tid == 0) {
+    internal::t_tid =
+        internal::g_next_tid.fetch_add(1, std::memory_order_relaxed);
+  }
+  return internal::t_tid;
+}
+
+void SetThreadName(const std::string& name) {
+  std::lock_guard<std::mutex> lock(internal::RegistryMutex());
+  internal::t_handle.pending_name = name;
+  if (internal::t_handle.buffer != nullptr) {
+    internal::t_handle.buffer->name = name;
+  }
+}
+
+uint64_t Span::Begin(const char* name) {
+  if (name == nullptr) return 0;
+  ++internal::t_depth;
+  return NowNanos();
+}
+
+void Span::End(const char* name, uint64_t start_ns) {
+  --internal::t_depth;
+  internal::EmitSpan(internal::LocalBuffer(), name, start_ns, NowNanos());
+}
+
+void Counter(const char* name, uint64_t value) {
+  if (!Enabled()) return;
+  internal::EmitCounter(internal::LocalBuffer(), name, value);
+}
+
+TraceSnapshot Collect() {
+  const uint64_t epoch =
+      internal::g_epoch_ns.load(std::memory_order_relaxed);
+  TraceSnapshot snapshot;
+  std::lock_guard<std::mutex> lock(internal::RegistryMutex());
+  for (const auto& buffer : internal::Registry()) {
+    ThreadTrack track = internal::SnapshotBuffer(*buffer, epoch);
+    snapshot.total_events += track.events.size();
+    snapshot.total_dropped += track.dropped;
+    snapshot.threads.push_back(std::move(track));
+  }
+  std::sort(snapshot.threads.begin(), snapshot.threads.end(),
+            [](const ThreadTrack& a, const ThreadTrack& b) {
+              return a.tid < b.tid;
+            });
+  return snapshot;
+}
+
+std::string ToChromeTraceJson(const TraceSnapshot& snapshot) {
+  std::string out;
+  out.reserve(256 + snapshot.total_events * 96);
+  out.append("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+  bool first = true;
+  const auto comma = [&] {
+    if (!first) out.push_back(',');
+    first = false;
+  };
+  for (const ThreadTrack& track : snapshot.threads) {
+    if (!track.name.empty()) {
+      comma();
+      out.append(
+          "{\"ph\":\"M\",\"pid\":1,\"name\":\"thread_name\",\"tid\":");
+      out.append(std::to_string(track.tid));
+      out.append(",\"args\":{\"name\":\"");
+      internal::AppendJsonEscaped(track.name.c_str(), &out);
+      out.append("\"}}");
+    }
+    for (const TraceEvent& event : track.events) {
+      comma();
+      if (event.kind == TraceEvent::Kind::kSpan) {
+        out.append("{\"ph\":\"X\",\"pid\":1,\"tid\":");
+        out.append(std::to_string(track.tid));
+        out.append(",\"cat\":\"skydia\",\"name\":\"");
+        internal::AppendJsonEscaped(event.name, &out);
+        out.append("\",\"ts\":");
+        internal::AppendDouble(static_cast<double>(event.start_ns) / 1e3,
+                               &out);
+        out.append(",\"dur\":");
+        internal::AppendDouble(static_cast<double>(event.duration_ns) / 1e3,
+                               &out);
+        out.append("}");
+      } else {
+        out.append("{\"ph\":\"C\",\"pid\":1,\"tid\":");
+        out.append(std::to_string(track.tid));
+        out.append(",\"name\":\"");
+        internal::AppendJsonEscaped(event.name, &out);
+        out.append("\",\"ts\":");
+        internal::AppendDouble(static_cast<double>(event.start_ns) / 1e3,
+                               &out);
+        out.append(",\"args\":{\"value\":");
+        out.append(std::to_string(event.value));
+        out.append("}}");
+      }
+    }
+  }
+  out.append("]}");
+  return out;
+}
+
+Status WriteChromeTrace(const TraceSnapshot& snapshot,
+                        const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return Status::Internal("cannot open trace output " + path);
+  }
+  const std::string json = ToChromeTraceJson(snapshot);
+  const size_t written = std::fwrite(json.data(), 1, json.size(), file);
+  const int closed = std::fclose(file);
+  if (written != json.size() || closed != 0) {
+    return Status::Internal("short write to trace output " + path);
+  }
+  return Status::OK();
+}
+
+std::string RenderTextSummary(const TraceSnapshot& snapshot) {
+  struct SpanAgg {
+    uint64_t count = 0;
+    uint64_t total_ns = 0;
+    uint64_t max_ns = 0;
+  };
+  struct CounterAgg {
+    uint64_t samples = 0;
+    uint64_t last = 0;
+  };
+  std::map<std::string, SpanAgg> spans;
+  std::map<std::string, CounterAgg> counters;
+  for (const ThreadTrack& track : snapshot.threads) {
+    for (const TraceEvent& event : track.events) {
+      if (event.kind == TraceEvent::Kind::kSpan) {
+        SpanAgg& agg = spans[event.name];
+        ++agg.count;
+        agg.total_ns += event.duration_ns;
+        agg.max_ns = std::max(agg.max_ns, event.duration_ns);
+      } else {
+        CounterAgg& agg = counters[event.name];
+        ++agg.samples;
+        agg.last = event.value;
+      }
+    }
+  }
+
+  std::string out;
+  out.append("trace summary: ")
+      .append(std::to_string(snapshot.total_events))
+      .append(" events, ")
+      .append(std::to_string(snapshot.total_dropped))
+      .append(" dropped\n");
+  // Span names by descending total time: the profile view.
+  std::vector<std::pair<std::string, SpanAgg>> by_total(spans.begin(),
+                                                        spans.end());
+  std::sort(by_total.begin(), by_total.end(),
+            [](const auto& a, const auto& b) {
+              return a.second.total_ns > b.second.total_ns;
+            });
+  char line[256];
+  for (const auto& [name, agg] : by_total) {
+    std::snprintf(line, sizeof(line),
+                  "  span %-28s count=%-8llu total_ms=%-12.3f max_ms=%.3f\n",
+                  name.c_str(),
+                  static_cast<unsigned long long>(agg.count),
+                  static_cast<double>(agg.total_ns) / 1e6,
+                  static_cast<double>(agg.max_ns) / 1e6);
+    out.append(line);
+  }
+  for (const auto& [name, agg] : counters) {
+    std::snprintf(line, sizeof(line),
+                  "  counter %-25s samples=%-6llu last=%llu\n", name.c_str(),
+                  static_cast<unsigned long long>(agg.samples),
+                  static_cast<unsigned long long>(agg.last));
+    out.append(line);
+  }
+  for (const ThreadTrack& track : snapshot.threads) {
+    std::snprintf(line, sizeof(line),
+                  "  thread T%u%s%s%s: events=%zu dropped=%llu\n", track.tid,
+                  track.name.empty() ? "" : " (",
+                  track.name.c_str(),
+                  track.name.empty() ? "" : ")",
+                  track.events.size(),
+                  static_cast<unsigned long long>(track.dropped));
+    out.append(line);
+  }
+  return out;
+}
+
+void FlushExitSummary() {
+  if (!Enabled()) return;
+  if (internal::g_exit_flushed.exchange(true, std::memory_order_acq_rel)) {
+    return;
+  }
+  const std::string summary = RenderTextSummary(Collect());
+  std::fwrite(summary.data(), 1, summary.size(), stderr);
+}
+
+void RegisterExitSummary() {
+  if (internal::g_exit_registered.exchange(true, std::memory_order_acq_rel)) {
+    return;
+  }
+  std::atexit([] { FlushExitSummary(); });
+}
+
+}  // namespace skydia::trace

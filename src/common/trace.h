@@ -1,0 +1,180 @@
+// Low-overhead in-process tracing: RAII scoped spans and named counters
+// recorded into per-thread lock-free ring buffers, drained on demand into a
+// Chrome trace-event / Perfetto-compatible JSON export or a per-span text
+// summary.
+//
+// Design constraints, in priority order:
+//   1. Disabled tracing must be invisible on the serving hot path. A span in
+//      a disabled build of the code costs one relaxed atomic load and one
+//      predictable branch — no clock read, no allocation, no store
+//      (bench_query_throughput's BM_TraceSpanDisabled pins this down).
+//   2. Enabled tracing never blocks the traced thread. Each thread writes
+//      events to a private fixed-capacity ring buffer; when the ring wraps,
+//      the oldest events are overwritten (newest-wins) and a drop count is
+//      kept. There is no lock on the emission path.
+//   3. Draining may race with emission (the serve daemon exports /metrics
+//      and traces while connections are live). Every slot field is a relaxed
+//      atomic word and each slot carries a sequence number written around
+//      the payload, so a reader either observes a consistent event or skips
+//      the slot — torn events are rejected, never surfaced. This protocol is
+//      exercised under TSan by tests/core/parallel_stress_test.cc.
+//
+// Span names must be string literals (or otherwise immortal): the ring
+// stores the pointer, not a copy. Counters follow the same rule.
+//
+// Typical use:
+//   trace::SetEnabled(true);
+//   { SKYDIA_TRACE_SPAN("build.sweep"); ... }
+//   trace::Counter("cells", grid.num_cells());
+//   const trace::TraceSnapshot snap = trace::Collect();
+//   trace::WriteChromeTrace(snap, "trace.json");   // open in ui.perfetto.dev
+//   std::cerr << trace::RenderTextSummary(snap);
+#ifndef SKYDIA_SRC_COMMON_TRACE_H_
+#define SKYDIA_SRC_COMMON_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace skydia::trace {
+
+namespace internal {
+/// The global on/off flag, exposed for the inline fast path below.
+extern std::atomic<bool> g_enabled;
+
+struct ThreadBuffer;
+/// The calling thread's ring buffer, created (and registered) on first use.
+ThreadBuffer* LocalBuffer();
+void EmitSpan(ThreadBuffer* buffer, const char* name, uint64_t start_ns,
+              uint64_t end_ns);
+void EmitCounter(ThreadBuffer* buffer, const char* name, uint64_t value);
+/// Appends `text` to `out` with Chrome-trace JSON string escaping (quotes,
+/// backslashes, control characters). Exposed for the unit tests.
+void AppendJsonEscaped(const char* text, std::string* out);
+
+/// Current depth of open spans on this thread (for nesting tests).
+int SpanDepth();
+}  // namespace internal
+
+/// Whether tracing is currently recording. The fast path: one relaxed load.
+inline bool Enabled() {
+  return internal::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Turns recording on or off. Enabling (re)starts the trace epoch that
+/// exported timestamps are relative to. Thread-safe.
+void SetEnabled(bool enabled);
+
+/// Clears all recorded events and drop counts, releases buffers of threads
+/// that have exited, and restarts the epoch. Not safe to call concurrently
+/// with emission from other threads (callers quiesce first).
+void Reset();
+
+/// Ring capacity (events per thread) for buffers created after this call;
+/// rounded up to a power of two, default 16384. Tests use tiny rings to
+/// exercise wraparound. Call before the threads under test emit.
+void SetRingCapacity(size_t events);
+
+/// Small dense id of the calling thread, assigned on first use, shared with
+/// the logging prefix so log lines correlate with trace tracks.
+uint32_t CurrentThreadId();
+
+/// Names the calling thread's track in exports ("pool-worker-3"). Cheap;
+/// safe to call whether or not tracing is enabled.
+void SetThreadName(const std::string& name);
+
+/// Monotonic nanosecond clock used for all trace timestamps.
+uint64_t NowNanos();
+
+/// RAII scoped span. Records [construction, destruction) on the calling
+/// thread under `name` (a string literal). When tracing is disabled at
+/// construction the object is inert, including at destruction.
+class Span {
+ public:
+  explicit Span(const char* name)
+      : name_(Enabled() ? name : nullptr), start_(Begin(name_)) {}
+  ~Span() {
+    if (name_ != nullptr) End(name_, start_);
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  static uint64_t Begin(const char* name);
+  static void End(const char* name, uint64_t start_ns);
+
+  const char* name_;
+  uint64_t start_;
+};
+
+/// Records a named counter sample at the current time. No-op when disabled.
+void Counter(const char* name, uint64_t value);
+
+/// One drained event. Spans carry [start_ns, start_ns + duration_ns) and
+/// their nesting depth at emission; counters carry a value sampled at
+/// start_ns with duration 0.
+struct TraceEvent {
+  enum class Kind { kSpan, kCounter };
+  const char* name = nullptr;
+  Kind kind = Kind::kSpan;
+  uint64_t start_ns = 0;     // relative to the trace epoch
+  uint64_t duration_ns = 0;  // spans only
+  uint64_t value = 0;        // counters only
+  uint32_t tid = 0;
+  uint32_t depth = 0;  // spans only: open ancestors when the span closed
+};
+
+/// One thread's drained track.
+struct ThreadTrack {
+  uint32_t tid = 0;
+  std::string name;          // "" when never named
+  uint64_t dropped = 0;      // events lost to ring wraparound
+  std::vector<TraceEvent> events;  // ascending start_ns
+};
+
+/// Everything recorded so far, drained without stopping emission.
+struct TraceSnapshot {
+  std::vector<ThreadTrack> threads;  // ascending tid
+  uint64_t total_events = 0;
+  uint64_t total_dropped = 0;
+};
+
+/// Drains every thread's ring into a snapshot. Safe to call while other
+/// threads keep emitting (in-flight events may be missed or half-written
+/// slots skipped; nothing torn is returned).
+TraceSnapshot Collect();
+
+/// Renders the snapshot in the Chrome trace-event JSON format (complete "X"
+/// events plus thread-name metadata), loadable in ui.perfetto.dev and
+/// chrome://tracing.
+std::string ToChromeTraceJson(const TraceSnapshot& snapshot);
+
+/// Writes ToChromeTraceJson(snapshot) to `path`.
+Status WriteChromeTrace(const TraceSnapshot& snapshot,
+                        const std::string& path);
+
+/// Per-span-name aggregation (count, total, max) plus per-thread track
+/// lines — the human-readable companion of the JSON export.
+std::string RenderTextSummary(const TraceSnapshot& snapshot);
+
+/// Registers an atexit hook that, at process exit, writes
+/// RenderTextSummary(Collect()) to stderr if tracing is still enabled and
+/// the summary was not already flushed. Idempotent; FlushExitSummary() runs
+/// the same flush early (the serve daemon calls it on clean shutdown so a
+/// SIGTERM'd process and a normal exit report identically).
+void RegisterExitSummary();
+void FlushExitSummary();
+
+}  // namespace skydia::trace
+
+#define SKYDIA_TRACE_CONCAT_INNER(a, b) a##b
+#define SKYDIA_TRACE_CONCAT(a, b) SKYDIA_TRACE_CONCAT_INNER(a, b)
+/// Scoped span covering the rest of the enclosing block.
+#define SKYDIA_TRACE_SPAN(name) \
+  ::skydia::trace::Span SKYDIA_TRACE_CONCAT(skydia_trace_span_, __LINE__)(name)
+
+#endif  // SKYDIA_SRC_COMMON_TRACE_H_

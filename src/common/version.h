@@ -1,0 +1,23 @@
+// Library version and build stamps, surfaced in `skydia_build_info` on the
+// /metrics endpoint and in the BENCH_*.json baselines. Bump kVersion with
+// each released milestone (it tracks the PR sequence, not semver promises).
+#ifndef SKYDIA_SRC_COMMON_VERSION_H_
+#define SKYDIA_SRC_COMMON_VERSION_H_
+
+namespace skydia {
+
+inline constexpr const char* kVersion = "0.5.0";
+
+/// The commit the binary was built from: SKYDIA_GIT_COMMIT when the build
+/// system provides it, else "unknown" (local builds).
+inline const char* BuildCommit() {
+#ifdef SKYDIA_GIT_COMMIT
+  return SKYDIA_GIT_COMMIT;
+#else
+  return "unknown";
+#endif
+}
+
+}  // namespace skydia
+
+#endif  // SKYDIA_SRC_COMMON_VERSION_H_

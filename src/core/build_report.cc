@@ -1,0 +1,84 @@
+#include "src/core/build_report.h"
+
+#include <cstdio>
+
+namespace skydia {
+
+namespace build_report_internal {
+namespace {
+
+thread_local BuildReport* t_report = nullptr;
+thread_local int t_phase_depth = 0;
+
+}  // namespace
+
+ReportInstaller::ReportInstaller(BuildReport* report) : prev_(t_report) {
+  if (report != nullptr) t_report = report;
+}
+
+ReportInstaller::~ReportInstaller() { t_report = prev_; }
+
+}  // namespace build_report_internal
+
+PhaseScope::PhaseScope(const char* name) : span_(name), name_(name) {
+  using build_report_internal::t_phase_depth;
+  using build_report_internal::t_report;
+  record_ = t_report != nullptr && t_phase_depth == 0;
+  ++t_phase_depth;
+  if (record_) start_ns_ = trace::NowNanos();
+}
+
+PhaseScope::~PhaseScope() {
+  --build_report_internal::t_phase_depth;
+  if (!record_) return;
+  const double seconds =
+      static_cast<double>(trace::NowNanos() - start_ns_) / 1e9;
+  BuildReport* report = build_report_internal::t_report;
+  for (BuildPhaseTiming& phase : report->phases) {
+    if (phase.name == name_) {
+      ++phase.count;
+      phase.seconds += seconds;
+      return;
+    }
+  }
+  report->phases.push_back(BuildPhaseTiming{name_, 1, seconds});
+}
+
+std::string BuildReport::ToString() const {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "build report: %s/%s parallelism=%d n=%llu\n",
+                diagram_type.c_str(), algorithm.c_str(), parallelism,
+                static_cast<unsigned long long>(dataset_points));
+  out.append(line);
+  double phase_sum = 0.0;
+  for (const BuildPhaseTiming& phase : phases) {
+    phase_sum += phase.seconds;
+    const double share =
+        total_seconds > 0.0 ? 100.0 * phase.seconds / total_seconds : 0.0;
+    std::snprintf(line, sizeof(line),
+                  "  phase %-12s %10.3f ms  %5.1f%%  (x%llu)\n",
+                  phase.name.c_str(), phase.seconds * 1e3, share,
+                  static_cast<unsigned long long>(phase.count));
+    out.append(line);
+  }
+  std::snprintf(line, sizeof(line),
+                "  total %19.3f ms  (phases cover %.1f%%)\n",
+                total_seconds * 1e3,
+                total_seconds > 0.0 ? 100.0 * phase_sum / total_seconds : 0.0);
+  out.append(line);
+  std::snprintf(
+      line, sizeof(line),
+      "  cells=%llu distinct_sets=%llu set_elements=%llu arena_bytes=%llu "
+      "approx_bytes=%llu\n",
+      static_cast<unsigned long long>(num_cells),
+      static_cast<unsigned long long>(num_distinct_sets),
+      static_cast<unsigned long long>(total_set_elements),
+      static_cast<unsigned long long>(arena_bytes),
+      static_cast<unsigned long long>(approx_bytes));
+  out.append(line);
+  return out;
+}
+
+}  // namespace skydia

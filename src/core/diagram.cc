@@ -1,6 +1,8 @@
 #include "src/core/diagram.h"
 
 #include "src/common/logging.h"
+#include "src/common/trace.h"
+#include "src/core/build_report.h"
 #include "src/core/dynamic_baseline.h"
 #include "src/core/dynamic_scanning.h"
 #include "src/core/dynamic_subset.h"
@@ -177,6 +179,18 @@ StatusOr<SubcellDiagram> BuildSubcell(const Dataset& dataset,
   return Status::Internal("unreachable dynamic algorithm");
 }
 
+/// The algorithm a kAuto request resolves to (mirrors BuildCell /
+/// BuildSubcell), for the BuildReport header line.
+const char* ResolvedAlgorithmName(SkylineQueryType type,
+                                  const SkylineBuildOptions& options) {
+  if (options.algorithm != BuildAlgorithm::kAuto) {
+    return BuildAlgorithmName(options.algorithm);
+  }
+  return (options.parallelism > 1 && type == SkylineQueryType::kQuadrant)
+             ? "dsg"
+             : "scanning";
+}
+
 }  // namespace
 
 StatusOr<SkylineDiagram> SkylineDiagram::Build(Dataset dataset,
@@ -189,15 +203,49 @@ StatusOr<SkylineDiagram> SkylineDiagram::Build(Dataset dataset,
     return Status::InvalidArgument("parallelism must be >= 1");
   }
   SkylineDiagram diagram(std::move(dataset), type);
-  if (type == SkylineQueryType::kDynamic) {
-    auto subcell = BuildSubcell(diagram.dataset_, options);
-    if (!subcell.ok()) return subcell.status();
-    diagram.subcell_ =
-        std::make_unique<SubcellDiagram>(std::move(subcell).value());
-  } else {
-    auto cell = BuildCell(diagram.dataset_, type, options);
-    if (!cell.ok()) return cell.status();
-    diagram.cell_ = std::make_unique<CellDiagram>(std::move(cell).value());
+  BuildReport* report = options.report;
+  if (report != nullptr) {
+    *report = BuildReport{};
+    report->diagram_type = SkylineQueryTypeName(type);
+    report->algorithm = ResolvedAlgorithmName(type, options);
+    report->parallelism = options.parallelism;
+    report->dataset_points = diagram.dataset_.size();
+  }
+  {
+    SKYDIA_TRACE_SPAN("build");
+    build_report_internal::ReportInstaller installer(report);
+    const uint64_t start_ns = trace::NowNanos();
+    if (type == SkylineQueryType::kDynamic) {
+      auto subcell = BuildSubcell(diagram.dataset_, options);
+      if (!subcell.ok()) return subcell.status();
+      diagram.subcell_ =
+          std::make_unique<SubcellDiagram>(std::move(subcell).value());
+    } else {
+      auto cell = BuildCell(diagram.dataset_, type, options);
+      if (!cell.ok()) return cell.status();
+      diagram.cell_ = std::make_unique<CellDiagram>(std::move(cell).value());
+    }
+    if (report != nullptr) {
+      report->total_seconds =
+          static_cast<double>(trace::NowNanos() - start_ns) / 1e9;
+    }
+  }
+  if (report != nullptr) {
+    if (diagram.cell_ != nullptr) {
+      const CellDiagram::Stats stats = diagram.cell_->ComputeStats();
+      report->num_cells = stats.num_cells;
+      report->num_distinct_sets = stats.num_distinct_sets;
+      report->total_set_elements = stats.total_set_elements;
+      report->arena_bytes = stats.pool_bytes;
+      report->approx_bytes = stats.approx_bytes;
+    } else {
+      const SubcellDiagram::Stats stats = diagram.subcell_->ComputeStats();
+      report->num_cells = stats.num_subcells;
+      report->num_distinct_sets = stats.num_distinct_sets;
+      report->total_set_elements = stats.total_set_elements;
+      report->arena_bytes = stats.pool_bytes;
+      report->approx_bytes = stats.approx_bytes;
+    }
   }
 #ifndef NDEBUG
   DebugValidate(diagram, options);

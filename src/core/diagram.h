@@ -28,6 +28,8 @@
 
 namespace skydia {
 
+struct BuildReport;
+
 /// Which skyline query semantics the diagram precomputes.
 enum class SkylineQueryType { kQuadrant, kGlobal, kDynamic };
 
@@ -76,6 +78,10 @@ struct SkylineBuildOptions {
   /// diagrams have no parallel construction).
   int parallelism = 1;
   DiagramOptions diagram;
+  /// When non-null, Build() fills this with per-phase wall times and
+  /// structure counts (see src/core/build_report.h). The pointee must
+  /// outlive the Build() call; it is overwritten, not appended to.
+  BuildReport* report = nullptr;
 };
 
 /// A built skyline diagram with its source dataset. Movable, not copyable.

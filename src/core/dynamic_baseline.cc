@@ -5,6 +5,8 @@
 #include <limits>
 #include <numeric>
 
+#include "src/core/build_report.h"
+
 namespace skydia {
 
 namespace {
@@ -62,50 +64,63 @@ ColumnOrder BuildColumnOrder(const Dataset& dataset,
 
 SubcellDiagram BuildDynamicBaseline(const Dataset& dataset,
                                     const DiagramOptions& options) {
-  SubcellDiagram diagram(dataset, options.intern_result_sets);
+  SubcellDiagram diagram = [&] {
+    PhaseScope phase("grid");
+    return SubcellDiagram(dataset, options.intern_result_sets);
+  }();
   const SubcellGrid& grid = diagram.grid();
   const size_t n = dataset.size();
 
   std::vector<PointId> by_x(n);
-  std::iota(by_x.begin(), by_x.end(), 0);
-  std::sort(by_x.begin(), by_x.end(), [&](PointId a, PointId b) {
-    return dataset.point(a).x < dataset.point(b).x;
-  });
+  {
+    PhaseScope phase("sort");
+    std::iota(by_x.begin(), by_x.end(), 0);
+    std::sort(by_x.begin(), by_x.end(), [&](PointId a, PointId b) {
+      return dataset.point(a).x < dataset.point(b).x;
+    });
+  }
 
-  std::vector<PointId> scratch;
-  for (uint32_t sx = 0; sx < grid.num_columns(); ++sx) {
-    const int64_t repx4 = grid.x_axis().Representative4(sx);
-    const ColumnOrder order = BuildColumnOrder(dataset, by_x, repx4);
-    const size_t groups = order.group_begin.size() - 1;
-    for (uint32_t sy = 0; sy < grid.num_rows(); ++sy) {
-      const int64_t repy4 = grid.y_axis().Representative4(sy);
-      // Staircase over mapped y, ascending mapped x, tie-groups intact.
-      scratch.clear();
-      int64_t best = std::numeric_limits<int64_t>::max();
-      for (size_t g = 0; g < groups; ++g) {
-        const uint32_t lo = order.group_begin[g];
-        const uint32_t hi = order.group_begin[g + 1];
-        int64_t group_min = std::numeric_limits<int64_t>::max();
-        for (uint32_t k = lo; k < hi; ++k) {
-          group_min = std::min<int64_t>(
-              group_min,
-              std::llabs(4 * dataset.point(order.ids[k]).y - repy4));
-        }
-        if (group_min < best) {
+  {
+    PhaseScope phase("cells");
+    std::vector<PointId> scratch;
+    for (uint32_t sx = 0; sx < grid.num_columns(); ++sx) {
+      SKYDIA_TRACE_SPAN("cells.column");
+      const int64_t repx4 = grid.x_axis().Representative4(sx);
+      const ColumnOrder order = BuildColumnOrder(dataset, by_x, repx4);
+      const size_t groups = order.group_begin.size() - 1;
+      for (uint32_t sy = 0; sy < grid.num_rows(); ++sy) {
+        const int64_t repy4 = grid.y_axis().Representative4(sy);
+        // Staircase over mapped y, ascending mapped x, tie-groups intact.
+        scratch.clear();
+        int64_t best = std::numeric_limits<int64_t>::max();
+        for (size_t g = 0; g < groups; ++g) {
+          const uint32_t lo = order.group_begin[g];
+          const uint32_t hi = order.group_begin[g + 1];
+          int64_t group_min = std::numeric_limits<int64_t>::max();
           for (uint32_t k = lo; k < hi; ++k) {
-            if (std::llabs(4 * dataset.point(order.ids[k]).y - repy4) ==
-                group_min) {
-              scratch.push_back(order.ids[k]);
-            }
+            group_min = std::min<int64_t>(
+                group_min,
+                std::llabs(4 * dataset.point(order.ids[k]).y - repy4));
           }
-          best = group_min;
+          if (group_min < best) {
+            for (uint32_t k = lo; k < hi; ++k) {
+              if (std::llabs(4 * dataset.point(order.ids[k]).y - repy4) ==
+                  group_min) {
+                scratch.push_back(order.ids[k]);
+              }
+            }
+            best = group_min;
+          }
         }
+        std::sort(scratch.begin(), scratch.end());
+        diagram.set_subcell(sx, sy, diagram.pool().InternCopy(scratch));
       }
-      std::sort(scratch.begin(), scratch.end());
-      diagram.set_subcell(sx, sy, diagram.pool().InternCopy(scratch));
     }
   }
-  diagram.pool().Freeze();
+  {
+    PhaseScope phase("freeze");
+    diagram.pool().Freeze();
+  }
   return diagram;
 }
 

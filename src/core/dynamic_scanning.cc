@@ -2,31 +2,42 @@
 
 #include <vector>
 
+#include "src/core/build_report.h"
 #include "src/core/sweep_kernel.h"
 
 namespace skydia {
 
 SubcellDiagram BuildDynamicScanning(const Dataset& dataset,
                                     const DiagramOptions& options) {
-  SubcellDiagram diagram(dataset, options.intern_result_sets);
+  SubcellDiagram diagram = [&] {
+    PhaseScope phase("grid");
+    return SubcellDiagram(dataset, options.intern_result_sets);
+  }();
   const SubcellGrid& grid = diagram.grid();
   const uint32_t cols = grid.num_columns();
   const uint32_t rows = grid.num_rows();
 
-  // The shared row walk (src/core/sweep_kernel.h): seed the anchor at
-  // (0, 0) from scratch, then advance it across each horizontal line and
-  // scan every row incrementally across the vertical lines.
-  DynamicRowScanner scanner(dataset, grid);
-  scanner.SeedRow(0);
-  std::vector<SetId> row(cols, kEmptySetId);
-  for (uint32_t sy = 0; sy < rows; ++sy) {
-    if (sy > 0) scanner.AdvanceRow(sy);
-    scanner.ScanRow(sy, &diagram.pool(), row.data());
-    for (uint32_t sx = 0; sx < cols; ++sx) {
-      diagram.set_subcell(sx, sy, row[sx]);
+  {
+    PhaseScope phase("scan");
+    // The shared row walk (src/core/sweep_kernel.h): seed the anchor at
+    // (0, 0) from scratch, then advance it across each horizontal line and
+    // scan every row incrementally across the vertical lines.
+    DynamicRowScanner scanner(dataset, grid);
+    scanner.SeedRow(0);
+    std::vector<SetId> row(cols, kEmptySetId);
+    for (uint32_t sy = 0; sy < rows; ++sy) {
+      SKYDIA_TRACE_SPAN("scan.row");
+      if (sy > 0) scanner.AdvanceRow(sy);
+      scanner.ScanRow(sy, &diagram.pool(), row.data());
+      for (uint32_t sx = 0; sx < cols; ++sx) {
+        diagram.set_subcell(sx, sy, row[sx]);
+      }
     }
   }
-  diagram.pool().Freeze();
+  {
+    PhaseScope phase("freeze");
+    diagram.pool().Freeze();
+  }
   return diagram;
 }
 

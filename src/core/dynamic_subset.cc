@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/core/build_report.h"
 #include "src/skyline/query.h"
 
 namespace skydia {
@@ -41,34 +42,47 @@ std::vector<int64_t> DoubledDistinct(const Dataset& dataset, bool use_x) {
 SubcellDiagram BuildDynamicSubset(const Dataset& dataset,
                                   QuadrantAlgorithm algorithm,
                                   const DiagramOptions& options) {
-  const CellDiagram global = BuildGlobalDiagram(dataset, algorithm, options);
+  const CellDiagram global = [&] {
+    PhaseScope phase("global");
+    return BuildGlobalDiagram(dataset, algorithm, options);
+  }();
   return BuildDynamicSubsetWithGlobal(dataset, global, options);
 }
 
 SubcellDiagram BuildDynamicSubsetWithGlobal(const Dataset& dataset,
                                             const CellDiagram& global,
                                             const DiagramOptions& options) {
-  SubcellDiagram diagram(dataset, options.intern_result_sets);
+  SubcellDiagram diagram = [&] {
+    PhaseScope phase("grid");
+    return SubcellDiagram(dataset, options.intern_result_sets);
+  }();
   const SubcellGrid& grid = diagram.grid();
 
-  const std::vector<uint32_t> col_of =
-      SlabToCellIndex(grid.x_axis(), DoubledDistinct(dataset, /*use_x=*/true));
-  const std::vector<uint32_t> row_of =
-      SlabToCellIndex(grid.y_axis(), DoubledDistinct(dataset, /*use_x=*/false));
+  {
+    PhaseScope phase("scan");
+    const std::vector<uint32_t> col_of = SlabToCellIndex(
+        grid.x_axis(), DoubledDistinct(dataset, /*use_x=*/true));
+    const std::vector<uint32_t> row_of = SlabToCellIndex(
+        grid.y_axis(), DoubledDistinct(dataset, /*use_x=*/false));
 
-  std::vector<MappedCandidate> scratch;
-  std::vector<PointId> sky;
-  for (uint32_t sy = 0; sy < grid.num_rows(); ++sy) {
-    const int64_t repy4 = grid.y_axis().Representative4(sy);
-    for (uint32_t sx = 0; sx < grid.num_columns(); ++sx) {
-      const int64_t repx4 = grid.x_axis().Representative4(sx);
-      DynamicSkylineOfSubsetAt4(dataset,
-                                global.CellSkyline(col_of[sx], row_of[sy]),
-                                repx4, repy4, &scratch, &sky);
-      diagram.set_subcell(sx, sy, diagram.pool().InternCopy(sky));
+    std::vector<MappedCandidate> scratch;
+    std::vector<PointId> sky;
+    for (uint32_t sy = 0; sy < grid.num_rows(); ++sy) {
+      SKYDIA_TRACE_SPAN("scan.row");
+      const int64_t repy4 = grid.y_axis().Representative4(sy);
+      for (uint32_t sx = 0; sx < grid.num_columns(); ++sx) {
+        const int64_t repx4 = grid.x_axis().Representative4(sx);
+        DynamicSkylineOfSubsetAt4(dataset,
+                                  global.CellSkyline(col_of[sx], row_of[sy]),
+                                  repx4, repy4, &scratch, &sky);
+        diagram.set_subcell(sx, sy, diagram.pool().InternCopy(sky));
+      }
     }
   }
-  diagram.pool().Freeze();
+  {
+    PhaseScope phase("freeze");
+    diagram.pool().Freeze();
+  }
   return diagram;
 }
 

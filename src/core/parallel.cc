@@ -6,6 +6,8 @@
 
 #include "src/common/logging.h"
 #include "src/common/thread_pool.h"
+#include "src/common/trace.h"
+#include "src/core/build_report.h"
 #include "src/core/sweep_kernel.h"
 #include "src/core/validate.h"
 #include "src/skyline/dsg.h"
@@ -50,9 +52,15 @@ void DebugValidateParallel(const Dataset& dataset, const Diagram& diagram,
 CellDiagram BuildQuadrantDsgParallel(const Dataset& dataset, int num_threads,
                                      const DiagramOptions& options) {
   SKYDIA_CHECK_GE(num_threads, 1);
-  CellDiagram diagram(dataset, options.intern_result_sets);
+  CellDiagram diagram = [&] {
+    PhaseScope phase("grid");
+    return CellDiagram(dataset, options.intern_result_sets);
+  }();
   const CellGrid& grid = diagram.grid();
-  const DirectedSkylineGraph dsg(dataset);
+  const DirectedSkylineGraph dsg = [&] {
+    PhaseScope phase("dsg");
+    return DirectedSkylineGraph(dataset);
+  }();
   const size_t n = dataset.size();
   const uint32_t rows = grid.num_rows();
   const uint32_t cols = grid.num_columns();
@@ -62,8 +70,10 @@ CellDiagram BuildQuadrantDsgParallel(const Dataset& dataset, int num_threads,
   std::vector<StripeResult> results(stripes);
 
   {
+    PhaseScope phase("stripes");
     ThreadPool pool(static_cast<size_t>(num_threads));
     pool.ParallelFor(stripes, [&](size_t stripe) {
+      SKYDIA_TRACE_SPAN("stripe.dsg");
       StripeResult& result = results[stripe];
       result.rows = StripeRows(rows, stripes, static_cast<uint32_t>(stripe));
       result.pool = std::make_unique<SkylineSetPool>();
@@ -75,12 +85,16 @@ CellDiagram BuildQuadrantDsgParallel(const Dataset& dataset, int num_threads,
       // recording, so the whole replay costs O(n + links).
       std::vector<PointId> removed_scratch;
       SweepState row_state = InitialSweepState(dsg, n);
-      for (uint32_t cy = 0; cy < result.rows.begin; ++cy) {
-        RemoveBatch(dsg, grid.PointsAtRow(cy), &row_state, &removed_scratch);
+      {
+        SKYDIA_TRACE_SPAN("stripe.replay");
+        for (uint32_t cy = 0; cy < result.rows.begin; ++cy) {
+          RemoveBatch(dsg, grid.PointsAtRow(cy), &row_state, &removed_scratch);
+        }
       }
 
       std::vector<PointId> scratch;
       for (uint32_t cy = result.rows.begin; cy < result.rows.end; ++cy) {
+        SKYDIA_TRACE_SPAN("sweep.row");
         SweepState work = row_state;
         for (uint32_t cx = 0; cx < cols; ++cx) {
           if (cx > 0) {
@@ -99,23 +113,33 @@ CellDiagram BuildQuadrantDsgParallel(const Dataset& dataset, int num_threads,
     });
   }
 
-  // Deterministic merge: stripes in order, remapping each private pool into
-  // the diagram's pool.
-  for (const StripeResult& result : results) {
-    const std::vector<SetId> remap = RemapPool(*result.pool, &diagram.pool());
-    for (uint32_t cy = result.rows.begin; cy < result.rows.end; ++cy) {
-      for (uint32_t cx = 0; cx < cols; ++cx) {
-        diagram.set_cell(
-            cx, cy,
-            remap[result.cells[static_cast<size_t>(cy - result.rows.begin) *
-                                   cols +
-                               cx]]);
+  {
+    PhaseScope phase("merge");
+    // Deterministic merge: stripes in order, remapping each private pool
+    // into the diagram's pool.
+    for (const StripeResult& result : results) {
+      const std::vector<SetId> remap =
+          RemapPool(*result.pool, &diagram.pool());
+      for (uint32_t cy = result.rows.begin; cy < result.rows.end; ++cy) {
+        for (uint32_t cx = 0; cx < cols; ++cx) {
+          diagram.set_cell(
+              cx, cy,
+              remap[result.cells[static_cast<size_t>(cy - result.rows.begin) *
+                                     cols +
+                                 cx]]);
+        }
       }
     }
   }
-  diagram.pool().Freeze();
+  {
+    PhaseScope phase("freeze");
+    diagram.pool().Freeze();
+  }
 #ifndef NDEBUG
-  DebugValidateParallel(dataset, diagram, options, CellSemantics::kQuadrant);
+  {
+    PhaseScope phase("validate");
+    DebugValidateParallel(dataset, diagram, options, CellSemantics::kQuadrant);
+  }
 #endif
   return diagram;
 }
@@ -124,7 +148,10 @@ SubcellDiagram BuildDynamicScanningParallel(const Dataset& dataset,
                                             int num_threads,
                                             const DiagramOptions& options) {
   SKYDIA_CHECK_GE(num_threads, 1);
-  SubcellDiagram diagram(dataset, options.intern_result_sets);
+  SubcellDiagram diagram = [&] {
+    PhaseScope phase("grid");
+    return SubcellDiagram(dataset, options.intern_result_sets);
+  }();
   const SubcellGrid& grid = diagram.grid();
   const uint32_t rows = grid.num_rows();
   const uint32_t cols = grid.num_columns();
@@ -134,8 +161,10 @@ SubcellDiagram BuildDynamicScanningParallel(const Dataset& dataset,
   std::vector<StripeResult> results(stripes);
 
   {
+    PhaseScope phase("stripes");
     ThreadPool pool(static_cast<size_t>(num_threads));
     pool.ParallelFor(stripes, [&](size_t stripe) {
+      SKYDIA_TRACE_SPAN("stripe.scan");
       StripeResult& result = results[stripe];
       result.rows = StripeRows(rows, stripes, static_cast<uint32_t>(stripe));
       result.pool = std::make_unique<SkylineSetPool>();
@@ -148,6 +177,7 @@ SubcellDiagram BuildDynamicScanningParallel(const Dataset& dataset,
       DynamicRowScanner scanner(dataset, grid);
       scanner.SeedRow(result.rows.begin);
       for (uint32_t sy = result.rows.begin; sy < result.rows.end; ++sy) {
+        SKYDIA_TRACE_SPAN("scan.row");
         if (sy > result.rows.begin) scanner.AdvanceRow(sy);
         scanner.ScanRow(
             sy, result.pool.get(),
@@ -158,22 +188,32 @@ SubcellDiagram BuildDynamicScanningParallel(const Dataset& dataset,
     });
   }
 
-  // Deterministic merge in stripe order (mirrors BuildQuadrantDsgParallel).
-  for (const StripeResult& result : results) {
-    const std::vector<SetId> remap = RemapPool(*result.pool, &diagram.pool());
-    for (uint32_t sy = result.rows.begin; sy < result.rows.end; ++sy) {
-      for (uint32_t sx = 0; sx < cols; ++sx) {
-        diagram.set_subcell(
-            sx, sy,
-            remap[result.cells[static_cast<size_t>(sy - result.rows.begin) *
-                                   cols +
-                               sx]]);
+  {
+    PhaseScope phase("merge");
+    // Deterministic merge in stripe order (mirrors BuildQuadrantDsgParallel).
+    for (const StripeResult& result : results) {
+      const std::vector<SetId> remap =
+          RemapPool(*result.pool, &diagram.pool());
+      for (uint32_t sy = result.rows.begin; sy < result.rows.end; ++sy) {
+        for (uint32_t sx = 0; sx < cols; ++sx) {
+          diagram.set_subcell(
+              sx, sy,
+              remap[result.cells[static_cast<size_t>(sy - result.rows.begin) *
+                                     cols +
+                                 sx]]);
+        }
       }
     }
   }
-  diagram.pool().Freeze();
+  {
+    PhaseScope phase("freeze");
+    diagram.pool().Freeze();
+  }
 #ifndef NDEBUG
-  DebugValidateParallel(dataset, diagram, options, CellSemantics::kAuto);
+  {
+    PhaseScope phase("validate");
+    DebugValidateParallel(dataset, diagram, options, CellSemantics::kAuto);
+  }
 #endif
   return diagram;
 }

@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "src/core/build_report.h"
 #include "src/core/sweep_kernel.h"
 #include "src/skyline/dsg.h"
 
@@ -19,29 +20,42 @@ void RecordCell(const SweepState& state, uint32_t cx, uint32_t cy,
 
 CellDiagram BuildQuadrantDsg(const Dataset& dataset,
                              const DiagramOptions& options) {
-  CellDiagram diagram(dataset, options.intern_result_sets);
+  CellDiagram diagram = [&] {
+    PhaseScope phase("grid");
+    return CellDiagram(dataset, options.intern_result_sets);
+  }();
   const CellGrid& grid = diagram.grid();
-  const DirectedSkylineGraph dsg(dataset);
+  const DirectedSkylineGraph dsg = [&] {
+    PhaseScope phase("dsg");
+    return DirectedSkylineGraph(dataset);
+  }();
 
-  // Row-start state: everything with yrank >= current row alive.
-  SweepState row_state = InitialSweepState(dsg, dataset.size());
+  {
+    PhaseScope phase("sweep");
+    // Row-start state: everything with yrank >= current row alive.
+    SweepState row_state = InitialSweepState(dsg, dataset.size());
 
-  std::vector<PointId> scratch;
-  std::vector<PointId> removed_scratch;
-  for (uint32_t cy = 0; cy < grid.num_rows(); ++cy) {
-    // Sweep this row on a working copy (the paper's tempDSG).
-    SweepState work = row_state;
-    RecordCell(work, 0, cy, &diagram, &scratch);
-    for (uint32_t cx = 1; cx < grid.num_columns(); ++cx) {
-      RemoveBatch(dsg, grid.PointsAtColumn(cx - 1), &work, &removed_scratch);
-      RecordCell(work, cx, cy, &diagram, &scratch);
-    }
-    // Advance the row-start state upwards.
-    if (cy + 1 < grid.num_rows()) {
-      RemoveBatch(dsg, grid.PointsAtRow(cy), &row_state, &removed_scratch);
+    std::vector<PointId> scratch;
+    std::vector<PointId> removed_scratch;
+    for (uint32_t cy = 0; cy < grid.num_rows(); ++cy) {
+      SKYDIA_TRACE_SPAN("sweep.row");
+      // Sweep this row on a working copy (the paper's tempDSG).
+      SweepState work = row_state;
+      RecordCell(work, 0, cy, &diagram, &scratch);
+      for (uint32_t cx = 1; cx < grid.num_columns(); ++cx) {
+        RemoveBatch(dsg, grid.PointsAtColumn(cx - 1), &work, &removed_scratch);
+        RecordCell(work, cx, cy, &diagram, &scratch);
+      }
+      // Advance the row-start state upwards.
+      if (cy + 1 < grid.num_rows()) {
+        RemoveBatch(dsg, grid.PointsAtRow(cy), &row_state, &removed_scratch);
+      }
     }
   }
-  diagram.pool().Freeze();
+  {
+    PhaseScope phase("freeze");
+    diagram.pool().Freeze();
+  }
   return diagram;
 }
 

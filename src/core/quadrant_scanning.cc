@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "src/common/logging.h"
+#include "src/core/build_report.h"
 
 namespace skydia {
 namespace internal {
@@ -49,7 +50,10 @@ void ScanningMergeIdentity(std::span<const PointId> a,
 
 CellDiagram BuildQuadrantScanning(const Dataset& dataset,
                                   const DiagramOptions& options) {
-  CellDiagram diagram(dataset, options.intern_result_sets);
+  CellDiagram diagram = [&] {
+    PhaseScope phase("grid");
+    return CellDiagram(dataset, options.intern_result_sets);
+  }();
   const CellGrid& grid = diagram.grid();
   const uint32_t cols = grid.num_columns();
   const uint32_t rows = grid.num_rows();
@@ -64,31 +68,38 @@ CellDiagram BuildQuadrantScanning(const Dataset& dataset,
     diagram.set_cell(cx, rows - 1, kEmptySetId);
   }
 
-  std::vector<PointId> scratch;
-  for (uint32_t cy = rows - 1; cy-- > 0;) {
-    // Rightmost column has no candidates either.
-    current[cols - 1] = kEmptySetId;
-    diagram.set_cell(cols - 1, cy, kEmptySetId);
-    for (uint32_t cx = cols - 1; cx-- > 0;) {
-      const std::vector<PointId>& corner = grid.PointsAtCorner(cx, cy);
-      SetId result;
-      if (!corner.empty()) {
-        // A corner point dominates every other candidate of this cell.
-        scratch = corner;  // already sorted ascending by construction order?
-        std::sort(scratch.begin(), scratch.end());
-        result = pool.InternCopy(scratch);
-      } else {
-        internal::ScanningMergeIdentity(pool.Get(current[cx + 1]),
-                                        pool.Get(above[cx]),
-                                        pool.Get(above[cx + 1]), &scratch);
-        result = pool.InternCopy(scratch);
+  {
+    PhaseScope phase("scan");
+    std::vector<PointId> scratch;
+    for (uint32_t cy = rows - 1; cy-- > 0;) {
+      SKYDIA_TRACE_SPAN("scan.row");
+      // Rightmost column has no candidates either.
+      current[cols - 1] = kEmptySetId;
+      diagram.set_cell(cols - 1, cy, kEmptySetId);
+      for (uint32_t cx = cols - 1; cx-- > 0;) {
+        const std::vector<PointId>& corner = grid.PointsAtCorner(cx, cy);
+        SetId result;
+        if (!corner.empty()) {
+          // A corner point dominates every other candidate of this cell.
+          scratch = corner;  // already sorted ascending by construction order?
+          std::sort(scratch.begin(), scratch.end());
+          result = pool.InternCopy(scratch);
+        } else {
+          internal::ScanningMergeIdentity(pool.Get(current[cx + 1]),
+                                          pool.Get(above[cx]),
+                                          pool.Get(above[cx + 1]), &scratch);
+          result = pool.InternCopy(scratch);
+        }
+        current[cx] = result;
+        diagram.set_cell(cx, cy, result);
       }
-      current[cx] = result;
-      diagram.set_cell(cx, cy, result);
+      std::swap(above, current);
     }
-    std::swap(above, current);
   }
-  diagram.pool().Freeze();
+  {
+    PhaseScope phase("freeze");
+    diagram.pool().Freeze();
+  }
   return diagram;
 }
 

@@ -5,6 +5,7 @@
 #include <chrono>
 #include <utility>
 
+#include "src/common/trace.h"
 #include "src/skyline/query.h"
 
 namespace skydia {
@@ -160,6 +161,7 @@ std::vector<PointId> QueryEngine::AnswerExact(const Point2D& q) const {
 
 void QueryEngine::AnswerShard(std::span<const Point2D> queries,
                               SetId* out) const {
+  SKYDIA_TRACE_SPAN("query.shard");
   const size_t memo_size = options_.memo_entries;
   std::vector<MemoEntry> memo(memo_size);
   uint64_t hits = 0;
@@ -189,6 +191,7 @@ void QueryEngine::AnswerShard(std::span<const Point2D> queries,
 
 void QueryEngine::AnswerBatch(std::span<const Point2D> queries,
                               std::vector<SetId>* out) const {
+  SKYDIA_TRACE_SPAN("query.batch");
   batches_.fetch_add(1, std::memory_order_relaxed);
   out->resize(queries.size());
   if (pool_ == nullptr || queries.size() < options_.parallel_batch_threshold) {
@@ -227,12 +230,16 @@ QueryEngineStats QueryEngine::Stats() const {
   stats.memo_hits = memo_hits_.load(std::memory_order_relaxed);
   stats.batches = batches_.load(std::memory_order_relaxed);
   stats.oracle_fallbacks = oracle_fallbacks_.load(std::memory_order_relaxed);
-  uint64_t counts[kLatencyBuckets];
   for (size_t b = 0; b < kLatencyBuckets; ++b) {
-    counts[b] = latency_buckets_[b].load(std::memory_order_relaxed);
-    stats.latency_samples += counts[b];
+    const uint64_t count = latency_buckets_[b].load(std::memory_order_relaxed);
+    stats.latency_bucket_counts[b] = count;
+    stats.latency_samples += count;
+    stats.approx_latency_sum_ns +=
+        static_cast<double>(count) * 1.5 *
+        static_cast<double>(uint64_t{1} << b);
   }
   if (stats.latency_samples == 0) return stats;
+  const auto& counts = stats.latency_bucket_counts;
   const auto percentile = [&](double fraction) {
     const auto target = static_cast<uint64_t>(
         fraction * static_cast<double>(stats.latency_samples - 1));
@@ -260,19 +267,28 @@ StatusOr<ServableDiagram> ServableDiagram::Load(
         "inferred from subcell blobs");
   }
   ServableDiagram servable;
-  auto as_cell = LoadCellDiagram(path);
+  SKYDIA_TRACE_SPAN("load");
+  auto as_cell = [&] {
+    SKYDIA_TRACE_SPAN("load.blob");
+    return LoadCellDiagram(path);
+  }();
   if (as_cell.ok()) {
     servable.cell_ =
         std::make_unique<LoadedCellDiagram>(std::move(as_cell).value());
+    SKYDIA_TRACE_SPAN("index.build");
     servable.engine_ = std::make_unique<QueryEngine>(
         servable.cell_->dataset, servable.cell_->diagram, cell_semantics,
         options);
     return servable;
   }
-  auto as_subcell = LoadSubcellDiagram(path);
+  auto as_subcell = [&] {
+    SKYDIA_TRACE_SPAN("load.blob");
+    return LoadSubcellDiagram(path);
+  }();
   if (as_subcell.ok()) {
     servable.subcell_ =
         std::make_unique<LoadedSubcellDiagram>(std::move(as_subcell).value());
+    SKYDIA_TRACE_SPAN("index.build");
     servable.engine_ = std::make_unique<QueryEngine>(
         servable.subcell_->dataset, servable.subcell_->diagram, options);
     return servable;

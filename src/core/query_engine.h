@@ -66,6 +66,9 @@ struct QueryEngineOptions {
 /// (every 32nd query of a shard), reported as the midpoint of a power-of-two
 /// nanosecond bucket; 0 when nothing was sampled yet.
 struct QueryEngineStats {
+  /// Log2 latency buckets: bucket b counts samples in [2^b, 2^(b+1)) ns.
+  static constexpr size_t kNumLatencyBuckets = 48;
+
   uint64_t queries_served = 0;
   uint64_t memo_hits = 0;
   uint64_t batches = 0;
@@ -73,6 +76,10 @@ struct QueryEngineStats {
   uint64_t latency_samples = 0;
   double p50_latency_ns = 0;
   double p99_latency_ns = 0;
+  /// Raw sampled bucket counts (the Prometheus histogram source) and their
+  /// approximate sum (each sample counted at its bucket midpoint).
+  std::array<uint64_t, kNumLatencyBuckets> latency_bucket_counts{};
+  double approx_latency_sum_ns = 0;
 };
 
 /// Per-query options for the general Answer/AnswerBatch entry points. The
@@ -145,7 +152,8 @@ class QueryEngine {
   QueryEngineStats Stats() const;
 
  private:
-  static constexpr size_t kLatencyBuckets = 48;
+  static constexpr size_t kLatencyBuckets =
+      QueryEngineStats::kNumLatencyBuckets;
   static constexpr size_t kLatencySampleStride = 32;
 
   /// Answers queries[i] -> out[i] for one contiguous shard, with private

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "src/common/version.h"
+
 namespace skydia::serve {
 
 namespace {
@@ -22,7 +24,47 @@ void Gauge(const char* name, const char* help, double value,
   out->append(name).append(" ").append(buf).push_back('\n');
 }
 
+/// Cumulative Prometheus histogram from the engine's log2 buckets: bucket b
+/// counts samples in [2^b, 2^(b+1)) ns, so its upper bound is le="2^(b+1)".
+/// Trailing empty buckets collapse into +Inf (they add no information and
+/// 2^48 ns upper bounds only bloat the scrape).
+void LatencyHistogram(const QueryEngineStats& engine, std::string* out) {
+  const char* name = "skydia_query_latency_ns";
+  out->append("# HELP ").append(name).append(
+      " Sampled engine query latency in nanoseconds.\n");
+  out->append("# TYPE ").append(name).append(" histogram\n");
+  size_t last = 0;
+  for (size_t b = 0; b < engine.latency_bucket_counts.size(); ++b) {
+    if (engine.latency_bucket_counts[b] > 0) last = b;
+  }
+  uint64_t cumulative = 0;
+  for (size_t b = 0; b <= last; ++b) {
+    cumulative += engine.latency_bucket_counts[b];
+    out->append(name).append("_bucket{le=\"");
+    out->append(std::to_string(uint64_t{1} << (b + 1)));
+    out->append("\"} ").append(std::to_string(cumulative)).push_back('\n');
+  }
+  out->append(name).append("_bucket{le=\"+Inf\"} ");
+  out->append(std::to_string(engine.latency_samples)).push_back('\n');
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", engine.approx_latency_sum_ns);
+  out->append(name).append("_sum ").append(buf).push_back('\n');
+  out->append(name).append("_count ");
+  out->append(std::to_string(engine.latency_samples)).push_back('\n');
+}
+
 }  // namespace
+
+bool GuardedDecrement(std::atomic<uint64_t>* gauge) {
+  uint64_t current = gauge->load(std::memory_order_relaxed);
+  while (current > 0) {
+    if (gauge->compare_exchange_weak(current, current - 1,
+                                     std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  return false;
+}
 
 std::string RenderPrometheusMetrics(const ServerMetrics& metrics,
                                     const ServingSnapshot* snapshot,
@@ -90,6 +132,21 @@ std::string RenderPrometheusMetrics(const ServerMetrics& metrics,
   Gauge("skydia_query_latency_p99_ns",
         "p99 engine latency (sampled, log2 buckets).", engine.p99_latency_ns,
         &out);
+  LatencyHistogram(engine, &out);
+
+  // Info-pattern gauge: constant 1, the payload lives in the labels.
+  out.append(
+      "# HELP skydia_build_info Version and dataset of the serving "
+      "snapshot.\n# TYPE skydia_build_info gauge\n");
+  out.append("skydia_build_info{version=\"").append(kVersion);
+  out.append("\",commit=\"").append(BuildCommit());
+  out.append("\",generation=\"")
+      .append(std::to_string(snapshot->generation));
+  out.append("\",points=\"")
+      .append(std::to_string(snapshot->diagram->dataset().size()));
+  out.append("\",cells=\"")
+      .append(std::to_string(snapshot->diagram->engine().index().num_cells()));
+  out.append("\"} 1\n");
 
   const ResultCacheStats cache = snapshot->cache->Stats();
   Counter("skydia_cache_hits_total", "Result cache hits.", cache.hits, &out);

@@ -33,10 +33,16 @@ struct ServerMetrics {
   std::atomic<uint64_t> reload_failures{0};
 };
 
+/// Decrements `gauge` unless it is already zero (CAS loop), so a double
+/// close can never wrap the open-connections gauge to 2^64-1. Returns false
+/// when the decrement was skipped.
+bool GuardedDecrement(std::atomic<uint64_t>* gauge);
+
 /// Renders the Prometheus text exposition for one scrape: server counters,
-/// the snapshot's engine stats (qps, p50/p99 latency) and cache hit ratio,
-/// and the current generation. `snapshot` may be null (before the first
-/// install). `uptime_seconds` feeds the qps gauge.
+/// the snapshot's engine stats (qps, the sampled latency histogram with
+/// p50/p99 gauges) and cache hit ratio, the current generation, and the
+/// `skydia_build_info` labeled gauge. `snapshot` may be null (before the
+/// first install). `uptime_seconds` feeds the qps gauge.
 std::string RenderPrometheusMetrics(const ServerMetrics& metrics,
                                     const ServingSnapshot* snapshot,
                                     double uptime_seconds);

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "src/common/logging.h"
+#include "src/common/trace.h"
 #include "src/serve/protocol.h"
 
 namespace skydia::serve {
@@ -231,7 +232,8 @@ void SkylineServer::ReapConnections(bool all) {
     ::shutdown(conn->fd, SHUT_RDWR);
     if (conn->thread.joinable()) conn->thread.join();
     ::close(conn->fd);
-    metrics_.connections_open.fetch_sub(1, std::memory_order_relaxed);
+    // Guarded: a double-reaped connection must never wrap the gauge.
+    GuardedDecrement(&metrics_.connections_open);
   }
 }
 
@@ -351,6 +353,8 @@ void SkylineServer::ServeHttp(std::string_view request_target,
 
 void SkylineServer::ServeBatch(std::span<const std::string_view> lines,
                                std::string* out) {
+  SKYDIA_TRACE_SPAN("serve.batch");
+  const uint64_t batch_start_ns = trace::NowNanos();
   // One snapshot pin for the whole pipelined batch: every reply in a batch
   // carries the same generation even across a concurrent reload.
   const auto snapshot = registry_.Current();
@@ -366,26 +370,30 @@ void SkylineServer::ServeBatch(std::span<const std::string_view> lines,
   // plain diagram queries (the dominant traffic).
   std::vector<Point2D> fast_queries;
   std::vector<size_t> fast_index;
-  for (size_t i = 0; i < lines.size(); ++i) {
-    metrics_.requests_total.fetch_add(1, std::memory_order_relaxed);
-    Pending p;
-    auto parsed = ParseRequest(lines[i]);
-    if (!parsed.ok()) {
-      p.parse_error = parsed.status().message();
-      metrics_.malformed_requests.fetch_add(1, std::memory_order_relaxed);
-    } else {
-      p.request = *std::move(parsed);
-      if (p.request.kind == RequestKind::kQuery && !p.request.exact &&
-          !p.request.semantics.has_value()) {
-        fast_queries.push_back(p.request.q);
-        fast_index.push_back(i);
+  {
+    SKYDIA_TRACE_SPAN("serve.parse");
+    for (size_t i = 0; i < lines.size(); ++i) {
+      metrics_.requests_total.fetch_add(1, std::memory_order_relaxed);
+      Pending p;
+      auto parsed = ParseRequest(lines[i]);
+      if (!parsed.ok()) {
+        p.parse_error = parsed.status().message();
+        metrics_.malformed_requests.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        p.request = *std::move(parsed);
+        if (p.request.kind == RequestKind::kQuery && !p.request.exact &&
+            !p.request.semantics.has_value()) {
+          fast_queries.push_back(p.request.q);
+          fast_index.push_back(i);
+        }
       }
+      pending.push_back(std::move(p));
     }
-    pending.push_back(std::move(p));
   }
 
   std::vector<SetId> fast_sets;
   if (!fast_queries.empty() && snapshot != nullptr) {
+    SKYDIA_TRACE_SPAN("serve.answer");
     snapshot->diagram->engine().AnswerBatch(fast_queries, &fast_sets);
   }
   std::vector<SetId> set_for_line(lines.size(), 0);
@@ -396,6 +404,10 @@ void SkylineServer::ServeBatch(std::span<const std::string_view> lines,
   }
 
   // Pass 2: render replies in request order.
+  SKYDIA_TRACE_SPAN("serve.render");
+  const int64_t slow_ns = options_.slow_query_ms > 0
+                              ? int64_t{options_.slow_query_ms} * 1'000'000
+                              : -1;
   const uint64_t generation = snapshot != nullptr ? snapshot->generation : 0;
   std::string cached;
   for (size_t i = 0; i < lines.size(); ++i) {
@@ -453,7 +465,17 @@ void SkylineServer::ServeBatch(std::span<const std::string_view> lines,
         QueryOptions query_options;
         query_options.exact = req.exact;
         query_options.semantics = req.semantics;
+        const uint64_t query_start_ns = trace::NowNanos();
         auto answer = engine.Answer(req.q, query_options);
+        const int64_t query_ns =
+            static_cast<int64_t>(trace::NowNanos() - query_start_ns);
+        if (slow_ns >= 0 && query_ns >= slow_ns) {
+          SKYDIA_LOG(Warning) << "slow_query ms="
+                              << static_cast<double>(query_ns) / 1e6
+                              << " x=" << req.q.x << " y=" << req.q.y
+                              << " exact=" << (req.exact ? 1 : 0)
+                              << " generation=" << generation;
+        }
         if (!answer.ok()) {
           AppendErrorReply(req.id, answer.status().message(), out);
           metrics_.error_replies.fetch_add(1, std::memory_order_relaxed);
@@ -467,6 +489,15 @@ void SkylineServer::ServeBatch(std::span<const std::string_view> lines,
         break;
       }
     }
+  }
+
+  const int64_t batch_ns =
+      static_cast<int64_t>(trace::NowNanos() - batch_start_ns);
+  if (slow_ns >= 0 && batch_ns >= slow_ns) {
+    SKYDIA_LOG(Warning) << "slow_batch ms="
+                        << static_cast<double>(batch_ns) / 1e6
+                        << " lines=" << lines.size()
+                        << " generation=" << generation;
   }
 }
 

@@ -60,6 +60,10 @@ struct ServerOptions {
   int idle_timeout_ms = 60'000;
   /// Accepted connections above this cap are closed immediately.
   int max_connections = 256;
+  /// Queries (and pipelined batches) slower than this are logged at Warning
+  /// with their position and timing — the structured slow-query log.
+  /// <= 0 disables it.
+  int slow_query_ms = 250;
 };
 
 /// The serve daemon. Start() binds, loads the initial snapshot and returns;

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "src/common/hash.h"
+#include "src/common/trace.h"
 
 namespace skydia {
 
@@ -116,6 +117,7 @@ void SkylineSetPool::AdoptArena(std::vector<PointId> buffer,
 }
 
 void SkylineSetPool::Freeze() {
+  SKYDIA_TRACE_SPAN("pool.freeze");
   arena_.shrink_to_fit();
   records_.shrink_to_fit();
   chain_.shrink_to_fit();

@@ -88,6 +88,51 @@ if ! "$SKYDIA" query quadrant.skd queries.csv --bench --repeat 1 \
 fi
 grep -q "ns/query" bench.out || fail "bench output is missing ns/query lines"
 
+step "--trace writes loadable Chrome-trace JSON (build and query)"
+expect_ok "build --report --trace" "$SKYDIA" build --in points.csv \
+  --type quadrant --threads 2 --report --trace build_trace.json \
+  --out traced.skd
+if ! "$SKYDIA" build --in points.csv --type quadrant --report \
+    --out traced.skd | grep -q "build report:"; then
+  fail "build --report output is missing the build report"
+fi
+# --batch-threshold 1 forces the batch through the sharded parallel path so
+# the trace carries per-shard spans on the pool-worker tracks.
+expect_ok "query --trace" "$SKYDIA" query traced.skd queries.csv \
+  --threads 2 --batch-threshold 1 --trace query_trace.json
+if command -v python3 >/dev/null 2>&1; then
+  # The golden contract: both files parse as Chrome trace-event JSON and
+  # contain the span families the issue promises — build phases and stripe
+  # tracks from `build`, batch/shard spans from `query`.
+  python3 - build_trace.json query_trace.json <<'PYEOF' || \
+    fail "trace JSON golden check"
+import json, sys
+
+def names(path, key):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    events = doc["traceEvents"]
+    assert isinstance(events, list) and events, f"{path}: no traceEvents"
+    for e in events:
+        assert e["ph"] in ("X", "C", "M"), e
+        if e["ph"] == "X":
+            assert e["dur"] >= 0 and e["ts"] >= 0, e
+    return {e[key] for e in events if key in e}
+
+build_names = names(sys.argv[1], "name")
+for want in ("build", "grid", "stripes", "merge", "freeze", "stripe.dsg"):
+    assert want in build_names, f"build trace missing span {want!r}"
+assert "thread_name" in build_names, "build trace has no named tracks"
+
+query_names = names(sys.argv[2], "name")
+for want in ("load", "index.build", "query.batch", "query.shard"):
+    assert want in query_names, f"query trace missing span {want!r}"
+print("trace JSON golden check passed")
+PYEOF
+else
+  echo "python3 unavailable; skipping trace JSON parse" >&2
+fi
+
 step "bad invocations exit non-zero"
 expect_err "query without arguments" "$SKYDIA" query
 expect_err "query missing blob" "$SKYDIA" query missing.skd queries.csv

@@ -1,5 +1,7 @@
 #include "src/common/logging.h"
 
+#include <string>
+
 #include <gtest/gtest.h>
 
 namespace skydia {
@@ -37,6 +39,56 @@ TEST(LoggingTest, ChecksPassOnTrueConditions) {
 TEST(LoggingDeathTest, CheckFailureAborts) {
   EXPECT_DEATH(SKYDIA_CHECK(1 == 2), "check failed");
   EXPECT_DEATH(SKYDIA_CHECK_EQ(3, 4), "check failed");
+}
+
+TEST(LoggingTest, LevelFromStringAcceptsKnownSpellings) {
+  const struct {
+    const char* name;
+    LogLevel want;
+  } kCases[] = {
+      {"debug", LogLevel::kDebug},     {"DEBUG", LogLevel::kDebug},
+      {"info", LogLevel::kInfo},       {"INFO", LogLevel::kInfo},
+      {"warning", LogLevel::kWarning}, {"WARNING", LogLevel::kWarning},
+      {"warn", LogLevel::kWarning},    {"WARN", LogLevel::kWarning},
+      {"error", LogLevel::kError},     {"ERROR", LogLevel::kError},
+  };
+  for (const auto& c : kCases) {
+    LogLevel level = LogLevel::kInfo;
+    EXPECT_TRUE(internal::LevelFromString(c.name, &level)) << c.name;
+    EXPECT_EQ(level, c.want) << c.name;
+  }
+}
+
+TEST(LoggingTest, LevelFromStringRejectsUnknownAndLeavesOutputUntouched) {
+  for (const char* bad : {"", "verbose", "Info", "2", "warning "}) {
+    LogLevel level = LogLevel::kError;
+    EXPECT_FALSE(internal::LevelFromString(bad, &level)) << bad;
+    EXPECT_EQ(level, LogLevel::kError) << bad;
+  }
+}
+
+TEST(LoggingTest, LogPrefixCarriesTimestampThreadIdLevelAndLocation) {
+  const std::string prefix =
+      internal::LogPrefix(LogLevel::kWarning, "file.cc", 42);
+  // Shape: "[<seconds> T<id> WARN  file.cc:42] " — monotonic seconds first,
+  // then the trace-correlatable thread id.
+  EXPECT_EQ(prefix.front(), '[');
+  EXPECT_NE(prefix.find(" T"), std::string::npos);
+  EXPECT_NE(prefix.find("WARN"), std::string::npos);
+  EXPECT_NE(prefix.find("file.cc:42] "), std::string::npos);
+  EXPECT_NE(prefix.find('.'), std::string::npos);  // fractional seconds
+}
+
+TEST(LoggingTest, LogPrefixTimestampsAreMonotonic) {
+  const auto seconds_of = [](const std::string& prefix) {
+    return std::stod(prefix.substr(1, prefix.find(" T") - 1));
+  };
+  const double first =
+      seconds_of(internal::LogPrefix(LogLevel::kInfo, "a.cc", 1));
+  const double second =
+      seconds_of(internal::LogPrefix(LogLevel::kInfo, "a.cc", 2));
+  EXPECT_GE(second, first);
+  EXPECT_GE(first, 0.0);
 }
 
 }  // namespace

@@ -1,0 +1,275 @@
+// Unit tests for the tracing subsystem (src/common/trace.h): span nesting,
+// ring-buffer wraparound, JSON escaping, the Chrome-trace export, and the
+// text summary. Trace state is process-global, so every test that records
+// runs its emission on a dedicated named thread and locates its own track by
+// that name — tracks left behind by other suites in the same binary are
+// ignored, not asserted away.
+#include "src/common/trace.h"
+
+#include <algorithm>
+#include <functional>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace skydia::trace {
+namespace {
+
+/// RAII guard: enables tracing with a chosen ring capacity, restores the
+/// defaults and clears all recorded state on exit so suites do not leak
+/// events into each other.
+class ScopedTracing {
+ public:
+  explicit ScopedTracing(size_t ring_events = 16384) {
+    SetEnabled(false);
+    Reset();
+    SetRingCapacity(ring_events);
+    SetEnabled(true);
+  }
+  ~ScopedTracing() {
+    SetEnabled(false);
+    Reset();
+    SetRingCapacity(16384);
+  }
+};
+
+/// Runs `body` on a fresh thread named `track_name` (fresh thread = fresh
+/// ring buffer at the currently configured capacity), then returns that
+/// thread's drained track, or nullopt when the thread never emitted — a
+/// thread that records nothing allocates no ring buffer at all.
+std::optional<ThreadTrack> MaybeEmitOnNamedThread(
+    const std::string& track_name, const std::function<void()>& body) {
+  std::thread worker([&] {
+    SetThreadName(track_name);
+    body();
+  });
+  worker.join();
+  const TraceSnapshot snapshot = Collect();
+  for (const ThreadTrack& track : snapshot.threads) {
+    if (track.name == track_name) return track;
+  }
+  return std::nullopt;
+}
+
+/// MaybeEmitOnNamedThread for tests that expect the track to exist.
+ThreadTrack EmitOnNamedThread(const std::string& track_name,
+                              const std::function<void()>& body) {
+  std::optional<ThreadTrack> track = MaybeEmitOnNamedThread(track_name, body);
+  if (!track.has_value()) {
+    ADD_FAILURE() << "no track named " << track_name;
+    return ThreadTrack{};
+  }
+  return *std::move(track);
+}
+
+TEST(TraceTest, DisabledSpansRecordNothing) {
+  SetEnabled(false);
+  Reset();
+  // A fully disabled thread allocates no ring buffer, so its track does not
+  // even exist in the snapshot.
+  const std::optional<ThreadTrack> track =
+      MaybeEmitOnNamedThread("disabled-thread", [] {
+        SKYDIA_TRACE_SPAN("should.not.appear");
+        Counter("also.not", 1);
+      });
+  EXPECT_FALSE(track.has_value());
+}
+
+TEST(TraceTest, SpanRecordsNameAndDuration) {
+  ScopedTracing tracing;
+  const ThreadTrack track = EmitOnNamedThread("span-thread", [] {
+    SKYDIA_TRACE_SPAN("unit.work");
+  });
+  ASSERT_EQ(track.events.size(), 1u);
+  const TraceEvent& event = track.events[0];
+  EXPECT_STREQ(event.name, "unit.work");
+  EXPECT_EQ(event.kind, TraceEvent::Kind::kSpan);
+  EXPECT_EQ(event.depth, 0u);
+}
+
+TEST(TraceTest, NestedSpansTrackDepth) {
+  ScopedTracing tracing;
+  const ThreadTrack track = EmitOnNamedThread("nest-thread", [] {
+    EXPECT_EQ(internal::SpanDepth(), 0);
+    SKYDIA_TRACE_SPAN("outer");
+    EXPECT_EQ(internal::SpanDepth(), 1);
+    {
+      SKYDIA_TRACE_SPAN("middle");
+      EXPECT_EQ(internal::SpanDepth(), 2);
+      {
+        SKYDIA_TRACE_SPAN("inner");
+        EXPECT_EQ(internal::SpanDepth(), 3);
+      }
+      EXPECT_EQ(internal::SpanDepth(), 2);
+    }
+    EXPECT_EQ(internal::SpanDepth(), 1);
+  });
+  // Events close innermost-first; depth is the number of open ancestors at
+  // the moment the span closed.
+  ASSERT_EQ(track.events.size(), 3u);
+  for (const TraceEvent& event : track.events) {
+    const std::string name = event.name;
+    const uint32_t want = name == "outer" ? 0u : name == "middle" ? 1u : 2u;
+    EXPECT_EQ(event.depth, want) << name;
+  }
+  // The outer span starts first and fully contains the inner ones.
+  EXPECT_STREQ(track.events[0].name, "outer");
+  EXPECT_GE(track.events[0].duration_ns, track.events[1].duration_ns);
+}
+
+TEST(TraceTest, RingWraparoundKeepsNewestAndCountsDropped) {
+  constexpr size_t kCapacity = 8;  // already a power of two
+  constexpr size_t kEmitted = 20;
+  ScopedTracing tracing(kCapacity);
+  const ThreadTrack track = EmitOnNamedThread("wrap-thread", [] {
+    for (size_t i = 0; i < kEmitted; ++i) {
+      Counter("wrap.counter", i);
+    }
+  });
+  EXPECT_EQ(track.dropped, kEmitted - kCapacity);
+  ASSERT_EQ(track.events.size(), kCapacity);
+  // Newest-wins: the surviving values are the last kCapacity emissions.
+  std::vector<uint64_t> values;
+  for (const TraceEvent& event : track.events) {
+    EXPECT_EQ(event.kind, TraceEvent::Kind::kCounter);
+    values.push_back(event.value);
+  }
+  std::sort(values.begin(), values.end());
+  for (size_t i = 0; i < kCapacity; ++i) {
+    EXPECT_EQ(values[i], kEmitted - kCapacity + i);
+  }
+}
+
+TEST(TraceTest, TinyCapacityIsRoundedUpToMinimum) {
+  ScopedTracing tracing(/*ring_events=*/1);  // clamped to 8
+  const ThreadTrack track = EmitOnNamedThread("tiny-thread", [] {
+    for (int i = 0; i < 8; ++i) Counter("tiny", 1);
+  });
+  EXPECT_EQ(track.events.size(), 8u);
+  EXPECT_EQ(track.dropped, 0u);
+}
+
+TEST(TraceTest, CounterRecordsValue) {
+  ScopedTracing tracing;
+  const ThreadTrack track = EmitOnNamedThread("counter-thread", [] {
+    Counter("cells", 4096);
+  });
+  ASSERT_EQ(track.events.size(), 1u);
+  EXPECT_EQ(track.events[0].kind, TraceEvent::Kind::kCounter);
+  EXPECT_EQ(track.events[0].value, 4096u);
+}
+
+TEST(TraceTest, ResetClearsRecordedEvents) {
+  ScopedTracing tracing;
+  EmitOnNamedThread("reset-thread", [] { SKYDIA_TRACE_SPAN("pre.reset"); });
+  SetEnabled(false);
+  Reset();
+  SetEnabled(true);
+  const TraceSnapshot snapshot = Collect();
+  for (const ThreadTrack& track : snapshot.threads) {
+    EXPECT_TRUE(track.events.empty()) << "track T" << track.tid;
+  }
+}
+
+TEST(TraceTest, JsonEscaping) {
+  const auto escaped = [](const char* in) {
+    std::string out;
+    internal::AppendJsonEscaped(in, &out);
+    return out;
+  };
+  EXPECT_EQ(escaped("plain"), "plain");
+  EXPECT_EQ(escaped("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(escaped("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(escaped("line\nbreak"), "line\\nbreak");
+  EXPECT_EQ(escaped("cr\rtab\t"), "cr\\rtab\\t");
+  EXPECT_EQ(escaped(std::string(1, '\x01').c_str()), "\\u0001");
+  EXPECT_EQ(escaped(std::string(1, '\x1f').c_str()), "\\u001f");
+  // 0x20 and above pass through, including UTF-8 continuation bytes.
+  EXPECT_EQ(escaped("caf\xc3\xa9"), "caf\xc3\xa9");
+}
+
+TEST(TraceTest, ChromeTraceJsonContainsSpansCountersAndThreadNames) {
+  ScopedTracing tracing;
+  const ThreadTrack track = EmitOnNamedThread("json \"quoted\" thread", [] {
+    SKYDIA_TRACE_SPAN("json.span");
+    Counter("json.counter", 7);
+  });
+  TraceSnapshot snapshot;
+  snapshot.threads.push_back(track);
+  snapshot.total_events = track.events.size();
+  const std::string json = ToChromeTraceJson(snapshot);
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"json.span\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"value\":7}"), std::string::npos);
+  // The thread-name metadata event, with the name JSON-escaped.
+  EXPECT_NE(json.find("\"name\":\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("json \\\"quoted\\\" thread"), std::string::npos);
+  // Balanced object: starts with '{', ends with the closing of traceEvents.
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.substr(json.size() - 2), "]}");
+}
+
+TEST(TraceTest, TextSummaryAggregatesPerSpanName) {
+  ScopedTracing tracing;
+  const ThreadTrack track = EmitOnNamedThread("summary-thread", [] {
+    for (int i = 0; i < 3; ++i) {
+      SKYDIA_TRACE_SPAN("summary.repeat");
+    }
+    Counter("summary.count", 11);
+  });
+  TraceSnapshot snapshot;
+  snapshot.threads.push_back(track);
+  snapshot.total_events = track.events.size();
+  const std::string text = RenderTextSummary(snapshot);
+  EXPECT_NE(text.find("summary.repeat"), std::string::npos);
+  EXPECT_NE(text.find("count=3"), std::string::npos);
+  EXPECT_NE(text.find("summary.count"), std::string::npos);
+  EXPECT_NE(text.find("last=11"), std::string::npos);
+  EXPECT_NE(text.find("summary-thread"), std::string::npos);
+}
+
+TEST(TraceTest, SpanDisabledMidFlightStillClosesCleanly) {
+  // A span constructed while enabled must not crash (and must still record)
+  // if tracing is switched off before it closes; one constructed while
+  // disabled stays inert even if tracing is enabled before it closes.
+  SetEnabled(false);
+  Reset();
+  SetEnabled(true);
+  EmitOnNamedThread("midflight-on", [] {
+    Span span("midflight.enabled");
+    SetEnabled(false);
+  });
+  SetEnabled(true);
+  const std::optional<ThreadTrack> off_track =
+      MaybeEmitOnNamedThread("midflight-off", [] {
+        SetEnabled(false);
+        Span span("midflight.disabled");
+        SetEnabled(true);
+      });
+  EXPECT_FALSE(off_track.has_value());
+  SetEnabled(false);
+  Reset();
+}
+
+TEST(TraceTest, WriteChromeTraceRejectsUnwritablePath) {
+  const TraceSnapshot empty;
+  EXPECT_FALSE(WriteChromeTrace(empty, "/nonexistent-dir/trace.json").ok());
+}
+
+TEST(TraceTest, CurrentThreadIdIsStablePerThread) {
+  const uint32_t mine = CurrentThreadId();
+  EXPECT_EQ(CurrentThreadId(), mine);
+  uint32_t other = 0;
+  std::thread t([&] { other = CurrentThreadId(); });
+  t.join();
+  EXPECT_NE(other, mine);
+  EXPECT_NE(other, 0u);
+}
+
+}  // namespace
+}  // namespace skydia::trace

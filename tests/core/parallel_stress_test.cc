@@ -9,11 +9,14 @@
 #include <atomic>
 #include <cstddef>
 #include <numeric>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "src/common/thread_pool.h"
+#include "src/common/trace.h"
 #include "src/core/diagram.h"
 #include "tests/testing/util.h"
 
@@ -125,6 +128,85 @@ TEST(ParallelBuilderStressTest, DynamicMatchesSequentialUnderRepetition) {
           << "round " << round << ", " << threads << " threads";
     }
   }
+}
+
+TEST(TraceStressTest, EightThreadsEmitSpansDuringParallelBuildWhileDraining) {
+  // The trace seqlock under maximum contention: 8 pool workers emit stripe
+  // spans from a real parallel build, 8 extra threads hammer tiny rings into
+  // wraparound, and a collector thread drains concurrently the whole time.
+  // Under TSan any non-atomic slot access or missing acquire edge in
+  // Collect() is a hard failure; under a plain build the test still checks
+  // that drained events are never torn (names stay one of the emitted
+  // literals and timestamps are sane).
+  trace::SetEnabled(false);
+  trace::Reset();
+  trace::SetRingCapacity(256);  // small enough that emitters wrap mid-drain
+  trace::SetEnabled(true);
+
+  std::atomic<bool> stop{false};
+  std::thread collector([&] {
+    uint64_t drains = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      const trace::TraceSnapshot snapshot = trace::Collect();
+      for (const trace::ThreadTrack& track : snapshot.threads) {
+        for (const trace::TraceEvent& event : track.events) {
+          ASSERT_NE(event.name, nullptr);
+          const std::string name = event.name;
+          ASSERT_FALSE(name.empty());
+          ASSERT_LT(event.duration_ns, uint64_t{60} * 1'000'000'000)
+              << "torn span " << name;
+        }
+      }
+      ++drains;
+    }
+    EXPECT_GT(drains, 0u);
+  });
+
+  std::vector<std::thread> emitters;
+  emitters.reserve(8);
+  for (int t = 0; t < 8; ++t) {
+    emitters.emplace_back([t] {
+      trace::SetThreadName("stress-emitter-" + std::to_string(t));
+      for (int i = 0; i < 4000; ++i) {
+        SKYDIA_TRACE_SPAN("stress.outer");
+        {
+          SKYDIA_TRACE_SPAN("stress.inner");
+          trace::Counter("stress.progress", static_cast<uint64_t>(i));
+        }
+      }
+    });
+  }
+
+  const Dataset ds = RandomDataset(120, 256, 41);
+  for (int round = 0; round < 3; ++round) {
+    const SkylineDiagram parallel =
+        BuildDiagram(ds, SkylineQueryType::kQuadrant, BuildAlgorithm::kDsg,
+                     /*parallelism=*/8);
+    ASSERT_NE(parallel.cell_diagram(), nullptr);
+  }
+
+  for (std::thread& emitter : emitters) emitter.join();
+  stop.store(true, std::memory_order_release);
+  collector.join();
+
+  // The build's stripe spans and the emitters' spans both made it into the
+  // final drain (their threads are parked/joined, so this read is quiescent).
+  const trace::TraceSnapshot final_snapshot = trace::Collect();
+  bool saw_stripe = false;
+  bool saw_emitter = false;
+  for (const trace::ThreadTrack& track : final_snapshot.threads) {
+    for (const trace::TraceEvent& event : track.events) {
+      const std::string name = event.name;
+      saw_stripe |= name == "stripe.dsg" || name == "sweep.row";
+      saw_emitter |= name == "stress.outer";
+    }
+  }
+  EXPECT_TRUE(saw_stripe);
+  EXPECT_TRUE(saw_emitter);
+
+  trace::SetEnabled(false);
+  trace::Reset();
+  trace::SetRingCapacity(16384);
 }
 
 TEST(ParallelBuilderStressTest, InterleavedFamiliesShareNothing) {

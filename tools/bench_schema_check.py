@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""Schema gate for the machine-readable benchmark baselines.
+
+Every benchmark binary (bench/bench_common.h, SKYDIA_BENCH_MAIN) writes a
+`BENCH_<name>.json` baseline; the CI perf-smoke job uploads them as
+artifacts and runs this checker so a drifting writer fails the build
+instead of silently producing files downstream tooling cannot parse.
+
+Zero dependencies beyond the standard library, by design.
+
+Usage:
+  python3 tools/bench_schema_check.py BENCH_foo.json [BENCH_bar.json ...]
+  python3 tools/bench_schema_check.py --dir build/bench-json
+
+Exit code 0 when every file conforms; 1 with one diagnostic line per
+violation otherwise.
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+SCHEMA_VERSION = 1
+
+# Top-level required fields and their types.
+TOP_LEVEL = {
+    "schema_version": int,
+    "bench": str,
+    "version": str,
+    "commit": str,
+    "build_type": str,
+    "compiler": str,
+    "hardware_concurrency": int,
+    "timestamp_unix": int,
+    "benchmarks": list,
+}
+
+# Required per-row fields. `iterations` counts loop executions; the two time
+# fields are per-iteration nanoseconds.
+ROW_REQUIRED = {
+    "name": str,
+    "iterations": int,
+    "real_time_ns": (int, float),
+    "cpu_time_ns": (int, float),
+}
+
+# Optional per-row fields (present only when the run sets them).
+ROW_OPTIONAL = {
+    "aggregate": str,
+    "label": str,
+    "counters": dict,
+}
+
+
+def check_file(path):
+    """Returns a list of violation strings for one baseline file."""
+    errors = []
+
+    def err(message):
+        errors.append(f"{path}: {message}")
+
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return [f"{path}: unreadable or invalid JSON: {e}"]
+
+    if not isinstance(doc, dict):
+        return [f"{path}: top level must be a JSON object"]
+
+    for key, expected in TOP_LEVEL.items():
+        if key not in doc:
+            err(f"missing top-level field '{key}'")
+        elif not isinstance(doc[key], expected):
+            err(f"field '{key}' must be {expected.__name__}, "
+                f"got {type(doc[key]).__name__}")
+
+    if doc.get("schema_version") != SCHEMA_VERSION:
+        err(f"schema_version must be {SCHEMA_VERSION}, "
+            f"got {doc.get('schema_version')!r}")
+
+    expected_bench = os.path.basename(path)
+    if expected_bench.startswith("BENCH_") and expected_bench.endswith(".json"):
+        stem = expected_bench[len("BENCH_"):-len(".json")]
+        if isinstance(doc.get("bench"), str) and doc["bench"] != stem:
+            err(f"'bench' is {doc['bench']!r} but the filename says {stem!r}")
+
+    rows = doc.get("benchmarks")
+    if not isinstance(rows, list):
+        return errors
+    if not rows:
+        err("'benchmarks' is empty — the binary measured nothing")
+    for i, row in enumerate(rows):
+        where = f"benchmarks[{i}]"
+        if not isinstance(row, dict):
+            err(f"{where} must be an object")
+            continue
+        for key, expected in ROW_REQUIRED.items():
+            if key not in row:
+                err(f"{where} missing field '{key}'")
+            elif not isinstance(row[key], expected) or isinstance(
+                    row[key], bool):
+                err(f"{where}.{key} has the wrong type "
+                    f"({type(row[key]).__name__})")
+        for key, expected in ROW_OPTIONAL.items():
+            if key in row and not isinstance(row[key], expected):
+                err(f"{where}.{key} has the wrong type "
+                    f"({type(row[key]).__name__})")
+        for key in row:
+            if key not in ROW_REQUIRED and key not in ROW_OPTIONAL:
+                err(f"{where} has unknown field '{key}' "
+                    "(bump SCHEMA_VERSION when extending the schema)")
+        if isinstance(row.get("iterations"), int) and row["iterations"] <= 0:
+            err(f"{where}.iterations must be positive")
+        for key in ("real_time_ns", "cpu_time_ns"):
+            value = row.get(key)
+            if isinstance(value, (int, float)) and value < 0:
+                err(f"{where}.{key} must be non-negative")
+        counters = row.get("counters")
+        if isinstance(counters, dict):
+            for name, value in counters.items():
+                if not isinstance(value, (int, float)) or isinstance(
+                        value, bool):
+                    err(f"{where}.counters[{name!r}] must be numeric")
+    return errors
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("files", nargs="*", help="BENCH_*.json files")
+    parser.add_argument("--dir", help="check every BENCH_*.json in this dir")
+    args = parser.parse_args()
+
+    files = list(args.files)
+    if args.dir:
+        files.extend(sorted(glob.glob(os.path.join(args.dir, "BENCH_*.json"))))
+    if not files:
+        print("error: no baseline files given (and --dir matched none)",
+              file=sys.stderr)
+        return 1
+
+    all_errors = []
+    for path in files:
+        all_errors.extend(check_file(path))
+    for message in all_errors:
+        print(message, file=sys.stderr)
+    if not all_errors:
+        print(f"ok: {len(files)} baseline file(s) conform to schema "
+              f"v{SCHEMA_VERSION}")
+    return 1 if all_errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,11 +5,14 @@
 //   skydia generate --n 256 --domain 1024 --dist independent --seed 1
 //          --out points.csv
 //   skydia build   --in points.csv --x x --y y --type quadrant
-//          [--algo auto] [--threads 1] --out diagram.skd
+//          [--algo auto] [--threads 1] [--report] [--trace out.json]
+//          --out diagram.skd
 //   skydia query   diagram.skd points.csv [--threads T] [--exact]
 //          [--semantics quadrant|global] [--stats] [--bench [--repeat R]]
+//          [--trace out.json] [--batch-threshold N]
 //   skydia query   diagram.skd --qx 10 --qy 80 [--exact]
-//   skydia serve   diagram.skd [--port 7447] [--threads T]
+//   skydia serve   diagram.skd [--port 7447] [--threads T] [--trace [f.json]]
+//          [--slow-query-ms MS]
 //   skydia stats   --diagram diagram.skd
 //   skydia check   diagram.skd [--samples 64] [--seed 1]
 //   skydia render  --diagram diagram.skd --out diagram.svg [--labels]
@@ -27,6 +30,8 @@
 
 #include "src/common/csv.h"
 #include "src/common/timer.h"
+#include "src/common/trace.h"
+#include "src/core/build_report.h"
 #include "src/core/diagram.h"
 #include "src/core/merge.h"
 #include "src/core/query_engine.h"
@@ -91,6 +96,37 @@ int Fail(const std::string& message) {
   return 1;
 }
 
+// --- tracing -----------------------------------------------------------------
+
+/// Reads --trace and, when present, turns span collection on for the rest of
+/// the command. `--trace out.json` names the Chrome-trace output file; a bare
+/// `--trace` collects spans for the text summary only. Returns the output
+/// path ("" when none was given).
+std::string EnableTraceIfRequested(const Flags& flags) {
+  if (!flags.Has("trace")) return "";
+  trace::SetEnabled(true);
+  const std::string path = flags.GetString("trace");
+  return path == "true" ? "" : path;
+}
+
+/// Writes the collected spans as Chrome trace-event JSON (open it at
+/// ui.perfetto.dev or chrome://tracing) and prints the text summary to
+/// stderr. No-op when tracing was not requested.
+int FinishTrace(const std::string& trace_path) {
+  if (!trace::Enabled()) return 0;
+  const trace::TraceSnapshot snapshot = trace::Collect();
+  if (!trace_path.empty()) {
+    if (Status s = trace::WriteChromeTrace(snapshot, trace_path); !s.ok()) {
+      return Fail(s.ToString());
+    }
+  }
+  std::cerr << trace::RenderTextSummary(snapshot);
+  if (!trace_path.empty()) {
+    std::cerr << "wrote trace to " << trace_path << "\n";
+  }
+  return 0;
+}
+
 void PrintUsage() {
   std::cerr
       << "skydia — skyline diagrams for skyline queries\n\n"
@@ -100,10 +136,13 @@ void PrintUsage() {
          "           --out points.csv\n"
          "  build    --in points.csv [--x x --y y] --type quadrant|global|\n"
          "           dynamic [--algo auto|baseline|dsg|subset|scanning]\n"
-         "           [--threads T] --out diagram.skd\n"
+         "           [--threads T] [--report] [--trace out.json]\n"
+         "           --out diagram.skd  (--report prints per-phase timings;\n"
+         "           --trace writes Chrome trace-event JSON for Perfetto)\n"
          "  query    <diagram.skd> [<points.csv>] [--qx X --qy Y]\n"
          "           [--x x --y y] [--threads T] [--exact] [--stats]\n"
          "           [--semantics quadrant|global] [--bench [--repeat R]]\n"
+         "           [--trace out.json] [--batch-threshold N]\n"
          "  stats    --diagram diagram.skd\n"
          "  check    <diagram.skd> [--samples N] [--seed K]\n"
          "           [--allow-duplicate-sets]  (validate invariants;\n"
@@ -111,8 +150,10 @@ void PrintUsage() {
          "  serve    <diagram.skd> [--host H] [--port P] [--threads T]\n"
          "           [--semantics quadrant|global] [--cache-entries N]\n"
          "           [--idle-timeout-ms MS] [--max-connections N]\n"
+         "           [--slow-query-ms MS] [--trace [out.json]]\n"
          "           (line-JSON queries over TCP; SIGHUP hot-swaps the\n"
-         "           snapshot; GET /metrics on the same port)\n"
+         "           snapshot; GET /metrics on the same port; --trace\n"
+         "           flushes a span summary on exit, even under SIGTERM)\n"
          "  render   --diagram diagram.skd --out out.svg [--labels]\n"
          "  hotels   (print the paper's Figure 1 example)\n";
 }
@@ -174,6 +215,10 @@ int CmdBuild(const Flags& flags) {
   build.algorithm = *algo;
   build.parallelism = static_cast<int>(flags.GetInt("threads", 1));
 
+  const std::string trace_path = EnableTraceIfRequested(flags);
+  BuildReport report;
+  if (flags.GetBool("report") || trace::Enabled()) build.report = &report;
+
   auto diagram = SkylineDiagram::Build(*std::move(dataset), *type, build);
   if (!diagram.ok()) return Fail(diagram.status().ToString());
 
@@ -187,7 +232,8 @@ int CmdBuild(const Flags& flags) {
             << BuildAlgorithmName(build.algorithm) << ", "
             << build.parallelism << " thread(s)) over "
             << diagram->dataset().size() << " points -> " << out << "\n";
-  return 0;
+  if (build.report != nullptr) std::cout << report.ToString();
+  return FinishTrace(trace_path);
 }
 
 // Tries the cell format first, then the subcell format.
@@ -338,8 +384,13 @@ int CmdQuery(const Flags& flags,
                 " dynamic is inferred from subcell blobs");
   }
 
+  const std::string trace_path = EnableTraceIfRequested(flags);
+
   QueryEngineOptions options;
   options.num_threads = static_cast<int>(flags.GetInt("threads", 1));
+  options.parallel_batch_threshold = static_cast<size_t>(flags.GetInt(
+      "batch-threshold",
+      static_cast<int64_t>(options.parallel_batch_threshold)));
   auto servable = ServableDiagram::Load(path, options, *cell_semantics);
   if (!servable.ok()) return Fail(servable.status().ToString());
   const QueryEngine& engine = servable->engine();
@@ -387,7 +438,7 @@ int CmdQuery(const Flags& flags,
   }
 
   if (flags.GetBool("stats")) PrintEngineStats(engine);
-  return 0;
+  return FinishTrace(trace_path);
 }
 
 int CmdStats(const Flags& flags) {
@@ -518,6 +569,15 @@ int CmdServe(const Flags& flags, const std::string& positional_path) {
       static_cast<int>(flags.GetInt("idle-timeout-ms", 60'000));
   options.max_connections =
       static_cast<int>(flags.GetInt("max-connections", 256));
+  options.slow_query_ms =
+      static_cast<int>(flags.GetInt("slow-query-ms", options.slow_query_ms));
+
+  // --trace on the daemon: collect spans for the whole serving lifetime and
+  // guarantee the text summary reaches stderr even on a signal-driven exit —
+  // RegisterExitSummary installs an atexit flush, and the explicit
+  // FlushExitSummary below covers the normal sigwait shutdown path.
+  const std::string trace_path = EnableTraceIfRequested(flags);
+  if (trace::Enabled()) trace::RegisterExitSummary();
 
   // Handle the lifecycle signals synchronously on this thread via sigwait:
   // the server threads keep serving while we sleep in sigwait, and a SIGHUP
@@ -553,6 +613,17 @@ int CmdServe(const Flags& flags, const std::string& positional_path) {
   }
   std::cout << "shutting down" << std::endl;
   server.Stop();
+  if (trace::Enabled()) {
+    if (!trace_path.empty()) {
+      const trace::TraceSnapshot snapshot = trace::Collect();
+      if (Status s = trace::WriteChromeTrace(snapshot, trace_path); !s.ok()) {
+        std::cerr << "trace write failed: " << s << "\n";
+      } else {
+        std::cerr << "wrote trace to " << trace_path << "\n";
+      }
+    }
+    trace::FlushExitSummary();
+  }
   return 0;
 }
 
