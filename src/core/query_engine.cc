@@ -154,6 +154,12 @@ StatusOr<std::vector<std::vector<PointId>>> QueryEngine::AnswerBatch(
   return out;
 }
 
+StatusOr<RangeSkylineSummary> QueryEngine::AnswerRange(
+    const QueryRange& range) const {
+  queries_served_.fetch_add(1, std::memory_order_relaxed);
+  return RangeSkylineSummarize(index_, range);
+}
+
 std::vector<PointId> QueryEngine::AnswerExact(const Point2D& q) const {
   return std::move(Answer(q, QueryOptions{.exact = true, .semantics = {}}))
       .value();

@@ -42,6 +42,7 @@
 #include "src/common/thread_pool.h"
 #include "src/core/diagram.h"
 #include "src/core/point_location.h"
+#include "src/core/range_query.h"
 #include "src/core/serialize.h"
 #include "src/geometry/dataset.h"
 #include "src/geometry/point.h"
@@ -140,6 +141,12 @@ class QueryEngine {
   void AnswerBatch(std::span<const Point2D> queries,
                    std::vector<SetId>* out) const;
   std::vector<SetId> AnswerBatch(std::span<const Point2D> queries) const;
+
+  /// Range query: the union/intersection/distinct-count summary of the
+  /// skyline over every position in the closed rectangle (see
+  /// range_query.h). Positions carry the index's cell convention — exact
+  /// for quadrant diagrams, interior-exact for global/dynamic.
+  StatusOr<RangeSkylineSummary> AnswerRange(const QueryRange& range) const;
 
   /// Members of an interned result set.
   std::span<const PointId> Get(SetId id) const { return index_.Get(id); }

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/core/point_location.h"
 #include "src/core/skyline_cell.h"
 #include "src/geometry/point.h"
 
@@ -38,6 +39,27 @@ StatusOr<std::vector<PointId>> RangeSkylineIntersection(
 /// rectangle is a safe zone (lies within one skyline polyomino's result).
 StatusOr<uint64_t> RangeDistinctResults(const CellDiagram& diagram,
                                         const QueryRange& range);
+
+/// Union, intersection and distinct-result count of one range in a single
+/// cell sweep — the shape the serving layer returns for {"cmd":"range"}.
+struct RangeSkylineSummary {
+  /// In the skyline of some position in the range, sorted ascending.
+  std::vector<PointId> union_ids;
+  /// In the skyline of every position in the range (the safe results).
+  std::vector<PointId> intersection_ids;
+  /// Distinct skyline results across the range; 1 = the range is one safe
+  /// zone.
+  uint64_t distinct_results = 0;
+};
+
+/// Index-based variant serving any diagram kind through its
+/// PointLocationIndex (this is what QueryEngine::AnswerRange and the line
+/// protocol use). Positions carry the index's cell convention: exact
+/// everywhere for quadrant diagrams, interior-exact for global/dynamic (a
+/// range edge exactly on a grid line resolves to the line's lower/left
+/// cell). InvalidArgument when the range is inverted.
+StatusOr<RangeSkylineSummary> RangeSkylineSummarize(
+    const PointLocationIndex& index, const QueryRange& range);
 
 }  // namespace skydia
 

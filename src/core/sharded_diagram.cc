@@ -1,0 +1,207 @@
+#include "src/core/sharded_diagram.h"
+
+#include <algorithm>
+#include <bit>
+#include <utility>
+
+#include "src/common/logging.h"
+#include "src/common/trace.h"
+#include "src/core/sweep_kernel.h"
+
+namespace skydia {
+
+namespace {
+
+/// One direct-mapped memo slot (same scheme as QueryEngine::AnswerShard:
+/// the last query point that hashed here, private to one shard task).
+struct MemoEntry {
+  int64_t x = 0;
+  int64_t y = 0;
+  SetId set = kEmptySetId;
+  bool valid = false;
+};
+
+uint64_t MixQueryPoint(const Point2D& q) {
+  // splitmix64 finalizer over the two coordinates (see query_engine.cc).
+  uint64_t h = static_cast<uint64_t>(q.x) * 0x9E3779B97F4A7C15ull +
+               static_cast<uint64_t>(q.y) * 0xC2B2AE3D27D4EB4Full;
+  h ^= h >> 30;
+  h *= 0xBF58476D1CE4E5B9ull;
+  h ^= h >> 27;
+  return h;
+}
+
+}  // namespace
+
+StatusOr<ShardedServableDiagram> ShardedServableDiagram::Create(
+    std::shared_ptr<const ServableDiagram> base,
+    const ShardingOptions& options) {
+  if (base == nullptr) {
+    return Status::InvalidArgument("ShardedServableDiagram needs a diagram");
+  }
+  SKYDIA_TRACE_SPAN("shard.build");
+  ShardedServableDiagram sharded;
+  const CellDiagram* cell = base->cell_diagram();
+  const SubcellDiagram* subcell = base->subcell_diagram();
+  SKYDIA_CHECK(cell != nullptr || subcell != nullptr);
+
+  // Full y-line table (internal scaled coordinates) for the router; the
+  // stripe indexes only keep their interior lines, so the boundary values
+  // must come from the diagram itself.
+  std::vector<int64_t> y_lines;
+  uint32_t num_rows = 0;
+  if (cell != nullptr) {
+    sharded.scale_ = 1;
+    num_rows = cell->grid().num_rows();
+    y_lines.reserve(cell->grid().num_distinct_y());
+    for (uint32_t i = 0; i < cell->grid().num_distinct_y(); ++i) {
+      y_lines.push_back(cell->grid().y_value(i));
+    }
+  } else {
+    sharded.scale_ = 2;
+    num_rows = subcell->grid().num_rows();
+    const SubcellAxis& y = subcell->grid().y_axis();
+    y_lines.reserve(y.num_lines());
+    for (uint32_t i = 0; i < y.num_lines(); ++i) {
+      y_lines.push_back(y.line(i));
+    }
+  }
+
+  // Every shard must own at least one row; a degenerate grid simply caps
+  // the effective shard count.
+  const uint32_t stripes = static_cast<uint32_t>(std::clamp(
+      options.num_shards, 1, static_cast<int>(std::min<uint32_t>(
+                                 num_rows, 1u << 16))));
+  sharded.base_ = std::move(base);
+  sharded.memo_entries_ =
+      options.memo_entries > 0 ? std::bit_ceil(options.memo_entries) : 0;
+  sharded.shards_ = std::vector<Shard>(stripes);
+  sharded.boundaries_.reserve(stripes - 1);
+  for (uint32_t s = 0; s < stripes; ++s) {
+    const StripeRange range = StripeRows(num_rows, stripes, s);
+    SKYDIA_CHECK(range.begin < range.end);
+    Shard& shard = sharded.shards_[s];
+    shard.row_begin = range.begin;
+    shard.row_end = range.end;
+    shard.index = cell != nullptr
+                      ? std::make_unique<PointLocationIndex>(
+                            *cell, range.begin, range.end)
+                      : std::make_unique<PointLocationIndex>(
+                            *subcell, range.begin, range.end);
+    if (s > 0) {
+      // Shards s-1 and s meet at row boundary range.begin: the separating
+      // grid line is the upper edge of row range.begin - 1.
+      sharded.boundaries_.push_back(y_lines[range.begin - 1]);
+    }
+  }
+  return sharded;
+}
+
+uint32_t ShardedServableDiagram::ShardOf(const Point2D& q) const {
+  // Half-open rows put a query exactly on a boundary line into the shard
+  // below it, matching SlabOf's lower_bound convention.
+  const int64_t v = scale_ * q.y;
+  return static_cast<uint32_t>(
+      std::lower_bound(boundaries_.begin(), boundaries_.end(), v) -
+      boundaries_.begin());
+}
+
+SetId ShardedServableDiagram::AnswerSetId(const Point2D& q) const {
+  const Shard& shard = shards_[ShardOf(q)];
+  shard.queries.fetch_add(1, std::memory_order_relaxed);
+  return shard.index->LocateSet(q);
+}
+
+void ShardedServableDiagram::AnswerShard(size_t s,
+                                         std::span<const Point2D> queries,
+                                         std::span<const uint32_t> scatter,
+                                         SetId* out) const {
+  SKYDIA_TRACE_SPAN("shard.answer");
+  const Shard& shard = shards_[s];
+  const size_t memo_size = memo_entries_;
+  std::vector<MemoEntry> memo(memo_size);
+  uint64_t hits = 0;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const Point2D& q = queries[i];
+    MemoEntry* slot = nullptr;
+    if (memo_size > 0) {
+      slot = &memo[MixQueryPoint(q) & (memo_size - 1)];
+      if (slot->valid && slot->x == q.x && slot->y == q.y) {
+        out[scatter[i]] = slot->set;
+        ++hits;
+        continue;
+      }
+    }
+    const SetId set = shard.index->LocateSet(q);
+    if (slot != nullptr) *slot = MemoEntry{q.x, q.y, set, true};
+    out[scatter[i]] = set;
+  }
+  shard.queries.fetch_add(queries.size(), std::memory_order_relaxed);
+  shard.memo_hits.fetch_add(hits, std::memory_order_relaxed);
+}
+
+void ShardedServableDiagram::AnswerBatch(std::span<const Point2D> queries,
+                                         std::vector<SetId>* out,
+                                         ThreadPool* pool) const {
+  SKYDIA_TRACE_SPAN("shard.batch");
+  out->resize(queries.size());
+  if (queries.empty()) return;
+  const size_t num_shards = shards_.size();
+  if (num_shards == 1) {
+    std::vector<uint32_t> identity(queries.size());
+    for (uint32_t i = 0; i < identity.size(); ++i) identity[i] = i;
+    shards_[0].queue_depth.fetch_add(1, std::memory_order_relaxed);
+    AnswerShard(0, queries, identity, out->data());
+    shards_[0].queue_depth.fetch_sub(1, std::memory_order_relaxed);
+    return;
+  }
+
+  // Scatter: bucket queries by owning stripe, remembering each query's
+  // original position so the gather restores request order.
+  std::vector<std::vector<Point2D>> shard_queries(num_shards);
+  std::vector<std::vector<uint32_t>> shard_scatter(num_shards);
+  for (uint32_t i = 0; i < queries.size(); ++i) {
+    const uint32_t s = ShardOf(queries[i]);
+    shard_queries[s].push_back(queries[i]);
+    shard_scatter[s].push_back(i);
+  }
+
+  SetId* const out_data = out->data();
+  const bool parallel =
+      pool != nullptr && queries.size() >= kParallelScatterThreshold;
+  if (!parallel) {
+    for (size_t s = 0; s < num_shards; ++s) {
+      if (shard_queries[s].empty()) continue;
+      shards_[s].queue_depth.fetch_add(1, std::memory_order_relaxed);
+      AnswerShard(s, shard_queries[s], shard_scatter[s], out_data);
+      shards_[s].queue_depth.fetch_sub(1, std::memory_order_relaxed);
+    }
+    return;
+  }
+  // Gather via the pool's WaitIdle handshake: disjoint out positions per
+  // shard, so tasks need no synchronization beyond the barrier.
+  for (size_t s = 0; s < num_shards; ++s) {
+    if (shard_queries[s].empty()) continue;
+    shards_[s].queue_depth.fetch_add(1, std::memory_order_relaxed);
+    pool->Submit([this, s, &shard_queries, &shard_scatter, out_data] {
+      AnswerShard(s, shard_queries[s], shard_scatter[s], out_data);
+      shards_[s].queue_depth.fetch_sub(1, std::memory_order_relaxed);
+    });
+  }
+  pool->WaitIdle();
+}
+
+std::vector<ShardStats> ShardedServableDiagram::Stats() const {
+  std::vector<ShardStats> stats(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    stats[s].queries = shards_[s].queries.load(std::memory_order_relaxed);
+    stats[s].memo_hits = shards_[s].memo_hits.load(std::memory_order_relaxed);
+    stats[s].queue_depth =
+        shards_[s].queue_depth.load(std::memory_order_relaxed);
+    stats[s].row_begin = shards_[s].row_begin;
+    stats[s].row_end = shards_[s].row_end;
+  }
+  return stats;
+}
+
+}  // namespace skydia

@@ -1,0 +1,127 @@
+// ShardedServableDiagram: horizontal scale-out of the query-serving layer.
+//
+// The grid structure that makes the diagram partition-friendly for the
+// stripe-parallel *builders* (sweep_kernel.h) works just as well on the
+// *serving* side: the row-major cell table splits into row-stripes, each
+// stripe gets its own stripe-restricted PointLocationIndex plus private
+// serving state (direct-mapped memo, counters), and a query routes to its
+// stripe with one binary search over the stripe-boundary y lines. Batches
+// scatter queries to their shards, answer every shard independently (on a
+// ThreadPool when one is provided), and gather the results back into
+// request order.
+//
+// All shards reference the one loaded ServableDiagram — the dataset, the
+// interned result pool and the cell table are shared, so SetIds remain
+// global across shards and the serve layer's SetId-keyed reply cache works
+// unchanged. A shard owns only its O(rows/S) slice of y lines plus its
+// memo, so sharding costs O(s) memory, not O(blob).
+//
+// Thread-safety: all serving methods are const and safe to call
+// concurrently; per-shard counters are relaxed atomics.
+#ifndef SKYDIA_SRC_CORE_SHARDED_DIAGRAM_H_
+#define SKYDIA_SRC_CORE_SHARDED_DIAGRAM_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/thread_pool.h"
+#include "src/core/point_location.h"
+#include "src/core/query_engine.h"
+#include "src/geometry/point.h"
+
+namespace skydia {
+
+/// Options for ShardedServableDiagram::Create.
+struct ShardingOptions {
+  /// Requested row-stripe count. Clamped to the number of grid rows (every
+  /// shard must own at least one row); values <= 1 build one shard.
+  int num_shards = 1;
+  /// Entries in each shard's direct-mapped query memo (rounded up to a
+  /// power of two; 0 disables memoization).
+  size_t memo_entries = 64;
+};
+
+/// Per-shard serving counters (see ShardedServableDiagram::Stats).
+struct ShardStats {
+  uint64_t queries = 0;     ///< queries routed to this shard
+  uint64_t memo_hits = 0;   ///< answered from the shard's memo
+  uint64_t queue_depth = 0; ///< shard batches currently queued or running
+  uint32_t row_begin = 0;   ///< stripe rows [row_begin, row_end)
+  uint32_t row_end = 0;
+};
+
+/// A loaded diagram partitioned into row-stripe shards for serving.
+class ShardedServableDiagram {
+ public:
+  /// Partitions `base` into `options.num_shards` row stripes. The base
+  /// pointer is shared, never copied; it must stay alive as long as the
+  /// sharded view (shared_ptr guarantees it).
+  static StatusOr<ShardedServableDiagram> Create(
+      std::shared_ptr<const ServableDiagram> base,
+      const ShardingOptions& options = {});
+
+  ShardedServableDiagram(ShardedServableDiagram&&) = default;
+  ShardedServableDiagram& operator=(ShardedServableDiagram&&) = default;
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  const ServableDiagram& base() const { return *base_; }
+
+  /// Shard owning the row of `q`: one binary search over the S-1 stripe
+  /// boundary lines.
+  uint32_t ShardOf(const Point2D& q) const;
+
+  /// One query: route, then locate inside the owning stripe.
+  SetId AnswerSetId(const Point2D& q) const;
+
+  /// Members of an interned result set (ids are global across shards).
+  std::span<const PointId> Get(SetId id) const {
+    return base_->engine().Get(id);
+  }
+
+  /// Scatter/gather batch: partition `queries` by shard, answer each
+  /// shard's share with its private memo (in parallel across `pool` when
+  /// non-null and the batch is large enough), and write one SetId per query
+  /// to `out` in request order.
+  void AnswerBatch(std::span<const Point2D> queries, std::vector<SetId>* out,
+                   ThreadPool* pool = nullptr) const;
+
+  /// Snapshot of every shard's counters, indexed by shard.
+  std::vector<ShardStats> Stats() const;
+
+ private:
+  struct Shard {
+    std::unique_ptr<PointLocationIndex> index;  // stripe-restricted
+    uint32_t row_begin = 0;
+    uint32_t row_end = 0;
+    mutable std::atomic<uint64_t> queries{0};
+    mutable std::atomic<uint64_t> memo_hits{0};
+    mutable std::atomic<uint64_t> queue_depth{0};
+  };
+
+  ShardedServableDiagram() = default;
+
+  /// Answers `queries` against shard `s` with a private memo, writing
+  /// out[scatter[i]] = answer(queries[i]).
+  void AnswerShard(size_t s, std::span<const Point2D> queries,
+                   std::span<const uint32_t> scatter, SetId* out) const;
+
+  std::shared_ptr<const ServableDiagram> base_;
+  std::vector<Shard> shards_;
+  /// boundaries_[i] is the first y line of shard i+1 (internal, scaled
+  /// coordinates): a query belongs to the last shard whose boundary is
+  /// strictly below its y.
+  std::vector<int64_t> boundaries_;
+  int64_t scale_ = 1;
+  size_t memo_entries_ = 0;
+  /// Scatter batches below this size are answered sequentially even with a
+  /// pool (handoff overhead dominates small shard shares).
+  static constexpr size_t kParallelScatterThreshold = 256;
+};
+
+}  // namespace skydia
+
+#endif  // SKYDIA_SRC_CORE_SHARDED_DIAGRAM_H_

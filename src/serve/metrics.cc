@@ -1,6 +1,8 @@
 #include "src/serve/metrics.h"
 
+#include <array>
 #include <cstdio>
+#include <vector>
 
 #include "src/common/version.h"
 
@@ -53,6 +55,49 @@ void LatencyHistogram(const QueryEngineStats& engine, std::string* out) {
   out->append(std::to_string(engine.latency_samples)).push_back('\n');
 }
 
+/// Cumulative histogram of the reactor's loop-iteration latency, same log2
+/// bucket scheme as the query-latency histogram. Omitted entirely while no
+/// iteration has been recorded (thread-per-connection embedders, tests).
+void ReactorLoopHistogram(const ServerMetrics& metrics, std::string* out) {
+  uint64_t total = 0;
+  size_t last = 0;
+  std::array<uint64_t, ServerMetrics::kReactorLoopBuckets> counts{};
+  for (size_t b = 0; b < counts.size(); ++b) {
+    counts[b] = metrics.reactor_loop_ns[b].load(std::memory_order_relaxed);
+    total += counts[b];
+    if (counts[b] > 0) last = b;
+  }
+  if (total == 0) return;
+  const char* name = "skydia_reactor_loop_ns";
+  out->append("# HELP ").append(name).append(
+      " Reactor event-loop iteration latency in nanoseconds.\n");
+  out->append("# TYPE ").append(name).append(" histogram\n");
+  uint64_t cumulative = 0;
+  double sum = 0;
+  for (size_t b = 0; b <= last; ++b) {
+    cumulative += counts[b];
+    sum += static_cast<double>(counts[b]) * 1.5 *
+           static_cast<double>(uint64_t{1} << b);
+    out->append(name).append("_bucket{le=\"");
+    out->append(std::to_string(uint64_t{1} << (b + 1)));
+    out->append("\"} ").append(std::to_string(cumulative)).push_back('\n');
+  }
+  out->append(name).append("_bucket{le=\"+Inf\"} ");
+  out->append(std::to_string(total)).push_back('\n');
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", sum);
+  out->append(name).append("_sum ").append(buf).push_back('\n');
+  out->append(name).append("_count ");
+  out->append(std::to_string(total)).push_back('\n');
+}
+
+/// One `name{shard="i"} value` sample line.
+void ShardSample(const char* name, size_t shard, uint64_t value,
+                 std::string* out) {
+  out->append(name).append("{shard=\"").append(std::to_string(shard));
+  out->append("\"} ").append(std::to_string(value)).push_back('\n');
+}
+
 }  // namespace
 
 bool GuardedDecrement(std::atomic<uint64_t>* gauge) {
@@ -95,6 +140,22 @@ std::string RenderPrometheusMetrics(const ServerMetrics& metrics,
   Counter("skydia_idle_disconnects_total",
           "Connections closed by the idle timeout.",
           load(metrics.idle_disconnects), &out);
+  Counter("skydia_backpressure_disconnects_total",
+          "Connections dropped at the write-backpressure cap.",
+          load(metrics.backpressure_disconnects), &out);
+  Counter("skydia_half_closed_drains_total",
+          "Half-closed connections whose reply tail was flushed.",
+          load(metrics.half_closed_drains), &out);
+  Counter("skydia_worker_batches_total",
+          "Request batches executed by the worker pool.",
+          load(metrics.worker_batches), &out);
+  Counter("skydia_inline_batches_total",
+          "Small query batches executed inline on the event-loop thread.",
+          load(metrics.inline_batches), &out);
+  Gauge("skydia_worker_queue_depth",
+        "Batches queued for or running on the worker pool.",
+        static_cast<double>(load(metrics.worker_queue_depth)), &out);
+  ReactorLoopHistogram(metrics, &out);
   Counter("skydia_bytes_received_total", "Bytes read from clients.",
           load(metrics.bytes_received), &out);
   Counter("skydia_bytes_sent_total", "Bytes written to clients.",
@@ -133,6 +194,31 @@ std::string RenderPrometheusMetrics(const ServerMetrics& metrics,
         "p99 engine latency (sampled, log2 buckets).", engine.p99_latency_ns,
         &out);
   LatencyHistogram(engine, &out);
+
+  if (snapshot->sharded != nullptr) {
+    const std::vector<ShardStats> shards = snapshot->sharded->Stats();
+    Gauge("skydia_shards", "Row-stripe shards in the serving snapshot.",
+          static_cast<double>(shards.size()), &out);
+    out.append(
+        "# HELP skydia_shard_queries_total Queries routed to each "
+        "row-stripe shard.\n# TYPE skydia_shard_queries_total counter\n");
+    for (size_t s = 0; s < shards.size(); ++s) {
+      ShardSample("skydia_shard_queries_total", s, shards[s].queries, &out);
+    }
+    out.append(
+        "# HELP skydia_shard_memo_hits_total Shard queries answered from "
+        "the shard memo.\n# TYPE skydia_shard_memo_hits_total counter\n");
+    for (size_t s = 0; s < shards.size(); ++s) {
+      ShardSample("skydia_shard_memo_hits_total", s, shards[s].memo_hits,
+                  &out);
+    }
+    out.append(
+        "# HELP skydia_shard_queue_depth Scatter batches queued or running "
+        "per shard.\n# TYPE skydia_shard_queue_depth gauge\n");
+    for (size_t s = 0; s < shards.size(); ++s) {
+      ShardSample("skydia_shard_queue_depth", s, shards[s].queue_depth, &out);
+    }
+  }
 
   // Info-pattern gauge: constant 1, the payload lives in the labels.
   out.append(

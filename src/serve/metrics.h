@@ -8,7 +8,9 @@
 #ifndef SKYDIA_SRC_SERVE_METRICS_H_
 #define SKYDIA_SRC_SERVE_METRICS_H_
 
+#include <array>
 #include <atomic>
+#include <bit>
 #include <cstdint>
 #include <string>
 
@@ -18,7 +20,18 @@ namespace skydia::serve {
 
 /// Transport-level serving counters. All relaxed atomics: exact totals, no
 /// inter-thread ordering implied.
+///
+/// Connection-gauge semantics under the reactor: a connection is a state
+/// machine owned by the event loop, not a thread. `connections_open` counts
+/// state machines registered with epoll; it is incremented on accept and
+/// decremented exactly once when the event loop destroys the state machine
+/// (read error, EOF drain, idle/oversize/backpressure close, or shutdown) —
+/// there is no thread-exit/reaper race for it to double count.
 struct ServerMetrics {
+  /// Log2 buckets for the reactor-loop-latency histogram: bucket b counts
+  /// loop iterations whose epoll_wait-to-idle time fell in [2^b, 2^(b+1)) ns.
+  static constexpr size_t kReactorLoopBuckets = 32;
+
   std::atomic<uint64_t> connections_opened{0};
   std::atomic<uint64_t> connections_open{0};
   std::atomic<uint64_t> connections_rejected{0};  ///< over max_connections
@@ -27,10 +40,33 @@ struct ServerMetrics {
   std::atomic<uint64_t> malformed_requests{0};
   std::atomic<uint64_t> oversize_disconnects{0};
   std::atomic<uint64_t> idle_disconnects{0};
+  /// Connections dropped because the peer stopped draining replies and the
+  /// output buffer hit ServerOptions::max_response_bytes.
+  std::atomic<uint64_t> backpressure_disconnects{0};
+  /// Connections whose peer half-closed (FIN) with replies still pending;
+  /// the reactor flushed the tail before closing.
+  std::atomic<uint64_t> half_closed_drains{0};
   std::atomic<uint64_t> bytes_received{0};
   std::atomic<uint64_t> bytes_sent{0};
   std::atomic<uint64_t> reloads{0};
   std::atomic<uint64_t> reload_failures{0};
+  /// Batches executed by the worker pool (line batches + HTTP requests).
+  std::atomic<uint64_t> worker_batches{0};
+  /// Small pure-query batches executed inline on the event-loop thread
+  /// (the reactor fast path; see ServerOptions::inline_batch_lines).
+  std::atomic<uint64_t> inline_batches{0};
+  /// Batches currently queued for or running on the worker pool.
+  std::atomic<uint64_t> worker_queue_depth{0};
+  /// Sampled reactor loop-iteration latency (every iteration that handled
+  /// at least one event records one sample).
+  std::array<std::atomic<uint64_t>, kReactorLoopBuckets> reactor_loop_ns{};
+
+  /// Records one reactor loop iteration of `ns` nanoseconds.
+  void RecordReactorLoop(uint64_t ns) {
+    const auto b = static_cast<size_t>(std::bit_width(ns | 1) - 1);
+    reactor_loop_ns[b < kReactorLoopBuckets ? b : kReactorLoopBuckets - 1]
+        .fetch_add(1, std::memory_order_relaxed);
+  }
 };
 
 /// Decrements `gauge` unless it is already zero (CAS loop), so a double

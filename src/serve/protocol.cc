@@ -108,8 +108,11 @@ class Cursor {
         static_cast<uint64_t>(std::numeric_limits<int64_t>::max()) +
         (negative ? 1 : 0);
     if (magnitude > limit) return Error("integer out of range");
-    const auto value = static_cast<int64_t>(magnitude);
-    return negative ? -value : value;
+    // Negate in the unsigned domain: -INT64_MIN is UB in signed arithmetic,
+    // but 0 - magnitude is well-defined modular wrap, and the narrowing
+    // conversion is value-preserving two's complement (C++20).
+    if (negative) return static_cast<int64_t>(uint64_t{0} - magnitude);
+    return static_cast<int64_t>(magnitude);
   }
 
   StatusOr<bool> ParseBool() {
@@ -151,7 +154,25 @@ StatusOr<Request> ParseRequest(std::string_view line) {
   Request request;
   bool have_q = false;
   bool have_cmd = false;
+  bool have_x = false;
+  bool have_y = false;
   std::string cmd;
+  // Parses a two-element integer array "[lo,hi]" into (*lo, *hi).
+  const auto parse_pair = [&cursor](const char* what, int64_t* lo,
+                                    int64_t* hi) -> Status {
+    const std::string shape = std::string(1, '"') + what + "\" must be " +
+                              "[lo,hi]";
+    if (!cursor.Eat('[')) return cursor.Error(shape);
+    auto first = cursor.ParseInt();
+    if (!first.ok()) return first.status();
+    if (!cursor.Eat(',')) return cursor.Error(shape);
+    auto second = cursor.ParseInt();
+    if (!second.ok()) return second.status();
+    if (!cursor.Eat(']')) return cursor.Error(shape);
+    *lo = *first;
+    *hi = *second;
+    return Status::OK();
+  };
   if (!cursor.Eat('}')) {
     do {
       auto key = cursor.ParseString();
@@ -167,6 +188,20 @@ StatusOr<Request> ParseRequest(std::string_view line) {
         if (!cursor.Eat(']')) return cursor.Error("\"q\" must be [x,y]");
         request.q = Point2D{*x, *y};
         have_q = true;
+      } else if (*key == "x") {
+        if (Status s =
+                parse_pair("x", &request.range.x_lo, &request.range.x_hi);
+            !s.ok()) {
+          return s;
+        }
+        have_x = true;
+      } else if (*key == "y") {
+        if (Status s =
+                parse_pair("y", &request.range.y_lo, &request.range.y_hi);
+            !s.ok()) {
+          return s;
+        }
+        have_y = true;
       } else if (*key == "exact") {
         auto v = cursor.ParseBool();
         if (!v.ok()) return v.status();
@@ -207,6 +242,18 @@ StatusOr<Request> ParseRequest(std::string_view line) {
     if (have_q) {
       return Status::InvalidArgument("\"cmd\" and \"q\" are mutually exclusive");
     }
+    if (cmd == "range") {
+      if (!have_x || !have_y) {
+        return Status::InvalidArgument(
+            "\"range\" needs \"x\":[lo,hi] and \"y\":[lo,hi]");
+      }
+      request.kind = RequestKind::kRange;
+      return request;
+    }
+    if (have_x || have_y) {
+      return Status::InvalidArgument(
+          "\"x\"/\"y\" bounds only apply to {\"cmd\":\"range\"}");
+    }
     if (cmd == "ping") {
       request.kind = RequestKind::kPing;
     } else if (cmd == "stats") {
@@ -215,9 +262,13 @@ StatusOr<Request> ParseRequest(std::string_view line) {
       request.kind = RequestKind::kReload;
     } else {
       return Status::InvalidArgument("unknown cmd \"" + cmd +
-                                     "\" (ping|stats|reload)");
+                                     "\" (ping|stats|reload|range)");
     }
     return request;
+  }
+  if (have_x || have_y) {
+    return Status::InvalidArgument(
+        "\"x\"/\"y\" bounds only apply to {\"cmd\":\"range\"}");
   }
   if (!have_q) {
     return Status::InvalidArgument("request needs \"q\" or \"cmd\"");
@@ -279,6 +330,22 @@ void AppendQueryReply(std::optional<int64_t> id, uint64_t generation,
   out->append(key);
   out->append("\":");
   out->append(array_json);
+  out->append("}\n");
+}
+
+void AppendRangeReply(std::optional<int64_t> id, uint64_t generation,
+                      std::string_view union_json,
+                      std::string_view intersection_json, uint64_t distinct,
+                      std::string* out) {
+  AppendIdPrefix(id, out);
+  out->append("\"gen\":");
+  out->append(std::to_string(generation));
+  out->append(",\"union\":");
+  out->append(union_json);
+  out->append(",\"intersection\":");
+  out->append(intersection_json);
+  out->append(",\"distinct\":");
+  out->append(std::to_string(distinct));
   out->append("}\n");
 }
 

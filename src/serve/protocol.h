@@ -16,6 +16,10 @@
 //                                          mismatch with the snapshot is an
 //                                          error unless "exact" is set
 //                "id":N                    opaque correlation id, echoed back
+//   range   := {"cmd":"range","x":[LO,HI],"y":[LO,HI]}
+//                                          skyline over every position in
+//                                          the closed rectangle; optional
+//                                          "labels" and "id" as for queries
 //   admin   := {"cmd":"ping"}             liveness check
 //            | {"cmd":"stats"}            serving counters as JSON
 //            | {"cmd":"reload"[,"path":"..."]}
@@ -23,6 +27,8 @@
 //                                          path reloads the current file)
 //
 //   reply   := {"id":N,"gen":G,"ids":[...]}      (or "labels":[...])
+//            | {"id":N,"gen":G,"union":[...],"intersection":[...],
+//               "distinct":D}                    (range replies)
 //            | {"id":N,"ok":true,"gen":G}        (admin acks)
 //            | {"id":N,"error":"message"}        ("id" present when known)
 //
@@ -43,18 +49,20 @@
 
 #include "src/common/status.h"
 #include "src/core/diagram.h"
+#include "src/core/range_query.h"
 #include "src/geometry/dataset.h"
 #include "src/geometry/point.h"
 
 namespace skydia::serve {
 
 /// What one request line asks for.
-enum class RequestKind { kQuery, kPing, kStats, kReload };
+enum class RequestKind { kQuery, kRange, kPing, kStats, kReload };
 
 /// One parsed request line.
 struct Request {
   RequestKind kind = RequestKind::kQuery;
   Point2D q{0, 0};
+  QueryRange range;  ///< for kRange: the [x_lo,x_hi]x[y_lo,y_hi] rectangle
   bool exact = false;
   bool labels = false;
   std::optional<SkylineQueryType> semantics;
@@ -80,6 +88,14 @@ std::string RenderLabelsArray(const Dataset& dataset,
 /// `key` is "ids" or "labels"; `array_json` must already be rendered.
 void AppendQueryReply(std::optional<int64_t> id, uint64_t generation,
                       std::string_view key, std::string_view array_json,
+                      std::string* out);
+
+/// Appends one range reply line:
+/// {"id":N,"gen":G,"union":U,"intersection":I,"distinct":D}\n. The two
+/// array payloads must already be rendered (ids or labels form).
+void AppendRangeReply(std::optional<int64_t> id, uint64_t generation,
+                      std::string_view union_json,
+                      std::string_view intersection_json, uint64_t distinct,
                       std::string* out);
 
 /// Appends one admin ack line: {"id":N,"ok":true,"gen":G}\n.

@@ -3,10 +3,12 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
-#include <poll.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <utility>
@@ -20,32 +22,35 @@ namespace skydia::serve {
 
 namespace {
 
+/// epoll user-data tags for the two non-connection fds; Connection pointers
+/// are heap-allocated and can never collide with these values.
+constexpr uint64_t kListenTag = 0;
+constexpr uint64_t kWakeTag = 1;
+
 /// Cache key for one rendered reply array: the interned set id tagged with
 /// the representation bit (ids vs labels). SetIds are snapshot-local and the
 /// cache lives on the snapshot, so this key is collision-free by design.
+/// With sharding the ids stay global (all stripes share the interned pool),
+/// so the key is also shard-agnostic: every shard's hit on the same result
+/// set lands on the same entry.
 uint64_t CacheKey(SetId set, bool labels) {
   return (static_cast<uint64_t>(set) << 1) | (labels ? 1u : 0u);
 }
 
-/// Sends all of `data`, suppressing SIGPIPE. Returns false on a broken
-/// connection.
-bool SendAll(int fd, std::string_view data) {
-  size_t off = 0;
-  while (off < data.size()) {
-    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
-                             MSG_NOSIGNAL);
-    if (n > 0) {
-      off += static_cast<size_t>(n);
-      continue;
-    }
-    if (n < 0 && errno == EINTR) continue;
-    return false;
+/// Splits '\n'-terminated request bytes into per-line views (CR stripped).
+void SplitLines(std::string_view view, std::vector<std::string_view>* lines) {
+  size_t start = 0;
+  for (size_t nl = view.find('\n', start); nl != std::string_view::npos;
+       nl = view.find('\n', start)) {
+    std::string_view line = view.substr(start, nl - start);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    lines->push_back(line);
+    start = nl + 1;
   }
-  return true;
 }
 
 /// Renders the {"cmd":"stats"} reply body: one flat JSON object of the
-/// engine's and cache's counters for the pinned snapshot.
+/// engine's, shards' and cache's counters for the pinned snapshot.
 std::string RenderStatsJson(const ServingSnapshot* snapshot) {
   if (snapshot == nullptr) return "{}";
   const QueryEngineStats engine = snapshot->diagram->engine().Stats();
@@ -60,10 +65,21 @@ std::string RenderStatsJson(const ServingSnapshot* snapshot) {
     out.append("\":");
     out.append(std::to_string(value));
   };
+  uint64_t shard_queries = 0;
+  uint64_t shard_memo_hits = 0;
+  uint64_t num_shards = 1;
+  if (snapshot->sharded != nullptr) {
+    num_shards = static_cast<uint64_t>(snapshot->sharded->num_shards());
+    for (const ShardStats& shard : snapshot->sharded->Stats()) {
+      shard_queries += shard.queries;
+      shard_memo_hits += shard.memo_hits;
+    }
+  }
   field("generation", snapshot->generation, /*first=*/true);
   field("points", snapshot->diagram->dataset().size(), false);
-  field("queries_served", engine.queries_served, false);
-  field("memo_hits", engine.memo_hits, false);
+  field("shards", num_shards, false);
+  field("queries_served", engine.queries_served + shard_queries, false);
+  field("memo_hits", engine.memo_hits + shard_memo_hits, false);
   field("oracle_fallbacks", engine.oracle_fallbacks, false);
   field("p50_latency_ns", static_cast<uint64_t>(engine.p50_latency_ns),
         false);
@@ -80,12 +96,15 @@ std::string RenderStatsJson(const ServingSnapshot* snapshot) {
 }  // namespace
 
 SkylineServer::SkylineServer(const ServerOptions& options)
-    : options_(options) {}
+    : options_(options) {
+  options_.num_workers = std::max(1, options_.num_workers);
+}
 
 SkylineServer::~SkylineServer() { Stop(); }
 
 Status SkylineServer::BindAndListen() {
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  listen_fd_ =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC | SOCK_NONBLOCK, 0);
   if (listen_fd_ < 0) {
     return Status::Internal(std::string("socket: ") + std::strerror(errno));
   }
@@ -129,8 +148,10 @@ Status SkylineServer::Start(ServableDiagram diagram, std::string source_path) {
   if (running_.load(std::memory_order_acquire)) {
     return Status::FailedPrecondition("server already running");
   }
+  const ShardingOptions sharding{options_.num_shards,
+                                 options_.engine.memo_entries};
   registry_.Install(std::move(diagram), std::move(source_path),
-                    options_.cache);
+                    options_.cache, sharding);
   auto bound = BindAndListen();
   if (!bound.ok()) {
     if (listen_fd_ >= 0) {
@@ -139,26 +160,90 @@ Status SkylineServer::Start(ServableDiagram diagram, std::string source_path) {
     }
     return bound;
   }
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (epoll_fd_ < 0 || wake_fd_ < 0) {
+    const Status status =
+        Status::Internal(std::string("epoll/eventfd: ") +
+                         std::strerror(errno));
+    for (int* fd : {&listen_fd_, &epoll_fd_, &wake_fd_}) {
+      if (*fd >= 0) ::close(*fd);
+      *fd = -1;
+    }
+    return status;
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = kListenTag;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  ev.data.u64 = kWakeTag;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+
+  if (options_.idle_timeout_ms > 0) {
+    // Ceil so a full wheel revolution is never shorter than the timeout.
+    wheel_tick_ms_ = std::max<int64_t>(
+        1, (options_.idle_timeout_ms + static_cast<int64_t>(kWheelSlots) - 3) /
+               (static_cast<int64_t>(kWheelSlots) - 2));
+    wheel_.assign(kWheelSlots, {});
+    wheel_last_tick_ =
+        static_cast<int64_t>(trace::NowNanos() / 1'000'000) / wheel_tick_ms_;
+  } else {
+    wheel_tick_ms_ = 0;
+  }
+
+  if (options_.engine.num_threads > 1) {
+    shard_pool_ = std::make_unique<ThreadPool>(
+        static_cast<size_t>(options_.engine.num_threads));
+  }
+
   start_time_ = std::chrono::steady_clock::now();
   running_.store(true, std::memory_order_release);
-  acceptor_ = std::thread([this] { AcceptLoop(); });
+  workers_.reserve(static_cast<size_t>(options_.num_workers));
+  for (int i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  reactor_ = std::thread([this] { ReactorLoop(); });
   return Status::OK();
 }
 
 void SkylineServer::Stop() {
   if (!running_.exchange(false, std::memory_order_acq_rel)) return;
-  // Wake the acceptor out of poll/accept, then join it before touching the
-  // connection list it also mutates.
-  ::shutdown(listen_fd_, SHUT_RDWR);
-  if (acceptor_.joinable()) acceptor_.join();
-  ::close(listen_fd_);
-  listen_fd_ = -1;
-  ReapConnections(/*all=*/true);
+  // Wake the reactor out of epoll_wait; it closes every connection before
+  // exiting, so the gauge drains to zero.
+  const uint64_t one = 1;
+  [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+  if (reactor_.joinable()) reactor_.join();
+  {
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    workers_stop_ = true;
+  }
+  jobs_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+  {
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    workers_stop_ = false;
+    jobs_.clear();
+  }
+  {
+    std::lock_guard<std::mutex> lock(completions_mu_);
+    completions_.clear();
+  }
+  shard_pool_.reset();
+  for (int* fd : {&listen_fd_, &epoll_fd_, &wake_fd_}) {
+    if (*fd >= 0) ::close(*fd);
+    *fd = -1;
+  }
 }
 
 Status SkylineServer::Reload(const std::string& path) {
+  const ShardingOptions sharding{options_.num_shards,
+                                 options_.engine.memo_entries};
   auto status = registry_.Reload(path, options_.engine,
-                                 options_.cell_semantics, options_.cache);
+                                 options_.cell_semantics, options_.cache,
+                                 sharding);
   if (status.ok()) {
     metrics_.reloads.fetch_add(1, std::memory_order_relaxed);
   } else {
@@ -176,26 +261,74 @@ std::string SkylineServer::RenderMetrics() const {
   return RenderPrometheusMetrics(metrics_, snapshot.get(), uptime);
 }
 
-void SkylineServer::AcceptLoop() {
-  while (running_.load(std::memory_order_acquire)) {
-    pollfd pfd{listen_fd_, POLLIN, 0};
-    const int ready = ::poll(&pfd, 1, 200);
-    ReapConnections(/*all=*/false);
-    if (ready <= 0) continue;
-    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
-    if (fd < 0) continue;
+// ---------------------------------------------------------------------------
+// Event loop.
 
-    size_t open_count;
-    {
-      std::lock_guard<std::mutex> lock(conns_mu_);
-      open_count = conns_.size();
+void SkylineServer::ReactorLoop() {
+  constexpr int kMaxEvents = 256;
+  epoll_event events[kMaxEvents];
+  while (running_.load(std::memory_order_acquire)) {
+    int timeout_ms = 200;
+    if (wheel_tick_ms_ > 0) {
+      timeout_ms = static_cast<int>(
+          std::clamp<int64_t>(wheel_tick_ms_, 1, timeout_ms));
     }
-    if (open_count >= static_cast<size_t>(options_.max_connections)) {
+    const int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, timeout_ms);
+    const uint64_t loop_start_ns = trace::NowNanos();
+    if (n < 0 && errno != EINTR) break;
+    for (int i = 0; i < n; ++i) {
+      const uint64_t tag = events[i].data.u64;
+      if (tag == kListenTag) {
+        HandleAccept();
+        continue;
+      }
+      if (tag == kWakeTag) {
+        uint64_t drained;
+        while (::read(wake_fd_, &drained, sizeof(drained)) > 0) {
+        }
+        continue;
+      }
+      // epoll coalesces all readiness for one fd into one event, so each
+      // Connection appears at most once per wait — a close inside one
+      // handler cannot dangle another event in this batch.
+      auto* conn = reinterpret_cast<Connection*>(tag);
+      const uint64_t id = conn->id;
+      if ((events[i].events & (EPOLLIN | EPOLLRDHUP)) != 0) {
+        HandleReadable(conn);
+      }
+      auto it = connections_.find(id);
+      if (it == connections_.end()) continue;
+      if ((events[i].events & EPOLLOUT) != 0) HandleWritable(it->second.get());
+      it = connections_.find(id);
+      if (it == connections_.end()) continue;
+      if ((events[i].events & (EPOLLERR | EPOLLHUP)) != 0) {
+        CloseConnection(it->second.get());
+      }
+    }
+    DrainCompletions();
+    AdvanceIdleWheel();
+    if (n > 0) metrics_.RecordReactorLoop(trace::NowNanos() - loop_start_ns);
+  }
+  // Shutdown: tear down every state machine on the owning thread.
+  while (!connections_.empty()) {
+    CloseConnection(connections_.begin()->second.get());
+  }
+}
+
+void SkylineServer::HandleAccept() {
+  for (;;) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                             SOCK_CLOEXEC | SOCK_NONBLOCK);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN or a transient accept error: wait for the next event
+    }
+    if (connections_.size() >=
+        static_cast<size_t>(options_.max_connections)) {
       metrics_.connections_rejected.fetch_add(1, std::memory_order_relaxed);
       ::close(fd);
       continue;
     }
-
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     metrics_.connections_opened.fetch_add(1, std::memory_order_relaxed);
@@ -203,129 +336,354 @@ void SkylineServer::AcceptLoop() {
 
     auto conn = std::make_unique<Connection>();
     conn->fd = fd;
+    conn->id = next_conn_id_++;
     Connection* raw = conn.get();
-    {
-      std::lock_guard<std::mutex> lock(conns_mu_);
-      conns_.push_back(std::move(conn));
+    connections_.emplace(raw->id, std::move(conn));
+    epoll_event ev{};
+    ev.events = EPOLLIN | EPOLLRDHUP;
+    ev.data.u64 = reinterpret_cast<uint64_t>(raw);
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+      CloseConnection(raw);
+      continue;
     }
-    // The thread only reads/writes the fd and sets done; the fd is closed by
-    // the reaper (or Stop) strictly after joining, so no fd-reuse race.
-    raw->thread = std::thread([this, raw] { ConnectionLoop(raw); });
+    TouchIdleWheel(raw);
   }
 }
 
-void SkylineServer::ReapConnections(bool all) {
-  std::list<std::unique_ptr<Connection>> doomed;
-  {
-    std::lock_guard<std::mutex> lock(conns_mu_);
-    for (auto it = conns_.begin(); it != conns_.end();) {
-      if (all || (*it)->done.load(std::memory_order_acquire)) {
-        doomed.push_back(std::move(*it));
-        it = conns_.erase(it);
+void SkylineServer::HandleReadable(Connection* conn) {
+  char chunk[64 * 1024];
+  const ssize_t n = ::read(conn->fd, chunk, sizeof(chunk));
+  if (n < 0) {
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) return;
+    CloseConnection(conn);
+    return;
+  }
+  if (n == 0) {
+    // Peer half-closed. Anything already buffered (complete lines or an
+    // in-flight batch) still gets answered and flushed; only then close.
+    if (!conn->peer_half_closed) {
+      conn->peer_half_closed = true;
+      SetReading(conn, false);
+      if (conn->in_flight || conn->out_off < conn->outbuf.size() ||
+          conn->inbuf.find('\n') != std::string::npos) {
+        metrics_.half_closed_drains.fetch_add(1, std::memory_order_relaxed);
+      }
+      ProcessInput(conn);
+      auto it = connections_.find(conn->id);
+      if (it == connections_.end()) return;
+      conn = it->second.get();
+      if (!conn->in_flight && conn->out_off >= conn->outbuf.size()) {
+        CloseConnection(conn);
+      }
+    }
+    return;
+  }
+  conn->inbuf.append(chunk, static_cast<size_t>(n));
+  metrics_.bytes_received.fetch_add(static_cast<uint64_t>(n),
+                                    std::memory_order_relaxed);
+  TouchIdleWheel(conn);
+  ProcessInput(conn);
+}
+
+void SkylineServer::ProcessInput(Connection* conn) {
+  if (conn->closing) return;
+  if (!conn->http && conn->inbuf.size() >= 4 &&
+      conn->inbuf.compare(0, 4, "GET ") == 0) {
+    conn->http = true;
+  }
+  if (conn->http) {
+    if (conn->in_flight) return;
+    const size_t header_end = conn->inbuf.find("\r\n\r\n");
+    if (header_end == std::string::npos) {
+      if (conn->inbuf.size() > options_.max_request_bytes) {
+        CloseConnection(conn);
+      }
+      return;
+    }
+    const size_t target_end = conn->inbuf.find(' ', 4);
+    Job job;
+    job.conn_id = conn->id;
+    job.http = true;
+    if (target_end != std::string::npos) {
+      job.http_target = conn->inbuf.substr(4, target_end - 4);
+    }
+    conn->inbuf.clear();
+    DispatchJob(conn, std::move(job));
+    return;
+  }
+  if (!conn->in_flight) {
+    // Take every complete line as one pipelined batch; the trailing partial
+    // line stays buffered for the next read. Small pure-query batches run
+    // inline on this thread (no handoff, no epoll re-arm); anything that
+    // could block the loop goes to the pool.
+    const size_t last_nl = conn->inbuf.rfind('\n');
+    if (last_nl != std::string::npos) {
+      std::string batch = conn->inbuf.substr(0, last_nl + 1);
+      conn->inbuf.erase(0, last_nl + 1);
+      if (CanExecuteInline(batch)) {
+        if (!ExecuteInline(conn, batch)) return;
       } else {
-        ++it;
+        Job job;
+        job.conn_id = conn->id;
+        job.lines = std::move(batch);
+        DispatchJob(conn, std::move(job));
       }
     }
   }
-  for (auto& conn : doomed) {
-    // Wake a blocked poll/recv, join, then close.
-    ::shutdown(conn->fd, SHUT_RDWR);
-    if (conn->thread.joinable()) conn->thread.join();
-    ::close(conn->fd);
-    // Guarded: a double-reaped connection must never wrap the gauge.
-    GuardedDecrement(&metrics_.connections_open);
+  if (!conn->in_flight && conn->inbuf.size() > options_.max_request_bytes) {
+    AppendErrorReply(std::nullopt, "request line exceeds the size limit",
+                     &conn->outbuf);
+    metrics_.error_replies.fetch_add(1, std::memory_order_relaxed);
+    metrics_.oversize_disconnects.fetch_add(1, std::memory_order_relaxed);
+    conn->closing = true;
+    SetReading(conn, false);
+    FlushOutput(conn);
   }
 }
 
-void SkylineServer::ConnectionLoop(Connection* conn) {
-  const int fd = conn->fd;
-  std::string buffer;
-  std::string reply;
-  char chunk[16 * 1024];
-  bool http = false;
+bool SkylineServer::CanExecuteInline(const std::string& batch) const {
+  if (options_.inline_batch_lines <= 0) return false;
+  // Reloads block on disk and range scans can walk a large slab of the
+  // grid — both belong on the pool. The substring test is conservative:
+  // every such command literally contains the keyword, and a false match
+  // (the keyword inside a malformed line) merely routes a cheap batch to
+  // the pool, which is always correct.
+  if (batch.find("reload") != std::string::npos ||
+      batch.find("range") != std::string::npos) {
+    return false;
+  }
+  return std::count(batch.begin(), batch.end(), '\n') <=
+         static_cast<ptrdiff_t>(options_.inline_batch_lines);
+}
 
-  while (running_.load(std::memory_order_acquire)) {
-    pollfd pfd{fd, POLLIN, 0};
-    const int timeout =
-        options_.idle_timeout_ms > 0 ? options_.idle_timeout_ms : -1;
-    const int ready = ::poll(&pfd, 1, timeout);
-    if (ready < 0 && errno == EINTR) continue;
-    if (ready == 0) {
-      metrics_.idle_disconnects.fetch_add(1, std::memory_order_relaxed);
-      break;
+bool SkylineServer::ExecuteInline(Connection* conn, std::string_view lines) {
+  std::vector<std::string_view> split;
+  SplitLines(lines, &split);
+  ServeBatch(split, &conn->outbuf);
+  metrics_.inline_batches.fetch_add(1, std::memory_order_relaxed);
+  return FlushOutput(conn);
+}
+
+void SkylineServer::DispatchJob(Connection* conn, Job job) {
+  conn->in_flight = true;
+  // Read backpressure: park the read interest while the batch is at the
+  // pool, so replies stay ordered and the input buffer stays bounded.
+  SetReading(conn, false);
+  TouchIdleWheel(conn);
+  metrics_.worker_queue_depth.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    jobs_.push_back(std::move(job));
+  }
+  jobs_cv_.notify_one();
+}
+
+void SkylineServer::DrainCompletions() {
+  std::deque<Completion> batch;
+  completions_signaled_.store(false, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(completions_mu_);
+    batch.swap(completions_);
+  }
+  for (Completion& completion : batch) {
+    auto it = connections_.find(completion.conn_id);
+    if (it == connections_.end()) continue;  // closed while the batch ran
+    Connection* conn = it->second.get();
+    conn->in_flight = false;
+    conn->outbuf.append(completion.reply);
+    if (completion.close_after) conn->closing = true;
+    TouchIdleWheel(conn);
+    if (!FlushOutput(conn)) continue;
+    it = connections_.find(completion.conn_id);
+    if (it == connections_.end()) continue;
+    conn = it->second.get();
+    if (conn->closing) continue;
+    // Resume reading and serve whatever piled up while the batch ran.
+    SetReading(conn, true);
+    ProcessInput(conn);
+    it = connections_.find(completion.conn_id);
+    if (it == connections_.end()) continue;
+    conn = it->second.get();
+    if (conn->peer_half_closed && !conn->in_flight &&
+        conn->out_off >= conn->outbuf.size()) {
+      CloseConnection(conn);
     }
-    if (ready < 0) break;
+  }
+}
 
-    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
-    if (n == 0) break;
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      break;
+void SkylineServer::HandleWritable(Connection* conn) {
+  if (!FlushOutput(conn)) return;
+  auto it = connections_.find(conn->id);
+  if (it == connections_.end()) return;
+  conn = it->second.get();
+  if (conn->peer_half_closed && !conn->in_flight &&
+      conn->out_off >= conn->outbuf.size()) {
+    CloseConnection(conn);
+  }
+}
+
+bool SkylineServer::FlushOutput(Connection* conn) {
+  while (conn->out_off < conn->outbuf.size()) {
+    const ssize_t n =
+        ::send(conn->fd, conn->outbuf.data() + conn->out_off,
+               conn->outbuf.size() - conn->out_off, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn->out_off += static_cast<size_t>(n);
+      metrics_.bytes_sent.fetch_add(static_cast<uint64_t>(n),
+                                    std::memory_order_relaxed);
+      continue;
     }
-    buffer.append(chunk, static_cast<size_t>(n));
-    metrics_.bytes_received.fetch_add(static_cast<uint64_t>(n),
-                                      std::memory_order_relaxed);
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    CloseConnection(conn);
+    return false;
+  }
+  if (conn->out_off >= conn->outbuf.size()) {
+    conn->outbuf.clear();
+    conn->out_off = 0;
+    if (conn->want_write) {
+      conn->want_write = false;
+      UpdateEpoll(conn);
+    }
+    if (conn->closing) {
+      CloseConnection(conn);
+      return false;
+    }
+    return true;
+  }
+  // Partial write: the socket buffer is full. Reclaim the written prefix
+  // once it is large enough to matter, enforce the backpressure cap, and
+  // wait for EPOLLOUT.
+  if (conn->out_off > size_t{64} * 1024) {
+    conn->outbuf.erase(0, conn->out_off);
+    conn->out_off = 0;
+  }
+  if (conn->outbuf.size() - conn->out_off > options_.max_response_bytes) {
+    metrics_.backpressure_disconnects.fetch_add(1, std::memory_order_relaxed);
+    CloseConnection(conn);
+    return false;
+  }
+  if (!conn->want_write) {
+    conn->want_write = true;
+    UpdateEpoll(conn);
+  }
+  return true;
+}
 
-    // HTTP detection: a scrape shares the port. Buffer until the header
-    // terminator, answer one request, close.
-    if (buffer.size() >= 4 && buffer.compare(0, 4, "GET ") == 0) http = true;
-    if (http) {
-      const size_t header_end = buffer.find("\r\n\r\n");
-      if (header_end == std::string::npos) {
-        if (buffer.size() > options_.max_request_bytes) break;
+void SkylineServer::SetReading(Connection* conn, bool reading) {
+  // After EOF there is nothing left to read; never re-arm EPOLLIN.
+  if (conn->peer_half_closed) reading = false;
+  if (conn->reading == reading) return;
+  conn->reading = reading;
+  UpdateEpoll(conn);
+}
+
+void SkylineServer::UpdateEpoll(Connection* conn) {
+  epoll_event ev{};
+  // A half-closed peer keeps EPOLLRDHUP asserted forever in level-triggered
+  // mode, so both read interests drop together once EOF is seen.
+  if (conn->reading && !conn->peer_half_closed) {
+    ev.events |= EPOLLIN | EPOLLRDHUP;
+  }
+  if (conn->want_write) ev.events |= EPOLLOUT;
+  ev.data.u64 = reinterpret_cast<uint64_t>(conn);
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev);
+}
+
+void SkylineServer::TouchIdleWheel(Connection* conn) {
+  if (wheel_tick_ms_ <= 0) return;
+  const int64_t tick =
+      static_cast<int64_t>(trace::NowNanos() / 1'000'000) / wheel_tick_ms_;
+  const int slot = static_cast<int>(
+      (tick + static_cast<int64_t>(kWheelSlots) - 1) %
+      static_cast<int64_t>(kWheelSlots));
+  if (conn->wheel_slot == slot) return;
+  conn->wheel_slot = slot;
+  // Entries in the old bucket go stale and are skipped at expiry; no
+  // eager removal needed.
+  wheel_[static_cast<size_t>(slot)].push_back(conn->id);
+}
+
+void SkylineServer::AdvanceIdleWheel() {
+  if (wheel_tick_ms_ <= 0) return;
+  const int64_t tick =
+      static_cast<int64_t>(trace::NowNanos() / 1'000'000) / wheel_tick_ms_;
+  if (tick <= wheel_last_tick_) return;
+  // Cap catch-up at one revolution: after a long stall, sweeping further
+  // would re-visit buckets that now hold freshly-touched connections.
+  const int64_t steps = std::min<int64_t>(tick - wheel_last_tick_,
+                                          static_cast<int64_t>(kWheelSlots));
+  for (int64_t i = 1; i <= steps; ++i) {
+    const size_t slot = static_cast<size_t>(
+        (wheel_last_tick_ + i) % static_cast<int64_t>(kWheelSlots));
+    std::vector<uint64_t> expired;
+    expired.swap(wheel_[slot]);
+    for (const uint64_t id : expired) {
+      auto it = connections_.find(id);
+      if (it == connections_.end()) continue;          // closed already
+      Connection* conn = it->second.get();
+      if (conn->wheel_slot != static_cast<int>(slot)) continue;  // touched
+      if (conn->in_flight || conn->out_off < conn->outbuf.size()) {
+        // Mid-batch or mid-flush is not idle; re-enroll for another round.
+        conn->wheel_slot = -1;
+        TouchIdleWheel(conn);
         continue;
       }
-      const size_t target_end = buffer.find(' ', 4);
-      const std::string_view target =
-          target_end == std::string::npos
-              ? std::string_view()
-              : std::string_view(buffer).substr(4, target_end - 4);
-      reply.clear();
-      ServeHttp(target, &reply);
-      if (SendAll(fd, reply)) {
-        metrics_.bytes_sent.fetch_add(reply.size(),
-                                      std::memory_order_relaxed);
-      }
-      break;
-    }
-
-    // Split the buffered bytes into complete lines; answer them as one
-    // pipelined batch against one pinned snapshot.
-    std::vector<std::string_view> lines;
-    const std::string_view view(buffer);
-    size_t start = 0;
-    for (size_t nl = view.find('\n', start); nl != std::string_view::npos;
-         nl = view.find('\n', start)) {
-      std::string_view line = view.substr(start, nl - start);
-      if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
-      lines.push_back(line);
-      start = nl + 1;
-    }
-    const size_t remainder = buffer.size() - start;
-    if (remainder > options_.max_request_bytes) {
-      reply.clear();
-      AppendErrorReply(std::nullopt, "request line exceeds the size limit",
-                       &reply);
-      metrics_.error_replies.fetch_add(1, std::memory_order_relaxed);
-      metrics_.oversize_disconnects.fetch_add(1, std::memory_order_relaxed);
-      if (SendAll(fd, reply)) {
-        metrics_.bytes_sent.fetch_add(reply.size(),
-                                      std::memory_order_relaxed);
-      }
-      break;
-    }
-    if (!lines.empty()) {
-      reply.clear();
-      ServeBatch(lines, &reply);
-      buffer.erase(0, start);
-      if (!reply.empty()) {
-        if (!SendAll(fd, reply)) break;
-        metrics_.bytes_sent.fetch_add(reply.size(),
-                                      std::memory_order_relaxed);
-      }
+      CloseConnection(conn, /*idle=*/true);
     }
   }
-  conn->done.store(true, std::memory_order_release);
+  wheel_last_tick_ = tick;
+}
+
+void SkylineServer::CloseConnection(Connection* conn, bool idle) {
+  if (idle) {
+    metrics_.idle_disconnects.fetch_add(1, std::memory_order_relaxed);
+  }
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+  ::close(conn->fd);
+  // Guarded: the event loop owns the state machine, so this runs exactly
+  // once per connection; the guard is belt-and-braces against future bugs.
+  GuardedDecrement(&metrics_.connections_open);
+  connections_.erase(conn->id);  // destroys conn
+}
+
+// ---------------------------------------------------------------------------
+// Worker pool.
+
+void SkylineServer::WorkerLoop() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(jobs_mu_);
+      jobs_cv_.wait(lock, [this] { return workers_stop_ || !jobs_.empty(); });
+      if (jobs_.empty()) return;  // stop requested and queue drained
+      job = std::move(jobs_.front());
+      jobs_.pop_front();
+    }
+    Completion completion;
+    completion.conn_id = job.conn_id;
+    if (job.http) {
+      ServeHttp(job.http_target, &completion.reply);
+      completion.close_after = true;
+    } else {
+      std::vector<std::string_view> lines;
+      SplitLines(job.lines, &lines);
+      ServeBatch(lines, &completion.reply);
+    }
+    metrics_.worker_batches.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(completions_mu_);
+      completions_.push_back(std::move(completion));
+    }
+    GuardedDecrement(&metrics_.worker_queue_depth);
+    // One wake per reactor drain, not per completion: the loop clears the
+    // flag before swapping the queue, so a post-swap push always re-signals.
+    if (!completions_signaled_.exchange(true, std::memory_order_acq_rel)) {
+      const uint64_t one = 1;
+      [[maybe_unused]] const ssize_t n =
+          ::write(wake_fd_, &one, sizeof(one));
+    }
+  }
 }
 
 void SkylineServer::ServeHttp(std::string_view request_target,
@@ -356,8 +714,11 @@ void SkylineServer::ServeBatch(std::span<const std::string_view> lines,
   SKYDIA_TRACE_SPAN("serve.batch");
   const uint64_t batch_start_ns = trace::NowNanos();
   // One snapshot pin for the whole pipelined batch: every reply in a batch
-  // carries the same generation even across a concurrent reload.
+  // carries the same generation even across a concurrent reload — and with
+  // sharding, one consistent set of stripes.
   const auto snapshot = registry_.Current();
+  const ShardedServableDiagram* sharded =
+      snapshot != nullptr ? snapshot->sharded.get() : nullptr;
 
   struct Pending {
     Request request;
@@ -394,7 +755,12 @@ void SkylineServer::ServeBatch(std::span<const std::string_view> lines,
   std::vector<SetId> fast_sets;
   if (!fast_queries.empty() && snapshot != nullptr) {
     SKYDIA_TRACE_SPAN("serve.answer");
-    snapshot->diagram->engine().AnswerBatch(fast_queries, &fast_sets);
+    if (sharded != nullptr) {
+      // Scatter/gather across row-stripe shards.
+      sharded->AnswerBatch(fast_queries, &fast_sets, shard_pool_.get());
+    } else {
+      snapshot->diagram->engine().AnswerBatch(fast_queries, &fast_sets);
+    }
   }
   std::vector<SetId> set_for_line(lines.size(), 0);
   std::vector<bool> has_set(lines.size(), false);
@@ -435,6 +801,29 @@ void SkylineServer::ServeBatch(std::span<const std::string_view> lines,
           AppendErrorReply(req.id, status.message(), out);
           metrics_.error_replies.fetch_add(1, std::memory_order_relaxed);
         }
+        break;
+      }
+      case RequestKind::kRange: {
+        if (snapshot == nullptr) {
+          AppendErrorReply(req.id, "no snapshot installed", out);
+          metrics_.error_replies.fetch_add(1, std::memory_order_relaxed);
+          break;
+        }
+        auto summary = snapshot->diagram->engine().AnswerRange(req.range);
+        if (!summary.ok()) {
+          AppendErrorReply(req.id, summary.status().message(), out);
+          metrics_.error_replies.fetch_add(1, std::memory_order_relaxed);
+          break;
+        }
+        const Dataset& dataset = snapshot->diagram->dataset();
+        const std::string union_json =
+            req.labels ? RenderLabelsArray(dataset, summary->union_ids)
+                       : RenderIdsArray(summary->union_ids);
+        const std::string intersection_json =
+            req.labels ? RenderLabelsArray(dataset, summary->intersection_ids)
+                       : RenderIdsArray(summary->intersection_ids);
+        AppendRangeReply(req.id, generation, union_json, intersection_json,
+                         summary->distinct_results, out);
         break;
       }
       case RequestKind::kQuery: {

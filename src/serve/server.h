@@ -5,34 +5,64 @@
 // with a per-snapshot reply cache (result_cache.h) and a Prometheus
 // /metrics endpoint (metrics.h).
 //
-// Threading model: one acceptor thread plus one thread per connection.
-// Connections poll with the idle timeout, read whole lines, answer each
-// complete batch of lines through one pinned snapshot (so a pipelined batch
-// is answered consistently even across a concurrent reload), and reply in
-// order. A request that starts with "GET " is treated as HTTP: /metrics and
-// /healthz are served and the connection closes — the same port works for
-// both nc and curl.
+// Threading model: an epoll reactor. One event-loop thread owns every
+// connection state machine — non-blocking accept/read/write, per-connection
+// input and output buffers, and a coarse timing wheel for the idle timeout —
+// while a small worker pool executes parsed request batches off the event
+// thread. Concurrency is bounded by max_connections, not by OS threads.
+//
+// Event-loop invariants (the TSan contract):
+//   * Connection objects are created, mutated and destroyed only on the
+//     event-loop thread. Workers never see a Connection.
+//   * Small pure-query batches execute inline on the event-loop thread —
+//     the fast path that amortizes scheduler wakeups across connections.
+//     HTTP requests, reloads, range scans and oversized batches cross to
+//     the pool as a self-contained job (connection id + moved-out request
+//     bytes) and return as a completion (connection id + rendered reply)
+//     through a mutex-guarded queue; an eventfd (write-coalesced via an
+//     atomic flag) wakes the loop. Stale completions for closed
+//     connections are dropped by id.
+//   * At most one batch per connection is in flight, and the connection's
+//     read interest is parked while it is — replies stay in request order
+//     and the input buffer stays bounded without any per-connection locks.
+//   * Replies append to the connection's output buffer and drain via
+//     EPOLLOUT; a peer that stops reading hits the max_response_bytes cap
+//     and is dropped (write backpressure), so one slow client cannot pin
+//     server memory.
+//
+// Batches answer against one pinned snapshot (so a pipelined batch is
+// answered consistently even across a concurrent reload), in order. A
+// request starting with "GET " is treated as HTTP: /metrics and /healthz
+// are served and the connection closes — the same port works for both nc
+// and curl.
 //
 // Robustness contract: a malformed line produces one error reply and the
 // connection stays open; a line longer than max_request_bytes produces one
-// error reply and closes the connection; client disconnects and SIGPIPE-free
-// sends are handled; nothing a client sends can abort the process.
+// error reply and closes the connection; partial reads, half-closed peers
+// (FIN with replies pending — the tail is flushed), client disconnects and
+// SIGPIPE-free sends are handled; nothing a client sends can abort the
+// process.
 #ifndef SKYDIA_SRC_SERVE_SERVER_H_
 #define SKYDIA_SRC_SERVE_SERVER_H_
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
-#include <list>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <span>
 #include <string>
 #include <string_view>
 #include <thread>
+#include <unordered_map>
+#include <vector>
 
 #include "src/common/status.h"
+#include "src/common/thread_pool.h"
 #include "src/core/query_engine.h"
+#include "src/core/sharded_diagram.h"
 #include "src/serve/metrics.h"
 #include "src/serve/result_cache.h"
 #include "src/serve/snapshot_registry.h"
@@ -53,10 +83,25 @@ struct ServerOptions {
   SkylineQueryType cell_semantics = SkylineQueryType::kQuadrant;
   /// Per-snapshot reply cache sizing.
   ResultCacheOptions cache;
+  /// Row-stripe shards per snapshot; <= 1 serves the unsharded engine.
+  int num_shards = 1;
+  /// Worker threads executing parsed batches off the event loop (>= 1).
+  int num_workers = 1;
+  /// Pure-query batches of at most this many lines execute inline on the
+  /// event-loop thread (the reactor fast path). Batches above the limit,
+  /// HTTP requests, and batches containing a command that can block the
+  /// loop (reload, range scans) always go to the worker pool. 0 sends
+  /// everything to the pool.
+  int inline_batch_lines = 64;
   /// A single request line (and a pipelined burst's buffer) may not exceed
   /// this many bytes; beyond it the connection is closed after one error.
   size_t max_request_bytes = 64 * 1024;
-  /// Connections silent for this long are closed. <= 0 disables the timeout.
+  /// Write-backpressure cap: a connection whose un-drained output buffer
+  /// exceeds this many bytes is dropped.
+  size_t max_response_bytes = 4 * 1024 * 1024;
+  /// Connections silent for this long are closed (granularity is coarse:
+  /// the timing wheel rounds up by up to 1/8 of the timeout).
+  /// <= 0 disables the timeout.
   int idle_timeout_ms = 60'000;
   /// Accepted connections above this cap are closed immediately.
   int max_connections = 256;
@@ -83,9 +128,8 @@ class SkylineServer {
   /// `source_path` is what a path-less reload re-reads ("" disables it).
   Status Start(ServableDiagram diagram, std::string source_path);
 
-  /// Stops accepting, closes every connection, joins all threads.
-  /// Idempotent; safe to call from a signal-handling thread's context (it
-  /// only uses shutdown/close/join, no allocation-order hazards).
+  /// Stops accepting, closes every connection, joins the reactor and the
+  /// worker pool. Idempotent.
   void Stop();
 
   /// Hot-swaps the snapshot from `path` ("" = re-read the current source).
@@ -103,22 +147,70 @@ class SkylineServer {
   std::string RenderMetrics() const;
 
  private:
+  /// One connection state machine. Owned and touched exclusively by the
+  /// event-loop thread; workers refer to it only by `id`.
   struct Connection {
     int fd = -1;
-    std::thread thread;
-    std::atomic<bool> done{false};
+    uint64_t id = 0;
+    std::string inbuf;        ///< unconsumed request bytes
+    std::string outbuf;       ///< reply bytes not yet written
+    size_t out_off = 0;       ///< written prefix of outbuf
+    bool want_write = false;  ///< EPOLLOUT currently armed
+    bool reading = true;      ///< EPOLLIN currently armed
+    bool http = false;        ///< switched to one-shot HTTP mode
+    bool in_flight = false;   ///< a batch is at the worker pool
+    bool closing = false;     ///< close once outbuf drains
+    bool peer_half_closed = false;  ///< read saw EOF; flush, then close
+    int wheel_slot = -1;      ///< idle-wheel bucket, -1 = not enrolled
+  };
+
+  /// A unit of work for the pool: one connection's batch of complete
+  /// request lines, or one HTTP request. Self-contained — the strings are
+  /// moved out of the connection before the handoff.
+  struct Job {
+    uint64_t conn_id = 0;
+    std::string lines;        ///< complete lines, each '\n'-terminated
+    bool http = false;
+    std::string http_target;  ///< request target when http
+  };
+
+  /// A finished job on its way back to the event loop.
+  struct Completion {
+    uint64_t conn_id = 0;
+    std::string reply;
+    bool close_after = false;  ///< HTTP one-shot: close once flushed
   };
 
   Status BindAndListen();
-  void AcceptLoop();
-  void ConnectionLoop(Connection* conn);
-  /// Reaps finished connection threads; with `all` set, closes and joins
-  /// every connection (Stop path).
-  void ReapConnections(bool all);
+  void ReactorLoop();
+  void WorkerLoop();
+
+  // Everything below ReactorLoop in this section runs on the event-loop
+  // thread only.
+  void HandleAccept();
+  void HandleReadable(Connection* conn);
+  void HandleWritable(Connection* conn);
+  void ProcessInput(Connection* conn);
+  /// Whether a complete-line batch qualifies for the inline fast path.
+  bool CanExecuteInline(const std::string& batch) const;
+  /// Answers a small batch directly on the event-loop thread and flushes.
+  /// Returns false when the flush destroyed `conn`.
+  bool ExecuteInline(Connection* conn, std::string_view lines);
+  void DispatchJob(Connection* conn, Job job);
+  void DrainCompletions();
+  /// Writes as much of outbuf as the socket accepts; arms/disarms EPOLLOUT
+  /// and closes drained `closing` connections. Returns false when it
+  /// destroyed `conn`.
+  bool FlushOutput(Connection* conn);
+  void SetReading(Connection* conn, bool reading);
+  void UpdateEpoll(Connection* conn);
+  void TouchIdleWheel(Connection* conn);
+  void AdvanceIdleWheel();
+  void CloseConnection(Connection* conn, bool idle = false);
 
   /// Answers one batch of complete request lines against one pinned
-  /// snapshot, appending reply lines to `out`. Returns false when the
-  /// connection must close (oversize line).
+  /// snapshot, appending reply lines to `out`. Runs on worker threads and,
+  /// for the inline fast path, on the event-loop thread.
   void ServeBatch(std::span<const std::string_view> lines, std::string* out);
   void ServeHttp(std::string_view request_target, std::string* out);
 
@@ -128,11 +220,41 @@ class SkylineServer {
   std::chrono::steady_clock::time_point start_time_;
 
   int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  ///< eventfd: completions posted / Stop requested
   int port_ = 0;
   std::atomic<bool> running_{false};
-  std::thread acceptor_;
-  std::mutex conns_mu_;
-  std::list<std::unique_ptr<Connection>> conns_;  // guarded by conns_mu_
+  std::thread reactor_;
+
+  /// Scatter/gather pool for sharded batches; null when the engine is
+  /// configured single-threaded (shards then answer sequentially in the
+  /// worker, which is right for one-core hosts).
+  std::unique_ptr<ThreadPool> shard_pool_;
+
+  // Connection table: the event loop resolves completions by id. Only the
+  // event-loop thread touches it.
+  std::unordered_map<uint64_t, std::unique_ptr<Connection>> connections_;
+  uint64_t next_conn_id_ = 1;
+
+  // Idle-timeout wheel (event-loop thread only): kWheelSlots coarse buckets
+  // of fds; the hand closes a bucket after one full revolution of silence.
+  static constexpr size_t kWheelSlots = 16;
+  std::vector<std::vector<uint64_t>> wheel_;
+  int64_t wheel_tick_ms_ = 0;
+  int64_t wheel_last_tick_ = 0;
+
+  // Worker pool plumbing.
+  std::vector<std::thread> workers_;
+  std::mutex jobs_mu_;
+  std::condition_variable jobs_cv_;
+  std::deque<Job> jobs_;           // guarded by jobs_mu_
+  bool workers_stop_ = false;      // guarded by jobs_mu_
+  std::mutex completions_mu_;
+  std::deque<Completion> completions_;  // guarded by completions_mu_
+  /// True while an eventfd wake for pending completions is outstanding —
+  /// coalesces one wake_fd_ write per reactor drain instead of one per
+  /// completion. Cleared by the event loop before it drains.
+  std::atomic<bool> completions_signaled_{false};
 };
 
 }  // namespace skydia::serve

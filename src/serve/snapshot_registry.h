@@ -10,6 +10,13 @@
 // snapshots, so retiring the cache with its diagram makes stale cache hits
 // structurally impossible (no invalidation protocol to get wrong).
 //
+// Sharding: when Install/Reload are given a shard count > 1, the snapshot
+// also carries a ShardedServableDiagram built over the same loaded blob.
+// The sharded view and every one of its stripe indexes are members of the
+// one ServingSnapshot that the registry swaps atomically, so a hot-swap
+// publishes all stripes under one generation — a batch can never observe
+// stripes from two generations.
+//
 // Generation numbers increase monotonically from 1 and stamp every reply
 // ("gen" field), which is what the hot-swap stress test asserts on.
 #ifndef SKYDIA_SRC_SERVE_SNAPSHOT_REGISTRY_H_
@@ -24,6 +31,7 @@
 #include "src/common/status.h"
 #include "src/core/diagram.h"
 #include "src/core/query_engine.h"
+#include "src/core/sharded_diagram.h"
 #include "src/serve/result_cache.h"
 
 namespace skydia::serve {
@@ -32,6 +40,9 @@ namespace skydia::serve {
 /// and where it came from. Shared read-only across connection threads.
 struct ServingSnapshot {
   std::shared_ptr<const ServableDiagram> diagram;
+  /// Row-stripe sharded view over `diagram` (null when serving unsharded).
+  /// All stripes belong to this snapshot: one generation, swapped as a unit.
+  std::shared_ptr<const ShardedServableDiagram> sharded;
   std::shared_ptr<ResultCache> cache;
   uint64_t generation = 0;
   std::string source_path;  ///< blob the snapshot was loaded from
@@ -49,16 +60,20 @@ class SnapshotRegistry {
   std::shared_ptr<const ServingSnapshot> Current() const;
 
   /// Installs an already-loaded diagram as the new current snapshot with a
-  /// fresh cache. Returns the new generation.
+  /// fresh cache (and, when `sharding.num_shards > 1`, a sharded view built
+  /// before the swap so all stripes publish atomically). Returns the new
+  /// generation.
   uint64_t Install(ServableDiagram diagram, std::string source_path,
-                   const ResultCacheOptions& cache_options = {});
+                   const ResultCacheOptions& cache_options = {},
+                   const ShardingOptions& sharding = {});
 
   /// Loads `path` and installs it. On failure the current snapshot is left
   /// serving untouched. An empty `path` reloads the current snapshot's
   /// source file (error when nothing is installed yet).
   Status Reload(const std::string& path, const QueryEngineOptions& engine,
                 SkylineQueryType cell_semantics,
-                const ResultCacheOptions& cache_options = {});
+                const ResultCacheOptions& cache_options = {},
+                const ShardingOptions& sharding = {});
 
   /// Generation of the current snapshot (0 = nothing installed). Lock-free.
   uint64_t generation() const {

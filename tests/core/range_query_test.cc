@@ -118,6 +118,81 @@ TEST(RangeQueryTest, DistinctResultsCountsSafeZones) {
   EXPECT_EQ(*corner, 1u);
 }
 
+// Property-based differential check of the summary path the line protocol
+// serves: RangeSkylineSummarize through a PointLocationIndex must agree with
+// brute-force evaluation at every integer position of random ranges —
+// union, intersection, and the distinct-result count. Quadrant diagrams are
+// exact everywhere, so every position (grid line or not) must match.
+TEST(RangeQueryTest, SummarizeMatchesIntegerOracleOnRandomRanges) {
+  const Dataset ds = RandomDataset(25, 24, 17);
+  const SkylineDiagram built = testing::BuildDiagram(
+      ds, SkylineQueryType::kQuadrant, BuildAlgorithm::kScanning);
+  const PointLocationIndex index(*built.cell_diagram());
+  Rng rng(29);
+  for (int i = 0; i < 40; ++i) {
+    QueryRange range;
+    range.x_lo = rng.NextInt(0, 23);
+    range.x_hi = range.x_lo + rng.NextInt(0, 23 - range.x_lo);
+    range.y_lo = rng.NextInt(0, 23);
+    range.y_hi = range.y_lo + rng.NextInt(0, 23 - range.y_lo);
+
+    const auto [uni, inter] = OracleUnionIntersection(ds, range);
+    std::set<std::vector<PointId>> distinct_sets;
+    for (int64_t x = range.x_lo; x <= range.x_hi; ++x) {
+      for (int64_t y = range.y_lo; y <= range.y_hi; ++y) {
+        distinct_sets.insert(FirstQuadrantSkyline(ds, {x, y}));
+      }
+    }
+
+    auto summary = RangeSkylineSummarize(index, range);
+    ASSERT_TRUE(summary.ok()) << summary.status();
+    EXPECT_EQ(std::set<PointId>(summary->union_ids.begin(),
+                                summary->union_ids.end()),
+              uni);
+    EXPECT_TRUE(std::is_sorted(summary->union_ids.begin(),
+                               summary->union_ids.end()));
+    EXPECT_EQ(std::set<PointId>(summary->intersection_ids.begin(),
+                                summary->intersection_ids.end()),
+              inter);
+    EXPECT_TRUE(std::is_sorted(summary->intersection_ids.begin(),
+                               summary->intersection_ids.end()));
+    EXPECT_EQ(summary->distinct_results, distinct_sets.size());
+  }
+}
+
+TEST(RangeQueryTest, SummarizeAgreesWithTheStandaloneQueries) {
+  const Dataset ds = RandomDataset(30, 40, 19);
+  const SkylineDiagram built = testing::BuildDiagram(
+      ds, SkylineQueryType::kQuadrant, BuildAlgorithm::kScanning);
+  const CellDiagram& diagram = *built.cell_diagram();
+  const PointLocationIndex index(diagram);
+  Rng rng(31);
+  for (int i = 0; i < 25; ++i) {
+    QueryRange range;
+    range.x_lo = rng.NextInt(0, 39);
+    range.x_hi = range.x_lo + rng.NextInt(0, 39 - range.x_lo);
+    range.y_lo = rng.NextInt(0, 39);
+    range.y_hi = range.y_lo + rng.NextInt(0, 39 - range.y_lo);
+    auto summary = RangeSkylineSummarize(index, range);
+    auto u = RangeSkylineUnion(diagram, range);
+    auto x = RangeSkylineIntersection(diagram, range);
+    auto d = RangeDistinctResults(diagram, range);
+    ASSERT_TRUE(summary.ok() && u.ok() && x.ok() && d.ok());
+    EXPECT_EQ(summary->union_ids, *u);
+    EXPECT_EQ(summary->intersection_ids, *x);
+    EXPECT_EQ(summary->distinct_results, *d);
+  }
+}
+
+TEST(RangeQueryTest, SummarizeRejectsInvertedRanges) {
+  const Dataset ds = RandomDataset(5, 8, 7);
+  const SkylineDiagram built = testing::BuildDiagram(
+      ds, SkylineQueryType::kQuadrant, BuildAlgorithm::kScanning);
+  const PointLocationIndex index(*built.cell_diagram());
+  EXPECT_FALSE(RangeSkylineSummarize(index, {5, 4, 0, 1}).ok());
+  EXPECT_FALSE(RangeSkylineSummarize(index, {0, 1, 5, 4}).ok());
+}
+
 TEST(RangeQueryTest, DistinctResultsWithoutInterning) {
   const Dataset ds = RandomDataset(10, 12, 13);
   DiagramOptions no_intern;

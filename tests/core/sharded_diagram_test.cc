@@ -1,0 +1,181 @@
+#include "src/core/sharded_diagram.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/common/thread_pool.h"
+#include "src/core/diagram.h"
+#include "src/core/serialize.h"
+#include "tests/testing/util.h"
+
+namespace skydia {
+namespace {
+
+using skydia::testing::BuildDiagram;
+using skydia::testing::RandomDataset;
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+/// Builds a diagram over a seeded random dataset, round-trips it through the
+/// serialized form (the only way to construct a ServableDiagram) and returns
+/// it shared, ready for sharding.
+std::shared_ptr<const ServableDiagram> LoadFixture(SkylineQueryType type,
+                                                   size_t n, int64_t domain,
+                                                   uint64_t seed,
+                                                   const char* name) {
+  const Dataset dataset = RandomDataset(n, domain, seed);
+  const SkylineDiagram built = BuildDiagram(dataset, type);
+  const std::string path = TempPath(name);
+  if (type == SkylineQueryType::kDynamic) {
+    SKYDIA_CHECK(
+        SaveSubcellDiagram(built.dataset(), *built.subcell_diagram(), path)
+            .ok());
+  } else {
+    SKYDIA_CHECK(
+        SaveCellDiagram(built.dataset(), *built.cell_diagram(), path).ok());
+  }
+  auto loaded = ServableDiagram::Load(path, {}, type == SkylineQueryType::kDynamic
+                                                   ? SkylineQueryType::kQuadrant
+                                                   : type);
+  SKYDIA_CHECK(loaded.ok());
+  return std::make_shared<const ServableDiagram>(std::move(loaded).value());
+}
+
+/// Query points covering the interesting positions: corners, interior,
+/// out-of-domain, and positions exactly on data coordinates (stripe
+/// boundaries live on data y values, so these exercise boundary routing).
+std::vector<Point2D> ProbeQueries(const Dataset& dataset, int64_t domain,
+                                  uint64_t seed) {
+  std::vector<Point2D> queries = {{0, 0},
+                                  {domain - 1, domain - 1},
+                                  {-5, domain / 2},
+                                  {domain / 2, -5},
+                                  {domain + 100, domain + 100}};
+  for (PointId id = 0; id < dataset.size(); id += 3) {
+    const Point2D p = dataset.point(id);
+    queries.push_back(p);                    // exactly on both lines
+    queries.push_back({p.x + 1, p.y});       // on a y boundary only
+    queries.push_back({p.x, p.y - 1});       // just below a y boundary
+  }
+  Rng rng(seed);
+  for (int i = 0; i < 500; ++i) {
+    queries.push_back({rng.NextInt(-2, domain + 2),
+                       rng.NextInt(-2, domain + 2)});
+  }
+  return queries;
+}
+
+TEST(ShardedDiagramTest, StripesPartitionTheRowsExactly) {
+  auto base = LoadFixture(SkylineQueryType::kQuadrant, 128, 1024, 11,
+                          "sharded_rows.skd");
+  auto sharded = ShardedServableDiagram::Create(base, {.num_shards = 5});
+  ASSERT_TRUE(sharded.ok());
+  EXPECT_EQ(sharded->num_shards(), 5);
+  const auto stats = sharded->Stats();
+  ASSERT_EQ(stats.size(), 5u);
+  EXPECT_EQ(stats.front().row_begin, 0u);
+  for (size_t s = 1; s < stats.size(); ++s) {
+    EXPECT_EQ(stats[s].row_begin, stats[s - 1].row_end);
+    EXPECT_GT(stats[s].row_end, stats[s].row_begin);
+  }
+}
+
+TEST(ShardedDiagramTest, SingleQueriesMatchTheUnshardedEngine) {
+  auto base = LoadFixture(SkylineQueryType::kQuadrant, 200, 512, 3,
+                          "sharded_single.skd");
+  for (const int shards : {1, 2, 4, 7}) {
+    auto sharded =
+        ShardedServableDiagram::Create(base, {.num_shards = shards});
+    ASSERT_TRUE(sharded.ok());
+    for (const Point2D& q : ProbeQueries(base->dataset(), 512, 17)) {
+      EXPECT_EQ(sharded->AnswerSetId(q), base->engine().AnswerSetId(q))
+          << "shards=" << shards << " q=(" << q.x << "," << q.y << ")";
+    }
+  }
+}
+
+TEST(ShardedDiagramTest, BatchScatterGatherMatchesSequentialAndEngine) {
+  auto base = LoadFixture(SkylineQueryType::kQuadrant, 300, 2048, 5,
+                          "sharded_batch.skd");
+  const auto queries = ProbeQueries(base->dataset(), 2048, 23);
+  auto sharded = ShardedServableDiagram::Create(base, {.num_shards = 4});
+  ASSERT_TRUE(sharded.ok());
+
+  std::vector<SetId> expected;
+  base->engine().AnswerBatch(queries, &expected);
+
+  std::vector<SetId> sequential;
+  sharded->AnswerBatch(queries, &sequential, /*pool=*/nullptr);
+  EXPECT_EQ(sequential, expected);
+
+  ThreadPool pool(4);
+  std::vector<SetId> parallel;
+  sharded->AnswerBatch(queries, &parallel, &pool);
+  EXPECT_EQ(parallel, expected);
+
+  // Every query was routed somewhere, and the counters add up. Each batch
+  // routes all queries once; the single-query probes above are not counted
+  // here because this is a fresh sharded view... so: 2 full batches.
+  uint64_t routed = 0;
+  for (const ShardStats& s : sharded->Stats()) routed += s.queries;
+  EXPECT_EQ(routed, 2 * queries.size());
+}
+
+TEST(ShardedDiagramTest, SubcellDiagramShardsAnswerDynamicSemantics) {
+  auto base = LoadFixture(SkylineQueryType::kDynamic, 150, 1024, 9,
+                          "sharded_dynamic.skd");
+  auto sharded = ShardedServableDiagram::Create(base, {.num_shards = 3});
+  ASSERT_TRUE(sharded.ok());
+  const auto queries = ProbeQueries(base->dataset(), 1024, 31);
+  std::vector<SetId> expected;
+  base->engine().AnswerBatch(queries, &expected);
+  std::vector<SetId> got;
+  sharded->AnswerBatch(queries, &got);
+  EXPECT_EQ(got, expected);
+  for (const Point2D& q : queries) {
+    EXPECT_EQ(sharded->AnswerSetId(q), base->engine().AnswerSetId(q));
+  }
+}
+
+TEST(ShardedDiagramTest, ShardCountClampsToTheRowCount) {
+  auto base = LoadFixture(SkylineQueryType::kQuadrant, 8, 64, 2,
+                          "sharded_clamp.skd");
+  auto sharded =
+      ShardedServableDiagram::Create(base, {.num_shards = 100000});
+  ASSERT_TRUE(sharded.ok());
+  // 8 points -> at most 9 rows; every shard still owns >= 1 row.
+  EXPECT_LE(sharded->num_shards(), 9);
+  EXPECT_GE(sharded->num_shards(), 1);
+  for (const Point2D& q : ProbeQueries(base->dataset(), 64, 41)) {
+    EXPECT_EQ(sharded->AnswerSetId(q), base->engine().AnswerSetId(q));
+  }
+}
+
+TEST(ShardedDiagramTest, MemoCountsHitsOnRepeatedQueries) {
+  auto base = LoadFixture(SkylineQueryType::kQuadrant, 64, 256, 13,
+                          "sharded_memo.skd");
+  auto sharded = ShardedServableDiagram::Create(
+      base, {.num_shards = 2, .memo_entries = 64});
+  ASSERT_TRUE(sharded.ok());
+  std::vector<Point2D> repeated(512, Point2D{100, 100});
+  std::vector<SetId> out;
+  sharded->AnswerBatch(repeated, &out);
+  uint64_t hits = 0;
+  for (const ShardStats& s : sharded->Stats()) hits += s.memo_hits;
+  EXPECT_GE(hits, 500u);
+}
+
+TEST(ShardedDiagramTest, NullBaseIsRejected) {
+  auto sharded = ShardedServableDiagram::Create(nullptr, {.num_shards = 2});
+  EXPECT_FALSE(sharded.ok());
+}
+
+}  // namespace
+}  // namespace skydia

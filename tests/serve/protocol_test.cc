@@ -97,6 +97,56 @@ TEST(ParseRequestTest, Rejections) {
   }
 }
 
+TEST(ParseRequestTest, RangeCommand) {
+  auto r = ParseRequest(R"({"cmd":"range","x":[10,20],"y":[-5,5],"id":3})");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->kind, RequestKind::kRange);
+  EXPECT_EQ(r->range.x_lo, 10);
+  EXPECT_EQ(r->range.x_hi, 20);
+  EXPECT_EQ(r->range.y_lo, -5);
+  EXPECT_EQ(r->range.y_hi, 5);
+  EXPECT_EQ(*r->id, 3);
+
+  // Field order and labels compose like everywhere else.
+  auto swapped = ParseRequest(
+      R"({"y":[0,0],"labels":true,"x":[7,7],"cmd":"range"})");
+  ASSERT_TRUE(swapped.ok()) << swapped.status();
+  EXPECT_EQ(swapped->kind, RequestKind::kRange);
+  EXPECT_EQ(swapped->range.x_lo, 7);
+  EXPECT_TRUE(swapped->labels);
+}
+
+TEST(ParseRequestTest, RangeRejections) {
+  const char* bad[] = {
+      R"({"cmd":"range"})",                  // missing both bounds
+      R"({"cmd":"range","x":[1,2]})",        // missing y
+      R"({"cmd":"range","y":[1,2]})",        // missing x
+      R"({"cmd":"range","x":[1],"y":[1,2]})",// not a pair
+      R"({"cmd":"range","x":[1,2,3],"y":[1,2]})",
+      R"({"cmd":"range","x":[1.5,2],"y":[1,2]})",
+      R"({"cmd":"range","x":[1,2],"y":[1,2],"q":[1,2]})",  // with q
+      R"({"cmd":"ping","x":[1,2],"y":[1,2]})",  // bounds on other cmd
+      R"({"q":[1,2],"x":[1,2],"y":[1,2]})",     // bounds on plain query
+      R"({"x":[1,2],"y":[1,2]})",               // bounds alone
+  };
+  for (const char* line : bad) {
+    auto r = ParseRequest(line);
+    EXPECT_FALSE(r.ok()) << "accepted: " << line;
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument) << line;
+  }
+}
+
+TEST(RenderTest, RangeReply) {
+  std::string out;
+  AppendRangeReply(4, 2, "[1,2]", "[2]", 3, &out);
+  EXPECT_EQ(out,
+            "{\"id\":4,\"gen\":2,\"union\":[1,2],"
+            "\"intersection\":[2],\"distinct\":3}\n");
+  out.clear();
+  AppendRangeReply(std::nullopt, 1, "[]", "[]", 1, &out);
+  EXPECT_EQ(out, "{\"gen\":1,\"union\":[],\"intersection\":[],\"distinct\":1}\n");
+}
+
 TEST(ParseRequestTest, UnicodeEscapesRejected) {
   // Built programmatically: backslash-u escapes are out of the protocol's
   // JSON subset and must be rejected, not mis-decoded.

@@ -129,6 +129,9 @@ class LineClient {
 
   bool connected() const { return fd_ >= 0; }
 
+  /// The raw socket, for tests that need shutdown() or setsockopt().
+  int fd() const { return fd_; }
+
  private:
   int fd_ = -1;
   std::string buffer_;

@@ -2,9 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/serve/protocol.h"
@@ -201,6 +204,231 @@ TEST_F(ServerTest, StopIsIdempotentAndDrains) {
   server_->Stop();  // second call is a no-op
   EXPECT_FALSE(server_->running());
   EXPECT_EQ(server_->metrics().connections_open.load(), 0u);
+}
+
+TEST_F(ServerTest, PartialReadsSplitMidLineStillAnswer) {
+  StartServer("server_partial.skd");
+  // One request delivered in four fragments, split inside the JSON and
+  // inside a number; the reactor must buffer across reads.
+  const Point2D q{17, 900};
+  ASSERT_TRUE(client_.Send("{\"q\":[1"));
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  ASSERT_TRUE(client_.Send("7,90"));
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  ASSERT_TRUE(client_.Send("0],\"id\""));
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  ASSERT_TRUE(client_.Send(":7}\n"));
+  const std::string reply = client_.ReadLine();
+  EXPECT_EQ(reply, "{\"id\":7,\"gen\":1,\"ids\":" + ExpectedIds(*dataset_, q) +
+                       "}");
+
+  // A fragment arriving together with a complete line: the complete line is
+  // answered, the fragment waits.
+  ASSERT_TRUE(client_.Send("{\"id\":8,\"q\":[0,0]}\n{\"id\":9,\"q\":[1,"));
+  EXPECT_EQ(client_.ReadLine().rfind("{\"id\":8,", 0), 0u);
+  ASSERT_TRUE(client_.Send("1]}\n"));
+  EXPECT_EQ(client_.ReadLine().rfind("{\"id\":9,", 0), 0u);
+}
+
+TEST_F(ServerTest, HalfClosedPeerStillGetsAllReplies) {
+  StartServer("server_halfclose.skd");
+  // Pipeline a burst, then FIN our write side before reading anything. The
+  // server must answer everything already sent, flush, and only then close.
+  std::string burst;
+  constexpr int kDepth = 200;
+  for (int i = 0; i < kDepth; ++i) {
+    burst += "{\"id\":" + std::to_string(i) + ",\"q\":[" +
+             std::to_string(i * 5) + "," + std::to_string(i * 5) + "]}\n";
+  }
+  ASSERT_TRUE(client_.Send(burst));
+  ASSERT_EQ(::shutdown(client_.fd(), SHUT_WR), 0);
+  for (int i = 0; i < kDepth; ++i) {
+    const std::string reply = client_.ReadLine();
+    EXPECT_EQ(reply.rfind("{\"id\":" + std::to_string(i) + ",", 0), 0u)
+        << "at " << i << ": " << reply;
+  }
+  // After the tail is flushed the server closes its side: EOF, not a hang.
+  EXPECT_EQ(client_.ReadLine(), "");
+}
+
+TEST_F(ServerTest, SlowClientHitsWriteBackpressureCap) {
+  ServerOptions options;
+  options.port = 0;
+  options.max_response_bytes = 32 * 1024;  // tiny cap for the test
+  options.idle_timeout_ms = 0;             // isolate the backpressure path
+  path_ = FixturePath("server_backpressure.skd");
+  SaveQuadrantFixture(64, 1024, /*seed=*/1, path_);
+  server_ = std::make_unique<SkylineServer>(options);
+  ASSERT_TRUE(server_->Start(path_).ok());
+
+  // A client that shrinks its receive window and never reads: replies pile
+  // up in the server's output buffer until the cap drops the connection.
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  ASSERT_GE(fd, 0);
+  const int rcvbuf = 4096;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof(rcvbuf));
+  timeval tv{0, 200 * 1000};  // bounded sends so the test can't hang
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(server_->port()));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+
+  const std::string line = "{\"q\":[512,512]}\n";
+  std::string chunk;
+  for (int i = 0; i < 1024; ++i) chunk += line;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (server_->metrics().backpressure_disconnects.load() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    // Sends fail once the server drops us or our own buffer jams; both are
+    // fine — keep polling the metric until the drop is observed.
+    (void)::send(fd, chunk.data(), chunk.size(), MSG_NOSIGNAL);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GE(server_->metrics().backpressure_disconnects.load(), 1u);
+  ::close(fd);
+}
+
+TEST_F(ServerTest, IdleConnectionsAreClosedByTheWheel) {
+  ServerOptions options;
+  options.port = 0;
+  options.idle_timeout_ms = 100;
+  path_ = FixturePath("server_idle.skd");
+  SaveQuadrantFixture(16, 1024, /*seed=*/1, path_);
+  server_ = std::make_unique<SkylineServer>(options);
+  ASSERT_TRUE(server_->Start(path_).ok());
+  ASSERT_TRUE(client_.Connect(server_->port()));
+  // A silent connection must be closed within a few timeout periods (the
+  // wheel is coarse, not exact).
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (server_->metrics().idle_disconnects.load() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GE(server_->metrics().idle_disconnects.load(), 1u);
+  EXPECT_EQ(client_.ReadLine(), "");  // we were the one closed
+}
+
+TEST_F(ServerTest, ActiveConnectionSurvivesTheIdleWheel) {
+  ServerOptions options;
+  options.port = 0;
+  // Generous timeout-to-cadence ratio: sanitizer builds on a loaded
+  // one-core host can stall a 30ms sleep past a tight idle window.
+  options.idle_timeout_ms = 300;
+  path_ = FixturePath("server_active.skd");
+  SaveQuadrantFixture(16, 1024, /*seed=*/1, path_);
+  server_ = std::make_unique<SkylineServer>(options);
+  ASSERT_TRUE(server_->Start(path_).ok());
+  ASSERT_TRUE(client_.Connect(server_->port()));
+  // Query steadily for several timeout periods; the touches must keep the
+  // connection enrolled ahead of the hand.
+  const auto until =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(900);
+  while (std::chrono::steady_clock::now() < until) {
+    ASSERT_TRUE(client_.SendLine(R"({"q":[3,4]})"));
+    ASSERT_FALSE(client_.ReadLine().empty());
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  }
+  ASSERT_TRUE(client_.SendLine(R"({"q":[5,6],"id":1})"));
+  EXPECT_EQ(client_.ReadLine().rfind("{\"id\":1,", 0), 0u);
+}
+
+TEST_F(ServerTest, ShardedServerAnswersIdenticallyToTheOracle) {
+  ServerOptions options;
+  options.port = 0;
+  options.num_shards = 4;
+  options.num_workers = 2;
+  path_ = FixturePath("server_sharded.skd");
+  dataset_ = SaveQuadrantFixture(128, 1024, /*seed=*/21, path_);
+  server_ = std::make_unique<SkylineServer>(options);
+  ASSERT_TRUE(server_->Start(path_).ok());
+  ASSERT_TRUE(client_.Connect(server_->port()));
+
+  // A pipelined burst routed across all four stripes.
+  std::string burst;
+  constexpr int kDepth = 64;
+  for (int i = 0; i < kDepth; ++i) {
+    burst += "{\"id\":" + std::to_string(i) + ",\"q\":[" +
+             std::to_string((i * 37) % 1024) + "," +
+             std::to_string((i * 61) % 1024) + "]}\n";
+  }
+  ASSERT_TRUE(client_.Send(burst));
+  for (int i = 0; i < kDepth; ++i) {
+    const Point2D q{(i * 37) % 1024, (i * 61) % 1024};
+    EXPECT_EQ(client_.ReadLine(),
+              "{\"id\":" + std::to_string(i) + ",\"gen\":1,\"ids\":" +
+                  ExpectedIds(*dataset_, q) + "}");
+  }
+
+  // The stats body and the Prometheus scrape expose the shard dimension.
+  ASSERT_TRUE(client_.SendLine(R"({"cmd":"stats","id":99})"));
+  const std::string stats = client_.ReadLine();
+  EXPECT_NE(stats.find("\"shards\":4"), std::string::npos) << stats;
+  LineClient http;
+  ASSERT_TRUE(http.Connect(server_->port()));
+  ASSERT_TRUE(http.Send("GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n"));
+  const std::string metrics = http.ReadAll();
+  EXPECT_NE(metrics.find("skydia_shards 4"), std::string::npos);
+  EXPECT_NE(metrics.find("skydia_shard_queries_total{shard=\"0\"}"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("skydia_shard_queries_total{shard=\"3\"}"),
+            std::string::npos);
+
+  // Hot-swap under sharding: the new generation serves immediately and the
+  // shard view follows atomically.
+  SaveQuadrantFixture(96, 1024, /*seed=*/22, path_);
+  ASSERT_TRUE(client_.SendLine(R"({"cmd":"reload","id":100})"));
+  EXPECT_EQ(client_.ReadLine(), "{\"id\":100,\"ok\":true,\"gen\":2}");
+  ASSERT_TRUE(client_.SendLine(R"({"q":[512,512],"id":101})"));
+  EXPECT_EQ(client_.ReadLine().rfind("{\"id\":101,\"gen\":2,", 0), 0u);
+  EXPECT_EQ(server_->registry().Current()->sharded->num_shards(), 4);
+}
+
+TEST_F(ServerTest, RangeCommandMatchesBruteForce) {
+  StartServer("server_range.skd", /*n=*/48, /*seed=*/33);
+  const QueryRange range{100, 180, 40, 90};
+  // Brute-force union/intersection/distinct over every integer position.
+  std::set<PointId> uni;
+  std::set<PointId> inter;
+  std::set<std::vector<PointId>> distinct;
+  bool first = true;
+  for (int64_t x = range.x_lo; x <= range.x_hi; ++x) {
+    for (int64_t y = range.y_lo; y <= range.y_hi; ++y) {
+      const auto sky = FirstQuadrantSkyline(*dataset_, {x, y});
+      distinct.insert(sky);
+      uni.insert(sky.begin(), sky.end());
+      if (first) {
+        inter.insert(sky.begin(), sky.end());
+        first = false;
+      } else {
+        std::set<PointId> next;
+        for (PointId id : sky) {
+          if (inter.count(id)) next.insert(id);
+        }
+        inter = std::move(next);
+      }
+    }
+  }
+  const std::string expected =
+      "{\"id\":9,\"gen\":1,\"union\":" +
+      RenderIdsArray(std::vector<PointId>(uni.begin(), uni.end())) +
+      ",\"intersection\":" +
+      RenderIdsArray(std::vector<PointId>(inter.begin(), inter.end())) +
+      ",\"distinct\":" + std::to_string(distinct.size()) + "}";
+  ASSERT_TRUE(client_.SendLine(
+      R"({"cmd":"range","x":[100,180],"y":[40,90],"id":9})"));
+  EXPECT_EQ(client_.ReadLine(), expected);
+
+  // An inverted range is a per-line error; the connection survives.
+  ASSERT_TRUE(client_.SendLine(
+      R"({"cmd":"range","x":[5,4],"y":[0,1],"id":10})"));
+  EXPECT_EQ(client_.ReadLine().rfind("{\"id\":10,\"error\":", 0), 0u);
+  ASSERT_TRUE(client_.SendLine(R"({"cmd":"ping","id":11})"));
+  EXPECT_EQ(client_.ReadLine(), "{\"id\":11,\"ok\":true,\"gen\":1}");
 }
 
 TEST(ServerStartTest, MissingBlobFailsCleanly) {

@@ -11,8 +11,8 @@
 //          [--semantics quadrant|global] [--stats] [--bench [--repeat R]]
 //          [--trace out.json] [--batch-threshold N]
 //   skydia query   diagram.skd --qx 10 --qy 80 [--exact]
-//   skydia serve   diagram.skd [--port 7447] [--threads T] [--trace [f.json]]
-//          [--slow-query-ms MS]
+//   skydia serve   diagram.skd [--port 7447] [--threads T] [--shards S]
+//          [--workers W] [--trace [f.json]] [--slow-query-ms MS]
 //   skydia stats   --diagram diagram.skd
 //   skydia check   diagram.skd [--samples 64] [--seed 1]
 //   skydia render  --diagram diagram.skd --out diagram.svg [--labels]
@@ -148,6 +148,7 @@ void PrintUsage() {
          "           [--allow-duplicate-sets]  (validate invariants;\n"
          "           non-zero exit on corruption)\n"
          "  serve    <diagram.skd> [--host H] [--port P] [--threads T]\n"
+         "           [--shards S] [--workers W]\n"
          "           [--semantics quadrant|global] [--cache-entries N]\n"
          "           [--idle-timeout-ms MS] [--max-connections N]\n"
          "           [--slow-query-ms MS] [--trace [out.json]]\n"
@@ -547,7 +548,8 @@ int CmdServe(const Flags& flags, const std::string& positional_path) {
   std::string path = flags.GetString("diagram");
   if (path.empty()) path = positional_path;
   if (path.empty()) {
-    return Fail("usage: skydia serve <diagram.skd> [--port P] [--threads T]");
+    return Fail("usage: skydia serve <diagram.skd> [--port P] [--threads T]"
+                " [--shards S] [--workers W]");
   }
 
   auto cell_semantics =
@@ -562,6 +564,8 @@ int CmdServe(const Flags& flags, const std::string& positional_path) {
   options.host = flags.GetString("host", "127.0.0.1");
   options.port = static_cast<int>(flags.GetInt("port", 7447));
   options.engine.num_threads = static_cast<int>(flags.GetInt("threads", 1));
+  options.num_shards = static_cast<int>(flags.GetInt("shards", 1));
+  options.num_workers = static_cast<int>(flags.GetInt("workers", 1));
   options.cell_semantics = *cell_semantics;
   options.cache.capacity =
       static_cast<size_t>(flags.GetInt("cache-entries", 1 << 14));
