@@ -1,0 +1,35 @@
+// Fuzz target: the serve daemon's line-protocol parser
+// (src/serve/protocol.cc) — the rawest untrusted-input surface in the
+// system (anything a TCP peer sends reaches ParseRequest verbatim).
+//
+// The contract under fuzz: ParseRequest never throws, never aborts, never
+// reads out of bounds, and every successfully parsed request can be echoed
+// back through the reply renderers without corruption.
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+
+#include "src/serve/protocol.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string_view line(reinterpret_cast<const char*>(data), size);
+  auto parsed = skydia::serve::ParseRequest(line);
+  std::string out;
+  if (parsed.ok()) {
+    // A parsed request must render back into a reply line ending in '\n';
+    // exercise every Append* path the server uses on hot replies.
+    skydia::serve::AppendOkReply(parsed->id, 1, &out);
+    skydia::serve::AppendQueryReply(parsed->id, 1, "ids", "[1,2]", &out);
+    skydia::serve::AppendRangeReply(parsed->id, 1, "[1]", "[]", 3, &out);
+    if (out.empty() || out.back() != '\n') std::abort();
+  } else {
+    // Error messages flow into AppendErrorReply and must JSON-escape
+    // cleanly even when they quote hostile request bytes.
+    skydia::serve::AppendErrorReply(std::nullopt,
+                                    parsed.status().message(), &out);
+    if (out.find('\n') != out.size() - 1) std::abort();
+  }
+  return 0;
+}

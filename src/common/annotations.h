@@ -1,0 +1,135 @@
+// Compile-time concurrency contracts: Clang -Wthread-safety attribute
+// macros and an annotated Mutex/MutexLock wrapper pair.
+//
+// The prose locking protocols of thread_pool.h, trace.h and the serve stack
+// become compiler-checked here: every mutex-guarded member is declared
+// SKYDIA_GUARDED_BY its mutex, every function that needs or rejects a held
+// lock says so in its signature, and a Clang build with -Wthread-safety
+// -Werror (the `thread-safety` preset / the static-analysis CI job) refuses
+// to compile an access outside the contract. Under GCC (which has no
+// thread-safety analysis) every macro expands to nothing and the wrappers
+// cost exactly what std::mutex/std::unique_lock cost.
+//
+// Project rule (enforced by tools/lint/check_concurrency.py): raw
+// std::mutex / std::lock_guard / std::unique_lock / std::scoped_lock are
+// banned outside this header — lock state the analysis cannot see is lock
+// state nobody can check.
+//
+// SKYDIA_REACTOR_ONLY marks functions that run exclusively on the serve
+// daemon's event-loop thread (src/serve/server.h). It is a contract in two
+// directions: such functions may touch reactor-owned state without locks,
+// and they must never block (no ThreadPool::Submit + WaitIdle, no
+// disk/sleep syscalls) — the lint checks the second half from the source.
+#ifndef SKYDIA_SRC_COMMON_ANNOTATIONS_H_
+#define SKYDIA_SRC_COMMON_ANNOTATIONS_H_
+
+#include <mutex>  // lint:allow(raw-mutex) -- the one sanctioned wrapper site
+
+#if defined(__clang__) && (!defined(SWIG))
+#define SKYDIA_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define SKYDIA_THREAD_ANNOTATION(x)  // no-op outside Clang
+#endif
+
+/// Declares that a member is protected by the given capability (mutex):
+/// reads require the lock held shared, writes require it held exclusively.
+#define SKYDIA_GUARDED_BY(x) SKYDIA_THREAD_ANNOTATION(guarded_by(x))
+
+/// Like SKYDIA_GUARDED_BY for pointer members: the *pointee* is protected.
+#define SKYDIA_PT_GUARDED_BY(x) SKYDIA_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// The function must be called with the listed capabilities held.
+#define SKYDIA_REQUIRES(...) \
+  SKYDIA_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// The function must be called with the listed capabilities NOT held
+/// (deadlock guard for functions that take the lock themselves).
+#define SKYDIA_EXCLUDES(...) \
+  SKYDIA_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// The function acquires the capability and holds it on return.
+#define SKYDIA_ACQUIRE(...) \
+  SKYDIA_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// The function releases a held capability.
+#define SKYDIA_RELEASE(...) \
+  SKYDIA_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// The function acquires the capability iff it returns `result`.
+#define SKYDIA_TRY_ACQUIRE(result, ...) \
+  SKYDIA_THREAD_ANNOTATION(try_acquire_capability(result, __VA_ARGS__))
+
+/// Declares a type as a lockable capability ("mutex" names it in errors).
+#define SKYDIA_CAPABILITY(name) SKYDIA_THREAD_ANNOTATION(capability(name))
+
+/// Declares an RAII type whose constructor acquires and destructor releases.
+#define SKYDIA_SCOPED_CAPABILITY SKYDIA_THREAD_ANNOTATION(scoped_lockable)
+
+/// The function returns a reference to the named capability.
+#define SKYDIA_RETURN_CAPABILITY(x) \
+  SKYDIA_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: the function intentionally steps outside the analysis
+/// (must carry a comment saying why; the lint flags bare uses).
+#define SKYDIA_NO_THREAD_SAFETY_ANALYSIS \
+  SKYDIA_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+/// Marks a function that runs exclusively on the serve reactor's event-loop
+/// thread. Reactor-owned state needs no locks inside, and the function must
+/// never block (tools/lint/check_concurrency.py enforces: no
+/// ThreadPool::Submit/WaitIdle/ParallelFor, no sleeps, no buffered disk
+/// I/O). Under Clang the marker also lands in the AST as an `annotate`
+/// attribute, so clang-query tooling can match it structurally.
+#if defined(__clang__)
+#define SKYDIA_REACTOR_ONLY __attribute__((annotate("skydia::reactor_only")))
+#else
+#define SKYDIA_REACTOR_ONLY
+#endif
+
+namespace skydia {
+
+/// std::mutex with the capability annotations the analysis needs. Same
+/// storage, same cost; Lock/Unlock tell -Wthread-safety what changes hands.
+class SKYDIA_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() SKYDIA_ACQUIRE() { mu_.lock(); }
+  void Unlock() SKYDIA_RELEASE() { mu_.unlock(); }
+  bool TryLock() SKYDIA_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// The wrapped mutex, for std::condition_variable interop only (via
+  /// MutexLock::native()); everything else goes through Lock/Unlock.
+  std::mutex& native() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// Scoped lock over Mutex — the project's replacement for both
+/// std::lock_guard and std::unique_lock. Exposes the underlying
+/// std::unique_lock for condition-variable waits: the analysis models the
+/// capability as held across a wait, which is exactly the guarantee
+/// cv.wait() restores before returning.
+class SKYDIA_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) SKYDIA_ACQUIRE(mu) : lock_(mu.native()) {}
+  ~MutexLock() SKYDIA_RELEASE() {}
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// For `cv.wait(lock.native(), pred)`. The wait releases and reacquires
+  /// the mutex internally; on return the capability is held again, matching
+  /// what the analysis assumed throughout.
+  std::unique_lock<std::mutex>& native() { return lock_; }
+
+ private:
+  std::unique_lock<std::mutex> lock_;
+};
+
+}  // namespace skydia
+
+#endif  // SKYDIA_SRC_COMMON_ANNOTATIONS_H_

@@ -107,6 +107,14 @@ void AppendField(std::string* out, const std::string& field) {
 std::string WriteCsv(const CsvDocument& doc) {
   std::string out;
   for (const auto& row : doc.rows) {
+    // A row holding exactly one empty field would render as a blank line,
+    // which the parser skips — the row would silently vanish on a
+    // write/read round trip (found by fuzz_csv's round-trip invariant).
+    // Quote it so the reader sees the field.
+    if (row.size() == 1 && row[0].empty()) {
+      out.append("\"\"\n");
+      continue;
+    }
     for (size_t i = 0; i < row.size(); ++i) {
       if (i > 0) out.push_back(',');
       AppendField(&out, row[i]);

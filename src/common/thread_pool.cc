@@ -2,12 +2,20 @@
 
 #include <algorithm>
 #include <atomic>
+#include <memory>
 #include <string>
+#include <utility>
 
 #include "src/common/logging.h"
 #include "src/common/trace.h"
 
 namespace skydia {
+
+// Condition waits are written as explicit while loops around
+// cv.wait(lock.native()) instead of the predicate-lambda overload: the
+// predicate then executes in the enclosing scope, where -Wthread-safety can
+// see the MutexLock and prove the guarded reads legal (a lambda body is
+// opaque to the analysis).
 
 ThreadPool::ThreadPool(size_t num_threads) {
   SKYDIA_CHECK_GE(num_threads, 1u);
@@ -21,7 +29,7 @@ ThreadPool::~ThreadPool() {
   // Workers drain the queue before exiting (WorkerLoop only returns on an
   // empty queue), so everything submitted before destruction still runs.
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
   work_available_.notify_all();
@@ -30,7 +38,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     SKYDIA_CHECK(!shutdown_);
     queue_.push_back(std::move(task));
   }
@@ -38,8 +46,8 @@ void ThreadPool::Submit(std::function<void()> task) {
 }
 
 void ThreadPool::WaitIdle() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  MutexLock lock(mu_);
+  while (!(queue_.empty() && active_ == 0)) idle_.wait(lock.native());
 }
 
 void ThreadPool::ParallelFor(size_t count,
@@ -74,9 +82,8 @@ void ThreadPool::WorkerLoop(size_t worker_index) {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_available_.wait(lock,
-                           [this] { return shutdown_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!shutdown_ && queue_.empty()) work_available_.wait(lock.native());
       if (queue_.empty()) {
         if (shutdown_) return;
         continue;
@@ -87,7 +94,7 @@ void ThreadPool::WorkerLoop(size_t worker_index) {
     }
     task();
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       --active_;
       if (queue_.empty() && active_ == 0) idle_.notify_all();
     }

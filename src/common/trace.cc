@@ -7,7 +7,8 @@
 #include <cstring>
 #include <map>
 #include <memory>
-#include <mutex>
+
+#include "src/common/annotations.h"
 
 namespace skydia::trace {
 
@@ -26,6 +27,10 @@ std::atomic<size_t> g_ring_events{kDefaultRingEvents};
 std::atomic<uint32_t> g_next_tid{1};
 std::atomic<bool> g_exit_registered{false};
 std::atomic<bool> g_exit_flushed{false};
+
+/// Guards the buffer registry and every ThreadBuffer::name. Leaked on
+/// purpose: detached threads may still emit during static destruction.
+Mutex* const g_registry_mu = new Mutex;
 
 size_t RoundUpPow2(size_t v) {
   size_t p = 8;
@@ -58,17 +63,15 @@ struct ThreadBuffer {
   std::atomic<uint64_t> head{0};
   std::atomic<bool> retired{false};
   uint32_t tid = 0;
-  std::string name;  // guarded by RegistryMutex()
+  std::string name SKYDIA_GUARDED_BY(*g_registry_mu);
 };
 
 namespace {
 
-std::mutex& RegistryMutex() {
-  static std::mutex* mu = new std::mutex;
-  return *mu;
-}
-
-std::vector<std::unique_ptr<ThreadBuffer>>& Registry() {
+/// The registry itself is guarded too: callers must hold *g_registry_mu for
+/// the returned reference's whole lifetime of use.
+std::vector<std::unique_ptr<ThreadBuffer>>& Registry()
+    SKYDIA_REQUIRES(*g_registry_mu) {
   static auto* buffers = new std::vector<std::unique_ptr<ThreadBuffer>>;
   return *buffers;
 }
@@ -126,8 +129,10 @@ bool SlotStillValid(const Slot& slot, uint64_t expected) {
 
 /// Drains one buffer into a track. Seqlock-style reader: load seq, read the
 /// payload, acquire-fence, re-load seq — a slot overwritten mid-read fails
-/// the re-check and is skipped.
-ThreadTrack SnapshotBuffer(const ThreadBuffer& buffer, uint64_t epoch) {
+/// the re-check and is skipped. The registry lock covers `buffer.name` (and
+/// keeps the buffer alive against a concurrent Reset()).
+ThreadTrack SnapshotBuffer(const ThreadBuffer& buffer, uint64_t epoch)
+    SKYDIA_REQUIRES(*g_registry_mu) {
   ThreadTrack track;
   track.tid = buffer.tid;
   track.name = buffer.name;
@@ -183,7 +188,7 @@ ThreadBuffer* LocalBuffer() {
         RoundUpPow2(g_ring_events.load(std::memory_order_relaxed));
     auto buffer = std::make_unique<ThreadBuffer>(capacity);
     buffer->tid = CurrentThreadId();
-    std::lock_guard<std::mutex> lock(RegistryMutex());
+    MutexLock lock(*g_registry_mu);
     buffer->name = t_handle.pending_name;
     t_handle.buffer = buffer.get();
     Registry().push_back(std::move(buffer));
@@ -251,7 +256,7 @@ void SetEnabled(bool enabled) {
 }
 
 void Reset() {
-  std::lock_guard<std::mutex> lock(internal::RegistryMutex());
+  MutexLock lock(*internal::g_registry_mu);
   auto& buffers = internal::Registry();
   std::erase_if(buffers, [](const std::unique_ptr<internal::ThreadBuffer>& b) {
     return b->retired.load(std::memory_order_acquire);
@@ -279,7 +284,7 @@ uint32_t CurrentThreadId() {
 }
 
 void SetThreadName(const std::string& name) {
-  std::lock_guard<std::mutex> lock(internal::RegistryMutex());
+  MutexLock lock(*internal::g_registry_mu);
   internal::t_handle.pending_name = name;
   if (internal::t_handle.buffer != nullptr) {
     internal::t_handle.buffer->name = name;
@@ -306,7 +311,7 @@ TraceSnapshot Collect() {
   const uint64_t epoch =
       internal::g_epoch_ns.load(std::memory_order_relaxed);
   TraceSnapshot snapshot;
-  std::lock_guard<std::mutex> lock(internal::RegistryMutex());
+  MutexLock lock(*internal::g_registry_mu);
   for (const auto& buffer : internal::Registry()) {
     ThreadTrack track = internal::SnapshotBuffer(*buffer, epoch);
     snapshot.total_events += track.events.size();

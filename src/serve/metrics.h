@@ -32,6 +32,8 @@ struct ServerMetrics {
   /// loop iterations whose epoll_wait-to-idle time fell in [2^b, 2^(b+1)) ns.
   static constexpr size_t kReactorLoopBuckets = 32;
 
+  // Ordering: every counter in this struct is updated and read with
+  // memory_order_relaxed — exact totals, no inter-thread ordering implied.
   std::atomic<uint64_t> connections_opened{0};
   std::atomic<uint64_t> connections_open{0};
   std::atomic<uint64_t> connections_rejected{0};  ///< over max_connections
@@ -41,24 +43,26 @@ struct ServerMetrics {
   std::atomic<uint64_t> oversize_disconnects{0};
   std::atomic<uint64_t> idle_disconnects{0};
   /// Connections dropped because the peer stopped draining replies and the
-  /// output buffer hit ServerOptions::max_response_bytes.
+  /// output buffer hit ServerOptions::max_response_bytes (relaxed).
   std::atomic<uint64_t> backpressure_disconnects{0};
   /// Connections whose peer half-closed (FIN) with replies still pending;
-  /// the reactor flushed the tail before closing.
+  /// the reactor flushed the tail before closing (relaxed).
   std::atomic<uint64_t> half_closed_drains{0};
   std::atomic<uint64_t> bytes_received{0};
   std::atomic<uint64_t> bytes_sent{0};
   std::atomic<uint64_t> reloads{0};
   std::atomic<uint64_t> reload_failures{0};
-  /// Batches executed by the worker pool (line batches + HTTP requests).
+  /// Batches executed by the worker pool (line batches + HTTP requests;
+  /// relaxed).
   std::atomic<uint64_t> worker_batches{0};
   /// Small pure-query batches executed inline on the event-loop thread
-  /// (the reactor fast path; see ServerOptions::inline_batch_lines).
+  /// (the reactor fast path; see ServerOptions::inline_batch_lines; relaxed).
   std::atomic<uint64_t> inline_batches{0};
-  /// Batches currently queued for or running on the worker pool.
+  /// Batches currently queued for or running on the worker pool (relaxed
+  /// gauge; guarded against underflow by GuardedDecrement).
   std::atomic<uint64_t> worker_queue_depth{0};
   /// Sampled reactor loop-iteration latency (every iteration that handled
-  /// at least one event records one sample).
+  /// at least one event records one sample; relaxed histogram buckets).
   std::array<std::atomic<uint64_t>, kReactorLoopBuckets> reactor_loop_ns{};
 
   /// Records one reactor loop iteration of `ns` nanoseconds.

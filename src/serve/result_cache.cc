@@ -42,7 +42,7 @@ bool ResultCache::Lookup(uint64_t key, std::string* value) const {
     return false;
   }
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.map.find(key);
   if (it == shard.map.end()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
@@ -57,7 +57,7 @@ bool ResultCache::Lookup(uint64_t key, std::string* value) const {
 void ResultCache::Insert(uint64_t key, std::string value) {
   if (shard_capacity_ == 0) return;
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.map.find(key);
   if (it != shard.map.end()) {
     shard.value_bytes -= it->second->value.size();
@@ -85,7 +85,7 @@ ResultCacheStats ResultCache::Stats() const {
   stats.evictions = evictions_.load(std::memory_order_relaxed);
   for (size_t i = 0; i < shard_count_; ++i) {
     Shard& shard = shards_[i];
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     stats.entries += shard.lru.size();
     stats.value_bytes += shard.value_bytes;
   }

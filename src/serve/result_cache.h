@@ -17,9 +17,10 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
+
+#include "src/common/annotations.h"
 
 namespace skydia::serve {
 
@@ -66,10 +67,12 @@ class ResultCache {
     std::string value;
   };
   struct Shard {
-    mutable std::mutex mu;
-    std::list<Entry> lru;  // front = most recently used
-    std::unordered_map<uint64_t, std::list<Entry>::iterator> map;
-    size_t value_bytes = 0;
+    mutable Mutex mu;
+    /// front = most recently used
+    std::list<Entry> lru SKYDIA_GUARDED_BY(mu);
+    std::unordered_map<uint64_t, std::list<Entry>::iterator> map
+        SKYDIA_GUARDED_BY(mu);
+    size_t value_bytes SKYDIA_GUARDED_BY(mu) = 0;
   };
 
   Shard& ShardFor(uint64_t key) const;
@@ -78,6 +81,7 @@ class ResultCache {
   size_t shard_capacity_;   // per-shard entry cap; 0 disables the cache
   std::unique_ptr<Shard[]> shards_;
 
+  // Ordering: relaxed counters — exact totals, no inter-thread ordering.
   mutable std::atomic<uint64_t> hits_{0};
   mutable std::atomic<uint64_t> misses_{0};
   std::atomic<uint64_t> evictions_{0};

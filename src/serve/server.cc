@@ -214,7 +214,7 @@ void SkylineServer::Stop() {
   [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof(one));
   if (reactor_.joinable()) reactor_.join();
   {
-    std::lock_guard<std::mutex> lock(jobs_mu_);
+    MutexLock lock(jobs_mu_);
     workers_stop_ = true;
   }
   jobs_cv_.notify_all();
@@ -223,12 +223,12 @@ void SkylineServer::Stop() {
   }
   workers_.clear();
   {
-    std::lock_guard<std::mutex> lock(jobs_mu_);
+    MutexLock lock(jobs_mu_);
     workers_stop_ = false;
     jobs_.clear();
   }
   {
-    std::lock_guard<std::mutex> lock(completions_mu_);
+    MutexLock lock(completions_mu_);
     completions_.clear();
   }
   shard_pool_.reset();
@@ -472,7 +472,7 @@ void SkylineServer::DispatchJob(Connection* conn, Job job) {
   TouchIdleWheel(conn);
   metrics_.worker_queue_depth.fetch_add(1, std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> lock(jobs_mu_);
+    MutexLock lock(jobs_mu_);
     jobs_.push_back(std::move(job));
   }
   jobs_cv_.notify_one();
@@ -482,7 +482,7 @@ void SkylineServer::DrainCompletions() {
   std::deque<Completion> batch;
   completions_signaled_.store(false, std::memory_order_release);
   {
-    std::lock_guard<std::mutex> lock(completions_mu_);
+    MutexLock lock(completions_mu_);
     batch.swap(completions_);
   }
   for (Completion& completion : batch) {
@@ -654,8 +654,10 @@ void SkylineServer::WorkerLoop() {
   for (;;) {
     Job job;
     {
-      std::unique_lock<std::mutex> lock(jobs_mu_);
-      jobs_cv_.wait(lock, [this] { return workers_stop_ || !jobs_.empty(); });
+      // Explicit wait loop (not the predicate overload) so the guarded reads
+      // happen where -Wthread-safety can see the MutexLock.
+      MutexLock lock(jobs_mu_);
+      while (!workers_stop_ && jobs_.empty()) jobs_cv_.wait(lock.native());
       if (jobs_.empty()) return;  // stop requested and queue drained
       job = std::move(jobs_.front());
       jobs_.pop_front();
@@ -672,7 +674,7 @@ void SkylineServer::WorkerLoop() {
     }
     metrics_.worker_batches.fetch_add(1, std::memory_order_relaxed);
     {
-      std::lock_guard<std::mutex> lock(completions_mu_);
+      MutexLock lock(completions_mu_);
       completions_.push_back(std::move(completion));
     }
     GuardedDecrement(&metrics_.worker_queue_depth);

@@ -51,7 +51,6 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <string_view>
@@ -59,6 +58,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/annotations.h"
 #include "src/common/status.h"
 #include "src/common/thread_pool.h"
 #include "src/core/query_engine.h"
@@ -130,7 +130,7 @@ class SkylineServer {
 
   /// Stops accepting, closes every connection, joins the reactor and the
   /// worker pool. Idempotent.
-  void Stop();
+  void Stop() SKYDIA_EXCLUDES(jobs_mu_, completions_mu_);
 
   /// Hot-swaps the snapshot from `path` ("" = re-read the current source).
   /// On failure the old snapshot keeps serving and the error is returned.
@@ -182,31 +182,35 @@ class SkylineServer {
   };
 
   Status BindAndListen();
-  void ReactorLoop();
-  void WorkerLoop();
+  void ReactorLoop() SKYDIA_REACTOR_ONLY;
+  void WorkerLoop() SKYDIA_EXCLUDES(jobs_mu_, completions_mu_);
 
-  // Everything below ReactorLoop in this section runs on the event-loop
-  // thread only.
-  void HandleAccept();
-  void HandleReadable(Connection* conn);
-  void HandleWritable(Connection* conn);
-  void ProcessInput(Connection* conn);
+  // Everything below carrying SKYDIA_REACTOR_ONLY runs on the event-loop
+  // thread only; tools/lint/check_concurrency.py additionally proves none
+  // of these bodies can block the loop (no pool handoffs that wait, no
+  // sleeps, no buffered disk I/O).
+  void HandleAccept() SKYDIA_REACTOR_ONLY;
+  void HandleReadable(Connection* conn) SKYDIA_REACTOR_ONLY;
+  void HandleWritable(Connection* conn) SKYDIA_REACTOR_ONLY;
+  void ProcessInput(Connection* conn) SKYDIA_REACTOR_ONLY;
   /// Whether a complete-line batch qualifies for the inline fast path.
-  bool CanExecuteInline(const std::string& batch) const;
+  bool CanExecuteInline(const std::string& batch) const SKYDIA_REACTOR_ONLY;
   /// Answers a small batch directly on the event-loop thread and flushes.
   /// Returns false when the flush destroyed `conn`.
-  bool ExecuteInline(Connection* conn, std::string_view lines);
-  void DispatchJob(Connection* conn, Job job);
-  void DrainCompletions();
+  bool ExecuteInline(Connection* conn,
+                     std::string_view lines) SKYDIA_REACTOR_ONLY;
+  void DispatchJob(Connection* conn,
+                   Job job) SKYDIA_REACTOR_ONLY SKYDIA_EXCLUDES(jobs_mu_);
+  void DrainCompletions() SKYDIA_REACTOR_ONLY SKYDIA_EXCLUDES(completions_mu_);
   /// Writes as much of outbuf as the socket accepts; arms/disarms EPOLLOUT
   /// and closes drained `closing` connections. Returns false when it
   /// destroyed `conn`.
-  bool FlushOutput(Connection* conn);
-  void SetReading(Connection* conn, bool reading);
-  void UpdateEpoll(Connection* conn);
-  void TouchIdleWheel(Connection* conn);
-  void AdvanceIdleWheel();
-  void CloseConnection(Connection* conn, bool idle = false);
+  bool FlushOutput(Connection* conn) SKYDIA_REACTOR_ONLY;
+  void SetReading(Connection* conn, bool reading) SKYDIA_REACTOR_ONLY;
+  void UpdateEpoll(Connection* conn) SKYDIA_REACTOR_ONLY;
+  void TouchIdleWheel(Connection* conn) SKYDIA_REACTOR_ONLY;
+  void AdvanceIdleWheel() SKYDIA_REACTOR_ONLY;
+  void CloseConnection(Connection* conn, bool idle = false) SKYDIA_REACTOR_ONLY;
 
   /// Answers one batch of complete request lines against one pinned
   /// snapshot, appending reply lines to `out`. Runs on worker threads and,
@@ -223,6 +227,8 @@ class SkylineServer {
   int epoll_fd_ = -1;
   int wake_fd_ = -1;  ///< eventfd: completions posted / Stop requested
   int port_ = 0;
+  /// Ordering: Start() publishes all serving state with a release store;
+  /// the reactor/worker loops and running() read it with acquire.
   std::atomic<bool> running_{false};
   std::thread reactor_;
 
@@ -245,15 +251,17 @@ class SkylineServer {
 
   // Worker pool plumbing.
   std::vector<std::thread> workers_;
-  std::mutex jobs_mu_;
+  Mutex jobs_mu_;
   std::condition_variable jobs_cv_;
-  std::deque<Job> jobs_;           // guarded by jobs_mu_
-  bool workers_stop_ = false;      // guarded by jobs_mu_
-  std::mutex completions_mu_;
-  std::deque<Completion> completions_;  // guarded by completions_mu_
+  std::deque<Job> jobs_ SKYDIA_GUARDED_BY(jobs_mu_);
+  bool workers_stop_ SKYDIA_GUARDED_BY(jobs_mu_) = false;
+  Mutex completions_mu_;
+  std::deque<Completion> completions_ SKYDIA_GUARDED_BY(completions_mu_);
   /// True while an eventfd wake for pending completions is outstanding —
   /// coalesces one wake_fd_ write per reactor drain instead of one per
-  /// completion. Cleared by the event loop before it drains.
+  /// completion. Ordering: workers set it with an acq_rel exchange after
+  /// release-publishing the completion; the event loop clears it (release)
+  /// before swapping the queue, so a post-swap push always re-signals.
   std::atomic<bool> completions_signaled_{false};
 };
 

@@ -5,7 +5,7 @@
 namespace skydia::serve {
 
 std::shared_ptr<const ServingSnapshot> SnapshotRegistry::Current() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return current_;
 }
 
@@ -26,7 +26,7 @@ uint64_t SnapshotRegistry::Install(ServableDiagram diagram,
   }
   snapshot->cache = std::make_shared<ResultCache>(cache_options);
   snapshot->source_path = std::move(source_path);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   snapshot->generation = generation_.load(std::memory_order_relaxed) + 1;
   // The old snapshot's last reference may be held by an in-flight batch; it
   // is destroyed whenever that batch finishes, never under this mutex.

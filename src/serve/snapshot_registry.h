@@ -25,9 +25,9 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 
+#include "src/common/annotations.h"
 #include "src/common/status.h"
 #include "src/core/diagram.h"
 #include "src/core/query_engine.h"
@@ -57,7 +57,7 @@ class SnapshotRegistry {
 
   /// The current snapshot (null until the first Install/Reload). The caller
   /// holds the returned pointer for the duration of one request batch.
-  std::shared_ptr<const ServingSnapshot> Current() const;
+  std::shared_ptr<const ServingSnapshot> Current() const SKYDIA_EXCLUDES(mu_);
 
   /// Installs an already-loaded diagram as the new current snapshot with a
   /// fresh cache (and, when `sharding.num_shards > 1`, a sharded view built
@@ -65,7 +65,7 @@ class SnapshotRegistry {
   /// generation.
   uint64_t Install(ServableDiagram diagram, std::string source_path,
                    const ResultCacheOptions& cache_options = {},
-                   const ShardingOptions& sharding = {});
+                   const ShardingOptions& sharding = {}) SKYDIA_EXCLUDES(mu_);
 
   /// Loads `path` and installs it. On failure the current snapshot is left
   /// serving untouched. An empty `path` reloads the current snapshot's
@@ -73,7 +73,7 @@ class SnapshotRegistry {
   Status Reload(const std::string& path, const QueryEngineOptions& engine,
                 SkylineQueryType cell_semantics,
                 const ResultCacheOptions& cache_options = {},
-                const ShardingOptions& sharding = {});
+                const ShardingOptions& sharding = {}) SKYDIA_EXCLUDES(mu_);
 
   /// Generation of the current snapshot (0 = nothing installed). Lock-free.
   uint64_t generation() const {
@@ -81,8 +81,10 @@ class SnapshotRegistry {
   }
 
  private:
-  mutable std::mutex mu_;
-  std::shared_ptr<const ServingSnapshot> current_;  // guarded by mu_
+  mutable Mutex mu_;
+  std::shared_ptr<const ServingSnapshot> current_ SKYDIA_GUARDED_BY(mu_);
+  /// Mirrors current_->generation for the lock-free generation() fast path;
+  /// written under mu_ with release so readers see it monotonic.
   std::atomic<uint64_t> generation_{0};
 };
 

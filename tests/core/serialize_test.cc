@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstring>
+#include <random>
 
 #include <gtest/gtest.h>
 
@@ -312,6 +313,42 @@ TEST(SerializeTest, RejectsUnknownVersion) {
   auto loaded = ParseCellDiagram(bytes);
   ASSERT_FALSE(loaded.ok());
   EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+}
+
+// --- adversarial inputs (fuzz corpus regressions) ----------------------------
+
+TEST(SerializeTest, RejectsEveryTruncationLength) {
+  // Exhaustive version of RejectsTruncation: every proper prefix of a
+  // valid blob is corrupt — no prefix length may parse, hang, or crash.
+  const std::string valid = ValidBytes();
+  for (size_t keep = 0; keep < valid.size(); ++keep) {
+    auto loaded = ParseCellDiagram(valid.substr(0, keep));
+    ASSERT_FALSE(loaded.ok()) << "kept " << keep << " of " << valid.size();
+    EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+  }
+}
+
+TEST(SerializeTest, RejectsRandomGarbage) {
+  // Deterministic garbage of assorted lengths through both readers; the
+  // odds of fabricating a valid checksum are nil, so everything must be
+  // rejected without throwing or over-allocating.
+  std::mt19937_64 rng(0xD1A62A11u);
+  for (int round = 0; round < 64; ++round) {
+    std::string bytes((rng() % 512) + 1, '\0');
+    for (char& c : bytes) c = static_cast<char>(rng());
+    EXPECT_FALSE(ParseCellDiagram(bytes).ok());
+    EXPECT_FALSE(ParseSubcellDiagram(bytes).ok());
+  }
+}
+
+TEST(SerializeTest, ReserializeIsByteIdentical) {
+  // The fuzz harness's core invariant as a unit test: parsing a v2 blob
+  // and serializing the result reproduces the input byte for byte (the
+  // format is canonical — one diagram, one encoding).
+  const std::string valid = ValidBytes();
+  auto loaded = ParseCellDiagram(valid);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(SerializeCellDiagram(loaded->dataset, loaded->diagram), valid);
 }
 
 TEST(SerializeTest, NoDedupPoolSurvives) {

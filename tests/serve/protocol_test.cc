@@ -220,5 +220,47 @@ TEST(RenderTest, ReplyRoundTripsThroughParserShape) {
   EXPECT_EQ(out.back(), '\n');
 }
 
+// --- adversarial inputs (fuzz corpus regressions) ----------------------------
+
+TEST(ParseRequestTest, DuplicateKeysLastWins) {
+  // The grammar does not forbid repeated keys; the parser's documented
+  // behaviour is last-assignment-wins. Pin it so a refactor that changes
+  // the semantics (e.g. to first-wins or rejection) fails loudly.
+  auto r = ParseRequest(R"({"id":1,"id":2,"q":[3,4],"q":[5,6]})");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->id, 2);
+  EXPECT_EQ(r->q.x, 5);
+  EXPECT_EQ(r->q.y, 6);
+}
+
+TEST(ParseRequestTest, RejectsEmbeddedNulBytes) {
+  // NUL inside a string is a control character; NUL after the closing
+  // brace is trailing garbage. Both must error, neither may truncate the
+  // line at the NUL (the classic C-string confusion bug).
+  const std::string in_string("{\"cmd\":\"pi\0ng\"}", 15);
+  EXPECT_FALSE(ParseRequest(in_string).ok());
+  const std::string after_brace("{\"q\":[1,2]}\0", 12);
+  EXPECT_FALSE(ParseRequest(after_brace).ok());
+}
+
+TEST(ParseRequestTest, RejectsHugeNumericRun) {
+  // A 400-digit integer must come back as a clean overflow error, not a
+  // crash or a silently wrapped value.
+  std::string line = R"({"q":[)";
+  line.append(400, '1');
+  line += ",2]}";
+  auto r = ParseRequest(line);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ParseRequestTest, RejectsNestedStructures) {
+  // The grammar has no nesting beyond the coordinate pair; anything
+  // deeper is rejected at the first unexpected token.
+  EXPECT_FALSE(ParseRequest(R"({"q":[[1],2]})").ok());
+  EXPECT_FALSE(ParseRequest(R"({"q":{"x":1,"y":2}})").ok());
+  EXPECT_FALSE(ParseRequest(R"({"cmd":["ping"]})").ok());
+}
+
 }  // namespace
 }  // namespace skydia::serve

@@ -1,0 +1,77 @@
+// Negative-compile proof that the thread-safety analysis is live.
+//
+// The annotated serving stack compiles clean under
+// -Wthread-safety -Werror=thread-safety-analysis (the thread-safety CI
+// job proves that); this file proves the complementary property — that
+// the analysis actually FIRES on the bug classes the annotations exist
+// to catch. It is compiled twice by ctest (Clang only):
+//
+//   1. as-is: the guarded-state accesses below must FAIL to compile
+//      (the test is registered WILL_FAIL);
+//   2. with -DSKYDIA_TS_NEGATIVE_CLEAN: the violations are compiled out
+//      and the file must compile clean, proving the expected failure in
+//      (1) comes from the analysis and not an unrelated breakage.
+//
+// Each violation below is a real bug pattern from this codebase's
+// history-of-near-misses: an unlocked queue read, a mutation with the
+// wrong lock held, and a call into a REQUIRES function without the lock.
+#include <queue>
+
+#include "src/common/annotations.h"
+
+namespace {
+
+class Account {
+ public:
+  void Deposit(int amount) SKYDIA_EXCLUDES(mu_) {
+    skydia::MutexLock lock(mu_);
+    balance_ += amount;
+  }
+
+  int UnsafeRead() SKYDIA_EXCLUDES(mu_) {
+#ifndef SKYDIA_TS_NEGATIVE_CLEAN
+    return balance_;  // reading guarded state without mu_ — must not compile
+#else
+    skydia::MutexLock lock(mu_);
+    return balance_;
+#endif
+  }
+
+  void WrongLock() SKYDIA_EXCLUDES(mu_, other_mu_) {
+#ifndef SKYDIA_TS_NEGATIVE_CLEAN
+    skydia::MutexLock lock(other_mu_);
+    balance_ = 0;  // holding other_mu_, not mu_ — must not compile
+#else
+    skydia::MutexLock lock(mu_);
+    balance_ = 0;
+#endif
+  }
+
+  void CallRequiresWithoutLock() SKYDIA_EXCLUDES(mu_) {
+#ifndef SKYDIA_TS_NEGATIVE_CLEAN
+    DrainLocked();  // REQUIRES(mu_) callee, lock not held — must not compile
+#else
+    skydia::MutexLock lock(mu_);
+    DrainLocked();
+#endif
+  }
+
+ private:
+  void DrainLocked() SKYDIA_REQUIRES(mu_) { pending_ = {}; }
+
+  skydia::Mutex mu_;
+  skydia::Mutex other_mu_;
+  int balance_ SKYDIA_GUARDED_BY(mu_) = 0;
+  std::queue<int> pending_ SKYDIA_GUARDED_BY(mu_);
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.Deposit(1);
+  account.UnsafeRead();
+  account.WrongLock();
+  account.CallRequiresWithoutLock();
+  return 0;
+}

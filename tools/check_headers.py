@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Header self-containment check: every header under src/ must compile on
+its own — i.e. `#include "src/x/y.h"` as the first include of a TU must
+work without relying on anything the including file happened to pull in
+first. Include-what-you-use hygiene for a codebase without IWYU.
+
+For each header the script synthesizes a one-line TU that includes it and
+runs `$CXX -std=c++20 -fsyntax-only -I<root>` on it. Failures print the
+compiler's diagnostics prefixed with the offending header.
+
+Usage:
+  tools/check_headers.py [--root REPO_ROOT] [--compiler CXX] [-j N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import concurrent.futures
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+
+def check_one(compiler: str, root: pathlib.Path,
+              header: pathlib.Path) -> tuple[pathlib.Path, str | None]:
+    rel = header.relative_to(root).as_posix()
+    with tempfile.NamedTemporaryFile(
+        "w", suffix=".cc", prefix="hdrchk_", delete=False
+    ) as tu:
+        tu.write(f'#include "{rel}"\n')
+        tu_path = tu.name
+    try:
+        proc = subprocess.run(
+            [compiler, "-std=c++20", "-fsyntax-only", f"-I{root}",
+             "-x", "c++", tu_path],
+            capture_output=True, text=True,
+        )
+        if proc.returncode != 0:
+            return header, proc.stderr.strip()
+        return header, None
+    finally:
+        pathlib.Path(tu_path).unlink(missing_ok=True)
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--root", type=pathlib.Path,
+                    default=pathlib.Path(__file__).resolve().parents[1])
+    ap.add_argument("--compiler", default="c++")
+    ap.add_argument("-j", type=int, default=8)
+    args = ap.parse_args()
+
+    root = args.root.resolve()
+    headers = sorted((root / "src").rglob("*.h"))
+    if not headers:
+        print(f"error: no headers under {root / 'src'}", file=sys.stderr)
+        return 2
+
+    failures: list[tuple[pathlib.Path, str]] = []
+    with concurrent.futures.ThreadPoolExecutor(max_workers=args.j) as pool:
+        for header, diag in pool.map(
+            lambda h: check_one(args.compiler, root, h), headers
+        ):
+            if diag is not None:
+                failures.append((header, diag))
+
+    for header, diag in failures:
+        rel = header.relative_to(root)
+        print(f"{rel}: not self-contained:")
+        for line in diag.splitlines()[:12]:
+            print(f"  {line}")
+    if failures:
+        print(f"\ncheck_headers: {len(failures)} of {len(headers)} headers "
+              f"failed", file=sys.stderr)
+        return 1
+    print(f"check_headers: OK ({len(headers)} headers)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

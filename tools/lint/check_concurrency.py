@@ -1,0 +1,282 @@
+#!/usr/bin/env python3
+"""Project-invariant concurrency lints for the skydia serving stack.
+
+Three rules, all derived from the concurrency model documented in
+DESIGN.md ("Static analysis") and enforced in CI alongside the Clang
+-Wthread-safety build:
+
+  raw-mutex       No raw std::mutex / std::lock_guard / std::unique_lock /
+                  std::scoped_lock outside src/common/annotations.h. All
+                  lock-protected state must go through the annotated
+                  skydia::Mutex / skydia::MutexLock wrappers so the
+                  thread-safety analysis sees every acquisition.
+                  Suppress per-line with:  // lint:allow(raw-mutex)
+
+  reactor-only    Functions declared SKYDIA_REACTOR_ONLY run on the
+                  reactor's event-loop thread and must never block it or
+                  re-enter the pool: no direct calls to ThreadPool::Submit /
+                  ParallelFor / WaitIdle, no sleeps, no synchronous file
+                  I/O (fopen/ifstream/ofstream/fstream, Load*File). The
+                  check is over direct calls in the function's own body
+                  (not transitive): helpers a reactor function calls must
+                  themselves be marked SKYDIA_REACTOR_ONLY to stay in
+                  scope, which is exactly the discipline the rule imposes.
+                  Suppress per-line with:  // lint:allow(reactor-only)
+
+  atomic-order    Every std::atomic<...> member declared in a serve header
+                  must carry a memory-ordering comment (a nearby comment
+                  mentioning relaxed / acquire / release / seq_cst /
+                  ordering / monotonic) so readers know which ordering the
+                  accesses rely on and why.
+                  Suppress per-line with:  // lint:allow(atomic-order)
+
+Usage:
+  tools/lint/check_concurrency.py [-p BUILD_DIR] [--root REPO_ROOT]
+
+With -p, the file list comes from BUILD_DIR/compile_commands.json (plus
+headers found by include-scanning src/); otherwise every *.h/*.cc under
+src/ is checked. Exits non-zero and prints file:line diagnostics when any
+rule fires.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import re
+import sys
+
+ALLOW_RE = re.compile(r"//\s*lint:allow\(([a-z-]+)\)")
+
+RAW_MUTEX_RE = re.compile(
+    r"\bstd::(mutex|recursive_mutex|timed_mutex|shared_mutex|"
+    r"lock_guard|unique_lock|scoped_lock|shared_lock)\b"
+)
+
+REACTOR_ONLY_DECL_RE = re.compile(
+    r"^\s*(?:[\w:<>,*&\s]+?\s)?(\w+)\s*\([^;{]*\)[^;{]*\bSKYDIA_REACTOR_ONLY\b",
+    re.MULTILINE,
+)
+
+# Direct calls forbidden on the reactor thread. ServeBatch and the query
+# execution helpers are deliberately absent: they run both inline on the
+# reactor (small batches) and on workers, and block on neither path.
+FORBIDDEN_IN_REACTOR = [
+    (re.compile(r"\.\s*Submit\s*\(|->\s*Submit\s*\("), "ThreadPool::Submit"),
+    (re.compile(r"\bParallelFor\s*\("), "ThreadPool::ParallelFor"),
+    (re.compile(r"\.\s*WaitIdle\s*\(|->\s*WaitIdle\s*\("),
+     "ThreadPool::WaitIdle"),
+    (re.compile(r"\bsleep_for\s*\(|\bsleep_until\s*\(|\busleep\s*\(|"
+                r"\bnanosleep\s*\(|(?<![\w.])sleep\s*\("), "sleep"),
+    (re.compile(r"\bfopen\s*\(|\bstd::if?stream\b|\bstd::ofstream\b|"
+                r"\bstd::fstream\b"), "synchronous file I/O"),
+    (re.compile(r"\bLoad\w*File\s*\(|\bReadCsvFile\s*\(|\bWriteCsvFile\s*\("),
+     "synchronous file I/O"),
+]
+
+ORDERING_WORDS_RE = re.compile(
+    r"relaxed|acquire|release|acq_rel|seq_cst|ordering|monotonic|seqlock",
+    re.IGNORECASE,
+)
+ATOMIC_MEMBER_RE = re.compile(r"^\s*(?:mutable\s+)?std::atomic\s*<")
+
+
+def strip_comments_and_strings(line: str) -> str:
+    """Removes // comments and string/char literal contents from one line.
+
+    Good enough for these lints: the repo style never spreads a /* */
+    comment across the constructs we match.
+    """
+    out = []
+    i, n = 0, len(line)
+    while i < n:
+        c = line[i]
+        if c == "/" and i + 1 < n and line[i + 1] == "/":
+            break
+        if c == "/" and i + 1 < n and line[i + 1] == "*":
+            end = line.find("*/", i + 2)
+            if end < 0:
+                break
+            i = end + 2
+            continue
+        if c in "\"'":
+            quote = c
+            out.append(c)
+            i += 1
+            while i < n:
+                if line[i] == "\\":
+                    i += 2
+                    continue
+                if line[i] == quote:
+                    break
+                i += 1
+            if i < n:
+                out.append(quote)
+                i += 1
+            continue
+        out.append(c)
+        i += 1
+    return "".join(out)
+
+
+def allowed(line: str, rule: str) -> bool:
+    m = ALLOW_RE.search(line)
+    return bool(m and m.group(1) == rule)
+
+
+def check_raw_mutex(path: pathlib.Path, lines: list[str], errors: list[str]):
+    if path.as_posix().endswith("src/common/annotations.h"):
+        return
+    for lineno, line in enumerate(lines, 1):
+        if allowed(line, "raw-mutex"):
+            continue
+        code = strip_comments_and_strings(line)
+        m = RAW_MUTEX_RE.search(code)
+        if m:
+            errors.append(
+                f"{path}:{lineno}: [raw-mutex] std::{m.group(1)} outside "
+                f"annotations.h — use skydia::Mutex / skydia::MutexLock so "
+                f"-Wthread-safety sees the acquisition"
+            )
+
+
+def find_reactor_only_names(text: str) -> set[str]:
+    return {m.group(1) for m in REACTOR_ONLY_DECL_RE.finditer(text)}
+
+
+def function_bodies(text: str, names: set[str]):
+    """Yields (name, start_line, body_text) for each definition of a name.
+
+    Matches `ReturnType Class::Name(...) {` definitions by brace matching
+    from the opening brace. Qualified or unqualified definitions both match.
+    """
+    for name in names:
+        for m in re.finditer(
+            r"(?:^|\n)[^\n;{}]*?\b(?:\w+::)*" + re.escape(name) +
+            r"\s*\([^;{]*\)\s*(?:const\s*)?(?:noexcept\s*)?\{", text
+        ):
+            open_brace = text.index("{", m.end() - 1)
+            depth = 0
+            i = open_brace
+            while i < len(text):
+                if text[i] == "{":
+                    depth += 1
+                elif text[i] == "}":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                i += 1
+            body = text[open_brace : i + 1]
+            start_line = text.count("\n", 0, open_brace) + 1
+            yield name, start_line, body
+
+
+def check_reactor_only(
+    headers: list[pathlib.Path],
+    sources: list[pathlib.Path],
+    errors: list[str],
+):
+    names: set[str] = set()
+    for h in headers:
+        names |= find_reactor_only_names(h.read_text(errors="replace"))
+    if not names:
+        return
+    for src in sources:
+        text = src.read_text(errors="replace")
+        for name, start_line, body in function_bodies(text, names):
+            for offset, line in enumerate(body.splitlines()):
+                if allowed(line, "reactor-only"):
+                    continue
+                code = strip_comments_and_strings(line)
+                for pattern, what in FORBIDDEN_IN_REACTOR:
+                    if pattern.search(code):
+                        errors.append(
+                            f"{src}:{start_line + offset}: [reactor-only] "
+                            f"{what} inside SKYDIA_REACTOR_ONLY function "
+                            f"{name}() — it would block the event loop"
+                        )
+
+
+def check_atomic_order(path: pathlib.Path, lines: list[str],
+                       errors: list[str]):
+    if "/serve/" not in path.as_posix() or path.suffix != ".h":
+        return
+    for lineno, line in enumerate(lines, 1):
+        if not ATOMIC_MEMBER_RE.match(line):
+            continue
+        if allowed(line, "atomic-order"):
+            continue
+        window = lines[max(0, lineno - 16) : lineno]
+        commented = any(
+            ORDERING_WORDS_RE.search(prev)
+            for prev in window
+            if "//" in prev or "*" in prev.lstrip()[:1] or "/*" in prev
+        )
+        if not commented:
+            errors.append(
+                f"{path}:{lineno}: [atomic-order] std::atomic member without "
+                f"a memory-ordering comment nearby — state which ordering "
+                f"the accesses use and why it suffices"
+            )
+
+
+def collect_files(root: pathlib.Path, build_dir: pathlib.Path | None):
+    src = root / "src"
+    if build_dir is not None:
+        cc_path = build_dir / "compile_commands.json"
+        files = set()
+        if cc_path.is_file():
+            for entry in json.loads(cc_path.read_text()):
+                f = pathlib.Path(entry["file"])
+                if not f.is_absolute():
+                    f = pathlib.Path(entry["directory"]) / f
+                f = f.resolve()
+                if src in f.parents:
+                    files.add(f)
+        if files:
+            headers = sorted(src.rglob("*.h"))
+            sources = sorted(f for f in files if f.suffix == ".cc")
+            return headers, sources
+        print(f"note: {cc_path} missing or empty; falling back to src/ scan",
+              file=sys.stderr)
+    return sorted(src.rglob("*.h")), sorted(src.rglob("*.cc"))
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("-p", metavar="BUILD_DIR", type=pathlib.Path,
+                    default=None,
+                    help="build dir holding compile_commands.json")
+    ap.add_argument("--root", type=pathlib.Path,
+                    default=pathlib.Path(__file__).resolve().parents[2],
+                    help="repository root (default: two dirs up)")
+    args = ap.parse_args()
+
+    root = args.root.resolve()
+    headers, sources = collect_files(root, args.p)
+    if not headers and not sources:
+        print(f"error: no C++ files found under {root / 'src'}",
+              file=sys.stderr)
+        return 2
+
+    errors: list[str] = []
+    for path in headers + sources:
+        lines = path.read_text(errors="replace").splitlines()
+        check_raw_mutex(path, lines, errors)
+        check_atomic_order(path, lines, errors)
+    check_reactor_only(headers, sources, errors)
+
+    for e in errors:
+        print(e)
+    checked = len(headers) + len(sources)
+    if errors:
+        print(f"\ncheck_concurrency: {len(errors)} violation(s) across "
+              f"{checked} files", file=sys.stderr)
+        return 1
+    print(f"check_concurrency: OK ({checked} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
