@@ -23,11 +23,13 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
     skydia::serve::AppendOkReply(parsed->id, 1, &out);
     skydia::serve::AppendQueryReply(parsed->id, 1, "ids", "[1,2]", &out);
     skydia::serve::AppendRangeReply(parsed->id, 1, "[1]", "[]", 3, &out);
+    skydia::serve::AppendInsertReply(parsed->id, 1, 0, &out);
     if (out.empty() || out.back() != '\n') std::abort();
   } else {
     // Error messages flow into AppendErrorReply and must JSON-escape
     // cleanly even when they quote hostile request bytes.
     skydia::serve::AppendErrorReply(std::nullopt,
+                                    skydia::serve::ErrorCode::kParseError,
                                     parsed.status().message(), &out);
     if (out.find('\n') != out.size() - 1) std::abort();
   }

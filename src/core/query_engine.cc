@@ -5,6 +5,7 @@
 #include <chrono>
 #include <utility>
 
+#include "src/common/logging.h"
 #include "src/common/trace.h"
 #include "src/skyline/query.h"
 
@@ -302,8 +303,32 @@ StatusOr<ServableDiagram> ServableDiagram::Load(
   return as_cell.status();
 }
 
-const Dataset& ServableDiagram::dataset() const {
-  return cell_ ? cell_->dataset : subcell_->dataset;
+ServableDiagram ServableDiagram::Wrap(
+    std::shared_ptr<const Dataset> dataset,
+    std::shared_ptr<const CellDiagram> diagram,
+    SkylineQueryType cell_semantics, const QueryEngineOptions& options) {
+  SKYDIA_CHECK(cell_semantics != SkylineQueryType::kDynamic);
+  ServableDiagram servable;
+  servable.shared_dataset_ = std::move(dataset);
+  servable.shared_cell_ = std::move(diagram);
+  SKYDIA_TRACE_SPAN("index.build");
+  servable.engine_ = std::make_unique<QueryEngine>(
+      *servable.shared_dataset_, *servable.shared_cell_, cell_semantics,
+      options);
+  return servable;
+}
+
+ServableDiagram ServableDiagram::Wrap(
+    std::shared_ptr<const Dataset> dataset,
+    std::shared_ptr<const SubcellDiagram> diagram,
+    const QueryEngineOptions& options) {
+  ServableDiagram servable;
+  servable.shared_dataset_ = std::move(dataset);
+  servable.shared_subcell_ = std::move(diagram);
+  SKYDIA_TRACE_SPAN("index.build");
+  servable.engine_ = std::make_unique<QueryEngine>(
+      *servable.shared_dataset_, *servable.shared_subcell_, options);
+  return servable;
 }
 
 }  // namespace skydia

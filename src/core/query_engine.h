@@ -185,9 +185,59 @@ class QueryEngine {
   mutable std::array<std::atomic<uint64_t>, kLatencyBuckets> latency_buckets_{};
 };
 
-/// A diagram loaded from disk together with everything needed to serve it:
-/// dataset, decoded diagram, and a ready QueryEngine. Movable, not copyable.
-class ServableDiagram {
+/// Per-shard serving counters (see ShardedServableDiagram::Stats).
+struct ShardStats {
+  uint64_t queries = 0;     ///< queries routed to this shard
+  uint64_t memo_hits = 0;   ///< answered from the shard's memo
+  uint64_t queue_depth = 0; ///< shard batches currently queued or running
+  uint32_t row_begin = 0;   ///< stripe rows [row_begin, row_end)
+  uint32_t row_end = 0;
+};
+
+/// The one serving surface the snapshot registry and the server target:
+/// batched answers, range queries, stats and the point count, implemented
+/// by both the single-index ServableDiagram and the row-striped
+/// ShardedServableDiagram. Targeting the interface keeps the mutation
+/// publish path shard-agnostic — a publish re-wraps the shadow diagram and
+/// re-stripes it without the server knowing which shape it serves.
+///
+/// All methods are const and thread-safe (the implementations' contracts).
+class Servable {
+ public:
+  virtual ~Servable() = default;
+
+  /// Answers every query, one interned SetId per query written to `out`
+  /// (resized to match). `pool` may parallelize the scatter in sharded
+  /// implementations; single-index implementations follow their engine's
+  /// own threading policy and may ignore it.
+  virtual void AnswerSets(std::span<const Point2D> queries,
+                          std::vector<SetId>* out,
+                          ThreadPool* pool = nullptr) const = 0;
+
+  /// The single-index engine behind this surface: the slow/exact query
+  /// paths, range queries and engine counters. Sharded implementations
+  /// return the base engine (SetIds are global across shards).
+  virtual const QueryEngine& engine() const = 0;
+
+  /// Row-stripe shards serving this surface (1 when unsharded).
+  virtual int num_shards() const { return 1; }
+
+  /// Per-shard counters, indexed by shard (empty when unsharded).
+  virtual std::vector<ShardStats> shard_stats() const { return {}; }
+
+  // Conveniences over the virtuals, shared by every implementation.
+  std::span<const PointId> Get(SetId id) const { return engine().Get(id); }
+  const Dataset& dataset() const { return engine().dataset(); }
+  size_t point_count() const { return engine().dataset().size(); }
+  StatusOr<RangeSkylineSummary> AnswerRange(const QueryRange& range) const {
+    return engine().AnswerRange(range);
+  }
+};
+
+/// A diagram loaded from disk — or wrapped from memory — together with
+/// everything needed to serve it: dataset, diagram, and a ready QueryEngine.
+/// Movable, not copyable.
+class ServableDiagram : public Servable {
  public:
   /// Loads a serialized cell or subcell diagram (tries cell first, exactly
   /// like the CLI) and builds the serving index. `cell_semantics` tells the
@@ -198,27 +248,49 @@ class ServableDiagram {
       const std::string& path, const QueryEngineOptions& options = {},
       SkylineQueryType cell_semantics = SkylineQueryType::kQuadrant);
 
+  /// Wraps an already-built diagram for serving, without a round trip
+  /// through the serializer. The shared_ptrs pin the dataset/diagram
+  /// addresses the engine's index references and allow sharing structure
+  /// with a live producer (the mutation publish path wraps the shadow
+  /// diagram's snapshots at zero copy cost). `cell_semantics` must be
+  /// kQuadrant or kGlobal, exactly like Load.
+  static ServableDiagram Wrap(std::shared_ptr<const Dataset> dataset,
+                              std::shared_ptr<const CellDiagram> diagram,
+                              SkylineQueryType cell_semantics,
+                              const QueryEngineOptions& options = {});
+  static ServableDiagram Wrap(std::shared_ptr<const Dataset> dataset,
+                              std::shared_ptr<const SubcellDiagram> diagram,
+                              const QueryEngineOptions& options = {});
+
   ServableDiagram(ServableDiagram&&) = default;
   ServableDiagram& operator=(ServableDiagram&&) = default;
 
-  const QueryEngine& engine() const { return *engine_; }
-  const Dataset& dataset() const;
+  void AnswerSets(std::span<const Point2D> queries, std::vector<SetId>* out,
+                  ThreadPool* pool = nullptr) const override {
+    (void)pool;  // the engine runs its own pool policy
+    engine_->AnswerBatch(queries, out);
+  }
+  const QueryEngine& engine() const override { return *engine_; }
   SkylineQueryType type() const { return engine_->semantics(); }
 
   /// Underlying diagrams (null for the other kind).
   const CellDiagram* cell_diagram() const {
-    return cell_ ? &cell_->diagram : nullptr;
+    return cell_ ? &cell_->diagram : shared_cell_.get();
   }
   const SubcellDiagram* subcell_diagram() const {
-    return subcell_ ? &subcell_->diagram : nullptr;
+    return subcell_ ? &subcell_->diagram : shared_subcell_.get();
   }
 
  private:
   ServableDiagram() = default;
 
-  // unique_ptrs pin the addresses the engine's index references.
+  // unique_ptrs pin the addresses the engine's index references (Load);
+  // Wrap pins through the shared_ptrs instead.
   std::unique_ptr<LoadedCellDiagram> cell_;
   std::unique_ptr<LoadedSubcellDiagram> subcell_;
+  std::shared_ptr<const Dataset> shared_dataset_;
+  std::shared_ptr<const CellDiagram> shared_cell_;
+  std::shared_ptr<const SubcellDiagram> shared_subcell_;
   std::unique_ptr<QueryEngine> engine_;
 };
 

@@ -45,17 +45,9 @@ struct ShardingOptions {
   size_t memo_entries = 64;
 };
 
-/// Per-shard serving counters (see ShardedServableDiagram::Stats).
-struct ShardStats {
-  uint64_t queries = 0;     ///< queries routed to this shard
-  uint64_t memo_hits = 0;   ///< answered from the shard's memo
-  uint64_t queue_depth = 0; ///< shard batches currently queued or running
-  uint32_t row_begin = 0;   ///< stripe rows [row_begin, row_end)
-  uint32_t row_end = 0;
-};
-
 /// A loaded diagram partitioned into row-stripe shards for serving.
-class ShardedServableDiagram {
+/// (ShardStats lives in query_engine.h with the Servable interface.)
+class ShardedServableDiagram : public Servable {
  public:
   /// Partitions `base` into `options.num_shards` row stripes. The base
   /// pointer is shared, never copied; it must stay alive as long as the
@@ -67,8 +59,16 @@ class ShardedServableDiagram {
   ShardedServableDiagram(ShardedServableDiagram&&) = default;
   ShardedServableDiagram& operator=(ShardedServableDiagram&&) = default;
 
-  int num_shards() const { return static_cast<int>(shards_.size()); }
+  int num_shards() const override { return static_cast<int>(shards_.size()); }
   const ServableDiagram& base() const { return *base_; }
+  const QueryEngine& engine() const override { return base_->engine(); }
+
+  /// Servable batch entry point: scatter/gather across the shards.
+  void AnswerSets(std::span<const Point2D> queries, std::vector<SetId>* out,
+                  ThreadPool* pool = nullptr) const override {
+    AnswerBatch(queries, out, pool);
+  }
+  std::vector<ShardStats> shard_stats() const override { return Stats(); }
 
   /// Shard owning the row of `q`: one binary search over the S-1 stripe
   /// boundary lines.

@@ -165,6 +165,34 @@ std::string RenderPrometheusMetrics(const ServerMetrics& metrics,
   Counter("skydia_reload_failures_total",
           "Reload attempts that kept the old snapshot.",
           load(metrics.reload_failures), &out);
+  Counter("skydia_mutation_inserts_total", "Insert mutations applied.",
+          load(metrics.mutation_inserts), &out);
+  Counter("skydia_mutation_deletes_total", "Delete mutations applied.",
+          load(metrics.mutation_deletes), &out);
+  Counter("skydia_mutation_failures_total", "Mutation requests rejected.",
+          load(metrics.mutation_failures), &out);
+  Counter("skydia_mutation_publishes_total",
+          "Mutation batches published as new snapshots.",
+          load(metrics.mutation_publishes), &out);
+  Counter("skydia_mutation_cells_recomputed_total",
+          "Cells recomputed by the incremental mutation path.",
+          load(metrics.mutation_cells_recomputed), &out);
+  Gauge("skydia_mutation_pending",
+        "Mutations applied to the shadow but not yet published.",
+        static_cast<double>(load(metrics.mutation_pending)), &out);
+  Gauge("skydia_mutation_points_live",
+        "Points in the last published mutation snapshot.",
+        static_cast<double>(load(metrics.mutation_points_live)), &out);
+  Gauge("skydia_mutation_last_publish_ns",
+        "Wrap-and-install latency of the last mutation publish.",
+        static_cast<double>(load(metrics.mutation_last_publish_ns)), &out);
+  Gauge("skydia_mutation_last_publish_mutations",
+        "Mutations coalesced into the last publish.",
+        static_cast<double>(load(metrics.mutation_last_publish_mutations)),
+        &out);
+  Gauge("skydia_mutation_last_publish_cells",
+        "Cells recomputed across the last publish's batch.",
+        static_cast<double>(load(metrics.mutation_last_publish_cells)), &out);
   Gauge("skydia_uptime_seconds", "Seconds since the server started.",
         uptime_seconds, &out);
 
@@ -173,9 +201,9 @@ std::string RenderPrometheusMetrics(const ServerMetrics& metrics,
   Gauge("skydia_snapshot_generation", "Generation of the serving snapshot.",
         static_cast<double>(snapshot->generation), &out);
   Gauge("skydia_snapshot_points", "Points in the serving dataset.",
-        static_cast<double>(snapshot->diagram->dataset().size()), &out);
+        static_cast<double>(snapshot->serving().point_count()), &out);
 
-  const QueryEngineStats engine = snapshot->diagram->engine().Stats();
+  const QueryEngineStats engine = snapshot->serving().engine().Stats();
   Counter("skydia_queries_served_total",
           "Queries answered by the current snapshot's engine.",
           engine.queries_served, &out);
@@ -195,8 +223,8 @@ std::string RenderPrometheusMetrics(const ServerMetrics& metrics,
         &out);
   LatencyHistogram(engine, &out);
 
-  if (snapshot->sharded != nullptr) {
-    const std::vector<ShardStats> shards = snapshot->sharded->Stats();
+  if (snapshot->serving().num_shards() > 1) {
+    const std::vector<ShardStats> shards = snapshot->serving().shard_stats();
     Gauge("skydia_shards", "Row-stripe shards in the serving snapshot.",
           static_cast<double>(shards.size()), &out);
     out.append(
@@ -229,9 +257,10 @@ std::string RenderPrometheusMetrics(const ServerMetrics& metrics,
   out.append("\",generation=\"")
       .append(std::to_string(snapshot->generation));
   out.append("\",points=\"")
-      .append(std::to_string(snapshot->diagram->dataset().size()));
+      .append(std::to_string(snapshot->serving().point_count()));
   out.append("\",cells=\"")
-      .append(std::to_string(snapshot->diagram->engine().index().num_cells()));
+      .append(
+          std::to_string(snapshot->serving().engine().index().num_cells()));
   out.append("\"} 1\n");
 
   const ResultCacheStats cache = snapshot->cache->Stats();

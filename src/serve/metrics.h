@@ -52,6 +52,22 @@ struct ServerMetrics {
   std::atomic<uint64_t> bytes_sent{0};
   std::atomic<uint64_t> reloads{0};
   std::atomic<uint64_t> reload_failures{0};
+  // Mutation pipeline (the serve write path; see mutation_pipeline.h).
+  std::atomic<uint64_t> mutation_inserts{0};   ///< inserts applied
+  std::atomic<uint64_t> mutation_deletes{0};   ///< deletes applied
+  std::atomic<uint64_t> mutation_failures{0};  ///< mutation requests rejected
+  std::atomic<uint64_t> mutation_publishes{0};  ///< shadow->snapshot installs
+  /// Cells/subcells recomputed across all published mutations — the
+  /// incremental win (a full rebuild recomputes every cell per mutation).
+  std::atomic<uint64_t> mutation_cells_recomputed{0};
+  std::atomic<uint64_t> mutation_pending{0};  ///< gauge: applied, unpublished
+  std::atomic<uint64_t> mutation_points_live{0};  ///< gauge at last publish
+  /// Gauge: wall time of the last publish (relaxed).
+  std::atomic<uint64_t> mutation_last_publish_ns{0};
+  /// Gauge: mutations coalesced into the last publish (relaxed).
+  std::atomic<uint64_t> mutation_last_publish_mutations{0};
+  /// Gauge: cells recomputed by the last publish (relaxed).
+  std::atomic<uint64_t> mutation_last_publish_cells{0};
   /// Batches executed by the worker pool (line batches + HTTP requests;
   /// relaxed).
   std::atomic<uint64_t> worker_batches{0};

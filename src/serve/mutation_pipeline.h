@@ -1,0 +1,169 @@
+// MutationPipeline: the serve-side write path over the incremental diagrams.
+//
+// Mutations ({"cmd":"insert"}, {"cmd":"delete"}) apply synchronously to a
+// private *shadow* diagram — an IncrementalQuadrantDiagram or
+// IncrementalDynamicDiagram seeded lazily from the currently served
+// snapshot — under one mutex, so writers are serialized and each request
+// gets its own success/error reply. Readers never see the shadow: they keep
+// serving the registry's current immutable snapshot.
+//
+// Publishing is what makes a mutation visible, and it is decoupled from
+// applying: the shadow's dataset/diagram are immutable snapshots behind
+// shared_ptrs, so a publish grabs the current pair, wraps it into a
+// ServableDiagram (index build) and Install()s it on the registry — the
+// same RCU hot-swap path a reload takes, with a bumped generation and a
+// fresh cache + sharded view. In-flight read batches keep their pinned
+// snapshot; readers never block on writers.
+//
+// Coalescing: with window_ms > 0 a background publisher thread publishes
+// once per window, batching every mutation applied since the last publish
+// into one index rebuild ({"cmd":"flush"} publishes immediately). With
+// window_ms <= 0 every mutation publishes synchronously before its ack.
+//
+// Ack generations: a synchronous publish acks the exact generation now
+// serving the mutation. A deferred (windowed) ack carries a lower bound —
+// the mutation is visible once reply "gen" values reach at least that
+// number. Generations stay monotonic either way (Install under the
+// registry's lock).
+//
+// Backpressure: when more than max_pending mutations are waiting for a
+// publish, further mutations are rejected with FailedPrecondition
+// ("mutation backlog full ..."), which the protocol layer maps to the
+// "overloaded" error code.
+//
+// Interaction with reload: a successful reload makes the shadow stale, so
+// the server Reset()s the pipeline — unpublished mutations are discarded
+// and the next mutation re-seeds from the reloaded snapshot. Mutations are
+// in-memory only; they do not rewrite the source blob.
+//
+// Supported families: quadrant cell snapshots and dynamic subcell
+// snapshots. Global-semantics snapshots reject mutations (a point outside
+// every quadrant still shifts global results everywhere; no incremental
+// maintenance is implemented for them).
+#ifndef SKYDIA_SRC_SERVE_MUTATION_PIPELINE_H_
+#define SKYDIA_SRC_SERVE_MUTATION_PIPELINE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "src/common/annotations.h"
+#include "src/common/status.h"
+#include "src/core/incremental.h"
+#include "src/core/incremental_dynamic.h"
+#include "src/core/query_engine.h"
+#include "src/core/sharded_diagram.h"
+#include "src/geometry/point.h"
+#include "src/serve/metrics.h"
+#include "src/serve/result_cache.h"
+#include "src/serve/snapshot_registry.h"
+
+namespace skydia::serve {
+
+/// Options for MutationPipeline (the server copies these out of its own
+/// ServerOptions so published snapshots serve exactly like loaded ones).
+struct MutationPipelineOptions {
+  /// Publish coalescing window in milliseconds. <= 0 publishes every
+  /// mutation synchronously before its ack; > 0 batches all mutations of a
+  /// window into one publish on a background thread.
+  int window_ms = 0;
+  /// Mutations allowed to wait for one publish before new ones are
+  /// rejected as overloaded. 0 disables the cap.
+  size_t max_pending = 4096;
+  /// Enforce the distinct-coordinates invariant on insert (the
+  /// duplicate_coordinate protocol error).
+  bool require_distinct = false;
+  /// How published snapshots are wrapped and re-striped — mirror the
+  /// server's serving options.
+  QueryEngineOptions engine;
+  ResultCacheOptions cache;
+  ShardingOptions sharding;
+};
+
+/// One mutation's acknowledgement.
+struct MutationAck {
+  /// Generation serving the mutation (synchronous publish) or a lower
+  /// bound on it (deferred publish; see the header comment).
+  uint64_t generation = 0;
+  /// The inserted point's id (inserts only; Delete leaves it 0).
+  PointId point = 0;
+};
+
+/// The write path. Thread-safe; `registry` and `metrics` must outlive it.
+class MutationPipeline {
+ public:
+  MutationPipeline(SnapshotRegistry* registry, ServerMetrics* metrics,
+                   const MutationPipelineOptions& options);
+  ~MutationPipeline();
+
+  MutationPipeline(const MutationPipeline&) = delete;
+  MutationPipeline& operator=(const MutationPipeline&) = delete;
+
+  /// Applies one insert to the shadow diagram. Errors (outside the domain,
+  /// duplicated coordinate under require_distinct, backlog full,
+  /// unsupported snapshot family) leave the shadow unchanged.
+  StatusOr<MutationAck> Insert(const Point2D& p,
+                               std::optional<std::string> label)
+      SKYDIA_EXCLUDES(publish_mu_, mu_);
+
+  /// Applies one delete. `point` is validated against the shadow dataset
+  /// (NotFound -> the unknown_point protocol error). Ids above it shift
+  /// down by one, exactly like IncrementalQuadrantDiagram::Delete.
+  StatusOr<MutationAck> Delete(int64_t point)
+      SKYDIA_EXCLUDES(publish_mu_, mu_);
+
+  /// Publishes everything pending now (no-op when nothing is pending) and
+  /// returns the current generation afterwards.
+  uint64_t Flush() SKYDIA_EXCLUDES(publish_mu_, mu_);
+
+  /// Drops the shadow and all unpublished mutations; the next mutation
+  /// re-seeds from the registry's then-current snapshot. Call after a
+  /// successful reload.
+  void Reset() SKYDIA_EXCLUDES(mu_);
+
+  /// Mutations applied but not yet published.
+  uint64_t pending() const SKYDIA_EXCLUDES(mu_);
+
+  /// Stops the publisher thread without publishing what is pending.
+  /// Idempotent; also run by the destructor.
+  void Stop() SKYDIA_EXCLUDES(mu_);
+
+ private:
+  /// Seeds the shadow from the registry's current snapshot when absent.
+  Status EnsureShadowLocked() SKYDIA_REQUIRES(mu_);
+  /// Serialized grab-build-install of the shadow's current state. Returns
+  /// the generation current after the call (published or pre-existing).
+  uint64_t Publish() SKYDIA_EXCLUDES(publish_mu_, mu_);
+  void PublisherLoop() SKYDIA_EXCLUDES(publish_mu_, mu_);
+
+  SnapshotRegistry* registry_;
+  ServerMetrics* metrics_;
+  MutationPipelineOptions options_;
+
+  mutable Mutex mu_;
+  /// Exactly one of the two shadows is set once seeded (quadrant cell vs
+  /// dynamic subcell family, chosen by the seeding snapshot).
+  std::unique_ptr<IncrementalQuadrantDiagram> quadrant_ SKYDIA_GUARDED_BY(mu_);
+  std::unique_ptr<IncrementalDynamicDiagram> dynamic_ SKYDIA_GUARDED_BY(mu_);
+  std::string source_path_ SKYDIA_GUARDED_BY(mu_);
+  uint64_t pending_ SKYDIA_GUARDED_BY(mu_) = 0;
+  uint64_t pending_cells_ SKYDIA_GUARDED_BY(mu_) = 0;
+  std::chrono::steady_clock::time_point first_pending_ SKYDIA_GUARDED_BY(mu_);
+  bool stop_ SKYDIA_GUARDED_BY(mu_) = false;
+  std::condition_variable cv_;
+
+  /// Serializes publishes so an older grab can never Install() after a
+  /// newer one. Acquired before mu_ (grab happens under both, the
+  /// build+install under publish_mu_ alone so writers keep applying).
+  Mutex publish_mu_;
+
+  std::thread publisher_;  ///< only started when window_ms > 0
+};
+
+}  // namespace skydia::serve
+
+#endif  // SKYDIA_SRC_SERVE_MUTATION_PIPELINE_H_

@@ -1,6 +1,7 @@
 #include "src/serve/protocol.h"
 
 #include <limits>
+#include <utility>
 
 namespace skydia::serve {
 
@@ -27,6 +28,12 @@ class Cursor {
       return true;
     }
     return false;
+  }
+
+  /// Next non-whitespace byte without consuming it ('\0' at end of input).
+  char Peek() {
+    SkipWs();
+    return pos_ < s_.size() ? s_[pos_] : '\0';
   }
 
   bool AtEnd() {
@@ -146,16 +153,63 @@ void AppendIdPrefix(std::optional<int64_t> id, std::string* out) {
 
 }  // namespace
 
+std::string_view ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kParseError:
+      return "parse_error";
+    case ErrorCode::kInvalidArgument:
+      return "invalid_argument";
+    case ErrorCode::kDuplicateCoordinate:
+      return "duplicate_coordinate";
+    case ErrorCode::kUnknownPoint:
+      return "unknown_point";
+    case ErrorCode::kOverloaded:
+      return "overloaded";
+  }
+  return "invalid_argument";
+}
+
+ErrorCode ErrorCodeForStatus(const Status& status) {
+  if (status.code() == StatusCode::kNotFound) return ErrorCode::kUnknownPoint;
+  // The distinct-coordinate rejection comes from Dataset::Create, which
+  // phrases it as "duplicate x coordinate"/"duplicate y coordinate".
+  if (status.message().find("duplicate") != std::string::npos) {
+    return ErrorCode::kDuplicateCoordinate;
+  }
+  // MutationPipeline backpressure ("mutation backlog full ...") is the one
+  // FailedPrecondition a well-behaved client should retry after a flush.
+  if (status.message().find("backlog full") != std::string::npos) {
+    return ErrorCode::kOverloaded;
+  }
+  return ErrorCode::kInvalidArgument;
+}
+
 StatusOr<Request> ParseRequest(std::string_view line) {
   Cursor cursor(line);
   if (!cursor.Eat('{')) {
     return cursor.Error("request must be a JSON object");
   }
+  // Field pass: accumulate every recognized key into flat locals
+  // (last-wins on duplicates), then validate the combination and build the
+  // kind-specific payload below.
   Request request;
   bool have_q = false;
   bool have_cmd = false;
-  bool have_x = false;
-  bool have_y = false;
+  bool have_x_pair = false;
+  bool have_y_pair = false;
+  bool have_x_scalar = false;
+  bool have_y_scalar = false;
+  bool have_point = false;
+  bool exact = false;
+  bool labels = false;
+  Point2D q{0, 0};
+  QueryRange range;
+  int64_t x_scalar = 0;
+  int64_t y_scalar = 0;
+  int64_t point = 0;
+  std::optional<SkylineQueryType> semantics;
+  std::optional<std::string> label;
+  std::string path;
   std::string cmd;
   // Parses a two-element integer array "[lo,hi]" into (*lo, *hi).
   const auto parse_pair = [&cursor](const char* what, int64_t* lo,
@@ -173,6 +227,24 @@ StatusOr<Request> ParseRequest(std::string_view line) {
     *hi = *second;
     return Status::OK();
   };
+  // Parses "x"/"y", which is shape-overloaded: [lo,hi] range bounds or a
+  // scalar insert coordinate, told apart by the leading '['.
+  const auto parse_axis = [&](const char* what, int64_t* lo, int64_t* hi,
+                              int64_t* scalar, bool* is_pair,
+                              bool* is_scalar) -> Status {
+    if (cursor.Peek() == '[') {
+      if (Status s = parse_pair(what, lo, hi); !s.ok()) return s;
+      *is_pair = true;
+      *is_scalar = false;
+      return Status::OK();
+    }
+    auto v = cursor.ParseInt();
+    if (!v.ok()) return v.status();
+    *scalar = *v;
+    *is_scalar = true;
+    *is_pair = false;
+    return Status::OK();
+  };
   if (!cursor.Eat('}')) {
     do {
       auto key = cursor.ParseString();
@@ -186,36 +258,34 @@ StatusOr<Request> ParseRequest(std::string_view line) {
         auto y = cursor.ParseInt();
         if (!y.ok()) return y.status();
         if (!cursor.Eat(']')) return cursor.Error("\"q\" must be [x,y]");
-        request.q = Point2D{*x, *y};
+        q = Point2D{*x, *y};
         have_q = true;
       } else if (*key == "x") {
-        if (Status s =
-                parse_pair("x", &request.range.x_lo, &request.range.x_hi);
+        if (Status s = parse_axis("x", &range.x_lo, &range.x_hi, &x_scalar,
+                                  &have_x_pair, &have_x_scalar);
             !s.ok()) {
           return s;
         }
-        have_x = true;
       } else if (*key == "y") {
-        if (Status s =
-                parse_pair("y", &request.range.y_lo, &request.range.y_hi);
+        if (Status s = parse_axis("y", &range.y_lo, &range.y_hi, &y_scalar,
+                                  &have_y_pair, &have_y_scalar);
             !s.ok()) {
           return s;
         }
-        have_y = true;
       } else if (*key == "exact") {
         auto v = cursor.ParseBool();
         if (!v.ok()) return v.status();
-        request.exact = *v;
+        exact = *v;
       } else if (*key == "labels") {
         auto v = cursor.ParseBool();
         if (!v.ok()) return v.status();
-        request.labels = *v;
+        labels = *v;
       } else if (*key == "semantics") {
         auto name = cursor.ParseString();
         if (!name.ok()) return name.status();
-        auto semantics = ParseSkylineQueryType(*name);
-        if (!semantics.ok()) return semantics.status();
-        request.semantics = *semantics;
+        auto parsed = ParseSkylineQueryType(*name);
+        if (!parsed.ok()) return parsed.status();
+        semantics = *parsed;
       } else if (*key == "id") {
         auto v = cursor.ParseInt();
         if (!v.ok()) return v.status();
@@ -228,7 +298,16 @@ StatusOr<Request> ParseRequest(std::string_view line) {
       } else if (*key == "path") {
         auto v = cursor.ParseString();
         if (!v.ok()) return v.status();
-        request.path = *std::move(v);
+        path = *std::move(v);
+      } else if (*key == "label") {
+        auto v = cursor.ParseString();
+        if (!v.ok()) return v.status();
+        label = *std::move(v);
+      } else if (*key == "point") {
+        auto v = cursor.ParseInt();
+        if (!v.ok()) return v.status();
+        point = *v;
+        have_point = true;
       } else {
         return Status::InvalidArgument("unknown request field \"" + *key +
                                        "\"");
@@ -242,38 +321,85 @@ StatusOr<Request> ParseRequest(std::string_view line) {
     if (have_q) {
       return Status::InvalidArgument("\"cmd\" and \"q\" are mutually exclusive");
     }
+    if (label.has_value() && cmd != "insert") {
+      return Status::InvalidArgument(
+          "\"label\" only applies to {\"cmd\":\"insert\"}");
+    }
+    if (have_point && cmd != "delete") {
+      return Status::InvalidArgument(
+          "\"point\" only applies to {\"cmd\":\"delete\"}");
+    }
     if (cmd == "range") {
-      if (!have_x || !have_y) {
+      if (!have_x_pair || !have_y_pair) {
         return Status::InvalidArgument(
             "\"range\" needs \"x\":[lo,hi] and \"y\":[lo,hi]");
       }
       request.kind = RequestKind::kRange;
+      request.payload = RangePayload{range, labels};
       return request;
     }
-    if (have_x || have_y) {
+    if (cmd == "insert") {
+      if (have_x_pair || have_y_pair || !have_x_scalar || !have_y_scalar) {
+        return Status::InvalidArgument(
+            "\"insert\" needs scalar \"x\":X and \"y\":Y");
+      }
+      request.kind = RequestKind::kInsert;
+      request.payload =
+          InsertPayload{Point2D{x_scalar, y_scalar}, std::move(label)};
+      return request;
+    }
+    if (have_x_pair || have_y_pair) {
       return Status::InvalidArgument(
           "\"x\"/\"y\" bounds only apply to {\"cmd\":\"range\"}");
     }
-    if (cmd == "ping") {
+    if (have_x_scalar || have_y_scalar) {
+      return Status::InvalidArgument(
+          "scalar \"x\"/\"y\" only apply to {\"cmd\":\"insert\"}");
+    }
+    if (cmd == "delete") {
+      if (!have_point) {
+        return Status::InvalidArgument("\"delete\" needs \"point\":N");
+      }
+      request.kind = RequestKind::kDelete;
+      request.payload = DeletePayload{point};
+      return request;
+    }
+    if (cmd == "flush") {
+      request.kind = RequestKind::kFlush;
+      request.payload = FlushPayload{};
+    } else if (cmd == "ping") {
       request.kind = RequestKind::kPing;
+      request.payload = PingPayload{};
     } else if (cmd == "stats") {
       request.kind = RequestKind::kStats;
+      request.payload = StatsPayload{};
     } else if (cmd == "reload") {
       request.kind = RequestKind::kReload;
+      request.payload = ReloadPayload{std::move(path)};
     } else {
-      return Status::InvalidArgument("unknown cmd \"" + cmd +
-                                     "\" (ping|stats|reload|range)");
+      return Status::InvalidArgument(
+          "unknown cmd \"" + cmd +
+          "\" (ping|stats|reload|range|insert|delete|flush)");
     }
     return request;
   }
-  if (have_x || have_y) {
+  if (have_x_pair || have_y_pair || have_x_scalar || have_y_scalar) {
     return Status::InvalidArgument(
         "\"x\"/\"y\" bounds only apply to {\"cmd\":\"range\"}");
+  }
+  if (label.has_value()) {
+    return Status::InvalidArgument(
+        "\"label\" only applies to {\"cmd\":\"insert\"}");
+  }
+  if (have_point) {
+    return Status::InvalidArgument(
+        "\"point\" only applies to {\"cmd\":\"delete\"}");
   }
   if (!have_q) {
     return Status::InvalidArgument("request needs \"q\" or \"cmd\"");
   }
   request.kind = RequestKind::kQuery;
+  request.payload = QueryPayload{q, exact, labels, semantics};
   return request;
 }
 
@@ -357,11 +483,23 @@ void AppendOkReply(std::optional<int64_t> id, uint64_t generation,
   out->append("}\n");
 }
 
-void AppendErrorReply(std::optional<int64_t> id, std::string_view message,
-                      std::string* out) {
+void AppendInsertReply(std::optional<int64_t> id, uint64_t generation,
+                       PointId point, std::string* out) {
+  AppendIdPrefix(id, out);
+  out->append("\"ok\":true,\"gen\":");
+  out->append(std::to_string(generation));
+  out->append(",\"point\":");
+  out->append(std::to_string(point));
+  out->append("}\n");
+}
+
+void AppendErrorReply(std::optional<int64_t> id, ErrorCode code,
+                      std::string_view message, std::string* out) {
   AppendIdPrefix(id, out);
   out->append("\"error\":\"");
   JsonEscape(message, out);
+  out->append("\",\"code\":\"");
+  out->append(ErrorCodeName(code));
   out->append("\"}\n");
 }
 

@@ -20,6 +20,12 @@
 //                                          skyline over every position in
 //                                          the closed rectangle; optional
 //                                          "labels" and "id" as for queries
+//   mutate  := {"cmd":"insert","x":X,"y":Y[,"label":"..."]}
+//                                          append one point; the ack carries
+//                                          its id as "point"
+//            | {"cmd":"delete","point":N}  remove point N (ids above shift
+//                                          down by one; labels follow)
+//            | {"cmd":"flush"}             publish pending mutations now
 //   admin   := {"cmd":"ping"}             liveness check
 //            | {"cmd":"stats"}            serving counters as JSON
 //            | {"cmd":"reload"[,"path":"..."]}
@@ -29,11 +35,19 @@
 //   reply   := {"id":N,"gen":G,"ids":[...]}      (or "labels":[...])
 //            | {"id":N,"gen":G,"union":[...],"intersection":[...],
 //               "distinct":D}                    (range replies)
-//            | {"id":N,"ok":true,"gen":G}        (admin acks)
-//            | {"id":N,"error":"message"}        ("id" present when known)
+//            | {"id":N,"ok":true,"gen":G}        (admin/mutation acks; insert
+//                                                 acks add ,"point":P)
+//            | {"id":N,"error":"message","code":"..."}
+//                                                 ("id" present when known)
 //
 // "gen" is the snapshot generation that answered the query — the hot-swap
 // observability handle (tests/serve/hotswap_stress_test.cc asserts on it).
+// Mutation acks carry the generation at which the mutation becomes visible:
+// mutations apply to a shadow diagram and publish atomically on the
+// coalescing window, a flush, or synchronously when the window is 0.
+//
+// Error replies carry a stable machine-readable "code" (see ErrorCode) so
+// clients can branch without string-matching the human message.
 //
 // Unknown fields, non-integer numbers, nested structures and \u escapes are
 // rejected with a per-line error reply; the connection stays open. Parsing
@@ -46,6 +60,7 @@
 #include <span>
 #include <string>
 #include <string_view>
+#include <variant>
 
 #include "src/common/status.h"
 #include "src/core/diagram.h"
@@ -56,19 +71,89 @@
 namespace skydia::serve {
 
 /// What one request line asks for.
-enum class RequestKind { kQuery, kRange, kPing, kStats, kReload };
+enum class RequestKind {
+  kQuery,
+  kRange,
+  kPing,
+  kStats,
+  kReload,
+  kInsert,
+  kDelete,
+  kFlush,
+};
 
-/// One parsed request line.
-struct Request {
-  RequestKind kind = RequestKind::kQuery;
+/// Per-kind request payloads: each kind carries exactly the fields it uses,
+/// so adding a request kind never widens the others. Which alternative a
+/// Request holds is determined by its kind (see Request::payload).
+struct QueryPayload {
   Point2D q{0, 0};
-  QueryRange range;  ///< for kRange: the [x_lo,x_hi]x[y_lo,y_hi] rectangle
   bool exact = false;
   bool labels = false;
   std::optional<SkylineQueryType> semantics;
-  std::optional<int64_t> id;  ///< echoed back verbatim when present
-  std::string path;           ///< reload target ("" = current file)
 };
+
+struct RangePayload {
+  QueryRange range;  ///< the [x_lo,x_hi]x[y_lo,y_hi] rectangle
+  bool labels = false;
+};
+
+struct PingPayload {};
+struct StatsPayload {};
+
+struct ReloadPayload {
+  std::string path;  ///< reload target ("" = current file)
+};
+
+struct InsertPayload {
+  Point2D p{0, 0};
+  std::optional<std::string> label;  ///< default "p<id>" when absent
+};
+
+struct DeletePayload {
+  int64_t point = 0;  ///< id to delete (validated at apply time)
+};
+
+struct FlushPayload {};
+
+/// One parsed request line: the kind, the correlation id, and the kind's
+/// payload. The typed accessors assume the matching kind (checked by
+/// std::get; ParseRequest always constructs the alternative matching kind).
+struct Request {
+  RequestKind kind = RequestKind::kQuery;
+  std::optional<int64_t> id;  ///< echoed back verbatim when present
+  std::variant<QueryPayload, RangePayload, PingPayload, StatsPayload,
+               ReloadPayload, InsertPayload, DeletePayload, FlushPayload>
+      payload;
+
+  const QueryPayload& query() const { return std::get<QueryPayload>(payload); }
+  const RangePayload& range() const { return std::get<RangePayload>(payload); }
+  const ReloadPayload& reload() const {
+    return std::get<ReloadPayload>(payload);
+  }
+  const InsertPayload& insert() const {
+    return std::get<InsertPayload>(payload);
+  }
+  const DeletePayload& del() const { return std::get<DeletePayload>(payload); }
+};
+
+/// Stable machine-readable error categories for the "code" reply field.
+/// The names are wire contract: clients branch on them, so existing values
+/// never change meaning.
+enum class ErrorCode {
+  kParseError,           ///< the request line failed to parse
+  kInvalidArgument,      ///< well-formed but unservable request
+  kDuplicateCoordinate,  ///< insert rejected by the distinct-coordinate rule
+  kUnknownPoint,         ///< delete of an id outside the dataset
+  kOverloaded,           ///< mutation backlog full; flush or retry later
+};
+
+/// The wire spelling of `code` ("parse_error", "invalid_argument", ...).
+std::string_view ErrorCodeName(ErrorCode code);
+
+/// Maps a Status from the serving/mutation layers to its wire code:
+/// NotFound -> unknown_point, InvalidArgument mentioning a duplicated
+/// coordinate -> duplicate_coordinate, everything else invalid_argument.
+ErrorCode ErrorCodeForStatus(const Status& status);
 
 /// Parses one request line (without the trailing newline). Returns
 /// InvalidArgument with a position-annotated message on malformed input.
@@ -102,9 +187,16 @@ void AppendRangeReply(std::optional<int64_t> id, uint64_t generation,
 void AppendOkReply(std::optional<int64_t> id, uint64_t generation,
                    std::string* out);
 
-/// Appends one error reply line: {"id":N,"error":"..."}\n.
-void AppendErrorReply(std::optional<int64_t> id, std::string_view message,
-                      std::string* out);
+/// Appends one insert ack line: {"id":N,"ok":true,"gen":G,"point":P}\n —
+/// an AppendOkReply that also reports the new point's id.
+void AppendInsertReply(std::optional<int64_t> id, uint64_t generation,
+                       PointId point, std::string* out);
+
+/// Appends one error reply line: {"id":N,"error":"...","code":"..."}\n.
+/// The code comes last so prefix-matching clients of the pre-code protocol
+/// keep working.
+void AppendErrorReply(std::optional<int64_t> id, ErrorCode code,
+                      std::string_view message, std::string* out);
 
 }  // namespace skydia::serve
 

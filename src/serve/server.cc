@@ -53,7 +53,7 @@ void SplitLines(std::string_view view, std::vector<std::string_view>* lines) {
 /// engine's, shards' and cache's counters for the pinned snapshot.
 std::string RenderStatsJson(const ServingSnapshot* snapshot) {
   if (snapshot == nullptr) return "{}";
-  const QueryEngineStats engine = snapshot->diagram->engine().Stats();
+  const QueryEngineStats engine = snapshot->serving().engine().Stats();
   const ResultCacheStats cache = snapshot->cache->Stats();
   std::string out;
   out.reserve(256);
@@ -67,16 +67,14 @@ std::string RenderStatsJson(const ServingSnapshot* snapshot) {
   };
   uint64_t shard_queries = 0;
   uint64_t shard_memo_hits = 0;
-  uint64_t num_shards = 1;
-  if (snapshot->sharded != nullptr) {
-    num_shards = static_cast<uint64_t>(snapshot->sharded->num_shards());
-    for (const ShardStats& shard : snapshot->sharded->Stats()) {
-      shard_queries += shard.queries;
-      shard_memo_hits += shard.memo_hits;
-    }
+  const auto num_shards =
+      static_cast<uint64_t>(snapshot->serving().num_shards());
+  for (const ShardStats& shard : snapshot->serving().shard_stats()) {
+    shard_queries += shard.queries;
+    shard_memo_hits += shard.memo_hits;
   }
   field("generation", snapshot->generation, /*first=*/true);
-  field("points", snapshot->diagram->dataset().size(), false);
+  field("points", snapshot->serving().point_count(), false);
   field("shards", num_shards, false);
   field("queries_served", engine.queries_served + shard_queries, false);
   field("memo_hits", engine.memo_hits + shard_memo_hits, false);
@@ -152,6 +150,15 @@ Status SkylineServer::Start(ServableDiagram diagram, std::string source_path) {
                                  options_.engine.memo_entries};
   registry_.Install(std::move(diagram), std::move(source_path),
                     options_.cache, sharding);
+  MutationPipelineOptions mutation_options;
+  mutation_options.window_ms = options_.mutation_window_ms;
+  mutation_options.max_pending = options_.mutation_max_pending;
+  mutation_options.require_distinct = options_.mutation_require_distinct;
+  mutation_options.engine = options_.engine;
+  mutation_options.cache = options_.cache;
+  mutation_options.sharding = sharding;
+  mutations_ = std::make_unique<MutationPipeline>(&registry_, &metrics_,
+                                                  mutation_options);
   auto bound = BindAndListen();
   if (!bound.ok()) {
     if (listen_fd_ >= 0) {
@@ -232,6 +239,7 @@ void SkylineServer::Stop() {
     completions_.clear();
   }
   shard_pool_.reset();
+  mutations_.reset();  // joins the publisher thread
   for (int* fd : {&listen_fd_, &epoll_fd_, &wake_fd_}) {
     if (*fd >= 0) ::close(*fd);
     *fd = -1;
@@ -246,6 +254,10 @@ Status SkylineServer::Reload(const std::string& path) {
                                  sharding);
   if (status.ok()) {
     metrics_.reloads.fetch_add(1, std::memory_order_relaxed);
+    // The shadow diagram (if any) is based on the replaced snapshot:
+    // discard it and any unpublished mutations; the next mutation re-seeds
+    // from the reloaded file.
+    if (mutations_ != nullptr) mutations_->Reset();
   } else {
     metrics_.reload_failures.fetch_add(1, std::memory_order_relaxed);
   }
@@ -431,8 +443,8 @@ void SkylineServer::ProcessInput(Connection* conn) {
     }
   }
   if (!conn->in_flight && conn->inbuf.size() > options_.max_request_bytes) {
-    AppendErrorReply(std::nullopt, "request line exceeds the size limit",
-                     &conn->outbuf);
+    AppendErrorReply(std::nullopt, ErrorCode::kInvalidArgument,
+                     "request line exceeds the size limit", &conn->outbuf);
     metrics_.error_replies.fetch_add(1, std::memory_order_relaxed);
     metrics_.oversize_disconnects.fetch_add(1, std::memory_order_relaxed);
     conn->closing = true;
@@ -443,13 +455,17 @@ void SkylineServer::ProcessInput(Connection* conn) {
 
 bool SkylineServer::CanExecuteInline(const std::string& batch) const {
   if (options_.inline_batch_lines <= 0) return false;
-  // Reloads block on disk and range scans can walk a large slab of the
-  // grid — both belong on the pool. The substring test is conservative:
+  // Reloads block on disk, range scans can walk a large slab of the grid,
+  // and mutations take the pipeline mutex (and, with a zero window, run a
+  // publish) — all belong on the pool. The substring test is conservative:
   // every such command literally contains the keyword, and a false match
   // (the keyword inside a malformed line) merely routes a cheap batch to
   // the pool, which is always correct.
   if (batch.find("reload") != std::string::npos ||
-      batch.find("range") != std::string::npos) {
+      batch.find("range") != std::string::npos ||
+      batch.find("insert") != std::string::npos ||
+      batch.find("delete") != std::string::npos ||
+      batch.find("flush") != std::string::npos) {
     return false;
   }
   return std::count(batch.begin(), batch.end(), '\n') <=
@@ -719,8 +735,6 @@ void SkylineServer::ServeBatch(std::span<const std::string_view> lines,
   // carries the same generation even across a concurrent reload — and with
   // sharding, one consistent set of stripes.
   const auto snapshot = registry_.Current();
-  const ShardedServableDiagram* sharded =
-      snapshot != nullptr ? snapshot->sharded.get() : nullptr;
 
   struct Pending {
     Request request;
@@ -744,10 +758,12 @@ void SkylineServer::ServeBatch(std::span<const std::string_view> lines,
         metrics_.malformed_requests.fetch_add(1, std::memory_order_relaxed);
       } else {
         p.request = *std::move(parsed);
-        if (p.request.kind == RequestKind::kQuery && !p.request.exact &&
-            !p.request.semantics.has_value()) {
-          fast_queries.push_back(p.request.q);
-          fast_index.push_back(i);
+        if (p.request.kind == RequestKind::kQuery) {
+          const QueryPayload& query = p.request.query();
+          if (!query.exact && !query.semantics.has_value()) {
+            fast_queries.push_back(query.q);
+            fast_index.push_back(i);
+          }
         }
       }
       pending.push_back(std::move(p));
@@ -757,12 +773,11 @@ void SkylineServer::ServeBatch(std::span<const std::string_view> lines,
   std::vector<SetId> fast_sets;
   if (!fast_queries.empty() && snapshot != nullptr) {
     SKYDIA_TRACE_SPAN("serve.answer");
-    if (sharded != nullptr) {
-      // Scatter/gather across row-stripe shards.
-      sharded->AnswerBatch(fast_queries, &fast_sets, shard_pool_.get());
-    } else {
-      snapshot->diagram->engine().AnswerBatch(fast_queries, &fast_sets);
-    }
+    // One Servable surface whatever the snapshot's shape: the sharded view
+    // scatters/gathers across its row stripes, the single-index diagram
+    // follows its engine's own threading policy.
+    snapshot->serving().AnswerSets(fast_queries, &fast_sets,
+                                   shard_pool_.get());
   }
   std::vector<SetId> set_for_line(lines.size(), 0);
   std::vector<bool> has_set(lines.size(), false);
@@ -781,7 +796,8 @@ void SkylineServer::ServeBatch(std::span<const std::string_view> lines,
   for (size_t i = 0; i < lines.size(); ++i) {
     Pending& p = pending[i];
     if (!p.parse_error.empty()) {
-      AppendErrorReply(p.request.id, p.parse_error, out);
+      AppendErrorReply(p.request.id, ErrorCode::kParseError, p.parse_error,
+                       out);
       metrics_.error_replies.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
@@ -796,57 +812,109 @@ void SkylineServer::ServeBatch(std::span<const std::string_view> lines,
         break;
       }
       case RequestKind::kReload: {
-        auto status = Reload(req.path);
+        auto status = Reload(req.reload().path);
         if (status.ok()) {
           AppendOkReply(req.id, registry_.generation(), out);
         } else {
-          AppendErrorReply(req.id, status.message(), out);
+          AppendErrorReply(req.id, ErrorCode::kInvalidArgument,
+                           status.message(), out);
           metrics_.error_replies.fetch_add(1, std::memory_order_relaxed);
         }
         break;
       }
+      case RequestKind::kInsert: {
+        if (mutations_ == nullptr) {
+          AppendErrorReply(req.id, ErrorCode::kInvalidArgument,
+                           "mutations are not enabled", out);
+          metrics_.error_replies.fetch_add(1, std::memory_order_relaxed);
+          break;
+        }
+        auto ack = mutations_->Insert(req.insert().p, req.insert().label);
+        if (!ack.ok()) {
+          AppendErrorReply(req.id, ErrorCodeForStatus(ack.status()),
+                           ack.status().message(), out);
+          metrics_.error_replies.fetch_add(1, std::memory_order_relaxed);
+          break;
+        }
+        AppendInsertReply(req.id, ack->generation, ack->point, out);
+        break;
+      }
+      case RequestKind::kDelete: {
+        if (mutations_ == nullptr) {
+          AppendErrorReply(req.id, ErrorCode::kInvalidArgument,
+                           "mutations are not enabled", out);
+          metrics_.error_replies.fetch_add(1, std::memory_order_relaxed);
+          break;
+        }
+        auto ack = mutations_->Delete(req.del().point);
+        if (!ack.ok()) {
+          AppendErrorReply(req.id, ErrorCodeForStatus(ack.status()),
+                           ack.status().message(), out);
+          metrics_.error_replies.fetch_add(1, std::memory_order_relaxed);
+          break;
+        }
+        AppendOkReply(req.id, ack->generation, out);
+        break;
+      }
+      case RequestKind::kFlush: {
+        if (mutations_ == nullptr) {
+          AppendErrorReply(req.id, ErrorCode::kInvalidArgument,
+                           "mutations are not enabled", out);
+          metrics_.error_replies.fetch_add(1, std::memory_order_relaxed);
+          break;
+        }
+        AppendOkReply(req.id, mutations_->Flush(), out);
+        break;
+      }
       case RequestKind::kRange: {
         if (snapshot == nullptr) {
-          AppendErrorReply(req.id, "no snapshot installed", out);
+          AppendErrorReply(req.id, ErrorCode::kInvalidArgument,
+                           "no snapshot installed", out);
           metrics_.error_replies.fetch_add(1, std::memory_order_relaxed);
           break;
         }
-        auto summary = snapshot->diagram->engine().AnswerRange(req.range);
+        const RangePayload& range = req.range();
+        auto summary = snapshot->serving().AnswerRange(range.range);
         if (!summary.ok()) {
-          AppendErrorReply(req.id, summary.status().message(), out);
+          AppendErrorReply(req.id, ErrorCode::kInvalidArgument,
+                           summary.status().message(), out);
           metrics_.error_replies.fetch_add(1, std::memory_order_relaxed);
           break;
         }
-        const Dataset& dataset = snapshot->diagram->dataset();
+        const Dataset& dataset = snapshot->serving().dataset();
         const std::string union_json =
-            req.labels ? RenderLabelsArray(dataset, summary->union_ids)
-                       : RenderIdsArray(summary->union_ids);
+            range.labels ? RenderLabelsArray(dataset, summary->union_ids)
+                         : RenderIdsArray(summary->union_ids);
         const std::string intersection_json =
-            req.labels ? RenderLabelsArray(dataset, summary->intersection_ids)
-                       : RenderIdsArray(summary->intersection_ids);
+            range.labels
+                ? RenderLabelsArray(dataset, summary->intersection_ids)
+                : RenderIdsArray(summary->intersection_ids);
         AppendRangeReply(req.id, generation, union_json, intersection_json,
                          summary->distinct_results, out);
         break;
       }
       case RequestKind::kQuery: {
         if (snapshot == nullptr) {
-          AppendErrorReply(req.id, "no snapshot installed", out);
+          AppendErrorReply(req.id, ErrorCode::kInvalidArgument,
+                           "no snapshot installed", out);
           metrics_.error_replies.fetch_add(1, std::memory_order_relaxed);
           break;
         }
-        const QueryEngine& engine = snapshot->diagram->engine();
-        const char* key = req.labels ? "labels" : "ids";
+        const QueryPayload& query = req.query();
+        const QueryEngine& engine = snapshot->serving().engine();
+        const char* key = query.labels ? "labels" : "ids";
         if (has_set[i]) {
           // Fast path: interned set id -> per-snapshot rendered-reply cache.
-          const uint64_t cache_key = CacheKey(set_for_line[i], req.labels);
+          const uint64_t cache_key = CacheKey(set_for_line[i], query.labels);
           if (snapshot->cache->Lookup(cache_key, &cached)) {
             AppendQueryReply(req.id, generation, key, cached, out);
             break;
           }
           const auto ids = engine.Get(set_for_line[i]);
           std::string array =
-              req.labels ? RenderLabelsArray(snapshot->diagram->dataset(), ids)
-                         : RenderIdsArray(ids);
+              query.labels
+                  ? RenderLabelsArray(snapshot->serving().dataset(), ids)
+                  : RenderIdsArray(ids);
           AppendQueryReply(req.id, generation, key, array, out);
           snapshot->cache->Insert(cache_key, std::move(array));
           break;
@@ -854,27 +922,28 @@ void SkylineServer::ServeBatch(std::span<const std::string_view> lines,
         // Slow path: exact and/or semantics-override queries go through the
         // QueryOptions entry point (uncached; oracle answers are per-query).
         QueryOptions query_options;
-        query_options.exact = req.exact;
-        query_options.semantics = req.semantics;
+        query_options.exact = query.exact;
+        query_options.semantics = query.semantics;
         const uint64_t query_start_ns = trace::NowNanos();
-        auto answer = engine.Answer(req.q, query_options);
+        auto answer = engine.Answer(query.q, query_options);
         const int64_t query_ns =
             static_cast<int64_t>(trace::NowNanos() - query_start_ns);
         if (slow_ns >= 0 && query_ns >= slow_ns) {
           SKYDIA_LOG(Warning) << "slow_query ms="
                               << static_cast<double>(query_ns) / 1e6
-                              << " x=" << req.q.x << " y=" << req.q.y
-                              << " exact=" << (req.exact ? 1 : 0)
+                              << " x=" << query.q.x << " y=" << query.q.y
+                              << " exact=" << (query.exact ? 1 : 0)
                               << " generation=" << generation;
         }
         if (!answer.ok()) {
-          AppendErrorReply(req.id, answer.status().message(), out);
+          AppendErrorReply(req.id, ErrorCode::kInvalidArgument,
+                           answer.status().message(), out);
           metrics_.error_replies.fetch_add(1, std::memory_order_relaxed);
           break;
         }
         const std::string array =
-            req.labels
-                ? RenderLabelsArray(snapshot->diagram->dataset(), *answer)
+            query.labels
+                ? RenderLabelsArray(snapshot->serving().dataset(), *answer)
                 : RenderIdsArray(*answer);
         AppendQueryReply(req.id, generation, key, array, out);
         break;

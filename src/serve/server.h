@@ -64,6 +64,7 @@
 #include "src/core/query_engine.h"
 #include "src/core/sharded_diagram.h"
 #include "src/serve/metrics.h"
+#include "src/serve/mutation_pipeline.h"
 #include "src/serve/result_cache.h"
 #include "src/serve/snapshot_registry.h"
 
@@ -109,6 +110,17 @@ struct ServerOptions {
   /// with their position and timing — the structured slow-query log.
   /// <= 0 disables it.
   int slow_query_ms = 250;
+  /// Mutation publish coalescing window in milliseconds. <= 0 publishes
+  /// every mutation synchronously before its ack; > 0 batches all mutations
+  /// of a window into one snapshot publish ({"cmd":"flush"} publishes
+  /// early). See mutation_pipeline.h.
+  int mutation_window_ms = 0;
+  /// Mutations allowed to wait for one publish before further mutation
+  /// requests are rejected with the "overloaded" error code. 0 = no cap.
+  size_t mutation_max_pending = 4096;
+  /// Reject inserts that duplicate an existing x or y coordinate (surfaced
+  /// as the "duplicate_coordinate" error code).
+  bool mutation_require_distinct = false;
 };
 
 /// The serve daemon. Start() binds, loads the initial snapshot and returns;
@@ -142,6 +154,8 @@ class SkylineServer {
 
   SnapshotRegistry& registry() { return registry_; }
   const ServerMetrics& metrics() const { return metrics_; }
+  /// The write path (valid after Start; tests poke it directly).
+  MutationPipeline* mutations() { return mutations_.get(); }
 
   /// One /metrics scrape payload (also used by the HTTP path).
   std::string RenderMetrics() const;
@@ -221,6 +235,9 @@ class SkylineServer {
   ServerOptions options_;
   SnapshotRegistry registry_;
   ServerMetrics metrics_;
+  /// The write path: shadow diagram + coalesced publish (see
+  /// mutation_pipeline.h). Created by Start, torn down by Stop.
+  std::unique_ptr<MutationPipeline> mutations_;
   std::chrono::steady_clock::time_point start_time_;
 
   int listen_fd_ = -1;

@@ -46,6 +46,14 @@ struct ServingSnapshot {
   std::shared_ptr<ResultCache> cache;
   uint64_t generation = 0;
   std::string source_path;  ///< blob the snapshot was loaded from
+
+  /// The one surface to serve this snapshot through (the sharded view when
+  /// present, else the single-index diagram). Readers target this so the
+  /// serve layer never branches on the snapshot's shape.
+  const Servable& serving() const {
+    return sharded != nullptr ? static_cast<const Servable&>(*sharded)
+                              : *diagram;
+  }
 };
 
 /// Thread-safe holder of the current ServingSnapshot.

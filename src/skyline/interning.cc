@@ -116,6 +116,42 @@ void SkylineSetPool::AdoptArena(std::vector<PointId> buffer,
   assert(offset == arena_.size());
 }
 
+void SkylineSetPool::AdoptFrom(const SkylineSetPool& base,
+                               std::optional<PointId> shift_above) {
+  assert(records_.size() == 1 && arena_.empty());
+  records_ = base.records_;
+  // No dedup index for the adopted sets: chains stay empty except the empty
+  // set, which keeps id 0 findable so kEmptySetId stays canonical.
+  chain_.assign(records_.size(), kNoSet);
+  index_.clear();
+  index_.emplace(HashSpan({}), kEmptySetId);
+  if (!shift_above.has_value()) {
+    arena_ = base.arena_;
+    return;
+  }
+  // Deletion renumbering: members above the pivot shift down by one. Sets
+  // still containing the pivot itself are by contract no longer referenced
+  // by any cell (every cell whose result held the deleted point is
+  // recomputed); shifted they would stop being sorted/unique, so they are
+  // emptied in place — ids and record count stay stable, offsets rebuild.
+  const PointId pivot = *shift_above;
+  arena_.reserve(base.arena_.size());
+  for (SetId id = 0; id < static_cast<SetId>(records_.size()); ++id) {
+    const std::span<const PointId> members = base.Get(id);
+    const uint64_t offset = arena_.size();
+    const bool contains_pivot =
+        std::binary_search(members.begin(), members.end(), pivot);
+    if (!contains_pivot) {
+      for (const PointId member : members) {
+        arena_.push_back(member > pivot ? member - 1 : member);
+      }
+    }
+    records_[id].offset = offset;
+    records_[id].length =
+        contains_pivot ? 0 : static_cast<uint32_t>(members.size());
+  }
+}
+
 void SkylineSetPool::Freeze() {
   SKYDIA_TRACE_SPAN("pool.freeze");
   arena_.shrink_to_fit();

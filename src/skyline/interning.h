@@ -24,6 +24,7 @@
 #define SKYDIA_SRC_SKYLINE_INTERNING_H_
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -66,6 +67,24 @@ class SkylineSetPool {
   /// without per-set copies. Rebuilds the dedup index.
   void AdoptArena(std::vector<PointId> buffer,
                   const std::vector<uint32_t>& lengths);
+
+  /// Replaces the contents of a freshly constructed pool with a verbatim
+  /// copy of `base`: every SetId of `base` stays valid here with identical
+  /// members. Unlike AdoptArena the dedup index is NOT rebuilt (only the
+  /// empty set stays indexed), so later Intern calls deduplicate against
+  /// post-adoption sets only — the incremental mutation path uses this to
+  /// carry a multi-million-set pool across a mutation in one memcpy instead
+  /// of re-hashing every set. When `shift_above` is set, every stored member
+  /// id strictly greater than `*shift_above` is decremented by one (the
+  /// renumbering a point deletion induces), and sets containing
+  /// `*shift_above` itself — by contract no longer referenced by any cell —
+  /// are emptied in place, keeping every record sorted/unique and in range.
+  /// An adopted pool may hold duplicate contents (hash-consing resumes only
+  /// for sets interned after adoption), so it is not canonical in the
+  /// ValidateOptions::require_canonical_pool sense until the owner's next
+  /// compacting mutation re-interns it.
+  void AdoptFrom(const SkylineSetPool& base,
+                 std::optional<PointId> shift_above = std::nullopt);
 
   /// The canonical members of set `id`, ascending. Invalidated by the next
   /// mutating call (see file comment).

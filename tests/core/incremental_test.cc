@@ -60,13 +60,134 @@ TEST(IncrementalTest, UpperRightInsertRecomputesOneCell) {
   ASSERT_TRUE(base.ok());
   auto incremental = IncrementalQuadrantDiagram::Create(*base);
   ASSERT_TRUE(incremental.ok());
-  // Dominated corner insert: its ranks are maximal, so the affected
-  // rectangle is the full lower-left grid...
+  // Dominated corner insert: the candidate rectangle is the full lower-left
+  // grid, but wherever a dominator — (2,2), ranks (1,1) — is also a
+  // candidate the cell keeps its result, leaving the changed staircase
+  // {cx<=1, cy=2} + {cx=2, cy<=2} = 5 of the 9 rectangle cells...
   ASSERT_TRUE(incremental->Insert({10, 10}).ok());
-  EXPECT_EQ(incremental->last_insert_recomputed_cells(), 3u * 3u);
+  EXPECT_EQ(incremental->last_insert_recomputed_cells(), 5u);
   // ...while a lower-left insert touches exactly one cell.
   ASSERT_TRUE(incremental->Insert({0, 0}).ok());
   EXPECT_EQ(incremental->last_insert_recomputed_cells(), 1u);
+}
+
+TEST(IncrementalTest, DominatedInsertRecomputesStaircaseOnly) {
+  // Points on the diagonal: inserting a point dominated at distance one
+  // must recompute only the staircase its dominators leave exposed, not the
+  // whole candidate rectangle.
+  std::vector<Point2D> points;
+  for (int64_t v = 0; v < 8; ++v) points.push_back({v, v});
+  auto base = Dataset::Create(std::move(points), 64);
+  ASSERT_TRUE(base.ok());
+  auto incremental = IncrementalQuadrantDiagram::Create(*base);
+  ASSERT_TRUE(incremental.ok());
+  // (7,7) dominates (8,8): only cells with cx > xrank(7) or cy > yrank(7)
+  // inside the rectangle change — one row plus one column of it.
+  ASSERT_TRUE(incremental->Insert({8, 8}).ok());
+  EXPECT_EQ(incremental->last_insert_recomputed_cells(), 2u * 9u - 1u);
+  const SkylineDiagram rebuilt =
+      testing::BuildDiagram(incremental->dataset(), SkylineQueryType::kQuadrant,
+                            BuildAlgorithm::kScanning);
+  EXPECT_TRUE(incremental->diagram().SameResults(*rebuilt.cell_diagram()));
+}
+
+TEST(IncrementalTest, DeleteMatchesFullRebuildRandom) {
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    const Dataset full = RandomDataset(25, 24, seed);
+    auto incremental = IncrementalQuadrantDiagram::Create(full);
+    ASSERT_TRUE(incremental.ok());
+    Rng rng(seed * 977);
+    for (int step = 0; step < 15; ++step) {
+      const auto victim = static_cast<PointId>(rng.NextInt(
+          0, static_cast<int64_t>(incremental->dataset().size()) - 1));
+      ASSERT_TRUE(incremental->Delete(victim).ok());
+      const SkylineDiagram rebuilt =
+          testing::BuildDiagram(incremental->dataset(),
+                                SkylineQueryType::kQuadrant,
+                                BuildAlgorithm::kScanning);
+      ASSERT_TRUE(incremental->diagram().SameResults(*rebuilt.cell_diagram()))
+          << "seed " << seed << " step " << step;
+    }
+  }
+}
+
+TEST(IncrementalTest, DeleteRenumbersIdsAndLabelsFollow) {
+  auto base = Dataset::Create({{1, 5}, {3, 3}, {5, 1}}, 8, {"a", "b", "c"});
+  ASSERT_TRUE(base.ok());
+  auto incremental = IncrementalQuadrantDiagram::Create(*base);
+  ASSERT_TRUE(incremental.ok());
+  ASSERT_TRUE(incremental->Delete(1).ok());
+  ASSERT_EQ(incremental->dataset().size(), 2u);
+  EXPECT_EQ(incremental->dataset().label(0), "a");
+  EXPECT_EQ(incremental->dataset().label(1), "c");
+  EXPECT_EQ(incremental->dataset().point(1).x, 5);
+  const auto at_origin = incremental->Query({0, 0});
+  EXPECT_EQ(std::vector<PointId>(at_origin.begin(), at_origin.end()),
+            FirstQuadrantSkyline(incremental->dataset(), {0, 0}));
+}
+
+TEST(IncrementalTest, DeleteRejectsUnknownAndLastPoint) {
+  auto base = Dataset::Create({{1, 1}, {2, 2}}, 8);
+  ASSERT_TRUE(base.ok());
+  auto incremental = IncrementalQuadrantDiagram::Create(*base);
+  ASSERT_TRUE(incremental.ok());
+  const Status unknown = incremental->Delete(7);
+  EXPECT_EQ(unknown.code(), StatusCode::kNotFound);
+  ASSERT_TRUE(incremental->Delete(0).ok());
+  const Status last = incremental->Delete(0);
+  EXPECT_EQ(last.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(incremental->dataset().size(), 1u);
+}
+
+TEST(IncrementalTest, DeleteOfDominatedPointRecomputesNothing) {
+  // (2,2) is dominated by (1,1) everywhere it is a candidate, so deleting
+  // it never changes a result set: every cell copies.
+  auto base = Dataset::Create({{1, 1}, {2, 2}, {3, 0}}, 16);
+  ASSERT_TRUE(base.ok());
+  auto incremental = IncrementalQuadrantDiagram::Create(*base);
+  ASSERT_TRUE(incremental.ok());
+  ASSERT_TRUE(incremental->Delete(1).ok());
+  EXPECT_EQ(incremental->last_delete_recomputed_cells(), 0u);
+  const SkylineDiagram rebuilt =
+      testing::BuildDiagram(incremental->dataset(), SkylineQueryType::kQuadrant,
+                            BuildAlgorithm::kScanning);
+  EXPECT_TRUE(incremental->diagram().SameResults(*rebuilt.cell_diagram()));
+}
+
+TEST(IncrementalTest, DeleteWithTies) {
+  // Deleting a point that shares grid lines with survivors (no line
+  // disappears) and one whose lines disappear with it.
+  auto base = Dataset::Create({{3, 3}, {3, 6}, {6, 3}, {1, 7}}, 10);
+  ASSERT_TRUE(base.ok());
+  auto incremental = IncrementalQuadrantDiagram::Create(*base);
+  ASSERT_TRUE(incremental.ok());
+  ASSERT_TRUE(incremental->Delete(0).ok());  // shares x=3 and y=3
+  ASSERT_TRUE(incremental->Delete(2).ok());  // unique lines x=1, y=7
+  const SkylineDiagram rebuilt =
+      testing::BuildDiagram(incremental->dataset(), SkylineQueryType::kQuadrant,
+                            BuildAlgorithm::kScanning);
+  EXPECT_TRUE(incremental->diagram().SameResults(*rebuilt.cell_diagram()));
+}
+
+TEST(IncrementalTest, InterleavedInsertDeleteMatchesRebuild) {
+  auto incremental =
+      IncrementalQuadrantDiagram::Create(RandomDataset(12, 32, 11));
+  ASSERT_TRUE(incremental.ok());
+  Rng rng(42);
+  for (int step = 0; step < 30; ++step) {
+    if (incremental->dataset().size() <= 2 || rng.NextInt(0, 2) != 0) {
+      ASSERT_TRUE(
+          incremental->Insert({rng.NextInt(0, 31), rng.NextInt(0, 31)}).ok());
+    } else {
+      const auto victim = static_cast<PointId>(rng.NextInt(
+          0, static_cast<int64_t>(incremental->dataset().size()) - 1));
+      ASSERT_TRUE(incremental->Delete(victim).ok());
+    }
+  }
+  const SkylineDiagram rebuilt =
+      testing::BuildDiagram(incremental->dataset(), SkylineQueryType::kQuadrant,
+                            BuildAlgorithm::kScanning);
+  EXPECT_TRUE(incremental->diagram().SameResults(*rebuilt.cell_diagram()));
 }
 
 TEST(IncrementalTest, QueriesAreExactAfterInserts) {

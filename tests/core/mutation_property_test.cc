@@ -1,0 +1,256 @@
+// Property-based differential suite for the live-mutation path: random
+// interleaved insert/delete/query sequences over the incremental diagrams,
+// checked at every step against a full rebuild of the same point set. This
+// is the correctness backstop behind the serve layer's write path — if the
+// staircase (quadrant) or subcell reuse (dynamic) maintenance ever drifts
+// from the from-scratch construction, one of these cases pins a seed.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/diagram.h"
+#include "src/core/incremental.h"
+#include "src/core/incremental_dynamic.h"
+#include "src/datagen/distributions.h"
+#include "tests/testing/property.h"
+#include "tests/testing/util.h"
+
+namespace skydia {
+namespace {
+
+using skydia::testing::AsSorted;
+using skydia::testing::BuildDiagram;
+using skydia::testing::GeneratedDataset;
+using skydia::testing::PropertyBaseSeed;
+using skydia::testing::RandomQueryPoint;
+using skydia::testing::RunSeededCases;
+
+constexpr int64_t kDomain = 256;
+
+std::vector<PointId> Sorted(std::span<const PointId> ids) {
+  return AsSorted(std::vector<PointId>(ids.begin(), ids.end()));
+}
+
+/// One random interleaved mutation/query trace over `family`, rebuilding
+/// the oracle diagram from scratch (at `parallelism`) after every mutation.
+void RunInterleavedTrace(SkylineQueryType family, Distribution distribution,
+                         int parallelism, Rng& rng, uint64_t seed) {
+  const size_t n0 = 12 + rng.NextBounded(12);
+  Dataset initial = GeneratedDataset(n0, kDomain, distribution, seed);
+  std::vector<Point2D> mirror = initial.points();
+
+  std::optional<IncrementalQuadrantDiagram> quadrant;
+  std::optional<IncrementalDynamicDiagram> dynamic;
+  if (family == SkylineQueryType::kQuadrant) {
+    auto built = IncrementalQuadrantDiagram::Create(std::move(initial));
+    ASSERT_TRUE(built.ok()) << built.status();
+    quadrant.emplace(std::move(built).value());
+  } else {
+    auto built = IncrementalDynamicDiagram::Create(std::move(initial));
+    ASSERT_TRUE(built.ok()) << built.status();
+    dynamic.emplace(std::move(built).value());
+  }
+
+  constexpr int kSteps = 12;
+  for (int step = 0; step < kSteps; ++step) {
+    // ~2/3 inserts so the set grows and deletes keep finding structure.
+    const bool do_delete = mirror.size() > 2 && rng.NextBounded(3) == 0;
+    if (do_delete) {
+      const auto victim =
+          static_cast<PointId>(rng.NextBounded(mirror.size()));
+      const Status deleted = quadrant.has_value() ? quadrant->Delete(victim)
+                                                  : dynamic->Delete(victim);
+      ASSERT_TRUE(deleted.ok()) << deleted;
+      mirror.erase(mirror.begin() + victim);
+    } else {
+      const Point2D p{rng.NextInt(0, kDomain - 1),
+                      rng.NextInt(0, kDomain - 1)};
+      const StatusOr<PointId> id = quadrant.has_value()
+                                       ? quadrant->Insert(p)
+                                       : dynamic->Insert(p);
+      ASSERT_TRUE(id.ok()) << id.status();
+      ASSERT_EQ(*id, mirror.size());
+      mirror.push_back(p);
+    }
+
+    // Full-rebuild oracle over the mirrored point set, at the requested
+    // build parallelism (the mutation path itself is sequential; the
+    // rebuild exercises the parallel constructions against it).
+    auto mirror_ds = Dataset::Create(mirror, kDomain);
+    ASSERT_TRUE(mirror_ds.ok()) << mirror_ds.status();
+    const SkylineDiagram rebuilt = BuildDiagram(
+        *mirror_ds, family, BuildAlgorithm::kAuto, parallelism);
+
+    const Dataset& served = quadrant.has_value() ? quadrant->dataset()
+                                                 : dynamic->dataset();
+    ASSERT_EQ(served.size(), mirror.size());
+    for (int probe = 0; probe < 6; ++probe) {
+      const Point2D q = RandomQueryPoint(rng, served);
+      const std::vector<PointId> incremental =
+          quadrant.has_value() ? Sorted(quadrant->Query(q))
+                               : Sorted(dynamic->Query(q));
+      const std::vector<PointId> oracle =
+          quadrant.has_value() ? Sorted(rebuilt.cell_diagram()->Query(q))
+                               : Sorted(rebuilt.subcell_diagram()->Query(q));
+      ASSERT_EQ(incremental, oracle)
+          << "step " << step << " q=(" << q.x << "," << q.y << ") n="
+          << mirror.size();
+    }
+  }
+}
+
+struct MutationPropertyParam {
+  SkylineQueryType family;
+  Distribution distribution;
+  int parallelism;
+};
+
+class MutationPropertyTest
+    : public ::testing::TestWithParam<MutationPropertyParam> {};
+
+TEST_P(MutationPropertyTest, InterleavedMutationsMatchFullRebuild) {
+  const MutationPropertyParam param = GetParam();
+  RunSeededCases(
+      "interleaved mutations vs rebuild", /*cases=*/4,
+      PropertyBaseSeed(0xD1A6 + static_cast<uint64_t>(param.parallelism)),
+      [&](Rng& rng, uint64_t seed) {
+        RunInterleavedTrace(param.family, param.distribution,
+                            param.parallelism, rng, seed);
+      });
+}
+
+std::string ParamName(
+    const ::testing::TestParamInfo<MutationPropertyParam>& info) {
+  std::string dist = DistributionName(info.param.distribution);
+  if (!dist.empty() && dist[0] >= 'a' && dist[0] <= 'z') {
+    dist[0] = static_cast<char>(dist[0] - 'a' + 'A');
+  }
+  return std::string(info.param.family == SkylineQueryType::kQuadrant
+                         ? "Quadrant"
+                         : "Dynamic") +
+         dist + "P" + std::to_string(info.param.parallelism);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamiliesDistributionsParallelism, MutationPropertyTest,
+    ::testing::Values(
+        // Quadrant family x 3 distributions x parallelism 1/2/7.
+        MutationPropertyParam{SkylineQueryType::kQuadrant,
+                              Distribution::kIndependent, 1},
+        MutationPropertyParam{SkylineQueryType::kQuadrant,
+                              Distribution::kCorrelated, 2},
+        MutationPropertyParam{SkylineQueryType::kQuadrant,
+                              Distribution::kAnticorrelated, 7},
+        MutationPropertyParam{SkylineQueryType::kQuadrant,
+                              Distribution::kAnticorrelated, 1},
+        MutationPropertyParam{SkylineQueryType::kQuadrant,
+                              Distribution::kIndependent, 7},
+        // Dynamic family x 3 distributions x parallelism 1/2/7.
+        MutationPropertyParam{SkylineQueryType::kDynamic,
+                              Distribution::kIndependent, 1},
+        MutationPropertyParam{SkylineQueryType::kDynamic,
+                              Distribution::kCorrelated, 7},
+        MutationPropertyParam{SkylineQueryType::kDynamic,
+                              Distribution::kAnticorrelated, 2},
+        MutationPropertyParam{SkylineQueryType::kDynamic,
+                              Distribution::kCorrelated, 1},
+        MutationPropertyParam{SkylineQueryType::kDynamic,
+                              Distribution::kIndependent, 2}),
+    ParamName);
+
+// The mutation fast path adopts the previous pool wholesale — carrying some
+// no-longer-referenced sets forward — and compacts (re-interns referenced
+// sets) once the pool doubles past the watermark. A long trace must stay
+// query-correct across many adoptions and compactions, and the pool must
+// stay within the structural bound the watermark policy implies: the size
+// right after a compaction is at most referenced + recomputed
+// (<= 2 * cells + 1), growth continues until it doubles past that, plus one
+// mutation's delta before the next compaction lands.
+TEST(MutationCompactionTest, LongTraceStaysCorrectWithBoundedPool) {
+  RunSeededCases(
+      "long mutation trace pool bound", /*cases=*/2,
+      PropertyBaseSeed(0xC017AC7), [&](Rng& rng, uint64_t seed) {
+        Dataset initial =
+            GeneratedDataset(16, kDomain, Distribution::kIndependent, seed);
+        std::vector<Point2D> mirror = initial.points();
+        auto built = IncrementalQuadrantDiagram::Create(std::move(initial));
+        ASSERT_TRUE(built.ok()) << built.status();
+        IncrementalQuadrantDiagram diagram = std::move(built).value();
+
+        for (int step = 0; step < 80; ++step) {
+          if (mirror.size() > 2 && rng.NextBounded(3) == 0) {
+            const auto victim =
+                static_cast<PointId>(rng.NextBounded(mirror.size()));
+            ASSERT_TRUE(diagram.Delete(victim).ok());
+            mirror.erase(mirror.begin() + victim);
+          } else {
+            const Point2D p{rng.NextInt(0, kDomain - 1),
+                            rng.NextInt(0, kDomain - 1)};
+            ASSERT_TRUE(diagram.Insert(p).ok());
+            mirror.push_back(p);
+          }
+          const uint64_t cells = diagram.diagram().grid().num_cells();
+          ASSERT_LE(diagram.diagram().pool().size(), 6 * cells + 16)
+              << "pool grew past the compaction bound at step " << step;
+          if (step % 8 != 0) continue;
+          auto mirror_ds = Dataset::Create(mirror, kDomain);
+          ASSERT_TRUE(mirror_ds.ok());
+          const SkylineDiagram rebuilt =
+              BuildDiagram(*mirror_ds, SkylineQueryType::kQuadrant);
+          for (int probe = 0; probe < 4; ++probe) {
+            const Point2D q = RandomQueryPoint(rng, diagram.dataset());
+            ASSERT_EQ(Sorted(diagram.Query(q)),
+                      Sorted(rebuilt.cell_diagram()->Query(q)))
+                << "step " << step;
+          }
+        }
+      });
+}
+
+// Labels ride along with mutations: inserted labels attach to the new id
+// and deletions renumber without detaching any label from its point.
+TEST(MutationLabelTest, LabelsFollowPointsAcrossInterleavedMutations) {
+  RunSeededCases(
+      "labels follow points", /*cases=*/6, PropertyBaseSeed(0x1ABE1),
+      [&](Rng& rng, uint64_t seed) {
+        (void)seed;
+        std::vector<Point2D> points;
+        std::vector<std::string> labels;
+        for (int i = 0; i < 8; ++i) {
+          points.push_back(
+              {rng.NextInt(0, kDomain - 1), rng.NextInt(0, kDomain - 1)});
+          labels.push_back("seed" + std::to_string(i));
+        }
+        auto ds = Dataset::Create(points, kDomain, labels);
+        ASSERT_TRUE(ds.ok());
+        auto diagram = IncrementalQuadrantDiagram::Create(*ds);
+        ASSERT_TRUE(diagram.ok());
+
+        std::vector<std::string> mirror = labels;
+        for (int step = 0; step < 16; ++step) {
+          if (mirror.size() > 2 && rng.NextBernoulli(0.4)) {
+            const auto victim =
+                static_cast<PointId>(rng.NextBounded(mirror.size()));
+            ASSERT_TRUE(diagram->Delete(victim).ok());
+            mirror.erase(mirror.begin() + victim);
+          } else {
+            const std::string label = "ins" + std::to_string(step);
+            auto id = diagram->Insert({rng.NextInt(0, kDomain - 1),
+                                       rng.NextInt(0, kDomain - 1)},
+                                      label);
+            ASSERT_TRUE(id.ok());
+            mirror.push_back(label);
+          }
+          ASSERT_EQ(diagram->dataset().size(), mirror.size());
+          for (PointId id = 0; id < mirror.size(); ++id) {
+            ASSERT_EQ(diagram->dataset().label(id), mirror[id])
+                << "step " << step;
+          }
+        }
+      });
+}
+
+}  // namespace
+}  // namespace skydia

@@ -1,0 +1,321 @@
+#include "src/serve/mutation_pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/incremental.h"
+#include "src/core/incremental_dynamic.h"
+#include "src/core/query_engine.h"
+#include "src/serve/metrics.h"
+#include "src/serve/protocol.h"
+#include "src/serve/snapshot_registry.h"
+#include "src/skyline/query.h"
+#include "tests/testing/util.h"
+
+namespace skydia::serve {
+namespace {
+
+using skydia::testing::AsSorted;
+using skydia::testing::BuildDiagram;
+using skydia::testing::RandomDistinctDataset;
+
+/// Installs a quadrant-cell snapshot over `dataset` (built through the same
+/// incremental type the pipeline shadows, so structure sharing is exercised).
+uint64_t InstallQuadrant(SnapshotRegistry* registry, const Dataset& dataset) {
+  auto built = IncrementalQuadrantDiagram::Create(dataset, {});
+  SKYDIA_CHECK(built.ok());
+  return registry->Install(
+      ServableDiagram::Wrap(built->shared_dataset(), built->shared_diagram(),
+                            SkylineQueryType::kQuadrant),
+      "mem://quadrant");
+}
+
+/// Installs a dynamic (subcell) snapshot over `dataset`.
+uint64_t InstallDynamic(SnapshotRegistry* registry, const Dataset& dataset) {
+  auto built = IncrementalDynamicDiagram::Create(dataset, {});
+  SKYDIA_CHECK(built.ok());
+  return registry->Install(
+      ServableDiagram::Wrap(built->shared_dataset(), built->shared_diagram()),
+      "mem://dynamic");
+}
+
+std::vector<PointId> ServedSkyline(const SnapshotRegistry& registry,
+                                   const Point2D& q) {
+  const auto snapshot = registry.Current();
+  SKYDIA_CHECK(snapshot != nullptr);
+  QueryOptions exact;
+  exact.exact = true;
+  auto answer = snapshot->serving().engine().Answer(q, exact);
+  SKYDIA_CHECK(answer.ok());
+  return AsSorted(std::move(answer).value());
+}
+
+TEST(MutationPipelineTest, SynchronousInsertPublishesExactGeneration) {
+  SnapshotRegistry registry;
+  ServerMetrics metrics;
+  const Dataset dataset = RandomDistinctDataset(32, 1024, /*seed=*/5);
+  ASSERT_EQ(InstallQuadrant(&registry, dataset), 1u);
+
+  MutationPipeline pipeline(&registry, &metrics, {});  // window_ms = 0
+  auto ack = pipeline.Insert({3, 2}, std::nullopt);
+  ASSERT_TRUE(ack.ok()) << ack.status();
+  EXPECT_EQ(ack->generation, 2u);
+  EXPECT_EQ(ack->point, 32u);
+  EXPECT_EQ(registry.generation(), 2u);
+  EXPECT_EQ(pipeline.pending(), 0u);
+
+  // The published snapshot serves the mutated dataset, verified against the
+  // brute-force oracle over the same points.
+  const auto snapshot = registry.Current();
+  ASSERT_EQ(snapshot->serving().point_count(), 33u);
+  std::vector<Point2D> points(dataset.points().begin(),
+                              dataset.points().end());
+  points.push_back({3, 2});
+  auto oracle_ds = Dataset::Create(points, 1024);
+  ASSERT_TRUE(oracle_ds.ok());
+  for (const Point2D q : {Point2D{0, 0}, Point2D{10, 10}, Point2D{500, 4}}) {
+    EXPECT_EQ(ServedSkyline(registry, q),
+              AsSorted(FirstQuadrantSkyline(*oracle_ds, q)))
+        << "q=(" << q.x << "," << q.y << ")";
+  }
+  EXPECT_EQ(metrics.mutation_inserts.load(), 1u);
+  EXPECT_EQ(metrics.mutation_publishes.load(), 1u);
+  EXPECT_EQ(metrics.mutation_points_live.load(), 33u);
+  EXPECT_GE(metrics.mutation_cells_recomputed.load(), 1u);
+}
+
+TEST(MutationPipelineTest, DeleteRemovesPointAndRejectsUnknownIds) {
+  SnapshotRegistry registry;
+  ServerMetrics metrics;
+  const Dataset dataset = RandomDistinctDataset(24, 1024, /*seed=*/6);
+  InstallQuadrant(&registry, dataset);
+  MutationPipeline pipeline(&registry, &metrics, {});
+
+  auto ack = pipeline.Delete(7);
+  ASSERT_TRUE(ack.ok()) << ack.status();
+  EXPECT_EQ(registry.Current()->serving().point_count(), 23u);
+
+  // Ids shift down past the deleted point; the oracle mirrors that.
+  std::vector<Point2D> points(dataset.points().begin(),
+                              dataset.points().end());
+  points.erase(points.begin() + 7);
+  auto oracle_ds = Dataset::Create(points, 1024);
+  ASSERT_TRUE(oracle_ds.ok());
+  EXPECT_EQ(ServedSkyline(registry, {0, 0}),
+            AsSorted(FirstQuadrantSkyline(*oracle_ds, {0, 0})));
+
+  auto unknown = pipeline.Delete(23);  // one past the shrunk end
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_EQ(unknown.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(ErrorCodeForStatus(unknown.status()), ErrorCode::kUnknownPoint);
+  EXPECT_FALSE(pipeline.Delete(-1).ok());
+  EXPECT_EQ(metrics.mutation_deletes.load(), 1u);
+  EXPECT_EQ(metrics.mutation_failures.load(), 2u);
+}
+
+TEST(MutationPipelineTest, WindowCoalescesIntoOneFlushPublish) {
+  SnapshotRegistry registry;
+  ServerMetrics metrics;
+  InstallQuadrant(&registry, RandomDistinctDataset(16, 4096, /*seed=*/7));
+
+  MutationPipelineOptions options;
+  options.window_ms = 60'000;  // effectively "until flush"
+  MutationPipeline pipeline(&registry, &metrics, options);
+
+  for (int i = 0; i < 5; ++i) {
+    auto ack =
+        pipeline.Insert({2000 + 2 * i, 2001 + 2 * i}, std::nullopt);
+    ASSERT_TRUE(ack.ok()) << ack.status();
+    // Deferred acks carry a lower bound on the publishing generation.
+    EXPECT_EQ(ack->generation, 2u);
+  }
+  EXPECT_EQ(pipeline.pending(), 5u);
+  EXPECT_EQ(registry.generation(), 1u);  // nothing visible yet
+  EXPECT_EQ(metrics.mutation_pending.load(), 5u);
+
+  EXPECT_EQ(pipeline.Flush(), 2u);
+  EXPECT_EQ(registry.generation(), 2u);
+  EXPECT_EQ(pipeline.pending(), 0u);
+  EXPECT_EQ(registry.Current()->serving().point_count(), 21u);
+  EXPECT_EQ(metrics.mutation_publishes.load(), 1u);
+  EXPECT_EQ(metrics.mutation_last_publish_mutations.load(), 5u);
+
+  // A flush with nothing pending is a no-op at the same generation.
+  EXPECT_EQ(pipeline.Flush(), 2u);
+  EXPECT_EQ(metrics.mutation_publishes.load(), 1u);
+}
+
+TEST(MutationPipelineTest, PublisherThreadFlushesAfterTheWindow) {
+  SnapshotRegistry registry;
+  ServerMetrics metrics;
+  InstallQuadrant(&registry, RandomDistinctDataset(16, 4096, /*seed=*/8));
+
+  MutationPipelineOptions options;
+  options.window_ms = 20;
+  MutationPipeline pipeline(&registry, &metrics, options);
+  ASSERT_TRUE(pipeline.Insert({3000, 3000}, std::nullopt).ok());
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (registry.generation() < 2 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(registry.generation(), 2u);
+  EXPECT_EQ(registry.Current()->serving().point_count(), 17u);
+  EXPECT_EQ(pipeline.pending(), 0u);
+}
+
+TEST(MutationPipelineTest, BacklogRejectsAsOverloaded) {
+  SnapshotRegistry registry;
+  ServerMetrics metrics;
+  InstallQuadrant(&registry, RandomDistinctDataset(8, 4096, /*seed=*/9));
+
+  MutationPipelineOptions options;
+  options.window_ms = 60'000;
+  options.max_pending = 2;
+  MutationPipeline pipeline(&registry, &metrics, options);
+  ASSERT_TRUE(pipeline.Insert({100, 101}, std::nullopt).ok());
+  ASSERT_TRUE(pipeline.Insert({102, 103}, std::nullopt).ok());
+
+  auto overloaded = pipeline.Insert({104, 105}, std::nullopt);
+  ASSERT_FALSE(overloaded.ok());
+  EXPECT_EQ(overloaded.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(ErrorCodeForStatus(overloaded.status()), ErrorCode::kOverloaded);
+
+  // Flushing drains the backlog and unblocks writers.
+  pipeline.Flush();
+  EXPECT_TRUE(pipeline.Insert({104, 105}, std::nullopt).ok());
+}
+
+TEST(MutationPipelineTest, ResetDiscardsUnpublishedMutations) {
+  SnapshotRegistry registry;
+  ServerMetrics metrics;
+  InstallQuadrant(&registry, RandomDistinctDataset(16, 4096, /*seed=*/10));
+
+  MutationPipelineOptions options;
+  options.window_ms = 60'000;
+  MutationPipeline pipeline(&registry, &metrics, options);
+  ASSERT_TRUE(pipeline.Insert({2000, 2000}, std::nullopt).ok());
+  ASSERT_EQ(pipeline.pending(), 1u);
+
+  pipeline.Reset();
+  EXPECT_EQ(pipeline.pending(), 0u);
+  EXPECT_EQ(pipeline.Flush(), 1u);  // nothing to publish
+  EXPECT_EQ(registry.Current()->serving().point_count(), 16u);
+
+  // The next mutation re-seeds from the current snapshot and works.
+  ASSERT_TRUE(pipeline.Insert({2000, 2000}, std::nullopt).ok());
+  EXPECT_EQ(pipeline.Flush(), 2u);
+  EXPECT_EQ(registry.Current()->serving().point_count(), 17u);
+}
+
+TEST(MutationPipelineTest, RequireDistinctMapsToDuplicateCoordinate) {
+  SnapshotRegistry registry;
+  ServerMetrics metrics;
+  const Dataset dataset = RandomDistinctDataset(16, 1024, /*seed=*/11);
+  InstallQuadrant(&registry, dataset);
+
+  MutationPipelineOptions options;
+  options.require_distinct = true;
+  MutationPipeline pipeline(&registry, &metrics, options);
+  const Point2D clash{dataset.point(0).x, dataset.point(0).y + 1};
+  auto dup = pipeline.Insert(clash, std::nullopt);
+  ASSERT_FALSE(dup.ok());
+  EXPECT_EQ(ErrorCodeForStatus(dup.status()),
+            ErrorCode::kDuplicateCoordinate);
+}
+
+TEST(MutationPipelineTest, GlobalSemanticsSnapshotRejectsMutations) {
+  SnapshotRegistry registry;
+  ServerMetrics metrics;
+  const Dataset dataset = RandomDistinctDataset(16, 1024, /*seed=*/12);
+  auto holder = std::make_shared<SkylineDiagram>(
+      BuildDiagram(dataset, SkylineQueryType::kGlobal));
+  registry.Install(
+      ServableDiagram::Wrap(
+          std::shared_ptr<const Dataset>(holder, &holder->dataset()),
+          std::shared_ptr<const CellDiagram>(holder, holder->cell_diagram()),
+          SkylineQueryType::kGlobal),
+      "mem://global");
+
+  MutationPipeline pipeline(&registry, &metrics, {});
+  auto rejected = pipeline.Insert({3, 3}, std::nullopt);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(registry.generation(), 1u);
+}
+
+TEST(MutationPipelineTest, NoSnapshotInstalledFailsCleanly) {
+  SnapshotRegistry registry;
+  ServerMetrics metrics;
+  MutationPipeline pipeline(&registry, &metrics, {});
+  auto rejected = pipeline.Insert({1, 2}, std::nullopt);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(MutationPipelineTest, DynamicFamilyMutatesAndKeepsSubcellShape) {
+  SnapshotRegistry registry;
+  ServerMetrics metrics;
+  const Dataset dataset = RandomDistinctDataset(24, 1024, /*seed=*/13);
+  InstallDynamic(&registry, dataset);
+
+  MutationPipeline pipeline(&registry, &metrics, {});
+  auto ins = pipeline.Insert({900, 900}, std::string("late"));
+  ASSERT_TRUE(ins.ok()) << ins.status();
+  auto del = pipeline.Delete(0);
+  ASSERT_TRUE(del.ok()) << del.status();
+
+  const auto snapshot = registry.Current();
+  EXPECT_EQ(snapshot->generation, 3u);
+  EXPECT_EQ(snapshot->serving().point_count(), 24u);
+  // The published family must stay subcell: the shadow was seeded dynamic.
+  EXPECT_NE(snapshot->diagram->subcell_diagram(), nullptr);
+  EXPECT_EQ(snapshot->diagram->cell_diagram(), nullptr);
+
+  // Parity against a from-scratch incremental build over the same points.
+  std::vector<Point2D> points(dataset.points().begin(),
+                              dataset.points().end());
+  points.push_back({900, 900});
+  points.erase(points.begin());
+  auto oracle_ds = Dataset::Create(points, 1024);
+  ASSERT_TRUE(oracle_ds.ok());
+  auto oracle = IncrementalDynamicDiagram::Create(*oracle_ds, {});
+  ASSERT_TRUE(oracle.ok());
+  for (const Point2D q : {Point2D{5, 5}, Point2D{321, 123}}) {
+    // Both sides answer through the subcell index (interior-exact), so the
+    // comparison carries the same boundary convention.
+    auto served = snapshot->serving().engine().Answer(q, {});
+    ASSERT_TRUE(served.ok()) << served.status();
+    const auto expect = oracle->Query(q);
+    EXPECT_EQ(AsSorted(std::move(served).value()),
+              AsSorted(std::vector<PointId>(expect.begin(), expect.end())))
+        << "q=(" << q.x << "," << q.y << ")";
+  }
+}
+
+TEST(MutationPipelineTest, ReadersPinnedAcrossPublishKeepTheirSnapshot) {
+  SnapshotRegistry registry;
+  ServerMetrics metrics;
+  InstallQuadrant(&registry, RandomDistinctDataset(16, 4096, /*seed=*/14));
+  MutationPipeline pipeline(&registry, &metrics, {});
+
+  const auto pinned = registry.Current();
+  ASSERT_TRUE(pipeline.Insert({3000, 3000}, std::nullopt).ok());
+
+  // The pinned (pre-publish) snapshot still answers from the old dataset
+  // while the registry serves the new generation.
+  EXPECT_EQ(pinned->serving().point_count(), 16u);
+  EXPECT_EQ(pinned->generation, 1u);
+  EXPECT_EQ(registry.Current()->serving().point_count(), 17u);
+  EXPECT_EQ(registry.Current()->generation, 2u);
+}
+
+}  // namespace
+}  // namespace skydia::serve

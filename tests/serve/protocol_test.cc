@@ -13,11 +13,11 @@ TEST(ParseRequestTest, MinimalQuery) {
   auto r = ParseRequest(R"({"q":[10,80]})");
   ASSERT_TRUE(r.ok()) << r.status();
   EXPECT_EQ(r->kind, RequestKind::kQuery);
-  EXPECT_EQ(r->q.x, 10);
-  EXPECT_EQ(r->q.y, 80);
-  EXPECT_FALSE(r->exact);
-  EXPECT_FALSE(r->labels);
-  EXPECT_FALSE(r->semantics.has_value());
+  EXPECT_EQ(r->query().q.x, 10);
+  EXPECT_EQ(r->query().q.y, 80);
+  EXPECT_FALSE(r->query().exact);
+  EXPECT_FALSE(r->query().labels);
+  EXPECT_FALSE(r->query().semantics.has_value());
   EXPECT_FALSE(r->id.has_value());
 }
 
@@ -25,12 +25,12 @@ TEST(ParseRequestTest, AllQueryFields) {
   auto r = ParseRequest(
       R"({"q":[-3,7],"exact":true,"labels":true,"semantics":"global","id":42})");
   ASSERT_TRUE(r.ok()) << r.status();
-  EXPECT_EQ(r->q.x, -3);
-  EXPECT_EQ(r->q.y, 7);
-  EXPECT_TRUE(r->exact);
-  EXPECT_TRUE(r->labels);
-  ASSERT_TRUE(r->semantics.has_value());
-  EXPECT_EQ(*r->semantics, SkylineQueryType::kGlobal);
+  EXPECT_EQ(r->query().q.x, -3);
+  EXPECT_EQ(r->query().q.y, 7);
+  EXPECT_TRUE(r->query().exact);
+  EXPECT_TRUE(r->query().labels);
+  ASSERT_TRUE(r->query().semantics.has_value());
+  EXPECT_EQ(*r->query().semantics, SkylineQueryType::kGlobal);
   ASSERT_TRUE(r->id.has_value());
   EXPECT_EQ(*r->id, 42);
 }
@@ -38,8 +38,8 @@ TEST(ParseRequestTest, AllQueryFields) {
 TEST(ParseRequestTest, WhitespaceTolerated) {
   auto r = ParseRequest(R"(  { "q" : [ 1 , 2 ] , "id" : 9 }  )");
   ASSERT_TRUE(r.ok()) << r.status();
-  EXPECT_EQ(r->q.x, 1);
-  EXPECT_EQ(r->q.y, 2);
+  EXPECT_EQ(r->query().q.x, 1);
+  EXPECT_EQ(r->query().q.y, 2);
   EXPECT_EQ(*r->id, 9);
 }
 
@@ -56,18 +56,67 @@ TEST(ParseRequestTest, AdminCommands) {
   auto reload = ParseRequest(R"({"cmd":"reload"})");
   ASSERT_TRUE(reload.ok());
   EXPECT_EQ(reload->kind, RequestKind::kReload);
-  EXPECT_TRUE(reload->path.empty());
+  EXPECT_TRUE(reload->reload().path.empty());
 
   auto reload_path = ParseRequest(R"({"cmd":"reload","path":"/tmp/x.skd"})");
   ASSERT_TRUE(reload_path.ok());
   EXPECT_EQ(reload_path->kind, RequestKind::kReload);
-  EXPECT_EQ(reload_path->path, "/tmp/x.skd");
+  EXPECT_EQ(reload_path->reload().path, "/tmp/x.skd");
+}
+
+TEST(ParseRequestTest, MutationCommands) {
+  auto insert = ParseRequest(R"({"cmd":"insert","x":10,"y":-4,"id":7})");
+  ASSERT_TRUE(insert.ok()) << insert.status();
+  EXPECT_EQ(insert->kind, RequestKind::kInsert);
+  EXPECT_EQ(insert->insert().p.x, 10);
+  EXPECT_EQ(insert->insert().p.y, -4);
+  EXPECT_FALSE(insert->insert().label.has_value());
+  EXPECT_EQ(*insert->id, 7);
+
+  auto labelled =
+      ParseRequest(R"({"cmd":"insert","x":1,"y":2,"label":"hotel"})");
+  ASSERT_TRUE(labelled.ok()) << labelled.status();
+  ASSERT_TRUE(labelled->insert().label.has_value());
+  EXPECT_EQ(*labelled->insert().label, "hotel");
+
+  auto del = ParseRequest(R"({"cmd":"delete","point":12,"id":9})");
+  ASSERT_TRUE(del.ok()) << del.status();
+  EXPECT_EQ(del->kind, RequestKind::kDelete);
+  EXPECT_EQ(del->del().point, 12);
+  EXPECT_EQ(*del->id, 9);
+
+  auto flush = ParseRequest(R"({"cmd":"flush"})");
+  ASSERT_TRUE(flush.ok()) << flush.status();
+  EXPECT_EQ(flush->kind, RequestKind::kFlush);
+}
+
+TEST(ParseRequestTest, MutationRejections) {
+  const char* bad[] = {
+      R"({"cmd":"insert"})",                    // missing both coordinates
+      R"({"cmd":"insert","x":1})",              // missing y
+      R"({"cmd":"insert","y":1})",              // missing x
+      R"({"cmd":"insert","x":[1,2],"y":3})",    // pair where scalar expected
+      R"({"cmd":"insert","x":1,"y":2,"point":3})",  // point on insert
+      R"({"cmd":"delete"})",                    // missing point
+      R"({"cmd":"delete","point":1,"label":"a"})",  // label on delete
+      R"({"cmd":"delete","x":3,"point":1})",    // scalar x on delete
+      R"({"cmd":"flush","point":1})",           // point on flush
+      R"({"cmd":"ping","label":"a"})",          // label on admin cmd
+      R"({"point":3})",                         // point without cmd
+      R"({"label":"a","q":[1,2]})",             // label on plain query
+      R"({"cmd":"range","x":1,"y":[1,2]})",     // scalar bound on range
+  };
+  for (const char* line : bad) {
+    auto r = ParseRequest(line);
+    EXPECT_FALSE(r.ok()) << "accepted: " << line;
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument) << line;
+  }
 }
 
 TEST(ParseRequestTest, StringEscapes) {
   auto r = ParseRequest(R"({"cmd":"reload","path":"a\"b\\c\n\t"})");
   ASSERT_TRUE(r.ok()) << r.status();
-  EXPECT_EQ(r->path, "a\"b\\c\n\t");
+  EXPECT_EQ(r->reload().path, "a\"b\\c\n\t");
 }
 
 TEST(ParseRequestTest, Rejections) {
@@ -101,10 +150,10 @@ TEST(ParseRequestTest, RangeCommand) {
   auto r = ParseRequest(R"({"cmd":"range","x":[10,20],"y":[-5,5],"id":3})");
   ASSERT_TRUE(r.ok()) << r.status();
   EXPECT_EQ(r->kind, RequestKind::kRange);
-  EXPECT_EQ(r->range.x_lo, 10);
-  EXPECT_EQ(r->range.x_hi, 20);
-  EXPECT_EQ(r->range.y_lo, -5);
-  EXPECT_EQ(r->range.y_hi, 5);
+  EXPECT_EQ(r->range().range.x_lo, 10);
+  EXPECT_EQ(r->range().range.x_hi, 20);
+  EXPECT_EQ(r->range().range.y_lo, -5);
+  EXPECT_EQ(r->range().range.y_hi, 5);
   EXPECT_EQ(*r->id, 3);
 
   // Field order and labels compose like everywhere else.
@@ -112,8 +161,8 @@ TEST(ParseRequestTest, RangeCommand) {
       R"({"y":[0,0],"labels":true,"x":[7,7],"cmd":"range"})");
   ASSERT_TRUE(swapped.ok()) << swapped.status();
   EXPECT_EQ(swapped->kind, RequestKind::kRange);
-  EXPECT_EQ(swapped->range.x_lo, 7);
-  EXPECT_TRUE(swapped->labels);
+  EXPECT_EQ(swapped->range().range.x_lo, 7);
+  EXPECT_TRUE(swapped->range().labels);
 }
 
 TEST(ParseRequestTest, RangeRejections) {
@@ -162,8 +211,8 @@ TEST(ParseRequestTest, NegativeIdAndInt64Extremes) {
   auto r = ParseRequest(
       R"({"q":[-9223372036854775808,9223372036854775807],"id":-1})");
   ASSERT_TRUE(r.ok()) << r.status();
-  EXPECT_EQ(r->q.x, std::numeric_limits<int64_t>::min());
-  EXPECT_EQ(r->q.y, std::numeric_limits<int64_t>::max());
+  EXPECT_EQ(r->query().q.x, std::numeric_limits<int64_t>::min());
+  EXPECT_EQ(r->query().q.y, std::numeric_limits<int64_t>::max());
   EXPECT_EQ(*r->id, -1);
 }
 
@@ -207,15 +256,57 @@ TEST(RenderTest, ReplyLines) {
   EXPECT_EQ(out, "{\"id\":5,\"ok\":true,\"gen\":2}\n");
 
   out.clear();
-  AppendErrorReply(std::nullopt, "bad \"thing\"", &out);
-  EXPECT_EQ(out, "{\"error\":\"bad \\\"thing\\\"\"}\n");
+  AppendInsertReply(5, 2, 17, &out);
+  EXPECT_EQ(out, "{\"id\":5,\"ok\":true,\"gen\":2,\"point\":17}\n");
+
+  out.clear();
+  AppendErrorReply(std::nullopt, ErrorCode::kParseError, "bad \"thing\"",
+                   &out);
+  EXPECT_EQ(out,
+            "{\"error\":\"bad \\\"thing\\\"\",\"code\":\"parse_error\"}\n");
+
+  // The error message comes first so clients of the pre-code protocol that
+  // prefix-match on {"error": (or {"id":N,"error":) keep working.
+  out.clear();
+  AppendErrorReply(3, ErrorCode::kUnknownPoint, "unknown point id 9", &out);
+  EXPECT_EQ(out.rfind("{\"id\":3,\"error\":", 0), 0u);
+  EXPECT_EQ(out,
+            "{\"id\":3,\"error\":\"unknown point id 9\","
+            "\"code\":\"unknown_point\"}\n");
+}
+
+TEST(ErrorCodeTest, NamesAreStable) {
+  // Wire contract: these spellings are what clients branch on.
+  EXPECT_EQ(ErrorCodeName(ErrorCode::kParseError), "parse_error");
+  EXPECT_EQ(ErrorCodeName(ErrorCode::kInvalidArgument), "invalid_argument");
+  EXPECT_EQ(ErrorCodeName(ErrorCode::kDuplicateCoordinate),
+            "duplicate_coordinate");
+  EXPECT_EQ(ErrorCodeName(ErrorCode::kUnknownPoint), "unknown_point");
+  EXPECT_EQ(ErrorCodeName(ErrorCode::kOverloaded), "overloaded");
+}
+
+TEST(ErrorCodeTest, StatusMapping) {
+  EXPECT_EQ(ErrorCodeForStatus(Status::NotFound("unknown point id 3")),
+            ErrorCode::kUnknownPoint);
+  EXPECT_EQ(ErrorCodeForStatus(
+                Status::InvalidArgument("duplicate x coordinate 7")),
+            ErrorCode::kDuplicateCoordinate);
+  EXPECT_EQ(ErrorCodeForStatus(Status::FailedPrecondition(
+                "mutation backlog full (9 pending); flush or retry")),
+            ErrorCode::kOverloaded);
+  EXPECT_EQ(ErrorCodeForStatus(
+                Status::InvalidArgument("point outside the domain")),
+            ErrorCode::kInvalidArgument);
+  EXPECT_EQ(ErrorCodeForStatus(Status::FailedPrecondition(
+                "cannot delete the last remaining point")),
+            ErrorCode::kInvalidArgument);
 }
 
 TEST(RenderTest, ReplyRoundTripsThroughParserShape) {
   // Every reply the server emits must itself be a line the parser's string
   // and integer rules agree on (guards accidental raw control bytes).
   std::string out;
-  AppendErrorReply(-3, "tab\there", &out);
+  AppendErrorReply(-3, ErrorCode::kInvalidArgument, "tab\there", &out);
   EXPECT_EQ(out.find('\t'), std::string::npos);
   EXPECT_EQ(out.back(), '\n');
 }
@@ -229,8 +320,21 @@ TEST(ParseRequestTest, DuplicateKeysLastWins) {
   auto r = ParseRequest(R"({"id":1,"id":2,"q":[3,4],"q":[5,6]})");
   ASSERT_TRUE(r.ok()) << r.status();
   EXPECT_EQ(r->id, 2);
-  EXPECT_EQ(r->q.x, 5);
-  EXPECT_EQ(r->q.y, 6);
+  EXPECT_EQ(r->query().q.x, 5);
+  EXPECT_EQ(r->query().q.y, 6);
+}
+
+TEST(ParseRequestTest, DuplicateAxisKeysMayChangeShape) {
+  // "x" is shape-overloaded (range pair vs insert scalar); last-wins
+  // applies to the shape too.
+  auto r = ParseRequest(R"({"cmd":"insert","x":[1,2],"x":3,"y":4})");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->insert().p.x, 3);
+
+  auto pair_last =
+      ParseRequest(R"({"cmd":"range","x":5,"x":[1,2],"y":[0,9]})");
+  ASSERT_TRUE(pair_last.ok()) << pair_last.status();
+  EXPECT_EQ(pair_last->range().range.x_lo, 1);
 }
 
 TEST(ParseRequestTest, RejectsEmbeddedNulBytes) {

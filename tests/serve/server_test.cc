@@ -431,6 +431,115 @@ TEST_F(ServerTest, RangeCommandMatchesBruteForce) {
   EXPECT_EQ(client_.ReadLine(), "{\"id\":11,\"ok\":true,\"gen\":1}");
 }
 
+TEST_F(ServerTest, InsertDeleteFlushOverTheWire) {
+  StartServer("server_mutate.skd", /*n=*/32, /*seed=*/41);
+  // Synchronous publish (default window 0): the ack's gen is exact and the
+  // next query serves the mutated dataset.
+  ASSERT_TRUE(client_.SendLine(R"({"cmd":"insert","x":3,"y":2,"id":1})"));
+  EXPECT_EQ(client_.ReadLine(),
+            "{\"id\":1,\"ok\":true,\"gen\":2,\"point\":32}");
+
+  std::vector<Point2D> points = dataset_->points();
+  points.push_back({3, 2});
+  auto mutated = Dataset::Create(points, 1024);
+  ASSERT_TRUE(mutated.ok());
+  ASSERT_TRUE(client_.SendLine(R"({"q":[0,0],"id":2})"));
+  EXPECT_EQ(client_.ReadLine(), "{\"id\":2,\"gen\":2,\"ids\":" +
+                                    ExpectedIds(*mutated, {0, 0}) + "}");
+
+  // Delete the point we just inserted; ids above it are unaffected.
+  ASSERT_TRUE(client_.SendLine(R"({"cmd":"delete","point":32,"id":3})"));
+  EXPECT_EQ(client_.ReadLine(), "{\"id\":3,\"ok\":true,\"gen\":3}");
+  ASSERT_TRUE(client_.SendLine(R"({"q":[0,0],"id":4})"));
+  EXPECT_EQ(client_.ReadLine(), "{\"id\":4,\"gen\":3,\"ids\":" +
+                                    ExpectedIds(*dataset_, {0, 0}) + "}");
+
+  // Error codes ride the reply: unknown point, then a clean parse error.
+  ASSERT_TRUE(client_.SendLine(R"({"cmd":"delete","point":99,"id":5})"));
+  const std::string unknown = client_.ReadLine();
+  EXPECT_EQ(unknown.rfind("{\"id\":5,\"error\":", 0), 0u) << unknown;
+  EXPECT_NE(unknown.find("\"code\":\"unknown_point\""), std::string::npos)
+      << unknown;
+  ASSERT_TRUE(client_.SendLine(R"({"cmd":"insert","x":[1,2],"y":3,"id":6})"));
+  const std::string bad = client_.ReadLine();
+  EXPECT_NE(bad.find("\"code\":\"parse_error\""), std::string::npos) << bad;
+
+  // A flush with nothing pending acks at the current generation.
+  ASSERT_TRUE(client_.SendLine(R"({"cmd":"flush","id":7})"));
+  EXPECT_EQ(client_.ReadLine(), "{\"id\":7,\"ok\":true,\"gen\":3}");
+  EXPECT_EQ(server_->metrics().mutation_inserts.load(), 1u);
+  EXPECT_EQ(server_->metrics().mutation_deletes.load(), 1u);
+  EXPECT_GE(server_->metrics().mutation_failures.load(), 1u);
+}
+
+TEST_F(ServerTest, MutationWindowCoalescesAndFlushPublishes) {
+  ServerOptions options;
+  options.port = 0;
+  options.mutation_window_ms = 60'000;  // publish only on explicit flush
+  path_ = FixturePath("server_window.skd");
+  dataset_ = SaveQuadrantFixture(32, 1024, /*seed=*/42, path_);
+  server_ = std::make_unique<SkylineServer>(options);
+  ASSERT_TRUE(server_->Start(path_).ok());
+  ASSERT_TRUE(client_.Connect(server_->port()));
+
+  // Three deferred inserts: acks carry the lower-bound gen 2, reads keep
+  // serving generation 1 until the flush.
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(client_.SendLine("{\"cmd\":\"insert\",\"x\":" +
+                                 std::to_string(200 + i) + ",\"y\":" +
+                                 std::to_string(210 + i) +
+                                 ",\"id\":" + std::to_string(i) + "}"));
+    EXPECT_EQ(client_.ReadLine(), "{\"id\":" + std::to_string(i) +
+                                      ",\"ok\":true,\"gen\":2,\"point\":" +
+                                      std::to_string(32 + i) + "}");
+  }
+  ASSERT_TRUE(client_.SendLine(R"({"q":[0,0],"id":10})"));
+  EXPECT_EQ(client_.ReadLine().rfind("{\"id\":10,\"gen\":1,", 0), 0u);
+  EXPECT_EQ(server_->mutations()->pending(), 3u);
+
+  ASSERT_TRUE(client_.SendLine(R"({"cmd":"flush","id":11})"));
+  EXPECT_EQ(client_.ReadLine(), "{\"id\":11,\"ok\":true,\"gen\":2}");
+  EXPECT_EQ(server_->registry().Current()->serving().point_count(), 35u);
+  ASSERT_TRUE(client_.SendLine(R"({"q":[0,0],"id":12})"));
+  EXPECT_EQ(client_.ReadLine().rfind("{\"id\":12,\"gen\":2,", 0), 0u);
+  EXPECT_EQ(server_->metrics().mutation_last_publish_mutations.load(), 3u);
+
+  // The mutation series lands on the Prometheus scrape.
+  LineClient http;
+  ASSERT_TRUE(http.Connect(server_->port()));
+  ASSERT_TRUE(http.Send("GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n"));
+  const std::string metrics = http.ReadAll();
+  EXPECT_NE(metrics.find("skydia_mutation_inserts_total 3"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("skydia_mutation_publishes_total 1"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("skydia_mutation_points_live 35"),
+            std::string::npos);
+}
+
+TEST_F(ServerTest, ReloadDiscardsUnpublishedMutations) {
+  ServerOptions options;
+  options.port = 0;
+  options.mutation_window_ms = 60'000;
+  path_ = FixturePath("server_mutate_reload.skd");
+  dataset_ = SaveQuadrantFixture(32, 1024, /*seed=*/43, path_);
+  server_ = std::make_unique<SkylineServer>(options);
+  ASSERT_TRUE(server_->Start(path_).ok());
+  ASSERT_TRUE(client_.Connect(server_->port()));
+
+  ASSERT_TRUE(client_.SendLine(R"({"cmd":"insert","x":7,"y":9,"id":1})"));
+  ASSERT_FALSE(client_.ReadLine().empty());
+  ASSERT_EQ(server_->mutations()->pending(), 1u);
+
+  // A successful reload supersedes the shadow; the pending insert is gone.
+  ASSERT_TRUE(client_.SendLine(R"({"cmd":"reload","id":2})"));
+  EXPECT_EQ(client_.ReadLine(), "{\"id\":2,\"ok\":true,\"gen\":2}");
+  EXPECT_EQ(server_->mutations()->pending(), 0u);
+  ASSERT_TRUE(client_.SendLine(R"({"cmd":"flush","id":3})"));
+  EXPECT_EQ(client_.ReadLine(), "{\"id\":3,\"ok\":true,\"gen\":2}");
+  EXPECT_EQ(server_->registry().Current()->serving().point_count(), 32u);
+}
+
 TEST(ServerStartTest, MissingBlobFailsCleanly) {
   SkylineServer server;
   const Status s = server.Start("/nonexistent/diagram.skd");

@@ -151,10 +151,13 @@ void PrintUsage() {
          "           [--shards S] [--workers W]\n"
          "           [--semantics quadrant|global] [--cache-entries N]\n"
          "           [--idle-timeout-ms MS] [--max-connections N]\n"
-         "           [--slow-query-ms MS] [--trace [out.json]]\n"
-         "           (line-JSON queries over TCP; SIGHUP hot-swaps the\n"
-         "           snapshot; GET /metrics on the same port; --trace\n"
-         "           flushes a span summary on exit, even under SIGTERM)\n"
+         "           [--slow-query-ms MS] [--mutation-window-ms MS]\n"
+         "           [--mutation-max-pending N] [--trace [out.json]]\n"
+         "           (line-JSON queries over TCP; insert/delete/flush\n"
+         "           mutate the served snapshot, coalesced over the\n"
+         "           mutation window; SIGHUP hot-swaps the snapshot;\n"
+         "           GET /metrics on the same port; --trace flushes a\n"
+         "           span summary on exit, even under SIGTERM)\n"
          "  render   --diagram diagram.skd --out out.svg [--labels]\n"
          "  hotels   (print the paper's Figure 1 example)\n";
 }
@@ -575,6 +578,11 @@ int CmdServe(const Flags& flags, const std::string& positional_path) {
       static_cast<int>(flags.GetInt("max-connections", 256));
   options.slow_query_ms =
       static_cast<int>(flags.GetInt("slow-query-ms", options.slow_query_ms));
+  options.mutation_window_ms = static_cast<int>(
+      flags.GetInt("mutation-window-ms", options.mutation_window_ms));
+  options.mutation_max_pending = static_cast<size_t>(
+      flags.GetInt("mutation-max-pending",
+                   static_cast<int64_t>(options.mutation_max_pending)));
 
   // --trace on the daemon: collect spans for the whole serving lifetime and
   // guarantee the text summary reaches stderr even on a signal-driven exit —
