@@ -25,6 +25,8 @@ enum class StatusCode {
   kCorruption,
   kUnimplemented,
   kInternal,
+  kAlreadyExists,      ///< a uniqueness invariant rejected the new entity
+  kResourceExhausted,  ///< a bounded resource is full; retry after draining
 };
 
 /// Returns a stable human-readable name for `code` ("OK", "InvalidArgument"...).
@@ -59,6 +61,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

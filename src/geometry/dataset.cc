@@ -28,13 +28,16 @@ StatusOr<Dataset> Dataset::Create(std::vector<Point2D> points,
     xs.reserve(points.size());
     ys.reserve(points.size());
     for (const Point2D& p : points) {
+      // AlreadyExists (not InvalidArgument) so consumers — the serve
+      // layer's duplicate_coordinate error code — can branch on the code
+      // instead of matching message text.
       if (!xs.insert(p.x).second) {
-        return Status::InvalidArgument(
+        return Status::AlreadyExists(
             "duplicate x coordinate " + std::to_string(p.x) +
             " violates the distinct-coordinates requirement");
       }
       if (!ys.insert(p.y).second) {
-        return Status::InvalidArgument(
+        return Status::AlreadyExists(
             "duplicate y coordinate " + std::to_string(p.y) +
             " violates the distinct-coordinates requirement");
       }

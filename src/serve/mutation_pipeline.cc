@@ -71,7 +71,7 @@ StatusOr<MutationAck> MutationPipeline::Insert(
     }
     if (options_.max_pending > 0 && pending_ >= options_.max_pending) {
       metrics_->mutation_failures.fetch_add(1, std::memory_order_relaxed);
-      return Status::FailedPrecondition(
+      return Status::ResourceExhausted(
           "mutation backlog full (" + std::to_string(pending_) +
           " pending); flush or retry");
     }
@@ -92,7 +92,12 @@ StatusOr<MutationAck> MutationPipeline::Insert(
     metrics_->mutation_pending.store(pending_, std::memory_order_relaxed);
     metrics_->mutation_inserts.fetch_add(1, std::memory_order_relaxed);
     publish_now = options_.window_ms <= 0;
-    ack.generation = registry_->generation() + 1;
+    // Deferred lower bound. When a publish is between its grab and its
+    // Install, its generation does not contain this mutation (the grab
+    // predates the apply), so the first generation guaranteed to is the
+    // one after it; otherwise the next install is the including one.
+    ack.generation = publish_in_flight_ ? in_flight_generation_ + 1
+                                        : registry_->generation() + 1;
   }
   if (publish_now) {
     ack.generation = Publish();
@@ -115,7 +120,7 @@ StatusOr<MutationAck> MutationPipeline::Delete(int64_t point) {
     }
     if (options_.max_pending > 0 && pending_ >= options_.max_pending) {
       metrics_->mutation_failures.fetch_add(1, std::memory_order_relaxed);
-      return Status::FailedPrecondition(
+      return Status::ResourceExhausted(
           "mutation backlog full (" + std::to_string(pending_) +
           " pending); flush or retry");
     }
@@ -141,7 +146,12 @@ StatusOr<MutationAck> MutationPipeline::Delete(int64_t point) {
     metrics_->mutation_pending.store(pending_, std::memory_order_relaxed);
     metrics_->mutation_deletes.fetch_add(1, std::memory_order_relaxed);
     publish_now = options_.window_ms <= 0;
-    ack.generation = registry_->generation() + 1;
+    // Deferred lower bound. When a publish is between its grab and its
+    // Install, its generation does not contain this mutation (the grab
+    // predates the apply), so the first generation guaranteed to is the
+    // one after it; otherwise the next install is the including one.
+    ack.generation = publish_in_flight_ ? in_flight_generation_ + 1
+                                        : registry_->generation() + 1;
   }
   if (publish_now) {
     ack.generation = Publish();
@@ -154,13 +164,36 @@ StatusOr<MutationAck> MutationPipeline::Delete(int64_t point) {
 uint64_t MutationPipeline::Flush() { return Publish(); }
 
 void MutationPipeline::Reset() {
+  // Excluding publish_mu_ waits out an in-flight publish first: state
+  // grabbed from the pre-reset shadow is installed (or not) before the
+  // reset, never after it.
+  MutexLock publish_lock(publish_mu_);
   MutexLock lock(mu_);
+  ResetLocked();
+}
+
+void MutationPipeline::ResetLocked() {
   quadrant_.reset();
   dynamic_.reset();
   source_path_.clear();
   pending_ = 0;
   pending_cells_ = 0;
   metrics_->mutation_pending.store(0, std::memory_order_relaxed);
+}
+
+Status MutationPipeline::ReloadAndReset(
+    const std::function<Status()>& swap_registry) {
+  // The registry swap and the shadow reset share one publish_mu_ critical
+  // section: an in-flight publish completes its Install before the swap,
+  // and any publish started afterwards finds pending_ == 0 and no-ops —
+  // the reloaded snapshot can never be overwritten by pre-reload state.
+  MutexLock publish_lock(publish_mu_);
+  Status status = swap_registry();
+  if (status.ok()) {
+    MutexLock lock(mu_);
+    ResetLocked();
+  }
+  return status;
 }
 
 uint64_t MutationPipeline::pending() const {
@@ -192,6 +225,11 @@ uint64_t MutationPipeline::Publish() {
     pending_ = 0;
     pending_cells_ = 0;
     metrics_->mutation_pending.store(0, std::memory_order_relaxed);
+    // Every Install is serialized under publish_mu_, so this publish lands
+    // at exactly generation + 1; record it so deferred acks issued while
+    // the build runs bound past it (this grab does not contain them).
+    in_flight_generation_ = registry_->generation() + 1;
+    publish_in_flight_ = true;
   }
   // Build and install outside mu_: writers keep applying to the shadow
   // (its state is immutable snapshots; the grab above stays valid) and
@@ -208,6 +246,10 @@ uint64_t MutationPipeline::Publish() {
   const uint64_t generation = registry_->Install(
       std::move(wrapped), std::move(source), options_.cache,
       options_.sharding);
+  {
+    MutexLock lock(mu_);
+    publish_in_flight_ = false;
+  }
   const uint64_t publish_ns = trace::NowNanos() - start_ns;
   metrics_->mutation_publishes.fetch_add(1, std::memory_order_relaxed);
   metrics_->mutation_cells_recomputed.fetch_add(cells,

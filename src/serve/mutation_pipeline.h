@@ -23,18 +23,23 @@
 // Ack generations: a synchronous publish acks the exact generation now
 // serving the mutation. A deferred (windowed) ack carries a lower bound —
 // the mutation is visible once reply "gen" values reach at least that
-// number. Generations stay monotonic either way (Install under the
-// registry's lock).
+// number. The bound accounts for a publish already between its state grab
+// and its Install (that publish predates the mutation, so the bound is its
+// generation + 1). Generations stay monotonic either way (Install under
+// the registry's lock).
 //
 // Backpressure: when more than max_pending mutations are waiting for a
-// publish, further mutations are rejected with FailedPrecondition
+// publish, further mutations are rejected with ResourceExhausted
 // ("mutation backlog full ..."), which the protocol layer maps to the
 // "overloaded" error code.
 //
 // Interaction with reload: a successful reload makes the shadow stale, so
-// the server Reset()s the pipeline — unpublished mutations are discarded
-// and the next mutation re-seeds from the reloaded snapshot. Mutations are
-// in-memory only; they do not rewrite the source blob.
+// the server runs the reload through ReloadAndReset() — the registry swap
+// and the shadow reset happen under the publish lock, so a publish that
+// grabbed pre-reload shadow state can never Install() after the reload and
+// silently revert it. Unpublished mutations are discarded and the next
+// mutation re-seeds from the reloaded snapshot. Mutations are in-memory
+// only; they do not rewrite the source blob.
 //
 // Supported families: quadrant cell snapshots and dynamic subcell
 // snapshots. Global-semantics snapshots reject mutations (a point outside
@@ -46,6 +51,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -121,9 +127,20 @@ class MutationPipeline {
   uint64_t Flush() SKYDIA_EXCLUDES(publish_mu_, mu_);
 
   /// Drops the shadow and all unpublished mutations; the next mutation
-  /// re-seeds from the registry's then-current snapshot. Call after a
-  /// successful reload.
-  void Reset() SKYDIA_EXCLUDES(mu_);
+  /// re-seeds from the registry's then-current snapshot. Waits out an
+  /// in-flight publish first, so nothing grabbed from the pre-reset shadow
+  /// installs afterwards. For a reload, use ReloadAndReset instead: the
+  /// registry swap itself must happen under the same publish exclusion.
+  void Reset() SKYDIA_EXCLUDES(publish_mu_, mu_);
+
+  /// Runs `swap_registry` — a callback that swaps the registry's snapshot,
+  /// typically SnapshotRegistry::Reload — serialized against publishes,
+  /// then on success drops the shadow exactly like Reset(). Holding the
+  /// publish lock across swap + reset closes the race where a publish that
+  /// grabbed pre-reload shadow state installs *after* the reload with a
+  /// higher generation, silently reverting the reloaded data.
+  Status ReloadAndReset(const std::function<Status()>& swap_registry)
+      SKYDIA_EXCLUDES(publish_mu_, mu_);
 
   /// Mutations applied but not yet published.
   uint64_t pending() const SKYDIA_EXCLUDES(mu_);
@@ -135,6 +152,8 @@ class MutationPipeline {
  private:
   /// Seeds the shadow from the registry's current snapshot when absent.
   Status EnsureShadowLocked() SKYDIA_REQUIRES(mu_);
+  /// Reset()'s body, for callers already holding the locks.
+  void ResetLocked() SKYDIA_REQUIRES(mu_);
   /// Serialized grab-build-install of the shadow's current state. Returns
   /// the generation current after the call (published or pre-existing).
   uint64_t Publish() SKYDIA_EXCLUDES(publish_mu_, mu_);
@@ -155,6 +174,16 @@ class MutationPipeline {
   std::chrono::steady_clock::time_point first_pending_ SKYDIA_GUARDED_BY(mu_);
   bool stop_ SKYDIA_GUARDED_BY(mu_) = false;
   std::condition_variable cv_;
+
+  /// True between a publish's state grab and its Install;
+  /// `in_flight_generation_` is the generation that publish will install
+  /// at — exact, because every Install in a serving process happens under
+  /// publish_mu_ (publishes here, reloads via ReloadAndReset). A deferred
+  /// ack issued during that span must exceed it: the in-flight publish
+  /// grabbed state from before the mutation, so the generation it installs
+  /// does not contain the write.
+  bool publish_in_flight_ SKYDIA_GUARDED_BY(mu_) = false;
+  uint64_t in_flight_generation_ SKYDIA_GUARDED_BY(mu_) = 0;
 
   /// Serializes publishes so an older grab can never Install() after a
   /// newer one. Acquired before mu_ (grab happens under both, the

@@ -170,18 +170,18 @@ std::string_view ErrorCodeName(ErrorCode code) {
 }
 
 ErrorCode ErrorCodeForStatus(const Status& status) {
-  if (status.code() == StatusCode::kNotFound) return ErrorCode::kUnknownPoint;
-  // The distinct-coordinate rejection comes from Dataset::Create, which
-  // phrases it as "duplicate x coordinate"/"duplicate y coordinate".
-  if (status.message().find("duplicate") != std::string::npos) {
-    return ErrorCode::kDuplicateCoordinate;
+  // Structural mapping only: message text is for humans and must never
+  // decide the code a client branches on.
+  switch (status.code()) {
+    case StatusCode::kNotFound:
+      return ErrorCode::kUnknownPoint;  // delete of a nonexistent id
+    case StatusCode::kAlreadyExists:
+      return ErrorCode::kDuplicateCoordinate;  // distinct-coordinate rule
+    case StatusCode::kResourceExhausted:
+      return ErrorCode::kOverloaded;  // mutation backlog full; retry later
+    default:
+      return ErrorCode::kInvalidArgument;
   }
-  // MutationPipeline backpressure ("mutation backlog full ...") is the one
-  // FailedPrecondition a well-behaved client should retry after a flush.
-  if (status.message().find("backlog full") != std::string::npos) {
-    return ErrorCode::kOverloaded;
-  }
-  return ErrorCode::kInvalidArgument;
 }
 
 StatusOr<Request> ParseRequest(std::string_view line) {

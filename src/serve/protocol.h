@@ -150,9 +150,10 @@ enum class ErrorCode {
 /// The wire spelling of `code` ("parse_error", "invalid_argument", ...).
 std::string_view ErrorCodeName(ErrorCode code);
 
-/// Maps a Status from the serving/mutation layers to its wire code:
-/// NotFound -> unknown_point, InvalidArgument mentioning a duplicated
-/// coordinate -> duplicate_coordinate, everything else invalid_argument.
+/// Maps a Status from the serving/mutation layers to its wire code, on the
+/// structured StatusCode alone (never on message text): NotFound ->
+/// unknown_point, AlreadyExists -> duplicate_coordinate, ResourceExhausted
+/// -> overloaded, everything else invalid_argument.
 ErrorCode ErrorCodeForStatus(const Status& status);
 
 /// Parses one request line (without the trailing newline). Returns

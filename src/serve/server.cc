@@ -249,15 +249,20 @@ void SkylineServer::Stop() {
 Status SkylineServer::Reload(const std::string& path) {
   const ShardingOptions sharding{options_.num_shards,
                                  options_.engine.memo_entries};
-  auto status = registry_.Reload(path, options_.engine,
-                                 options_.cell_semantics, options_.cache,
-                                 sharding);
+  const auto swap = [&] {
+    return registry_.Reload(path, options_.engine, options_.cell_semantics,
+                            options_.cache, sharding);
+  };
+  // The registry swap and the shadow reset must share the pipeline's
+  // publish exclusion: a publish that grabbed pre-reload shadow state
+  // would otherwise Install() after the swap with a higher generation and
+  // silently revert the reloaded data. ReloadAndReset also discards any
+  // unpublished mutations; the next mutation re-seeds from the reloaded
+  // file.
+  const Status status =
+      mutations_ != nullptr ? mutations_->ReloadAndReset(swap) : swap();
   if (status.ok()) {
     metrics_.reloads.fetch_add(1, std::memory_order_relaxed);
-    // The shadow diagram (if any) is based on the replaced snapshot:
-    // discard it and any unpublished mutations; the next mutation re-seeds
-    // from the reloaded file.
-    if (mutations_ != nullptr) mutations_->Reset();
   } else {
     metrics_.reload_failures.fetch_add(1, std::memory_order_relaxed);
   }

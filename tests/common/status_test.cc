@@ -25,6 +25,8 @@ TEST(StatusTest, FactoryFunctionsCarryCodeAndMessage) {
       {Status::Corruption("e"), StatusCode::kCorruption},
       {Status::Unimplemented("f"), StatusCode::kUnimplemented},
       {Status::Internal("g"), StatusCode::kInternal},
+      {Status::AlreadyExists("h"), StatusCode::kAlreadyExists},
+      {Status::ResourceExhausted("i"), StatusCode::kResourceExhausted},
   };
   for (const Case& c : cases) {
     EXPECT_FALSE(c.status.ok());
@@ -47,6 +49,10 @@ TEST(StatusTest, EqualityComparesCodeAndMessage) {
 TEST(StatusTest, StatusCodeToStringCoversAllCodes) {
   EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
   EXPECT_STREQ(StatusCodeToString(StatusCode::kCorruption), "Corruption");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kAlreadyExists),
+               "AlreadyExists");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kResourceExhausted),
+               "ResourceExhausted");
 }
 
 TEST(StatusOrTest, HoldsValue) {

@@ -217,10 +217,10 @@ TEST(IncrementalTest, RejectsOutOfDomainInserts) {
   EXPECT_FALSE(incremental->Insert({0, -1}).ok());
 }
 
-TEST(IncrementalTest, DatasetValidationFailureIsInvalidArgumentNotAbort) {
+TEST(IncrementalTest, DatasetValidationFailureIsCleanStatusNotAbort) {
   // Under require_distinct_coordinates, an insert that duplicates an existing
   // coordinate makes the extended Dataset::Create fail. That failure must
-  // surface as InvalidArgument from Insert — never a process abort — and the
+  // surface as AlreadyExists from Insert — never a process abort — and the
   // diagram must keep serving its pre-insert state.
   IncrementalOptions options;
   options.require_distinct_coordinates = true;
@@ -231,10 +231,10 @@ TEST(IncrementalTest, DatasetValidationFailureIsInvalidArgumentNotAbort) {
 
   const auto dup_x = incremental->Insert({1, 7});  // x collides with (1, 2)
   ASSERT_FALSE(dup_x.ok());
-  EXPECT_EQ(dup_x.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(dup_x.status().code(), StatusCode::kAlreadyExists);
   const auto dup_y = incremental->Insert({7, 4});  // y collides with (3, 4)
   ASSERT_FALSE(dup_y.ok());
-  EXPECT_EQ(dup_y.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(dup_y.status().code(), StatusCode::kAlreadyExists);
 
   // The failed inserts changed nothing: size, ids, and results are intact.
   EXPECT_EQ(incremental->dataset().size(), 2u);

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <memory>
 #include <string>
@@ -185,7 +187,7 @@ TEST(MutationPipelineTest, BacklogRejectsAsOverloaded) {
 
   auto overloaded = pipeline.Insert({104, 105}, std::nullopt);
   ASSERT_FALSE(overloaded.ok());
-  EXPECT_EQ(overloaded.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(overloaded.status().code(), StatusCode::kResourceExhausted);
   EXPECT_EQ(ErrorCodeForStatus(overloaded.status()), ErrorCode::kOverloaded);
 
   // Flushing drains the backlog and unblocks writers.
@@ -215,6 +217,90 @@ TEST(MutationPipelineTest, ResetDiscardsUnpublishedMutations) {
   EXPECT_EQ(registry.Current()->serving().point_count(), 17u);
 }
 
+TEST(MutationPipelineTest, ReloadAndResetSerializesWithInFlightPublishes) {
+  // Regression: a publish that grabbed pre-reload shadow state must never
+  // Install() after the reload's snapshot — ReloadAndReset holds the
+  // publish lock across the registry swap + shadow reset, so the racing
+  // flush either lands before the swap or finds nothing pending after it.
+  SnapshotRegistry registry;
+  ServerMetrics metrics;
+  InstallQuadrant(&registry, RandomDistinctDataset(64, 1 << 20, /*seed=*/21));
+
+  MutationPipelineOptions options;
+  options.window_ms = 60'000;  // publishes happen only via Flush
+  MutationPipeline pipeline(&registry, &metrics, options);
+
+  const Dataset reloaded = RandomDistinctDataset(48, 1 << 20, /*seed=*/22);
+  for (int round = 0; round < 16; ++round) {
+    ASSERT_TRUE(
+        pipeline.Insert({500'000 + round, 600'000 + round}, std::nullopt)
+            .ok());
+    std::thread flusher([&pipeline] { pipeline.Flush(); });
+    const Status swapped = pipeline.ReloadAndReset([&] {
+      InstallQuadrant(&registry, reloaded);
+      return Status::OK();
+    });
+    flusher.join();
+    ASSERT_TRUE(swapped.ok());
+    // Whatever the interleaving, the reloaded data is what serves.
+    EXPECT_EQ(registry.Current()->serving().point_count(), 48u)
+        << "round " << round;
+    EXPECT_EQ(pipeline.pending(), 0u);
+  }
+  // A failing swap leaves the shadow (and its pending mutations) intact.
+  ASSERT_TRUE(pipeline.Insert({999'999, 999'998}, std::nullopt).ok());
+  const Status failed = pipeline.ReloadAndReset(
+      [] { return Status::NotFound("no such blob"); });
+  EXPECT_FALSE(failed.ok());
+  EXPECT_EQ(pipeline.pending(), 1u);
+  const uint64_t published = pipeline.Flush();
+  EXPECT_EQ(published, registry.generation());
+  EXPECT_EQ(registry.Current()->serving().point_count(), 49u);
+}
+
+TEST(MutationPipelineTest, DeferredAckBoundHoldsUnderConcurrentFlushes) {
+  // Visibility contract: once the served generation reaches a deferred
+  // ack's lower bound, the write is in the snapshot — including when the
+  // mutation lands while a publish that predates it is mid-build (that
+  // publish's generation must lie strictly below the bound).
+  SnapshotRegistry registry;
+  ServerMetrics metrics;
+  InstallQuadrant(&registry, RandomDistinctDataset(16, 1 << 20, /*seed=*/23));
+
+  MutationPipelineOptions options;
+  options.window_ms = 60'000;  // publishes come only from the flusher
+  MutationPipeline pipeline(&registry, &metrics, options);
+
+  std::atomic<bool> stop{false};
+  std::thread flusher([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      pipeline.Flush();
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+  });
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  for (int i = 0; i < 64 && std::chrono::steady_clock::now() < deadline;
+       ++i) {
+    const Point2D p{100'000 + i, 200'000 + i};
+    auto ack = pipeline.Insert(p, std::nullopt);
+    ASSERT_TRUE(ack.ok()) << ack.status();
+    auto snapshot = registry.Current();
+    while (snapshot->generation < ack->generation &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+      snapshot = registry.Current();
+    }
+    ASSERT_GE(snapshot->generation, ack->generation) << "i=" << i;
+    const auto& points = snapshot->serving().dataset().points();
+    EXPECT_NE(std::find(points.begin(), points.end(), p), points.end())
+        << "acked write missing at gen " << snapshot->generation
+        << " (bound " << ack->generation << ", i=" << i << ")";
+  }
+  stop.store(true, std::memory_order_release);
+  flusher.join();
+}
+
 TEST(MutationPipelineTest, RequireDistinctMapsToDuplicateCoordinate) {
   SnapshotRegistry registry;
   ServerMetrics metrics;
@@ -227,6 +313,7 @@ TEST(MutationPipelineTest, RequireDistinctMapsToDuplicateCoordinate) {
   const Point2D clash{dataset.point(0).x, dataset.point(0).y + 1};
   auto dup = pipeline.Insert(clash, std::nullopt);
   ASSERT_FALSE(dup.ok());
+  EXPECT_EQ(dup.status().code(), StatusCode::kAlreadyExists);
   EXPECT_EQ(ErrorCodeForStatus(dup.status()),
             ErrorCode::kDuplicateCoordinate);
 }

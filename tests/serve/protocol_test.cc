@@ -289,9 +289,9 @@ TEST(ErrorCodeTest, StatusMapping) {
   EXPECT_EQ(ErrorCodeForStatus(Status::NotFound("unknown point id 3")),
             ErrorCode::kUnknownPoint);
   EXPECT_EQ(ErrorCodeForStatus(
-                Status::InvalidArgument("duplicate x coordinate 7")),
+                Status::AlreadyExists("duplicate x coordinate 7")),
             ErrorCode::kDuplicateCoordinate);
-  EXPECT_EQ(ErrorCodeForStatus(Status::FailedPrecondition(
+  EXPECT_EQ(ErrorCodeForStatus(Status::ResourceExhausted(
                 "mutation backlog full (9 pending); flush or retry")),
             ErrorCode::kOverloaded);
   EXPECT_EQ(ErrorCodeForStatus(
@@ -299,6 +299,17 @@ TEST(ErrorCodeTest, StatusMapping) {
             ErrorCode::kInvalidArgument);
   EXPECT_EQ(ErrorCodeForStatus(Status::FailedPrecondition(
                 "cannot delete the last remaining point")),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST(ErrorCodeTest, StatusMappingIsStructuralNotTextual) {
+  // Message wording must never decide the wire code: a status whose text
+  // merely mentions a mapped keyword keeps its own code's mapping.
+  EXPECT_EQ(ErrorCodeForStatus(Status::InvalidArgument(
+                "label \"duplicate\" is not a valid label")),
+            ErrorCode::kInvalidArgument);
+  EXPECT_EQ(ErrorCodeForStatus(
+                Status::FailedPrecondition("journal backlog full")),
             ErrorCode::kInvalidArgument);
 }
 
