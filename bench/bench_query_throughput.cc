@@ -103,6 +103,23 @@ void BM_TraceSpanDisabled(benchmark::State& state) {
 }
 BENCHMARK(BM_TraceSpanDisabled)->Unit(benchmark::kNanosecond);
 
+void BM_TraceSpanSampled(benchmark::State& state) {
+  // The always-on flight recorder keeps spans in sampled mode: every span
+  // pays the countdown decrement, one in sample_period also records. The
+  // acceptance gate holds this within 2x the disabled fast path.
+  trace::RecorderOptions options;
+  options.sample_period = 256;
+  trace::EnableFlightRecorder(options);
+  SKYDIA_CHECK(!trace::Enabled());
+  for (auto _ : state) {
+    SKYDIA_TRACE_SPAN("bench.sampled");
+    benchmark::ClobberMemory();
+  }
+  trace::DisableFlightRecorder();
+  state.SetLabel("trace-sampled-flightrecorder");
+}
+BENCHMARK(BM_TraceSpanSampled)->Unit(benchmark::kNanosecond);
+
 void BM_QueryFromScratch(benchmark::State& state) {
   const Dataset ds =
       MakeDataset(state.range(0), 1 << 16, Distribution::kIndependent);

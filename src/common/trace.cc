@@ -1,6 +1,8 @@
 #include "src/common/trace.h"
 
+#include <csignal>
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -14,7 +16,8 @@ namespace skydia::trace {
 
 namespace internal {
 
-std::atomic<bool> g_enabled{false};
+std::atomic<uint32_t> g_mode{kModeOff};
+constinit thread_local uint32_t t_sample_countdown = 1;
 
 namespace {
 
@@ -27,6 +30,12 @@ std::atomic<size_t> g_ring_events{kDefaultRingEvents};
 std::atomic<uint32_t> g_next_tid{1};
 std::atomic<bool> g_exit_registered{false};
 std::atomic<bool> g_exit_flushed{false};
+
+// Flight-recorder state. All relaxed: the period and window are read-mostly
+// hints, not synchronization.
+std::atomic<uint32_t> g_sample_period{256};
+std::atomic<uint64_t> g_window_ns{10'000'000'000ull};
+std::atomic<bool> g_recorder_active{false};
 
 /// Guards the buffer registry and every ThreadBuffer::name. Leaked on
 /// purpose: detached threads may still emit during static destruction.
@@ -49,6 +58,7 @@ struct Slot {
   std::atomic<uint64_t> a{0};     // span start ns / counter sample ns
   std::atomic<uint64_t> b{0};     // span end ns / counter value
   std::atomic<uint64_t> meta{0};  // kind | depth << 8
+  std::atomic<uint64_t> ctx{0};   // request-context token (0 = none)
 };
 
 /// One thread's ring. Owned by the global registry so it outlives its
@@ -78,6 +88,7 @@ std::vector<std::unique_ptr<ThreadBuffer>>& Registry()
 
 thread_local int t_depth = 0;
 thread_local uint32_t t_tid = 0;
+thread_local uint64_t t_ctx = 0;
 
 /// Pointer into Registry(); set lazily, cleared (and the buffer retired)
 /// when the thread exits.
@@ -93,7 +104,7 @@ struct LocalHandle {
 thread_local LocalHandle t_handle;
 
 void Push(ThreadBuffer* buffer, const char* name, uint64_t kind, uint64_t a,
-          uint64_t b, uint64_t depth) {
+          uint64_t b, uint64_t depth, uint64_t ctx) {
   const uint64_t idx = buffer->head.load(std::memory_order_relaxed);
   Slot& slot = buffer->slots[idx & buffer->mask];
   slot.seq.store(0, std::memory_order_release);
@@ -101,9 +112,34 @@ void Push(ThreadBuffer* buffer, const char* name, uint64_t kind, uint64_t a,
   slot.a.store(a, std::memory_order_relaxed);
   slot.b.store(b, std::memory_order_relaxed);
   slot.meta.store(kind | (depth << 8), std::memory_order_relaxed);
+  slot.ctx.store(ctx, std::memory_order_relaxed);
   slot.seq.store(idx + 1, std::memory_order_release);
   buffer->head.store(idx + 1, std::memory_order_release);
 }
+
+// Client request ids are interned in a fixed ring keyed by sequence number;
+// the newest kRidRingSize ids resolve exactly, older tokens fall back to a
+// stable "c<seq>" placeholder. The high token bit distinguishes client
+// tokens from server-generated ones (which encode the id directly).
+constexpr uint64_t kClientTokenBit = uint64_t{1} << 63;
+constexpr size_t kRidRingSize = 4096;
+
+struct RidEntry {
+  uint64_t seq = 0;  // 0 = never written
+  std::string rid;
+};
+
+// Leaked, like the registry: a crash-handler drain may run at any point of
+// process teardown.
+Mutex* const g_rid_mu = new Mutex;
+std::array<RidEntry, kRidRingSize>& RidRing() SKYDIA_REQUIRES(*g_rid_mu) {
+  static auto* ring = new std::array<RidEntry, kRidRingSize>;
+  return *ring;
+}
+// Ordering: relaxed — sequence allocation needs uniqueness only. Starts at
+// 1 so seq 0 can mean "empty slot".
+std::atomic<uint64_t> g_next_client_seq{1};
+std::atomic<uint64_t> g_next_server_token{1};
 
 #if defined(__SANITIZE_THREAD__)
 #define SKYDIA_TRACE_TSAN 1
@@ -149,11 +185,13 @@ ThreadTrack SnapshotBuffer(const ThreadBuffer& buffer, uint64_t epoch)
     const uint64_t a = slot.a.load(std::memory_order_relaxed);
     const uint64_t b = slot.b.load(std::memory_order_relaxed);
     const uint64_t meta = slot.meta.load(std::memory_order_relaxed);
+    const uint64_t ctx = slot.ctx.load(std::memory_order_relaxed);
     if (!SlotStillValid(slot, idx + 1)) continue;
 
     TraceEvent event;
     event.name = name;
     event.tid = buffer.tid;
+    event.ctx = ctx;
     event.start_ns = a > epoch ? a - epoch : 0;
     if ((meta & 0xff) == kKindSpan) {
       event.kind = TraceEvent::Kind::kSpan;
@@ -180,7 +218,31 @@ void AppendDouble(double value, std::string* out) {
   out->append(buf);
 }
 
+// Crash-handler state: the dump path lives in a fixed buffer so the handler
+// never allocates before deciding to dump; `g_crash_dumping` makes a
+// multi-signal pileup dump at most once.
+char g_crash_path[512] = {0};
+std::atomic<bool> g_crash_installed{false};
+std::atomic<bool> g_crash_dumping{false};
+constexpr int kCrashSignals[] = {SIGSEGV, SIGABRT, SIGBUS, SIGFPE, SIGILL};
+
+void CrashHandler(int sig) {
+  if (!g_crash_dumping.exchange(true, std::memory_order_acq_rel)) {
+    // Best effort (see the header contract): this allocates and locks.
+    const TraceSnapshot snapshot = CollectRecent();
+    (void)WriteChromeTrace(snapshot, g_crash_path);
+  }
+  std::signal(sig, SIG_DFL);
+  ::raise(sig);
+}
+
 }  // namespace
+
+bool ReloadSampleCountdown() {
+  t_sample_countdown = std::max(1u, g_sample_period.load(
+                                        std::memory_order_relaxed));
+  return true;
+}
 
 ThreadBuffer* LocalBuffer() {
   if (t_handle.buffer == nullptr) {
@@ -199,11 +261,11 @@ ThreadBuffer* LocalBuffer() {
 void EmitSpan(ThreadBuffer* buffer, const char* name, uint64_t start_ns,
               uint64_t end_ns) {
   Push(buffer, name, kKindSpan, start_ns, end_ns,
-       static_cast<uint64_t>(t_depth));
+       static_cast<uint64_t>(t_depth), t_ctx);
 }
 
 void EmitCounter(ThreadBuffer* buffer, const char* name, uint64_t value) {
-  Push(buffer, name, kKindCounter, NowNanos(), value, 0);
+  Push(buffer, name, kKindCounter, NowNanos(), value, 0, t_ctx);
 }
 
 void AppendJsonEscaped(const char* text, std::string* out) {
@@ -249,10 +311,43 @@ uint64_t NowNanos() {
 }
 
 void SetEnabled(bool enabled) {
-  if (enabled && !internal::g_enabled.load(std::memory_order_relaxed)) {
-    internal::g_epoch_ns.store(NowNanos(), std::memory_order_relaxed);
+  using namespace internal;
+  if (enabled) {
+    if (g_mode.load(std::memory_order_relaxed) == kModeOff) {
+      g_epoch_ns.store(NowNanos(), std::memory_order_relaxed);
+    }
+    g_mode.store(kModeFull, std::memory_order_relaxed);
+    return;
   }
-  internal::g_enabled.store(enabled, std::memory_order_relaxed);
+  g_mode.store(g_recorder_active.load(std::memory_order_relaxed)
+                   ? kModeSampled
+                   : kModeOff,
+               std::memory_order_relaxed);
+}
+
+void EnableFlightRecorder(const RecorderOptions& options) {
+  using namespace internal;
+  g_sample_period.store(std::max(1u, options.sample_period),
+                        std::memory_order_relaxed);
+  g_window_ns.store(std::max<uint64_t>(1, options.window_ns),
+                    std::memory_order_relaxed);
+  g_recorder_active.store(true, std::memory_order_relaxed);
+  if (g_mode.load(std::memory_order_relaxed) == kModeOff) {
+    g_epoch_ns.store(NowNanos(), std::memory_order_relaxed);
+    g_mode.store(kModeSampled, std::memory_order_relaxed);
+  }
+}
+
+void DisableFlightRecorder() {
+  using namespace internal;
+  g_recorder_active.store(false, std::memory_order_relaxed);
+  if (g_mode.load(std::memory_order_relaxed) == kModeSampled) {
+    g_mode.store(kModeOff, std::memory_order_relaxed);
+  }
+}
+
+bool RecorderActive() {
+  return internal::g_recorder_active.load(std::memory_order_relaxed);
 }
 
 void Reset() {
@@ -291,6 +386,51 @@ void SetThreadName(const std::string& name) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Request contexts.
+
+uint64_t NextServerRequestToken() {
+  return internal::g_next_server_token.fetch_add(1,
+                                                 std::memory_order_relaxed);
+}
+
+uint64_t RegisterRequestId(std::string_view rid) {
+  using namespace internal;
+  if (rid.empty()) return 0;
+  const uint64_t seq =
+      g_next_client_seq.fetch_add(1, std::memory_order_relaxed);
+  {
+    MutexLock lock(*g_rid_mu);
+    RidEntry& entry = RidRing()[seq % kRidRingSize];
+    entry.seq = seq;
+    entry.rid.assign(rid);
+  }
+  return kClientTokenBit | seq;
+}
+
+std::string RequestIdForToken(uint64_t token) {
+  using namespace internal;
+  if (token == 0) return "";
+  if ((token & kClientTokenBit) == 0) {
+    return "s" + std::to_string(token);
+  }
+  const uint64_t seq = token & ~kClientTokenBit;
+  {
+    MutexLock lock(*g_rid_mu);
+    const RidEntry& entry = RidRing()[seq % kRidRingSize];
+    if (entry.seq == seq) return entry.rid;
+  }
+  return "c" + std::to_string(seq);  // evicted from the ring
+}
+
+uint64_t CurrentRequestContext() { return internal::t_ctx; }
+
+uint64_t SwapRequestContext(uint64_t token) {
+  const uint64_t previous = internal::t_ctx;
+  internal::t_ctx = token;
+  return previous;
+}
+
 uint64_t Span::Begin(const char* name) {
   if (name == nullptr) return 0;
   ++internal::t_depth;
@@ -303,7 +443,10 @@ void Span::End(const char* name, uint64_t start_ns) {
 }
 
 void Counter(const char* name, uint64_t value) {
-  if (!Enabled()) return;
+  if (internal::g_mode.load(std::memory_order_relaxed) ==
+      internal::kModeOff) {
+    return;
+  }
   internal::EmitCounter(internal::LocalBuffer(), name, value);
 }
 
@@ -322,6 +465,25 @@ TraceSnapshot Collect() {
             [](const ThreadTrack& a, const ThreadTrack& b) {
               return a.tid < b.tid;
             });
+  return snapshot;
+}
+
+TraceSnapshot CollectRecent() {
+  const uint64_t epoch =
+      internal::g_epoch_ns.load(std::memory_order_relaxed);
+  const uint64_t window = internal::g_window_ns.load(std::memory_order_relaxed);
+  const uint64_t now = NowNanos();
+  const uint64_t now_rel = now > epoch ? now - epoch : 0;
+  const uint64_t cutoff = now_rel > window ? now_rel - window : 0;
+  TraceSnapshot snapshot = Collect();
+  if (cutoff == 0) return snapshot;
+  snapshot.total_events = 0;
+  for (ThreadTrack& track : snapshot.threads) {
+    std::erase_if(track.events, [cutoff](const TraceEvent& event) {
+      return event.start_ns + event.duration_ns < cutoff;
+    });
+    snapshot.total_events += track.events.size();
+  }
   return snapshot;
 }
 
@@ -357,6 +519,12 @@ std::string ToChromeTraceJson(const TraceSnapshot& snapshot) {
         out.append(",\"dur\":");
         internal::AppendDouble(static_cast<double>(event.duration_ns) / 1e3,
                                &out);
+        if (event.ctx != 0) {
+          out.append(",\"args\":{\"rid\":\"");
+          internal::AppendJsonEscaped(RequestIdForToken(event.ctx).c_str(),
+                                      &out);
+          out.append("\"}");
+        }
         out.append("}");
       } else {
         out.append("{\"ph\":\"C\",\"pid\":1,\"tid\":");
@@ -387,6 +555,28 @@ Status WriteChromeTrace(const TraceSnapshot& snapshot,
   const int closed = std::fclose(file);
   if (written != json.size() || closed != 0) {
     return Status::Internal("short write to trace output " + path);
+  }
+  return Status::OK();
+}
+
+Status InstallCrashHandler(const std::string& path) {
+  using namespace internal;
+  if (path.empty() || path.size() >= sizeof(g_crash_path)) {
+    return Status::InvalidArgument("crash-trace path empty or too long");
+  }
+  std::memcpy(g_crash_path, path.c_str(), path.size() + 1);
+  if (g_crash_installed.exchange(true, std::memory_order_acq_rel)) {
+    return Status::OK();  // already installed; the new path took effect
+  }
+  struct sigaction action{};
+  action.sa_handler = &CrashHandler;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;
+  for (const int sig : kCrashSignals) {
+    if (::sigaction(sig, &action, nullptr) != 0) {
+      return Status::Internal("sigaction failed for signal " +
+                              std::to_string(sig));
+    }
   }
   return Status::OK();
 }

@@ -6,7 +6,7 @@
 
 namespace skydia {
 
-inline constexpr const char* kVersion = "0.5.0";
+inline constexpr const char* kVersion = "0.6.0";
 
 /// The commit the binary was built from: SKYDIA_GIT_COMMIT when the build
 /// system provides it, else "unknown" (local builds).

@@ -210,9 +210,13 @@ void QueryEngine::AnswerBatch(std::span<const Point2D> queries,
   const size_t shards = pool_->num_threads();
   const size_t chunk = (queries.size() + shards - 1) / shards;
   SetId* const out_data = out->data();
-  pool_->ParallelFor(shards, [&](size_t shard) {
+  // Request context is thread-local; re-establish it on each pool worker so
+  // the shard spans carry the calling request's id.
+  const uint64_t ctx = trace::CurrentRequestContext();
+  pool_->ParallelFor(shards, [&, ctx](size_t shard) {
     const size_t begin = shard * chunk;
     if (begin >= queries.size()) return;
+    trace::ScopedRequestContext ctx_scope(ctx);
     const size_t end = std::min(queries.size(), begin + chunk);
     AnswerShard(queries.subspan(begin, end - begin), out_data + begin);
   });

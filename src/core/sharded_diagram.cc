@@ -179,11 +179,15 @@ void ShardedServableDiagram::AnswerBatch(std::span<const Point2D> queries,
     return;
   }
   // Gather via the pool's WaitIdle handshake: disjoint out positions per
-  // shard, so tasks need no synchronization beyond the barrier.
+  // shard, so tasks need no synchronization beyond the barrier. Request
+  // context is thread-local; re-establish it on each pool worker so the
+  // shard spans carry the calling request's id.
+  const uint64_t ctx = trace::CurrentRequestContext();
   for (size_t s = 0; s < num_shards; ++s) {
     if (shard_queries[s].empty()) continue;
     shards_[s].queue_depth.fetch_add(1, std::memory_order_relaxed);
-    pool->Submit([this, s, &shard_queries, &shard_scatter, out_data] {
+    pool->Submit([this, s, ctx, &shard_queries, &shard_scatter, out_data] {
+      trace::ScopedRequestContext ctx_scope(ctx);
       AnswerShard(s, shard_queries[s], shard_scatter[s], out_data);
       shards_[s].queue_depth.fetch_sub(1, std::memory_order_relaxed);
     });

@@ -91,6 +91,41 @@ void ReactorLoopHistogram(const ServerMetrics& metrics, std::string* out) {
   out->append(std::to_string(total)).push_back('\n');
 }
 
+/// Cumulative histogram over log2-ns buckets rendered in seconds (upper
+/// bound of bucket b is 2^(b+1) ns / 1e9). Trailing empty buckets collapse
+/// into +Inf; an all-empty histogram still renders (+Inf/_sum/_count), so a
+/// scrape sees every family from the first sample on.
+void SecondsHistogram(const char* name, const char* help,
+                      const std::array<std::atomic<uint64_t>,
+                                       ServerMetrics::kDurationBuckets>& ns,
+                      uint64_t sum_ns, uint64_t count, std::string* out) {
+  out->append("# HELP ").append(name).append(" ").append(help).push_back('\n');
+  out->append("# TYPE ").append(name).append(" histogram\n");
+  std::array<uint64_t, ServerMetrics::kDurationBuckets> counts{};
+  size_t last = 0;
+  for (size_t b = 0; b < counts.size(); ++b) {
+    counts[b] = ns[b].load(std::memory_order_relaxed);
+    if (counts[b] > 0) last = b;
+  }
+  char buf[64];
+  uint64_t cumulative = 0;
+  if (count > 0) {
+    for (size_t b = 0; b <= last; ++b) {
+      cumulative += counts[b];
+      std::snprintf(buf, sizeof(buf), "%.9g",
+                    static_cast<double>(uint64_t{1} << (b + 1)) / 1e9);
+      out->append(name).append("_bucket{le=\"").append(buf);
+      out->append("\"} ").append(std::to_string(cumulative)).push_back('\n');
+    }
+  }
+  out->append(name).append("_bucket{le=\"+Inf\"} ");
+  out->append(std::to_string(count)).push_back('\n');
+  std::snprintf(buf, sizeof(buf), "%.9g", static_cast<double>(sum_ns) / 1e9);
+  out->append(name).append("_sum ").append(buf).push_back('\n');
+  out->append(name).append("_count ");
+  out->append(std::to_string(count)).push_back('\n');
+}
+
 /// One `name{shard="i"} value` sample line.
 void ShardSample(const char* name, size_t shard, uint64_t value,
                  std::string* out) {
@@ -156,6 +191,19 @@ std::string RenderPrometheusMetrics(const ServerMetrics& metrics,
         "Batches queued for or running on the worker pool.",
         static_cast<double>(load(metrics.worker_queue_depth)), &out);
   ReactorLoopHistogram(metrics, &out);
+  Gauge("skydia_reactor_loop_lag_seconds",
+        "Seconds between the two most recent reactor wakeups.",
+        static_cast<double>(load(metrics.reactor_loop_lag_ns)) / 1e9, &out);
+  SecondsHistogram("skydia_request_duration_seconds",
+                   "End-to-end batch duration (parse, answer, render).",
+                   metrics.request_duration_ns,
+                   load(metrics.request_duration_sum_ns),
+                   load(metrics.request_duration_count), &out);
+  SecondsHistogram("skydia_mutation_publish_duration_seconds",
+                   "Mutation publish duration (grab, wrap, install).",
+                   metrics.mutation_publish_ns,
+                   load(metrics.mutation_publish_sum_ns),
+                   load(metrics.mutation_publish_count), &out);
   Counter("skydia_bytes_received_total", "Bytes read from clients.",
           load(metrics.bytes_received), &out);
   Counter("skydia_bytes_sent_total", "Bytes written to clients.",

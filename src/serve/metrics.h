@@ -31,6 +31,9 @@ struct ServerMetrics {
   /// Log2 buckets for the reactor-loop-latency histogram: bucket b counts
   /// loop iterations whose epoll_wait-to-idle time fell in [2^b, 2^(b+1)) ns.
   static constexpr size_t kReactorLoopBuckets = 32;
+  /// Log2 buckets shared by the request-duration and mutation-publish
+  /// histograms (same [2^b, 2^(b+1)) ns scheme, rendered in seconds).
+  static constexpr size_t kDurationBuckets = 32;
 
   // Ordering: every counter in this struct is updated and read with
   // memory_order_relaxed — exact totals, no inter-thread ordering implied.
@@ -80,12 +83,59 @@ struct ServerMetrics {
   /// Sampled reactor loop-iteration latency (every iteration that handled
   /// at least one event records one sample; relaxed histogram buckets).
   std::array<std::atomic<uint64_t>, kReactorLoopBuckets> reactor_loop_ns{};
+  /// Gauge: nanoseconds between the two most recent reactor wakeups — the
+  /// loop lag an enqueued completion currently waits (relaxed; written by
+  /// the event loop only).
+  std::atomic<uint64_t> reactor_loop_lag_ns{0};
+
+  /// End-to-end batch duration (parse -> answer -> render) as seen by
+  /// ServeBatch, one sample per batch (relaxed histogram buckets + sum ns +
+  /// count; exact totals, no ordering implied).
+  std::array<std::atomic<uint64_t>, kDurationBuckets> request_duration_ns{};
+  std::atomic<uint64_t> request_duration_sum_ns{0};
+  std::atomic<uint64_t> request_duration_count{0};
+  /// Exemplars: the most recent request-context token and duration to land
+  /// in each bucket, linking tail-latency buckets to concrete request ids
+  /// (GET /debug/snapshot). Relaxed independent stores: the token/duration
+  /// pair may tear across a concurrent write — acceptable for a debug aid,
+  /// never for accounting.
+  std::array<std::atomic<uint64_t>, kDurationBuckets> request_exemplar_token{};
+  std::array<std::atomic<uint64_t>, kDurationBuckets> request_exemplar_ns{};
+
+  /// Mutation-publish duration (grab -> wrap -> install), one sample per
+  /// publish (relaxed histogram buckets + sum ns + count).
+  std::array<std::atomic<uint64_t>, kDurationBuckets> mutation_publish_ns{};
+  std::atomic<uint64_t> mutation_publish_sum_ns{0};
+  std::atomic<uint64_t> mutation_publish_count{0};
 
   /// Records one reactor loop iteration of `ns` nanoseconds.
   void RecordReactorLoop(uint64_t ns) {
     const auto b = static_cast<size_t>(std::bit_width(ns | 1) - 1);
     reactor_loop_ns[b < kReactorLoopBuckets ? b : kReactorLoopBuckets - 1]
         .fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Records one served batch of `ns` nanoseconds under request-context
+  /// token `ctx` (0 = none; the bucket exemplar is skipped).
+  void RecordRequestDuration(uint64_t ns, uint64_t ctx) {
+    auto b = static_cast<size_t>(std::bit_width(ns | 1) - 1);
+    if (b >= kDurationBuckets) b = kDurationBuckets - 1;
+    request_duration_ns[b].fetch_add(1, std::memory_order_relaxed);
+    request_duration_sum_ns.fetch_add(ns, std::memory_order_relaxed);
+    request_duration_count.fetch_add(1, std::memory_order_relaxed);
+    if (ctx != 0) {
+      request_exemplar_token[b].store(ctx, std::memory_order_relaxed);
+      request_exemplar_ns[b].store(ns, std::memory_order_relaxed);
+    }
+  }
+
+  /// Records one mutation publish of `ns` nanoseconds.
+  void RecordMutationPublish(uint64_t ns) {
+    auto b = static_cast<size_t>(std::bit_width(ns | 1) - 1);
+    if (b >= kDurationBuckets) b = kDurationBuckets - 1;
+    mutation_publish_ns[b].fetch_add(1, std::memory_order_relaxed);
+    mutation_publish_sum_ns.fetch_add(ns, std::memory_order_relaxed);
+    mutation_publish_count.fetch_add(1, std::memory_order_relaxed);
   }
 };
 

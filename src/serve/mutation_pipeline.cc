@@ -54,6 +54,7 @@ Status MutationPipeline::EnsureShadowLocked() {
         std::make_unique<IncrementalQuadrantDiagram>(std::move(*shadow));
   }
   source_path_ = snapshot->source_path;
+  seeded_at_ = std::chrono::steady_clock::now();
   return Status::OK();
 }
 
@@ -87,7 +88,10 @@ StatusOr<MutationAck> MutationPipeline::Insert(
                           ? quadrant_->last_insert_recomputed_cells()
                           : dynamic_->last_insert_recomputed_subcells();
     first_pending = pending_ == 0;
-    if (first_pending) first_pending_ = std::chrono::steady_clock::now();
+    if (first_pending) {
+      first_pending_ = std::chrono::steady_clock::now();
+      pending_ctx_ = trace::CurrentRequestContext();
+    }
     ++pending_;
     metrics_->mutation_pending.store(pending_, std::memory_order_relaxed);
     metrics_->mutation_inserts.fetch_add(1, std::memory_order_relaxed);
@@ -141,7 +145,10 @@ StatusOr<MutationAck> MutationPipeline::Delete(int64_t point) {
                           ? quadrant_->last_delete_recomputed_cells()
                           : dynamic_->last_delete_recomputed_subcells();
     first_pending = pending_ == 0;
-    if (first_pending) first_pending_ = std::chrono::steady_clock::now();
+    if (first_pending) {
+      first_pending_ = std::chrono::steady_clock::now();
+      pending_ctx_ = trace::CurrentRequestContext();
+    }
     ++pending_;
     metrics_->mutation_pending.store(pending_, std::memory_order_relaxed);
     metrics_->mutation_deletes.fetch_add(1, std::memory_order_relaxed);
@@ -178,6 +185,7 @@ void MutationPipeline::ResetLocked() {
   source_path_.clear();
   pending_ = 0;
   pending_cells_ = 0;
+  pending_ctx_ = 0;
   metrics_->mutation_pending.store(0, std::memory_order_relaxed);
 }
 
@@ -201,6 +209,27 @@ uint64_t MutationPipeline::pending() const {
   return pending_;
 }
 
+MutationDebugState MutationPipeline::DebugState() const {
+  MutationDebugState state;
+  state.window_ms = options_.window_ms;
+  state.max_pending = options_.max_pending;
+  MutexLock lock(mu_);
+  state.pending = pending_;
+  state.pending_cells = pending_cells_;
+  state.shadow_seeded = quadrant_ != nullptr || dynamic_ != nullptr;
+  if (state.shadow_seeded) {
+    state.shadow_age_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                              std::chrono::steady_clock::now() - seeded_at_)
+                              .count();
+  }
+  state.publish_in_flight = publish_in_flight_;
+  state.in_flight_generation = publish_in_flight_ ? in_flight_generation_ : 0;
+  if (pending_ctx_ != 0) {
+    state.pending_rid = trace::RequestIdForToken(pending_ctx_);
+  }
+  return state;
+}
+
 uint64_t MutationPipeline::Publish() {
   MutexLock publish_lock(publish_mu_);
   std::shared_ptr<const Dataset> dataset;
@@ -209,9 +238,12 @@ uint64_t MutationPipeline::Publish() {
   std::string source;
   uint64_t batch = 0;
   uint64_t cells = 0;
+  uint64_t ctx = 0;
   {
     MutexLock lock(mu_);
     if (pending_ == 0) return registry_->generation();
+    ctx = pending_ctx_;
+    pending_ctx_ = 0;
     if (quadrant_ != nullptr) {
       dataset = quadrant_->shared_dataset();
       cell = quadrant_->shared_diagram();
@@ -234,6 +266,12 @@ uint64_t MutationPipeline::Publish() {
   // Build and install outside mu_: writers keep applying to the shadow
   // (its state is immutable snapshots; the grab above stays valid) and
   // readers keep serving the old snapshot until the Install swap.
+  //
+  // The publish span runs under the first pending mutation's request
+  // context (when it carried one), so a windowed publish on the publisher
+  // thread traces back to the request that opened the coalescing window.
+  trace::ScopedRequestContext ctx_scope(
+      ctx != 0 ? ctx : trace::CurrentRequestContext());
   SKYDIA_TRACE_SPAN("mutation.publish");
   const uint64_t start_ns = trace::NowNanos();
   ServableDiagram wrapped =
@@ -251,6 +289,7 @@ uint64_t MutationPipeline::Publish() {
     publish_in_flight_ = false;
   }
   const uint64_t publish_ns = trace::NowNanos() - start_ns;
+  metrics_->RecordMutationPublish(publish_ns);
   metrics_->mutation_publishes.fetch_add(1, std::memory_order_relaxed);
   metrics_->mutation_cells_recomputed.fetch_add(cells,
                                                 std::memory_order_relaxed);

@@ -90,6 +90,23 @@ struct MutationPipelineOptions {
   ShardingOptions sharding;
 };
 
+/// Point-in-time introspection of the write path, rendered by the server's
+/// GET /debug/snapshot endpoint. A consistent read of the pipeline's state
+/// under mu_ — values may be stale by the time the caller renders them.
+struct MutationDebugState {
+  uint64_t pending = 0;        ///< mutations applied but unpublished
+  uint64_t pending_cells = 0;  ///< cells recomputed by those mutations
+  bool shadow_seeded = false;  ///< a shadow diagram exists
+  int64_t shadow_age_ms = 0;   ///< ms since the shadow was seeded (0 if none)
+  bool publish_in_flight = false;  ///< a publish is between grab and Install
+  uint64_t in_flight_generation = 0;  ///< its target generation (else 0)
+  /// Request id of the first pending mutation ("" when none carried one) —
+  /// the request a windowed publish is coalescing on behalf of.
+  std::string pending_rid;
+  int window_ms = 0;        ///< configured coalescing window
+  uint64_t max_pending = 0;  ///< configured backlog cap (0 = unlimited)
+};
+
 /// One mutation's acknowledgement.
 struct MutationAck {
   /// Generation serving the mutation (synchronous publish) or a lower
@@ -145,6 +162,9 @@ class MutationPipeline {
   /// Mutations applied but not yet published.
   uint64_t pending() const SKYDIA_EXCLUDES(mu_);
 
+  /// Consistent snapshot of the pipeline's state for /debug/snapshot.
+  MutationDebugState DebugState() const SKYDIA_EXCLUDES(mu_);
+
   /// Stops the publisher thread without publishing what is pending.
   /// Idempotent; also run by the destructor.
   void Stop() SKYDIA_EXCLUDES(mu_);
@@ -172,6 +192,12 @@ class MutationPipeline {
   uint64_t pending_ SKYDIA_GUARDED_BY(mu_) = 0;
   uint64_t pending_cells_ SKYDIA_GUARDED_BY(mu_) = 0;
   std::chrono::steady_clock::time_point first_pending_ SKYDIA_GUARDED_BY(mu_);
+  /// Request-context token of the first pending mutation (0 = none). The
+  /// publish that drains the batch runs its span under this context, so a
+  /// windowed publish traces back to the request that opened the window.
+  uint64_t pending_ctx_ SKYDIA_GUARDED_BY(mu_) = 0;
+  /// When the shadow was seeded (meaningful only while one exists).
+  std::chrono::steady_clock::time_point seeded_at_ SKYDIA_GUARDED_BY(mu_);
   bool stop_ SKYDIA_GUARDED_BY(mu_) = false;
   std::condition_variable cv_;
 

@@ -151,6 +151,38 @@ void AppendIdPrefix(std::optional<int64_t> id, std::string* out) {
   }
 }
 
+/// Closes a reply line, stamping the rid as the LAST field (wire contract:
+/// prefix-matching clients never see it unless they ask).
+void AppendRidSuffix(std::string_view rid, std::string* out) {
+  if (!rid.empty()) {
+    out->append(",\"rid\":\"");
+    JsonEscape(rid, out);
+    out->push_back('"');
+  }
+  out->append("}\n");
+}
+
+/// The "rid" field contract: bounded (it lands in logs, replies, and the
+/// trace-context ring) and printable (no control characters even via
+/// escapes, so log lines stay one line).
+constexpr size_t kMaxRidBytes = 64;
+
+Status ValidateRid(const std::string& rid) {
+  if (rid.empty()) {
+    return Status::InvalidArgument("\"rid\" must be a non-empty string");
+  }
+  if (rid.size() > kMaxRidBytes) {
+    return Status::InvalidArgument("\"rid\" exceeds 64 bytes");
+  }
+  for (const char c : rid) {
+    if (static_cast<unsigned char>(c) < 0x20) {
+      return Status::InvalidArgument(
+          "\"rid\" may not contain control characters");
+    }
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 std::string_view ErrorCodeName(ErrorCode code) {
@@ -290,6 +322,11 @@ StatusOr<Request> ParseRequest(std::string_view line) {
         auto v = cursor.ParseInt();
         if (!v.ok()) return v.status();
         request.id = *v;
+      } else if (*key == "rid") {
+        auto v = cursor.ParseString();
+        if (!v.ok()) return v.status();
+        if (Status valid = ValidateRid(*v); !valid.ok()) return valid;
+        request.rid = *std::move(v);
       } else if (*key == "cmd") {
         auto v = cursor.ParseString();
         if (!v.ok()) return v.status();
@@ -448,7 +485,7 @@ std::string RenderLabelsArray(const Dataset& dataset,
 
 void AppendQueryReply(std::optional<int64_t> id, uint64_t generation,
                       std::string_view key, std::string_view array_json,
-                      std::string* out) {
+                      std::string* out, std::string_view rid) {
   AppendIdPrefix(id, out);
   out->append("\"gen\":");
   out->append(std::to_string(generation));
@@ -456,13 +493,13 @@ void AppendQueryReply(std::optional<int64_t> id, uint64_t generation,
   out->append(key);
   out->append("\":");
   out->append(array_json);
-  out->append("}\n");
+  AppendRidSuffix(rid, out);
 }
 
 void AppendRangeReply(std::optional<int64_t> id, uint64_t generation,
                       std::string_view union_json,
                       std::string_view intersection_json, uint64_t distinct,
-                      std::string* out) {
+                      std::string* out, std::string_view rid) {
   AppendIdPrefix(id, out);
   out->append("\"gen\":");
   out->append(std::to_string(generation));
@@ -472,35 +509,38 @@ void AppendRangeReply(std::optional<int64_t> id, uint64_t generation,
   out->append(intersection_json);
   out->append(",\"distinct\":");
   out->append(std::to_string(distinct));
-  out->append("}\n");
+  AppendRidSuffix(rid, out);
 }
 
 void AppendOkReply(std::optional<int64_t> id, uint64_t generation,
-                   std::string* out) {
+                   std::string* out, std::string_view rid) {
   AppendIdPrefix(id, out);
   out->append("\"ok\":true,\"gen\":");
   out->append(std::to_string(generation));
-  out->append("}\n");
+  AppendRidSuffix(rid, out);
 }
 
 void AppendInsertReply(std::optional<int64_t> id, uint64_t generation,
-                       PointId point, std::string* out) {
+                       PointId point, std::string* out,
+                       std::string_view rid) {
   AppendIdPrefix(id, out);
   out->append("\"ok\":true,\"gen\":");
   out->append(std::to_string(generation));
   out->append(",\"point\":");
   out->append(std::to_string(point));
-  out->append("}\n");
+  AppendRidSuffix(rid, out);
 }
 
 void AppendErrorReply(std::optional<int64_t> id, ErrorCode code,
-                      std::string_view message, std::string* out) {
+                      std::string_view message, std::string* out,
+                      std::string_view rid) {
   AppendIdPrefix(id, out);
   out->append("\"error\":\"");
   JsonEscape(message, out);
   out->append("\",\"code\":\"");
   out->append(ErrorCodeName(code));
-  out->append("\"}\n");
+  out->push_back('"');
+  AppendRidSuffix(rid, out);
 }
 
 }  // namespace skydia::serve

@@ -16,6 +16,10 @@
 //                                          mismatch with the snapshot is an
 //                                          error unless "exact" is set
 //                "id":N                    opaque correlation id, echoed back
+//                "rid":"..."               request id (any request kind):
+//                                          stamped on the reply, the slow
+//                                          query log and trace spans; the
+//                                          server generates one when absent
 //   range   := {"cmd":"range","x":[LO,HI],"y":[LO,HI]}
 //                                          skyline over every position in
 //                                          the closed rectangle; optional
@@ -39,6 +43,11 @@
 //                                                 acks add ,"point":P)
 //            | {"id":N,"error":"message","code":"..."}
 //                                                 ("id" present when known)
+//
+// Every reply additionally carries a trailing "rid" field — the request id
+// echoed back (client-supplied "rid") or server-generated ("s<n>"). Like
+// "code" before it, the field is appended LAST so prefix-matching clients of
+// the pre-rid protocol keep working.
 //
 // "gen" is the snapshot generation that answered the query — the hot-swap
 // observability handle (tests/serve/hotswap_stress_test.cc asserts on it).
@@ -121,6 +130,9 @@ struct FlushPayload {};
 struct Request {
   RequestKind kind = RequestKind::kQuery;
   std::optional<int64_t> id;  ///< echoed back verbatim when present
+  /// Client-supplied request id ("" = absent; the server generates one).
+  /// Stamped on the reply, the slow-query log, and trace spans.
+  std::string rid;
   std::variant<QueryPayload, RangePayload, PingPayload, StatsPayload,
                ReloadPayload, InsertPayload, DeletePayload, FlushPayload>
       payload;
@@ -172,9 +184,11 @@ std::string RenderLabelsArray(const Dataset& dataset,
 
 /// Appends one query reply line: {"id":N,"gen":G,<key>:<array_json>}\n.
 /// `key` is "ids" or "labels"; `array_json` must already be rendered.
+/// Every appender takes a trailing `rid` — the request id stamped as the
+/// reply's LAST field (omitted when empty, for embedders without ids).
 void AppendQueryReply(std::optional<int64_t> id, uint64_t generation,
                       std::string_view key, std::string_view array_json,
-                      std::string* out);
+                      std::string* out, std::string_view rid = "");
 
 /// Appends one range reply line:
 /// {"id":N,"gen":G,"union":U,"intersection":I,"distinct":D}\n. The two
@@ -182,22 +196,24 @@ void AppendQueryReply(std::optional<int64_t> id, uint64_t generation,
 void AppendRangeReply(std::optional<int64_t> id, uint64_t generation,
                       std::string_view union_json,
                       std::string_view intersection_json, uint64_t distinct,
-                      std::string* out);
+                      std::string* out, std::string_view rid = "");
 
 /// Appends one admin ack line: {"id":N,"ok":true,"gen":G}\n.
 void AppendOkReply(std::optional<int64_t> id, uint64_t generation,
-                   std::string* out);
+                   std::string* out, std::string_view rid = "");
 
 /// Appends one insert ack line: {"id":N,"ok":true,"gen":G,"point":P}\n —
 /// an AppendOkReply that also reports the new point's id.
 void AppendInsertReply(std::optional<int64_t> id, uint64_t generation,
-                       PointId point, std::string* out);
+                       PointId point, std::string* out,
+                       std::string_view rid = "");
 
 /// Appends one error reply line: {"id":N,"error":"...","code":"..."}\n.
-/// The code comes last so prefix-matching clients of the pre-code protocol
-/// keep working.
+/// The code (and the rid after it) come last so prefix-matching clients of
+/// the pre-code protocol keep working.
 void AppendErrorReply(std::optional<int64_t> id, ErrorCode code,
-                      std::string_view message, std::string* out);
+                      std::string_view message, std::string* out,
+                      std::string_view rid = "");
 
 }  // namespace skydia::serve
 

@@ -37,6 +37,41 @@ uint64_t CacheKey(SetId set, bool labels) {
   return (static_cast<uint64_t>(set) << 1) | (labels ? 1u : 0u);
 }
 
+/// Appends one complete HTTP/1.1 response (status line, Content-Type,
+/// Content-Length, Connection: close) to `out`.
+void AppendHttpResponse(const char* status_line, const char* content_type,
+                        std::string_view body, std::string* out) {
+  out->append(status_line).append("\r\nContent-Type: ").append(content_type);
+  out->append("\r\nContent-Length: ")
+      .append(std::to_string(body.size()))
+      .append("\r\nConnection: close\r\n\r\n")
+      .append(body);
+}
+
+/// Resolves the request-context token for one line batch: the first
+/// client-supplied "rid" wins, else a fresh server token. A raw scan, not a
+/// parse — the reactor must not pay per-line parsing, and a false positive
+/// (the literal inside a string value) merely names the batch oddly. Rids
+/// containing escapes fall back to a server token; ParseRequest still
+/// surfaces the exact client rid on the reply.
+uint64_t BatchRequestContext(std::string_view batch) {
+  const size_t pos = batch.find("\"rid\":\"");
+  if (pos != std::string_view::npos) {
+    const size_t begin = pos + 7;
+    const size_t end = batch.find('"', begin);
+    if (end != std::string_view::npos) {
+      const std::string_view rid = batch.substr(begin, end - begin);
+      // Mirror protocol.cc's ValidateRid bounds: an id the parser would
+      // reject must not be interned (or echoed) as the batch context.
+      if (!rid.empty() && rid.size() <= 64 &&
+          rid.find('\\') == std::string_view::npos) {
+        return trace::RegisterRequestId(rid);
+      }
+    }
+  }
+  return trace::NextServerRequestToken();
+}
+
 /// Splits '\n'-terminated request bytes into per-line views (CR stripped).
 void SplitLines(std::string_view view, std::vector<std::string_view>* lines) {
   size_t start = 0;
@@ -207,7 +242,10 @@ Status SkylineServer::Start(ServableDiagram diagram, std::string source_path) {
   running_.store(true, std::memory_order_release);
   workers_.reserve(static_cast<size_t>(options_.num_workers));
   for (int i = 0; i < options_.num_workers; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] {
+      trace::SetThreadName("serve-worker-" + std::to_string(i));
+      WorkerLoop();
+    });
   }
   reactor_ = std::thread([this] { ReactorLoop(); });
   return Status::OK();
@@ -282,8 +320,10 @@ std::string SkylineServer::RenderMetrics() const {
 // Event loop.
 
 void SkylineServer::ReactorLoop() {
+  trace::SetThreadName("serve-reactor");
   constexpr int kMaxEvents = 256;
   epoll_event events[kMaxEvents];
+  uint64_t last_wake_ns = 0;
   while (running_.load(std::memory_order_acquire)) {
     int timeout_ms = 200;
     if (wheel_tick_ms_ > 0) {
@@ -292,6 +332,13 @@ void SkylineServer::ReactorLoop() {
     }
     const int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, timeout_ms);
     const uint64_t loop_start_ns = trace::NowNanos();
+    // Loop-lag gauge: the gap between consecutive wakeups bounds how long
+    // an already-posted completion sat before this drain.
+    if (last_wake_ns != 0) {
+      metrics_.reactor_loop_lag_ns.store(loop_start_ns - last_wake_ns,
+                                         std::memory_order_relaxed);
+    }
+    last_wake_ns = loop_start_ns;
     if (n < 0 && errno != EINTR) break;
     for (int i = 0; i < n; ++i) {
       const uint64_t tag = events[i].data.u64;
@@ -354,6 +401,7 @@ void SkylineServer::HandleAccept() {
     auto conn = std::make_unique<Connection>();
     conn->fd = fd;
     conn->id = next_conn_id_++;
+    conn->last_active_ns = trace::NowNanos();
     Connection* raw = conn.get();
     connections_.emplace(raw->id, std::move(conn));
     epoll_event ev{};
@@ -396,6 +444,7 @@ void SkylineServer::HandleReadable(Connection* conn) {
     return;
   }
   conn->inbuf.append(chunk, static_cast<size_t>(n));
+  conn->last_active_ns = trace::NowNanos();
   metrics_.bytes_received.fetch_add(static_cast<uint64_t>(n),
                                     std::memory_order_relaxed);
   TouchIdleWheel(conn);
@@ -421,10 +470,22 @@ void SkylineServer::ProcessInput(Connection* conn) {
     Job job;
     job.conn_id = conn->id;
     job.http = true;
+    job.ctx = trace::NextServerRequestToken();
     if (target_end != std::string::npos) {
       job.http_target = conn->inbuf.substr(4, target_end - 4);
     }
     conn->inbuf.clear();
+    if (job.http_target == "/debug/connections") {
+      // Connection state machines are owned by this thread; rendering them
+      // anywhere else would race. The payload is a few hundred bytes per
+      // connection — cheap enough to build inline.
+      AppendHttpResponse("HTTP/1.1 200 OK", "application/json",
+                         RenderConnectionsJson(), &conn->outbuf);
+      conn->closing = true;
+      SetReading(conn, false);
+      FlushOutput(conn);
+      return;
+    }
     DispatchJob(conn, std::move(job));
     return;
   }
@@ -437,19 +498,28 @@ void SkylineServer::ProcessInput(Connection* conn) {
     if (last_nl != std::string::npos) {
       std::string batch = conn->inbuf.substr(0, last_nl + 1);
       conn->inbuf.erase(0, last_nl + 1);
+      // Establish the batch's request context here so the dispatch span on
+      // this thread and everything downstream (worker, query shards) share
+      // one rid.
+      const uint64_t ctx = BatchRequestContext(batch);
+      trace::ScopedRequestContext ctx_scope(ctx);
+      SKYDIA_TRACE_SPAN("serve.dispatch");
       if (CanExecuteInline(batch)) {
         if (!ExecuteInline(conn, batch)) return;
       } else {
         Job job;
         job.conn_id = conn->id;
         job.lines = std::move(batch);
+        job.ctx = ctx;
+        conn->ctx = ctx;
         DispatchJob(conn, std::move(job));
       }
     }
   }
   if (!conn->in_flight && conn->inbuf.size() > options_.max_request_bytes) {
     AppendErrorReply(std::nullopt, ErrorCode::kInvalidArgument,
-                     "request line exceeds the size limit", &conn->outbuf);
+                     "request line exceeds the size limit", &conn->outbuf,
+                     trace::RequestIdForToken(trace::NextServerRequestToken()));
     metrics_.error_replies.fetch_add(1, std::memory_order_relaxed);
     metrics_.oversize_disconnects.fetch_add(1, std::memory_order_relaxed);
     conn->closing = true;
@@ -511,6 +581,8 @@ void SkylineServer::DrainCompletions() {
     if (it == connections_.end()) continue;  // closed while the batch ran
     Connection* conn = it->second.get();
     conn->in_flight = false;
+    conn->ctx = 0;
+    conn->last_active_ns = trace::NowNanos();
     conn->outbuf.append(completion.reply);
     if (completion.close_after) conn->closing = true;
     TouchIdleWheel(conn);
@@ -685,6 +757,9 @@ void SkylineServer::WorkerLoop() {
     }
     Completion completion;
     completion.conn_id = job.conn_id;
+    // Re-establish the batch's request context on this thread: spans below
+    // (and the shard spans fanned out from them) carry the reactor's rid.
+    trace::ScopedRequestContext ctx_scope(job.ctx);
     if (job.http) {
       ServeHttp(job.http_target, &completion.reply);
       completion.close_after = true;
@@ -717,23 +792,138 @@ void SkylineServer::ServeHttp(std::string_view request_target,
   if (request_target == "/metrics") {
     body = RenderMetrics();
   } else if (request_target == "/healthz") {
-    body = registry_.generation() > 0 ? "ok\n" : "no snapshot\n";
+    // Liveness only: the process is up and serving HTTP. Whether it can
+    // answer queries is /readyz's question — a restart will not fix "no
+    // snapshot yet", so it must not fail liveness.
+    body = "ok\n";
     content_type = "text/plain; charset=utf-8";
-    if (registry_.generation() == 0) status_line = "HTTP/1.1 503 Service Unavailable";
+  } else if (request_target == "/readyz") {
+    const auto snapshot = registry_.Current();
+    if (snapshot == nullptr) {
+      body = "no snapshot\n";
+      content_type = "text/plain; charset=utf-8";
+      status_line = "HTTP/1.1 503 Service Unavailable";
+    } else {
+      body.append("{\"generation\":")
+          .append(std::to_string(snapshot->generation));
+      body.append(",\"shards\":")
+          .append(std::to_string(snapshot->serving().num_shards()));
+      body.append(",\"points\":")
+          .append(std::to_string(snapshot->serving().point_count()));
+      body.append(",\"mutation_pending\":")
+          .append(std::to_string(
+              mutations_ != nullptr ? mutations_->pending() : 0));
+      body.append("}\n");
+      content_type = "application/json";
+    }
+  } else if (request_target == "/debug/trace") {
+    body = trace::ToChromeTraceJson(trace::CollectRecent());
+    content_type = "application/json";
+  } else if (request_target == "/debug/snapshot") {
+    body = RenderDebugSnapshotJson();
+    content_type = "application/json";
   } else {
-    body = "skydia serve: try /metrics or /healthz\n";
+    body =
+        "skydia serve: try /metrics, /healthz, /readyz, /debug/trace, "
+        "/debug/snapshot or /debug/connections\n";
     content_type = "text/plain; charset=utf-8";
     status_line = "HTTP/1.1 404 Not Found";
   }
-  out->append(status_line).append("\r\nContent-Type: ").append(content_type);
-  out->append("\r\nContent-Length: ")
-      .append(std::to_string(body.size()))
-      .append("\r\nConnection: close\r\n\r\n")
-      .append(body);
+  AppendHttpResponse(status_line, content_type, body, out);
+}
+
+std::string SkylineServer::RenderConnectionsJson() const {
+  const uint64_t now_ns = trace::NowNanos();
+  std::string out;
+  out.reserve(128 + connections_.size() * 160);
+  out.append("{\"connections\":[");
+  bool first = true;
+  for (const auto& [id, conn] : connections_) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.append("{\"id\":").append(std::to_string(id));
+    out.append(",\"inbuf_bytes\":").append(std::to_string(conn->inbuf.size()));
+    out.append(",\"outbuf_bytes\":")
+        .append(std::to_string(conn->outbuf.size() - conn->out_off));
+    out.append(",\"in_flight\":").append(conn->in_flight ? "true" : "false");
+    out.append(",\"http\":").append(conn->http ? "true" : "false");
+    out.append(",\"closing\":").append(conn->closing ? "true" : "false");
+    out.append(",\"half_closed\":")
+        .append(conn->peer_half_closed ? "true" : "false");
+    const uint64_t idle_ns =
+        now_ns > conn->last_active_ns ? now_ns - conn->last_active_ns : 0;
+    out.append(",\"idle_ms\":").append(std::to_string(idle_ns / 1'000'000));
+    out.append(",\"rid\":\"");
+    JsonEscape(trace::RequestIdForToken(conn->ctx), &out);
+    out.append("\"}");
+  }
+  out.append("],\"open\":").append(std::to_string(connections_.size()));
+  out.append("}\n");
+  return out;
+}
+
+std::string SkylineServer::RenderDebugSnapshotJson() const {
+  std::string out;
+  out.reserve(512);
+  const auto snapshot = registry_.Current();
+  out.append("{\"generation\":")
+      .append(std::to_string(snapshot != nullptr ? snapshot->generation : 0));
+  out.append(",\"shards\":")
+      .append(std::to_string(
+          snapshot != nullptr ? snapshot->serving().num_shards() : 0));
+  out.append(",\"points\":")
+      .append(std::to_string(
+          snapshot != nullptr ? snapshot->serving().point_count() : 0));
+  out.append(",\"recorder_active\":")
+      .append(trace::RecorderActive() ? "true" : "false");
+  if (mutations_ != nullptr) {
+    const MutationDebugState m = mutations_->DebugState();
+    out.append(",\"mutation\":{\"pending\":").append(std::to_string(m.pending));
+    out.append(",\"pending_cells\":").append(std::to_string(m.pending_cells));
+    out.append(",\"shadow_seeded\":").append(m.shadow_seeded ? "true"
+                                                             : "false");
+    out.append(",\"shadow_age_ms\":").append(std::to_string(m.shadow_age_ms));
+    out.append(",\"publish_in_flight\":")
+        .append(m.publish_in_flight ? "true" : "false");
+    out.append(",\"in_flight_generation\":")
+        .append(std::to_string(m.in_flight_generation));
+    out.append(",\"pending_rid\":\"");
+    JsonEscape(m.pending_rid, &out);
+    out.append("\",\"window_ms\":").append(std::to_string(m.window_ms));
+    out.append(",\"max_pending\":").append(std::to_string(m.max_pending));
+    out.push_back('}');
+  }
+  // Histogram exemplars: the most recent request to land in each populated
+  // duration bucket, linking /metrics tail buckets to concrete rids.
+  out.append(",\"request_duration_exemplars\":[");
+  bool first = true;
+  for (size_t b = 0; b < ServerMetrics::kDurationBuckets; ++b) {
+    const uint64_t token =
+        metrics_.request_exemplar_token[b].load(std::memory_order_relaxed);
+    if (token == 0) continue;
+    if (!first) out.push_back(',');
+    first = false;
+    out.append("{\"le_ns\":").append(std::to_string(uint64_t{1} << (b + 1)));
+    out.append(",\"rid\":\"");
+    JsonEscape(trace::RequestIdForToken(token), &out);
+    out.append("\",\"duration_ns\":")
+        .append(std::to_string(
+            metrics_.request_exemplar_ns[b].load(std::memory_order_relaxed)));
+    out.push_back('}');
+  }
+  out.append("]}\n");
+  return out;
 }
 
 void SkylineServer::ServeBatch(std::span<const std::string_view> lines,
                                std::string* out) {
+  // The reactor/worker normally established the batch's request context
+  // already; direct embedder calls get a fresh server token so every reply
+  // still carries a rid and every span an id.
+  uint64_t ctx = trace::CurrentRequestContext();
+  if (ctx == 0) ctx = trace::NextServerRequestToken();
+  trace::ScopedRequestContext ctx_scope(ctx);
+  const std::string batch_rid = trace::RequestIdForToken(ctx);
   SKYDIA_TRACE_SPAN("serve.batch");
   const uint64_t batch_start_ns = trace::NowNanos();
   // One snapshot pin for the whole pipelined batch: every reply in a batch
@@ -798,31 +988,40 @@ void SkylineServer::ServeBatch(std::span<const std::string_view> lines,
                               : -1;
   const uint64_t generation = snapshot != nullptr ? snapshot->generation : 0;
   std::string cached;
+  // Reply rid: the line's own "rid" when the client sent one, else the
+  // batch's server-generated id — suffixed with the line index so every
+  // reply of a pipelined batch is still individually addressable.
+  const auto line_rid = [&](const Request& req, size_t i) -> std::string {
+    if (!req.rid.empty()) return req.rid;
+    if (lines.size() == 1) return batch_rid;
+    return batch_rid + "." + std::to_string(i);
+  };
   for (size_t i = 0; i < lines.size(); ++i) {
     Pending& p = pending[i];
+    const std::string rid = line_rid(p.request, i);
     if (!p.parse_error.empty()) {
       AppendErrorReply(p.request.id, ErrorCode::kParseError, p.parse_error,
-                       out);
+                       out, rid);
       metrics_.error_replies.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
     const Request& req = p.request;
     switch (req.kind) {
       case RequestKind::kPing:
-        AppendOkReply(req.id, generation, out);
+        AppendOkReply(req.id, generation, out, rid);
         break;
       case RequestKind::kStats: {
         std::string body = RenderStatsJson(snapshot.get());
-        AppendQueryReply(req.id, generation, "stats", body, out);
+        AppendQueryReply(req.id, generation, "stats", body, out, rid);
         break;
       }
       case RequestKind::kReload: {
         auto status = Reload(req.reload().path);
         if (status.ok()) {
-          AppendOkReply(req.id, registry_.generation(), out);
+          AppendOkReply(req.id, registry_.generation(), out, rid);
         } else {
           AppendErrorReply(req.id, ErrorCode::kInvalidArgument,
-                           status.message(), out);
+                           status.message(), out, rid);
           metrics_.error_replies.fetch_add(1, std::memory_order_relaxed);
         }
         break;
@@ -830,51 +1029,51 @@ void SkylineServer::ServeBatch(std::span<const std::string_view> lines,
       case RequestKind::kInsert: {
         if (mutations_ == nullptr) {
           AppendErrorReply(req.id, ErrorCode::kInvalidArgument,
-                           "mutations are not enabled", out);
+                           "mutations are not enabled", out, rid);
           metrics_.error_replies.fetch_add(1, std::memory_order_relaxed);
           break;
         }
         auto ack = mutations_->Insert(req.insert().p, req.insert().label);
         if (!ack.ok()) {
           AppendErrorReply(req.id, ErrorCodeForStatus(ack.status()),
-                           ack.status().message(), out);
+                           ack.status().message(), out, rid);
           metrics_.error_replies.fetch_add(1, std::memory_order_relaxed);
           break;
         }
-        AppendInsertReply(req.id, ack->generation, ack->point, out);
+        AppendInsertReply(req.id, ack->generation, ack->point, out, rid);
         break;
       }
       case RequestKind::kDelete: {
         if (mutations_ == nullptr) {
           AppendErrorReply(req.id, ErrorCode::kInvalidArgument,
-                           "mutations are not enabled", out);
+                           "mutations are not enabled", out, rid);
           metrics_.error_replies.fetch_add(1, std::memory_order_relaxed);
           break;
         }
         auto ack = mutations_->Delete(req.del().point);
         if (!ack.ok()) {
           AppendErrorReply(req.id, ErrorCodeForStatus(ack.status()),
-                           ack.status().message(), out);
+                           ack.status().message(), out, rid);
           metrics_.error_replies.fetch_add(1, std::memory_order_relaxed);
           break;
         }
-        AppendOkReply(req.id, ack->generation, out);
+        AppendOkReply(req.id, ack->generation, out, rid);
         break;
       }
       case RequestKind::kFlush: {
         if (mutations_ == nullptr) {
           AppendErrorReply(req.id, ErrorCode::kInvalidArgument,
-                           "mutations are not enabled", out);
+                           "mutations are not enabled", out, rid);
           metrics_.error_replies.fetch_add(1, std::memory_order_relaxed);
           break;
         }
-        AppendOkReply(req.id, mutations_->Flush(), out);
+        AppendOkReply(req.id, mutations_->Flush(), out, rid);
         break;
       }
       case RequestKind::kRange: {
         if (snapshot == nullptr) {
           AppendErrorReply(req.id, ErrorCode::kInvalidArgument,
-                           "no snapshot installed", out);
+                           "no snapshot installed", out, rid);
           metrics_.error_replies.fetch_add(1, std::memory_order_relaxed);
           break;
         }
@@ -882,7 +1081,7 @@ void SkylineServer::ServeBatch(std::span<const std::string_view> lines,
         auto summary = snapshot->serving().AnswerRange(range.range);
         if (!summary.ok()) {
           AppendErrorReply(req.id, ErrorCode::kInvalidArgument,
-                           summary.status().message(), out);
+                           summary.status().message(), out, rid);
           metrics_.error_replies.fetch_add(1, std::memory_order_relaxed);
           break;
         }
@@ -895,13 +1094,13 @@ void SkylineServer::ServeBatch(std::span<const std::string_view> lines,
                 ? RenderLabelsArray(dataset, summary->intersection_ids)
                 : RenderIdsArray(summary->intersection_ids);
         AppendRangeReply(req.id, generation, union_json, intersection_json,
-                         summary->distinct_results, out);
+                         summary->distinct_results, out, rid);
         break;
       }
       case RequestKind::kQuery: {
         if (snapshot == nullptr) {
           AppendErrorReply(req.id, ErrorCode::kInvalidArgument,
-                           "no snapshot installed", out);
+                           "no snapshot installed", out, rid);
           metrics_.error_replies.fetch_add(1, std::memory_order_relaxed);
           break;
         }
@@ -912,7 +1111,7 @@ void SkylineServer::ServeBatch(std::span<const std::string_view> lines,
           // Fast path: interned set id -> per-snapshot rendered-reply cache.
           const uint64_t cache_key = CacheKey(set_for_line[i], query.labels);
           if (snapshot->cache->Lookup(cache_key, &cached)) {
-            AppendQueryReply(req.id, generation, key, cached, out);
+            AppendQueryReply(req.id, generation, key, cached, out, rid);
             break;
           }
           const auto ids = engine.Get(set_for_line[i]);
@@ -920,7 +1119,7 @@ void SkylineServer::ServeBatch(std::span<const std::string_view> lines,
               query.labels
                   ? RenderLabelsArray(snapshot->serving().dataset(), ids)
                   : RenderIdsArray(ids);
-          AppendQueryReply(req.id, generation, key, array, out);
+          AppendQueryReply(req.id, generation, key, array, out, rid);
           snapshot->cache->Insert(cache_key, std::move(array));
           break;
         }
@@ -938,11 +1137,12 @@ void SkylineServer::ServeBatch(std::span<const std::string_view> lines,
                               << static_cast<double>(query_ns) / 1e6
                               << " x=" << query.q.x << " y=" << query.q.y
                               << " exact=" << (query.exact ? 1 : 0)
-                              << " generation=" << generation;
+                              << " generation=" << generation
+                              << " rid=" << rid;
         }
         if (!answer.ok()) {
           AppendErrorReply(req.id, ErrorCode::kInvalidArgument,
-                           answer.status().message(), out);
+                           answer.status().message(), out, rid);
           metrics_.error_replies.fetch_add(1, std::memory_order_relaxed);
           break;
         }
@@ -950,7 +1150,7 @@ void SkylineServer::ServeBatch(std::span<const std::string_view> lines,
             query.labels
                 ? RenderLabelsArray(snapshot->serving().dataset(), *answer)
                 : RenderIdsArray(*answer);
-        AppendQueryReply(req.id, generation, key, array, out);
+        AppendQueryReply(req.id, generation, key, array, out, rid);
         break;
       }
     }
@@ -958,11 +1158,13 @@ void SkylineServer::ServeBatch(std::span<const std::string_view> lines,
 
   const int64_t batch_ns =
       static_cast<int64_t>(trace::NowNanos() - batch_start_ns);
+  metrics_.RecordRequestDuration(static_cast<uint64_t>(batch_ns), ctx);
   if (slow_ns >= 0 && batch_ns >= slow_ns) {
     SKYDIA_LOG(Warning) << "slow_batch ms="
                         << static_cast<double>(batch_ns) / 1e6
                         << " lines=" << lines.size()
-                        << " generation=" << generation;
+                        << " generation=" << generation
+                        << " rid=" << batch_rid;
   }
 }
 

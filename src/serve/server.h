@@ -32,9 +32,24 @@
 //
 // Batches answer against one pinned snapshot (so a pipelined batch is
 // answered consistently even across a concurrent reload), in order. A
-// request starting with "GET " is treated as HTTP: /metrics and /healthz
-// are served and the connection closes — the same port works for both nc
-// and curl.
+// request starting with "GET " is treated as HTTP and the connection closes
+// after one response — the same port works for both nc and curl:
+//   /metrics            Prometheus text exposition
+//   /healthz            liveness: 200 "ok" while the process serves
+//   /readyz             readiness: 503 before the first snapshot, else a
+//                       JSON summary (generation, shards, points, backlog)
+//   /debug/trace        the flight recorder's recent window as Chrome
+//                       trace-event JSON (ui.perfetto.dev)
+//   /debug/snapshot     registry + mutation-pipeline introspection JSON,
+//                       including request-duration bucket exemplars
+//   /debug/connections  per-connection state JSON (rendered inline on the
+//                       event-loop thread, which owns the state machines)
+//
+// Request identity: every batch runs under a request-context token — the
+// first client-supplied "rid" in the batch, else a server-generated one —
+// so trace spans from the reactor dispatch, the worker, and the query
+// shards share one id (src/common/trace.h). Replies, error replies and the
+// slow-query log are stamped with the resolved rid.
 //
 // Robustness contract: a malformed line produces one error reply and the
 // connection stays open; a line longer than max_request_bytes produces one
@@ -176,6 +191,12 @@ class SkylineServer {
     bool closing = false;     ///< close once outbuf drains
     bool peer_half_closed = false;  ///< read saw EOF; flush, then close
     int wheel_slot = -1;      ///< idle-wheel bucket, -1 = not enrolled
+    /// Request-context token of the in-flight batch (0 = none); cleared
+    /// when its completion drains. Surfaces in /debug/connections.
+    uint64_t ctx = 0;
+    /// trace::NowNanos() of the last accept/read/completion activity —
+    /// the /debug/connections idle age.
+    uint64_t last_active_ns = 0;
   };
 
   /// A unit of work for the pool: one connection's batch of complete
@@ -186,6 +207,9 @@ class SkylineServer {
     std::string lines;        ///< complete lines, each '\n'-terminated
     bool http = false;
     std::string http_target;  ///< request target when http
+    /// Request-context token the worker re-establishes before serving, so
+    /// spans on the worker thread carry the same rid as the reactor's.
+    uint64_t ctx = 0;
   };
 
   /// A finished job on its way back to the event loop.
@@ -228,9 +252,16 @@ class SkylineServer {
 
   /// Answers one batch of complete request lines against one pinned
   /// snapshot, appending reply lines to `out`. Runs on worker threads and,
-  /// for the inline fast path, on the event-loop thread.
+  /// for the inline fast path, on the event-loop thread, under the batch's
+  /// request context (a server token is opened when none is active).
   void ServeBatch(std::span<const std::string_view> lines, std::string* out);
   void ServeHttp(std::string_view request_target, std::string* out);
+  /// The /debug/connections payload. Reactor-only by necessity: the
+  /// connection table and state machines belong to the event-loop thread.
+  std::string RenderConnectionsJson() const SKYDIA_REACTOR_ONLY;
+  /// The /debug/snapshot payload: registry generation/shards, mutation
+  /// pipeline DebugState, and request-duration bucket exemplars.
+  std::string RenderDebugSnapshotJson() const;
 
   ServerOptions options_;
   SnapshotRegistry registry_;

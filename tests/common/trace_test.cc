@@ -6,9 +6,17 @@
 // ignored, not asserted away.
 #include "src/common/trace.h"
 
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <fstream>
 #include <functional>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -259,6 +267,173 @@ TEST(TraceTest, SpanDisabledMidFlightStillClosesCleanly) {
 TEST(TraceTest, WriteChromeTraceRejectsUnwritablePath) {
   const TraceSnapshot empty;
   EXPECT_FALSE(WriteChromeTrace(empty, "/nonexistent-dir/trace.json").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder (always-on sampled mode) and request contexts.
+
+TEST(TraceTest, FlightRecorderSamplesEveryNthSpanAndAllCounters) {
+  RecorderOptions options;
+  options.sample_period = 4;
+  EnableFlightRecorder(options);
+  EXPECT_TRUE(RecorderActive());
+  EXPECT_FALSE(Enabled());  // sampled mode reads as "not full"
+  const ThreadTrack track = EmitOnNamedThread("sampled-thread", [] {
+    internal::t_sample_countdown = 1;  // deterministic draw: record span 1
+    for (int i = 0; i < 16; ++i) {
+      SKYDIA_TRACE_SPAN("sampled.span");
+    }
+    Counter("sampled.counter", 42);
+  });
+  DisableFlightRecorder();
+  Reset();
+  size_t spans = 0;
+  size_t counters = 0;
+  for (const TraceEvent& event : track.events) {
+    (event.kind == TraceEvent::Kind::kSpan ? spans : counters)++;
+  }
+  EXPECT_EQ(spans, 4u);  // spans 1, 5, 9, 13 of the 16
+  // Counters are low-rate and bypass the span sampling draw entirely.
+  EXPECT_EQ(counters, 1u);
+}
+
+TEST(TraceTest, SetEnabledFalseFallsBackToSampledWhileRecorderActive) {
+  EnableFlightRecorder();
+  SetEnabled(true);
+  EXPECT_TRUE(Enabled());
+  SetEnabled(false);
+  EXPECT_FALSE(Enabled());        // full tracing is off again...
+  EXPECT_TRUE(RecorderActive());  // ...but the always-on window survives
+  const ThreadTrack track = EmitOnNamedThread("fallback-thread", [] {
+    internal::t_sample_countdown = 1;
+    SKYDIA_TRACE_SPAN("fallback.span");
+  });
+  EXPECT_EQ(track.events.size(), 1u);
+  DisableFlightRecorder();
+  EXPECT_FALSE(RecorderActive());
+  // With the recorder disarmed, SetEnabled(false) means fully off.
+  const std::optional<ThreadTrack> off =
+      MaybeEmitOnNamedThread("fallback-off-thread", [] {
+        SKYDIA_TRACE_SPAN("fallback.off");
+      });
+  EXPECT_FALSE(off.has_value());
+  Reset();
+}
+
+TEST(TraceTest, CollectRecentDropsEventsOlderThanTheWindow) {
+  RecorderOptions wide;
+  wide.sample_period = 1;
+  EnableFlightRecorder(wide);  // default ~10 s window
+  const std::string name = "recent-thread";
+  EmitOnNamedThread(name, [] {
+    internal::t_sample_countdown = 1;
+    SKYDIA_TRACE_SPAN("recent.span");
+  });
+  bool found = false;
+  for (const ThreadTrack& track : CollectRecent().threads) {
+    if (track.name == name) found = !track.events.empty();
+  }
+  EXPECT_TRUE(found);
+  // Shrinking the window to 1 ns ages the span out (re-arming an active
+  // recorder keeps the epoch, so existing timestamps stay comparable).
+  RecorderOptions narrow;
+  narrow.sample_period = 1;
+  narrow.window_ns = 1;
+  EnableFlightRecorder(narrow);
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  for (const ThreadTrack& track : CollectRecent().threads) {
+    if (track.name == name) {
+      EXPECT_TRUE(track.events.empty());
+    }
+  }
+  DisableFlightRecorder();
+  Reset();
+}
+
+TEST(TraceTest, RequestTokensResolveToServerAndClientIds) {
+  EXPECT_EQ(RequestIdForToken(0), "");
+  EXPECT_EQ(RegisterRequestId(""), 0u);
+  const uint64_t server = NextServerRequestToken();
+  EXPECT_EQ(RequestIdForToken(server), "s" + std::to_string(server));
+  const uint64_t client = RegisterRequestId("abc-123");
+  EXPECT_EQ(RequestIdForToken(client), "abc-123");
+  // Contexts nest and restore on scope exit.
+  EXPECT_EQ(CurrentRequestContext(), 0u);
+  {
+    ScopedRequestContext outer(server);
+    EXPECT_EQ(CurrentRequestContext(), server);
+    {
+      ScopedRequestContext inner(client);
+      EXPECT_EQ(CurrentRequestContext(), client);
+    }
+    EXPECT_EQ(CurrentRequestContext(), server);
+  }
+  EXPECT_EQ(CurrentRequestContext(), 0u);
+}
+
+TEST(TraceTest, EvictedClientRidsFallBackToStablePlaceholders) {
+  const uint64_t first = RegisterRequestId("evict-me");
+  ASSERT_EQ(RequestIdForToken(first), "evict-me");
+  // Flood the intern ring so "evict-me" is overwritten.
+  for (int i = 0; i < 4096; ++i) {
+    RegisterRequestId("filler");
+  }
+  const uint64_t seq = first & ~(uint64_t{1} << 63);
+  EXPECT_EQ(RequestIdForToken(first), "c" + std::to_string(seq));
+}
+
+TEST(TraceTest, SpansCarryTheRequestContextAndExportRidArgs) {
+  ScopedTracing tracing;  // full mode: every span records
+  const uint64_t token = RegisterRequestId("req \"42\"");
+  const ThreadTrack track = EmitOnNamedThread("ctx-thread", [token] {
+    {
+      ScopedRequestContext scope(token);
+      SKYDIA_TRACE_SPAN("ctx.tagged");
+    }
+    SKYDIA_TRACE_SPAN("ctx.untagged");
+  });
+  ASSERT_EQ(track.events.size(), 2u);
+  EXPECT_EQ(track.events[0].ctx, token);  // ascending start: tagged first
+  EXPECT_EQ(track.events[1].ctx, 0u);
+  TraceSnapshot snapshot;
+  snapshot.threads.push_back(track);
+  snapshot.total_events = track.events.size();
+  const std::string json = ToChromeTraceJson(snapshot);
+  // The rid rides in "args" with full JSON escaping; untagged spans omit it.
+  EXPECT_NE(json.find("\"args\":{\"rid\":\"req \\\"42\\\"\"}"),
+            std::string::npos);
+}
+
+TEST(TraceTest, CrashHandlerDumpsRecentWindowBeforeReRaising) {
+  const std::string path =
+      ::testing::TempDir() + "skydia-crash-trace-test.json";
+  std::remove(path.c_str());
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // Child: arm the recorder, record one span, then die. The signal is
+    // raised rather than produced by a real bad dereference so the test
+    // exercises only the handler, not undefined behavior.
+    RecorderOptions options;
+    options.sample_period = 1;
+    EnableFlightRecorder(options);
+    internal::t_sample_countdown = 1;
+    if (!InstallCrashHandler(path).ok()) _exit(3);
+    { SKYDIA_TRACE_SPAN("crash.span"); }
+    std::raise(SIGSEGV);
+    _exit(4);  // unreachable: the handler re-raises with SIG_DFL
+  }
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(status));
+  EXPECT_EQ(WTERMSIG(status), SIGSEGV);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "crash handler wrote no dump at " << path;
+  std::stringstream contents;
+  contents << in.rdbuf();
+  EXPECT_NE(contents.str().find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(contents.str().find("crash.span"), std::string::npos);
+  std::remove(path.c_str());
 }
 
 TEST(TraceTest, CurrentThreadIdIsStablePerThread) {

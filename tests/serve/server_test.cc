@@ -47,13 +47,24 @@ std::string ExpectedIds(const Dataset& dataset, const Point2D& q) {
   return RenderIdsArray(FirstQuadrantSkyline(dataset, q));
 }
 
+/// Strips the trailing `,"rid":"..."` every reply now carries so the oracle
+/// comparisons stay byte-exact on the payload fields (the rid itself is
+/// covered by debug_endpoints_test.cc).
+std::string StripRid(std::string reply) {
+  const size_t pos = reply.rfind(",\"rid\":\"");
+  if (pos != std::string::npos && !reply.empty() && reply.back() == '}') {
+    reply.erase(pos, reply.size() - pos - 1);
+  }
+  return reply;
+}
+
 TEST_F(ServerTest, AnswersQueryAgainstOracle) {
   StartServer("server_query.skd");
   for (const Point2D q : {Point2D{0, 0}, Point2D{17, 900}, Point2D{512, 512},
                           Point2D{1023, 1023}}) {
     ASSERT_TRUE(client_.SendLine("{\"q\":[" + std::to_string(q.x) + "," +
                                  std::to_string(q.y) + "]}"));
-    const std::string reply = client_.ReadLine();
+    const std::string reply = StripRid(client_.ReadLine());
     EXPECT_EQ(reply,
               "{\"gen\":1,\"ids\":" + ExpectedIds(*dataset_, q) + "}");
   }
@@ -114,7 +125,7 @@ TEST_F(ServerTest, SemanticsMismatchIsPerLineError) {
 TEST_F(ServerTest, PingStatsAndReloadCommands) {
   StartServer("server_admin.skd");
   ASSERT_TRUE(client_.SendLine(R"({"cmd":"ping","id":1})"));
-  EXPECT_EQ(client_.ReadLine(), "{\"id\":1,\"ok\":true,\"gen\":1}");
+  EXPECT_EQ(StripRid(client_.ReadLine()), "{\"id\":1,\"ok\":true,\"gen\":1}");
 
   ASSERT_TRUE(client_.SendLine(R"({"q":[512,512]})"));
   (void)client_.ReadLine();
@@ -126,7 +137,7 @@ TEST_F(ServerTest, PingStatsAndReloadCommands) {
   // Overwrite the blob and hot-swap through the admin command.
   SaveQuadrantFixture(96, 1024, /*seed=*/7, path_);
   ASSERT_TRUE(client_.SendLine(R"({"cmd":"reload","id":3})"));
-  EXPECT_EQ(client_.ReadLine(), "{\"id\":3,\"ok\":true,\"gen\":2}");
+  EXPECT_EQ(StripRid(client_.ReadLine()), "{\"id\":3,\"ok\":true,\"gen\":2}");
   ASSERT_TRUE(client_.SendLine(R"({"q":[512,512],"id":4})"));
   EXPECT_EQ(client_.ReadLine().rfind("{\"id\":4,\"gen\":2,", 0), 0u);
   EXPECT_EQ(server_->registry().Current()->diagram->dataset().size(), 96u);
@@ -218,7 +229,7 @@ TEST_F(ServerTest, PartialReadsSplitMidLineStillAnswer) {
   ASSERT_TRUE(client_.Send("0],\"id\""));
   std::this_thread::sleep_for(std::chrono::milliseconds(20));
   ASSERT_TRUE(client_.Send(":7}\n"));
-  const std::string reply = client_.ReadLine();
+  const std::string reply = StripRid(client_.ReadLine());
   EXPECT_EQ(reply, "{\"id\":7,\"gen\":1,\"ids\":" + ExpectedIds(*dataset_, q) +
                        "}");
 
@@ -359,7 +370,7 @@ TEST_F(ServerTest, ShardedServerAnswersIdenticallyToTheOracle) {
   ASSERT_TRUE(client_.Send(burst));
   for (int i = 0; i < kDepth; ++i) {
     const Point2D q{(i * 37) % 1024, (i * 61) % 1024};
-    EXPECT_EQ(client_.ReadLine(),
+    EXPECT_EQ(StripRid(client_.ReadLine()),
               "{\"id\":" + std::to_string(i) + ",\"gen\":1,\"ids\":" +
                   ExpectedIds(*dataset_, q) + "}");
   }
@@ -382,7 +393,8 @@ TEST_F(ServerTest, ShardedServerAnswersIdenticallyToTheOracle) {
   // shard view follows atomically.
   SaveQuadrantFixture(96, 1024, /*seed=*/22, path_);
   ASSERT_TRUE(client_.SendLine(R"({"cmd":"reload","id":100})"));
-  EXPECT_EQ(client_.ReadLine(), "{\"id\":100,\"ok\":true,\"gen\":2}");
+  EXPECT_EQ(StripRid(client_.ReadLine()),
+            "{\"id\":100,\"ok\":true,\"gen\":2}");
   ASSERT_TRUE(client_.SendLine(R"({"q":[512,512],"id":101})"));
   EXPECT_EQ(client_.ReadLine().rfind("{\"id\":101,\"gen\":2,", 0), 0u);
   EXPECT_EQ(server_->registry().Current()->sharded->num_shards(), 4);
@@ -421,14 +433,15 @@ TEST_F(ServerTest, RangeCommandMatchesBruteForce) {
       ",\"distinct\":" + std::to_string(distinct.size()) + "}";
   ASSERT_TRUE(client_.SendLine(
       R"({"cmd":"range","x":[100,180],"y":[40,90],"id":9})"));
-  EXPECT_EQ(client_.ReadLine(), expected);
+  EXPECT_EQ(StripRid(client_.ReadLine()), expected);
 
   // An inverted range is a per-line error; the connection survives.
   ASSERT_TRUE(client_.SendLine(
       R"({"cmd":"range","x":[5,4],"y":[0,1],"id":10})"));
   EXPECT_EQ(client_.ReadLine().rfind("{\"id\":10,\"error\":", 0), 0u);
   ASSERT_TRUE(client_.SendLine(R"({"cmd":"ping","id":11})"));
-  EXPECT_EQ(client_.ReadLine(), "{\"id\":11,\"ok\":true,\"gen\":1}");
+  EXPECT_EQ(StripRid(client_.ReadLine()),
+            "{\"id\":11,\"ok\":true,\"gen\":1}");
 }
 
 TEST_F(ServerTest, InsertDeleteFlushOverTheWire) {
@@ -436,7 +449,7 @@ TEST_F(ServerTest, InsertDeleteFlushOverTheWire) {
   // Synchronous publish (default window 0): the ack's gen is exact and the
   // next query serves the mutated dataset.
   ASSERT_TRUE(client_.SendLine(R"({"cmd":"insert","x":3,"y":2,"id":1})"));
-  EXPECT_EQ(client_.ReadLine(),
+  EXPECT_EQ(StripRid(client_.ReadLine()),
             "{\"id\":1,\"ok\":true,\"gen\":2,\"point\":32}");
 
   std::vector<Point2D> points = dataset_->points();
@@ -444,15 +457,17 @@ TEST_F(ServerTest, InsertDeleteFlushOverTheWire) {
   auto mutated = Dataset::Create(points, 1024);
   ASSERT_TRUE(mutated.ok());
   ASSERT_TRUE(client_.SendLine(R"({"q":[0,0],"id":2})"));
-  EXPECT_EQ(client_.ReadLine(), "{\"id\":2,\"gen\":2,\"ids\":" +
-                                    ExpectedIds(*mutated, {0, 0}) + "}");
+  EXPECT_EQ(StripRid(client_.ReadLine()),
+            "{\"id\":2,\"gen\":2,\"ids\":" + ExpectedIds(*mutated, {0, 0}) +
+                "}");
 
   // Delete the point we just inserted; ids above it are unaffected.
   ASSERT_TRUE(client_.SendLine(R"({"cmd":"delete","point":32,"id":3})"));
-  EXPECT_EQ(client_.ReadLine(), "{\"id\":3,\"ok\":true,\"gen\":3}");
+  EXPECT_EQ(StripRid(client_.ReadLine()), "{\"id\":3,\"ok\":true,\"gen\":3}");
   ASSERT_TRUE(client_.SendLine(R"({"q":[0,0],"id":4})"));
-  EXPECT_EQ(client_.ReadLine(), "{\"id\":4,\"gen\":3,\"ids\":" +
-                                    ExpectedIds(*dataset_, {0, 0}) + "}");
+  EXPECT_EQ(StripRid(client_.ReadLine()),
+            "{\"id\":4,\"gen\":3,\"ids\":" + ExpectedIds(*dataset_, {0, 0}) +
+                "}");
 
   // Error codes ride the reply: unknown point, then a clean parse error.
   ASSERT_TRUE(client_.SendLine(R"({"cmd":"delete","point":99,"id":5})"));
@@ -466,7 +481,7 @@ TEST_F(ServerTest, InsertDeleteFlushOverTheWire) {
 
   // A flush with nothing pending acks at the current generation.
   ASSERT_TRUE(client_.SendLine(R"({"cmd":"flush","id":7})"));
-  EXPECT_EQ(client_.ReadLine(), "{\"id\":7,\"ok\":true,\"gen\":3}");
+  EXPECT_EQ(StripRid(client_.ReadLine()), "{\"id\":7,\"ok\":true,\"gen\":3}");
   EXPECT_EQ(server_->metrics().mutation_inserts.load(), 1u);
   EXPECT_EQ(server_->metrics().mutation_deletes.load(), 1u);
   EXPECT_GE(server_->metrics().mutation_failures.load(), 1u);
@@ -489,16 +504,18 @@ TEST_F(ServerTest, MutationWindowCoalescesAndFlushPublishes) {
                                  std::to_string(200 + i) + ",\"y\":" +
                                  std::to_string(210 + i) +
                                  ",\"id\":" + std::to_string(i) + "}"));
-    EXPECT_EQ(client_.ReadLine(), "{\"id\":" + std::to_string(i) +
-                                      ",\"ok\":true,\"gen\":2,\"point\":" +
-                                      std::to_string(32 + i) + "}");
+    EXPECT_EQ(StripRid(client_.ReadLine()),
+              "{\"id\":" + std::to_string(i) +
+                  ",\"ok\":true,\"gen\":2,\"point\":" +
+                  std::to_string(32 + i) + "}");
   }
   ASSERT_TRUE(client_.SendLine(R"({"q":[0,0],"id":10})"));
   EXPECT_EQ(client_.ReadLine().rfind("{\"id\":10,\"gen\":1,", 0), 0u);
   EXPECT_EQ(server_->mutations()->pending(), 3u);
 
   ASSERT_TRUE(client_.SendLine(R"({"cmd":"flush","id":11})"));
-  EXPECT_EQ(client_.ReadLine(), "{\"id\":11,\"ok\":true,\"gen\":2}");
+  EXPECT_EQ(StripRid(client_.ReadLine()),
+            "{\"id\":11,\"ok\":true,\"gen\":2}");
   EXPECT_EQ(server_->registry().Current()->serving().point_count(), 35u);
   ASSERT_TRUE(client_.SendLine(R"({"q":[0,0],"id":12})"));
   EXPECT_EQ(client_.ReadLine().rfind("{\"id\":12,\"gen\":2,", 0), 0u);
@@ -533,10 +550,10 @@ TEST_F(ServerTest, ReloadDiscardsUnpublishedMutations) {
 
   // A successful reload supersedes the shadow; the pending insert is gone.
   ASSERT_TRUE(client_.SendLine(R"({"cmd":"reload","id":2})"));
-  EXPECT_EQ(client_.ReadLine(), "{\"id\":2,\"ok\":true,\"gen\":2}");
+  EXPECT_EQ(StripRid(client_.ReadLine()), "{\"id\":2,\"ok\":true,\"gen\":2}");
   EXPECT_EQ(server_->mutations()->pending(), 0u);
   ASSERT_TRUE(client_.SendLine(R"({"cmd":"flush","id":3})"));
-  EXPECT_EQ(client_.ReadLine(), "{\"id\":3,\"ok\":true,\"gen\":2}");
+  EXPECT_EQ(StripRid(client_.ReadLine()), "{\"id\":3,\"ok\":true,\"gen\":2}");
   EXPECT_EQ(server_->registry().Current()->serving().point_count(), 32u);
 }
 

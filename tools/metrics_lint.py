@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Prometheus naming lint for the skydia /metrics surface.
+
+Extracts every metric family emitted by src/serve/metrics.cc — the single
+place metric names may be introduced — and enforces the repo's naming
+scheme before a scrape ever sees them:
+
+  prefix      Every family is named ^skydia_[a-z][a-z0-9_]*$ (lowercase,
+              no double underscores, no trailing underscore).
+  counter     Counter families end in `_total`; nothing else may.
+  gauge       Gauge families must NOT end in `_total` (a gauge that looks
+              like a counter lies to rate()).
+  units       Families with `_duration_` in the name end in `_seconds`
+              (durations are exported in base seconds, never ms/ns);
+              `_bytes`/`_seconds`/`_ns` unit suffixes come last.
+  histogram   Histogram families must not themselves end in
+              `_bucket`/`_sum`/`_count` (those suffixes belong to the
+              series the renderer derives).
+
+The extraction keys on the Counter(...)/Gauge(...)/Histogram-style render
+helpers and on `# TYPE` literals, so a metric emitted through a new helper
+still gets caught by the fallback literal scan. The companion runtime check
+lives in tests/serve/metrics_format_test.cc, which parses a live payload;
+this lint runs without building anything.
+
+Usage:
+  tools/metrics_lint.py [--root REPO_ROOT]
+
+Exits non-zero with file:line diagnostics when a rule fires.
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+NAME_RE = re.compile(r"^skydia_[a-z][a-z0-9_]*$")
+# "Gauge(\n    "skydia_foo", ..." — the helper name, then the first string
+# literal argument possibly on the next line.
+HELPER_RE = re.compile(
+    r"\b(Counter|Gauge|SecondsHistogram)\s*\(\s*\"(skydia_[A-Za-z0-9_]*)\"",
+    re.S)
+TYPE_RE = re.compile(r"#\s*TYPE\s+(skydia_[A-Za-z0-9_]*)\s+([a-z]+)")
+LITERAL_RE = re.compile(r"\"(skydia_[A-Za-z0-9_]*)\"")
+
+HELPER_TYPE = {
+    "Counter": "counter",
+    "Gauge": "gauge",
+    "SecondsHistogram": "histogram",
+}
+UNIT_SUFFIXES = ("_total", "_seconds", "_bytes", "_ns", "_ratio", "_info")
+SERIES_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def line_of(text, offset):
+    return text.count("\n", 0, offset) + 1
+
+
+def collect_families(text):
+    """Returns {name: (type or None, line)} for every family literal."""
+    families = {}
+    for match in HELPER_RE.finditer(text):
+        helper, name = match.group(1), match.group(2)
+        families.setdefault(name, (HELPER_TYPE[helper],
+                                   line_of(text, match.start())))
+    for match in TYPE_RE.finditer(text):
+        name, mtype = match.group(1), match.group(2)
+        families.setdefault(name, (mtype, line_of(text, match.start())))
+    # Fallback: any other skydia_* literal (e.g. a name passed through a
+    # helper this lint does not know) still gets the prefix/unit rules.
+    for match in LITERAL_RE.finditer(text):
+        name = match.group(1)
+        base = name
+        for suffix in SERIES_SUFFIXES:
+            if base.endswith(suffix):
+                base = base[: -len(suffix)]
+        families.setdefault(base, (None, line_of(text, match.start())))
+    return families
+
+
+def check(path):
+    text = path.read_text(encoding="utf-8")
+    errors = []
+    families = collect_families(text)
+    if not families:
+        errors.append(f"{path}:1: no skydia_* metric families found "
+                      "(extraction broken?)")
+    for name, (mtype, line) in sorted(families.items()):
+        where = f"{path}:{line}"
+        if not NAME_RE.match(name):
+            errors.append(f"{where}: {name}: does not match "
+                          "^skydia_[a-z][a-z0-9_]*$")
+        if "__" in name or name.endswith("_"):
+            errors.append(f"{where}: {name}: double/trailing underscore")
+        ends_total = name.endswith("_total")
+        if mtype == "counter" and not ends_total:
+            errors.append(f"{where}: {name}: counters must end in _total")
+        if mtype is not None and mtype != "counter" and ends_total:
+            errors.append(f"{where}: {name}: only counters end in _total")
+        if "_duration_" in name and not name.endswith("_seconds"):
+            errors.append(f"{where}: {name}: durations are exported in "
+                          "base seconds (_seconds suffix)")
+        if mtype == "histogram" and name.endswith(SERIES_SUFFIXES):
+            errors.append(f"{where}: {name}: histogram family named like "
+                          "a derived series")
+        for suffix in UNIT_SUFFIXES:
+            stripped = name[: -len(suffix)] if name.endswith(suffix) else None
+            if stripped and any(stripped.endswith(u) for u in UNIT_SUFFIXES):
+                errors.append(f"{where}: {name}: stacked unit suffixes")
+    return errors
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=".",
+                        help="repository root (default: cwd)")
+    args = parser.parse_args()
+    root = pathlib.Path(args.root)
+    target = root / "src" / "serve" / "metrics.cc"
+    if not target.is_file():
+        print(f"error: {target} not found", file=sys.stderr)
+        return 2
+    errors = check(target)
+    for error in errors:
+        print(error, file=sys.stderr)
+    if errors:
+        print(f"{len(errors)} metric naming violation(s)", file=sys.stderr)
+        return 1
+    print(f"ok: metric families in {target} conform to the naming scheme")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

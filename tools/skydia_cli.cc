@@ -18,6 +18,7 @@
 //   skydia render  --diagram diagram.skd --out diagram.svg [--labels]
 //
 // Exit code 0 on success; errors print to stderr.
+#include <algorithm>
 #include <csignal>
 #include <cstdint>
 #include <cstdlib>
@@ -153,11 +154,18 @@ void PrintUsage() {
          "           [--idle-timeout-ms MS] [--max-connections N]\n"
          "           [--slow-query-ms MS] [--mutation-window-ms MS]\n"
          "           [--mutation-max-pending N] [--trace [out.json]]\n"
+         "           [--trace-sample N] [--trace-window-ms MS]\n"
+         "           [--crash-trace out.json|none]\n"
          "           (line-JSON queries over TCP; insert/delete/flush\n"
          "           mutate the served snapshot, coalesced over the\n"
          "           mutation window; SIGHUP hot-swaps the snapshot;\n"
-         "           GET /metrics on the same port; --trace flushes a\n"
-         "           span summary on exit, even under SIGTERM)\n"
+         "           GET /metrics, /healthz, /readyz, /debug/trace,\n"
+         "           /debug/snapshot, /debug/connections on the same\n"
+         "           port; the flight recorder samples every Nth span\n"
+         "           (default 256, 0 disables) over the trace window\n"
+         "           (default 10s) and dumps it to --crash-trace on a\n"
+         "           fatal signal; --trace records every span and\n"
+         "           flushes a summary on exit, even under SIGTERM)\n"
          "  render   --diagram diagram.skd --out out.svg [--labels]\n"
          "  hotels   (print the paper's Figure 1 example)\n";
 }
@@ -583,6 +591,27 @@ int CmdServe(const Flags& flags, const std::string& positional_path) {
   options.mutation_max_pending = static_cast<size_t>(
       flags.GetInt("mutation-max-pending",
                    static_cast<int64_t>(options.mutation_max_pending)));
+
+  // The always-on flight recorder: sampled spans over a bounded window,
+  // exported live via GET /debug/trace and dumped to --crash-trace by the
+  // fatal-signal handler. --trace-sample 0 turns both off.
+  const auto sample = flags.GetInt("trace-sample", 256);
+  if (sample > 0) {
+    trace::RecorderOptions recorder;
+    recorder.sample_period = static_cast<uint32_t>(sample);
+    recorder.window_ns =
+        static_cast<uint64_t>(
+            std::max<int64_t>(1, flags.GetInt("trace-window-ms", 10'000))) *
+        1'000'000ull;
+    trace::EnableFlightRecorder(recorder);
+    const std::string crash_path =
+        flags.GetString("crash-trace", "/tmp/skydia-crash-trace.json");
+    if (crash_path != "none") {
+      if (Status s = trace::InstallCrashHandler(crash_path); !s.ok()) {
+        std::cerr << "crash-trace handler not installed: " << s << "\n";
+      }
+    }
+  }
 
   // --trace on the daemon: collect spans for the whole serving lifetime and
   // guarantee the text summary reaches stderr even on a signal-driven exit —
